@@ -1,0 +1,459 @@
+//! The XQ→TPM rewrite rules of milestone 3.
+//!
+//! The two for-loop rules of the paper:
+//!
+//! ```text
+//! for $y in $x/a return α
+//!   ⊢ relfor ($y) in PSX(R.in, R.parent_in=$x ∧ R.type=elem ∧ R.value=a,
+//!                        XASR[R]) return α
+//!
+//! for $y in $x//a return α
+//!   ⊢ relfor ($y) in PSX(R2.in, R1.in=$x ∧ R1.in<R2.in ∧ R2.out<R1.out ∧
+//!                        R2.type=elem ∧ R2.value=a,
+//!                        (XASR[R1], XASR[R2])) return α
+//! ```
+//!
+//! and the if-rule `if φ then α else () ⊢ relfor () in ALG(φ) return α`,
+//! where `ALG` maps `true()`, equality tests, `some` and `and` to nullary
+//! PSX expressions; `or`/`not` are outside the fragment and fall back to
+//! the interpreter ([`Tpm::IfFallback`]).
+
+use crate::ir::{Attr, AtomicPred, CmpOp, ColRef, Operand, Psx, Tpm};
+use std::collections::HashMap;
+use xmldb_xasr::NodeType;
+use xmldb_xq::{Axis, Cond, Expr, NodeTest, PathStep, Var};
+
+/// Compiles an XQ query to raw (unoptimized, unmerged) TPM. Apply
+/// [`crate::rewrite::optimize`] afterwards for the Figure 4-style merged
+/// form.
+pub fn compile_query(expr: &Expr) -> Tpm {
+    let mut compiler = Compiler::default();
+    compiler.compile(expr)
+}
+
+#[derive(Default)]
+struct Compiler {
+    /// Per-letter counters for readable aliases (J, N, N2, T, ...).
+    alias_counters: HashMap<char, u32>,
+    /// Counter for internal output variables.
+    var_counter: u32,
+}
+
+impl Compiler {
+    fn fresh_alias(&mut self, test: &NodeTest) -> String {
+        let letter = match test {
+            NodeTest::Label(l) => {
+                l.chars().next().map(|c| c.to_ascii_uppercase()).unwrap_or('R')
+            }
+            NodeTest::Star => 'S',
+            NodeTest::Text => 'T',
+        };
+        let n = self.alias_counters.entry(letter).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            letter.to_string()
+        } else {
+            format!("{letter}{n}")
+        }
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        let v = Var(format!("$#o{}", self.var_counter));
+        self.var_counter += 1;
+        v
+    }
+
+    fn compile(&mut self, expr: &Expr) -> Tpm {
+        match expr {
+            Expr::Empty => Tpm::Empty,
+            Expr::Text(t) => Tpm::Text(t.clone()),
+            Expr::Sequence(parts) => Tpm::concat(parts.iter().map(|e| self.compile(e)).collect()),
+            Expr::Element { name, content } => Tpm::Constr {
+                label: name.clone(),
+                content: Box::new(self.compile(content)),
+            },
+            Expr::Var(v) => Tpm::VarOut(v.clone()),
+            Expr::Step(step) => {
+                // A navigation step in output position is an anonymous loop:
+                // for $o in step return $o.
+                let var = self.fresh_var();
+                let (_, source) = self.step_psx(step);
+                Tpm::RelFor { vars: vec![var.clone()], source, body: Box::new(Tpm::VarOut(var)) }
+            }
+            Expr::For { var, source, body } => {
+                let (_, psx) = self.step_psx(source);
+                Tpm::RelFor {
+                    vars: vec![var.clone()],
+                    source: psx,
+                    body: Box::new(self.compile(body)),
+                }
+            }
+            Expr::If { cond, then } => {
+                if cond.is_tpm_rewritable() {
+                    let source = self.alg_cond(cond);
+                    Tpm::RelFor {
+                        vars: Vec::new(),
+                        source,
+                        body: Box::new(self.compile(then)),
+                    }
+                } else {
+                    Tpm::IfFallback {
+                        cond: cond.clone(),
+                        body: Box::new(self.compile(then)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The for-loop rules: returns the target alias (producing the bound
+    /// nodes) and the PSX projecting its `in` column.
+    fn step_psx(&mut self, step: &PathStep) -> (String, Psx) {
+        let mut conjuncts = Vec::new();
+        let mut relations = Vec::new();
+        let target = match step.axis {
+            Axis::Child => {
+                let r = self.fresh_alias(&step.test);
+                conjuncts.push(AtomicPred::new(
+                    Operand::Col(ColRef::new(r.clone(), Attr::ParentIn)),
+                    CmpOp::Eq,
+                    Operand::ExtVar(step.var.clone(), Attr::In),
+                ));
+                relations.push(r.clone());
+                r
+            }
+            Axis::Descendant => {
+                // The faithful two-relation rule: R1 is bound to $x, R2
+                // ranges over its descendants. rewrite::optimize later
+                // eliminates R1 via the vartuple-out extension.
+                let r1 = self.fresh_alias(&step.test);
+                let r2 = self.fresh_alias(&step.test);
+                conjuncts.push(AtomicPred::new(
+                    Operand::Col(ColRef::new(r1.clone(), Attr::In)),
+                    CmpOp::Eq,
+                    Operand::ExtVar(step.var.clone(), Attr::In),
+                ));
+                conjuncts.push(AtomicPred::new(
+                    Operand::Col(ColRef::new(r1.clone(), Attr::In)),
+                    CmpOp::Lt,
+                    Operand::Col(ColRef::new(r2.clone(), Attr::In)),
+                ));
+                conjuncts.push(AtomicPred::new(
+                    Operand::Col(ColRef::new(r2.clone(), Attr::Out)),
+                    CmpOp::Lt,
+                    Operand::Col(ColRef::new(r1.clone(), Attr::Out)),
+                ));
+                relations.push(r1);
+                relations.push(r2.clone());
+                r2
+            }
+        };
+        conjuncts.extend(test_conjuncts(&target, &step.test));
+        let psx = Psx {
+            cols: vec![ColRef::new(target.clone(), Attr::In)],
+            conjuncts,
+            relations,
+        };
+        (target, psx)
+    }
+
+    /// `ALG(φ)`: conditions as nullary PSX expressions.
+    fn alg_cond(&mut self, cond: &Cond) -> Psx {
+        match cond {
+            Cond::True => Psx::truth(),
+            Cond::VarEqConst(v, s) => {
+                let t = self.fresh_alias(&NodeTest::Text);
+                Psx {
+                    cols: Vec::new(),
+                    conjuncts: vec![
+                        AtomicPred::new(
+                            Operand::Col(ColRef::new(t.clone(), Attr::In)),
+                            CmpOp::Eq,
+                            Operand::ExtVar(v.clone(), Attr::In),
+                        ),
+                        AtomicPred::strict(
+                            Operand::Col(ColRef::new(t.clone(), Attr::Value)),
+                            CmpOp::Eq,
+                            Operand::Str(s.clone()),
+                        ),
+                    ],
+                    relations: vec![t],
+                }
+            }
+            Cond::VarEqVar(a, b) => {
+                let t1 = self.fresh_alias(&NodeTest::Text);
+                let t2 = self.fresh_alias(&NodeTest::Text);
+                Psx {
+                    cols: Vec::new(),
+                    conjuncts: vec![
+                        AtomicPred::new(
+                            Operand::Col(ColRef::new(t1.clone(), Attr::In)),
+                            CmpOp::Eq,
+                            Operand::ExtVar(a.clone(), Attr::In),
+                        ),
+                        AtomicPred::new(
+                            Operand::Col(ColRef::new(t2.clone(), Attr::In)),
+                            CmpOp::Eq,
+                            Operand::ExtVar(b.clone(), Attr::In),
+                        ),
+                        AtomicPred::strict(
+                            Operand::Col(ColRef::new(t1.clone(), Attr::Value)),
+                            CmpOp::Eq,
+                            Operand::Col(ColRef::new(t2.clone(), Attr::Value)),
+                        ),
+                    ],
+                    relations: vec![t1, t2],
+                }
+            }
+            Cond::Some { var, source, satisfies } => {
+                let (target, step) = self.step_psx(source);
+                let inner = self.alg_cond(satisfies);
+                let inner = substitute_var(inner, var, &target);
+                Psx {
+                    cols: Vec::new(),
+                    conjuncts: step
+                        .conjuncts
+                        .into_iter()
+                        .chain(inner.conjuncts)
+                        .collect(),
+                    relations: step
+                        .relations
+                        .into_iter()
+                        .chain(inner.relations)
+                        .collect(),
+                }
+            }
+            Cond::And(a, b) => {
+                let pa = self.alg_cond(a);
+                let pb = self.alg_cond(b);
+                Psx {
+                    cols: Vec::new(),
+                    conjuncts: pa.conjuncts.into_iter().chain(pb.conjuncts).collect(),
+                    relations: pa.relations.into_iter().chain(pb.relations).collect(),
+                }
+            }
+            Cond::Or(..) | Cond::Not(..) => {
+                unreachable!("caller checks is_tpm_rewritable before ALG translation")
+            }
+        }
+    }
+}
+
+/// The `ν` test as selection conjuncts over `alias`.
+fn test_conjuncts(alias: &str, test: &NodeTest) -> Vec<AtomicPred> {
+    match test {
+        NodeTest::Label(l) => vec![
+            AtomicPred::new(
+                Operand::Col(ColRef::new(alias, Attr::Type)),
+                CmpOp::Eq,
+                Operand::Kind(NodeType::Element),
+            ),
+            AtomicPred::new(
+                Operand::Col(ColRef::new(alias, Attr::Value)),
+                CmpOp::Eq,
+                Operand::Str(l.clone()),
+            ),
+        ],
+        NodeTest::Star => vec![AtomicPred::new(
+            Operand::Col(ColRef::new(alias, Attr::Type)),
+            CmpOp::Eq,
+            Operand::Kind(NodeType::Element),
+        )],
+        NodeTest::Text => vec![AtomicPred::new(
+            Operand::Col(ColRef::new(alias, Attr::Type)),
+            CmpOp::Eq,
+            Operand::Kind(NodeType::Text),
+        )],
+    }
+}
+
+/// Replaces references to a variable (bound within the same PSX) by columns
+/// of the relation that produces it — the `ψ'` substitution of the merging
+/// rule.
+pub(crate) fn substitute_var(mut psx: Psx, var: &Var, alias: &str) -> Psx {
+    let fix = |op: &mut Operand| {
+        if let Operand::ExtVar(v, attr) = op {
+            if v == var {
+                *op = Operand::Col(ColRef::new(alias, *attr));
+            }
+        }
+    };
+    for pred in &mut psx.conjuncts {
+        fix(&mut pred.lhs);
+        fix(&mut pred.rhs);
+    }
+    psx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb_xq::parse;
+
+    /// Example 3 / Figure 3: the un-merged TPM expression for the Example 2
+    /// query.
+    #[test]
+    fn figure3_shape() {
+        let q = parse(
+            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
+        )
+        .unwrap();
+        let tpm = compile_query(&q);
+        let rendered = tpm.render();
+        assert_eq!(
+            rendered,
+            "constr(names)\n\
+             \x20 relfor ($j) in π(J.in) σ[J.parent_in = $root ∧ J.type = element ∧ J.value = journal] ×(XASR[J])\n\
+             \x20   relfor ($n) in π(N2.in) σ[N.in = $j ∧ N.in < N2.in ∧ N2.out < N.out ∧ N2.type = element ∧ N2.value = name] ×(XASR[N], XASR[N2])\n\
+             \x20     $n\n"
+        );
+        assert_eq!(tpm.relfor_count(), 2);
+    }
+
+    /// Figure 5: if/some compiles to a nullary relfor between the loops.
+    #[test]
+    fn figure5_shape() {
+        let q = parse(
+            "<names>{ for $j in /journal return \
+             if (some $t in $j//text() satisfies true()) \
+             then for $n in $j//name return $n else () }</names>",
+        )
+        .unwrap();
+        let tpm = compile_query(&q);
+        let Tpm::Constr { content, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { vars, body, .. } = content.as_ref() else { panic!() };
+        assert_eq!(vars.len(), 1);
+        let Tpm::RelFor { vars: cond_vars, source, body: inner } = body.as_ref() else {
+            panic!("expected nullary relfor, got:\n{}", tpm.render());
+        };
+        assert!(cond_vars.is_empty(), "if-relfor has empty vartuple");
+        assert!(source.cols.is_empty(), "nullary projection");
+        assert_eq!(source.relations.len(), 2, "T1 (binder) and T2 (text)");
+        assert!(matches!(inner.as_ref(), Tpm::RelFor { .. }));
+        assert_eq!(tpm.relfor_count(), 3);
+    }
+
+    #[test]
+    fn or_condition_falls_back() {
+        let q = parse(
+            "for $x in /a return if ($x = \"p\" or $x = \"q\") then $x else ()",
+        )
+        .unwrap();
+        let tpm = compile_query(&q);
+        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        assert!(matches!(body.as_ref(), Tpm::IfFallback { .. }));
+    }
+
+    #[test]
+    fn not_condition_falls_back() {
+        let q = parse("for $x in /a return if (not(true())) then $x else ()").unwrap();
+        let tpm = compile_query(&q);
+        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        assert!(matches!(body.as_ref(), Tpm::IfFallback { .. }));
+    }
+
+    #[test]
+    fn var_eq_const_strictness() {
+        let q = parse("for $x in /a/text() return if ($x = \"y\") then $x else ()").unwrap();
+        let tpm = compile_query(&q);
+        // Find the nullary relfor and check the strict flag.
+        fn find_nullary(t: &Tpm) -> Option<&Psx> {
+            match t {
+                Tpm::RelFor { vars, source, body } => {
+                    if vars.is_empty() {
+                        Some(source)
+                    } else {
+                        find_nullary(body)
+                    }
+                }
+                Tpm::Constr { content, .. } => find_nullary(content),
+                _ => None,
+            }
+        }
+        let psx = find_nullary(&tpm).expect("nullary relfor");
+        assert!(psx.conjuncts.iter().any(|p| p.strict_text));
+    }
+
+    #[test]
+    fn step_in_output_position_becomes_loop() {
+        let q = parse("/journal").unwrap();
+        let tpm = compile_query(&q);
+        let Tpm::RelFor { vars, source, body } = &tpm else { panic!() };
+        assert_eq!(vars.len(), 1);
+        assert_eq!(source.relations.len(), 1);
+        assert!(matches!(body.as_ref(), Tpm::VarOut(v) if v == &vars[0]));
+    }
+
+    #[test]
+    fn star_and_text_tests() {
+        let q = parse("for $x in /j return for $y in $x/* return $y").unwrap();
+        let tpm = compile_query(&q);
+        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { source, .. } = body.as_ref() else { panic!() };
+        // Star: only a type conjunct (besides parent linkage).
+        assert_eq!(source.conjuncts.len(), 2);
+        assert!(source
+            .conjuncts
+            .iter()
+            .any(|p| matches!(&p.rhs, Operand::Kind(NodeType::Element))));
+    }
+
+    #[test]
+    fn some_substitutes_bound_var() {
+        let q = parse(
+            "for $x in //article return \
+             if (some $v in $x/volume satisfies true()) then $x else ()",
+        )
+        .unwrap();
+        let tpm = compile_query(&q);
+        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { vars, source, .. } = body.as_ref() else { panic!() };
+        assert!(vars.is_empty());
+        // $v must not appear as an external var (it is bound inside).
+        assert!(source.external_vars().iter().all(|v| v != &Var::named("v")));
+        // $x appears (bound by the outer relfor).
+        assert!(source.external_vars().contains(&Var::named("x")));
+    }
+
+    #[test]
+    fn nested_some_chain() {
+        let q = parse(
+            "for $x in /a return \
+             if (some $b in $x/b satisfies some $c in $b/c satisfies $c = \"z\") \
+             then $x else ()",
+        )
+        .unwrap();
+        let tpm = compile_query(&q);
+        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { source, .. } = body.as_ref() else { panic!() };
+        // Relations: B (b step), C (c step), T (text lookup for $c = "z").
+        assert_eq!(source.relations.len(), 3);
+        // The only external var is $x.
+        assert_eq!(source.external_vars(), vec![Var::named("x")]);
+    }
+
+    #[test]
+    fn var_eq_var_produces_two_lookups() {
+        let q = parse(
+            "for $a in /x/text() return for $b in /y/text() return \
+             if ($a = $b) then $a else ()",
+        )
+        .unwrap();
+        let tpm = compile_query(&q);
+        fn find_nullary(t: &Tpm) -> Option<&Psx> {
+            match t {
+                Tpm::RelFor { vars, source, body } => {
+                    if vars.is_empty() {
+                        Some(source)
+                    } else {
+                        find_nullary(body)
+                    }
+                }
+                _ => None,
+            }
+        }
+        let psx = find_nullary(&tpm).expect("nullary relfor");
+        assert_eq!(psx.relations.len(), 2);
+        assert_eq!(psx.conjuncts.iter().filter(|p| p.strict_text).count(), 1);
+    }
+}

@@ -1,0 +1,502 @@
+//! The TPM intermediate representation.
+
+use std::fmt;
+use xmldb_xasr::NodeType;
+use xmldb_xq::{Cond, Var};
+
+/// An XASR column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attr {
+    /// The preorder tag count (`in`).
+    In,
+    /// The postorder tag count (`out`).
+    Out,
+    /// The parent's `in` value.
+    ParentIn,
+    /// The node type (root/element/text).
+    Type,
+    /// The element label or text content.
+    Value,
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attr::In => f.write_str("in"),
+            Attr::Out => f.write_str("out"),
+            Attr::ParentIn => f.write_str("parent_in"),
+            Attr::Type => f.write_str("type"),
+            Attr::Value => f.write_str("value"),
+        }
+    }
+}
+
+/// A column of a named XASR occurrence, e.g. `J.in`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Relation alias (an XASR occurrence).
+    pub alias: String,
+    /// The referenced column.
+    pub attr: Attr,
+}
+
+impl ColRef {
+    /// Convenience constructor.
+    pub fn new(alias: impl Into<String>, attr: Attr) -> ColRef {
+        ColRef { alias: alias.into(), attr }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.alias, self.attr)
+    }
+}
+
+/// One side of an atomic comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A column of a relation in the current PSX.
+    Col(ColRef),
+    /// A numeric constant (an `in` value; e.g. `parent_in = 1` selects
+    /// children of the root).
+    Num(u64),
+    /// A string constant (label or text comparison).
+    Str(String),
+    /// A node-type constant.
+    Kind(NodeType),
+    /// A field of the tuple an *external* variable (bound by an enclosing
+    /// relfor) is bound to. `ExtVar($x, In)` is the paper's "`$x`";
+    /// `ExtVar($x, Out)` is the vartuple-out extension.
+    ExtVar(Var, Attr),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(c) => write!(f, "{c}"),
+            Operand::Num(n) => write!(f, "{n}"),
+            Operand::Str(s) => write!(f, "{s}"),
+            Operand::Kind(k) => write!(f, "{k}"),
+            Operand::ExtVar(v, Attr::In) => write!(f, "{v}"),
+            Operand::ExtVar(v, attr) => write!(f, "{v}.{attr}"),
+        }
+    }
+}
+
+/// Comparison operator of an atomic condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Strictly less than.
+    Lt,
+    /// Strictly greater than.
+    Gt,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Eq => f.write_str("="),
+            CmpOp::Lt => f.write_str("<"),
+            CmpOp::Gt => f.write_str(">"),
+        }
+    }
+}
+
+/// An atomic conjunct `lhs op rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicPred {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: Operand,
+    /// Right operand.
+    pub rhs: Operand,
+    /// XQ comparison semantics: evaluating this predicate on a node whose
+    /// type is not `text` is a runtime error (the paper lets engines "exit
+    /// with an error message" for non-text comparisons). Set only on
+    /// value-vs-value / value-vs-string conjuncts from XQ `=`.
+    pub strict_text: bool,
+}
+
+impl AtomicPred {
+    /// Plain structural conjunct.
+    pub fn new(lhs: Operand, op: CmpOp, rhs: Operand) -> AtomicPred {
+        AtomicPred { op, lhs, rhs, strict_text: false }
+    }
+
+    /// XQ `=` conjunct (errors on non-text nodes at runtime).
+    pub fn strict(lhs: Operand, op: CmpOp, rhs: Operand) -> AtomicPred {
+        AtomicPred { op, lhs, rhs, strict_text: true }
+    }
+
+    /// Aliases referenced by this predicate (0, 1 or 2).
+    pub fn aliases(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for side in [&self.lhs, &self.rhs] {
+            if let Operand::Col(c) = side {
+                if !out.contains(&c.alias.as_str()) {
+                    out.push(c.alias.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for AtomicPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A relational algebra expression in project–select–product normal form:
+/// `π_{cols}(σ_{conjuncts}(R₁ × ... × Rₙ))`, abbreviated
+/// `PSX(cols, φ₁ ∧ ... ∧ φₖ, (R₁, ..., Rₙ))`. All relations are occurrences
+/// of the XASR relation, distinguished by alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Psx {
+    /// Projection columns, positionally matching the enclosing relfor's
+    /// vartuple. Each is an `in` column (plus, after the vartuple-out
+    /// rewrite, implicitly its tuple).
+    pub cols: Vec<ColRef>,
+    /// The conjunctive selection condition.
+    pub conjuncts: Vec<AtomicPred>,
+    /// XASR occurrences in syntactic order.
+    pub relations: Vec<String>,
+}
+
+impl Psx {
+    /// The nullary, relation-free PSX whose result is the "true" nullary
+    /// relation (one empty tuple): the translation of `true()`.
+    pub fn truth() -> Psx {
+        Psx { cols: Vec::new(), conjuncts: Vec::new(), relations: Vec::new() }
+    }
+
+    /// Alias of the relation producing projection column `i`.
+    pub fn producer(&self, i: usize) -> &str {
+        &self.cols[i].alias
+    }
+
+    /// All conjuncts that mention only `alias` (and constants/external
+    /// variables) — these are pushable selections for that relation.
+    pub fn local_conjuncts(&self, alias: &str) -> Vec<&AtomicPred> {
+        self.conjuncts
+            .iter()
+            .filter(|p| {
+                let aliases = p.aliases();
+                aliases.len() == 1 && aliases[0] == alias
+            })
+            .collect()
+    }
+
+    /// All conjuncts that mention two distinct aliases (join conditions).
+    pub fn join_conjuncts(&self) -> Vec<&AtomicPred> {
+        self.conjuncts.iter().filter(|p| p.aliases().len() == 2).collect()
+    }
+
+    /// Renames every reference to `from` into `to` (alias unification when
+    /// dropping a redundant relation).
+    pub fn rename_alias(&mut self, from: &str, to: &str) {
+        let fix = |op: &mut Operand| {
+            if let Operand::Col(c) = op {
+                if c.alias == from {
+                    c.alias = to.to_string();
+                }
+            }
+        };
+        for pred in &mut self.conjuncts {
+            fix(&mut pred.lhs);
+            fix(&mut pred.rhs);
+        }
+        for col in &mut self.cols {
+            if col.alias == from {
+                col.alias = to.to_string();
+            }
+        }
+        self.relations.retain(|r| r != from);
+    }
+
+    /// External variables mentioned in the conjuncts.
+    pub fn external_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for pred in &self.conjuncts {
+            for side in [&pred.lhs, &pred.rhs] {
+                if let Operand::ExtVar(v, _) = side {
+                    if !out.contains(v) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Psx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "π(")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ") σ[")?;
+        for (i, p) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "] ×(")?;
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "XASR[{r}]")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A TPM expression.
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tpm {
+    /// `()`.
+    Empty,
+    /// Literal text output.
+    Text(String),
+    /// Concatenation of results.
+    Concat(Vec<Tpm>),
+    /// Node construction around the computed result.
+    Constr { label: String, content: Box<Tpm> },
+    /// Emit a copy of the subtree the variable is bound to.
+    VarOut(Var),
+    /// `relfor vartuple in psx return body`: evaluate the PSX (with
+    /// external variables interpreted as constants), sorted hierarchically
+    /// in document order; bind `vars` to each result tuple; evaluate `body`
+    /// per binding; concatenate.
+    RelFor { vars: Vec<Var>, source: Psx, body: Box<Tpm> },
+    /// Conditions outside the TPM-rewritable fragment (`or`, `not`):
+    /// evaluated by the interpreter per binding environment, as the paper's
+    /// restriction implies.
+    IfFallback { cond: Cond, body: Box<Tpm> },
+    /// The left-outer-join extension the paper proposes for the
+    /// constructor-blocks-merging inefficiency ("one solution to this
+    /// problem is to extend TPM by left-outer-joins"):
+    ///
+    /// ```text
+    /// relfor (x̄) in α return <l>{ relfor (y) in β return γ }</l>
+    ///   ⊢ relfor-outer (x̄; y) in α ⟕ β return <l>{ γ }</l>
+    /// ```
+    ///
+    /// The joined relation streams once, sorted by the outer vartuple;
+    /// execution groups rows by the outer prefix, emitting one `l` element
+    /// per outer binding — including empty elements for bindings whose
+    /// outer row is NULL-padded (no inner match).
+    RelForOuter {
+        outer_vars: Vec<Var>,
+        outer_source: Psx,
+        label: String,
+        inner_var: Var,
+        /// Single-relation PSX, already ψ'-substituted: references to outer
+        /// variables appear as columns of the outer producers.
+        inner_source: Psx,
+        body: Box<Tpm>,
+    },
+}
+
+impl Tpm {
+    /// Flattening concat constructor (drops `Empty`).
+    pub fn concat(parts: Vec<Tpm>) -> Tpm {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Tpm::Empty => {}
+                Tpm::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Tpm::Empty,
+            1 => flat.pop().expect("len checked"),
+            _ => Tpm::Concat(flat),
+        }
+    }
+
+    /// Number of relfor operators (merging effectiveness metric).
+    pub fn relfor_count(&self) -> usize {
+        match self {
+            Tpm::Empty | Tpm::Text(_) | Tpm::VarOut(_) => 0,
+            Tpm::Concat(parts) => parts.iter().map(Tpm::relfor_count).sum(),
+            Tpm::Constr { content, .. } => content.relfor_count(),
+            Tpm::RelFor { body, .. } => 1 + body.relfor_count(),
+            Tpm::RelForOuter { body, .. } => 1 + body.relfor_count(),
+            Tpm::IfFallback { body, .. } => body.relfor_count(),
+        }
+    }
+
+    /// Renders the operator tree in the indented style of Figures 3–6.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, level: usize) {
+        let pad = "  ".repeat(level);
+        match self {
+            Tpm::Empty => {
+                out.push_str(&pad);
+                out.push_str("()\n");
+            }
+            Tpm::Text(t) => {
+                out.push_str(&pad);
+                out.push_str(&format!("text({t:?})\n"));
+            }
+            Tpm::Concat(parts) => {
+                out.push_str(&pad);
+                out.push_str("concat\n");
+                for p in parts {
+                    p.render_into(out, level + 1);
+                }
+            }
+            Tpm::Constr { label, content } => {
+                out.push_str(&pad);
+                out.push_str(&format!("constr({label})\n"));
+                content.render_into(out, level + 1);
+            }
+            Tpm::VarOut(v) => {
+                out.push_str(&pad);
+                out.push_str(&format!("{v}\n"));
+            }
+            Tpm::RelFor { vars, source, body } => {
+                out.push_str(&pad);
+                let vartuple =
+                    vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+                out.push_str(&format!("relfor ({vartuple}) in {source}\n"));
+                body.render_into(out, level + 1);
+            }
+            Tpm::RelForOuter { outer_vars, outer_source, label, inner_var, inner_source, body } => {
+                out.push_str(&pad);
+                let vartuple =
+                    outer_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+                out.push_str(&format!(
+                    "relfor-outer ({vartuple}; {inner_var}) in {outer_source} ⟕ {inner_source} constr({label})\n"
+                ));
+                body.render_into(out, level + 1);
+            }
+            Tpm::IfFallback { cond, body } => {
+                out.push_str(&pad);
+                out.push_str(&format!("if* [{cond}]\n"));
+                body.render_into(out, level + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Tpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(alias: &str, attr: Attr) -> Operand {
+        Operand::Col(ColRef::new(alias, attr))
+    }
+
+    #[test]
+    fn pred_aliases() {
+        let p = AtomicPred::new(col("J", Attr::In), CmpOp::Lt, col("N2", Attr::In));
+        assert_eq!(p.aliases(), vec!["J", "N2"]);
+        let p = AtomicPred::new(col("J", Attr::ParentIn), CmpOp::Eq, Operand::Num(1));
+        assert_eq!(p.aliases(), vec!["J"]);
+        let p = AtomicPred::new(Operand::Num(1), CmpOp::Eq, Operand::Num(1));
+        assert!(p.aliases().is_empty());
+    }
+
+    #[test]
+    fn local_and_join_conjuncts() {
+        let psx = Psx {
+            cols: vec![ColRef::new("J", Attr::In)],
+            conjuncts: vec![
+                AtomicPred::new(col("J", Attr::ParentIn), CmpOp::Eq, Operand::Num(1)),
+                AtomicPred::new(col("J", Attr::In), CmpOp::Lt, col("N", Attr::In)),
+                AtomicPred::new(
+                    col("N", Attr::Value),
+                    CmpOp::Eq,
+                    Operand::Str("name".into()),
+                ),
+            ],
+            relations: vec!["J".into(), "N".into()],
+        };
+        assert_eq!(psx.local_conjuncts("J").len(), 1);
+        assert_eq!(psx.local_conjuncts("N").len(), 1);
+        assert_eq!(psx.join_conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn rename_alias_rewrites_everything() {
+        let mut psx = Psx {
+            cols: vec![ColRef::new("N1", Attr::In)],
+            conjuncts: vec![AtomicPred::new(
+                col("N1", Attr::In),
+                CmpOp::Lt,
+                col("N2", Attr::In),
+            )],
+            relations: vec!["N1".into(), "N2".into()],
+        };
+        psx.rename_alias("N1", "J");
+        assert_eq!(psx.cols[0].alias, "J");
+        assert_eq!(psx.conjuncts[0].aliases(), vec!["J", "N2"]);
+        assert_eq!(psx.relations, vec!["N2".to_string()]);
+    }
+
+    #[test]
+    fn truth_is_nullary() {
+        let t = Psx::truth();
+        assert!(t.cols.is_empty() && t.relations.is_empty() && t.conjuncts.is_empty());
+    }
+
+    #[test]
+    fn concat_flattens() {
+        let t = Tpm::concat(vec![
+            Tpm::Empty,
+            Tpm::Concat(vec![Tpm::Text("a".into()), Tpm::Text("b".into())]),
+        ]);
+        assert_eq!(t, Tpm::Concat(vec![Tpm::Text("a".into()), Tpm::Text("b".into())]));
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let tpm = Tpm::Constr {
+            label: "names".into(),
+            content: Box::new(Tpm::RelFor {
+                vars: vec![Var::named("j")],
+                source: Psx {
+                    cols: vec![ColRef::new("J", Attr::In)],
+                    conjuncts: vec![AtomicPred::new(
+                        col("J", Attr::ParentIn),
+                        CmpOp::Eq,
+                        Operand::Num(1),
+                    )],
+                    relations: vec!["J".into()],
+                },
+                body: Box::new(Tpm::VarOut(Var::named("j"))),
+            }),
+        };
+        let rendered = tpm.render();
+        assert_eq!(
+            rendered,
+            "constr(names)\n  relfor ($j) in π(J.in) σ[J.parent_in = 1] ×(XASR[J])\n    $j\n"
+        );
+    }
+}

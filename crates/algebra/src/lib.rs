@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! TPM — "the professor's mistake" — the algebra of milestone 3.
+//!
+//! TPM is "not a query algebra in the usual sense", but it gracefully
+//! reduces XQ optimization to relational-algebra optimization: `for`-loops
+//! and rewritable `if`-conditions become [`ir::Psx`] expressions
+//! (project–select–product normal form) under a "super-for-loop" operator
+//! [`ir::Tpm::RelFor`]:
+//!
+//! ```text
+//! relfor vartuple in xasr-alg return expression
+//! ```
+//!
+//! This crate contains the *logical* layer:
+//!
+//! * [`ir`] — the TPM intermediate representation and its pretty-printer
+//!   (whose output reproduces Figures 3–6),
+//! * [`compile`] — the XQ→TPM rewrite rules for `for`-loops and
+//!   if-conditions (`some`/`and`/equality only; `or`/`not` fall back to the
+//!   interpreter, exactly as the paper restricts),
+//! * [`rewrite`] — relfor merging (with the paper's strict rule: no merge
+//!   across an intervening constructor) and redundant-relation elimination
+//!   (the "N1.in = $j = J.in, so we can safely drop N1" step, generalized
+//!   to the vartuple-out extension the paper proposes),
+//! * [`ordering`] — the hierarchical-document-order analysis: which
+//!   relation orders allow one-pass duplicate-eliminating projection
+//!   without a sort operator.
+//!
+//! Physical planning (join algorithms, index selection, cost) lives in
+//! `xmldb-optimizer`; execution in `xmldb-physical`.
+
+pub mod compile;
+pub mod ir;
+pub mod ordering;
+pub mod rewrite;
+
+pub use compile::compile_query;
+pub use ir::{Attr, AtomicPred, CmpOp, ColRef, Operand, Psx, Tpm};

@@ -1,0 +1,180 @@
+//! The Role of Order: which evaluation plans keep relfor results "sorted
+//! hierarchically in document order" so the final projection can remove
+//! duplicates in one pass, without a sort operator.
+//!
+//! A relation `R` of tuples of node in-values is *sorted hierarchically in
+//! document order* if for all tᵢ, tⱼ ∈ R with i < j there is an attribute
+//! Aₖ such that tᵢ.Aₗ = tⱼ.Aₗ for all l < k and tᵢ.Aₖ < tⱼ.Aₖ — i.e.
+//! lexicographic order of the in-value columns.
+//!
+//! The paper's "basic strategy which was implemented in the majority of the
+//! student projects":
+//!
+//! 1. use only order-preserving physical operators (nested-loops join, not
+//!    block-nested-loops join), and
+//! 2. pick a join order in which every projection attribute `Aᵢ` comes from
+//!    the `i`-th joined relation — then the intermediate result is sorted
+//!    w.r.t. the projection attributes and projection can deduplicate in
+//!    one pass.
+
+use crate::ir::Psx;
+
+/// Is `order` (a permutation of `psx.relations`) *projection-compatible*:
+/// does the `i`-th projection column's relation appear at position `i`?
+/// Non-projected relations may only follow all projected ones.
+pub fn is_projection_compatible(psx: &Psx, order: &[String]) -> bool {
+    if order.len() != psx.relations.len() {
+        return false;
+    }
+    // Must be a permutation.
+    for r in &psx.relations {
+        if !order.contains(r) {
+            return false;
+        }
+    }
+    for (i, col) in psx.cols.iter().enumerate() {
+        match order.get(i) {
+            Some(alias) if *alias == col.alias => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// All projection-compatible orders of the PSX's relations (the space the
+/// cost-based optimizer searches when it must avoid sorting). The projected
+/// prefix is fixed; the unprojected relations permute freely after it.
+pub fn projection_compatible_orders(psx: &Psx) -> Vec<Vec<String>> {
+    let prefix: Vec<String> = psx.cols.iter().map(|c| c.alias.clone()).collect();
+    // Duplicated producers (same relation projected twice) cannot prefix.
+    {
+        let mut seen = std::collections::HashSet::new();
+        for alias in &prefix {
+            if !seen.insert(alias) {
+                return Vec::new();
+            }
+        }
+    }
+    if prefix.iter().any(|a| !psx.relations.contains(a)) {
+        return Vec::new();
+    }
+    let rest: Vec<String> =
+        psx.relations.iter().filter(|r| !prefix.contains(r)).cloned().collect();
+    permutations(&rest)
+        .into_iter()
+        .map(|tail| prefix.iter().cloned().chain(tail).collect())
+        .collect()
+}
+
+/// All permutations of `items` (the full join-order search space; PSX
+/// expressions from real queries have few relations).
+pub fn permutations(items: &[String]) -> Vec<Vec<String>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, first) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, first.clone());
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Does projecting this PSX require duplicate elimination? Yes exactly when
+/// some relation is not a projection producer (its bindings multiply rows
+/// without appearing in the output — the Example 5 text-witness `T2`).
+pub fn needs_dedup(psx: &Psx) -> bool {
+    psx.relations.iter().any(|r| psx.cols.iter().all(|c| &c.alias != r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_query;
+    use crate::ir::Tpm;
+    use crate::rewrite::{optimize, RewriteOptions};
+    use xmldb_xq::parse;
+
+    fn merged_psx(q: &str) -> Psx {
+        let tpm = optimize(compile_query(&parse(q).unwrap()), &RewriteOptions::default());
+        fn find(t: &Tpm) -> Option<&Psx> {
+            match t {
+                Tpm::RelFor { source, .. } => Some(source),
+                Tpm::Constr { content, .. } => find(content),
+                Tpm::Concat(parts) => parts.iter().find_map(find),
+                _ => None,
+            }
+        }
+        find(&tpm).expect("query has a relfor").clone()
+    }
+
+    #[test]
+    fn example2_orders() {
+        let psx = merged_psx(
+            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
+        );
+        // Two relations, both projected: only [J, N2] is compatible.
+        let orders = projection_compatible_orders(&psx);
+        assert_eq!(orders, vec![vec!["J".to_string(), "N2".to_string()]]);
+        assert!(is_projection_compatible(&psx, &orders[0]));
+        assert!(!is_projection_compatible(
+            &psx,
+            &["N2".to_string(), "J".to_string()]
+        ));
+        assert!(!needs_dedup(&psx));
+    }
+
+    #[test]
+    fn example5_orders_and_dedup() {
+        let psx = merged_psx(
+            "<names>{ for $j in /journal return \
+             if (some $t in $j//text() satisfies true()) \
+             then for $n in $j//name return $n else () }</names>",
+        );
+        // Relations J, T2, N2; projected (J, N2). Compatible orders place
+        // T2 last: exactly [J, N2, T2].
+        let orders = projection_compatible_orders(&psx);
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders[0][0], "J");
+        assert_eq!(orders[0][1], "N2");
+        // The unprojected text witness forces duplicate elimination — the
+        // paper's ordering discussion.
+        assert!(needs_dedup(&psx));
+        // The paper's counterexample order [J, T2, N2] is rejected: with T2
+        // in the middle, (J.in, N2.in) pairs repeat non-adjacently.
+        assert!(!is_projection_compatible(
+            &psx,
+            &["J".to_string(), "T2".to_string(), "N2".to_string()]
+        ));
+    }
+
+    #[test]
+    fn nullary_psx_all_orders_compatible() {
+        let psx = Psx {
+            cols: vec![],
+            conjuncts: vec![],
+            relations: vec!["A".into(), "B".into()],
+        };
+        let orders = projection_compatible_orders(&psx);
+        assert_eq!(orders.len(), 2);
+        assert!(needs_dedup(&psx));
+    }
+
+    #[test]
+    fn permutation_count() {
+        let items: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(permutations(&items).len(), 24);
+        assert_eq!(permutations(&[]).len(), 1);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let psx = Psx { cols: vec![], conjuncts: vec![], relations: vec!["A".into()] };
+        assert!(!is_projection_compatible(&psx, &[]));
+        assert!(!is_projection_compatible(&psx, &["B".to_string()]));
+    }
+}

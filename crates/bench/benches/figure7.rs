@@ -1,0 +1,40 @@
+//! Criterion version of Figure 7: every engine × every efficiency test on
+//! a small DBLP. The binary `figure7` prints the paper-style table with
+//! timeout handling; this bench tracks the same cells statistically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmldb_bench::figure7_engines;
+use xmldb_core::Database;
+use xmldb_datagen::DblpConfig;
+use xmldb_storage::EnvConfig;
+use xmldb_testbed::corpus::efficiency_queries;
+
+fn bench_figure7(c: &mut Criterion) {
+    let db = Database::in_memory_with(EnvConfig::with_pool_bytes(4 << 20));
+    let xml = xmldb_datagen::generate_dblp(&DblpConfig::scaled(0.1));
+    db.load_document("dblp", &xml).unwrap();
+    let stats = db.store("dblp").unwrap().stats().clone();
+
+    let mut group = c.benchmark_group("figure7");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for engine in figure7_engines(&stats) {
+        for (qname, query) in efficiency_queries() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine{}", engine.label), qname),
+                &query,
+                |b, q| {
+                    b.iter(|| {
+                        db.query_with("dblp", q, engine.engine, &engine.options)
+                            .expect("efficiency query succeeds")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ingest-path benchmarks: XML parsing, DOM building, and streaming
+//! shredding into the three XASR indexes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xmldb_datagen::{DblpConfig, TreebankConfig};
+use xmldb_storage::Env;
+use xmldb_xasr::shred_document;
+use xmldb_xml::{EventReader, ParseOptions};
+
+fn bench_ingest(c: &mut Criterion) {
+    let dblp = xmldb_datagen::generate_dblp(&DblpConfig::scaled(0.5));
+    let treebank = xmldb_datagen::generate_treebank(&TreebankConfig::scaled(0.5));
+
+    for (name, xml) in [("dblp", &dblp), ("treebank", &treebank)] {
+        let mut group = c.benchmark_group(format!("ingest/{name}"));
+        group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+
+        group.bench_function("tokenize-events", |b| {
+            b.iter(|| {
+                let mut reader = EventReader::new(xml, ParseOptions::default());
+                let mut n = 0usize;
+                while reader.next_event().unwrap().is_some() {
+                    n += 1;
+                }
+                n
+            })
+        });
+
+        group.bench_function("parse-dom", |b| {
+            b.iter(|| xmldb_xml::parse(xml).unwrap().len())
+        });
+
+        group.bench_function("shred", |b| {
+            let mut run = 0u64;
+            b.iter(|| {
+                run += 1;
+                let env = Env::memory();
+                let store = shred_document(&env, &format!("d{run}"), xml).unwrap();
+                store.node_count()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

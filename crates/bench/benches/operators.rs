@@ -1,0 +1,160 @@
+//! Microbenchmarks of the storage and operator substrate: B+-tree point
+//! operations and scans, external sorting, and the three join algorithms
+//! on a structural-join workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmldb_physical::ops::{
+    BlockNestedLoopJoinOp, IndexNestedLoopJoinOp, NestedLoopJoinOp, Probe, ScanOp, Src,
+};
+use xmldb_physical::{execute_all, Bindings, ExecContext, PhysOperand, PhysPred};
+use xmldb_algebra::{Attr, CmpOp};
+use xmldb_storage::{BTree, Env, EnvConfig, ExternalSorter};
+use xmldb_xasr::shred_document;
+
+fn key(i: u64) -> Vec<u8> {
+    i.to_be_bytes().to_vec()
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("insert-10k", |b| {
+        b.iter(|| {
+            let env = Env::memory();
+            let mut tree = BTree::create(&env, "t").unwrap();
+            for i in 0..10_000u64 {
+                tree.insert(&key((i * 7919 + 13) % 10_000), b"payload").unwrap();
+            }
+            tree.len()
+        })
+    });
+
+    group.bench_function("bulk-load-10k", |b| {
+        b.iter(|| {
+            let env = Env::memory();
+            let mut tree = BTree::create(&env, "t").unwrap();
+            tree.bulk_load((0..10_000u64).map(|i| (key(i), b"payload".to_vec()))).unwrap();
+            tree.len()
+        })
+    });
+
+    let env = Env::memory();
+    let mut tree = BTree::create(&env, "probe").unwrap();
+    tree.bulk_load((0..100_000u64).map(|i| (key(i), b"v".to_vec()))).unwrap();
+    group.bench_function("get-hot", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 6364136223846793005 + 1442695040888963407) % 100_000;
+            tree.get(&key(i)).unwrap()
+        })
+    });
+    group.bench_function("range-scan-1k", |b| {
+        b.iter(|| {
+            tree.range(
+                std::ops::Bound::Included(key(40_000).as_slice()),
+                std::ops::Bound::Excluded(key(41_000).as_slice()),
+            )
+            .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, budget) in [("in-memory", 64 << 20), ("spilling", 64 << 10)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let env = Env::memory_with(EnvConfig::default());
+                let mut sorter = ExternalSorter::lexicographic(&env, budget);
+                for i in 0..50_000u64 {
+                    sorter.push(key((i * 2654435761) % 50_000)).unwrap();
+                }
+                sorter.finish().unwrap().count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    // Structural join: journals ⋈descendant names on a synthetic document.
+    let mut xml = String::from("<lib>");
+    for j in 0..50 {
+        xml.push_str("<journal><authors>");
+        for n in 0..20 {
+            xml.push_str(&format!("<name>n{j}-{n}</name>"));
+        }
+        xml.push_str("</authors></journal>");
+    }
+    xml.push_str("</lib>");
+    let env = Env::memory();
+    let store = shred_document(&env, "j", &xml).unwrap();
+    let binds = Bindings::with_root(&store).unwrap();
+
+    let descendant_preds = || {
+        vec![
+            PhysPred {
+                op: CmpOp::Lt,
+                lhs: PhysOperand::Col { pos: 0, attr: Attr::In },
+                rhs: PhysOperand::Col { pos: 1, attr: Attr::In },
+                strict_text: false,
+            },
+            PhysPred {
+                op: CmpOp::Lt,
+                lhs: PhysOperand::Col { pos: 1, attr: Attr::Out },
+                rhs: PhysOperand::Col { pos: 0, attr: Attr::Out },
+                strict_text: false,
+            },
+        ]
+    };
+
+    let mut group = c.benchmark_group("structural_join");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("nlj", |b| {
+        b.iter(|| {
+            let ctx = ExecContext::new(&store, &binds);
+            let mut op = NestedLoopJoinOp::new(
+                Box::new(ScanOp::new(Probe::ByLabel("journal".into()), vec![])),
+                Box::new(ScanOp::new(Probe::ByLabel("name".into()), vec![])),
+                descendant_preds(),
+            );
+            execute_all(&mut op, &ctx).unwrap().len()
+        })
+    });
+    group.bench_function("inlj", |b| {
+        b.iter(|| {
+            let ctx = ExecContext::new(&store, &binds);
+            let mut op = IndexNestedLoopJoinOp::new(
+                Box::new(ScanOp::new(Probe::ByLabel("journal".into()), vec![])),
+                Probe::LabelDescendantsOf("name".into(), Src::Col(0)),
+                vec![],
+            );
+            execute_all(&mut op, &ctx).unwrap().len()
+        })
+    });
+    group.bench_function("bnlj", |b| {
+        b.iter(|| {
+            let ctx = ExecContext::new(&store, &binds);
+            let mut op = BlockNestedLoopJoinOp::new(
+                Box::new(ScanOp::new(Probe::ByLabel("journal".into()), vec![])),
+                Box::new(ScanOp::new(Probe::ByLabel("name".into()), vec![])),
+                descendant_preds(),
+                64,
+            );
+            execute_all(&mut op, &ctx).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_sort, bench_joins);
+criterion_main!(benches);

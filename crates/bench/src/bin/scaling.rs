@@ -1,0 +1,109 @@
+//! Scaling study: the course's motivating claim that the taught techniques
+//! speed up query evaluation "by several orders of magnitude". Runs the
+//! Example 6 query and the value-join efficiency query across document
+//! scales for three engines and prints time + speedup tables.
+//!
+//! ```text
+//! scaling [--scales 0.1,0.3,1.0] [--budget-secs S]
+//! ```
+
+use std::time::Duration;
+use xmldb_core::{Database, EngineKind, QueryOptions};
+use xmldb_datagen::DblpConfig;
+use xmldb_storage::EnvConfig;
+use xmldb_testbed::run_budgeted;
+
+const QUERIES: [(&str, &str); 2] = [
+    (
+        "example6",
+        "for $x in //article return \
+         if (some $v in $x/volume satisfies true()) \
+         then for $y in $x//author return $y else ()",
+    ),
+    (
+        "value-join",
+        "for $a in //author/text() return for $t in //text() return \
+         if ($a = $t) then <m/> else ()",
+    ),
+];
+
+const ENGINES: [EngineKind; 3] =
+    [EngineKind::M4CostBased, EngineKind::M2Storage, EngineKind::NaiveScan];
+
+fn main() {
+    let mut scales = vec![0.1f64, 0.3, 1.0];
+    let mut budget = Duration::from_secs(10);
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scales" => {
+                scales = args
+                    .next()
+                    .expect("--scales takes a comma-separated list")
+                    .split(',')
+                    .map(|s| s.parse().expect("numeric scale"))
+                    .collect();
+            }
+            "--budget-secs" => {
+                budget = Duration::from_secs_f64(
+                    args.next().expect("--budget-secs takes seconds").parse().expect("numeric"),
+                );
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for (qname, query) in QUERIES {
+        println!("\n=== {qname} ===");
+        print!("{:<10}{:>12}", "scale", "nodes");
+        for engine in ENGINES {
+            print!("{:>16}", engine.name());
+        }
+        println!("{:>12}", "speedup");
+        for &scale in &scales {
+            let db = Database::in_memory_with(EnvConfig::with_pool_bytes(8 << 20));
+            let xml = xmldb_datagen::generate_dblp(&DblpConfig::scaled(scale));
+            db.load_document("dblp", &xml).unwrap();
+            let nodes = db.store("dblp").unwrap().stats().node_count;
+            print!("{scale:<10}{nodes:>12}");
+            let mut times = Vec::new();
+            for engine in ENGINES {
+                let cell = run_budgeted(
+                    &db,
+                    "dblp",
+                    query,
+                    engine,
+                    &QueryOptions::default(),
+                    budget,
+                );
+                match cell {
+                    Some((Ok(_), elapsed)) => {
+                        times.push(Some(elapsed.as_secs_f64()));
+                        print!("{:>14.1} ms", elapsed.as_secs_f64() * 1e3);
+                    }
+                    Some((Err(e), _)) => {
+                        times.push(None);
+                        print!("{:>16}", format!("ERR {e}"));
+                    }
+                    None => {
+                        times.push(None);
+                        print!("{:>16}", "budget*");
+                    }
+                }
+            }
+            // Speedup of the optimized engine over the naive one.
+            match (times[0], times[2]) {
+                (Some(fast), Some(slow)) if fast > 0.0 => {
+                    print!("{:>11.0}×", slow / fast)
+                }
+                (Some(_), None) => print!("{:>11}", format!(">{:.0}×", budget.as_secs_f64())),
+                _ => print!("{:>12}", "—"),
+            }
+            println!();
+        }
+    }
+    println!("\n(*) exceeded the budget and was stopped.");
+}

@@ -1,0 +1,177 @@
+//! `saardb` — the command-line front end to the native XML-DBMS.
+//!
+//! ```text
+//! saardb --db <dir> load <name> <file.xml>     shred a document
+//! saardb --db <dir> replace <name> <file.xml>  reshred (simple update)
+//! saardb --db <dir> drop <name>                remove a document
+//! saardb --db <dir> ls                         list documents
+//! saardb --db <dir> stats <name>               document statistics
+//! saardb --db <dir> dump <name>                serialize a document back to XML
+//! saardb --db <dir> query <name> <xq>          evaluate a query
+//! saardb --db <dir> explain <name> <xq>        show TPM + physical plan
+//!
+//! options: --engine m1|naive|m2|m3|m4|m4p   (default m4)
+//!          --pool-mb <n>                    buffer-pool budget (default 16)
+//! ```
+
+use std::process::ExitCode;
+use xmldb_core::{Database, EngineKind};
+use xmldb_storage::EnvConfig;
+
+struct Args {
+    db_dir: String,
+    engine: EngineKind,
+    pool_mb: usize,
+    command: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: saardb --db <dir> [--engine m1|naive|m2|m3|m4|m4p] [--pool-mb N] <command>\n\
+         commands: load <name> <file.xml> | replace <name> <file.xml> | drop <name> |\n\
+         \x20         ls | stats <name> | dump <name> | query <name> <xq> | explain <name> <xq>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut db_dir = None;
+    let mut engine = EngineKind::M4CostBased;
+    let mut pool_mb = 16usize;
+    let mut command = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--db" => db_dir = Some(args.next().ok_or_else(usage)?),
+            "--engine" => {
+                engine = match args.next().as_deref() {
+                    Some("m1") => EngineKind::M1InMemory,
+                    Some("naive") => EngineKind::NaiveScan,
+                    Some("m2") => EngineKind::M2Storage,
+                    Some("m3") => EngineKind::M3Algebraic,
+                    Some("m4") => EngineKind::M4CostBased,
+                    Some("m4p") => EngineKind::M4Pipelined,
+                    _ => return Err(usage()),
+                }
+            }
+            "--pool-mb" => {
+                pool_mb = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(usage)?
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                command.push(other.to_string());
+                command.extend(args.by_ref());
+            }
+        }
+    }
+    let Some(db_dir) = db_dir else { return Err(usage()) };
+    if command.is_empty() {
+        return Err(usage());
+    }
+    Ok(Args { db_dir, engine, pool_mb, command })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let config = EnvConfig::with_pool_bytes(args.pool_mb << 20);
+    let db = match Database::open_dir(&args.db_dir, config) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot open database at {}: {e}", args.db_dir);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run(&db, &args);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let cmd: Vec<&str> = args.command.iter().map(String::as_str).collect();
+    match cmd.as_slice() {
+        ["load", name, file] => {
+            let started = std::time::Instant::now();
+            db.load_document_from_path(name, file)?;
+            db.flush()?;
+            let stats = db.store(name)?.stats().clone();
+            eprintln!(
+                "loaded {name}: {} nodes in {:.1} ms",
+                stats.node_count,
+                started.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        ["replace", name, file] => {
+            let xml = std::fs::read_to_string(file)?;
+            db.replace_document(name, &xml)?;
+            db.flush()?;
+            eprintln!("replaced {name}");
+        }
+        ["drop", name] => {
+            db.drop_document(name)?;
+            eprintln!("dropped {name}");
+        }
+        ["ls"] => {
+            for doc in db.documents()? {
+                let stats = db.store(&doc)?.stats().clone();
+                println!(
+                    "{doc}\t{} nodes\t{} elements\tdepth {:.1}",
+                    stats.node_count,
+                    stats.element_count,
+                    stats.avg_depth()
+                );
+            }
+        }
+        ["stats", name] => {
+            let store = db.store(name)?;
+            let stats = store.stats();
+            println!("document:            {name}");
+            println!("nodes:               {}", stats.node_count);
+            println!("elements:            {}", stats.element_count);
+            println!("text nodes:          {}", stats.text_count);
+            println!("distinct text values:{}", stats.distinct_text_values);
+            println!("avg depth:           {:.2}", stats.avg_depth());
+            println!("max depth:           {}", stats.max_depth);
+            println!("text bytes:          {}", stats.text_bytes);
+            println!("clustered pages:     {}", store.clustered_pages());
+            println!("label-index pages:   {}", store.label_index_pages());
+            println!("parent-index pages:  {}", store.parent_index_pages());
+            println!("text-index pages:    {}", store.text_index_pages());
+            println!("labels ({}):", stats.distinct_labels());
+            for (label, count) in &stats.label_counts {
+                println!("  {label:<24}{count}");
+            }
+        }
+        ["dump", name] => {
+            println!("{}", db.document_xml(name)?);
+        }
+        ["query", name, query] => {
+            let started = std::time::Instant::now();
+            let result = db.query(name, query, args.engine)?;
+            println!("{result}");
+            eprintln!(
+                "-- {} item(s) in {:.2} ms [{}]",
+                result.len(),
+                started.elapsed().as_secs_f64() * 1e3,
+                args.engine
+            );
+        }
+        ["explain", name, query] => {
+            print!("{}", db.explain(name, query, args.engine)?);
+        }
+        _ => {
+            return Err("unknown command; run with --help".into());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,303 @@
+//! The `Database` facade: a storage environment holding named shredded
+//! documents, queried through any of the milestone engines.
+
+use crate::engine::{self, EngineKind, QueryOptions};
+use crate::{Error, QueryResult, Result};
+use xmldb_storage::{Env, EnvConfig, HeapFile};
+use xmldb_xasr::{shred_document, XasrStore};
+
+/// Name of the catalog file listing loaded documents.
+const CATALOG: &str = "__catalog";
+
+/// A saardb database: an environment plus a document catalog. Cloning
+/// yields another handle onto the same environment (the testbed runs
+/// queries on worker threads against cloned handles).
+///
+/// ```
+/// use xmldb_core::{Database, EngineKind};
+/// let db = Database::in_memory();
+/// db.load_document("doc", "<a><b>x</b></a>").unwrap();
+/// let r = db.query("doc", "//b", EngineKind::M1InMemory).unwrap();
+/// assert_eq!(r.to_xml(), "<b>x</b>");
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    env: Env,
+}
+
+impl Database {
+    /// An in-memory database (tests, examples).
+    pub fn in_memory() -> Database {
+        Database { env: Env::memory() }
+    }
+
+    /// An in-memory database with an explicit storage configuration (page
+    /// size, buffer-pool budget — the efficiency tests' 20 MB knob).
+    pub fn in_memory_with(config: EnvConfig) -> Database {
+        Database { env: Env::memory_with(config) }
+    }
+
+    /// Opens (creating if needed) an on-disk database.
+    pub fn open_dir(path: impl Into<std::path::PathBuf>, config: EnvConfig) -> Result<Database> {
+        Ok(Database { env: Env::open_dir(path, config)? })
+    }
+
+    /// The underlying storage environment.
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Loads (shreds) an XML document under `name`.
+    pub fn load_document(&self, name: &str, xml: &str) -> Result<()> {
+        if XasrStore::exists(&self.env, name) {
+            return Err(Error::DocumentExists(name.to_string()));
+        }
+        shred_document(&self.env, name, xml)?;
+        self.catalog_add(name)?;
+        Ok(())
+    }
+
+    /// Loads a document from a file on disk.
+    pub fn load_document_from_path(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<()> {
+        let xml = std::fs::read_to_string(path)
+            .map_err(|e| Error::Storage(xmldb_storage::StorageError::from(e)))?;
+        self.load_document(name, &xml)
+    }
+
+    /// Replaces a document wholesale — the paper's "keep updates as simple
+    /// as possible": no in-place node edits or relabeling, just reshred.
+    pub fn replace_document(&self, name: &str, xml: &str) -> Result<()> {
+        if XasrStore::exists(&self.env, name) {
+            XasrStore::drop_document(&self.env, name)?;
+        }
+        shred_document(&self.env, name, xml)?;
+        self.catalog_add(name)?;
+        Ok(())
+    }
+
+    /// Removes a document and its indexes.
+    pub fn drop_document(&self, name: &str) -> Result<()> {
+        if !XasrStore::exists(&self.env, name) {
+            return Err(Error::NoSuchDocument(name.to_string()));
+        }
+        XasrStore::drop_document(&self.env, name)?;
+        Ok(())
+    }
+
+    /// True if a document named `name` is loaded.
+    pub fn has_document(&self, name: &str) -> bool {
+        XasrStore::exists(&self.env, name)
+    }
+
+    /// Names of loaded documents (catalog order, duplicates and dropped
+    /// entries pruned).
+    pub fn documents(&self) -> Result<Vec<String>> {
+        if !self.env.file_exists(CATALOG) {
+            return Ok(Vec::new());
+        }
+        let heap = HeapFile::open(&self.env, CATALOG)?;
+        let mut names = Vec::new();
+        for rec in heap.scan() {
+            let rec = rec?;
+            let name = String::from_utf8_lossy(&rec).into_owned();
+            if !names.contains(&name) && XasrStore::exists(&self.env, &name) {
+                names.push(name);
+            }
+        }
+        Ok(names)
+    }
+
+    fn catalog_add(&self, name: &str) -> Result<()> {
+        let mut heap = if self.env.file_exists(CATALOG) {
+            HeapFile::open(&self.env, CATALOG)?
+        } else {
+            HeapFile::create(&self.env, CATALOG)?
+        };
+        heap.append(name.as_bytes())?;
+        Ok(())
+    }
+
+    /// Serializes a whole stored document back to XML text (export; the
+    /// XASR encoding is lossless for the root/element/text data model).
+    pub fn document_xml(&self, name: &str) -> Result<String> {
+        Ok(self.store(name)?.serialize_subtree(1)?)
+    }
+
+    /// Opens the XASR store for a document.
+    pub fn store(&self, name: &str) -> Result<XasrStore> {
+        if !XasrStore::exists(&self.env, name) {
+            return Err(Error::NoSuchDocument(name.to_string()));
+        }
+        Ok(XasrStore::open(&self.env, name)?)
+    }
+
+    /// Parses and evaluates a query with the chosen engine.
+    pub fn query(&self, doc: &str, query: &str, engine: EngineKind) -> Result<QueryResult> {
+        self.query_with(doc, query, engine, &QueryOptions::default())
+    }
+
+    /// [`Self::query`] with per-query options (e.g. corrupted statistics).
+    pub fn query_with(
+        &self,
+        doc: &str,
+        query: &str,
+        engine: EngineKind,
+        options: &QueryOptions,
+    ) -> Result<QueryResult> {
+        let expr = xmldb_xq::parse(query)?;
+        let store = self.store(doc)?;
+        engine::evaluate(&store, &expr, engine, options)
+    }
+
+    /// EXPLAIN: the merged TPM and physical plans for `query` under
+    /// `engine`.
+    pub fn explain(&self, doc: &str, query: &str, engine: EngineKind) -> Result<String> {
+        self.explain_with(doc, query, engine, &QueryOptions::default())
+    }
+
+    /// [`Self::explain`] with per-query options.
+    pub fn explain_with(
+        &self,
+        doc: &str,
+        query: &str,
+        engine: EngineKind,
+        options: &QueryOptions,
+    ) -> Result<String> {
+        let expr = xmldb_xq::parse(query)?;
+        let store = self.store(doc)?;
+        engine::explain(&store, &expr, engine, options)
+    }
+
+    /// Persists all dirty state.
+    pub fn flush(&self) -> Result<()> {
+        self.env.flush()?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database").field("env", &self.env).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE2: &str =
+        "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+
+    #[test]
+    fn load_query_all_engines_agree() {
+        let db = Database::in_memory();
+        db.load_document("f", FIGURE2).unwrap();
+        let q = "<names>{ for $j in /journal return for $n in $j//name return $n }</names>";
+        let reference = db.query("f", q, EngineKind::M1InMemory).unwrap();
+        for engine in EngineKind::ALL {
+            let got = db.query("f", q, engine).unwrap();
+            assert_eq!(got, reference, "engine {engine} diverges");
+        }
+        assert_eq!(reference.to_xml(), "<names><name>Ana</name><name>Bob</name></names>");
+    }
+
+    #[test]
+    fn duplicate_load_rejected() {
+        let db = Database::in_memory();
+        db.load_document("x", "<a/>").unwrap();
+        assert!(matches!(db.load_document("x", "<b/>"), Err(Error::DocumentExists(_))));
+    }
+
+    #[test]
+    fn missing_document_rejected() {
+        let db = Database::in_memory();
+        assert!(matches!(
+            db.query("nope", "/a", EngineKind::M1InMemory),
+            Err(Error::NoSuchDocument(_))
+        ));
+    }
+
+    #[test]
+    fn catalog_lists_documents() {
+        let db = Database::in_memory();
+        db.load_document("a", "<x/>").unwrap();
+        db.load_document("b", "<y/>").unwrap();
+        assert_eq!(db.documents().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        db.drop_document("a").unwrap();
+        assert_eq!(db.documents().unwrap(), vec!["b".to_string()]);
+        assert!(!db.has_document("a"));
+    }
+
+    #[test]
+    fn syntax_errors_surface() {
+        let db = Database::in_memory();
+        db.load_document("d", "<a/>").unwrap();
+        assert!(matches!(
+            db.query("d", "for $x in", EngineKind::M1InMemory),
+            Err(Error::Query(_))
+        ));
+        assert!(matches!(db.load_document("bad", "<a>"), Err(Error::Xml(_))));
+    }
+
+    #[test]
+    fn persistent_database_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("saardb-db-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open_dir(&dir, EnvConfig::default()).unwrap();
+            db.load_document("f", FIGURE2).unwrap();
+            db.flush().unwrap();
+        }
+        {
+            let db = Database::open_dir(&dir, EnvConfig::default()).unwrap();
+            assert_eq!(db.documents().unwrap(), vec!["f".to_string()]);
+            let r = db.query("f", "//name", EngineKind::M4CostBased).unwrap();
+            assert_eq!(r.to_xml(), "<name>Ana</name><name>Bob</name>");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn document_export_roundtrips() {
+        let db = Database::in_memory();
+        db.load_document("f", FIGURE2).unwrap();
+        assert_eq!(db.document_xml("f").unwrap(), FIGURE2);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let db = Database::in_memory();
+        db.load_document("f", FIGURE2).unwrap();
+        let expected = db.query("f", "//name", EngineKind::M4CostBased).unwrap().to_xml();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let db = db.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let engine = EngineKind::ALL[i % EngineKind::ALL.len()];
+                    for _ in 0..20 {
+                        let got = db.query("f", "//name", engine).unwrap();
+                        assert_eq!(got.to_xml(), expected);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("query thread panicked");
+        }
+    }
+
+    #[test]
+    fn explain_output() {
+        let db = Database::in_memory();
+        db.load_document("f", FIGURE2).unwrap();
+        let text = db.explain("f", "//name", EngineKind::M4CostBased).unwrap();
+        assert!(text.contains("relfor"));
+        let text = db.explain("f", "//name", EngineKind::M2Storage).unwrap();
+        assert!(text.contains("interpreter"));
+    }
+}

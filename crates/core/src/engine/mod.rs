@@ -1,0 +1,150 @@
+//! The four milestone engines (plus the naive-scan baseline).
+
+pub mod interp;
+pub mod m1;
+pub mod tpm_exec;
+
+use crate::{QueryResult, Result};
+use xmldb_optimizer::PlannerConfig;
+use xmldb_xasr::{Statistics, XasrStore};
+use xmldb_xq::Expr;
+
+/// Which engine evaluates a query. See crate docs for the milestone
+/// mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Milestone 1: in-memory DOM interpreter (the correctness oracle).
+    M1InMemory,
+    /// The unoptimized baseline: storage interpreter, every axis step a
+    /// full clustered scan.
+    NaiveScan,
+    /// Milestone 2: storage interpreter with per-binding index lookups.
+    M2Storage,
+    /// Milestone 3: TPM algebra with heuristic optimization.
+    M3Algebraic,
+    /// Milestone 4: cost-based optimization and index joins.
+    M4CostBased,
+    /// Milestone 4 with the bonus-point pipelining feature: nested-loops
+    /// rights re-execute their scans instead of spilling to scratch files
+    /// ("industrious students were rewarded with bonus points if they
+    /// implemented either pipelining or cost-based join reordering").
+    M4Pipelined,
+}
+
+impl EngineKind {
+    /// All engines, mild to wild.
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::M1InMemory,
+        EngineKind::NaiveScan,
+        EngineKind::M2Storage,
+        EngineKind::M3Algebraic,
+        EngineKind::M4CostBased,
+        EngineKind::M4Pipelined,
+    ];
+
+    /// Short stable name (testbed reports, benchmark tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::M1InMemory => "m1-inmemory",
+            EngineKind::NaiveScan => "naive-scan",
+            EngineKind::M2Storage => "m2-storage",
+            EngineKind::M3Algebraic => "m3-algebraic",
+            EngineKind::M4CostBased => "m4-costbased",
+            EngineKind::M4Pipelined => "m4-pipelined",
+        }
+    }
+
+    /// The logical rewrites each algebraic engine applies: milestone 3 has
+    /// the merging rules; the milestone-4 engines add the left-outer-join
+    /// constructor extension.
+    pub(crate) fn rewrite_options(self) -> xmldb_algebra::rewrite::RewriteOptions {
+        use xmldb_algebra::rewrite::RewriteOptions;
+        match self {
+            EngineKind::M4CostBased | EngineKind::M4Pipelined => RewriteOptions::extended(),
+            _ => RewriteOptions::default(),
+        }
+    }
+
+    /// The planner configuration for the algebraic engines.
+    pub(crate) fn planner_config(self) -> Option<PlannerConfig> {
+        match self {
+            EngineKind::M3Algebraic => Some(PlannerConfig::heuristic()),
+            EngineKind::M4CostBased => Some(PlannerConfig::cost_based()),
+            EngineKind::M4Pipelined => {
+                Some(PlannerConfig { materialize_right: false, ..PlannerConfig::cost_based() })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-query knobs.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Replace the document's statistics for cost estimation — the
+    /// Figure 7 engine-2 configuration ("due to unlucky estimates, the
+    /// second engine decided for an unoptimal query plan").
+    pub stats_override: Option<Statistics>,
+}
+
+/// Evaluates a parsed query over a shredded document with the chosen
+/// engine.
+pub fn evaluate(
+    store: &XasrStore,
+    query: &Expr,
+    engine: EngineKind,
+    options: &QueryOptions,
+) -> Result<QueryResult> {
+    match engine {
+        EngineKind::M1InMemory => {
+            // Milestone 1 works on the DOM; materialize the document.
+            let doc = store.reconstruct(1)?;
+            m1::evaluate(&doc, query)
+        }
+        EngineKind::NaiveScan => interp::evaluate(store, query, interp::AccessMode::FullScan),
+        EngineKind::M2Storage => interp::evaluate(store, query, interp::AccessMode::Indexed),
+        algebraic => {
+            let config = algebraic.planner_config().expect("algebraic engines have configs");
+            tpm_exec::evaluate_with_rewrites(
+                store,
+                query,
+                &algebraic.rewrite_options(),
+                &config,
+                options,
+            )
+        }
+    }
+}
+
+/// Renders the TPM expression and per-relfor physical plans for a query
+/// under the given engine (EXPLAIN). Interpreter engines have no plans; the
+/// rendering says so.
+pub fn explain(
+    store: &XasrStore,
+    query: &Expr,
+    engine: EngineKind,
+    options: &QueryOptions,
+) -> Result<String> {
+    match engine {
+        EngineKind::M1InMemory | EngineKind::NaiveScan | EngineKind::M2Storage => Ok(format!(
+            "engine {} is an interpreter (no algebraic plan)\n",
+            engine.name()
+        )),
+        algebraic => {
+            let config = algebraic.planner_config().expect("algebraic engines have configs");
+            tpm_exec::explain_with_rewrites(
+                store,
+                query,
+                &algebraic.rewrite_options(),
+                &config,
+                options,
+            )
+        }
+    }
+}

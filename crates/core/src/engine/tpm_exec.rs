@@ -1,0 +1,424 @@
+//! The algebraic engines (milestones 3 and 4): compile to TPM, plan each
+//! relfor's PSX, execute.
+//!
+//! A query compiles once into a `Prog` — the TPM tree with a physical
+//! [`Plan`] attached to every relfor. Execution walks the tree; each relfor
+//! instantiates its plan per binding environment, exactly the semantics of
+//!
+//! ```text
+//! [[relfor (x̄) in α return β]](t̄) := ⊎ [[β]](t̄, in⁻¹(ā)) for ā ∈ [[α]](t̄)
+//! ```
+
+use crate::engine::interp;
+use crate::engine::QueryOptions;
+use crate::{Error, QueryResult, Result};
+use std::collections::HashMap;
+use xmldb_algebra::rewrite::{optimize, RewriteOptions};
+use xmldb_algebra::{compile_query, Tpm};
+use xmldb_optimizer::{plan_psx, CostModel, Plan, PlannerConfig};
+use xmldb_physical::Error as ExecError;
+use xmldb_physical::{Bindings, ExecContext};
+use xmldb_xasr::{NodeTuple, XasrStore};
+use xmldb_xml::{Document, NodeId};
+use xmldb_xq::{Cond, Expr, Var};
+
+/// Evaluates `query` with the TPM pipeline under `config`.
+pub fn evaluate(
+    store: &XasrStore,
+    query: &Expr,
+    config: &PlannerConfig,
+    options: &QueryOptions,
+) -> Result<QueryResult> {
+    evaluate_with_rewrites(store, query, &RewriteOptions::default(), config, options)
+}
+
+/// [`evaluate`] with explicit logical-rewrite options — the ablation hook:
+/// disabling relfor merging or redundant-relation elimination shows what
+/// each milestone-3 rewrite buys.
+pub fn evaluate_with_rewrites(
+    store: &XasrStore,
+    query: &Expr,
+    rewrites: &RewriteOptions,
+    config: &PlannerConfig,
+    options: &QueryOptions,
+) -> Result<QueryResult> {
+    let program = compile_program(store, query, rewrites, config, options);
+    execute_program(&program, store)
+}
+
+/// An opaque, fully planned query (the prepared-query payload): the TPM
+/// tree with a physical plan attached to every relfor.
+pub struct CompiledProgram {
+    prog: Prog,
+}
+
+/// Compiles and plans a query once; the result can be executed repeatedly
+/// via [`execute_program`].
+pub fn compile_program(
+    store: &XasrStore,
+    query: &Expr,
+    rewrites: &RewriteOptions,
+    config: &PlannerConfig,
+    options: &QueryOptions,
+) -> CompiledProgram {
+    let tpm = optimize(compile_query(query), rewrites);
+    CompiledProgram { prog: plan_tpm(&tpm, &model_for(store, options), config) }
+}
+
+/// Executes a previously compiled program against `store`.
+pub fn execute_program(program: &CompiledProgram, store: &XasrStore) -> Result<QueryResult> {
+    let mut out = Document::new();
+    let out_root = out.root();
+    let mut env: HashMap<Var, NodeTuple> = HashMap::new();
+    env.insert(Var::root(), store.root()?);
+    exec(&program.prog, store, &mut env, &mut out, out_root)?;
+    Ok(QueryResult::new(out))
+}
+
+/// EXPLAIN: the optimized TPM expression plus each relfor's physical plan.
+pub fn explain(
+    store: &XasrStore,
+    query: &Expr,
+    config: &PlannerConfig,
+    options: &QueryOptions,
+) -> Result<String> {
+    explain_with_rewrites(store, query, &RewriteOptions::default(), config, options)
+}
+
+/// [`explain`] with explicit logical-rewrite options.
+pub fn explain_with_rewrites(
+    store: &XasrStore,
+    query: &Expr,
+    rewrites: &RewriteOptions,
+    config: &PlannerConfig,
+    options: &QueryOptions,
+) -> Result<String> {
+    let tpm = optimize(compile_query(query), rewrites);
+    let prog = plan_tpm(&tpm, &model_for(store, options), config);
+    let mut out = String::new();
+    out.push_str("=== TPM (merged) ===\n");
+    out.push_str(&tpm.render());
+    out.push_str("=== physical plans ===\n");
+    render_prog(&prog, 0, &mut out);
+    Ok(out)
+}
+
+fn model_for(store: &XasrStore, options: &QueryOptions) -> CostModel {
+    match &options.stats_override {
+        Some(stats) => CostModel::new(
+            stats.clone(),
+            store.clustered_pages(),
+            store.label_index_pages(),
+            store.parent_index_pages(),
+            store.env().page_size(),
+        ),
+        None => CostModel::from_store(store),
+    }
+}
+
+/// The TPM tree with physical plans attached to relfors.
+enum Prog {
+    Empty,
+    Text(String),
+    Concat(Vec<Prog>),
+    Constr { label: String, content: Box<Prog> },
+    VarOut(Var),
+    RelFor { vars: Vec<Var>, plan: Plan, body: Box<Prog> },
+    /// The left-outer-join extension: one plan streams (outer ⟕ inner)
+    /// rows; execution groups them by the outer prefix, emitting one
+    /// `label` element per outer binding (empty for NULL-padded rows).
+    RelForOuter {
+        outer_vars: Vec<Var>,
+        inner_var: Var,
+        label: String,
+        plan: Plan,
+        body: Box<Prog>,
+    },
+    IfFallback { cond: Cond, body: Box<Prog> },
+}
+
+fn plan_tpm(tpm: &Tpm, model: &CostModel, config: &PlannerConfig) -> Prog {
+    match tpm {
+        Tpm::Empty => Prog::Empty,
+        Tpm::Text(t) => Prog::Text(t.clone()),
+        Tpm::Concat(parts) => {
+            Prog::Concat(parts.iter().map(|p| plan_tpm(p, model, config)).collect())
+        }
+        Tpm::Constr { label, content } => Prog::Constr {
+            label: label.clone(),
+            content: Box::new(plan_tpm(content, model, config)),
+        },
+        Tpm::VarOut(v) => Prog::VarOut(v.clone()),
+        Tpm::RelFor { vars, source, body } => Prog::RelFor {
+            vars: vars.clone(),
+            plan: plan_psx(source, model, config),
+            body: Box::new(plan_tpm(body, model, config)),
+        },
+        Tpm::RelForOuter { outer_vars, outer_source, label, inner_var, inner_source, body } => {
+            Prog::RelForOuter {
+                outer_vars: outer_vars.clone(),
+                inner_var: inner_var.clone(),
+                label: label.clone(),
+                plan: xmldb_optimizer::plan_outer_join(outer_source, inner_source, model, config),
+                body: Box::new(plan_tpm(body, model, config)),
+            }
+        }
+        Tpm::IfFallback { cond, body } => Prog::IfFallback {
+            cond: cond.clone(),
+            body: Box::new(plan_tpm(body, model, config)),
+        },
+    }
+}
+
+fn render_prog(prog: &Prog, level: usize, out: &mut String) {
+    let pad = "  ".repeat(level);
+    match prog {
+        Prog::Empty => out.push_str(&format!("{pad}()\n")),
+        Prog::Text(t) => out.push_str(&format!("{pad}text({t:?})\n")),
+        Prog::Concat(parts) => {
+            out.push_str(&format!("{pad}concat\n"));
+            for p in parts {
+                render_prog(p, level + 1, out);
+            }
+        }
+        Prog::Constr { label, content } => {
+            out.push_str(&format!("{pad}constr({label})\n"));
+            render_prog(content, level + 1, out);
+        }
+        Prog::VarOut(v) => out.push_str(&format!("{pad}emit {v}\n")),
+        Prog::RelFor { vars, plan, body } => {
+            let vartuple = vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+            out.push_str(&format!("{pad}relfor ({vartuple}):\n"));
+            for line in plan.explain().lines() {
+                out.push_str(&format!("{pad}  | {line}\n"));
+            }
+            render_prog(body, level + 1, out);
+        }
+        Prog::RelForOuter { outer_vars, inner_var, label, plan, body } => {
+            let vartuple =
+                outer_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+            out.push_str(&format!(
+                "{pad}relfor-outer ({vartuple}; {inner_var}) constr({label}):\n"
+            ));
+            for line in plan.explain().lines() {
+                out.push_str(&format!("{pad}  | {line}\n"));
+            }
+            render_prog(body, level + 1, out);
+        }
+        Prog::IfFallback { cond, body } => {
+            out.push_str(&format!("{pad}if* [{cond}] (interpreted)\n"));
+            render_prog(body, level + 1, out);
+        }
+    }
+}
+
+fn exec(
+    prog: &Prog,
+    store: &XasrStore,
+    env: &mut HashMap<Var, NodeTuple>,
+    out: &mut Document,
+    parent: NodeId,
+) -> Result<()> {
+    match prog {
+        Prog::Empty => Ok(()),
+        Prog::Text(t) => {
+            out.add_text(parent, t);
+            Ok(())
+        }
+        Prog::Concat(parts) => {
+            for p in parts {
+                exec(p, store, env, out, parent)?;
+            }
+            Ok(())
+        }
+        Prog::Constr { label, content } => {
+            let id = out.add_element(parent, label.clone());
+            exec(content, store, env, out, id)
+        }
+        Prog::VarOut(v) => {
+            let tuple = env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| Error::Exec(ExecError::UnboundVariable(v.to_string())))?;
+            emit_subtree(store, &tuple, out, parent)
+        }
+        Prog::RelFor { vars, plan, body } => {
+            // External variables become constants of this plan execution.
+            let mut bindings = Bindings::new();
+            for (var, tuple) in env.iter() {
+                bindings.bind(var.clone(), tuple.clone());
+            }
+            let ctx = ExecContext::new(store, &bindings);
+            let mut op = plan.instantiate();
+            op.open(&ctx)?;
+            // Save shadowed bindings for restoration.
+            let saved: Vec<(Var, Option<NodeTuple>)> =
+                vars.iter().map(|v| (v.clone(), env.get(v).cloned())).collect();
+            let result = (|| -> Result<()> {
+                while let Some(row) = op.next(&ctx)? {
+                    debug_assert_eq!(row.len(), vars.len());
+                    for (i, var) in vars.iter().enumerate() {
+                        env.insert(var.clone(), row[i].clone());
+                    }
+                    exec(body, store, env, out, parent)?;
+                }
+                Ok(())
+            })();
+            op.close();
+            for (var, old) in saved {
+                match old {
+                    Some(t) => env.insert(var, t),
+                    None => env.remove(&var),
+                };
+            }
+            result
+        }
+        Prog::RelForOuter { outer_vars, inner_var, label, plan, body } => {
+            let mut bindings = Bindings::new();
+            for (var, tuple) in env.iter() {
+                bindings.bind(var.clone(), tuple.clone());
+            }
+            let ctx = ExecContext::new(store, &bindings);
+            let mut op = plan.instantiate();
+            op.open(&ctx)?;
+            let saved: Vec<(Var, Option<NodeTuple>)> = outer_vars
+                .iter()
+                .chain(std::iter::once(inner_var))
+                .map(|v| (v.clone(), env.get(v).cloned()))
+                .collect();
+            let k = outer_vars.len();
+            let mut current_group: Option<(Vec<u64>, NodeId)> = None;
+            let result = (|| -> Result<()> {
+                while let Some(row) = op.next(&ctx)? {
+                    debug_assert_eq!(row.len(), k + 1);
+                    let key: Vec<u64> = row[..k].iter().map(|t| t.in_).collect();
+                    let element = match &current_group {
+                        Some((group_key, element)) if *group_key == key => *element,
+                        _ => {
+                            let element = out.add_element(parent, label.clone());
+                            current_group = Some((key, element));
+                            element
+                        }
+                    };
+                    if row[k].is_null() {
+                        // Match-less outer binding: the (empty) element was
+                        // created above; nothing to evaluate inside it.
+                        continue;
+                    }
+                    for (i, var) in outer_vars.iter().enumerate() {
+                        env.insert(var.clone(), row[i].clone());
+                    }
+                    env.insert(inner_var.clone(), row[k].clone());
+                    exec(body, store, env, out, element)?;
+                }
+                Ok(())
+            })();
+            op.close();
+            for (var, old) in saved {
+                match old {
+                    Some(t) => env.insert(var, t),
+                    None => env.remove(&var),
+                };
+            }
+            result
+        }
+        Prog::IfFallback { cond, body } => {
+            if interp::eval_cond_indexed(store, cond, env)? {
+                exec(body, store, env, out, parent)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn emit_subtree(
+    store: &XasrStore,
+    tuple: &NodeTuple,
+    out: &mut Document,
+    parent: NodeId,
+) -> Result<()> {
+    let fragment = store.reconstruct(tuple.in_)?;
+    let root = fragment.root();
+    for &child in fragment.children(root) {
+        out.copy_subtree(parent, &fragment, child);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb_storage::Env;
+    use xmldb_xasr::shred_document;
+
+    const FIGURE2: &str =
+        "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+
+    fn run(query: &str, config: &PlannerConfig) -> String {
+        let env = Env::memory();
+        let store = shred_document(&env, "d", FIGURE2).unwrap();
+        let q = xmldb_xq::parse(query).unwrap();
+        evaluate(&store, &q, config, &QueryOptions::default()).unwrap().to_xml()
+    }
+
+    #[test]
+    fn example2_both_planners() {
+        let q = "<names>{ for $j in /journal return for $n in $j//name return $n }</names>";
+        let expected = "<names><name>Ana</name><name>Bob</name></names>";
+        assert_eq!(run(q, &PlannerConfig::heuristic()), expected);
+        assert_eq!(run(q, &PlannerConfig::cost_based()), expected);
+    }
+
+    #[test]
+    fn example5_if_some() {
+        let q = "<names>{ for $j in /journal return \
+                 if (some $t in $j//text() satisfies true()) \
+                 then for $n in $j//name return $n else () }</names>";
+        let expected = "<names><name>Ana</name><name>Bob</name></names>";
+        assert_eq!(run(q, &PlannerConfig::cost_based()), expected);
+        assert_eq!(run(q, &PlannerConfig::heuristic()), expected);
+    }
+
+    #[test]
+    fn constructor_between_loops_not_merged_but_correct() {
+        let q = "<names>{ for $j in /journal return <j>{ for $n in $j//name return $n }</j> }</names>";
+        let expected = "<names><j><name>Ana</name><name>Bob</name></j></names>";
+        assert_eq!(run(q, &PlannerConfig::cost_based()), expected);
+    }
+
+    #[test]
+    fn fallback_condition_or() {
+        let q = "for $j in /journal return \
+                 if (some $t in $j//text() satisfies ($t = \"Ana\" or $t = \"Zoe\")) \
+                 then <found/> else ()";
+        assert_eq!(run(q, &PlannerConfig::cost_based()), "<found/>");
+    }
+
+    #[test]
+    fn explain_contains_tpm_and_plans() {
+        let env = Env::memory();
+        let store = shred_document(&env, "d", FIGURE2).unwrap();
+        let q = xmldb_xq::parse(
+            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
+        )
+        .unwrap();
+        let text = explain(&store, &q, &PlannerConfig::cost_based(), &QueryOptions::default())
+            .unwrap();
+        assert!(text.contains("=== TPM (merged) ==="), "{text}");
+        assert!(text.contains("relfor ($j, $n)"), "{text}");
+        assert!(text.contains("=== physical plans ==="), "{text}");
+        assert!(text.contains("project"), "{text}");
+    }
+
+    #[test]
+    fn stats_override_still_correct() {
+        let env = Env::memory();
+        let store = shred_document(&env, "d", FIGURE2).unwrap();
+        let q = xmldb_xq::parse("for $n in //name return $n").unwrap();
+        let mut lying = store.stats().clone();
+        lying.label_counts.insert("name".into(), 1_000_000);
+        let opts = QueryOptions { stats_override: Some(lying) };
+        let out = evaluate(&store, &q, &PlannerConfig::cost_based(), &opts).unwrap();
+        assert_eq!(out.to_xml(), "<name>Ana</name><name>Bob</name>");
+    }
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Top-level saardb error.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// XML parse failure while loading a document.
+    Xml(xmldb_xml::XmlError),
+    /// XQ syntax/validation failure.
+    Query(xmldb_xq::ParseError),
+    /// Storage-manager failure.
+    Storage(xmldb_storage::StorageError),
+    /// XASR layer failure.
+    Xasr(xmldb_xasr::Error),
+    /// Runtime evaluation failure (including the paper's non-text
+    /// comparison error).
+    Exec(xmldb_physical::Error),
+    /// A document name that does not exist.
+    NoSuchDocument(String),
+    /// A document name already in use.
+    DocumentExists(String),
+}
+
+impl From<xmldb_xml::XmlError> for Error {
+    fn from(e: xmldb_xml::XmlError) -> Self {
+        Error::Xml(e)
+    }
+}
+
+impl From<xmldb_xq::ParseError> for Error {
+    fn from(e: xmldb_xq::ParseError) -> Self {
+        Error::Query(e)
+    }
+}
+
+impl From<xmldb_storage::StorageError> for Error {
+    fn from(e: xmldb_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<xmldb_xasr::Error> for Error {
+    fn from(e: xmldb_xasr::Error) -> Self {
+        // Unwrap the causes users care about (parse errors during loading,
+        // storage failures) to their own variants.
+        match e {
+            xmldb_xasr::Error::Xml(x) => Error::Xml(x),
+            xmldb_xasr::Error::Storage(s) => Error::Storage(s),
+            other => Error::Xasr(other),
+        }
+    }
+}
+
+impl From<xmldb_physical::Error> for Error {
+    fn from(e: xmldb_physical::Error) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl Error {
+    /// True for the XQ runtime error "comparison on a non-text node".
+    pub fn is_non_text_comparison(&self) -> bool {
+        matches!(self, Error::Exec(xmldb_physical::Error::NonTextComparison { .. }))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "XML error: {e}"),
+            Error::Query(e) => write!(f, "query error: {e}"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Xasr(e) => write!(f, "XASR error: {e}"),
+            Error::Exec(e) => write!(f, "execution error: {e}"),
+            Error::NoSuchDocument(name) => write!(f, "no such document: {name}"),
+            Error::DocumentExists(name) => write!(f, "document already exists: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Xml(e) => Some(e),
+            Error::Query(e) => Some(e),
+            Error::Storage(e) => Some(e),
+            Error::Xasr(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! saardb — a native XML-DBMS, reproducing the system built in the
+//! Saarbrücken database-systems course (Koch, Olteanu, Scherzinger 2006).
+//!
+//! The crate exposes the [`Database`] facade over the whole stack and the
+//! four *milestone engines* the course developed, selectable per query via
+//! [`EngineKind`]:
+//!
+//! | engine | milestone | strategy |
+//! |--------|-----------|----------|
+//! | [`EngineKind::M1InMemory`]  | 1 | DOM + direct denotational interpreter (also the correctness oracle) |
+//! | [`EngineKind::NaiveScan`]   | – | storage interpreter whose every axis step is a full clustered scan (the unoptimized baseline the course's speedup claims are measured against) |
+//! | [`EngineKind::M2Storage`]   | 2 | storage interpreter with per-binding index lookups, no algebra |
+//! | [`EngineKind::M3Algebraic`] | 3 | XQ→TPM, relfor merging, selection pushing, NLJ over materialized intermediates |
+//! | [`EngineKind::M4CostBased`] | 4 | + statistics, cost-based join reordering, index nested-loops joins, semijoin projection |
+//!
+//! ```
+//! use xmldb_core::{Database, EngineKind};
+//! let db = Database::in_memory();
+//! db.load_document("lib", "<journal><name>Ana</name></journal>").unwrap();
+//! let result = db
+//!     .query("lib", "for $n in /journal/name return $n", EngineKind::M4CostBased)
+//!     .unwrap();
+//! assert_eq!(result.to_xml(), "<name>Ana</name>");
+//! ```
+
+pub mod database;
+pub mod engine;
+pub mod prepared;
+pub mod result;
+
+mod error;
+
+pub use database::Database;
+pub use engine::{EngineKind, QueryOptions};
+pub use prepared::PreparedQuery;
+pub use error::Error;
+pub use result::QueryResult;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

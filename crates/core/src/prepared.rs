@@ -1,0 +1,156 @@
+//! Prepared queries: parse, compile and plan once, execute many times.
+//!
+//! The course's efficiency tests re-ran the same queries; a real client
+//! does too. [`Database::prepare`] front-loads the per-query work (XQ
+//! parsing, TPM compilation, rewriting, planning) so each
+//! [`PreparedQuery::execute`] only runs the physical plans.
+
+use crate::database::Database;
+use crate::engine::{interp, m1, tpm_exec, EngineKind, QueryOptions};
+use crate::{QueryResult, Result};
+use xmldb_xq::Expr;
+
+/// A query bound to a document and an engine, with all per-query
+/// compilation already done.
+///
+/// ```
+/// use xmldb_core::{Database, EngineKind};
+/// let db = Database::in_memory();
+/// db.load_document("d", "<a><n>x</n></a>").unwrap();
+/// let q = db.prepare("d", "//n", EngineKind::M4CostBased).unwrap();
+/// assert_eq!(q.execute().unwrap().to_xml(), "<n>x</n>");
+/// assert_eq!(q.execute().unwrap().to_xml(), "<n>x</n>"); // no re-planning
+/// ```
+pub struct PreparedQuery {
+    db: Database,
+    doc: String,
+    engine: EngineKind,
+    state: PreparedState,
+}
+
+enum PreparedState {
+    /// Interpreter engines keep the parsed AST.
+    Ast(Expr),
+    /// Algebraic engines keep the fully planned program.
+    Program(tpm_exec::CompiledProgram),
+}
+
+impl Database {
+    /// Prepares `query` against `doc` for repeated execution with `engine`.
+    pub fn prepare(
+        &self,
+        doc: &str,
+        query: &str,
+        engine: EngineKind,
+    ) -> Result<PreparedQuery> {
+        self.prepare_with(doc, query, engine, &QueryOptions::default())
+    }
+
+    /// [`Self::prepare`] with per-query options.
+    pub fn prepare_with(
+        &self,
+        doc: &str,
+        query: &str,
+        engine: EngineKind,
+        options: &QueryOptions,
+    ) -> Result<PreparedQuery> {
+        let expr = xmldb_xq::parse(query)?;
+        let store = self.store(doc)?;
+        let state = match engine {
+            EngineKind::M1InMemory | EngineKind::NaiveScan | EngineKind::M2Storage => {
+                PreparedState::Ast(expr)
+            }
+            algebraic => PreparedState::Program(tpm_exec::compile_program(
+                &store,
+                &expr,
+                &algebraic.rewrite_options(),
+                &algebraic.planner_config().expect("algebraic engines have configs"),
+                options,
+            )),
+        };
+        Ok(PreparedQuery { db: self.clone(), doc: doc.to_string(), engine, state })
+    }
+}
+
+impl PreparedQuery {
+    /// The engine this query was prepared for.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// The document this query was prepared against.
+    pub fn document(&self) -> &str {
+        &self.doc
+    }
+
+    /// Runs the prepared query.
+    pub fn execute(&self) -> Result<QueryResult> {
+        let store = self.db.store(&self.doc)?;
+        match &self.state {
+            PreparedState::Ast(expr) => match self.engine {
+                EngineKind::M1InMemory => {
+                    let dom = store.reconstruct(1)?;
+                    m1::evaluate(&dom, expr)
+                }
+                EngineKind::NaiveScan => {
+                    interp::evaluate(&store, expr, interp::AccessMode::FullScan)
+                }
+                EngineKind::M2Storage => {
+                    interp::evaluate(&store, expr, interp::AccessMode::Indexed)
+                }
+                _ => unreachable!("algebraic engines carry programs"),
+            },
+            PreparedState::Program(program) => tpm_exec::execute_program(program, &store),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str =
+        "<lib><journal><name>Ana</name></journal><journal><name>Bob</name></journal></lib>";
+    const QUERY: &str = "<names>{ for $j in //journal return for $n in $j//name return $n }</names>";
+
+    #[test]
+    fn prepared_matches_adhoc_for_all_engines() {
+        let db = Database::in_memory();
+        db.load_document("d", DOC).unwrap();
+        for engine in EngineKind::ALL {
+            let adhoc = db.query("d", QUERY, engine).unwrap();
+            let prepared = db.prepare("d", QUERY, engine).unwrap();
+            assert_eq!(prepared.execute().unwrap(), adhoc, "{engine}");
+            // Second execution must be identical (no state corruption).
+            assert_eq!(prepared.execute().unwrap(), adhoc, "{engine} re-exec");
+            assert_eq!(prepared.engine(), engine);
+            assert_eq!(prepared.document(), "d");
+        }
+    }
+
+    #[test]
+    fn prepared_sees_document_replacement() {
+        // Prepared plans reference the document by name; replacing the
+        // document re-resolves the store at execute time.
+        let db = Database::in_memory();
+        db.load_document("d", "<a><n>old</n></a>").unwrap();
+        let q = db.prepare("d", "//n", EngineKind::M2Storage).unwrap();
+        assert_eq!(q.execute().unwrap().to_xml(), "<n>old</n>");
+        db.replace_document("d", "<a><n>new</n></a>").unwrap();
+        assert_eq!(q.execute().unwrap().to_xml(), "<n>new</n>");
+    }
+
+    #[test]
+    fn prepare_rejects_bad_queries_eagerly() {
+        let db = Database::in_memory();
+        db.load_document("d", "<a/>").unwrap();
+        assert!(matches!(
+            db.prepare("d", "for $x in", EngineKind::M4CostBased),
+            Err(crate::Error::Query(_))
+        ));
+        assert!(matches!(
+            db.prepare("missing", "//a", EngineKind::M4CostBased),
+            Err(crate::Error::NoSuchDocument(_))
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! Query results: a sequence of output items held as a DOM forest.
+
+use xmldb_xml::{serialize_subtree, Document, NodeId};
+
+/// The result of evaluating an XQ query: a sequence of constructed and/or
+/// copied nodes, in output order.
+///
+/// Internally a [`Document`] whose virtual root's children are the items.
+/// Two results are equal iff their canonical (compact) serializations are
+/// byte-equal — exactly how the course's submission&test system diffed
+/// engine outputs against the reference answers.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    doc: Document,
+}
+
+impl QueryResult {
+    /// Wraps a result forest.
+    pub(crate) fn new(doc: Document) -> QueryResult {
+        QueryResult { doc }
+    }
+
+    /// An empty result.
+    pub fn empty() -> QueryResult {
+        QueryResult { doc: Document::new() }
+    }
+
+    /// The result forest as a DOM.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Number of top-level items.
+    pub fn len(&self) -> usize {
+        self.doc.children(self.doc.root()).len()
+    }
+
+    /// True if the query produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Item ids in output order.
+    pub fn items(&self) -> &[NodeId] {
+        self.doc.children(self.doc.root())
+    }
+
+    /// Canonical compact serialization of the whole result sequence.
+    pub fn to_xml(&self) -> String {
+        xmldb_xml::serialize_document(&self.doc)
+    }
+
+    /// Serialization of one item.
+    pub fn item_xml(&self, index: usize) -> Option<String> {
+        self.items().get(index).map(|&id| serialize_subtree(&self.doc, id))
+    }
+}
+
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_xml() == other.to_xml()
+    }
+}
+
+impl Eq for QueryResult {}
+
+impl std::fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_result() {
+        let r = QueryResult::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.to_xml(), "");
+    }
+
+    #[test]
+    fn items_and_serialization() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let a = doc.add_element(root, "a");
+        doc.add_text(a, "x");
+        doc.add_text(root, "tail");
+        let r = QueryResult::new(doc);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.to_xml(), "<a>x</a>tail");
+        assert_eq!(r.item_xml(0).unwrap(), "<a>x</a>");
+        assert_eq!(r.item_xml(1).unwrap(), "tail");
+        assert!(r.item_xml(2).is_none());
+    }
+
+    #[test]
+    fn equality_is_canonical_serialization() {
+        let mut d1 = Document::new();
+        let r1 = d1.root();
+        d1.add_element(r1, "a");
+        let mut d2 = Document::new();
+        let r2 = d2.root();
+        d2.add_element(r2, "a");
+        assert_eq!(QueryResult::new(d1), QueryResult::new(d2));
+    }
+}

@@ -1,0 +1,59 @@
+//! The fixed hand-made documents.
+
+/// The Figure 2 document of the paper, byte-exact.
+pub fn figure2_document() -> &'static str {
+    "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>"
+}
+
+/// A richer classroom document ("a small hand-made document of several
+/// kilobytes"): a tiny bibliography mixing every structural feature the
+/// correctness tests need — empty elements, mixed content, repeated
+/// labels at different depths, rare labels, and text at several levels.
+pub fn classroom_document() -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("<library>");
+    out.push_str(
+        "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>",
+    );
+    out.push_str(
+        "<journal><authors><name>Carla</name></authors><title>Systems</title>\
+         <volume>42</volume></journal>",
+    );
+    out.push_str("<journal><title>Empty Authors</title><authors/></journal>");
+    for i in 0..12 {
+        out.push_str(&format!(
+            "<article><author>Author {i}</author><title>Paper {i}</title>{}{}</article>",
+            if i % 4 == 0 { format!("<volume>{}</volume>", i + 1) } else { String::new() },
+            if i % 3 == 0 {
+                "<note>contains <emph>nested</emph> markup</note>".to_string()
+            } else {
+                String::new()
+            },
+        ));
+    }
+    out.push_str("<misc><deep><deeper><deepest>bottom</deepest></deeper></deep></misc>");
+    out.push_str("</library>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_is_the_paper_document() {
+        let doc = xmldb_xml::parse(figure2_document()).unwrap();
+        let labeling = xmldb_xml::Labeling::compute(&doc);
+        assert_eq!(labeling.out_of(doc.root()), 18, "Figure 2 has tag counts 1..18");
+    }
+
+    #[test]
+    fn classroom_document_parses_and_is_kilobytes() {
+        let xml = classroom_document();
+        assert!(xml.len() > 1000, "several kilobytes, got {}", xml.len());
+        let doc = xmldb_xml::parse(&xml).unwrap();
+        assert_eq!(doc.name(doc.root_element().unwrap()), "library");
+        // Mixed content survived.
+        assert!(xml.contains("<emph>nested</emph>"));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Synthetic test documents for the saardb testbed and benchmarks.
+//!
+//! The course evaluated on DBLP (250 MB shallow data, plus a 16 MB
+//! excerpt), TREEBANK (80 MB deeply nested data), and "a small hand-made
+//! document of several kilobytes". Those exact files are not
+//! redistributable inputs here, so this crate generates deterministic
+//! substitutes with the same *shape* characteristics (see DESIGN.md §3):
+//!
+//! * [`dblp`] — shallow (depth ≈ 3–4), wide bibliographic data with heavy
+//!   label skew: many `author`s, one `title` per publication, rare
+//!   `volume`s. The skew is what makes Example 6-style optimization
+//!   decisions interesting.
+//! * [`treebank`] — deeply nested parse trees (configurable depth in the
+//!   dozens), exercising descendant-axis interval scans and the
+//!   average-depth statistic.
+//! * [`handmade`] — the paper's Figure 2 document and a slightly richer
+//!   classroom document, both fixed.
+//!
+//! All generators are seeded ([`rand::rngs::StdRng`]) — the same
+//! configuration always produces byte-identical documents, so benchmark
+//! runs are reproducible.
+
+pub mod dblp;
+pub mod handmade;
+pub mod treebank;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use handmade::{classroom_document, figure2_document};
+pub use treebank::{generate_treebank, TreebankConfig};
+
+/// Approximate size (bytes) helper used by scale-factor constructors.
+pub(crate) fn push_tag(out: &mut String, tag: &str, content: &str) {
+    out.push('<');
+    out.push_str(tag);
+    out.push('>');
+    out.push_str(content);
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}

@@ -1,0 +1,116 @@
+//! TREEBANK-like deeply nested parse trees.
+
+use crate::push_tag;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the TREEBANK-like generator.
+#[derive(Debug, Clone)]
+pub struct TreebankConfig {
+    /// Number of top-level sentences.
+    pub sentences: usize,
+    /// Maximum nesting depth of phrase structure below a sentence.
+    pub max_depth: usize,
+    /// Maximum children of an internal phrase node.
+    pub branching: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        TreebankConfig { sentences: 120, max_depth: 24, branching: 3, seed: 0x7EE }
+    }
+}
+
+impl TreebankConfig {
+    /// Scales the sentence count (≈ linear in bytes).
+    pub fn scaled(factor: f64) -> TreebankConfig {
+        let base = TreebankConfig::default();
+        TreebankConfig {
+            sentences: ((base.sentences as f64 * factor) as usize).max(1),
+            ..base
+        }
+    }
+}
+
+/// Phrase labels, roughly Penn-Treebank-flavoured.
+const PHRASES: &[&str] = &["NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP"];
+/// Part-of-speech labels at the frontier.
+const POS: &[&str] = &["NN", "VB", "JJ", "DT", "IN", "PRP", "RB"];
+const WORDS: &[&str] = &[
+    "students", "built", "native", "XML", "databases", "during", "the", "summer", "course",
+    "query", "engines", "optimizers", "indexes", "storage", "sorting", "joins",
+];
+
+/// Generates a TREEBANK-like document:
+///
+/// ```text
+/// <treebank> <S> nested phrase structure, depth up to max_depth </S>* </treebank>
+/// ```
+pub fn generate_treebank(config: &TreebankConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = String::with_capacity(config.sentences * 600 + 32);
+    out.push_str("<treebank>");
+    for _ in 0..config.sentences {
+        out.push_str("<S>");
+        // Force one deep spine per sentence plus bushy sides.
+        let depth = rng.gen_range(config.max_depth / 2..=config.max_depth.max(1));
+        phrase(&mut out, &mut rng, depth, config.branching);
+        out.push_str("</S>");
+    }
+    out.push_str("</treebank>");
+    out
+}
+
+fn phrase(out: &mut String, rng: &mut StdRng, depth: usize, branching: usize) {
+    if depth == 0 {
+        let pos = POS[rng.gen_range(0..POS.len())];
+        let word = WORDS[rng.gen_range(0..WORDS.len())];
+        push_tag(out, pos, word);
+        return;
+    }
+    let label = PHRASES[rng.gen_range(0..PHRASES.len())];
+    out.push('<');
+    out.push_str(label);
+    out.push('>');
+    let kids = rng.gen_range(1..=branching.max(1));
+    // One child continues the deep spine; the rest are shallow.
+    let spine = rng.gen_range(0..kids);
+    for k in 0..kids {
+        let child_depth = if k == spine { depth - 1 } else { rng.gen_range(0..2.min(depth)) };
+        phrase(out, rng, child_depth, branching);
+    }
+    out.push_str("</");
+    out.push_str(label);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = TreebankConfig::default();
+        assert_eq!(generate_treebank(&c), generate_treebank(&c));
+    }
+
+    #[test]
+    fn well_formed_and_deep() {
+        let xml = generate_treebank(&TreebankConfig { sentences: 20, ..Default::default() });
+        let doc = xmldb_xml::parse_with(&xml, &xmldb_xml::ParseOptions::preserving())
+            .expect("generated treebank must parse");
+        let max_depth = doc.descendants(doc.root()).map(|n| doc.depth(n)).max().unwrap();
+        assert!(max_depth >= 14, "treebank should be deep, got {max_depth}");
+    }
+
+    #[test]
+    fn contains_linguistic_labels() {
+        let xml = generate_treebank(&TreebankConfig::default());
+        assert!(xml.contains("<NP>"));
+        assert!(xml.contains("<VP>"));
+        assert!(xml.contains("<NN>"));
+        assert_eq!(xml.matches("<S>").count(), 120);
+    }
+}

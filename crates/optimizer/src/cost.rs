@@ -1,0 +1,316 @@
+//! The cost model: cardinality and I/O estimates from the milestone-4
+//! minimum statistics (label selectivities + average depth).
+
+use xmldb_algebra::{Attr, AtomicPred, CmpOp, Operand};
+use xmldb_xasr::{NodeType, Statistics};
+
+/// Cost/cardinality estimator over one document's statistics.
+///
+/// Costs are in *page fetches*; cardinalities in rows. Both are `f64` —
+/// only the ranking matters, and the paper's grading rewarded engines whose
+/// "rankings of query plans by their cost function" matched reality.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    stats: Statistics,
+    /// Pages of the clustered index.
+    pub clustered_pages: f64,
+    /// Pages of the label index.
+    pub label_pages: f64,
+    /// Pages of the parent index.
+    pub parent_pages: f64,
+    /// Approximate tuples per page (for range-scan costing).
+    pub tuples_per_page: f64,
+}
+
+/// Typical B+-tree descent cost (meta + inner + leaf) for a *cold* lookup.
+pub const PROBE_DESCENT: f64 = 3.0;
+
+/// Amortized per-probe page charge for *repeated* index probes in a join:
+/// upper levels stay pooled and structural probes walk the index in
+/// clustered (document) order, so most probes hit the same leaf as their
+/// predecessor.
+pub const PROBE_PAGE: f64 = 0.25;
+
+impl CostModel {
+    /// Builds a model from a store's statistics and physical sizes.
+    pub fn new(stats: Statistics, clustered_pages: u64, label_pages: u64, parent_pages: u64, page_size: usize) -> CostModel {
+        let node_count = stats.node_count.max(1) as f64;
+        let clustered_pages = (clustered_pages.max(1)) as f64;
+        CostModel {
+            stats,
+            clustered_pages,
+            label_pages: label_pages.max(1) as f64,
+            parent_pages: parent_pages.max(1) as f64,
+            tuples_per_page: (node_count / clustered_pages).max(1.0).min(page_size as f64 / 32.0),
+        }
+    }
+
+    /// Convenience constructor from an [`xmldb_xasr::XasrStore`].
+    pub fn from_store(store: &xmldb_xasr::XasrStore) -> CostModel {
+        CostModel::new(
+            store.stats().clone(),
+            store.clustered_pages(),
+            store.label_index_pages(),
+            store.parent_index_pages(),
+            store.env().page_size(),
+        )
+    }
+
+    /// The statistics backing this model.
+    pub fn stats(&self) -> &Statistics {
+        &self.stats
+    }
+
+    fn n(&self) -> f64 {
+        self.stats.node_count.max(1) as f64
+    }
+
+    /// Estimated nodes satisfying a set of *local* conjuncts for one alias
+    /// (type/label tests; structural conjuncts are handled by the join
+    /// estimators).
+    pub fn base_cardinality(&self, local: &[&AtomicPred]) -> f64 {
+        // Start from the most selective recognizable test.
+        if let Some(label) = find_label_eq(local) {
+            return self.stats.label_count(label) as f64;
+        }
+        for pred in local {
+            if let Some(kind) = find_kind(pred) {
+                return match kind {
+                    NodeType::Element => self.stats.element_count as f64,
+                    NodeType::Text => self.stats.text_count as f64,
+                    NodeType::Root => 1.0,
+                };
+            }
+        }
+        self.n()
+    }
+
+    /// Average children of an element (document fanout).
+    pub fn avg_fanout(&self) -> f64 {
+        let elems = self.stats.element_count.max(1) as f64;
+        ((self.n() - 1.0) / elems).max(1.0)
+    }
+
+    /// Expected matches when probing the *children* of one specific node
+    /// for nodes of base cardinality `card`: each of the `card` candidates
+    /// has exactly one parent among ~`element_count` elements, so a given
+    /// parent expects `card / element_count` of them.
+    pub fn child_fanout(&self, card: f64) -> f64 {
+        let elems = self.stats.element_count.max(1) as f64;
+        (card / elems).max(1e-6)
+    }
+
+    /// Expected matches when probing the *descendants* of one specific
+    /// node: there are ≈ `node_count · avg_depth` ancestor–descendant pairs
+    /// (every node contributes one pair per ancestor, and it has `depth`
+    /// of them — `avg_depth` on average, the paper's "gross measure"); the
+    /// ones whose descendant is among the `card` candidates number
+    /// ≈ `card · avg_depth`, so a given ancestor expects
+    /// `card · avg_depth / node_count`.
+    pub fn descendant_fanout(&self, card: f64) -> f64 {
+        (card * self.stats.avg_depth().max(1.0) / self.n()).max(1e-6)
+    }
+
+    /// Default selectivity of an unrecognized residual predicate.
+    pub fn residual_selectivity(&self, pred: &AtomicPred) -> f64 {
+        match pred.op {
+            CmpOp::Eq => 0.05,
+            CmpOp::Lt | CmpOp::Gt => 0.3,
+        }
+    }
+
+    // --- access-path costs (pages) --------------------------------------------
+
+    /// Full clustered scan.
+    pub fn full_scan_cost(&self) -> f64 {
+        self.clustered_pages
+    }
+
+    /// Scan of all entries with one label, via the label index.
+    pub fn label_scan_cost(&self, label: &str) -> f64 {
+        let frac = self.stats.label_count(label) as f64
+            / (self.stats.element_count.max(1) as f64);
+        (self.label_pages * frac).max(1.0) + PROBE_DESCENT
+    }
+
+    /// One children-of-node probe returning ~`matches` tuples. Repeated
+    /// probes hit the warm upper B+-tree levels in the buffer pool, so the
+    /// per-probe charge is roughly one leaf page plus the result pages —
+    /// not a full cold descent.
+    pub fn children_probe_cost(&self, matches: f64) -> f64 {
+        PROBE_PAGE + (matches / self.tuples_per_page).max(0.0)
+    }
+
+    /// One descendants-interval probe returning ~`matches` tuples. A
+    /// clustered interval scan reads the whole interval, which contains the
+    /// subtree — approximate by the subtree size (avg-depth heuristic:
+    /// subtrees shrink geometrically; use matches when label-indexed).
+    /// Warm-cache assumption as in [`Self::children_probe_cost`].
+    pub fn descendants_probe_cost(&self, interval_tuples: f64) -> f64 {
+        PROBE_PAGE + (interval_tuples / self.tuples_per_page).max(0.0)
+    }
+
+    /// Expected matches of a text-equality probe (uniformity over the
+    /// distinct text values counted at shred time).
+    pub fn text_eq_matches(&self) -> f64 {
+        self.stats.text_eq_matches().max(1e-6)
+    }
+
+    /// One text-equality probe returning ~`matches` tuples.
+    pub fn text_probe_cost(&self, matches: f64) -> f64 {
+        PROBE_PAGE + (matches / self.tuples_per_page).max(0.0)
+    }
+
+    /// CPU charge for examining `pairs` candidate row pairs in a
+    /// non-indexed join. Page-fetch units; calibrated so that a million
+    /// in-memory predicate evaluations weigh like a few thousand page
+    /// fetches — without this term block joins look free and the planner
+    /// never prefers the Figure 6 index plans.
+    pub fn join_cpu_cost(&self, pairs: f64) -> f64 {
+        pairs * 0.002
+    }
+
+    /// Average subtree size (tuples under a random node).
+    pub fn avg_subtree(&self) -> f64 {
+        // n·avg_depth pairs distributed over n ancestors.
+        self.stats.avg_depth().max(1.0)
+    }
+
+    /// External sort of ~`rows` rows.
+    pub fn sort_cost(&self, rows: f64) -> f64 {
+        let pages = (rows / self.tuples_per_page).max(1.0);
+        // Run generation + one merge pass, read + write.
+        4.0 * pages
+    }
+
+    /// Materialization (write once) + one replay of ~`rows` rows.
+    pub fn materialize_cost(&self, rows: f64) -> f64 {
+        2.0 * (rows / self.tuples_per_page).max(1.0)
+    }
+
+    /// Pages of ~`rows` materialized rows (for NLJ rescans).
+    pub fn materialized_pages(&self, rows: f64) -> f64 {
+        (rows / self.tuples_per_page).max(1.0)
+    }
+}
+
+/// Extracts `alias.value = "label"` from local conjuncts.
+pub fn find_label_eq<'a>(local: &[&'a AtomicPred]) -> Option<&'a str> {
+    for pred in local {
+        if pred.op != CmpOp::Eq || pred.strict_text {
+            continue;
+        }
+        match (&pred.lhs, &pred.rhs) {
+            (Operand::Col(c), Operand::Str(s)) | (Operand::Str(s), Operand::Col(c))
+                if c.attr == Attr::Value =>
+            {
+                return Some(s);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts `alias.type = kind`.
+fn find_kind(pred: &AtomicPred) -> Option<NodeType> {
+    if pred.op != CmpOp::Eq {
+        return None;
+    }
+    match (&pred.lhs, &pred.rhs) {
+        (Operand::Col(c), Operand::Kind(k)) | (Operand::Kind(k), Operand::Col(c))
+            if c.attr == Attr::Type =>
+        {
+            Some(*k)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb_algebra::ColRef;
+
+    fn stats() -> Statistics {
+        let mut s = Statistics {
+            node_count: 10_000,
+            element_count: 6_000,
+            text_count: 3_999,
+            depth_sum: 35_000, // avg depth 3.5
+            ..Statistics::default()
+        };
+        s.label_counts.insert("author".into(), 3_000);
+        s.label_counts.insert("volume".into(), 50);
+        s.label_counts.insert("article".into(), 500);
+        s
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(stats(), 200, 120, 150, 8192)
+    }
+
+    fn label_pred(alias: &str, label: &str) -> AtomicPred {
+        AtomicPred::new(
+            Operand::Col(ColRef::new(alias, Attr::Value)),
+            CmpOp::Eq,
+            Operand::Str(label.into()),
+        )
+    }
+
+    fn kind_pred(alias: &str, kind: NodeType) -> AtomicPred {
+        AtomicPred::new(
+            Operand::Col(ColRef::new(alias, Attr::Type)),
+            CmpOp::Eq,
+            Operand::Kind(kind),
+        )
+    }
+
+    #[test]
+    fn base_cardinalities() {
+        let m = model();
+        let l = label_pred("A", "author");
+        let k = kind_pred("A", NodeType::Element);
+        assert_eq!(m.base_cardinality(&[&l, &k]), 3_000.0);
+        assert_eq!(m.base_cardinality(&[&k]), 6_000.0);
+        let t = kind_pred("T", NodeType::Text);
+        assert_eq!(m.base_cardinality(&[&t]), 3_999.0);
+        assert_eq!(m.base_cardinality(&[]), 10_000.0);
+        let ghost = label_pred("G", "ghost");
+        assert_eq!(m.base_cardinality(&[&ghost]), 0.0, "non-existent label → zero");
+    }
+
+    #[test]
+    fn fanouts_track_selectivity() {
+        let m = model();
+        // Authors are common, volumes rare: probing for authors under a
+        // node must be estimated more expensive than for volumes.
+        assert!(m.child_fanout(3_000.0) > m.child_fanout(50.0));
+        assert!(m.descendant_fanout(3_000.0) > m.descendant_fanout(50.0));
+        // Descendant fanout uses avg depth.
+        let per_node = m.descendant_fanout(3_000.0);
+        assert!((per_node - 3_000.0 * 3.5 / 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn label_scan_cheaper_for_rare_labels() {
+        let m = model();
+        assert!(m.label_scan_cost("volume") < m.label_scan_cost("author"));
+        assert!(m.label_scan_cost("author") < m.full_scan_cost() + PROBE_DESCENT + 1.0);
+    }
+
+    #[test]
+    fn probe_costs_scale_with_matches() {
+        let m = model();
+        assert!(m.children_probe_cost(1.0) < m.children_probe_cost(1_000.0));
+        assert!(m.descendants_probe_cost(10.0) < m.descendants_probe_cost(10_000.0));
+    }
+
+    #[test]
+    fn zero_safe_on_empty_stats() {
+        let m = CostModel::new(Statistics::default(), 0, 0, 0, 8192);
+        assert!(m.base_cardinality(&[]) >= 1.0);
+        assert!(m.full_scan_cost() >= 1.0);
+        assert!(m.child_fanout(0.0) > 0.0);
+    }
+}

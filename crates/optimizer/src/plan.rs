@@ -1,0 +1,221 @@
+//! The physical plan tree: declarative, costed, instantiable.
+//!
+//! A relfor's source plan is built once per query but *executed* once per
+//! binding environment, so plans are descriptions that instantiate fresh
+//! operator trees on demand.
+
+use xmldb_physical::ops::{
+    BlockNestedLoopJoinOp, FilterOp, IndexNestedLoopJoinOp, LeftOuterIndexNestedLoopJoinOp,
+    LeftOuterNestedLoopJoinOp, LimitOp, MaterializeOp, NestedLoopJoinOp, ProjectOp, ScanOp,
+    SingletonOp, SortOp,
+};
+use xmldb_physical::{Operator, PhysPred, Probe};
+
+/// A costed physical plan node.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The operator at this node.
+    pub node: PlanNode,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated cumulative cost (page fetches).
+    pub est_cost: f64,
+}
+
+/// Physical operator descriptions.
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Leaf access path with pushed-down selection.
+    Scan { probe: Probe, filter: Vec<PhysPred> },
+    /// Residual selection.
+    Filter { input: Box<Plan>, preds: Vec<PhysPred> },
+    /// Order-preserving nested-loops join.
+    Nlj { left: Box<Plan>, right: Box<Plan>, preds: Vec<PhysPred> },
+    /// Index nested-loops join (probe parameterized by left-row columns).
+    Inlj { left: Box<Plan>, probe: Probe, preds: Vec<PhysPred> },
+    /// Left-outer index nested-loops join (the TPM left-outer-join
+    /// extension): match-less left rows survive NULL-padded.
+    LeftOuterInlj { left: Box<Plan>, probe: Probe, preds: Vec<PhysPred> },
+    /// Left-outer nested-loops join over a re-openable right input.
+    LeftOuterNlj { left: Box<Plan>, right: Box<Plan>, preds: Vec<PhysPred> },
+    /// Block nested-loops join (not order-preserving).
+    Bnlj { left: Box<Plan>, right: Box<Plan>, preds: Vec<PhysPred>, block_rows: usize },
+    /// External sort on the `in` values of the given columns.
+    Sort { input: Box<Plan>, keys: Vec<usize> },
+    /// Projection, optionally with one-pass duplicate elimination.
+    Project { input: Box<Plan>, cols: Vec<usize>, dedup: bool },
+    /// Spill-and-replay.
+    Materialize { input: Box<Plan> },
+    /// The nullary true relation.
+    Singleton,
+    /// Early exit after n rows (exists checks).
+    Limit { input: Box<Plan>, n: usize },
+}
+
+impl Plan {
+    /// Builds a fresh operator tree for this plan.
+    pub fn instantiate(&self) -> Box<dyn Operator> {
+        match &self.node {
+            PlanNode::Scan { probe, filter } => {
+                Box::new(ScanOp::new(probe.clone(), filter.clone()))
+            }
+            PlanNode::Filter { input, preds } => {
+                Box::new(FilterOp::new(input.instantiate(), preds.clone()))
+            }
+            PlanNode::Nlj { left, right, preds } => Box::new(NestedLoopJoinOp::new(
+                left.instantiate(),
+                right.instantiate(),
+                preds.clone(),
+            )),
+            PlanNode::Inlj { left, probe, preds } => Box::new(IndexNestedLoopJoinOp::new(
+                left.instantiate(),
+                probe.clone(),
+                preds.clone(),
+            )),
+            PlanNode::LeftOuterInlj { left, probe, preds } => {
+                Box::new(LeftOuterIndexNestedLoopJoinOp::new(
+                    left.instantiate(),
+                    probe.clone(),
+                    preds.clone(),
+                ))
+            }
+            PlanNode::LeftOuterNlj { left, right, preds } => {
+                Box::new(LeftOuterNestedLoopJoinOp::new(
+                    left.instantiate(),
+                    right.instantiate(),
+                    preds.clone(),
+                ))
+            }
+            PlanNode::Bnlj { left, right, preds, block_rows } => {
+                Box::new(BlockNestedLoopJoinOp::new(
+                    left.instantiate(),
+                    right.instantiate(),
+                    preds.clone(),
+                    *block_rows,
+                ))
+            }
+            PlanNode::Sort { input, keys } => {
+                Box::new(SortOp::new(input.instantiate(), keys.clone()))
+            }
+            PlanNode::Project { input, cols, dedup } => {
+                Box::new(ProjectOp::new(input.instantiate(), cols.clone(), *dedup))
+            }
+            PlanNode::Materialize { input } => Box::new(MaterializeOp::new(input.instantiate())),
+            PlanNode::Singleton => Box::new(SingletonOp::new()),
+            PlanNode::Limit { input, n } => Box::new(LimitOp::new(input.instantiate(), *n)),
+        }
+    }
+
+    /// EXPLAIN rendering: one operator per line, indented, with estimates.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, level: usize) {
+        let pad = "  ".repeat(level);
+        let describe_preds = |preds: &[PhysPred]| -> String {
+            if preds.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " [{}]",
+                    preds.iter().map(describe_pred).collect::<Vec<_>>().join(" ∧ ")
+                )
+            }
+        };
+        let line = match &self.node {
+            PlanNode::Scan { probe, filter } => {
+                format!("scan {}{}", probe.describe(), describe_preds(filter))
+            }
+            PlanNode::Filter { preds, .. } => format!("filter{}", describe_preds(preds)),
+            PlanNode::Nlj { preds, .. } => format!("nl-join{}", describe_preds(preds)),
+            PlanNode::Inlj { probe, preds, .. } => {
+                format!("inl-join probe={}{}", probe.describe(), describe_preds(preds))
+            }
+            PlanNode::LeftOuterInlj { probe, preds, .. } => {
+                format!("left-outer-inl-join probe={}{}", probe.describe(), describe_preds(preds))
+            }
+            PlanNode::LeftOuterNlj { preds, .. } => {
+                format!("left-outer-nl-join{}", describe_preds(preds))
+            }
+            PlanNode::Bnlj { preds, block_rows, .. } => {
+                format!("bnl-join block={block_rows}{}", describe_preds(preds))
+            }
+            PlanNode::Sort { keys, .. } => format!("sort keys={keys:?}"),
+            PlanNode::Project { cols, dedup, .. } => {
+                format!("project cols={cols:?} dedup={dedup}")
+            }
+            PlanNode::Materialize { .. } => "materialize".to_string(),
+            PlanNode::Singleton => "singleton".to_string(),
+            PlanNode::Limit { n, .. } => format!("limit {n}"),
+        };
+        out.push_str(&format!(
+            "{pad}{line}  (rows≈{:.1}, cost≈{:.1})\n",
+            self.est_rows, self.est_cost
+        ));
+        for child in self.children() {
+            child.explain_into(out, level + 1);
+        }
+    }
+
+    fn children(&self) -> Vec<&Plan> {
+        match &self.node {
+            PlanNode::Scan { .. } | PlanNode::Singleton => vec![],
+            PlanNode::Filter { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Materialize { input }
+            | PlanNode::Limit { input, .. } => vec![input],
+            PlanNode::Nlj { left, right, .. }
+            | PlanNode::Bnlj { left, right, .. }
+            | PlanNode::LeftOuterNlj { left, right, .. } => {
+                vec![left, right]
+            }
+            PlanNode::Inlj { left, .. } | PlanNode::LeftOuterInlj { left, .. } => vec![left],
+        }
+    }
+
+    /// True if every operator in the plan is order-preserving.
+    pub fn is_order_preserving(&self) -> bool {
+        match &self.node {
+            PlanNode::Bnlj { .. } => false,
+            // A sort *establishes* order; treat as preserving downstream.
+            PlanNode::Sort { .. } => true,
+            _ => self.children().iter().all(|c| c.is_order_preserving()),
+        }
+    }
+
+    /// Count of operators of a given EXPLAIN name (test helper).
+    pub fn count_ops(&self, name: &str) -> usize {
+        let here = match (&self.node, name) {
+            (PlanNode::Scan { .. }, "scan")
+            | (PlanNode::Filter { .. }, "filter")
+            | (PlanNode::Nlj { .. }, "nl-join")
+            | (PlanNode::Inlj { .. }, "inl-join")
+            | (PlanNode::Bnlj { .. }, "bnl-join")
+            | (PlanNode::Sort { .. }, "sort")
+            | (PlanNode::Project { .. }, "project")
+            | (PlanNode::Materialize { .. }, "materialize")
+            | (PlanNode::Singleton, "singleton")
+            | (PlanNode::Limit { .. }, "limit") => 1,
+            _ => 0,
+        };
+        here + self.children().iter().map(|c| c.count_ops(name)).sum::<usize>()
+    }
+}
+
+fn describe_pred(p: &PhysPred) -> String {
+    fn side(o: &xmldb_physical::PhysOperand) -> String {
+        match o {
+            xmldb_physical::PhysOperand::Col { pos, attr } => format!("#{pos}.{attr}"),
+            xmldb_physical::PhysOperand::Ext { var, attr } => format!("{var}.{attr}"),
+            xmldb_physical::PhysOperand::Num(n) => n.to_string(),
+            xmldb_physical::PhysOperand::Str(s) => format!("{s:?}"),
+            xmldb_physical::PhysOperand::Kind(k) => k.to_string(),
+        }
+    }
+    format!("{} {} {}", side(&p.lhs), p.op, side(&p.rhs))
+}

@@ -1,0 +1,93 @@
+//! Execution context and the volcano operator trait.
+
+use crate::row::Row;
+use crate::Result;
+use std::collections::HashMap;
+use xmldb_xasr::{NodeTuple, XasrStore};
+use xmldb_xq::Var;
+
+/// The current variable environment: every enclosing relfor binding maps to
+/// the *full tuple* of its node (the vartuple-out extension — `in`, `out`,
+/// type and value all travel with the binding).
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    map: HashMap<Var, NodeTuple>,
+}
+
+impl Bindings {
+    /// An empty environment.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// The root environment: `$root` bound to the document root (in = 1).
+    pub fn with_root(store: &XasrStore) -> crate::Result<Bindings> {
+        let mut b = Bindings::new();
+        b.bind(Var::root(), store.root()?);
+        Ok(b)
+    }
+
+    /// Binds (or rebinds) a variable.
+    pub fn bind(&mut self, var: Var, tuple: NodeTuple) {
+        self.map.insert(var, tuple);
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, var: &Var) -> Option<&NodeTuple> {
+        self.map.get(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Everything an operator needs at runtime.
+pub struct ExecContext<'a> {
+    /// The shredded document.
+    pub store: &'a XasrStore,
+    /// External variable bindings (constant for one plan execution).
+    pub bindings: &'a Bindings,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Bundles a store and a binding environment.
+    pub fn new(store: &'a XasrStore, bindings: &'a Bindings) -> ExecContext<'a> {
+        ExecContext { store, bindings }
+    }
+}
+
+/// The volcano iterator interface. `open` may be called again after
+/// exhaustion to re-execute the operator (nested-loops inners rely on
+/// this).
+pub trait Operator {
+    /// Prepares (or resets) the operator.
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()>;
+
+    /// Produces the next row, or `None` when exhausted.
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>>;
+
+    /// Releases resources.
+    fn close(&mut self);
+
+    /// Operator name for EXPLAIN output.
+    fn name(&self) -> &'static str;
+}
+
+/// Runs a plan to completion, returning all rows (tests and the exists
+/// check use this; result emission streams instead).
+pub fn execute_all(plan: &mut dyn Operator, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    plan.open(ctx)?;
+    let mut rows = Vec::new();
+    while let Some(row) = plan.next(ctx)? {
+        rows.push(row);
+    }
+    plan.close();
+    Ok(rows)
+}

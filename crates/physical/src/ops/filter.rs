@@ -1,0 +1,295 @@
+//! Selection, projection (with one-pass duplicate elimination), and small
+//! structural operators.
+
+use crate::exec::{ExecContext, Operator};
+use crate::pred::{eval_all, PhysPred};
+use crate::row::Row;
+use crate::Result;
+
+/// σ — residual selection over any input.
+pub struct FilterOp {
+    input: Box<dyn Operator>,
+    preds: Vec<PhysPred>,
+}
+
+impl FilterOp {
+    /// Creates a selection over `input`.
+    pub fn new(input: Box<dyn Operator>, preds: Vec<PhysPred>) -> FilterOp {
+        FilterOp { input, preds }
+    }
+}
+
+impl Operator for FilterOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(ctx)? {
+            if eval_all(&self.preds, &row, ctx.bindings)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+}
+
+/// π — projection onto a subset of row columns, optionally removing
+/// duplicates in one pass.
+///
+/// One-pass dedup is approach (c) of the paper's ordering discussion: it is
+/// only sound when the input is sorted hierarchically w.r.t. the projected
+/// columns (equal projections adjacent), which the planner guarantees by
+/// choosing a projection-compatible join order — or by sorting first.
+pub struct ProjectOp {
+    input: Box<dyn Operator>,
+    cols: Vec<usize>,
+    dedup: bool,
+    last: Option<Vec<u64>>,
+}
+
+impl ProjectOp {
+    /// Creates a projection onto `cols`, optionally deduplicating.
+    pub fn new(input: Box<dyn Operator>, cols: Vec<usize>, dedup: bool) -> ProjectOp {
+        ProjectOp { input, cols, dedup, last: None }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.last = None;
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(ctx)? {
+            let key: Vec<u64> = self.cols.iter().map(|&c| row[c].in_).collect();
+            if self.dedup && self.last.as_ref() == Some(&key) {
+                continue;
+            }
+            self.last = Some(key);
+            let projected: Row = self.cols.iter().map(|&c| row[c].clone()).collect();
+            return Ok(Some(projected));
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+        self.last = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "project"
+    }
+}
+
+/// Emits exactly one empty row — the nullary "true" relation, and the seed
+/// left input for building join chains.
+pub struct SingletonOp {
+    emitted: bool,
+}
+
+impl SingletonOp {
+    /// Creates the one-empty-row operator.
+    pub fn new() -> SingletonOp {
+        SingletonOp { emitted: false }
+    }
+}
+
+impl Default for SingletonOp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Operator for SingletonOp {
+    fn open(&mut self, _ctx: &ExecContext<'_>) -> Result<()> {
+        self.emitted = false;
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        if self.emitted {
+            Ok(None)
+        } else {
+            self.emitted = true;
+            Ok(Some(Vec::new()))
+        }
+    }
+
+    fn close(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "singleton"
+    }
+}
+
+/// Stops after `limit` rows — the early exit for existential (nullary
+/// relfor) checks.
+pub struct LimitOp {
+    input: Box<dyn Operator>,
+    limit: usize,
+    seen: usize,
+}
+
+impl LimitOp {
+    /// Caps `input` at `limit` rows.
+    pub fn new(input: Box<dyn Operator>, limit: usize) -> LimitOp {
+        LimitOp { input, limit, seen: 0 }
+    }
+}
+
+impl Operator for LimitOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.seen = 0;
+        self.input.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        if self.seen >= self.limit {
+            return Ok(None);
+        }
+        match self.input.next(ctx)? {
+            Some(row) => {
+                self.seen += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+
+    fn name(&self) -> &'static str {
+        "limit"
+    }
+}
+
+/// Emits a fixed set of rows (testing, and re-play of tiny materialized
+/// results).
+pub struct RowsOp {
+    rows: Vec<Row>,
+    pos: usize,
+}
+
+impl RowsOp {
+    /// Wraps a fixed row set.
+    pub fn new(rows: Vec<Row>) -> RowsOp {
+        RowsOp { rows, pos: 0 }
+    }
+}
+
+impl Operator for RowsOp {
+    fn open(&mut self, _ctx: &ExecContext<'_>) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        if self.pos < self.rows.len() {
+            let row = self.rows[self.pos].clone();
+            self.pos += 1;
+            Ok(Some(row))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "rows"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_all, Bindings, ExecContext};
+    use xmldb_storage::Env;
+    use xmldb_xasr::{shred_document, NodeTuple, NodeType};
+
+    fn t(in_: u64) -> NodeTuple {
+        NodeTuple {
+            in_,
+            out: in_ + 1,
+            parent_in: 0,
+            kind: NodeType::Element,
+            value: Some("x".into()),
+        }
+    }
+
+    fn ctx_fixture() -> (Env, xmldb_xasr::XasrStore) {
+        let env = Env::memory();
+        let store = shred_document(&env, "f", "<a/>").unwrap();
+        (env, store)
+    }
+
+    #[test]
+    fn project_dedup_one_pass() {
+        let (_e, store) = ctx_fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        // Rows sorted on col 0 with adjacent duplicates.
+        let rows = vec![
+            vec![t(2), t(5)],
+            vec![t(2), t(9)],
+            vec![t(4), t(5)],
+            vec![t(4), t(9)],
+        ];
+        let mut op = ProjectOp::new(Box::new(RowsOp::new(rows.clone())), vec![0], true);
+        let out = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(out.iter().map(|r| r[0].in_).collect::<Vec<_>>(), vec![2, 4]);
+        // Without dedup all four survive (projected to width 1).
+        let mut op = ProjectOp::new(Box::new(RowsOp::new(rows)), vec![0], false);
+        assert_eq!(execute_all(&mut op, &ctx).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let (_e, store) = ctx_fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let rows = vec![vec![t(1), t(2), t(3)]];
+        let mut op = ProjectOp::new(Box::new(RowsOp::new(rows)), vec![2, 0], false);
+        let out = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(out[0].iter().map(|t| t.in_).collect::<Vec<_>>(), vec![3, 1]);
+    }
+
+    #[test]
+    fn singleton_and_limit() {
+        let (_e, store) = ctx_fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut s = SingletonOp::new();
+        assert_eq!(execute_all(&mut s, &ctx).unwrap(), vec![Vec::<NodeTuple>::new()]);
+        let rows = vec![vec![t(1)], vec![t(2)], vec![t(3)]];
+        let mut l = LimitOp::new(Box::new(RowsOp::new(rows)), 2);
+        assert_eq!(execute_all(&mut l, &ctx).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn nullary_dedup_keeps_single_row() {
+        // Projecting everything away with dedup = the exists check: many
+        // input rows collapse to one empty row.
+        let (_e, store) = ctx_fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let rows = vec![vec![t(1)], vec![t(2)], vec![t(3)]];
+        let mut op = ProjectOp::new(Box::new(RowsOp::new(rows)), vec![], true);
+        let out = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_empty());
+    }
+}

@@ -1,0 +1,597 @@
+//! Join operators: order-preserving nested loops, milestone-4 index nested
+//! loops, and the non-order-preserving block nested loops.
+
+use super::scan::{Probe, ProbeCursor};
+use crate::exec::{ExecContext, Operator};
+use crate::pred::{eval_all, PhysPred};
+use crate::row::Row;
+use crate::Result;
+
+/// Tuple-at-a-time nested-loops join (order-preserving). The right input is
+/// re-opened for every left row; with a [`super::MaterializeOp`] right this
+/// is the milestone-3 "write each intermediate result and re-read it"
+/// evaluation.
+pub struct NestedLoopJoinOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    preds: Vec<PhysPred>,
+    current_left: Option<Row>,
+}
+
+impl NestedLoopJoinOp {
+    /// Joins `left` and `right` under `preds` (right re-opened per left row).
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        preds: Vec<PhysPred>,
+    ) -> NestedLoopJoinOp {
+        NestedLoopJoinOp { left, right, preds, current_left: None }
+    }
+}
+
+impl Operator for NestedLoopJoinOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.current_left = None;
+        self.left.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next(ctx)? {
+                    Some(row) => {
+                        self.current_left = Some(row);
+                        self.right.open(ctx)?;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            while let Some(right_row) = self.right.next(ctx)? {
+                let mut joined = left.clone();
+                joined.extend(right_row);
+                if eval_all(&self.preds, &joined, ctx.bindings)? {
+                    return Ok(Some(joined));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.current_left = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "nl-join"
+    }
+}
+
+/// Index nested-loops join (milestone 4): for each left row, probe an XASR
+/// index. Order-preserving — probes deliver in document order per left row.
+pub struct IndexNestedLoopJoinOp {
+    left: Box<dyn Operator>,
+    probe: Probe,
+    /// Residual conjuncts over the joined row.
+    preds: Vec<PhysPred>,
+    current_left: Option<Row>,
+    cursor: Option<ProbeCursor>,
+}
+
+impl IndexNestedLoopJoinOp {
+    /// Probes `probe` per `left` row; `preds` are residual conjuncts.
+    pub fn new(
+        left: Box<dyn Operator>,
+        probe: Probe,
+        preds: Vec<PhysPred>,
+    ) -> IndexNestedLoopJoinOp {
+        IndexNestedLoopJoinOp { left, probe, preds, current_left: None, cursor: None }
+    }
+}
+
+impl Operator for IndexNestedLoopJoinOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.current_left = None;
+        self.cursor = None;
+        self.left.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next(ctx)? {
+                    Some(row) => {
+                        self.cursor = Some(ProbeCursor::start(&self.probe, Some(&row), ctx)?);
+                        self.current_left = Some(row);
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            let cursor = self.cursor.as_mut().expect("set with left");
+            while let Some(tuple) = cursor.next(ctx)? {
+                let mut joined = left.clone();
+                joined.push(tuple);
+                if eval_all(&self.preds, &joined, ctx.bindings)? {
+                    return Ok(Some(joined));
+                }
+            }
+            self.current_left = None;
+            self.cursor = None;
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.current_left = None;
+        self.cursor = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "inl-join"
+    }
+}
+
+/// Block nested-loops join: buffers a block of left rows, then scans the
+/// right once per block. Fewer right rescans than tuple-at-a-time NLJ, but
+/// **not order-preserving** (output order is right-major within a block) —
+/// plans using it must restore order by sorting, which is exactly the
+/// trade-off of the paper's ordering discussion.
+pub struct BlockNestedLoopJoinOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    preds: Vec<PhysPred>,
+    block_rows: usize,
+    block: Vec<Row>,
+    /// Index of the next block row to pair with the current right row.
+    block_pos: usize,
+    current_right: Option<Row>,
+    left_exhausted: bool,
+}
+
+impl BlockNestedLoopJoinOp {
+    /// Joins block-at-a-time with `block_rows` buffered left rows.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        preds: Vec<PhysPred>,
+        block_rows: usize,
+    ) -> BlockNestedLoopJoinOp {
+        BlockNestedLoopJoinOp {
+            left,
+            right,
+            preds,
+            block_rows: block_rows.max(1),
+            block: Vec::new(),
+            block_pos: 0,
+            current_right: None,
+            left_exhausted: false,
+        }
+    }
+
+    fn fill_block(&mut self, ctx: &ExecContext<'_>) -> Result<bool> {
+        self.block.clear();
+        while self.block.len() < self.block_rows {
+            match self.left.next(ctx)? {
+                Some(row) => self.block.push(row),
+                None => {
+                    self.left_exhausted = true;
+                    break;
+                }
+            }
+        }
+        Ok(!self.block.is_empty())
+    }
+}
+
+impl Operator for BlockNestedLoopJoinOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.block.clear();
+        self.block_pos = 0;
+        self.current_right = None;
+        self.left_exhausted = false;
+        self.left.open(ctx)?;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        loop {
+            if self.block.is_empty() {
+                if self.left_exhausted || !self.fill_block(ctx)? {
+                    return Ok(None);
+                }
+                self.right.open(ctx)?;
+                self.current_right = None;
+                self.block_pos = 0;
+            }
+            if self.current_right.is_none() {
+                match self.right.next(ctx)? {
+                    Some(row) => {
+                        self.current_right = Some(row);
+                        self.block_pos = 0;
+                    }
+                    None => {
+                        // Block finished against the whole right side.
+                        self.block.clear();
+                        continue;
+                    }
+                }
+            }
+            let right = self.current_right.as_ref().expect("set above");
+            while self.block_pos < self.block.len() {
+                let left = &self.block[self.block_pos];
+                self.block_pos += 1;
+                let mut joined = left.clone();
+                joined.extend(right.iter().cloned());
+                if eval_all(&self.preds, &joined, ctx.bindings)? {
+                    return Ok(Some(joined));
+                }
+            }
+            self.current_right = None;
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.block.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "bnl-join"
+    }
+}
+
+/// Left-outer index nested-loops join — the paper's proposed TPM extension
+/// ("one solution to this problem is to extend TPM by left-outer-joins"):
+/// every left row survives; when the probe yields no tuple passing the
+/// residual predicates, the row is emitted once with the
+/// [`NodeTuple::null`] sentinel in the joined column, so constructors can
+/// still emit their (empty) element for match-less outer bindings.
+pub struct LeftOuterIndexNestedLoopJoinOp {
+    left: Box<dyn Operator>,
+    probe: Probe,
+    preds: Vec<PhysPred>,
+    current_left: Option<Row>,
+    cursor: Option<ProbeCursor>,
+    matched: bool,
+}
+
+use xmldb_xasr::NodeTuple;
+
+impl LeftOuterIndexNestedLoopJoinOp {
+    /// Left-outer probe join; match-less left rows are NULL-padded.
+    pub fn new(
+        left: Box<dyn Operator>,
+        probe: Probe,
+        preds: Vec<PhysPred>,
+    ) -> LeftOuterIndexNestedLoopJoinOp {
+        LeftOuterIndexNestedLoopJoinOp {
+            left,
+            probe,
+            preds,
+            current_left: None,
+            cursor: None,
+            matched: false,
+        }
+    }
+}
+
+impl Operator for LeftOuterIndexNestedLoopJoinOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.current_left = None;
+        self.cursor = None;
+        self.matched = false;
+        self.left.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next(ctx)? {
+                    Some(row) => {
+                        self.cursor = Some(ProbeCursor::start(&self.probe, Some(&row), ctx)?);
+                        self.current_left = Some(row);
+                        self.matched = false;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            let cursor = self.cursor.as_mut().expect("set with left");
+            while let Some(tuple) = cursor.next(ctx)? {
+                let mut joined = left.clone();
+                joined.push(tuple);
+                if eval_all(&self.preds, &joined, ctx.bindings)? {
+                    self.matched = true;
+                    return Ok(Some(joined));
+                }
+            }
+            // Probe exhausted: emit the NULL-padded row if nothing matched.
+            let emit_null = !self.matched;
+            let mut padded = self.current_left.take().expect("set above");
+            self.cursor = None;
+            if emit_null {
+                padded.push(NodeTuple::null());
+                return Ok(Some(padded));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.current_left = None;
+        self.cursor = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "left-outer-inl-join"
+    }
+}
+
+/// Left-outer nested-loops join over a re-openable right input (the
+/// fallback when no index probe is derivable for the inner side).
+pub struct LeftOuterNestedLoopJoinOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    preds: Vec<PhysPred>,
+    current_left: Option<Row>,
+    matched: bool,
+}
+
+impl LeftOuterNestedLoopJoinOp {
+    /// Left-outer nested-loops join over a re-openable right.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        preds: Vec<PhysPred>,
+    ) -> LeftOuterNestedLoopJoinOp {
+        LeftOuterNestedLoopJoinOp { left, right, preds, current_left: None, matched: false }
+    }
+}
+
+impl Operator for LeftOuterNestedLoopJoinOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.current_left = None;
+        self.matched = false;
+        self.left.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next(ctx)? {
+                    Some(row) => {
+                        self.current_left = Some(row);
+                        self.matched = false;
+                        self.right.open(ctx)?;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            while let Some(right_row) = self.right.next(ctx)? {
+                debug_assert_eq!(right_row.len(), 1, "LOJ inners are single-relation");
+                let mut joined = left.clone();
+                joined.extend(right_row);
+                if eval_all(&self.preds, &joined, ctx.bindings)? {
+                    self.matched = true;
+                    return Ok(Some(joined));
+                }
+            }
+            let emit_null = !self.matched;
+            let mut padded = self.current_left.take().expect("set above");
+            if emit_null {
+                padded.push(NodeTuple::null());
+                return Ok(Some(padded));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.current_left = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "left-outer-nl-join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_all, Bindings};
+    use crate::ops::{RowsOp, ScanOp, Src};
+    use crate::pred::PhysOperand;
+    use xmldb_algebra::{Attr, CmpOp};
+    use xmldb_storage::Env;
+    use xmldb_xasr::shred_document;
+
+    const FIGURE2: &str =
+        "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+
+    fn fixture() -> (Env, xmldb_xasr::XasrStore) {
+        let env = Env::memory();
+        let store = shred_document(&env, "f", FIGURE2).unwrap();
+        (env, store)
+    }
+
+    fn descendant_preds(left: usize, right: usize) -> Vec<PhysPred> {
+        vec![
+            PhysPred {
+                op: CmpOp::Lt,
+                lhs: PhysOperand::Col { pos: left, attr: Attr::In },
+                rhs: PhysOperand::Col { pos: right, attr: Attr::In },
+                strict_text: false,
+            },
+            PhysPred {
+                op: CmpOp::Lt,
+                lhs: PhysOperand::Col { pos: right, attr: Attr::Out },
+                rhs: PhysOperand::Col { pos: left, attr: Attr::Out },
+                strict_text: false,
+            },
+        ]
+    }
+
+    /// Example 2 as a join: journals × names with descendant predicate.
+    #[test]
+    fn nlj_example2_bindings() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let left = ScanOp::new(Probe::ByLabel("journal".into()), vec![]);
+        let right = ScanOp::new(Probe::ByLabel("name".into()), vec![]);
+        let mut join = NestedLoopJoinOp::new(
+            Box::new(left),
+            Box::new(right),
+            descendant_preds(0, 1),
+        );
+        let rows = execute_all(&mut join, &ctx).unwrap();
+        let pairs: Vec<(u64, u64)> = rows.iter().map(|r| (r[0].in_, r[1].in_)).collect();
+        assert_eq!(pairs, vec![(2, 4), (2, 8)], "the Example 2 vartuple sequence");
+    }
+
+    #[test]
+    fn inlj_matches_nlj() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let left = ScanOp::new(Probe::ByLabel("journal".into()), vec![]);
+        let mut join = IndexNestedLoopJoinOp::new(
+            Box::new(left),
+            Probe::LabelDescendantsOf("name".into(), Src::Col(0)),
+            vec![],
+        );
+        let rows = execute_all(&mut join, &ctx).unwrap();
+        let pairs: Vec<(u64, u64)> = rows.iter().map(|r| (r[0].in_, r[1].in_)).collect();
+        assert_eq!(pairs, vec![(2, 4), (2, 8)]);
+    }
+
+    #[test]
+    fn bnlj_same_rows_different_order() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        // names × names cross (no preds) via both joins.
+        let mk_scan = || Box::new(ScanOp::new(Probe::ByLabel("name".into()), vec![]));
+        let mut nlj = NestedLoopJoinOp::new(mk_scan(), mk_scan(), vec![]);
+        let mut bnlj = BlockNestedLoopJoinOp::new(mk_scan(), mk_scan(), vec![], 10);
+        let a = execute_all(&mut nlj, &ctx).unwrap();
+        let b = execute_all(&mut bnlj, &ctx).unwrap();
+        assert_eq!(a.len(), 4);
+        let mut pa: Vec<(u64, u64)> = a.iter().map(|r| (r[0].in_, r[1].in_)).collect();
+        let mut pb: Vec<(u64, u64)> = b.iter().map(|r| (r[0].in_, r[1].in_)).collect();
+        // BNLJ with a block bigger than the input is right-major: (4,4),
+        // (8,4), (4,8), (8,8) — same set, different order.
+        assert_ne!(pa, pb, "BNLJ must not be order-preserving here");
+        pa.sort_unstable();
+        pb.sort_unstable();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn bnlj_small_blocks_rescan_right() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let left = ScanOp::new(Probe::Full, vec![]);
+        let right = ScanOp::new(Probe::ByLabel("name".into()), vec![]);
+        let mut join = BlockNestedLoopJoinOp::new(
+            Box::new(left),
+            Box::new(right),
+            descendant_preds(0, 1),
+            2, // 9 left rows → 5 blocks
+        );
+        let rows = execute_all(&mut join, &ctx).unwrap();
+        // Ancestors of names: root(1), journal(2), authors(3) each × both
+        // names, plus each name's own parents... count pairs (x, name).
+        let mut pairs: Vec<(u64, u64)> = rows.iter().map(|r| (r[0].in_, r[1].in_)).collect();
+        pairs.sort_unstable();
+        assert_eq!(
+            pairs,
+            vec![(1, 4), (1, 8), (2, 4), (2, 8), (3, 4), (3, 8)]
+        );
+    }
+
+    #[test]
+    fn left_outer_inlj_pads_with_null() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        // Every element × its text children: title(13) and authors(3) have
+        // none directly (authors' text is under name).
+        let left = ScanOp::new(Probe::ByLabel("name".into()), vec![]);
+        let mut join = LeftOuterIndexNestedLoopJoinOp::new(
+            Box::new(left),
+            Probe::ChildrenOf(Src::Col(0)),
+            vec![],
+        );
+        let rows = execute_all(&mut join, &ctx).unwrap();
+        // Both names have exactly one text child → two matched rows.
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r[1].is_null()));
+        // Authors element (in=3) as the left: children are elements, so a
+        // text()-style filter (via preds) yields NULL padding.
+        let left = ScanOp::new(Probe::ByLabel("authors".into()), vec![]);
+        let text_only = vec![PhysPred {
+            op: CmpOp::Eq,
+            lhs: PhysOperand::Col { pos: 1, attr: Attr::Type },
+            rhs: PhysOperand::Kind(xmldb_xasr::NodeType::Text),
+            strict_text: false,
+        }];
+        let mut join = LeftOuterIndexNestedLoopJoinOp::new(
+            Box::new(left),
+            Probe::ChildrenOf(Src::Col(0)),
+            text_only,
+        );
+        let rows = execute_all(&mut join, &ctx).unwrap();
+        assert_eq!(rows.len(), 1, "one padded row for the match-less left");
+        assert!(rows[0][1].is_null());
+    }
+
+    #[test]
+    fn left_outer_nlj_matches_inlj() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let preds = descendant_preds(0, 1);
+        let mut loj_nl = LeftOuterNestedLoopJoinOp::new(
+            Box::new(ScanOp::new(Probe::ByLabel("title".into()), vec![])),
+            Box::new(ScanOp::new(Probe::ByLabel("name".into()), vec![])),
+            preds,
+        );
+        let rows = execute_all(&mut loj_nl, &ctx).unwrap();
+        // Titles have no name descendants → single NULL-padded row.
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0][1].is_null());
+        let mut loj_inl = LeftOuterIndexNestedLoopJoinOp::new(
+            Box::new(ScanOp::new(Probe::ByLabel("title".into()), vec![])),
+            Probe::LabelDescendantsOf("name".into(), Src::Col(0)),
+            vec![],
+        );
+        let rows2 = execute_all(&mut loj_inl, &ctx).unwrap();
+        assert_eq!(
+            rows.iter().map(|r| (r[0].in_, r[1].in_)).collect::<Vec<_>>(),
+            rows2.iter().map(|r| (r[0].in_, r[1].in_)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn joins_with_empty_inputs() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let empty = || Box::new(RowsOp::new(vec![]));
+        let names = || Box::new(ScanOp::new(Probe::ByLabel("name".into()), vec![]));
+        let mut j1 = NestedLoopJoinOp::new(empty(), names(), vec![]);
+        assert!(execute_all(&mut j1, &ctx).unwrap().is_empty());
+        let mut j2 = NestedLoopJoinOp::new(names(), empty(), vec![]);
+        assert!(execute_all(&mut j2, &ctx).unwrap().is_empty());
+        let mut j3 = BlockNestedLoopJoinOp::new(empty(), names(), vec![], 4);
+        assert!(execute_all(&mut j3, &ctx).unwrap().is_empty());
+    }
+}

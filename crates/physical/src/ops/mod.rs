@@ -1,0 +1,14 @@
+//! The operator zoo. See crate docs for the inventory.
+
+mod filter;
+mod join;
+mod scan;
+mod sort;
+
+pub use filter::{FilterOp, LimitOp, ProjectOp, RowsOp, SingletonOp};
+pub use join::{
+    BlockNestedLoopJoinOp, IndexNestedLoopJoinOp, LeftOuterIndexNestedLoopJoinOp,
+    LeftOuterNestedLoopJoinOp, NestedLoopJoinOp,
+};
+pub use scan::{Probe, ScanOp, Src};
+pub use sort::{BTreeSortOp, MaterializeOp, SortOp};

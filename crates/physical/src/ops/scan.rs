@@ -1,0 +1,396 @@
+//! Access paths and the scan operator.
+
+use crate::exec::{ExecContext, Operator};
+use crate::pred::{eval_all, PhysPred};
+use crate::row::Row;
+use crate::{Error, Result};
+use xmldb_xasr::NodeTuple;
+use xmldb_xq::Var;
+
+/// Tuples fetched per index round-trip (block-based reading).
+const BATCH: usize = 128;
+
+/// Where a probe gets its context node from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Src {
+    /// A column of the outer row (index nested-loops join).
+    Col(usize),
+    /// An externally bound variable.
+    Ext(Var),
+}
+
+impl Src {
+    fn resolve(&self, left: Option<&Row>, ctx: &ExecContext<'_>) -> Result<NodeTuple> {
+        match self {
+            Src::Col(pos) => left
+                .and_then(|row| row.get(*pos))
+                .cloned()
+                .ok_or_else(|| Error::Xasr(format!("probe source column {pos} out of range"))),
+            Src::Ext(var) => ctx
+                .bindings
+                .get(var)
+                .cloned()
+                .ok_or_else(|| Error::UnboundVariable(var.to_string())),
+        }
+    }
+}
+
+/// An index access path — milestone 4's "index-based selection". Every
+/// probe yields tuples in document order, so index plans stay
+/// order-preserving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Probe {
+    /// Full clustered scan (the unoptimized engines' only access path).
+    Full,
+    /// All elements with a label, via the label index.
+    ByLabel(String),
+    /// Children of the context node, via the parent index.
+    ChildrenOf(Src),
+    /// Children with a label test (parent-index scan + label filter).
+    LabelChildrenOf(String, Src),
+    /// Descendants of the context node (clustered interval scan).
+    DescendantsOf(Src),
+    /// Descendants with a label (label-index interval scan — the covering
+    /// two-sided range the XASR encoding makes possible).
+    LabelDescendantsOf(String, Src),
+    /// Exactly the context node itself (`T.in = $x` lookups that survive
+    /// rewriting in the less-optimized engines).
+    Bound(Src),
+    /// All text nodes with exactly this content (text-value index — the
+    /// milestone-4 extension index for equality selections).
+    ByTextEq(String),
+    /// Text nodes whose content equals the context node's content (the
+    /// index-join side of an XQ value join). Errors with the paper's
+    /// non-text runtime error when the context node is not a text node.
+    TextEqOf(Src),
+}
+
+impl Probe {
+    /// Human-readable form for EXPLAIN.
+    pub fn describe(&self) -> String {
+        match self {
+            Probe::Full => "full-scan".to_string(),
+            Probe::ByLabel(l) => format!("label-scan({l})"),
+            Probe::ChildrenOf(s) => format!("children({s:?})"),
+            Probe::LabelChildrenOf(l, s) => format!("children({s:?}, label={l})"),
+            Probe::DescendantsOf(s) => format!("descendants({s:?})"),
+            Probe::LabelDescendantsOf(l, s) => format!("descendants({s:?}, label={l})"),
+            Probe::Bound(s) => format!("bound({s:?})"),
+            Probe::ByTextEq(t) => format!("text-eq({t:?})"),
+            Probe::TextEqOf(s) => format!("text-eq({s:?})"),
+        }
+    }
+}
+
+/// A running probe with owned cursor state (batched fetches).
+pub(crate) struct ProbeCursor {
+    resolved: Resolved,
+    /// Resume point: last `in` value delivered.
+    resume: Option<u64>,
+    batch: std::collections::VecDeque<NodeTuple>,
+    done: bool,
+}
+
+enum Resolved {
+    Full,
+    ByLabel(String),
+    Children { parent_in: u64 },
+    LabelChildren { label: String, parent_in: u64 },
+    Descendants { lo: u64, hi: u64 },
+    LabelDescendants { label: String, lo: u64, hi: u64 },
+    Bound(Option<NodeTuple>),
+    TextEq { text: String },
+}
+
+impl ProbeCursor {
+    pub(crate) fn start(
+        probe: &Probe,
+        left: Option<&Row>,
+        ctx: &ExecContext<'_>,
+    ) -> Result<ProbeCursor> {
+        let resolved = match probe {
+            Probe::Full => Resolved::Full,
+            Probe::ByLabel(l) => Resolved::ByLabel(l.clone()),
+            Probe::ChildrenOf(s) => {
+                Resolved::Children { parent_in: s.resolve(left, ctx)?.in_ }
+            }
+            Probe::LabelChildrenOf(l, s) => Resolved::LabelChildren {
+                label: l.clone(),
+                parent_in: s.resolve(left, ctx)?.in_,
+            },
+            Probe::DescendantsOf(s) => {
+                let t = s.resolve(left, ctx)?;
+                Resolved::Descendants { lo: t.in_, hi: t.out }
+            }
+            Probe::LabelDescendantsOf(l, s) => {
+                let t = s.resolve(left, ctx)?;
+                Resolved::LabelDescendants { label: l.clone(), lo: t.in_, hi: t.out }
+            }
+            Probe::Bound(s) => Resolved::Bound(Some(s.resolve(left, ctx)?)),
+            Probe::ByTextEq(t) => Resolved::TextEq { text: t.clone() },
+            Probe::TextEqOf(s) => {
+                let t = s.resolve(left, ctx)?;
+                match (t.kind, &t.value) {
+                    (xmldb_xasr::NodeType::Text, Some(content)) => {
+                        Resolved::TextEq { text: content.clone() }
+                    }
+                    _ => {
+                        return Err(Error::NonTextComparison {
+                            kind: t.kind,
+                            value: t.value.clone(),
+                        })
+                    }
+                }
+            }
+        };
+        Ok(ProbeCursor {
+            resolved,
+            resume: None,
+            batch: std::collections::VecDeque::new(),
+            done: false,
+        })
+    }
+
+    pub(crate) fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<NodeTuple>> {
+        loop {
+            if let Some(t) = self.batch.pop_front() {
+                self.resume = Some(t.in_);
+                return Ok(Some(t));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            let fetched: Vec<NodeTuple> = match &mut self.resolved {
+                Resolved::Full => ctx.store.clustered_batch(self.resume, None, BATCH)?,
+                Resolved::ByLabel(label) => {
+                    ctx.store.label_batch(label, self.resume, None, BATCH)?
+                }
+                Resolved::Children { parent_in } => {
+                    ctx.store.parent_batch(*parent_in, self.resume, BATCH)?
+                }
+                Resolved::LabelChildren { label, parent_in } => {
+                    let raw = ctx.store.parent_batch(*parent_in, self.resume, BATCH)?;
+                    if raw.is_empty() {
+                        Vec::new()
+                    } else {
+                        // Remember the raw resume point before filtering so
+                        // skipped tuples are not refetched forever.
+                        self.resume = Some(raw.last().expect("non-empty").in_);
+                        let filtered: Vec<NodeTuple> = raw
+                            .into_iter()
+                            .filter(|t| t.label() == Some(label.as_str()))
+                            .collect();
+                        if filtered.is_empty() {
+                            continue;
+                        }
+                        self.batch.extend(filtered);
+                        continue;
+                    }
+                }
+                Resolved::Descendants { lo, hi } => {
+                    let lower = Some(self.resume.map_or(*lo, |r| r.max(*lo)));
+                    ctx.store.clustered_batch(lower, Some(*hi), BATCH)?
+                }
+                Resolved::LabelDescendants { label, lo, hi } => {
+                    let lower = Some(self.resume.map_or(*lo, |r| r.max(*lo)));
+                    ctx.store.label_batch(label, lower, Some(*hi), BATCH)?
+                }
+                Resolved::TextEq { text } => {
+                    ctx.store.text_batch(text, self.resume, BATCH)?
+                }
+                Resolved::Bound(slot) => match slot.take() {
+                    Some(t) => {
+                        self.done = true;
+                        return Ok(Some(t));
+                    }
+                    None => Vec::new(),
+                },
+            };
+            if fetched.is_empty() {
+                self.done = true;
+                return Ok(None);
+            }
+            self.batch.extend(fetched);
+        }
+    }
+}
+
+/// Leaf scan: a probe plus pushed-down selection conjuncts, producing
+/// one-column rows.
+pub struct ScanOp {
+    probe: Probe,
+    filter: Vec<PhysPred>,
+    cursor: Option<ProbeCursor>,
+}
+
+impl ScanOp {
+    /// Creates a scan over `probe` with pushed-down `filter` conjuncts.
+    pub fn new(probe: Probe, filter: Vec<PhysPred>) -> ScanOp {
+        ScanOp { probe, filter, cursor: None }
+    }
+}
+
+impl Operator for ScanOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.cursor = Some(ProbeCursor::start(&self.probe, None, ctx)?);
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        let cursor = self.cursor.as_mut().ok_or_else(|| Error::Xasr("scan not open".into()))?;
+        while let Some(tuple) = cursor.next(ctx)? {
+            let row = vec![tuple];
+            if eval_all(&self.filter, &row, ctx.bindings)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.cursor = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_all, Bindings};
+    use xmldb_algebra::{Attr, CmpOp};
+    use xmldb_storage::Env;
+    use xmldb_xasr::{shred_document, NodeType};
+
+    const FIGURE2: &str =
+        "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+
+    fn fixture() -> (Env, xmldb_xasr::XasrStore) {
+        let env = Env::memory();
+        let store = shred_document(&env, "f", FIGURE2).unwrap();
+        (env, store)
+    }
+
+    fn ins(rows: &[Row]) -> Vec<u64> {
+        rows.iter().map(|r| r[0].in_).collect()
+    }
+
+    #[test]
+    fn full_scan_document_order() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(Probe::Full, vec![]);
+        let rows = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(ins(&rows), vec![1, 2, 3, 4, 5, 8, 9, 13, 14]);
+    }
+
+    #[test]
+    fn filtered_scan() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let filter = vec![PhysPred {
+            op: CmpOp::Eq,
+            lhs: crate::pred::PhysOperand::Col { pos: 0, attr: Attr::Type },
+            rhs: crate::pred::PhysOperand::Kind(NodeType::Text),
+            strict_text: false,
+        }];
+        let mut op = ScanOp::new(Probe::Full, filter);
+        let rows = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(ins(&rows), vec![5, 9, 14]);
+    }
+
+    #[test]
+    fn probe_by_label() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(Probe::ByLabel("name".into()), vec![]);
+        assert_eq!(ins(&execute_all(&mut op, &ctx).unwrap()), vec![4, 8]);
+        let mut op = ScanOp::new(Probe::ByLabel("ghost".into()), vec![]);
+        assert!(execute_all(&mut op, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn probe_children_of_ext() {
+        let (_e, store) = fixture();
+        let mut binds = Bindings::with_root(&store).unwrap();
+        binds.bind(Var::named("a"), store.get(3).unwrap().unwrap()); // authors
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(Probe::ChildrenOf(Src::Ext(Var::named("a"))), vec![]);
+        assert_eq!(ins(&execute_all(&mut op, &ctx).unwrap()), vec![4, 8]);
+    }
+
+    #[test]
+    fn probe_descendants_of_root_var() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(Probe::DescendantsOf(Src::Ext(Var::root())), vec![]);
+        assert_eq!(ins(&execute_all(&mut op, &ctx).unwrap()), vec![2, 3, 4, 5, 8, 9, 13, 14]);
+    }
+
+    #[test]
+    fn probe_label_descendants() {
+        let (_e, store) = fixture();
+        let mut binds = Bindings::with_root(&store).unwrap();
+        binds.bind(Var::named("j"), store.get(2).unwrap().unwrap());
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(
+            Probe::LabelDescendantsOf("name".into(), Src::Ext(Var::named("j"))),
+            vec![],
+        );
+        assert_eq!(ins(&execute_all(&mut op, &ctx).unwrap()), vec![4, 8]);
+    }
+
+    #[test]
+    fn probe_label_children_filters() {
+        let (_e, store) = fixture();
+        let mut binds = Bindings::with_root(&store).unwrap();
+        binds.bind(Var::named("j"), store.get(2).unwrap().unwrap());
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(
+            Probe::LabelChildrenOf("title".into(), Src::Ext(Var::named("j"))),
+            vec![],
+        );
+        assert_eq!(ins(&execute_all(&mut op, &ctx).unwrap()), vec![13]);
+        let mut op = ScanOp::new(
+            Probe::LabelChildrenOf("name".into(), Src::Ext(Var::named("j"))),
+            vec![],
+        );
+        assert!(execute_all(&mut op, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn probe_bound_emits_once() {
+        let (_e, store) = fixture();
+        let mut binds = Bindings::with_root(&store).unwrap();
+        binds.bind(Var::named("x"), store.get(5).unwrap().unwrap());
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(Probe::Bound(Src::Ext(Var::named("x"))), vec![]);
+        let rows = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(ins(&rows), vec![5]);
+    }
+
+    #[test]
+    fn reopen_restarts() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(Probe::ByLabel("name".into()), vec![]);
+        assert_eq!(execute_all(&mut op, &ctx).unwrap().len(), 2);
+        assert_eq!(execute_all(&mut op, &ctx).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unbound_var_is_error() {
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = ScanOp::new(Probe::ChildrenOf(Src::Ext(Var::named("zap"))), vec![]);
+        assert!(matches!(op.open(&ctx), Err(Error::UnboundVariable(_))));
+    }
+}

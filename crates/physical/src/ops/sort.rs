@@ -1,0 +1,334 @@
+//! Sort and materialization operators.
+
+use crate::exec::{ExecContext, Operator};
+use crate::row::{decode_row, encode_row, Row};
+use crate::{Error, Result};
+use xmldb_storage::{HeapFile, SortedRecords};
+
+/// Default sort memory budget (run-generation buffer).
+const SORT_BUDGET: usize = 2 << 20;
+
+/// External sort on the `in` values of key columns — approach (a) of the
+/// ordering discussion: restore hierarchical document order after a
+/// non-order-preserving plan (e.g. one using [`super::BlockNestedLoopJoinOp`]).
+pub struct SortOp {
+    input: Box<dyn Operator>,
+    key_cols: Vec<usize>,
+    sorted: Option<SortedRecords>,
+}
+
+impl SortOp {
+    /// Sorts `input` by the `in` values of `key_cols`.
+    pub fn new(input: Box<dyn Operator>, key_cols: Vec<usize>) -> SortOp {
+        SortOp { input, key_cols, sorted: None }
+    }
+}
+
+impl Operator for SortOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.input.open(ctx)?;
+        // Records are prefixed with the fixed-width sort key so the sorter
+        // can compare bytes directly.
+        let key_width = self.key_cols.len() * 8;
+        let mut sorter = xmldb_storage::ExternalSorter::new(
+            ctx.store.env(),
+            SORT_BUDGET,
+            move |a, b| a[..key_width].cmp(&b[..key_width]),
+        );
+        while let Some(row) = self.input.next(ctx)? {
+            let mut rec = Vec::with_capacity(key_width + 32);
+            for &c in &self.key_cols {
+                rec.extend_from_slice(&row[c].in_.to_be_bytes());
+            }
+            rec.extend_from_slice(&encode_row(&row));
+            sorter.push(rec)?;
+        }
+        self.input.close();
+        self.sorted = Some(sorter.finish()?);
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        let sorted = self.sorted.as_mut().ok_or_else(|| Error::Xasr("sort not open".into()))?;
+        let key_width = self.key_cols.len() * 8;
+        match sorted.next() {
+            Some(rec) => {
+                let rec = rec?;
+                Ok(Some(decode_row(&rec[key_width..])?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.sorted = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+}
+
+/// Materializes its input into a scratch heap file on first open, then
+/// streams from disk — including on re-opens, making any subtree cheaply
+/// re-iterable (the milestone-3 "write to disk each intermediate result,
+/// and re-read it whenever necessary as the input of a subsequent
+/// operation").
+pub struct MaterializeOp {
+    input: Box<dyn Operator>,
+    heap: Option<HeapFile>,
+    /// Cursor: (data page index, offset within the page's records).
+    page: u64,
+    buffered: Vec<Vec<u8>>,
+    buffer_pos: usize,
+}
+
+impl MaterializeOp {
+    /// Materializes `input` into a scratch file on first open.
+    pub fn new(input: Box<dyn Operator>) -> MaterializeOp {
+        MaterializeOp { input, heap: None, page: 0, buffered: Vec::new(), buffer_pos: 0 }
+    }
+}
+
+impl Operator for MaterializeOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        if self.heap.is_none() {
+            let mut heap = HeapFile::temp(ctx.store.env())?;
+            self.input.open(ctx)?;
+            while let Some(row) = self.input.next(ctx)? {
+                heap.append(&encode_row(&row))?;
+            }
+            self.input.close();
+            self.heap = Some(heap);
+        }
+        self.page = 0;
+        self.buffered.clear();
+        self.buffer_pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        let heap = self.heap.as_ref().ok_or_else(|| Error::Xasr("materialize not open".into()))?;
+        loop {
+            if self.buffer_pos < self.buffered.len() {
+                let rec = &self.buffered[self.buffer_pos];
+                self.buffer_pos += 1;
+                return Ok(Some(decode_row(rec)?));
+            }
+            if self.page >= heap.data_pages()? {
+                return Ok(None);
+            }
+            self.buffered = heap.page_records(self.page)?;
+            self.buffer_pos = 0;
+            self.page += 1;
+        }
+    }
+
+    fn close(&mut self) {
+        // Keep the heap: re-open streams it again without recompute. It is
+        // dropped (and its scratch file deleted) with the operator.
+        self.buffered.clear();
+        self.buffer_pos = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "materialize"
+    }
+}
+
+/// The student workaround the paper describes: "several students chose to
+/// enforce sorted intermediate results by constructing a clustered B-tree
+/// index on the input to the projection operator, thus retrieving the
+/// results in the proper order. While this is certainly not an elegant
+/// solution, we accepted it as a creative workaround."
+///
+/// Rows are inserted into a scratch B+-tree keyed by the sort columns (plus
+/// a disambiguating sequence number, since B+-tree keys are unique), then
+/// streamed back in key order. Compare against [`SortOp`] in the `ablations`
+/// bench to see why the external sort is the by-the-book choice.
+pub struct BTreeSortOp {
+    input: Box<dyn Operator>,
+    key_cols: Vec<usize>,
+    tree: Option<xmldb_storage::BTree>,
+    /// Resume key for streaming the sorted output.
+    cursor_after: Option<Vec<u8>>,
+}
+
+impl BTreeSortOp {
+    /// Sorts `input` via a scratch B+-tree keyed on `key_cols`.
+    pub fn new(input: Box<dyn Operator>, key_cols: Vec<usize>) -> BTreeSortOp {
+        BTreeSortOp { input, key_cols, tree: None, cursor_after: None }
+    }
+}
+
+impl Operator for BTreeSortOp {
+    fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.input.open(ctx)?;
+        let mut tree = xmldb_storage::BTree::temp(ctx.store.env())?;
+        let mut seq = 0u64;
+        while let Some(row) = self.input.next(ctx)? {
+            let mut key = Vec::with_capacity(self.key_cols.len() * 8 + 8);
+            for &c in &self.key_cols {
+                key.extend_from_slice(&row[c].in_.to_be_bytes());
+            }
+            // Unique suffix: duplicates must all survive (bag semantics).
+            key.extend_from_slice(&seq.to_be_bytes());
+            seq += 1;
+            tree.insert(&key, &encode_row(&row))?;
+        }
+        self.input.close();
+        self.tree = Some(tree);
+        self.cursor_after = None;
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
+        let tree = self.tree.as_ref().ok_or_else(|| Error::Xasr("btree-sort not open".into()))?;
+        let lower = match &self.cursor_after {
+            Some(k) => std::ops::Bound::Excluded(k.as_slice()),
+            None => std::ops::Bound::Unbounded,
+        };
+        match tree.range(lower, std::ops::Bound::Unbounded).next() {
+            Some(entry) => {
+                let (key, value) = entry?;
+                self.cursor_after = Some(key);
+                Ok(Some(decode_row(&value)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.tree = None;
+        self.cursor_after = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "btree-sort"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_all, Bindings};
+    use crate::ops::{Probe, RowsOp, ScanOp};
+    use xmldb_storage::Env;
+    use xmldb_xasr::{shred_document, NodeTuple, NodeType};
+
+    fn t(in_: u64) -> NodeTuple {
+        NodeTuple {
+            in_,
+            out: in_ + 1,
+            parent_in: 0,
+            kind: NodeType::Element,
+            value: Some("x".into()),
+        }
+    }
+
+    fn fixture() -> (Env, xmldb_xasr::XasrStore) {
+        let env = Env::memory();
+        let store = shred_document(&env, "f", "<a><b/><c/></a>").unwrap();
+        (env, store)
+    }
+
+    #[test]
+    fn sort_restores_order() {
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let rows = vec![
+            vec![t(9), t(1)],
+            vec![t(2), t(5)],
+            vec![t(9), t(0)],
+            vec![t(2), t(3)],
+        ];
+        let mut op = SortOp::new(Box::new(RowsOp::new(rows)), vec![0, 1]);
+        let out = execute_all(&mut op, &ctx).unwrap();
+        let keys: Vec<(u64, u64)> = out.iter().map(|r| (r[0].in_, r[1].in_)).collect();
+        assert_eq!(keys, vec![(2, 3), (2, 5), (9, 0), (9, 1)]);
+    }
+
+    #[test]
+    fn sort_large_input_spills() {
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let n = 20_000u64;
+        let rows: Vec<Row> = (0..n).map(|i| vec![t((i * 7919 + 13) % n)]).collect();
+        let mut op = SortOp::new(Box::new(RowsOp::new(rows)), vec![0]);
+        let out = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(out.len(), n as usize);
+        assert!(out.windows(2).all(|w| w[0][0].in_ <= w[1][0].in_));
+    }
+
+    #[test]
+    fn materialize_replays_without_recompute() {
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let ctx = ExecContext::new(&store, &binds);
+        let scan = ScanOp::new(Probe::Full, vec![]);
+        let mut op = MaterializeOp::new(Box::new(scan));
+        let first = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(first.len(), 4); // root, a, b, c
+        // Re-execution streams from the scratch file, same contents.
+        let io_before = store.env().io_stats();
+        let second = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(first, second);
+        let io_after = store.env().io_stats();
+        // Replay touched pages (reads) but performed no fresh index scans —
+        // at minimum it did not grow the store; just sanity-check it read
+        // something through the pool.
+        assert!(io_after.requests() >= io_before.requests());
+    }
+
+    #[test]
+    fn materialize_empty_input() {
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = MaterializeOp::new(Box::new(RowsOp::new(vec![])));
+        assert!(execute_all(&mut op, &ctx).unwrap().is_empty());
+        assert!(execute_all(&mut op, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn btree_sort_matches_external_sort() {
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let rows = vec![
+            vec![t(9), t(1)],
+            vec![t(2), t(5)],
+            vec![t(9), t(1)], // duplicate row must survive
+            vec![t(2), t(3)],
+        ];
+        let mut external = SortOp::new(Box::new(RowsOp::new(rows.clone())), vec![0, 1]);
+        let mut btree = BTreeSortOp::new(Box::new(RowsOp::new(rows)), vec![0, 1]);
+        let a = execute_all(&mut external, &ctx).unwrap();
+        let b = execute_all(&mut btree, &ctx).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        // Re-open restarts the stream.
+        let c = execute_all(&mut btree, &ctx).unwrap();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn btree_sort_empty() {
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = BTreeSortOp::new(Box::new(RowsOp::new(vec![])), vec![0]);
+        assert!(execute_all(&mut op, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sort_empty_input() {
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        let ctx = ExecContext::new(&store, &binds);
+        let mut op = SortOp::new(Box::new(RowsOp::new(vec![])), vec![0]);
+        assert!(execute_all(&mut op, &ctx).unwrap().is_empty());
+    }
+}

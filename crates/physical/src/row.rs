@@ -1,0 +1,86 @@
+//! Rows and their spill codec.
+
+use crate::{Error, Result};
+use xmldb_storage::codec;
+use xmldb_xasr::NodeTuple;
+
+/// A row: one XASR tuple per joined relation, in plan column order.
+pub type Row = Vec<NodeTuple>;
+
+/// Serializes a row for spilling (materialization, sort runs).
+pub fn encode_row(row: &Row) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + row.len() * 32);
+    codec::put_u64(&mut out, row.len() as u64);
+    for tuple in row {
+        codec::put_bytes(&mut out, &tuple.encode());
+    }
+    out
+}
+
+/// Inverse of [`encode_row`].
+pub fn decode_row(bytes: &[u8]) -> Result<Row> {
+    if bytes.len() < 8 {
+        return Err(Error::Xasr("row record too short".into()));
+    }
+    let mut pos = 0;
+    let n = codec::get_u64(bytes, &mut pos) as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tuple_bytes = codec::get_bytes(bytes, &mut pos);
+        row.push(NodeTuple::decode(tuple_bytes)?);
+    }
+    Ok(row)
+}
+
+/// Lexicographic comparison of rows by the `in` values of the given
+/// columns — "sorted hierarchically in document order" over those columns.
+pub fn compare_rows_by(cols: &[usize], a: &Row, b: &Row) -> std::cmp::Ordering {
+    for &c in cols {
+        match a[c].in_.cmp(&b[c].in_) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmldb_xasr::NodeType;
+
+    fn tuple(in_: u64) -> NodeTuple {
+        NodeTuple {
+            in_,
+            out: in_ + 1,
+            parent_in: 0,
+            kind: NodeType::Element,
+            value: Some(format!("e{in_}")),
+        }
+    }
+
+    #[test]
+    fn row_codec_roundtrip() {
+        for row in [vec![], vec![tuple(1)], vec![tuple(2), tuple(5), tuple(9)]] {
+            assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+        }
+    }
+
+    #[test]
+    fn compare_rows_hierarchical() {
+        use std::cmp::Ordering::*;
+        let a = vec![tuple(2), tuple(4)];
+        let b = vec![tuple(2), tuple(8)];
+        let c = vec![tuple(3), tuple(1)];
+        assert_eq!(compare_rows_by(&[0, 1], &a, &b), Less);
+        assert_eq!(compare_rows_by(&[0, 1], &b, &c), Less);
+        assert_eq!(compare_rows_by(&[0, 1], &a, &a), Equal);
+        assert_eq!(compare_rows_by(&[1], &c, &a), Less);
+        assert_eq!(compare_rows_by(&[], &a, &c), Equal);
+    }
+
+    #[test]
+    fn decode_rejects_short() {
+        assert!(decode_row(&[1, 2]).is_err());
+    }
+}

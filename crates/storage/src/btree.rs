@@ -1,0 +1,1112 @@
+//! B+-trees over byte-string keys, with range cursors, bulk loading and
+//! overflow pages for large values.
+//!
+//! The XASR layer builds its clustered index (on `in`) and its secondary
+//! indexes (on `(label, in)` and `(parent_in, in)`) from this structure;
+//! milestone-4 physical operators (index-based selection, index
+//! nested-loops join) are range scans over it.
+//!
+//! ## Design notes
+//!
+//! * Nodes are (de)serialized whole: a page is parsed into a `Node` value,
+//!   manipulated, and written back. This trades some memcpy for simplicity
+//!   and makes the free-space check trivial ("does the serialized node
+//!   fit"). Profiling on the Figure 7 workloads shows page parse cost is
+//!   dominated by buffer-pool traffic, which the cost model captures.
+//! * Keys must compare lexicographically ([`crate::codec`] provides
+//!   order-preserving encodings). Keys are unique; inserting an existing
+//!   key replaces its value.
+//! * Values up to an eighth of a page are stored inline; larger values go
+//!   to a chain of overflow pages (XASR `value` columns hold whole text
+//!   nodes, which in TREEBANK-like data can be long).
+//! * Deletion removes leaf entries without rebalancing — updates in the
+//!   course project were deliberately "as simple as possible". Pages are
+//!   never reclaimed (no free list); dropped overflow chains leak until the
+//!   file is rebuilt, which the bulk loader makes cheap.
+//!
+//! ```
+//! use xmldb_storage::{BTree, Env};
+//! let env = Env::memory();
+//! let mut tree = BTree::create(&env, "idx").unwrap();
+//! tree.insert(b"journal", b"value").unwrap();
+//! assert_eq!(tree.get(b"journal").unwrap(), Some(b"value".to_vec()));
+//! ```
+
+use crate::env::{Env, FileId};
+use crate::error::StorageError;
+use crate::page::PageId;
+use crate::temp::TempFile;
+use crate::Result;
+use std::ops::Bound;
+
+const MAGIC: &[u8; 4] = b"SABT";
+const META_ROOT: usize = 4;
+const META_COUNT: usize = 12;
+const META_HEIGHT: usize = 20;
+
+const NODE_HEADER: usize = 11;
+const TYPE_LEAF: u8 = 1;
+const TYPE_INTERNAL: u8 = 2;
+const NO_SIBLING: u64 = u64::MAX;
+
+/// A B+-tree. See module docs.
+pub struct BTree {
+    env: Env,
+    file: FileId,
+    _temp: Option<TempFile>,
+    root: PageId,
+    height: u32,
+    count: u64,
+}
+
+#[derive(Debug, Clone)]
+enum LeafVal {
+    Inline(Vec<u8>),
+    Overflow { page: u64, len: u32 },
+}
+
+#[derive(Debug, Clone)]
+enum NodeBody {
+    /// Sorted `(key, value)` cells.
+    Leaf(Vec<(Vec<u8>, LeafVal)>),
+    /// Sorted `(key, child)` cells; keys ≥ `key_i` and < `key_{i+1}` live
+    /// under `child_i`.
+    Internal(Vec<(Vec<u8>, u64)>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Leaf: right sibling page (or [`NO_SIBLING`]); internal: leftmost
+    /// child.
+    extra: u64,
+    body: NodeBody,
+}
+
+enum InsertOutcome {
+    Fit { replaced: bool },
+    Split { sep: Vec<u8>, right: u64, replaced: bool },
+}
+
+impl BTree {
+    // --- lifecycle ------------------------------------------------------------
+
+    /// Creates an empty tree in a fresh file named `name`.
+    pub fn create(env: &Env, name: &str) -> Result<BTree> {
+        let file = env.create_file(name)?;
+        Self::create_in(env, file)
+    }
+
+    /// Creates an empty tree in a self-deleting scratch file.
+    pub fn temp(env: &Env) -> Result<BTree> {
+        let tmp = TempFile::new(env)?;
+        let file = tmp.id();
+        let mut tree = Self::create_in(env, file)?;
+        tree._temp = Some(tmp);
+        Ok(tree)
+    }
+
+    /// Creates an empty tree in an existing, empty file.
+    pub fn create_in(env: &Env, file: FileId) -> Result<BTree> {
+        let meta = env.allocate_page(file)?;
+        debug_assert_eq!(meta, PageId(0));
+        let root = env.allocate_page(file)?;
+        let tree = BTree {
+            env: env.clone(),
+            file,
+            _temp: None,
+            root,
+            height: 1,
+            count: 0,
+        };
+        tree.write_node(root, &Node { extra: NO_SIBLING, body: NodeBody::Leaf(Vec::new()) })?;
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Opens an existing tree by file name.
+    pub fn open(env: &Env, name: &str) -> Result<BTree> {
+        let file = env.open_file(name)?;
+        Self::open_in(env, file, name)
+    }
+
+    fn open_in(env: &Env, file: FileId, name: &str) -> Result<BTree> {
+        let (root, count, height) = env.with_page(file, PageId(0), |data| {
+            if &data[..4] != MAGIC {
+                return Err(StorageError::corrupt(format!("{name}: bad btree magic")));
+            }
+            Ok((
+                u64::from_le_bytes(data[META_ROOT..META_ROOT + 8].try_into().unwrap()),
+                u64::from_le_bytes(data[META_COUNT..META_COUNT + 8].try_into().unwrap()),
+                u32::from_le_bytes(data[META_HEIGHT..META_HEIGHT + 4].try_into().unwrap()),
+            ))
+        })??;
+        Ok(BTree { env: env.clone(), file, _temp: None, root: PageId(root), height, count })
+    }
+
+    /// The underlying file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Largest permitted key for this page size. An eighth of a page still
+    /// guarantees at least three cells per node in the worst case (max key
+    /// + max inline value), so splits always have a valid separator.
+    pub fn max_key(&self) -> usize {
+        self.env.page_size() / 8
+    }
+
+    fn inline_threshold(&self) -> usize {
+        self.env.page_size() / 8
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        self.env.with_page_mut(self.file, PageId(0), |data| {
+            data[..4].copy_from_slice(MAGIC);
+            data[META_ROOT..META_ROOT + 8].copy_from_slice(&self.root.0.to_le_bytes());
+            data[META_COUNT..META_COUNT + 8].copy_from_slice(&self.count.to_le_bytes());
+            data[META_HEIGHT..META_HEIGHT + 4].copy_from_slice(&self.height.to_le_bytes());
+        })
+    }
+
+    // --- node (de)serialization -------------------------------------------------
+
+    fn read_node(&self, page: PageId) -> Result<Node> {
+        self.env.with_page(self.file, page, parse_node)?
+    }
+
+    fn write_node(&self, page: PageId, node: &Node) -> Result<()> {
+        self.env.with_page_mut(self.file, page, |data| serialize_node(node, data))?
+    }
+
+    // --- point operations --------------------------------------------------------
+
+    /// Looks up `key`, returning its value.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            let node = self.read_node(page)?;
+            match node.body {
+                NodeBody::Internal(cells) => {
+                    page = PageId(child_for(&cells, node.extra, key));
+                }
+                NodeBody::Leaf(cells) => {
+                    return match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(idx) => Ok(Some(self.load_value(&cells[idx].1)?)),
+                        Err(_) => Ok(None),
+                    };
+                }
+            }
+        }
+    }
+
+    /// True if `key` is present (no value materialization).
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        let mut page = self.root;
+        loop {
+            let node = self.read_node(page)?;
+            match node.body {
+                NodeBody::Internal(cells) => page = PageId(child_for(&cells, node.extra, key)),
+                NodeBody::Leaf(cells) => {
+                    return Ok(cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)).is_ok())
+                }
+            }
+        }
+    }
+
+    /// Inserts `key → value`, replacing any existing value. Returns `true`
+    /// if the key was new.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
+        if key.len() > self.max_key() {
+            return Err(StorageError::KeyTooLarge { len: key.len(), max: self.max_key() });
+        }
+        let val = self.store_value(value)?;
+        match self.insert_rec(self.root, key, val)? {
+            InsertOutcome::Fit { replaced } => {
+                if !replaced {
+                    self.count += 1;
+                }
+                self.write_meta()?;
+                Ok(!replaced)
+            }
+            InsertOutcome::Split { sep, right, replaced } => {
+                let new_root = PageId(self.env.allocate_page(self.file)?.0);
+                self.write_node(
+                    new_root,
+                    &Node { extra: self.root.0, body: NodeBody::Internal(vec![(sep, right)]) },
+                )?;
+                self.root = new_root;
+                self.height += 1;
+                if !replaced {
+                    self.count += 1;
+                }
+                self.write_meta()?;
+                Ok(!replaced)
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, page: PageId, key: &[u8], val: LeafVal) -> Result<InsertOutcome> {
+        let mut node = self.read_node(page)?;
+        match &mut node.body {
+            NodeBody::Leaf(cells) => {
+                let replaced = match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(idx) => {
+                        cells[idx].1 = val;
+                        true
+                    }
+                    Err(idx) => {
+                        cells.insert(idx, (key.to_vec(), val));
+                        false
+                    }
+                };
+                if node_size(&node) <= self.env.page_size() {
+                    self.write_node(page, &node)?;
+                    return Ok(InsertOutcome::Fit { replaced });
+                }
+                // Split the leaf.
+                let NodeBody::Leaf(cells) = node.body else { unreachable!() };
+                let split = split_point_leaf(&cells);
+                let right_cells = cells[split..].to_vec();
+                let left_cells = cells[..split].to_vec();
+                let sep = right_cells[0].0.clone();
+                let right_page = self.env.allocate_page(self.file)?;
+                self.write_node(
+                    right_page,
+                    &Node { extra: node.extra, body: NodeBody::Leaf(right_cells) },
+                )?;
+                self.write_node(
+                    page,
+                    &Node { extra: right_page.0, body: NodeBody::Leaf(left_cells) },
+                )?;
+                Ok(InsertOutcome::Split { sep, right: right_page.0, replaced })
+            }
+            NodeBody::Internal(cells) => {
+                let child = PageId(child_for(cells, node.extra, key));
+                match self.insert_rec(child, key, val)? {
+                    InsertOutcome::Fit { replaced } => Ok(InsertOutcome::Fit { replaced }),
+                    InsertOutcome::Split { sep, right, replaced } => {
+                        let idx = match cells.binary_search_by(|(k, _)| k.as_slice().cmp(&sep)) {
+                            Ok(i) => i + 1,
+                            Err(i) => i,
+                        };
+                        cells.insert(idx, (sep, right));
+                        if node_size(&node) <= self.env.page_size() {
+                            self.write_node(page, &node)?;
+                            return Ok(InsertOutcome::Fit { replaced });
+                        }
+                        // Split the internal node: the middle key moves up.
+                        let NodeBody::Internal(cells) = node.body else { unreachable!() };
+                        let mid = cells.len() / 2;
+                        let sep_up = cells[mid].0.clone();
+                        let right_extra = cells[mid].1;
+                        let right_cells = cells[mid + 1..].to_vec();
+                        let left_cells = cells[..mid].to_vec();
+                        let right_page = self.env.allocate_page(self.file)?;
+                        self.write_node(
+                            right_page,
+                            &Node { extra: right_extra, body: NodeBody::Internal(right_cells) },
+                        )?;
+                        self.write_node(
+                            page,
+                            &Node { extra: node.extra, body: NodeBody::Internal(left_cells) },
+                        )?;
+                        Ok(InsertOutcome::Split {
+                            sep: sep_up,
+                            right: right_page.0,
+                            replaced,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present. Leaves are never
+    /// rebalanced (see module docs).
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let mut page = self.root;
+        loop {
+            let mut node = self.read_node(page)?;
+            match &mut node.body {
+                NodeBody::Internal(cells) => page = PageId(child_for(cells, node.extra, key)),
+                NodeBody::Leaf(cells) => {
+                    match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(idx) => {
+                            cells.remove(idx);
+                            self.write_node(page, &node)?;
+                            self.count -= 1;
+                            self.write_meta()?;
+                            return Ok(true);
+                        }
+                        Err(_) => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    // --- values -------------------------------------------------------------------
+
+    fn store_value(&self, value: &[u8]) -> Result<LeafVal> {
+        if value.len() <= self.inline_threshold() {
+            return Ok(LeafVal::Inline(value.to_vec()));
+        }
+        // Write the overflow chain back-to-front so each page can point to
+        // the next.
+        let page_size = self.env.page_size();
+        let chunk_size = page_size - 12;
+        let mut next = NO_SIBLING;
+        let chunks: Vec<&[u8]> = value.chunks(chunk_size).collect();
+        for chunk in chunks.iter().rev() {
+            let page = self.env.allocate_page(self.file)?;
+            self.env.with_page_mut(self.file, page, |data| {
+                data[..8].copy_from_slice(&next.to_le_bytes());
+                data[8..12].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
+                data[12..12 + chunk.len()].copy_from_slice(chunk);
+            })?;
+            next = page.0;
+        }
+        Ok(LeafVal::Overflow { page: next, len: value.len() as u32 })
+    }
+
+    fn load_value(&self, val: &LeafVal) -> Result<Vec<u8>> {
+        match val {
+            LeafVal::Inline(bytes) => Ok(bytes.clone()),
+            LeafVal::Overflow { page, len } => {
+                let mut out = Vec::with_capacity(*len as usize);
+                let mut next = *page;
+                while next != NO_SIBLING {
+                    let (chunk, n) = self.env.with_page(self.file, PageId(next), |data| {
+                        let n = u64::from_le_bytes(data[..8].try_into().unwrap());
+                        let chunk_len =
+                            u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+                        (data[12..12 + chunk_len].to_vec(), n)
+                    })?;
+                    out.extend_from_slice(&chunk);
+                    next = n;
+                }
+                if out.len() != *len as usize {
+                    return Err(StorageError::corrupt("overflow chain length mismatch"));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    // --- range scans -----------------------------------------------------------------
+
+    /// Range cursor over `[lower, upper]` bounds, in key order.
+    pub fn range(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> Cursor<'_> {
+        Cursor {
+            tree: self,
+            state: CursorState::Unseeked {
+                lower: clone_bound(lower),
+            },
+            upper: clone_bound(upper),
+        }
+    }
+
+    /// Cursor over every entry.
+    pub fn iter(&self) -> Cursor<'_> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Cursor over every key with prefix `prefix` (works because keys are
+    /// compared lexicographically).
+    pub fn prefix(&self, prefix: &[u8]) -> Cursor<'_> {
+        let mut upper = prefix.to_vec();
+        // Successor of the prefix: bump the last non-0xFF byte.
+        loop {
+            match upper.last() {
+                Some(&0xFF) => {
+                    upper.pop();
+                }
+                Some(_) => {
+                    *upper.last_mut().expect("non-empty") += 1;
+                    break;
+                }
+                None => {
+                    // Prefix was all 0xFF: everything ≥ prefix matches.
+                    return self.range(Bound::Included(prefix), Bound::Unbounded);
+                }
+            }
+        }
+        Cursor {
+            tree: self,
+            state: CursorState::Unseeked { lower: Bound::Included(prefix.to_vec()) },
+            upper: Bound::Excluded(upper),
+        }
+    }
+
+    fn leaf_for(&self, key: &[u8]) -> Result<PageId> {
+        let mut page = self.root;
+        loop {
+            let node = self.read_node(page)?;
+            match node.body {
+                NodeBody::Internal(cells) => page = PageId(child_for(&cells, node.extra, key)),
+                NodeBody::Leaf(_) => return Ok(page),
+            }
+        }
+    }
+
+    fn leftmost_leaf(&self) -> Result<PageId> {
+        let mut page = self.root;
+        loop {
+            let node = self.read_node(page)?;
+            match node.body {
+                NodeBody::Internal(_) => page = PageId(node.extra),
+                NodeBody::Leaf(_) => return Ok(page),
+            }
+        }
+    }
+
+    // --- bulk loading -------------------------------------------------------------------
+
+    /// Builds a tree from an iterator of strictly-ascending `(key, value)`
+    /// pairs, replacing the current (empty) contents. Pages are filled to
+    /// ~90% so subsequent trickle inserts don't immediately split.
+    ///
+    /// # Errors
+    /// `Corrupt` if keys are not strictly ascending; the tree must be empty.
+    pub fn bulk_load<I>(&mut self, entries: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        if !self.is_empty() {
+            return Err(StorageError::corrupt("bulk_load requires an empty tree"));
+        }
+        let fill_limit = self.env.page_size() * 9 / 10;
+        let mut leaf_index: Vec<(Vec<u8>, u64)> = Vec::new();
+        let mut cells: Vec<(Vec<u8>, LeafVal)> = Vec::new();
+        let mut size = NODE_HEADER;
+        let mut prev_key: Option<Vec<u8>> = None;
+        let mut count = 0u64;
+        let mut pending_leaf: Option<(PageId, Node)> = None;
+
+        for (key, value) in entries {
+            if key.len() > self.max_key() {
+                return Err(StorageError::KeyTooLarge { len: key.len(), max: self.max_key() });
+            }
+            if let Some(prev) = &prev_key {
+                if *prev >= key {
+                    return Err(StorageError::corrupt("bulk_load keys must strictly ascend"));
+                }
+            }
+            prev_key = Some(key.clone());
+            let val = self.store_value(&value)?;
+            let cell = leaf_cell_size(&key, &val);
+            if size + cell > fill_limit && !cells.is_empty() {
+                let page = self.env.allocate_page(self.file)?;
+                let node = Node {
+                    extra: NO_SIBLING,
+                    body: NodeBody::Leaf(std::mem::take(&mut cells)),
+                };
+                if let Some((prev_page, mut prev_node)) = pending_leaf.take() {
+                    prev_node.extra = page.0;
+                    self.write_node(prev_page, &prev_node)?;
+                }
+                let first = match &node.body {
+                    NodeBody::Leaf(c) => c[0].0.clone(),
+                    _ => unreachable!(),
+                };
+                leaf_index.push((first, page.0));
+                pending_leaf = Some((page, node));
+                size = NODE_HEADER;
+            }
+            size += cell;
+            cells.push((key, val));
+            count += 1;
+        }
+        // Flush the final leaf.
+        let page = self.env.allocate_page(self.file)?;
+        let node = Node { extra: NO_SIBLING, body: NodeBody::Leaf(cells) };
+        if let Some((prev_page, mut prev_node)) = pending_leaf.take() {
+            prev_node.extra = page.0;
+            self.write_node(prev_page, &prev_node)?;
+        }
+        let first = match &node.body {
+            NodeBody::Leaf(c) if !c.is_empty() => c[0].0.clone(),
+            _ => Vec::new(),
+        };
+        self.write_node(page, &node)?;
+        leaf_index.push((first, page.0));
+
+        // Build internal levels bottom-up.
+        let mut level = leaf_index;
+        let mut height = 1u32;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level: Vec<(Vec<u8>, u64)> = Vec::new();
+            let mut iter = level.into_iter();
+            let mut group_first: Option<Vec<u8>> = None;
+            let mut extra: Option<u64> = None;
+            let mut node_cells: Vec<(Vec<u8>, u64)> = Vec::new();
+            let mut node_bytes = NODE_HEADER;
+            for (key, child) in &mut iter {
+                match extra {
+                    None => {
+                        group_first = Some(key);
+                        extra = Some(child);
+                    }
+                    Some(_) => {
+                        let cell = internal_cell_size(&key);
+                        if node_bytes + cell > fill_limit && !node_cells.is_empty() {
+                            let page = self.env.allocate_page(self.file)?;
+                            self.write_node(
+                                page,
+                                &Node {
+                                    extra: extra.take().expect("group has leftmost child"),
+                                    body: NodeBody::Internal(std::mem::take(&mut node_cells)),
+                                },
+                            )?;
+                            next_level
+                                .push((group_first.take().expect("group has first key"), page.0));
+                            // Start the next group with this entry as its
+                            // leftmost child.
+                            group_first = Some(key);
+                            extra = Some(child);
+                            node_bytes = NODE_HEADER;
+                            continue;
+                        }
+                        node_bytes += cell;
+                        node_cells.push((key, child));
+                    }
+                }
+            }
+            let page = self.env.allocate_page(self.file)?;
+            self.write_node(
+                page,
+                &Node {
+                    extra: extra.expect("at least one child"),
+                    body: NodeBody::Internal(node_cells),
+                },
+            )?;
+            next_level.push((group_first.expect("at least one key"), page.0));
+            level = next_level;
+        }
+        self.root = PageId(level[0].1);
+        self.height = height;
+        self.count = count;
+        self.write_meta()?;
+        Ok(())
+    }
+
+    /// First key in the tree (document-order start for XASR scans).
+    pub fn first_key(&self) -> Result<Option<Vec<u8>>> {
+        match self.iter().next() {
+            Some(Ok((k, _))) => Ok(Some(k)),
+            Some(Err(e)) => Err(e),
+            None => Ok(None),
+        }
+    }
+}
+
+// --- helpers -------------------------------------------------------------------
+
+/// Child page for `key` within an internal node.
+fn child_for(cells: &[(Vec<u8>, u64)], extra: u64, key: &[u8]) -> u64 {
+    // Rightmost cell with key_i ≤ key, else leftmost child.
+    match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+        Ok(idx) => cells[idx].1,
+        Err(0) => extra,
+        Err(idx) => cells[idx - 1].1,
+    }
+}
+
+fn leaf_cell_size(key: &[u8], val: &LeafVal) -> usize {
+    7 + key.len()
+        + match val {
+            LeafVal::Inline(v) => v.len(),
+            LeafVal::Overflow { .. } => 12,
+        }
+}
+
+fn internal_cell_size(key: &[u8]) -> usize {
+    10 + key.len()
+}
+
+fn node_size(node: &Node) -> usize {
+    NODE_HEADER
+        + match &node.body {
+            NodeBody::Leaf(cells) => {
+                cells.iter().map(|(k, v)| leaf_cell_size(k, v)).sum::<usize>()
+            }
+            NodeBody::Internal(cells) => {
+                cells.iter().map(|(k, _)| internal_cell_size(k)).sum::<usize>()
+            }
+        }
+}
+
+/// Split index for an oversized leaf: the first index where the left half's
+/// serialized size reaches half the total, clamped to keep both sides
+/// non-empty.
+fn split_point_leaf(cells: &[(Vec<u8>, LeafVal)]) -> usize {
+    let total: usize = cells.iter().map(|(k, v)| leaf_cell_size(k, v)).sum();
+    let mut acc = 0usize;
+    for (i, (k, v)) in cells.iter().enumerate() {
+        acc += leaf_cell_size(k, v);
+        if acc >= total / 2 {
+            return (i + 1).clamp(1, cells.len() - 1);
+        }
+    }
+    cells.len() / 2
+}
+
+fn parse_node(data: &[u8]) -> Result<Node> {
+    let node_type = data[0];
+    let nkeys = u16::from_le_bytes([data[1], data[2]]) as usize;
+    let extra = u64::from_le_bytes(data[3..11].try_into().unwrap());
+    let mut pos = NODE_HEADER;
+    match node_type {
+        TYPE_LEAF => {
+            let mut cells = Vec::with_capacity(nkeys);
+            for _ in 0..nkeys {
+                let flags = data[pos];
+                let key_len = u16::from_le_bytes([data[pos + 1], data[pos + 2]]) as usize;
+                let val_len =
+                    u32::from_le_bytes(data[pos + 3..pos + 7].try_into().unwrap()) as usize;
+                pos += 7;
+                let key = data[pos..pos + key_len].to_vec();
+                pos += key_len;
+                let val = if flags & 1 != 0 {
+                    let page = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+                    let len = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap());
+                    pos += 12;
+                    LeafVal::Overflow { page, len }
+                } else {
+                    let v = data[pos..pos + val_len].to_vec();
+                    pos += val_len;
+                    LeafVal::Inline(v)
+                };
+                cells.push((key, val));
+            }
+            Ok(Node { extra, body: NodeBody::Leaf(cells) })
+        }
+        TYPE_INTERNAL => {
+            let mut cells = Vec::with_capacity(nkeys);
+            for _ in 0..nkeys {
+                let key_len = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+                let child = u64::from_le_bytes(data[pos + 2..pos + 10].try_into().unwrap());
+                pos += 10;
+                let key = data[pos..pos + key_len].to_vec();
+                pos += key_len;
+                cells.push((key, child));
+            }
+            Ok(Node { extra, body: NodeBody::Internal(cells) })
+        }
+        t => Err(StorageError::corrupt(format!("unknown btree node type {t}"))),
+    }
+}
+
+fn serialize_node(node: &Node, data: &mut [u8]) -> Result<()> {
+    debug_assert!(node_size(node) <= data.len(), "node does not fit page");
+    data[3..11].copy_from_slice(&node.extra.to_le_bytes());
+    let mut pos = NODE_HEADER;
+    match &node.body {
+        NodeBody::Leaf(cells) => {
+            data[0] = TYPE_LEAF;
+            data[1..3].copy_from_slice(&(cells.len() as u16).to_le_bytes());
+            for (key, val) in cells {
+                let (flags, val_len) = match val {
+                    LeafVal::Inline(v) => (0u8, v.len() as u32),
+                    LeafVal::Overflow { len, .. } => (1u8, *len),
+                };
+                data[pos] = flags;
+                data[pos + 1..pos + 3].copy_from_slice(&(key.len() as u16).to_le_bytes());
+                data[pos + 3..pos + 7].copy_from_slice(&val_len.to_le_bytes());
+                pos += 7;
+                data[pos..pos + key.len()].copy_from_slice(key);
+                pos += key.len();
+                match val {
+                    LeafVal::Inline(v) => {
+                        data[pos..pos + v.len()].copy_from_slice(v);
+                        pos += v.len();
+                    }
+                    LeafVal::Overflow { page, len } => {
+                        data[pos..pos + 8].copy_from_slice(&page.to_le_bytes());
+                        data[pos + 8..pos + 12].copy_from_slice(&len.to_le_bytes());
+                        pos += 12;
+                    }
+                }
+            }
+        }
+        NodeBody::Internal(cells) => {
+            data[0] = TYPE_INTERNAL;
+            data[1..3].copy_from_slice(&(cells.len() as u16).to_le_bytes());
+            for (key, child) in cells {
+                data[pos..pos + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+                data[pos + 2..pos + 10].copy_from_slice(&child.to_le_bytes());
+                pos += 10;
+                data[pos..pos + key.len()].copy_from_slice(key);
+                pos += key.len();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn clone_bound(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.to_vec()),
+        Bound::Excluded(k) => Bound::Excluded(k.to_vec()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+// --- cursor --------------------------------------------------------------------
+
+enum CursorState {
+    Unseeked { lower: Bound<Vec<u8>> },
+    /// Positioned within a parsed leaf.
+    At { cells: Vec<(Vec<u8>, LeafVal)>, idx: usize, next_leaf: u64 },
+    Done,
+}
+
+/// Forward range iterator over a [`BTree`]. Yields `(key, value)` pairs in
+/// ascending key order.
+pub struct Cursor<'a> {
+    tree: &'a BTree,
+    state: CursorState,
+    upper: Bound<Vec<u8>>,
+}
+
+impl<'a> Cursor<'a> {
+    fn seek(&mut self, lower: Bound<Vec<u8>>) -> Result<()> {
+        let leaf = match &lower {
+            Bound::Unbounded => self.tree.leftmost_leaf()?,
+            Bound::Included(k) | Bound::Excluded(k) => self.tree.leaf_for(k)?,
+        };
+        let node = self.tree.read_node(leaf)?;
+        let NodeBody::Leaf(cells) = node.body else {
+            return Err(StorageError::corrupt("leaf_for returned internal node"));
+        };
+        let idx = match &lower {
+            Bound::Unbounded => 0,
+            Bound::Included(k) => {
+                match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
+                    Ok(i) => i,
+                    Err(i) => i,
+                }
+            }
+            Bound::Excluded(k) => {
+                match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                }
+            }
+        };
+        self.state = CursorState::At { cells, idx, next_leaf: node.extra };
+        Ok(())
+    }
+
+    fn advance(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        if matches!(self.state, CursorState::Unseeked { .. }) {
+            let CursorState::Unseeked { lower } =
+                std::mem::replace(&mut self.state, CursorState::Done)
+            else {
+                unreachable!("matched Unseeked above")
+            };
+            self.seek(lower)?;
+        }
+        loop {
+            match &mut self.state {
+                CursorState::Done | CursorState::Unseeked { .. } => return Ok(None),
+                CursorState::At { cells, idx, next_leaf } => {
+                    if *idx < cells.len() {
+                        let (key, val) = &cells[*idx];
+                        let in_range = match &self.upper {
+                            Bound::Unbounded => true,
+                            Bound::Included(u) => key.as_slice() <= u.as_slice(),
+                            Bound::Excluded(u) => key.as_slice() < u.as_slice(),
+                        };
+                        if !in_range {
+                            self.state = CursorState::Done;
+                            return Ok(None);
+                        }
+                        let key = key.clone();
+                        let value = self.tree.load_value(val)?;
+                        *idx += 1;
+                        return Ok(Some((key, value)));
+                    }
+                    if *next_leaf == NO_SIBLING {
+                        self.state = CursorState::Done;
+                        return Ok(None);
+                    }
+                    let next_page = PageId(*next_leaf);
+                    let node = self.tree.read_node(next_page)?;
+                    let NodeBody::Leaf(next_cells) = node.body else {
+                        return Err(StorageError::corrupt("sibling pointer to internal node"));
+                    };
+                    self.state =
+                        CursorState::At { cells: next_cells, idx: 0, next_leaf: node.extra };
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for Cursor<'a> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.advance() {
+            Ok(Some(pair)) => Some(Ok(pair)),
+            Ok(None) => None,
+            Err(e) => {
+                self.state = CursorState::Done;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvConfig;
+
+    fn key(i: u64) -> Vec<u8> {
+        let mut k = Vec::new();
+        crate::codec::put_u64(&mut k, i);
+        k
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        assert!(t.insert(b"b", b"2").unwrap());
+        assert!(t.insert(b"a", b"1").unwrap());
+        assert!(t.insert(b"c", b"3").unwrap());
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.get(b"c").unwrap(), Some(b"3".to_vec()));
+        assert_eq!(t.get(b"d").unwrap(), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn replace_value() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        assert!(t.insert(b"k", b"old").unwrap());
+        assert!(!t.insert(b"k", b"new").unwrap());
+        assert_eq!(t.get(b"k").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let mut t = BTree::create(&env, "t").unwrap();
+        // Insert in a scrambled order.
+        let n = 2000u64;
+        let mut order: Vec<u64> = (0..n).collect();
+        // Deterministic shuffle.
+        for i in 0..order.len() {
+            let j = (i * 7919 + 13) % order.len();
+            order.swap(i, j);
+        }
+        for &i in &order {
+            t.insert(&key(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.height() > 1, "tree should have split");
+        for i in 0..n {
+            assert_eq!(t.get(&key(i)).unwrap(), Some(format!("v{i}").into_bytes()));
+        }
+        // Full scan is sorted and complete.
+        let keys: Vec<Vec<u8>> = t.iter().map(|r| r.unwrap().0).collect();
+        assert_eq!(keys.len(), n as usize);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        for i in 0..100u64 {
+            t.insert(&key(i), b"").unwrap();
+        }
+        let collect = |lo: Bound<&[u8]>, hi: Bound<&[u8]>| -> Vec<u64> {
+            t.range(lo, hi)
+                .map(|r| {
+                    let (k, _) = r.unwrap();
+                    let mut pos = 0;
+                    crate::codec::get_u64(&k, &mut pos)
+                })
+                .collect()
+        };
+        let k10 = key(10);
+        let k20 = key(20);
+        assert_eq!(
+            collect(Bound::Included(&k10), Bound::Excluded(&k20)),
+            (10..20).collect::<Vec<u64>>()
+        );
+        assert_eq!(
+            collect(Bound::Excluded(&k10), Bound::Included(&k20)),
+            (11..=20).collect::<Vec<u64>>()
+        );
+        assert_eq!(collect(Bound::Unbounded, Bound::Excluded(&k10)), (0..10).collect::<Vec<u64>>());
+        assert_eq!(
+            collect(Bound::Included(&key(95)), Bound::Unbounded),
+            (95..100).collect::<Vec<u64>>()
+        );
+        assert_eq!(collect(Bound::Included(&key(200)), Bound::Unbounded), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        for (k, v) in [
+            ("author\x001", "a1"),
+            ("author\x002", "a2"),
+            ("journal\x001", "j1"),
+            ("title\x001", "t1"),
+        ] {
+            t.insert(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        let hits: Vec<Vec<u8>> = t.prefix(b"author\x00").map(|r| r.unwrap().1).collect();
+        assert_eq!(hits, vec![b"a1".to_vec(), b"a2".to_vec()]);
+        assert_eq!(t.prefix(b"volume\x00").count(), 0);
+        assert_eq!(t.prefix(b"journal\x00").count(), 1);
+    }
+
+    #[test]
+    fn delete_removes_entries() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        for i in 0..50u64 {
+            t.insert(&key(i), b"x").unwrap();
+        }
+        for i in (0..50u64).step_by(2) {
+            assert!(t.delete(&key(i)).unwrap());
+        }
+        assert!(!t.delete(&key(0)).unwrap(), "double delete");
+        assert_eq!(t.len(), 25);
+        for i in 0..50u64 {
+            assert_eq!(t.get(&key(i)).unwrap().is_some(), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn overflow_values_roundtrip() {
+        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let mut t = BTree::create(&env, "t").unwrap();
+        let big = vec![0xABu8; 5000]; // ~10 overflow pages at 512B
+        t.insert(b"big", &big).unwrap();
+        t.insert(b"small", b"s").unwrap();
+        assert_eq!(t.get(b"big").unwrap(), Some(big.clone()));
+        // Cursor also materializes overflow values.
+        let all: Vec<(Vec<u8>, Vec<u8>)> = t.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(all[0], (b"big".to_vec(), big));
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let n = 5000u64;
+        let mut bulk = BTree::create(&env, "bulk").unwrap();
+        bulk.bulk_load((0..n).map(|i| (key(i), format!("v{i}").into_bytes()))).unwrap();
+        assert_eq!(bulk.len(), n);
+        for i in (0..n).step_by(97) {
+            assert_eq!(bulk.get(&key(i)).unwrap(), Some(format!("v{i}").into_bytes()));
+        }
+        let keys: Vec<Vec<u8>> = bulk.iter().map(|r| r.unwrap().0).collect();
+        assert_eq!(keys.len(), n as usize);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // Bulk-loaded trees accept subsequent inserts.
+        let mut bulk = bulk;
+        bulk.insert(&key(n + 1), b"late").unwrap();
+        assert_eq!(bulk.get(&key(n + 1)).unwrap(), Some(b"late".to_vec()));
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        let err = t.bulk_load(vec![(key(2), vec![]), (key(1), vec![])]).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn bulk_load_empty_iter() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        t.bulk_load(Vec::new()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        // And still usable.
+        t.insert(b"x", b"y").unwrap();
+        assert_eq!(t.get(b"x").unwrap(), Some(b"y".to_vec()));
+    }
+
+    #[test]
+    fn key_too_large_rejected() {
+        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let mut t = BTree::create(&env, "t").unwrap();
+        let err = t.insert(&[0u8; 100], b"").unwrap_err();
+        assert!(matches!(err, StorageError::KeyTooLarge { .. }));
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("saardb-btree-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let env = Env::open_dir(&dir, EnvConfig::default()).unwrap();
+            let mut t = BTree::create(&env, "idx").unwrap();
+            for i in 0..1000u64 {
+                t.insert(&key(i), format!("v{i}").as_bytes()).unwrap();
+            }
+            env.flush().unwrap();
+        }
+        {
+            let env = Env::open_dir(&dir, EnvConfig::default()).unwrap();
+            let t = BTree::open(&env, "idx").unwrap();
+            assert_eq!(t.len(), 1000);
+            assert_eq!(t.get(&key(500)).unwrap(), Some(b"v500".to_vec()));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_tree_self_deletes() {
+        let env = Env::memory();
+        let id;
+        {
+            let mut t = BTree::temp(&env).unwrap();
+            t.insert(b"k", b"v").unwrap();
+            id = t.file_id();
+        }
+        assert!(env.page_count(id).is_err());
+    }
+
+    #[test]
+    fn first_key_and_contains() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        assert_eq!(t.first_key().unwrap(), None);
+        t.insert(&key(5), b"").unwrap();
+        t.insert(&key(3), b"").unwrap();
+        assert_eq!(t.first_key().unwrap(), Some(key(3)));
+        assert!(t.contains(&key(5)).unwrap());
+        assert!(!t.contains(&key(4)).unwrap());
+    }
+}

@@ -1,0 +1,145 @@
+//! Order-preserving byte encodings for composite B+-tree keys, plus simple
+//! little-endian record codecs.
+//!
+//! Lexicographic comparison of encoded bytes must equal the natural order of
+//! the encoded values. For the XASR indexes the composite keys are
+//! `(in)`, `(label, in)` and `(parent_in, in)`; `u64`s are encoded
+//! big-endian and strings are terminated with `0x00` (values never contain
+//! NUL — enforced by the XML layer, which rejects NUL as an invalid
+//! character in names and resolves entities to valid chars only; the
+//! encoder double-checks).
+
+use std::cmp::Ordering;
+
+/// Appends a big-endian `u64` (order-preserving).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Reads a big-endian `u64` at `pos`, advancing it.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[*pos..*pos + 8]);
+    *pos += 8;
+    u64::from_be_bytes(bytes)
+}
+
+/// Appends a NUL-terminated string (order-preserving for NUL-free strings).
+///
+/// # Panics
+/// Debug-asserts the string contains no NUL byte.
+pub fn put_str_terminated(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(!s.as_bytes().contains(&0), "NUL in key string");
+    out.extend_from_slice(s.as_bytes());
+    out.push(0);
+}
+
+/// Reads a NUL-terminated string at `pos`, advancing past the terminator.
+pub fn get_str_terminated<'a>(buf: &'a [u8], pos: &mut usize) -> &'a str {
+    let start = *pos;
+    let end = buf[start..]
+        .iter()
+        .position(|&b| b == 0)
+        .map(|i| start + i)
+        .expect("missing NUL terminator");
+    *pos = end + 1;
+    std::str::from_utf8(&buf[start..end]).expect("key strings are UTF-8")
+}
+
+/// Appends a length-prefixed byte slice (u32 LE length). Not
+/// order-preserving; for record payloads only.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte slice at `pos`.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> &'a [u8] {
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&buf[*pos..*pos + 4]);
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    *pos += 4;
+    let out = &buf[*pos..*pos + len];
+    *pos += len;
+    out
+}
+
+/// Compares two encoded keys (plain lexicographic byte order — the codec's
+/// whole contract is that this is the right comparison).
+#[inline]
+pub fn compare_keys(a: &[u8], b: &[u8]) -> Ordering {
+    a.cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_and_order() {
+        let values = [0u64, 1, 255, 256, u32::MAX as u64, u64::MAX - 1, u64::MAX];
+        let mut encoded: Vec<Vec<u8>> = Vec::new();
+        for &v in &values {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos), v);
+            assert_eq!(pos, 8);
+            encoded.push(buf);
+        }
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1], "order not preserved");
+        }
+    }
+
+    #[test]
+    fn str_roundtrip_and_order() {
+        let values = ["", "a", "ab", "b", "journal", "journals"];
+        for &v in &values {
+            let mut buf = Vec::new();
+            put_str_terminated(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_str_terminated(&buf, &mut pos), v);
+            assert_eq!(pos, buf.len());
+        }
+        // "a" < "ab": terminator 0x00 sorts before 'b', preserving prefix
+        // order.
+        let mut a = Vec::new();
+        let mut ab = Vec::new();
+        put_str_terminated(&mut a, "a");
+        put_str_terminated(&mut ab, "ab");
+        assert!(a < ab);
+    }
+
+    #[test]
+    fn composite_key_order_matches_tuple_order() {
+        // (label, in) composite: compare as tuples, then as bytes.
+        let tuples = [("author", 5u64), ("author", 9), ("journal", 1), ("title", 2)];
+        let encode = |(s, n): (&str, u64)| {
+            let mut buf = Vec::new();
+            put_str_terminated(&mut buf, s);
+            put_u64(&mut buf, n);
+            buf
+        };
+        for a in tuples {
+            for b in tuples {
+                let byte_order = compare_keys(&encode(a), &encode(b));
+                let tuple_order = a.cmp(&b);
+                assert_eq!(byte_order, tuple_order, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        put_bytes(&mut buf, &[0u8, 1, 2]);
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos), b"hello");
+        assert_eq!(get_bytes(&buf, &mut pos), b"");
+        assert_eq!(get_bytes(&buf, &mut pos), &[0u8, 1, 2]);
+        assert_eq!(pos, buf.len());
+    }
+}

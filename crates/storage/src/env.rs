@@ -1,0 +1,391 @@
+//! The storage environment: a set of named paged files sharing one buffer
+//! pool (the analogue of a Berkeley DB environment).
+
+use crate::backend::{Backend, FileBackend, MemBackend};
+use crate::buffer::{AccessMode, BufferPool, IoSnapshot};
+use crate::error::StorageError;
+use crate::page::{PageId, DEFAULT_PAGE_SIZE};
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Identifier of an open file within an [`Env`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Environment configuration.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Page size in bytes for every file of the environment.
+    pub page_size: usize,
+    /// Buffer-pool budget in bytes. The efficiency tests of the paper used
+    /// 20 MB; the default here is 4 MiB, adequate for the scaled-down
+    /// workloads.
+    pub pool_bytes: usize,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig { page_size: DEFAULT_PAGE_SIZE, pool_bytes: 4 << 20 }
+    }
+}
+
+impl EnvConfig {
+    /// Configuration with a pool of exactly `bytes` bytes.
+    pub fn with_pool_bytes(bytes: usize) -> EnvConfig {
+        EnvConfig { pool_bytes: bytes, ..EnvConfig::default() }
+    }
+}
+
+struct FileEntry {
+    backend: Arc<dyn Backend>,
+    name: String,
+}
+
+struct FileTable {
+    by_name: HashMap<String, FileId>,
+    by_id: HashMap<FileId, FileEntry>,
+    next: u32,
+}
+
+struct EnvInner {
+    config: EnvConfig,
+    /// Directory for on-disk environments; `None` keeps everything in RAM.
+    dir: Option<PathBuf>,
+    files: Mutex<FileTable>,
+    pool: BufferPool,
+    next_temp: Mutex<u64>,
+}
+
+/// A storage environment. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Env {
+    inner: Arc<EnvInner>,
+}
+
+impl Env {
+    /// Creates an in-memory environment with default configuration.
+    pub fn memory() -> Env {
+        Env::memory_with(EnvConfig::default())
+    }
+
+    /// Creates an in-memory environment with explicit configuration.
+    pub fn memory_with(config: EnvConfig) -> Env {
+        Env::build(None, config)
+    }
+
+    /// Opens (creating if needed) an on-disk environment rooted at `dir`.
+    pub fn open_dir(dir: impl Into<PathBuf>, config: EnvConfig) -> Result<Env> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Env::build(Some(dir), config))
+    }
+
+    fn build(dir: Option<PathBuf>, config: EnvConfig) -> Env {
+        let frames = (config.pool_bytes / config.page_size).max(8);
+        let pool = BufferPool::new(frames, config.page_size);
+        Env {
+            inner: Arc::new(EnvInner {
+                config,
+                dir,
+                files: Mutex::new(FileTable {
+                    by_name: HashMap::new(),
+                    by_id: HashMap::new(),
+                    next: 0,
+                }),
+                pool,
+                next_temp: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// Page size of this environment.
+    pub fn page_size(&self) -> usize {
+        self.inner.config.page_size
+    }
+
+    /// Buffer pool frame count.
+    pub fn pool_frames(&self) -> usize {
+        self.inner.pool.capacity()
+    }
+
+    /// True if the environment is backed by a directory on disk.
+    pub fn is_on_disk(&self) -> bool {
+        self.inner.dir.is_some()
+    }
+
+    fn disk_path(&self, name: &str) -> Option<PathBuf> {
+        self.inner.dir.as_ref().map(|d| d.join(format!("{name}.sdb")))
+    }
+
+    fn register(&self, table: &mut FileTable, name: String, backend: Arc<dyn Backend>) -> FileId {
+        let id = FileId(table.next);
+        table.next += 1;
+        table.by_name.insert(name.clone(), id);
+        table.by_id.insert(id, FileEntry { backend, name });
+        id
+    }
+
+    /// Creates a new file named `name`; errors if it already exists (in
+    /// this environment or on disk).
+    pub fn create_file(&self, name: &str) -> Result<FileId> {
+        let mut table = self.inner.files.lock();
+        if table.by_name.contains_key(name) {
+            return Err(StorageError::FileExists(name.to_string()));
+        }
+        let backend: Arc<dyn Backend> = match self.disk_path(name) {
+            Some(path) => {
+                if path.exists() {
+                    return Err(StorageError::FileExists(name.to_string()));
+                }
+                Arc::new(FileBackend::open(&path, self.page_size())?)
+            }
+            None => Arc::new(MemBackend::new(self.page_size())),
+        };
+        Ok(self.register(&mut table, name.to_string(), backend))
+    }
+
+    /// Opens an existing file named `name` (possibly persisted by a
+    /// previous environment over the same directory).
+    pub fn open_file(&self, name: &str) -> Result<FileId> {
+        let mut table = self.inner.files.lock();
+        if let Some(&id) = table.by_name.get(name) {
+            return Ok(id);
+        }
+        match self.disk_path(name) {
+            Some(path) if path.exists() => {
+                let backend: Arc<dyn Backend> =
+                    Arc::new(FileBackend::open(&path, self.page_size())?);
+                Ok(self.register(&mut table, name.to_string(), backend))
+            }
+            _ => Err(StorageError::NoSuchFile(name.to_string())),
+        }
+    }
+
+    /// Opens `name` if present, creating it otherwise.
+    pub fn open_or_create(&self, name: &str) -> Result<FileId> {
+        match self.open_file(name) {
+            Ok(id) => Ok(id),
+            Err(StorageError::NoSuchFile(_)) => self.create_file(name),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True if `name` exists in this environment or its directory.
+    pub fn file_exists(&self, name: &str) -> bool {
+        let table = self.inner.files.lock();
+        if table.by_name.contains_key(name) {
+            return true;
+        }
+        self.disk_path(name).is_some_and(|p| p.exists())
+    }
+
+    /// Creates an anonymous scratch file. Prefer [`crate::TempFile`], which
+    /// removes it automatically.
+    pub fn create_temp_file(&self) -> Result<FileId> {
+        let n = {
+            let mut next = self.inner.next_temp.lock();
+            *next += 1;
+            *next
+        };
+        self.create_file(&format!("__tmp-{}-{n}", std::process::id()))
+    }
+
+    /// Removes a file: drops its pool frames, forgets it, deletes the disk
+    /// file if any.
+    pub fn remove_file(&self, id: FileId) -> Result<()> {
+        self.inner.pool.invalidate_file(id);
+        let entry = {
+            let mut table = self.inner.files.lock();
+            let entry = table
+                .by_id
+                .remove(&id)
+                .ok_or_else(|| StorageError::NoSuchFile(format!("{id}")))?;
+            table.by_name.remove(&entry.name);
+            entry
+        };
+        if let Some(path) = entry.backend.path() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    fn backend(&self, id: FileId) -> Result<Arc<dyn Backend>> {
+        let table = self.inner.files.lock();
+        table
+            .by_id
+            .get(&id)
+            .map(|e| Arc::clone(&e.backend))
+            .ok_or_else(|| StorageError::NoSuchFile(format!("{id}")))
+    }
+
+    /// Appends a zeroed page to `file`.
+    pub fn allocate_page(&self, file: FileId) -> Result<PageId> {
+        let id = self.backend(file)?.allocate_page()?;
+        Ok(id)
+    }
+
+    /// Number of pages in `file`.
+    pub fn page_count(&self, file: FileId) -> Result<u64> {
+        Ok(self.backend(file)?.page_count())
+    }
+
+    /// Runs `f` over the (read-only) contents of a page.
+    pub fn with_page<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let resolve = |id: FileId| self.backend(id);
+        self.inner
+            .pool
+            .with_frame(file, page, AccessMode::Read, &resolve, |data| f(data))
+    }
+
+    /// Runs `f` over the mutable contents of a page, marking it dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        let resolve = |id: FileId| self.backend(id);
+        self.inner.pool.with_frame(file, page, AccessMode::Write, &resolve, f)
+    }
+
+    /// Writes back all dirty frames and syncs on-disk files.
+    pub fn flush(&self) -> Result<()> {
+        let resolve = |id: FileId| self.backend(id);
+        self.inner.pool.flush(&resolve)?;
+        let table = self.inner.files.lock();
+        for entry in table.by_id.values() {
+            entry.backend.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Buffer-pool traffic counters.
+    pub fn io_stats(&self) -> IoSnapshot {
+        self.inner.pool.stats().snapshot()
+    }
+
+    /// Zeroes the traffic counters (between benchmark runs).
+    pub fn reset_io_stats(&self) {
+        self.inner.pool.stats().reset();
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Env")
+            .field("dir", &self.inner.dir)
+            .field("page_size", &self.inner.config.page_size)
+            .field("pool_frames", &self.inner.pool.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_env_basic_page_io() {
+        let env = Env::memory();
+        let f = env.create_file("nodes").unwrap();
+        let p = env.allocate_page(f).unwrap();
+        env.with_page_mut(f, p, |data| data[10] = 99).unwrap();
+        let v = env.with_page(f, p, |data| data[10]).unwrap();
+        assert_eq!(v, 99);
+        assert_eq!(env.page_count(f).unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let env = Env::memory();
+        env.create_file("x").unwrap();
+        assert!(matches!(env.create_file("x"), Err(StorageError::FileExists(_))));
+    }
+
+    #[test]
+    fn open_missing_rejected() {
+        let env = Env::memory();
+        assert!(matches!(env.open_file("nope"), Err(StorageError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn open_or_create_is_idempotent() {
+        let env = Env::memory();
+        let a = env.open_or_create("y").unwrap();
+        let b = env.open_or_create("y").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_file_frees_name() {
+        let env = Env::memory();
+        let f = env.create_file("z").unwrap();
+        env.remove_file(f).unwrap();
+        assert!(!env.file_exists("z"));
+        env.create_file("z").unwrap();
+    }
+
+    #[test]
+    fn disk_env_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("saardb-env-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let env = Env::open_dir(&dir, EnvConfig::default()).unwrap();
+            let f = env.create_file("persist").unwrap();
+            let p = env.allocate_page(f).unwrap();
+            env.with_page_mut(f, p, |d| d[0] = 0x5A).unwrap();
+            env.flush().unwrap();
+        }
+        {
+            let env = Env::open_dir(&dir, EnvConfig::default()).unwrap();
+            let f = env.open_file("persist").unwrap();
+            let v = env.with_page(f, PageId(0), |d| d[0]).unwrap();
+            assert_eq!(v, 0x5A);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pool_budget_controls_frames() {
+        let env = Env::memory_with(EnvConfig { page_size: 1024, pool_bytes: 16 * 1024 });
+        assert_eq!(env.pool_frames(), 16);
+    }
+
+    #[test]
+    fn io_stats_visible_through_env() {
+        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 8 * 512 });
+        let f = env.create_file("s").unwrap();
+        let pages: Vec<_> = (0..32).map(|_| env.allocate_page(f).unwrap()).collect();
+        for &p in &pages {
+            env.with_page_mut(f, p, |d| d[0] = 1).unwrap();
+        }
+        let snap = env.io_stats();
+        assert_eq!(snap.misses, 32);
+        // 32 pages through 8 frames: at least 24 evictions of dirty pages.
+        assert!(snap.physical_writes >= 24, "writes = {}", snap.physical_writes);
+        env.reset_io_stats();
+        assert_eq!(env.io_stats().requests(), 0);
+    }
+
+    #[test]
+    fn temp_files_get_unique_names() {
+        let env = Env::memory();
+        let a = env.create_temp_file().unwrap();
+        let b = env.create_temp_file().unwrap();
+        assert_ne!(a, b);
+    }
+}

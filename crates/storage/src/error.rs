@@ -1,0 +1,84 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by the storage manager.
+#[derive(Debug, Clone)]
+pub enum StorageError {
+    /// An operating-system I/O error. Wrapped in `Arc` so the error stays
+    /// cloneable (operators propagate errors through iterator chains).
+    Io(Arc<std::io::Error>),
+    /// A page id beyond the end of its file.
+    PageOutOfBounds {
+        /// The requested page.
+        page: u64,
+        /// Pages in the file.
+        pages: u64,
+    },
+    /// Every buffer-pool frame is pinned; the working set exceeds the
+    /// memory budget (the efficiency tests' 20 MB wall).
+    PoolExhausted,
+    /// A key larger than the B+-tree's maximum (page-size dependent).
+    KeyTooLarge {
+        /// The offending key length.
+        len: usize,
+        /// The page-size-derived maximum.
+        max: usize,
+    },
+    /// A record larger than a heap-file page can hold.
+    RecordTooLarge {
+        /// The offending record length.
+        len: usize,
+        /// The page-payload maximum.
+        max: usize,
+    },
+    /// On-disk bytes that violate an invariant (bad magic, corrupt node).
+    Corrupt(String),
+    /// Named file does not exist in the environment.
+    NoSuchFile(String),
+    /// A file with this name already exists.
+    FileExists(String),
+}
+
+impl StorageError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        StorageError::Corrupt(msg.into())
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(Arc::new(e))
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (file has {pages} pages)")
+            }
+            StorageError::PoolExhausted => {
+                write!(f, "buffer pool exhausted: all frames pinned")
+            }
+            StorageError::KeyTooLarge { len, max } => {
+                write!(f, "key of {len} bytes exceeds maximum {max}")
+            }
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds maximum {max}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StorageError::NoSuchFile(name) => write!(f, "no such file: {name}"),
+            StorageError::FileExists(name) => write!(f, "file already exists: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}

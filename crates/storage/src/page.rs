@@ -1,0 +1,22 @@
+/// Identifier of a page within a file. Page 0 of every structured file is a
+/// meta page (magic + structure-specific header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Byte offset of this page in its file.
+    #[inline]
+    pub fn offset(self, page_size: usize) -> u64 {
+        self.0 * page_size as u64
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Default page size in bytes. 8 KiB balances fanout against the small
+/// buffer pools the efficiency tests mandate.
+pub const DEFAULT_PAGE_SIZE: usize = 8192;

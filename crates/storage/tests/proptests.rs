@@ -1,0 +1,122 @@
+//! Model-based property tests: the B+-tree must behave exactly like
+//! `BTreeMap<Vec<u8>, Vec<u8>>` under arbitrary operation sequences, and the
+//! external sorter like `sort()`.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use xmldb_storage::{BTree, Env, EnvConfig, ExternalSorter};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+    Range(Vec<u8>, Vec<u8>),
+    FullScan,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Short keys from a narrow alphabet maximize collisions (replacements,
+    // deletes of present keys).
+    prop::collection::vec(0u8..4, 1..6)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), prop::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        key_strategy().prop_map(Op::Delete),
+        key_strategy().prop_map(Op::Get),
+        (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Range(a, b)),
+        Just(Op::FullScan),
+    ]
+}
+
+fn tiny_env() -> Env {
+    // Small pages force splits early; a small pool forces eviction.
+    Env::memory_with(EnvConfig { page_size: 256, pool_bytes: 8 * 256 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let env = tiny_env();
+        let mut tree = BTree::create(&env, "t").unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let fresh = tree.insert(&k, &v).unwrap();
+                    let was_new = model.insert(k, v).is_none();
+                    prop_assert_eq!(fresh, was_new);
+                }
+                Op::Delete(k) => {
+                    let removed = tree.delete(&k).unwrap();
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got: Vec<(Vec<u8>, Vec<u8>)> = tree
+                        .range(Bound::Included(&lo), Bound::Excluded(&hi))
+                        .map(|r| r.unwrap())
+                        .collect();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range::<Vec<u8>, _>((Bound::Included(&lo), Bound::Excluded(&hi)))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::FullScan => {
+                    let got: Vec<(Vec<u8>, Vec<u8>)> =
+                        tree.iter().map(|r| r.unwrap()).collect();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> =
+                        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_trickle_inserts(
+        entries in prop::collection::btree_map(
+            prop::collection::vec(any::<u8>(), 1..10),
+            prop::collection::vec(any::<u8>(), 0..60),
+            0..200,
+        )
+    ) {
+        let env = tiny_env();
+        let mut bulk = BTree::create(&env, "bulk").unwrap();
+        bulk.bulk_load(entries.iter().map(|(k, v)| (k.clone(), v.clone()))).unwrap();
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> = bulk.iter().map(|r| r.unwrap()).collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, want);
+        for (k, v) in &entries {
+            prop_assert_eq!(bulk.get(k).unwrap(), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn external_sort_matches_std_sort(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..30), 0..300),
+        budget in 16usize..2048,
+    ) {
+        let env = tiny_env();
+        let mut sorter = ExternalSorter::lexicographic(&env, budget);
+        for r in &records {
+            sorter.push(r.clone()).unwrap();
+        }
+        let got: Vec<Vec<u8>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
+        let mut want = records;
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}

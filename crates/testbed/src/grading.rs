@@ -1,0 +1,223 @@
+//! The grading system of §3.
+//!
+//! "The best grade is represented by 100 points, which could be obtained
+//! solely in the final exam. To be admitted to the exam, however, the
+//! students had to successfully finish a runnable engine at latest one
+//! week prior to the exam. ... A successful submission of a milestone
+//! implementation by the early-bird review brought two points. The penalty
+//! for missed deadlines (materialized as negative points) increases with
+//! the number of weeks of delay. ... the 10% and 25% most scalable query
+//! engines got additional bonus points. As a result, 25% of the students
+//! that successfully passed the exam got more than 100 points in total."
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Points for a milestone submitted by the early-bird review.
+pub const EARLY_BIRD_POINTS: i32 = 2;
+/// Bonus for the 10% most scalable engines.
+pub const TOP10_BONUS: i32 = 5;
+/// Bonus for the next-most-scalable engines up to 25%.
+pub const TOP25_BONUS: i32 = 3;
+/// Exam pass threshold.
+pub const EXAM_PASS: u32 = 50;
+
+/// Penalty for submitting `weeks_late` weeks after a milestone deadline —
+/// grows superlinearly with the delay.
+pub fn lateness_penalty(weeks_late: u32) -> i32 {
+    match weeks_late {
+        0 => 0,
+        w => -(2i32.pow(w.min(5)) - 1), // -1, -3, -7, -15, -31, capped
+    }
+}
+
+/// A team's milestone submission history: weeks late per milestone (0 =
+/// early bird).
+#[derive(Debug, Clone, Default)]
+pub struct MilestoneRecord {
+    /// `weeks_late[i]` for milestone `i+1`; length ≤ 4.
+    pub weeks_late: Vec<u32>,
+    /// Whether the final engine ran at latest one week before the exam.
+    pub runnable_before_exam: bool,
+    /// Team size (teams of two were "mostly considered optimal"; small
+    /// teams finishing the final milestones got extra points).
+    pub team_size: u32,
+    /// Bonus-feature flags: pipelining or cost-based join reordering.
+    pub bonus_features: u32,
+}
+
+/// Final outcome for one team.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradeOutcome {
+    /// The team.
+    pub team: String,
+    /// Admitted to the exam (runnable engine in time).
+    pub admitted: bool,
+    /// Early-bird points minus lateness penalties, plus feature bonuses.
+    pub milestone_points: i32,
+    /// Top-10%/25% scalability bonus.
+    pub scalability_bonus: i32,
+    /// Exam score (0 if not admitted).
+    pub exam_points: u32,
+    /// Exam passed (admitted and ≥ the threshold).
+    pub passed: bool,
+    /// Final total (0 when failed).
+    pub total: i32,
+}
+
+/// Computes grades for a cohort.
+#[derive(Debug, Default)]
+pub struct GradeBook {
+    records: BTreeMap<String, (MilestoneRecord, u32, Option<Duration>)>,
+}
+
+impl GradeBook {
+    /// An empty grade book.
+    pub fn new() -> GradeBook {
+        GradeBook::default()
+    }
+
+    /// Registers a team: milestone history, exam points, and the total
+    /// charged efficiency time of its final engine (None = never measured).
+    pub fn register(
+        &mut self,
+        team: impl Into<String>,
+        record: MilestoneRecord,
+        exam_points: u32,
+        efficiency_total: Option<Duration>,
+    ) {
+        self.records.insert(team.into(), (record, exam_points, efficiency_total));
+    }
+
+    /// Computes every team's outcome. Scalability bonuses go to the top
+    /// 10% / 25% fastest totals among admitted teams with measurements.
+    pub fn grade(&self) -> Vec<GradeOutcome> {
+        // Rank admitted teams by efficiency total.
+        let mut ranked: Vec<(&String, Duration)> = self
+            .records
+            .iter()
+            .filter(|(_, (rec, _, t))| rec.runnable_before_exam && t.is_some())
+            .map(|(team, (_, _, t))| (team, t.expect("filtered")))
+            .collect();
+        ranked.sort_by_key(|(_, t)| *t);
+        let n = ranked.len().max(1);
+        let top10 = (n as f64 * 0.10).ceil() as usize;
+        let top25 = (n as f64 * 0.25).ceil() as usize;
+        let bonus_of = |team: &String| -> i32 {
+            match ranked.iter().position(|(t, _)| *t == team) {
+                Some(rank) if rank < top10 => TOP10_BONUS,
+                Some(rank) if rank < top25 => TOP25_BONUS,
+                _ => 0,
+            }
+        };
+
+        self.records
+            .iter()
+            .map(|(team, (record, exam, _))| {
+                let admitted = record.runnable_before_exam;
+                let mut milestone_points: i32 = record
+                    .weeks_late
+                    .iter()
+                    .map(|&w| if w == 0 { EARLY_BIRD_POINTS } else { lateness_penalty(w) })
+                    .sum();
+                // Small teams completing the final milestones earn extra.
+                if record.team_size <= 2 && record.weeks_late.len() >= 4 {
+                    milestone_points += 1;
+                }
+                milestone_points += record.bonus_features as i32;
+                let scalability_bonus = if admitted { bonus_of(team) } else { 0 };
+                let exam_points = if admitted { *exam } else { 0 };
+                let passed = admitted && exam_points >= EXAM_PASS;
+                let total = if passed {
+                    exam_points as i32 + milestone_points + scalability_bonus
+                } else {
+                    0
+                };
+                GradeOutcome {
+                    team: team.clone(),
+                    admitted,
+                    milestone_points,
+                    scalability_bonus,
+                    exam_points,
+                    passed,
+                    total,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(late: &[u32], runnable: bool) -> MilestoneRecord {
+        MilestoneRecord {
+            weeks_late: late.to_vec(),
+            runnable_before_exam: runnable,
+            team_size: 2,
+            bonus_features: 0,
+        }
+    }
+
+    #[test]
+    fn penalty_grows_with_delay() {
+        assert_eq!(lateness_penalty(0), 0);
+        assert!(lateness_penalty(1) > lateness_penalty(2));
+        assert!(lateness_penalty(2) > lateness_penalty(3));
+    }
+
+    #[test]
+    fn admission_requires_runnable_engine() {
+        let mut book = GradeBook::new();
+        book.register("late-team", record(&[0, 0, 0, 0], false), 90, None);
+        let grades = book.grade();
+        assert!(!grades[0].admitted);
+        assert_eq!(grades[0].total, 0);
+    }
+
+    #[test]
+    fn exam_threshold_enforced() {
+        let mut book = GradeBook::new();
+        book.register("barely", record(&[0; 4], true), 50, Some(Duration::from_secs(10)));
+        book.register("failed", record(&[0; 4], true), 49, Some(Duration::from_secs(10)));
+        let grades = book.grade();
+        let barely = grades.iter().find(|g| g.team == "barely").unwrap();
+        let failed = grades.iter().find(|g| g.team == "failed").unwrap();
+        assert!(barely.passed);
+        assert!(!failed.passed);
+    }
+
+    #[test]
+    fn scalability_bonus_and_over_100() {
+        let mut book = GradeBook::new();
+        for i in 0..8 {
+            book.register(
+                format!("team-{i}"),
+                record(&[0; 4], true),
+                95,
+                Some(Duration::from_secs(10 + i)),
+            );
+        }
+        let grades = book.grade();
+        let fastest = grades.iter().find(|g| g.team == "team-0").unwrap();
+        assert_eq!(fastest.scalability_bonus, TOP10_BONUS);
+        // 4 early-bird milestones (8) + small-team bonus (1) + top-10 (5) +
+        // exam 95 > 100 — "25% of the students ... got more than 100
+        // points in total".
+        assert!(fastest.total > 100, "total = {}", fastest.total);
+        let slowest = grades.iter().find(|g| g.team == "team-7").unwrap();
+        assert_eq!(slowest.scalability_bonus, 0);
+    }
+
+    #[test]
+    fn late_submissions_cost_points() {
+        let mut book = GradeBook::new();
+        book.register("tardy", record(&[0, 1, 2, 3], true), 80, Some(Duration::from_secs(5)));
+        let grades = book.grade();
+        let g = &grades[0];
+        // +2 (early) -1 -3 -7 + small-team +1 = -8.
+        assert_eq!(g.milestone_points, -8);
+        assert!(g.passed);
+    }
+}

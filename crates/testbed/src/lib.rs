@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! The course testbed of §3–4: the submission&test system, the query
+//! corpus, and the grading model.
+//!
+//! The original was "implemented under Linux using Python and Shell
+//! scripts"; submissions were picked from a pool "using a fair scheduling
+//! by a tester running on a different machine", recompiled, and "run under
+//! memory and time constraints", with students notified by e-mail. This
+//! crate reproduces that infrastructure in-process:
+//!
+//! * [`corpus`] — the test documents (handmade / DBLP excerpt / DBLP /
+//!   TREEBANK substitutes) and queries: 16 public correctness queries
+//!   covering "fairly all XQ constructs", plus the five secret efficiency
+//!   queries "engineered to greatly profit from the optimization
+//!   techniques treated in the lectures",
+//! * [`submission`] — the submission pool with fair (round-robin over
+//!   teams) scheduling,
+//! * [`runner`] — executes a submission under wall-clock and buffer-pool
+//!   budgets, diffs answers against the milestone-1 reference engine, and
+//!   produces the notification report,
+//! * [`grading`] — the §3 points model: early-bird points, lateness
+//!   penalties, scalability bonuses, exam admission.
+
+pub mod corpus;
+pub mod grading;
+pub mod runner;
+pub mod submission;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use grading::{GradeBook, GradeOutcome};
+pub use runner::{run_budgeted, run_submission, EfficiencyCell, RunLimits, SubmissionReport, TestOutcome};
+pub use submission::{Submission, SubmissionPool};

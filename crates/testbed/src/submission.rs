@@ -1,0 +1,132 @@
+//! The submission pool with fair scheduling.
+//!
+//! Students could submit "via a Web interface at any time and as often as
+//! necessary"; submissions were "stored in a submission pool and picked up
+//! using a fair scheduling". Fairness here is round-robin over teams: a
+//! team that uploads ten revisions cannot starve the others.
+
+use std::collections::VecDeque;
+use xmldb_core::{EngineKind, QueryOptions};
+
+/// One submitted engine.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Monotonically increasing submission id.
+    pub id: u64,
+    /// Submitting team.
+    pub team: String,
+    /// Which engine configuration the team "built".
+    pub engine: EngineKind,
+    /// Extra configuration (e.g. the corrupted statistics of Figure 7's
+    /// engine 2).
+    pub options: QueryOptions,
+}
+
+/// The pool: FIFO per team, round-robin across teams.
+#[derive(Debug, Default)]
+pub struct SubmissionPool {
+    /// Team queues in arrival order of the team's first pending item.
+    queues: Vec<(String, VecDeque<Submission>)>,
+    /// Round-robin cursor.
+    cursor: usize,
+    next_id: u64,
+}
+
+impl SubmissionPool {
+    /// An empty pool.
+    pub fn new() -> SubmissionPool {
+        SubmissionPool::default()
+    }
+
+    /// Submits an engine; returns the submission id.
+    pub fn submit(
+        &mut self,
+        team: impl Into<String>,
+        engine: EngineKind,
+        options: QueryOptions,
+    ) -> u64 {
+        let team = team.into();
+        let id = self.next_id;
+        self.next_id += 1;
+        let submission = Submission { id, team: team.clone(), engine, options };
+        if let Some((_, queue)) = self.queues.iter_mut().find(|(t, _)| *t == team) {
+            queue.push_back(submission);
+        } else {
+            let mut queue = VecDeque::new();
+            queue.push_back(submission);
+            self.queues.push((team, queue));
+        }
+        id
+    }
+
+    /// Picks the next submission fairly (round-robin over teams with
+    /// pending work).
+    pub fn take_next(&mut self) -> Option<Submission> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        let n = self.queues.len();
+        for _ in 0..n {
+            let idx = self.cursor % self.queues.len();
+            self.cursor = (self.cursor + 1) % self.queues.len().max(1);
+            if let Some(submission) = self.queues[idx].1.pop_front() {
+                return Some(submission);
+            }
+        }
+        None
+    }
+
+    /// Total pending submissions.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|(_, q)| q.len()).sum()
+    }
+
+    /// True when no submissions are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut pool = SubmissionPool::new();
+        // Team A floods; team B submits once.
+        for _ in 0..5 {
+            pool.submit("team-a", EngineKind::M4CostBased, QueryOptions::default());
+        }
+        pool.submit("team-b", EngineKind::M3Algebraic, QueryOptions::default());
+        assert_eq!(pool.pending(), 6);
+        let order: Vec<String> = std::iter::from_fn(|| pool.take_next()).map(|s| s.team).collect();
+        // B must be served second, not sixth.
+        assert_eq!(order[1], "team-b");
+        assert_eq!(order.len(), 6);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let mut pool = SubmissionPool::new();
+        let a = pool.submit("x", EngineKind::M1InMemory, QueryOptions::default());
+        let b = pool.submit("x", EngineKind::M1InMemory, QueryOptions::default());
+        assert!(b > a);
+    }
+
+    #[test]
+    fn empty_pool_yields_none() {
+        let mut pool = SubmissionPool::new();
+        assert!(pool.take_next().is_none());
+    }
+
+    #[test]
+    fn fifo_within_team() {
+        let mut pool = SubmissionPool::new();
+        let first = pool.submit("t", EngineKind::M1InMemory, QueryOptions::default());
+        let second = pool.submit("t", EngineKind::M2Storage, QueryOptions::default());
+        assert_eq!(pool.take_next().unwrap().id, first);
+        assert_eq!(pool.take_next().unwrap().id, second);
+    }
+}

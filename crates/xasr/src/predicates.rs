@@ -1,0 +1,119 @@
+//! The structural-join predicates of the paper, as plain functions over
+//! tuples:
+//!
+//! ```text
+//! x_{i+1} is child of x_i      ⇔ x_{i+1}.parent_in = x_i.in
+//! x_{i+1} is descendant of x_i ⇔ x_i.in < x_{i+1}.in ∧ x_i.out > x_{i+1}.out
+//! ```
+//!
+//! Used by nested-loop joins (milestone 3) and as the ground truth the
+//! index-range formulations are tested against.
+
+use crate::tuple::{NodeTuple, NodeType};
+
+/// `child` axis: `y.parent_in = x.in`.
+#[inline]
+pub fn is_child(x: &NodeTuple, y: &NodeTuple) -> bool {
+    y.parent_in == x.in_
+}
+
+/// `descendant` axis: `x.in < y.in ∧ y.out < x.out`.
+#[inline]
+pub fn is_descendant(x: &NodeTuple, y: &NodeTuple) -> bool {
+    x.in_ < y.in_ && y.out < x.out
+}
+
+/// The `ν` node tests of XQ over a tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleTest {
+    /// `a` — element with this label.
+    Label(String),
+    /// `*` — any element.
+    AnyElement,
+    /// `text()` — any text node.
+    Text,
+}
+
+impl TupleTest {
+    /// Does `tuple` satisfy this test?
+    #[inline]
+    pub fn matches(&self, tuple: &NodeTuple) -> bool {
+        match self {
+            TupleTest::Label(l) => {
+                tuple.kind == NodeType::Element && tuple.value.as_deref() == Some(l.as_str())
+            }
+            TupleTest::AnyElement => tuple.kind == NodeType::Element,
+            TupleTest::Text => tuple.kind == NodeType::Text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shred::shred_document;
+    use xmldb_storage::Env;
+
+    const FIGURE2: &str =
+        "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+
+    /// Predicates agree with the interval-scan formulations on Figure 2.
+    #[test]
+    fn predicates_vs_index_scans() {
+        let env = Env::memory();
+        let s = shred_document(&env, "p", FIGURE2).unwrap();
+        let all: Vec<NodeTuple> = s.scan_all().map(|r| r.unwrap()).collect();
+        for x in &all {
+            // Children by predicate vs. by parent index.
+            let by_pred: Vec<u64> =
+                all.iter().filter(|y| is_child(x, y)).map(|y| y.in_).collect();
+            let by_index: Vec<u64> = s.children(x.in_).map(|r| r.unwrap().in_).collect();
+            assert_eq!(by_pred, by_index, "children of {x}");
+            // Descendants by predicate vs. by interval scan.
+            let by_pred: Vec<u64> =
+                all.iter().filter(|y| is_descendant(x, y)).map(|y| y.in_).collect();
+            let by_scan: Vec<u64> =
+                s.scan_in_range(x.in_, x.out).map(|r| r.unwrap().in_).collect();
+            assert_eq!(by_pred, by_scan, "descendants of {x}");
+        }
+    }
+
+    #[test]
+    fn child_implies_descendant() {
+        let env = Env::memory();
+        let s = shred_document(&env, "c", FIGURE2).unwrap();
+        let all: Vec<NodeTuple> = s.scan_all().map(|r| r.unwrap()).collect();
+        for x in &all {
+            for y in &all {
+                if is_child(x, y) {
+                    assert!(is_descendant(x, y), "{y} child but not descendant of {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_tests() {
+        let elem = NodeTuple {
+            in_: 2,
+            out: 3,
+            parent_in: 1,
+            kind: NodeType::Element,
+            value: Some("a".into()),
+        };
+        let text = NodeTuple {
+            in_: 4,
+            out: 5,
+            parent_in: 1,
+            kind: NodeType::Text,
+            value: Some("a".into()),
+        };
+        assert!(TupleTest::Label("a".into()).matches(&elem));
+        assert!(!TupleTest::Label("b".into()).matches(&elem));
+        assert!(!TupleTest::Label("a".into()).matches(&text));
+        assert!(TupleTest::AnyElement.matches(&elem));
+        assert!(!TupleTest::AnyElement.matches(&text));
+        assert!(TupleTest::Text.matches(&text));
+        assert!(!TupleTest::Text.matches(&elem));
+    }
+}

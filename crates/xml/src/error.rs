@@ -1,0 +1,137 @@
+use std::fmt;
+
+/// An error raised while tokenizing or parsing XML input.
+///
+/// Carries a byte offset plus the 1-based line/column computed from it, so
+/// testbed reports can point students at the offending input location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot begin/continue the current construct.
+    UnexpectedChar(char),
+    /// `</b>` closing an element opened as `<a>`.
+    MismatchedTag {
+        /// The element that was open.
+        open: String,
+        /// The closing tag encountered.
+        close: String,
+    },
+    /// A closing tag with no matching open element.
+    UnmatchedClose(String),
+    /// Elements left open at end of input.
+    UnclosedElements(usize),
+    /// More than one top-level element, or content outside the root.
+    MultipleRoots,
+    /// No element at all in the document.
+    EmptyDocument,
+    /// A malformed entity or character reference.
+    BadEntity(String),
+    /// An invalid XML name (element or attribute).
+    BadName(String),
+    /// An attribute repeated on the same element.
+    DuplicateAttribute(String),
+    /// `--` inside a comment, unterminated CDATA, and similar.
+    Malformed(String),
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, input: &str, offset: usize) -> Self {
+        let (line, column) = line_col(input, offset);
+        XmlError { kind, offset, line, column }
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset into the input where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column (in characters) of the error.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+}
+
+fn line_col(input: &str, offset: usize) -> (u32, u32) {
+    let mut line = 1u32;
+    let mut column = 1u32;
+    for (idx, ch) in input.char_indices() {
+        if idx >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            column = 1;
+        } else {
+            column += 1;
+        }
+    }
+    (line, column)
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "closing tag </{close}> does not match <{open}>")
+            }
+            XmlErrorKind::UnmatchedClose(name) => {
+                write!(f, "closing tag </{name}> without matching open tag")
+            }
+            XmlErrorKind::UnclosedElements(n) => write!(f, "{n} element(s) left open"),
+            XmlErrorKind::MultipleRoots => write!(f, "content outside the single root element"),
+            XmlErrorKind::EmptyDocument => write!(f, "document has no root element"),
+            XmlErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
+            XmlErrorKind::BadName(n) => write!(f, "invalid XML name {n:?}"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::Malformed(msg) => write!(f, "malformed XML: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let input = "ab\ncd\nef";
+        assert_eq!(line_col(input, 0), (1, 1));
+        assert_eq!(line_col(input, 2), (1, 3));
+        assert_eq!(line_col(input, 3), (2, 1));
+        assert_eq!(line_col(input, 7), (3, 2));
+    }
+
+    #[test]
+    fn display_has_position() {
+        let err = XmlError::new(XmlErrorKind::UnexpectedEof, "x\nyz", 3);
+        assert_eq!(err.to_string(), "2:2: unexpected end of input");
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 2);
+        assert_eq!(err.offset(), 3);
+    }
+}

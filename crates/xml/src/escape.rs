@@ -1,0 +1,133 @@
+//! Entity escaping and resolution for text and attribute values.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::Result;
+use std::borrow::Cow;
+
+/// Resolves the predefined entities (`&lt; &gt; &amp; &quot; &apos;`) and
+/// decimal/hexadecimal character references in `raw`.
+///
+/// Returns a borrowed slice when no entity occurs, avoiding allocation on the
+/// (overwhelmingly common, in DBLP-like data) entity-free path.
+pub fn unescape(raw: &str) -> Result<Cow<'_, str>> {
+    let Some(first) = raw.find('&') else {
+        return Ok(Cow::Borrowed(raw));
+    };
+    let mut out = String::with_capacity(raw.len());
+    out.push_str(&raw[..first]);
+    let mut rest = &raw[first..];
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or_else(|| {
+            XmlError::new(XmlErrorKind::BadEntity(snippet(&rest[1..])), raw, 0)
+        })?;
+        let entity = &rest[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| bad_entity(raw, entity))?;
+                out.push(code);
+            }
+            _ if entity.starts_with('#') => {
+                let code = entity[1..]
+                    .parse::<u32>()
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| bad_entity(raw, entity))?;
+                out.push(code);
+            }
+            _ => return Err(bad_entity(raw, entity)),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn bad_entity(raw: &str, entity: &str) -> XmlError {
+    XmlError::new(XmlErrorKind::BadEntity(entity.to_string()), raw, 0)
+}
+
+fn snippet(s: &str) -> String {
+    s.chars().take(10).collect()
+}
+
+/// Escapes text content: `& < >`.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, false)
+}
+
+/// Escapes an attribute value: `& < > "`.
+pub fn escape_attr(text: &str) -> Cow<'_, str> {
+    escape_with(text, true)
+}
+
+fn escape_with(text: &str, attr: bool) -> Cow<'_, str> {
+    let needs = text
+        .bytes()
+        .any(|b| b == b'&' || b == b'<' || b == b'>' || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unescape_borrows_when_clean() {
+        assert!(matches!(unescape("plain text").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;").unwrap(), "<a> & \"b\" 'c'");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("&#x1F600;").unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn unescape_bad() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        assert!(unescape("&unterminated").is_err());
+        assert!(unescape("&#1114112;").is_err()); // beyond char::MAX
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "a < b & c > \"d\"";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn escape_text_leaves_quotes() {
+        assert_eq!(escape_text("\"q\""), "\"q\"");
+        assert_eq!(escape_attr("\"q\""), "&quot;q&quot;");
+    }
+}

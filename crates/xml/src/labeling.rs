@@ -1,0 +1,220 @@
+//! The in/out numbering of Figure 2.
+//!
+//! Every node is assigned two numbers from a single counter advanced in a
+//! depth-first, left-to-right traversal: `in` when the node is entered,
+//! `out` when it is left. For the paper's example document:
+//!
+//! ```text
+//! 1  root                      18
+//! 2    journal                 17
+//! 3      authors               12
+//! 4        name 7   8 name     11
+//! 5          Ana 6   9 Bob 10
+//! 13     title                 16
+//! 14       DB                  15
+//! ```
+//!
+//! Two structural facts make this encoding the workhorse of the XASR scheme:
+//!
+//! * `y` is a **child** of `x`  ⇔ `y.parent_in == x.in`
+//! * `y` is a **descendant** of `x` ⇔ `x.in < y.in && y.out < x.out`
+
+use crate::dom::{Document, NodeId};
+
+/// The in/out labels of every node of a [`Document`].
+#[derive(Debug, Clone)]
+pub struct Labeling {
+    ins: Vec<u64>,
+    outs: Vec<u64>,
+    /// `(in, node)` pairs sorted by `in`, for reverse lookup.
+    by_in: Vec<(u64, NodeId)>,
+}
+
+impl Labeling {
+    /// Computes labels for `doc` with the counter starting at 1 on the
+    /// virtual root, exactly as in Figure 2.
+    pub fn compute(doc: &Document) -> Labeling {
+        let n = doc.len();
+        let mut ins = vec![0u64; n];
+        let mut outs = vec![0u64; n];
+        let mut by_in = Vec::with_capacity(n);
+        let mut counter = 0u64;
+
+        enum Frame {
+            Enter(NodeId),
+            Exit(NodeId),
+        }
+        let mut stack = vec![Frame::Enter(doc.root())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(id) => {
+                    counter += 1;
+                    ins[id.index()] = counter;
+                    by_in.push((counter, id));
+                    stack.push(Frame::Exit(id));
+                    for &child in doc.children(id).iter().rev() {
+                        stack.push(Frame::Enter(child));
+                    }
+                }
+                Frame::Exit(id) => {
+                    counter += 1;
+                    outs[id.index()] = counter;
+                }
+            }
+        }
+        // by_in was pushed in preorder, i.e. already sorted by `in`.
+        debug_assert!(by_in.windows(2).all(|w| w[0].0 < w[1].0));
+        Labeling { ins, outs, by_in }
+    }
+
+    /// The `in` value of `id`.
+    #[inline]
+    pub fn in_of(&self, id: NodeId) -> u64 {
+        self.ins[id.index()]
+    }
+
+    /// The `out` value of `id`.
+    #[inline]
+    pub fn out_of(&self, id: NodeId) -> u64 {
+        self.outs[id.index()]
+    }
+
+    /// The `parent_in` value of `id` (0 for the root, which has no parent).
+    pub fn parent_in_of(&self, doc: &Document, id: NodeId) -> u64 {
+        doc.parent(id).map_or(0, |p| self.in_of(p))
+    }
+
+    /// The node whose `in` value is `in_val`, if any (the paper's `in⁻¹`).
+    pub fn node_with_in(&self, in_val: u64) -> Option<NodeId> {
+        self.by_in
+            .binary_search_by_key(&in_val, |&(i, _)| i)
+            .ok()
+            .map(|idx| self.by_in[idx].1)
+    }
+
+    /// All `(in, node)` pairs in document order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, NodeId)> + '_ {
+        self.by_in.iter().copied()
+    }
+
+    /// Number of labeled nodes.
+    pub fn len(&self) -> usize {
+        self.by_in.len()
+    }
+
+    /// True when no nodes are labeled (never the case for a computed
+    /// labeling, which always includes the root).
+    pub fn is_empty(&self) -> bool {
+        self.by_in.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE2: &str =
+        "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+
+    fn labeled() -> (Document, Labeling) {
+        let doc = crate::parse(FIGURE2).unwrap();
+        let lab = Labeling::compute(&doc);
+        (doc, lab)
+    }
+
+    /// Exact Figure 2 reproduction: every in/out value of the paper.
+    #[test]
+    fn figure2_labels() {
+        let (doc, lab) = labeled();
+        let root = doc.root();
+        let journal = doc.root_element().unwrap();
+        let authors = doc.children(journal)[0];
+        let name1 = doc.children(authors)[0];
+        let ana = doc.children(name1)[0];
+        let name2 = doc.children(authors)[1];
+        let bob = doc.children(name2)[0];
+        let title = doc.children(journal)[1];
+        let db = doc.children(title)[0];
+
+        let expect = [
+            (root, 1, 18),
+            (journal, 2, 17),
+            (authors, 3, 12),
+            (name1, 4, 7),
+            (ana, 5, 6),
+            (name2, 8, 11),
+            (bob, 9, 10),
+            (title, 13, 16),
+            (db, 14, 15),
+        ];
+        for (node, i, o) in expect {
+            assert_eq!(lab.in_of(node), i, "in of {:?}", doc.value(node));
+            assert_eq!(lab.out_of(node), o, "out of {:?}", doc.value(node));
+        }
+    }
+
+    #[test]
+    fn parent_in_values() {
+        let (doc, lab) = labeled();
+        let journal = doc.root_element().unwrap();
+        let authors = doc.children(journal)[0];
+        assert_eq!(lab.parent_in_of(&doc, doc.root()), 0);
+        assert_eq!(lab.parent_in_of(&doc, journal), 1);
+        assert_eq!(lab.parent_in_of(&doc, authors), 2);
+    }
+
+    #[test]
+    fn child_characterization() {
+        let (doc, lab) = labeled();
+        // For every pair (x, y): y child of x ⇔ y.parent_in == x.in.
+        let all: Vec<NodeId> = std::iter::once(doc.root())
+            .chain(doc.descendants(doc.root()))
+            .collect();
+        for &x in &all {
+            for &y in &all {
+                let is_child = doc.parent(y) == Some(x);
+                let formula = lab.parent_in_of(&doc, y) == lab.in_of(x) && x != y;
+                assert_eq!(is_child, formula && doc.parent(y).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_characterization() {
+        let (doc, lab) = labeled();
+        let all: Vec<NodeId> = std::iter::once(doc.root())
+            .chain(doc.descendants(doc.root()))
+            .collect();
+        for &x in &all {
+            let real: Vec<NodeId> = doc.descendants(x).collect();
+            for &y in &all {
+                let formula = lab.in_of(x) < lab.in_of(y) && lab.out_of(y) < lab.out_of(x);
+                assert_eq!(real.contains(&y), formula, "x={x:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_with_in_roundtrips() {
+        let (doc, lab) = labeled();
+        for (in_val, node) in lab.iter() {
+            assert_eq!(lab.node_with_in(in_val), Some(node));
+        }
+        assert_eq!(lab.node_with_in(6), None); // 6 is an out value
+        assert_eq!(lab.node_with_in(999), None);
+        let _ = doc;
+    }
+
+    #[test]
+    fn counter_is_contiguous() {
+        let (doc, lab) = labeled();
+        let mut seen: Vec<u64> = Vec::new();
+        for (i, node) in lab.iter() {
+            seen.push(i);
+            seen.push(lab.out_of(node));
+        }
+        seen.sort_unstable();
+        let expected: Vec<u64> = (1..=2 * doc.len() as u64).collect();
+        assert_eq!(seen, expected);
+    }
+}

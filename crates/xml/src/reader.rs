@@ -1,0 +1,392 @@
+//! Pull-based event reader with well-formedness checking.
+//!
+//! Sits on top of [`crate::tokenizer`] and enforces the tree discipline an
+//! XML document must obey: tags match, there is exactly one root element and
+//! no character data outside it. Entity references in text and attribute
+//! values are resolved here.
+//!
+//! The reader is the shredder's input (documents are streamed straight into
+//! XASR tuples without building a DOM, as milestone 2 requires) and the DOM
+//! builder's input (milestone 1).
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::unescape;
+use crate::tokenizer::{Token, Tokenizer};
+use crate::Result;
+use std::collections::VecDeque;
+
+/// Options controlling what the reader emits.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Drop text events that consist only of whitespace (typical indentation
+    /// in data-oriented documents such as DBLP). Default: `true`.
+    pub ignore_whitespace_text: bool,
+    /// Emit [`Event::Comment`] events. Default: `false` (comments are not
+    /// representable in the XASR data model).
+    pub keep_comments: bool,
+    /// Emit [`Event::Pi`] events. Default: `false`.
+    pub keep_pis: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { ignore_whitespace_text: true, keep_comments: false, keep_pis: false }
+    }
+}
+
+impl ParseOptions {
+    /// Options preserving whitespace text (mixed-content documents such as
+    /// TREEBANK-style linguistic data).
+    pub fn preserving() -> Self {
+        ParseOptions { ignore_whitespace_text: false, keep_comments: false, keep_pis: false }
+    }
+}
+
+/// A structural event of the document.
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An element opens. Attribute values are entity-resolved.
+    StartElement { name: String, attrs: Vec<(String, String)> },
+    /// An element closes.
+    EndElement { name: String },
+    /// Character data (entity-resolved; adjacent text/CDATA coalesced).
+    Text(String),
+    /// A comment (only with [`ParseOptions::keep_comments`]).
+    Comment(String),
+    /// A processing instruction (only with [`ParseOptions::keep_pis`]).
+    Pi { target: String, data: String },
+}
+
+/// Streaming well-formedness-checked event reader.
+pub struct EventReader<'a> {
+    input: &'a str,
+    tokenizer: Tokenizer<'a>,
+    options: ParseOptions,
+    /// Names of currently open elements.
+    stack: Vec<String>,
+    /// Whether the single root element has already closed.
+    root_seen: bool,
+    /// Events produced but not yet handed out.
+    queue: VecDeque<Event>,
+    /// Text accumulated for coalescing, not yet flushed.
+    text_buf: String,
+    finished: bool,
+}
+
+impl<'a> EventReader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a str, options: ParseOptions) -> Self {
+        EventReader {
+            input,
+            tokenizer: Tokenizer::new(input),
+            options,
+            stack: Vec::new(),
+            root_seen: false,
+            queue: VecDeque::new(),
+            text_buf: String::new(),
+            finished: false,
+        }
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.input, self.tokenizer.offset())
+    }
+
+    /// Returns the next event, or `None` when the document has been fully and
+    /// correctly consumed.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        loop {
+            if let Some(ev) = self.queue.pop_front() {
+                return Ok(Some(ev));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Consumes tokenizer input until at least one event is queued or the
+    /// document ends.
+    fn pump(&mut self) -> Result<()> {
+        while self.queue.is_empty() {
+            match self.tokenizer.next_token()? {
+                None => {
+                    if !self.stack.is_empty() {
+                        return Err(self.err(XmlErrorKind::UnclosedElements(self.stack.len())));
+                    }
+                    if !self.root_seen {
+                        return Err(self.err(XmlErrorKind::EmptyDocument));
+                    }
+                    self.finished = true;
+                    return Ok(());
+                }
+                Some(Token::Text(raw)) => {
+                    let resolved = unescape(raw).map_err(|e| {
+                        XmlError::new(e.kind().clone(), self.input, self.tokenizer.offset())
+                    })?;
+                    if self.stack.is_empty() {
+                        if !resolved.trim().is_empty() {
+                            return Err(self.err(XmlErrorKind::MultipleRoots));
+                        }
+                        continue;
+                    }
+                    self.text_buf.push_str(&resolved);
+                }
+                Some(Token::CData(raw)) => {
+                    if self.stack.is_empty() {
+                        return Err(self.err(XmlErrorKind::MultipleRoots));
+                    }
+                    self.text_buf.push_str(raw);
+                }
+                Some(Token::Comment(c)) => {
+                    if self.options.keep_comments {
+                        self.flush_text();
+                        self.queue.push_back(Event::Comment(c.to_string()));
+                    }
+                    // Hidden comments do not interrupt text coalescing.
+                }
+                Some(Token::Pi { target, data }) => {
+                    if self.options.keep_pis {
+                        self.flush_text();
+                        self.queue.push_back(Event::Pi {
+                            target: target.to_string(),
+                            data: data.to_string(),
+                        });
+                    }
+                }
+                Some(Token::Doctype) => {
+                    if self.root_seen || !self.stack.is_empty() {
+                        return Err(
+                            self.err(XmlErrorKind::Malformed("DOCTYPE after content".into()))
+                        );
+                    }
+                }
+                Some(Token::StartTag { name, attrs, self_closing }) => {
+                    if self.root_seen && self.stack.is_empty() {
+                        return Err(self.err(XmlErrorKind::MultipleRoots));
+                    }
+                    self.flush_text();
+                    let attrs = self.resolve_attrs(&attrs)?;
+                    self.queue.push_back(Event::StartElement { name: name.to_string(), attrs });
+                    if self_closing {
+                        self.queue.push_back(Event::EndElement { name: name.to_string() });
+                        if self.stack.is_empty() {
+                            self.root_seen = true;
+                        }
+                    } else {
+                        self.stack.push(name.to_string());
+                    }
+                }
+                Some(Token::EndTag { name }) => {
+                    self.flush_text();
+                    match self.stack.pop() {
+                        Some(open) if open == name => {
+                            if self.stack.is_empty() {
+                                self.root_seen = true;
+                            }
+                            self.queue.push_back(Event::EndElement { name: name.to_string() });
+                        }
+                        Some(open) => {
+                            return Err(self.err(XmlErrorKind::MismatchedTag {
+                                open,
+                                close: name.to_string(),
+                            }))
+                        }
+                        None => {
+                            return Err(self.err(XmlErrorKind::UnmatchedClose(name.to_string())))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_text(&mut self) {
+        if self.text_buf.is_empty() {
+            return;
+        }
+        let text = std::mem::take(&mut self.text_buf);
+        if self.options.ignore_whitespace_text && text.trim().is_empty() {
+            return;
+        }
+        self.queue.push_back(Event::Text(text));
+    }
+
+    fn resolve_attrs(&self, raw: &[(&str, &str)]) -> Result<Vec<(String, String)>> {
+        raw.iter()
+            .map(|(n, v)| {
+                let resolved = unescape(v)
+                    .map_err(|e| {
+                        XmlError::new(e.kind().clone(), self.input, self.tokenizer.offset())
+                    })?
+                    .into_owned();
+                Ok((n.to_string(), resolved))
+            })
+            .collect()
+    }
+
+    /// Collects every event of `input` into a vector (convenience for tests
+    /// and small documents).
+    pub fn collect_events(input: &'a str, options: ParseOptions) -> Result<Vec<Event>> {
+        let mut reader = EventReader::new(input, options);
+        let mut events = Vec::new();
+        while let Some(ev) = reader.next_event()? {
+            events.push(ev);
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<Event> {
+        EventReader::collect_events(input, ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a><b>x</b></a>");
+        assert_eq!(
+            evs,
+            vec![
+                Event::StartElement { name: "a".into(), attrs: vec![] },
+                Event::StartElement { name: "b".into(), attrs: vec![] },
+                Event::Text("x".into()),
+                Event::EndElement { name: "b".into() },
+                Event::EndElement { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_emits_both() {
+        let evs = events("<a><b/></a>");
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[1], Event::StartElement { name: "b".into(), attrs: vec![] });
+        assert_eq!(evs[2], Event::EndElement { name: "b".into() });
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let evs = events("<a/>");
+        assert_eq!(evs.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_skipped_by_default() {
+        let evs = events("<a>\n  <b>x</b>\n</a>");
+        assert!(!evs.iter().any(|e| matches!(e, Event::Text(t) if t.trim().is_empty())));
+    }
+
+    #[test]
+    fn whitespace_kept_when_preserving() {
+        let evs = EventReader::collect_events("<a> <b/> </a>", ParseOptions::preserving()).unwrap();
+        assert!(evs.iter().any(|e| matches!(e, Event::Text(t) if t == " ")));
+    }
+
+    #[test]
+    fn entities_resolved_in_text_and_attrs() {
+        let evs = events(r#"<a t="&lt;x&gt;">&amp;</a>"#);
+        assert_eq!(
+            evs[0],
+            Event::StartElement { name: "a".into(), attrs: vec![("t".into(), "<x>".into())] }
+        );
+        assert_eq!(evs[1], Event::Text("&".into()));
+    }
+
+    #[test]
+    fn cdata_coalesced_with_text() {
+        let evs = events("<a>x<![CDATA[<&>]]>y</a>");
+        assert_eq!(evs[1], Event::Text("x<&>y".into()));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err =
+            EventReader::collect_events("<a><b></a></b>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unmatched_close_rejected() {
+        let err = EventReader::collect_events("</a>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnmatchedClose(_)));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = EventReader::collect_events("<a/><b/>", ParseOptions::default()).unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::MultipleRoots);
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let err = EventReader::collect_events("<a/>junk", ParseOptions::default()).unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::MultipleRoots);
+    }
+
+    #[test]
+    fn unclosed_rejected() {
+        let err = EventReader::collect_events("<a><b>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnclosedElements(2)));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        let err = EventReader::collect_events("  \n ", ParseOptions::default()).unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::EmptyDocument);
+    }
+
+    #[test]
+    fn prolog_allowed() {
+        let evs = events("<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<a/>");
+        assert_eq!(evs.len(), 2);
+    }
+
+    #[test]
+    fn comments_hidden_by_default_do_not_split_text() {
+        let evs = events("<a>x<!-- c -->y</a>");
+        assert_eq!(evs[1], Event::Text("xy".into()));
+    }
+
+    #[test]
+    fn comments_emitted_on_request() {
+        let opts = ParseOptions { keep_comments: true, ..ParseOptions::default() };
+        let evs = EventReader::collect_events("<a>x<!-- c -->y</a>", opts).unwrap();
+        assert_eq!(evs[1], Event::Text("x".into()));
+        assert_eq!(evs[2], Event::Comment(" c ".into()));
+        assert_eq!(evs[3], Event::Text("y".into()));
+    }
+
+    #[test]
+    fn pis_emitted_on_request() {
+        let opts = ParseOptions { keep_pis: true, ..ParseOptions::default() };
+        let evs = EventReader::collect_events("<a><?php echo?></a>", opts).unwrap();
+        assert_eq!(evs[1], Event::Pi { target: "php".into(), data: "echo".into() });
+    }
+
+    #[test]
+    fn doctype_after_content_rejected() {
+        let err =
+            EventReader::collect_events("<a><!DOCTYPE x></a>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn depth_tracks_open_elements() {
+        let mut r = EventReader::new("<a><b/></a>", ParseOptions::default());
+        assert_eq!(r.depth(), 0);
+        r.next_event().unwrap(); // <a>
+        assert_eq!(r.depth(), 1);
+    }
+}

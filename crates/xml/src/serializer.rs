@@ -1,0 +1,186 @@
+//! Serialization of documents and subtrees back to XML text.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Options controlling serialization output.
+#[derive(Debug, Clone, Default)]
+pub struct SerializeOptions {
+    /// Pretty-print with this many spaces per nesting level; `None` emits
+    /// compact output (the testbed compares compact output byte-for-byte).
+    pub indent: Option<usize>,
+    /// Emit an `<?xml version="1.0"?>` declaration first.
+    pub xml_decl: bool,
+}
+
+/// Serializes the children of the virtual root (i.e. the whole document
+/// content) compactly.
+pub fn serialize_document(doc: &Document) -> String {
+    serialize_with(doc, doc.root(), &SerializeOptions::default())
+}
+
+/// Serializes the subtree rooted at `id` compactly. For the virtual root
+/// this serializes its children.
+pub fn serialize_subtree(doc: &Document, id: NodeId) -> String {
+    serialize_with(doc, id, &SerializeOptions::default())
+}
+
+/// Serializes with explicit options.
+pub fn serialize_with(doc: &Document, id: NodeId, options: &SerializeOptions) -> String {
+    let mut out = String::new();
+    if options.xml_decl {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    match doc.kind(id) {
+        NodeKind::Root => {
+            for &child in doc.children(id) {
+                write_node(doc, child, options, 0, &mut out);
+            }
+        }
+        _ => write_node(doc, id, options, 0, &mut out),
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, options: &SerializeOptions, level: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Text => {
+            out.push_str(&escape_text(doc.value(id)));
+        }
+        NodeKind::Element => {
+            indent(options, level, out);
+            out.push('<');
+            out.push_str(doc.name(id));
+            for (name, value) in doc.attrs(id) {
+                out.push(' ');
+                out.push_str(name);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(value));
+                out.push('"');
+            }
+            let children = doc.children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let only_text =
+                children.iter().all(|&c| doc.kind(c) == NodeKind::Text);
+            for &child in children {
+                write_node(doc, child, options, level + 1, out);
+            }
+            if !only_text {
+                indent(options, level, out);
+            }
+            out.push_str("</");
+            out.push_str(doc.name(id));
+            out.push('>');
+        }
+        NodeKind::Root => {
+            for &child in doc.children(id) {
+                write_node(doc, child, options, level, out);
+            }
+        }
+    }
+}
+
+fn indent(options: &SerializeOptions, level: usize, out: &mut String) {
+    if let Some(width) = options.indent {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        for _ in 0..level * width {
+            out.push(' ');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+        let doc = parse(src).unwrap();
+        assert_eq!(serialize_document(&doc), src);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let doc = parse("<a><b></b></a>").unwrap();
+        assert_eq!(serialize_document(&doc), "<a><b/></a>");
+    }
+
+    #[test]
+    fn escaping_applied() {
+        let mut doc = Document::new();
+        let a = doc.add_element(doc.root(), "a");
+        doc.add_text(a, "x < y & z");
+        assert_eq!(serialize_document(&doc), "<a>x &lt; y &amp; z</a>");
+    }
+
+    #[test]
+    fn attributes_serialized_and_escaped() {
+        let src = r#"<a t="a&quot;b"><b/></a>"#;
+        let doc = parse(src).unwrap();
+        let out = serialize_document(&doc);
+        let reparsed = parse(&out).unwrap();
+        assert!(doc.subtree_eq(
+            doc.root_element().unwrap(),
+            &reparsed,
+            reparsed.root_element().unwrap()
+        ));
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let doc = parse("<a><b>x</b><c/></a>").unwrap();
+        let a = doc.root_element().unwrap();
+        let b = doc.children(a)[0];
+        assert_eq!(serialize_subtree(&doc, b), "<b>x</b>");
+        let text = doc.children(b)[0];
+        assert_eq!(serialize_subtree(&doc, text), "x");
+    }
+
+    #[test]
+    fn pretty_print_indents_elements() {
+        let doc = parse("<a><b>x</b><c><d/></c></a>").unwrap();
+        let opts = SerializeOptions { indent: Some(2), xml_decl: false };
+        let out = serialize_with(&doc, doc.root(), &opts);
+        assert_eq!(out, "<a>\n  <b>x</b>\n  <c>\n    <d/>\n  </c>\n</a>");
+    }
+
+    #[test]
+    fn xml_decl_emitted() {
+        let doc = parse("<a/>").unwrap();
+        let opts = SerializeOptions { indent: None, xml_decl: true };
+        assert_eq!(
+            serialize_with(&doc, doc.root(), &opts),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>"
+        );
+    }
+
+    #[test]
+    fn roundtrip_parse_serialize_parse_is_identity() {
+        let sources = [
+            "<a/>",
+            "<a>text</a>",
+            "<a><b/><c>x</c>tail</a>",
+            "<a x=\"1\" y=\"2\"><b z=\"&lt;\"/></a>",
+        ];
+        for src in sources {
+            let doc = parse(src).unwrap();
+            let out = serialize_document(&doc);
+            let doc2 = parse(&out).unwrap();
+            assert!(
+                doc.subtree_eq(doc.root(), &doc2, doc2.root()),
+                "roundtrip changed {src}"
+            );
+        }
+    }
+}

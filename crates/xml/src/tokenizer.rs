@@ -1,0 +1,427 @@
+//! Low-level XML tokenizer.
+//!
+//! Splits the raw input into markup/character-data tokens without imposing
+//! any tree structure; well-formedness (tag matching, single root) is the
+//! [`crate::reader`]'s job. Text and attribute values are returned *raw*;
+//! entity references are resolved one layer up.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::Result;
+
+/// A single lexical token of an XML document.
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// `<name attr="v" ...>` or `<name/>`.
+    StartTag {
+        name: &'a str,
+        /// Raw (unresolved) attribute name/value pairs in document order.
+        attrs: Vec<(&'a str, &'a str)>,
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag { name: &'a str },
+    /// Character data between tags, raw (entities unresolved).
+    Text(&'a str),
+    /// `<![CDATA[...]]>` contents.
+    CData(&'a str),
+    /// `<!--...-->` contents.
+    Comment(&'a str),
+    /// `<?target data?>` (includes the XML declaration as target `xml`).
+    Pi { target: &'a str, data: &'a str },
+    /// A `<!DOCTYPE ...>` declaration; contents are skipped.
+    Doctype,
+}
+
+/// Streaming tokenizer over a UTF-8 XML string.
+#[derive(Debug, Clone)]
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer positioned at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True if the whole input has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.input, self.pos)
+    }
+
+    fn err_at(&self, kind: XmlErrorKind, offset: usize) -> XmlError {
+        XmlError::new(kind, self.input, offset)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Returns the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token<'a>>> {
+        if self.at_eof() {
+            return Ok(None);
+        }
+        if self.peek_byte() == Some(b'<') {
+            self.lex_markup().map(Some)
+        } else {
+            self.lex_text().map(Some)
+        }
+    }
+
+    fn lex_text(&mut self) -> Result<Token<'a>> {
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        Ok(Token::Text(&self.input[start..self.pos]))
+    }
+
+    fn lex_markup(&mut self) -> Result<Token<'a>> {
+        debug_assert_eq!(self.peek_byte(), Some(b'<'));
+        let rest = self.rest();
+        if rest.starts_with("<!--") {
+            return self.lex_comment();
+        }
+        if rest.starts_with("<![CDATA[") {
+            return self.lex_cdata();
+        }
+        if rest.starts_with("<!DOCTYPE") || rest.starts_with("<!doctype") {
+            return self.lex_doctype();
+        }
+        if rest.starts_with("<?") {
+            return self.lex_pi();
+        }
+        if rest.starts_with("</") {
+            return self.lex_end_tag();
+        }
+        self.lex_start_tag()
+    }
+
+    fn lex_comment(&mut self) -> Result<Token<'a>> {
+        let start = self.pos;
+        self.bump(4); // "<!--"
+        match self.rest().find("--") {
+            Some(i) => {
+                let body = &self.rest()[..i];
+                let after = self.pos + i + 2;
+                if !self.input[after..].starts_with('>') {
+                    return Err(self.err_at(
+                        XmlErrorKind::Malformed("`--` not allowed inside comment".into()),
+                        self.pos + i,
+                    ));
+                }
+                self.pos = after + 1;
+                Ok(Token::Comment(body))
+            }
+            None => Err(self.err_at(XmlErrorKind::UnexpectedEof, start)),
+        }
+    }
+
+    fn lex_cdata(&mut self) -> Result<Token<'a>> {
+        let start = self.pos;
+        self.bump(9); // "<![CDATA["
+        match self.rest().find("]]>") {
+            Some(i) => {
+                let body = &self.rest()[..i];
+                self.bump(i + 3);
+                Ok(Token::CData(body))
+            }
+            None => Err(self.err_at(XmlErrorKind::UnexpectedEof, start)),
+        }
+    }
+
+    fn lex_doctype(&mut self) -> Result<Token<'a>> {
+        let start = self.pos;
+        // Skip to the matching '>', respecting an optional internal subset
+        // bracketed by [...].
+        let bytes = self.input.as_bytes();
+        let mut depth = 0i32;
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth <= 0 => {
+                    self.pos += 1;
+                    return Ok(Token::Doctype);
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(self.err_at(XmlErrorKind::UnexpectedEof, start))
+    }
+
+    fn lex_pi(&mut self) -> Result<Token<'a>> {
+        let start = self.pos;
+        self.bump(2); // "<?"
+        let target = self.lex_name()?;
+        let data_start = self.pos;
+        match self.input[data_start..].find("?>") {
+            Some(i) => {
+                let data = self.input[data_start..data_start + i].trim();
+                self.pos = data_start + i + 2;
+                Ok(Token::Pi { target, data })
+            }
+            None => Err(self.err_at(XmlErrorKind::UnexpectedEof, start)),
+        }
+    }
+
+    fn lex_end_tag(&mut self) -> Result<Token<'a>> {
+        self.bump(2); // "</"
+        let name = self.lex_name()?;
+        self.skip_ws();
+        match self.peek_byte() {
+            Some(b'>') => {
+                self.bump(1);
+                Ok(Token::EndTag { name })
+            }
+            Some(c) => Err(self.err(XmlErrorKind::UnexpectedChar(c as char))),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn lex_start_tag(&mut self) -> Result<Token<'a>> {
+        self.bump(1); // "<"
+        let name = self.lex_name()?;
+        let mut attrs: Vec<(&'a str, &'a str)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek_byte() {
+                Some(b'>') => {
+                    self.bump(1);
+                    return Ok(Token::StartTag { name, attrs, self_closing: false });
+                }
+                Some(b'/') => {
+                    self.bump(1);
+                    if self.peek_byte() == Some(b'>') {
+                        self.bump(1);
+                        return Ok(Token::StartTag { name, attrs, self_closing: true });
+                    }
+                    return Err(self.err(XmlErrorKind::UnexpectedChar('/')));
+                }
+                Some(_) => {
+                    let (aname, avalue) = self.lex_attribute()?;
+                    if attrs.iter().any(|(n, _)| *n == aname) {
+                        return Err(self.err(XmlErrorKind::DuplicateAttribute(aname.to_string())));
+                    }
+                    attrs.push((aname, avalue));
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn lex_attribute(&mut self) -> Result<(&'a str, &'a str)> {
+        let name = self.lex_name()?;
+        self.skip_ws();
+        if self.peek_byte() != Some(b'=') {
+            return Err(match self.peek_byte() {
+                Some(c) => self.err(XmlErrorKind::UnexpectedChar(c as char)),
+                None => self.err(XmlErrorKind::UnexpectedEof),
+            });
+        }
+        self.bump(1);
+        self.skip_ws();
+        let quote = match self.peek_byte() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(c) => return Err(self.err(XmlErrorKind::UnexpectedChar(c as char))),
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        };
+        self.bump(1);
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos] != quote {
+            if bytes[self.pos] == b'<' {
+                return Err(self.err(XmlErrorKind::UnexpectedChar('<')));
+            }
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Err(self.err(XmlErrorKind::UnexpectedEof));
+        }
+        let value = &self.input[start..self.pos];
+        self.bump(1); // closing quote
+        Ok((name, value))
+    }
+
+    fn lex_name(&mut self) -> Result<&'a str> {
+        let start = self.pos;
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            Some((_, c)) => return Err(self.err(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+        let mut end = rest.len();
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                end = i;
+                break;
+            }
+        }
+        // Handle single-char name followed by nothing.
+        if end == rest.len() && rest.chars().count() == 1 {
+            end = rest.len();
+        }
+        let name = &rest[..end];
+        self.pos = start + end;
+        if name.is_empty() {
+            return Err(self.err_at(XmlErrorKind::BadName(String::new()), start));
+        }
+        Ok(name)
+    }
+}
+
+/// True for characters allowed to start an XML name.
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// True for characters allowed inside an XML name.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_numeric() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(input: &str) -> Vec<Token<'_>> {
+        let mut t = Tokenizer::new(input);
+        let mut out = Vec::new();
+        while let Some(tok) = t.next_token().unwrap() {
+            out.push(tok);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = all_tokens("<a>hi</a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag { name: "a", attrs: vec![], self_closing: false },
+                Token::Text("hi"),
+                Token::EndTag { name: "a" },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let toks = all_tokens(r#"<a x="1" y='two'/>"#);
+        assert_eq!(
+            toks,
+            vec![Token::StartTag {
+                name: "a",
+                attrs: vec![("x", "1"), ("y", "two")],
+                self_closing: true
+            }]
+        );
+    }
+
+    #[test]
+    fn comment_and_pi_and_doctype() {
+        let toks = all_tokens("<?xml version=\"1.0\"?><!DOCTYPE dblp SYSTEM \"dblp.dtd\"><!-- c --><a/>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Pi { target: "xml", data: "version=\"1.0\"" },
+                Token::Doctype,
+                Token::Comment(" c "),
+                Token::StartTag { name: "a", attrs: vec![], self_closing: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn cdata_passes_through() {
+        let toks = all_tokens("<a><![CDATA[x < y & z]]></a>");
+        assert_eq!(toks[1], Token::CData("x < y & z"));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let toks = all_tokens("<!DOCTYPE d [<!ELEMENT a (#PCDATA)>]><a/>");
+        assert_eq!(toks[0], Token::Doctype);
+        assert!(matches!(toks[1], Token::StartTag { name: "a", .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut t = Tokenizer::new(r#"<a x="1" x="2">"#);
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(a) if a == "x"));
+    }
+
+    #[test]
+    fn unterminated_comment_is_eof() {
+        let mut t = Tokenizer::new("<!-- never ends");
+        let err = t.next_token().unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected() {
+        let mut t = Tokenizer::new("<!-- a -- b -->");
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn bad_name_start() {
+        let mut t = Tokenizer::new("<1a>");
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnexpectedChar('1')));
+    }
+
+    #[test]
+    fn whitespace_in_end_tag_ok() {
+        let toks = all_tokens("<a></a >");
+        assert_eq!(toks[1], Token::EndTag { name: "a" });
+    }
+
+    #[test]
+    fn attr_value_may_contain_gt_but_not_lt() {
+        let toks = all_tokens(r#"<a x="b>c"/>"#);
+        assert!(matches!(&toks[0], Token::StartTag { attrs, .. } if attrs[0] == ("x", "b>c")));
+        let mut t = Tokenizer::new(r#"<a x="b<c"/>"#);
+        assert!(t.next_token().is_err());
+    }
+
+    #[test]
+    fn unicode_names() {
+        let toks = all_tokens("<höhe>1</höhe>");
+        assert!(matches!(toks[0], Token::StartTag { name: "höhe", .. }));
+    }
+}

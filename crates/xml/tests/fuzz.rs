@@ -1,0 +1,70 @@
+//! No-panic guarantees: arbitrary input must produce `Ok` or `Err`, never a
+//! panic, from the tokenizer, reader and DOM parser.
+
+use proptest::prelude::*;
+use xmldb_xml::tokenizer::Tokenizer;
+use xmldb_xml::{EventReader, ParseOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The tokenizer never panics on arbitrary text.
+    #[test]
+    fn tokenizer_never_panics(input in "\\PC{0,200}") {
+        let mut t = Tokenizer::new(&input);
+        for _ in 0..1000 {
+            match t.next_token() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// The full parser never panics on arbitrary text.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = xmldb_xml::parse(&input);
+        let _ = xmldb_xml::parse_with(&input, &ParseOptions::preserving());
+    }
+
+    /// The parser never panics on almost-XML (random tag soup).
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("</b>".to_string()),
+                Just("<c/>".to_string()),
+                Just("text".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                Just("<?pi".to_string()),
+                Just("?>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let input: String = parts.concat();
+        let _ = xmldb_xml::parse(&input);
+        let _ = EventReader::collect_events(&input, ParseOptions::default());
+    }
+
+    /// Accepted documents always round-trip through the serializer.
+    #[test]
+    fn accepted_documents_reserialize(input in "\\PC{0,200}") {
+        if let Ok(doc) = xmldb_xml::parse_with(&input, &ParseOptions::preserving()) {
+            let out = xmldb_xml::serialize_document(&doc);
+            let again = xmldb_xml::parse_with(&out, &ParseOptions::preserving())
+                .expect("serializer output must reparse");
+            prop_assert!(doc.subtree_eq(doc.root(), &again, again.root()));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the XML substrate: serialize∘parse identity,
+//! labeling invariants, and escaping round-trips on arbitrary trees.
+
+use proptest::prelude::*;
+use xmldb_xml::{serialize_document, Document, Labeling, NodeKind};
+
+/// A recursively generated XML tree, materialized into a `Document`.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element(String, Vec<Tree>),
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Non-whitespace-only text with characters that exercise escaping.
+    "[ -~]{1,12}".prop_filter("non-ws", |s| !s.trim().is_empty())
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        name_strategy().prop_map(|n| Tree::Element(n, vec![])),
+    ];
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 0..5))
+            .prop_map(|(n, kids)| Tree::Element(n, kids))
+    })
+}
+
+fn root_strategy() -> impl Strategy<Value = Tree> {
+    (name_strategy(), prop::collection::vec(tree_strategy(), 0..5))
+        .prop_map(|(n, kids)| Tree::Element(n, kids))
+}
+
+fn build(tree: &Tree) -> Document {
+    fn add(doc: &mut Document, parent: xmldb_xml::NodeId, tree: &Tree) {
+        match tree {
+            Tree::Text(t) => {
+                doc.add_text(parent, t);
+            }
+            Tree::Element(name, kids) => {
+                let id = doc.add_element(parent, name.clone());
+                for k in kids {
+                    add(doc, id, k);
+                }
+            }
+        }
+    }
+    let mut doc = Document::new();
+    let root = doc.root();
+    add(&mut doc, root, tree);
+    doc
+}
+
+proptest! {
+    /// serialize → parse reproduces the same tree structure.
+    #[test]
+    fn serialize_parse_roundtrip(tree in root_strategy()) {
+        let doc = build(&tree);
+        let xml = serialize_document(&doc);
+        let reparsed = xmldb_xml::parse_with(&xml, &xmldb_xml::ParseOptions::preserving())
+            .expect("serialized output must reparse");
+        prop_assert!(doc.subtree_eq(doc.root(), &reparsed, reparsed.root()));
+    }
+
+    /// The in/out labeling is a balanced-parenthesis numbering: intervals of
+    /// distinct nodes are either disjoint or properly nested, and nesting
+    /// coincides with ancestry.
+    #[test]
+    fn labeling_intervals_nest(tree in root_strategy()) {
+        let doc = build(&tree);
+        let lab = Labeling::compute(&doc);
+        let nodes: Vec<_> = std::iter::once(doc.root())
+            .chain(doc.descendants(doc.root()))
+            .collect();
+        for &x in &nodes {
+            prop_assert!(lab.in_of(x) < lab.out_of(x));
+            for &y in &nodes {
+                if x == y { continue; }
+                let (xi, xo) = (lab.in_of(x), lab.out_of(x));
+                let (yi, yo) = (lab.in_of(y), lab.out_of(y));
+                let nested = xi < yi && yo < xo;
+                let disjoint = xo < yi || yo < xi;
+                prop_assert!(nested || disjoint || (yi < xi && xo < yo));
+                let is_desc = doc.descendants(x).any(|d| d == y);
+                prop_assert_eq!(is_desc, nested);
+            }
+        }
+    }
+
+    /// Leaf-count sanity: number of labels equals node count and the counter
+    /// range is exactly 2·n.
+    #[test]
+    fn labeling_counter_range(tree in root_strategy()) {
+        let doc = build(&tree);
+        let lab = Labeling::compute(&doc);
+        prop_assert_eq!(lab.len(), doc.len());
+        let max_out = lab.out_of(doc.root());
+        prop_assert_eq!(max_out, 2 * doc.len() as u64);
+    }
+
+    /// Escaping arbitrary text always round-trips.
+    #[test]
+    fn escape_unescape_roundtrip(text in "\\PC{0,40}") {
+        let escaped = xmldb_xml::escape::escape_text(&text);
+        let back = xmldb_xml::escape::unescape(&escaped).unwrap();
+        prop_assert_eq!(back.as_ref(), text.as_str());
+    }
+
+    /// string_value equals the concatenation of descendant text nodes.
+    #[test]
+    fn string_value_is_text_concat(tree in root_strategy()) {
+        let doc = build(&tree);
+        let root = doc.root();
+        let concat: String = std::iter::once(root)
+            .chain(doc.descendants(root))
+            .filter(|&n| doc.kind(n) == NodeKind::Text)
+            .map(|n| doc.value(n).to_string())
+            .collect();
+        prop_assert_eq!(doc.string_value(root), concat);
+    }
+}

@@ -1,0 +1,259 @@
+//! Static analysis over XQ ASTs.
+//!
+//! The key fact the milestone-2 engine exploits is the paper's observation
+//! that "in XQ, variables are always bound to single nodes of the input
+//! document" — so a query can be evaluated holding only the current variable
+//! bindings in memory. The analyses here support that pipeline:
+//!
+//! * [`free_vars`] / [`cond_free_vars`] — the environment a subexpression
+//!   needs,
+//! * [`bound_vars`] — every variable a query introduces,
+//! * [`uses_descendant_axis`] — drives the optimizer's decision to consult
+//!   the average-depth statistic,
+//! * [`labels_used`] — the element labels a query mentions, for
+//!   selectivity lookup and for the non-existent-label fast path
+//!   (Figure 7's Test 4 finishes in ~0 s on engines that check this).
+
+use crate::ast::{Cond, Expr, Var};
+use std::collections::BTreeSet;
+
+/// Variables occurring free in `expr` (used before being bound by an
+/// enclosing `for`/`some`). For a well-formed query this is at most
+/// `{$root}`.
+pub fn free_vars(expr: &Expr) -> BTreeSet<Var> {
+    let mut free = BTreeSet::new();
+    let mut bound = Vec::new();
+    collect_expr(expr, &mut bound, &mut free);
+    free
+}
+
+/// Variables occurring free in a condition.
+pub fn cond_free_vars(cond: &Cond) -> BTreeSet<Var> {
+    let mut free = BTreeSet::new();
+    let mut bound = Vec::new();
+    collect_cond(cond, &mut bound, &mut free);
+    free
+}
+
+fn note(var: &Var, bound: &[Var], free: &mut BTreeSet<Var>) {
+    if !bound.contains(var) {
+        free.insert(var.clone());
+    }
+}
+
+fn collect_expr(expr: &Expr, bound: &mut Vec<Var>, free: &mut BTreeSet<Var>) {
+    match expr {
+        Expr::Empty | Expr::Text(_) => {}
+        Expr::Sequence(es) => es.iter().for_each(|e| collect_expr(e, bound, free)),
+        Expr::Element { content, .. } => collect_expr(content, bound, free),
+        Expr::Var(v) => note(v, bound, free),
+        Expr::Step(s) => note(&s.var, bound, free),
+        Expr::For { var, source, body } => {
+            note(&source.var, bound, free);
+            bound.push(var.clone());
+            collect_expr(body, bound, free);
+            bound.pop();
+        }
+        Expr::If { cond, then } => {
+            collect_cond(cond, bound, free);
+            collect_expr(then, bound, free);
+        }
+    }
+}
+
+fn collect_cond(cond: &Cond, bound: &mut Vec<Var>, free: &mut BTreeSet<Var>) {
+    match cond {
+        Cond::True => {}
+        Cond::VarEqVar(a, b) => {
+            note(a, bound, free);
+            note(b, bound, free);
+        }
+        Cond::VarEqConst(v, _) => note(v, bound, free),
+        Cond::Some { var, source, satisfies } => {
+            note(&source.var, bound, free);
+            bound.push(var.clone());
+            collect_cond(satisfies, bound, free);
+            bound.pop();
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            collect_cond(a, bound, free);
+            collect_cond(b, bound, free);
+        }
+        Cond::Not(c) => collect_cond(c, bound, free),
+    }
+}
+
+/// Every variable bound by a `for` or `some` anywhere in the query.
+pub fn bound_vars(expr: &Expr) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    fn walk_e(e: &Expr, out: &mut BTreeSet<Var>) {
+        match e {
+            Expr::Empty | Expr::Text(_) | Expr::Var(_) | Expr::Step(_) => {}
+            Expr::Sequence(es) => es.iter().for_each(|e| walk_e(e, out)),
+            Expr::Element { content, .. } => walk_e(content, out),
+            Expr::For { var, body, .. } => {
+                out.insert(var.clone());
+                walk_e(body, out);
+            }
+            Expr::If { cond, then } => {
+                walk_c(cond, out);
+                walk_e(then, out);
+            }
+        }
+    }
+    fn walk_c(c: &Cond, out: &mut BTreeSet<Var>) {
+        match c {
+            Cond::True | Cond::VarEqVar(..) | Cond::VarEqConst(..) => {}
+            Cond::Some { var, satisfies, .. } => {
+                out.insert(var.clone());
+                walk_c(satisfies, out);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                walk_c(a, out);
+                walk_c(b, out);
+            }
+            Cond::Not(c) => walk_c(c, out),
+        }
+    }
+    walk_e(expr, &mut out);
+    out
+}
+
+/// True if any navigation step in the query uses the descendant axis.
+pub fn uses_descendant_axis(expr: &Expr) -> bool {
+    use crate::ast::Axis;
+    fn step_desc(s: &crate::ast::PathStep) -> bool {
+        s.axis == Axis::Descendant
+    }
+    fn walk_e(e: &Expr) -> bool {
+        match e {
+            Expr::Empty | Expr::Text(_) | Expr::Var(_) => false,
+            Expr::Step(s) => step_desc(s),
+            Expr::Sequence(es) => es.iter().any(walk_e),
+            Expr::Element { content, .. } => walk_e(content),
+            Expr::For { source, body, .. } => step_desc(source) || walk_e(body),
+            Expr::If { cond, then } => walk_c(cond) || walk_e(then),
+        }
+    }
+    fn walk_c(c: &Cond) -> bool {
+        match c {
+            Cond::True | Cond::VarEqVar(..) | Cond::VarEqConst(..) => false,
+            Cond::Some { source, satisfies, .. } => step_desc(source) || walk_c(satisfies),
+            Cond::And(a, b) | Cond::Or(a, b) => walk_c(a) || walk_c(b),
+            Cond::Not(c) => walk_c(c),
+        }
+    }
+    walk_e(expr)
+}
+
+/// Every element label mentioned in a node test of the query (not labels of
+/// constructed output elements).
+pub fn labels_used(expr: &Expr) -> BTreeSet<String> {
+    use crate::ast::NodeTest;
+    let mut out = BTreeSet::new();
+    fn step(s: &crate::ast::PathStep, out: &mut BTreeSet<String>) {
+        if let NodeTest::Label(l) = &s.test {
+            out.insert(l.clone());
+        }
+    }
+    fn walk_e(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::Empty | Expr::Text(_) | Expr::Var(_) => {}
+            Expr::Step(s) => step(s, out),
+            Expr::Sequence(es) => es.iter().for_each(|e| walk_e(e, out)),
+            Expr::Element { content, .. } => walk_e(content, out),
+            Expr::For { source, body, .. } => {
+                step(source, out);
+                walk_e(body, out);
+            }
+            Expr::If { cond, then } => {
+                walk_c(cond, out);
+                walk_e(then, out);
+            }
+        }
+    }
+    fn walk_c(c: &Cond, out: &mut BTreeSet<String>) {
+        match c {
+            Cond::True | Cond::VarEqVar(..) | Cond::VarEqConst(..) => {}
+            Cond::Some { source, satisfies, .. } => {
+                step(source, out);
+                walk_c(satisfies, out);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                walk_c(a, out);
+                walk_c(b, out);
+            }
+            Cond::Not(c) => walk_c(c, out),
+        }
+    }
+    walk_e(expr, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn well_formed_query_has_only_root_free() {
+        let q = parse("<names>{ for $j in /journal return for $n in $j//name return $n }</names>")
+            .unwrap();
+        let free = free_vars(&q);
+        assert_eq!(free.len(), 1);
+        assert!(free.contains(&Var::root()));
+    }
+
+    #[test]
+    fn empty_query_has_no_free_vars() {
+        assert!(free_vars(&parse("()").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn bound_vars_collects_for_and_some() {
+        let q = parse(
+            "for $x in //article return \
+             if (some $v in $x/volume satisfies true()) then $x else ()",
+        )
+        .unwrap();
+        let bound = bound_vars(&q);
+        assert!(bound.contains(&Var::named("x")));
+        assert!(bound.contains(&Var::named("v")));
+    }
+
+    #[test]
+    fn descendant_axis_detection() {
+        assert!(uses_descendant_axis(&parse("//a").unwrap()));
+        assert!(!uses_descendant_axis(&parse("/a").unwrap()));
+        assert!(uses_descendant_axis(
+            &parse("for $x in /a return if (some $t in $x//text() satisfies true()) then $x else ()").unwrap()
+        ));
+    }
+
+    #[test]
+    fn labels_used_ignores_constructors() {
+        let q = parse("<out>{ for $x in /article return $x/volume }</out>").unwrap();
+        let labels = labels_used(&q);
+        assert!(labels.contains("article"));
+        assert!(labels.contains("volume"));
+        assert!(!labels.contains("out"));
+    }
+
+    #[test]
+    fn shadowing_does_not_leak() {
+        // Inner $x shadows outer; free vars still just $root.
+        let q = parse("for $x in /a return for $x in $x/b return $x").unwrap();
+        let free = free_vars(&q);
+        assert_eq!(free.len(), 1);
+        assert!(free.contains(&Var::root()));
+    }
+
+    #[test]
+    fn cond_free_vars_works() {
+        let c = crate::parser::parse_condition("some $t in $j//text() satisfies $t = $k").unwrap();
+        let free = cond_free_vars(&c);
+        assert!(free.contains(&Var::named("j")));
+        assert!(free.contains(&Var::named("k")));
+        assert!(!free.contains(&Var::named("t")));
+    }
+}

@@ -1,0 +1,332 @@
+//! Abstract syntax of XQ — a faithful rendering of Figure 1 (plus the
+//! literal-text constructor extension documented in the crate root).
+
+use std::fmt;
+
+/// A variable name, stored *with* its `$` sigil (`$x`), so `Display` output
+/// is valid concrete syntax and the implicit [`crate::ROOT_VAR`] needs no
+/// special casing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub String);
+
+impl Var {
+    /// Creates a variable from a name without sigil: `Var::named("x")` is
+    /// `$x`.
+    pub fn named(name: &str) -> Var {
+        Var(format!("${name}"))
+    }
+
+    /// The name without the `$` sigil.
+    pub fn name(&self) -> &str {
+        self.0.strip_prefix('$').unwrap_or(&self.0)
+    }
+
+    /// The implicit document-root variable.
+    pub fn root() -> Var {
+        Var(crate::ROOT_VAR.to_string())
+    }
+
+    /// True if this is the implicit root variable.
+    pub fn is_root(&self) -> bool {
+        self.0 == crate::ROOT_VAR
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// `axis ::= child | descendant`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Direct children.
+    Child,
+    /// Proper descendants.
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => f.write_str("child"),
+            Axis::Descendant => f.write_str("descendant"),
+        }
+    }
+}
+
+/// `ν ::= a | * | text()`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// An element with this label.
+    Label(String),
+    /// Any element.
+    Star,
+    /// Any text node.
+    Text,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Label(l) => f.write_str(l),
+            NodeTest::Star => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+        }
+    }
+}
+
+/// A single navigation step `var/axis::ν` — the only form of navigation XQ
+/// permits (multi-step paths are desugared by the parser).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathStep {
+    /// The context variable the step starts from.
+    pub var: Var,
+    /// `child` or `descendant`.
+    pub axis: Axis,
+    /// The node test ν.
+    pub test: NodeTest,
+}
+
+impl fmt::Display for PathStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}::{}", self.var, self.axis, self.test)
+    }
+}
+
+/// An XQ query expression.
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `()`.
+    Empty,
+    /// `query query` (n-ary for convenience; never nested directly).
+    Sequence(Vec<Expr>),
+    /// `<a>query</a>`.
+    Element { name: String, content: Box<Expr> },
+    /// Literal text inside a constructor (extension; see crate docs).
+    Text(String),
+    /// `var` — emits a copy of the subtree the variable is bound to.
+    Var(Var),
+    /// `var/axis::ν` — emits copies of all matching nodes in document order.
+    Step(PathStep),
+    /// `for var in var/axis::ν return query`.
+    For { var: Var, source: PathStep, body: Box<Expr> },
+    /// `if cond then query` (implicit empty else).
+    If { cond: Cond, then: Box<Expr> },
+}
+
+impl Expr {
+    /// Wraps `exprs` in a sequence, flattening nested sequences and dropping
+    /// `Empty` so the AST stays canonical.
+    pub fn sequence(exprs: Vec<Expr>) -> Expr {
+        let mut flat = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            match e {
+                Expr::Empty => {}
+                Expr::Sequence(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Expr::Empty,
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::Sequence(flat),
+        }
+    }
+
+    /// Number of AST nodes (for complexity metrics in the testbed reports).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Empty | Expr::Var(_) | Expr::Step(_) | Expr::Text(_) => 0,
+            Expr::Sequence(es) => es.iter().map(Expr::size).sum(),
+            Expr::Element { content, .. } => content.size(),
+            Expr::For { body, .. } => body.size(),
+            Expr::If { cond, then } => cond.size() + then.size(),
+        }
+    }
+}
+
+/// An XQ condition.
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// `true()`.
+    True,
+    /// `var = var` (both must bind text nodes at runtime).
+    VarEqVar(Var, Var),
+    /// `var = "string"`.
+    VarEqConst(Var, String),
+    /// `some var in var/axis::ν satisfies cond`.
+    Some { var: Var, source: PathStep, satisfies: Box<Cond> },
+    /// `cond and cond`.
+    And(Box<Cond>, Box<Cond>),
+    /// `cond or cond`.
+    Or(Box<Cond>, Box<Cond>),
+    /// `not(cond)`.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Number of condition nodes.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Cond::True | Cond::VarEqVar(..) | Cond::VarEqConst(..) => 0,
+            Cond::Some { satisfies, .. } => satisfies.size(),
+            Cond::And(a, b) | Cond::Or(a, b) => a.size() + b.size(),
+            Cond::Not(c) => c.size(),
+        }
+    }
+
+    /// True if the condition avoids `or`, `not` and uses only the fragment
+    /// the TPM if-rewriting supports (`some`, `and`, equality tests). The
+    /// paper: "we only considered if-expressions ... without `or`, `not`, or
+    /// `every`" — conditions outside this fragment are evaluated by the
+    /// fallback interpreter rather than rewritten to algebra.
+    pub fn is_tpm_rewritable(&self) -> bool {
+        match self {
+            Cond::True | Cond::VarEqVar(..) | Cond::VarEqConst(..) => true,
+            Cond::Some { satisfies, .. } => satisfies.is_tpm_rewritable(),
+            Cond::And(a, b) => a.is_tpm_rewritable() && b.is_tpm_rewritable(),
+            Cond::Or(..) | Cond::Not(..) => false,
+        }
+    }
+}
+
+// --- pretty-printing (canonical concrete syntax) -----------------------------
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_inner(f)
+    }
+}
+
+impl Expr {
+    fn fmt_inner(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Empty => f.write_str("()"),
+            Expr::Sequence(es) => {
+                f.write_str("(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    e.fmt_inner(f)?;
+                }
+                f.write_str(")")
+            }
+            Expr::Element { name, content } => {
+                if matches!(**content, Expr::Empty) {
+                    write!(f, "<{name}/>")
+                } else {
+                    write!(f, "<{name}>{{ ")?;
+                    content.fmt_inner(f)?;
+                    write!(f, " }}</{name}>")
+                }
+            }
+            Expr::Text(t) => write!(f, "\"{t}\""),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Step(s) => write!(f, "{s}"),
+            Expr::For { var, source, body } => {
+                write!(f, "for {var} in {source} return ")?;
+                body.fmt_inner(f)
+            }
+            Expr::If { cond, then } => {
+                write!(f, "if ({cond}) then ")?;
+                then.fmt_inner(f)?;
+                f.write_str(" else ()")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => f.write_str("true()"),
+            Cond::VarEqVar(a, b) => write!(f, "{a} = {b}"),
+            Cond::VarEqConst(v, s) => write!(f, "{v} = \"{s}\""),
+            Cond::Some { var, source, satisfies } => {
+                write!(f, "some {var} in {source} satisfies {satisfies}")
+            }
+            Cond::And(a, b) => {
+                write_cond_operand(f, a)?;
+                f.write_str(" and ")?;
+                write_cond_operand(f, b)
+            }
+            Cond::Or(a, b) => {
+                write_cond_operand(f, a)?;
+                f.write_str(" or ")?;
+                write_cond_operand(f, b)
+            }
+            Cond::Not(c) => write!(f, "not({c})"),
+        }
+    }
+}
+
+fn write_cond_operand(f: &mut fmt::Formatter<'_>, c: &Cond) -> fmt::Result {
+    // Parenthesize nested and/or so precedence survives re-parsing.
+    match c {
+        Cond::And(..) | Cond::Or(..) | Cond::Some { .. } => write!(f, "({c})"),
+        _ => write!(f, "{c}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_flattens_and_drops_empty() {
+        let e = Expr::sequence(vec![
+            Expr::Empty,
+            Expr::Sequence(vec![Expr::Var(Var::named("a")), Expr::Var(Var::named("b"))]),
+            Expr::Empty,
+        ]);
+        assert_eq!(
+            e,
+            Expr::Sequence(vec![Expr::Var(Var::named("a")), Expr::Var(Var::named("b"))])
+        );
+        assert_eq!(Expr::sequence(vec![]), Expr::Empty);
+        assert_eq!(Expr::sequence(vec![Expr::Var(Var::named("x"))]), Expr::Var(Var::named("x")));
+    }
+
+    #[test]
+    fn var_helpers() {
+        let v = Var::named("x");
+        assert_eq!(v.to_string(), "$x");
+        assert_eq!(v.name(), "x");
+        assert!(Var::root().is_root());
+        assert!(!v.is_root());
+    }
+
+    #[test]
+    fn display_step() {
+        let s = PathStep { var: Var::named("x"), axis: Axis::Descendant, test: NodeTest::Text };
+        assert_eq!(s.to_string(), "$x/descendant::text()");
+    }
+
+    #[test]
+    fn tpm_rewritable_fragment() {
+        let t = Cond::True;
+        assert!(t.is_tpm_rewritable());
+        assert!(Cond::And(Box::new(t.clone()), Box::new(t.clone())).is_tpm_rewritable());
+        assert!(!Cond::Not(Box::new(t.clone())).is_tpm_rewritable());
+        assert!(!Cond::Or(Box::new(t.clone()), Box::new(t)).is_tpm_rewritable());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::For {
+            var: Var::named("x"),
+            source: PathStep {
+                var: Var::root(),
+                axis: Axis::Child,
+                test: NodeTest::Label("a".into()),
+            },
+            body: Box::new(Expr::Var(Var::named("x"))),
+        };
+        assert_eq!(e.size(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// A syntax or validation error in an XQ query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: ParseErrorKind,
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+/// Category of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended mid-construct.
+    UnexpectedEof,
+    /// Expected `expected`, found something else.
+    Expected(String),
+    /// Unexpected character.
+    UnexpectedChar(char),
+    /// Constructor closed with a different tag than it was opened with.
+    MismatchedTag {
+        /// The tag the constructor opened with.
+        open: String,
+        /// The tag it closed with.
+        close: String,
+    },
+    /// Variable used but never bound (and not the implicit root).
+    UnboundVariable(String),
+    /// A feature of full XQuery that XQ deliberately excludes.
+    Unsupported(String),
+    /// Query text remained after a complete query was parsed.
+    TrailingInput,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, input: &str, offset: usize) -> Self {
+        let mut line = 1u32;
+        let mut column = 1u32;
+        for (idx, ch) in input.char_indices() {
+            if idx >= offset {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        ParseError { kind, offset, line, column }
+    }
+
+    /// The error category.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset of the error in the query text.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// 1-based line number.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column number.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of query"),
+            ParseErrorKind::Expected(what) => write!(f, "expected {what}"),
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::MismatchedTag { open, close } => {
+                write!(f, "constructor <{open}> closed by </{close}>")
+            }
+            ParseErrorKind::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            ParseErrorKind::Unsupported(feat) => {
+                write!(f, "{feat} is not part of the XQ fragment")
+            }
+            ParseErrorKind::TrailingInput => write!(f, "trailing input after query"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! XQ — the composition-free XQuery fragment of the paper (Figure 1).
+//!
+//! ```text
+//! query ::= () | <a>query</a> | query query
+//!         | var | var/axis::ν
+//!         | for var in var/axis::ν return query
+//!         | if cond then query
+//! cond  ::= var = var | var = string | true()
+//!         | some var in var/axis::ν satisfies cond
+//!         | cond and cond | cond or cond | not(cond)
+//! axis  ::= child | descendant
+//! ν     ::= a | * | text()
+//! ```
+//!
+//! This crate provides the **surface syntax**: a scannerless
+//! recursive-descent [`parser`], the [`ast`] of exactly the fragment above,
+//! and [`analysis`] passes (free variables, validation). Evaluation lives in
+//! `xmldb-core`; compilation to the TPM algebra in `xmldb-algebra`.
+//!
+//! ## Concrete-syntax conveniences
+//!
+//! The parser accepts the usual XQuery abbreviations, all of which desugar
+//! into the pure Figure 1 abstract syntax before anything downstream sees
+//! them:
+//!
+//! * `/a`, `//a` — absolute paths; desugared to steps on the implicit
+//!   variable [`ROOT_VAR`] which every engine binds to the document root.
+//! * `$x/a/b//c` — multi-step paths; desugared into nested `for`-loops over
+//!   fresh variables (in binding position: nested `some`).
+//! * `if c then q else ()` and a general `else q2`, desugared to the
+//!   juxtaposition `(if c then q) (if not(c) then q2)` — sound because XQ
+//!   conditions are pure.
+//! * `(q1, q2, ...)` — explicit sequences; juxtaposition works inside
+//!   element constructors via `{...}` blocks, literal nested elements, and
+//!   literal text (the one pragmatic *extension* to Figure 1: a literal
+//!   text constructor [`ast::Expr::Text`], needed to emit readable markup).
+
+pub mod analysis;
+pub mod ast;
+pub mod parser;
+
+mod error;
+
+pub use ast::{Axis, Cond, Expr, NodeTest, PathStep, Var};
+pub use error::{ParseError, ParseErrorKind};
+pub use parser::parse;
+
+/// The implicit variable bound to the document root in every query.
+///
+/// Corresponds to the paper's "`$x1` bound to the root node (in our XASR
+/// encoding always having the in-value 1)".
+pub const ROOT_VAR: &str = "$root";
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ParseError>;

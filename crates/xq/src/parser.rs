@@ -1,0 +1,1013 @@
+//! Scannerless recursive-descent parser for XQ.
+//!
+//! Produces the pure Figure 1 AST: all concrete-syntax conveniences
+//! (absolute paths, multi-step paths, `else` branches, multi-variable
+//! `for`) are desugared here. Binding discipline is validated: the only
+//! free variable a query may use is the implicit [`crate::ROOT_VAR`].
+
+use crate::ast::{Axis, Cond, Expr, NodeTest, PathStep, Var};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::Result;
+use std::collections::HashSet;
+
+/// Parses a complete XQ query.
+///
+/// ```
+/// use xmldb_xq::{parse, Expr};
+/// let q = parse("for $j in /journal return $j//name").unwrap();
+/// assert!(matches!(q, Expr::For { .. }));
+/// ```
+pub fn parse(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let expr = p.parse_sequence()?;
+    p.skip_ws();
+    if !p.at_eof() {
+        return Err(p.err(ParseErrorKind::TrailingInput));
+    }
+    check_bound(&expr, input)?;
+    Ok(expr)
+}
+
+/// Parses a standalone condition (used by tests and the REPL's `explain`).
+pub fn parse_condition(input: &str) -> Result<Cond> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let cond = p.parse_cond()?;
+    p.skip_ws();
+    if !p.at_eof() {
+        return Err(p.err(ParseErrorKind::TrailingInput));
+    }
+    Ok(cond)
+}
+
+/// Verifies every variable use is in scope; the initial scope contains only
+/// the implicit root variable.
+fn check_bound(expr: &Expr, input: &str) -> Result<()> {
+    let mut scope: HashSet<&str> = HashSet::new();
+    scope.insert(crate::ROOT_VAR);
+    check_expr(expr, &mut scope, input)
+}
+
+fn unbound(var: &Var, input: &str) -> ParseError {
+    ParseError::new(ParseErrorKind::UnboundVariable(var.0.clone()), input, input.len())
+}
+
+fn check_expr<'a>(expr: &'a Expr, scope: &mut HashSet<&'a str>, input: &str) -> Result<()> {
+    match expr {
+        Expr::Empty | Expr::Text(_) => Ok(()),
+        Expr::Sequence(es) => es.iter().try_for_each(|e| check_expr(e, scope, input)),
+        Expr::Element { content, .. } => check_expr(content, scope, input),
+        Expr::Var(v) => {
+            if scope.contains(v.0.as_str()) {
+                Ok(())
+            } else {
+                Err(unbound(v, input))
+            }
+        }
+        Expr::Step(step) => {
+            if scope.contains(step.var.0.as_str()) {
+                Ok(())
+            } else {
+                Err(unbound(&step.var, input))
+            }
+        }
+        Expr::For { var, source, body } => {
+            if !scope.contains(source.var.0.as_str()) {
+                return Err(unbound(&source.var, input));
+            }
+            let fresh = scope.insert(var.0.as_str());
+            let result = check_expr(body, scope, input);
+            if fresh {
+                scope.remove(var.0.as_str());
+            }
+            result
+        }
+        Expr::If { cond, then } => {
+            check_cond(cond, scope, input)?;
+            check_expr(then, scope, input)
+        }
+    }
+}
+
+fn check_cond<'a>(cond: &'a Cond, scope: &mut HashSet<&'a str>, input: &str) -> Result<()> {
+    match cond {
+        Cond::True => Ok(()),
+        Cond::VarEqVar(a, b) => {
+            for v in [a, b] {
+                if !scope.contains(v.0.as_str()) {
+                    return Err(unbound(v, input));
+                }
+            }
+            Ok(())
+        }
+        Cond::VarEqConst(v, _) => {
+            if scope.contains(v.0.as_str()) {
+                Ok(())
+            } else {
+                Err(unbound(v, input))
+            }
+        }
+        Cond::Some { var, source, satisfies } => {
+            if !scope.contains(source.var.0.as_str()) {
+                return Err(unbound(&source.var, input));
+            }
+            let fresh = scope.insert(var.0.as_str());
+            let result = check_cond(satisfies, scope, input);
+            if fresh {
+                scope.remove(var.0.as_str());
+            }
+            result
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            check_cond(a, scope, input)?;
+            check_cond(b, scope, input)
+        }
+        Cond::Not(c) => check_cond(c, scope, input),
+    }
+}
+
+// --- the parser --------------------------------------------------------------
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    gensym: u32,
+}
+
+/// A parsed (possibly multi-step) path before desugaring.
+struct Path {
+    base: Var,
+    steps: Vec<(Axis, NodeTest)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0, gensym: 0 }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(kind, self.input, self.pos)
+    }
+
+    fn expected(&self, what: &str) -> ParseError {
+        self.err(ParseErrorKind::Expected(what.to_string()))
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.bump(s.len());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.expected(&format!("`{s}`")))
+        }
+    }
+
+    /// Consumes `kw` only if it is followed by a non-name character.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if !self.rest().starts_with(kw) {
+            return false;
+        }
+        let after = self.rest()[kw.len()..].chars().next();
+        match after {
+            Some(c) if is_name_char(c) => false,
+            _ => {
+                self.bump(kw.len());
+                true
+            }
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        self.skip_ws();
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.expected(&format!("keyword `{kw}`")))
+        }
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        let v = Var(format!("$#p{}", self.gensym));
+        self.gensym += 1;
+        v
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            Some((_, c)) => return Err(self.err(ParseErrorKind::UnexpectedChar(c))),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+        }
+        let mut end = rest.len();
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                end = i;
+                break;
+            }
+        }
+        let name = rest[..end].to_string();
+        self.bump(end);
+        Ok(name)
+    }
+
+    fn parse_var(&mut self) -> Result<Var> {
+        self.expect("$")?;
+        let name = self.parse_name()?;
+        Ok(Var(format!("${name}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(self.err(ParseErrorKind::UnexpectedChar(c))),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+        };
+        self.bump(1);
+        let rest = self.rest();
+        match rest.find(quote) {
+            Some(end) => {
+                let value = rest[..end].to_string();
+                self.bump(end + 1);
+                Ok(value)
+            }
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    // --- expressions ---------------------------------------------------------
+
+    /// `expr := item (',' item)*`
+    fn parse_sequence(&mut self) -> Result<Expr> {
+        let mut items = vec![self.parse_item()?];
+        loop {
+            self.skip_ws();
+            if self.eat(",") {
+                self.skip_ws();
+                items.push(self.parse_item()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Expr::sequence(items))
+    }
+
+    fn parse_item(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some('(') => {
+                self.bump(1);
+                self.skip_ws();
+                if self.eat(")") {
+                    return Ok(Expr::Empty);
+                }
+                let inner = self.parse_sequence()?;
+                self.skip_ws();
+                self.expect(")")?;
+                Ok(inner)
+            }
+            Some('<') => self.parse_constructor(),
+            Some('"') | Some('\'') => Ok(Expr::Text(self.parse_string()?)),
+            Some('$') | Some('/') => {
+                let path = self.parse_path()?;
+                Ok(self.path_to_expr(path))
+            }
+            Some(c) if is_name_start(c) => {
+                if self.eat_keyword("for") {
+                    return self.parse_for();
+                }
+                if self.eat_keyword("if") {
+                    return self.parse_if();
+                }
+                for feature in ["let", "where", "order", "count", "every", "declare"] {
+                    if self.rest().starts_with(feature) {
+                        return Err(self.err(ParseErrorKind::Unsupported(format!(
+                            "`{feature}` expressions"
+                        ))));
+                    }
+                }
+                Err(self.expected("expression"))
+            }
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedChar(c))),
+        }
+    }
+
+    /// `for $v1 in path1 (',' $v2 in path2)* return item`
+    fn parse_for(&mut self) -> Result<Expr> {
+        let mut bindings = Vec::new();
+        loop {
+            self.skip_ws();
+            let var = self.parse_var()?;
+            self.expect_keyword("in")?;
+            self.skip_ws();
+            let path = self.parse_path()?;
+            if path.steps.is_empty() {
+                return Err(self.err(ParseErrorKind::Unsupported(
+                    "`for` binding without navigation (a `let`)".into(),
+                )));
+            }
+            bindings.push((var, path));
+            self.skip_ws();
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect_keyword("return")?;
+        let body = self.parse_item()?;
+        // Desugar right-to-left: later bindings are inner loops.
+        let mut expr = body;
+        for (var, path) in bindings.into_iter().rev() {
+            expr = self.for_over_path(var, path, expr);
+        }
+        Ok(expr)
+    }
+
+    /// `if cond then item (else item)?` — conditions may be parenthesized.
+    fn parse_if(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        let cond = self.parse_cond()?;
+        self.expect_keyword("then")?;
+        let then = self.parse_item()?;
+        self.skip_ws();
+        let save = self.pos;
+        if self.eat_keyword("else") {
+            self.skip_ws();
+            let else_branch = self.parse_item()?;
+            if else_branch == Expr::Empty {
+                return Ok(Expr::If { cond, then: Box::new(then) });
+            }
+            // General else: (if c then q1) (if not(c) then q2); sound because
+            // XQ conditions are pure.
+            return Ok(Expr::sequence(vec![
+                Expr::If { cond: cond.clone(), then: Box::new(then) },
+                Expr::If { cond: Cond::Not(Box::new(cond)), then: Box::new(else_branch) },
+            ]));
+        }
+        self.pos = save;
+        Ok(Expr::If { cond, then: Box::new(then) })
+    }
+
+    fn parse_constructor(&mut self) -> Result<Expr> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        self.skip_ws();
+        if self.eat("/>") {
+            return Ok(Expr::Element { name, content: Box::new(Expr::Empty) });
+        }
+        if self.peek().map(is_name_start).unwrap_or(false) {
+            return Err(self.err(ParseErrorKind::Unsupported("constructor attributes".into())));
+        }
+        self.expect(">")?;
+        let mut items = Vec::new();
+        loop {
+            if self.rest().starts_with("</") {
+                self.bump(2);
+                let close = self.parse_name()?;
+                self.skip_ws();
+                self.expect(">")?;
+                if close != name {
+                    return Err(self.err(ParseErrorKind::MismatchedTag { open: name, close }));
+                }
+                return Ok(Expr::Element { name, content: Box::new(Expr::sequence(items)) });
+            }
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some('<') => items.push(self.parse_constructor()?),
+                Some('{') => {
+                    self.bump(1);
+                    self.skip_ws();
+                    if self.eat("}") {
+                        continue; // `{}` is an empty enclosed expression
+                    }
+                    let inner = self.parse_sequence()?;
+                    self.skip_ws();
+                    self.expect("}")?;
+                    items.push(inner);
+                }
+                Some('}') => return Err(self.err(ParseErrorKind::UnexpectedChar('}'))),
+                Some(_) => {
+                    // Literal text up to the next markup/enclosed expression.
+                    let rest = self.rest();
+                    let end = rest
+                        .find(['<', '{', '}'])
+                        .unwrap_or(rest.len());
+                    let text = &rest[..end];
+                    self.bump(end);
+                    // Boundary whitespace (XQuery default) is stripped.
+                    if !text.trim().is_empty() {
+                        items.push(Expr::Text(text.to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- paths ----------------------------------------------------------------
+
+    /// `path := ('$'name | '/' | '//') step ('/'|'//' step)*`
+    fn parse_path(&mut self) -> Result<Path> {
+        let mut steps = Vec::new();
+        let mut absolute = false;
+        let base = if self.peek() == Some('$') {
+            self.parse_var()?
+        } else if self.peek() == Some('/') {
+            absolute = true;
+            // Absolute path: first step mandatory.
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else {
+                self.expect("/")?;
+                Axis::Child
+            };
+            let (axis, test) = self.parse_step_body(axis)?;
+            steps.push((axis, test));
+            Var::root()
+        } else {
+            return Err(self.expected("path"));
+        };
+        // Further steps.
+        loop {
+            if self.rest().starts_with("//") {
+                self.bump(2);
+                let (axis, test) = self.parse_step_body(Axis::Descendant)?;
+                steps.push((axis, test));
+            } else if self.peek() == Some('/') {
+                self.bump(1);
+                let (axis, test) = self.parse_step_body(Axis::Child)?;
+                steps.push((axis, test));
+            } else {
+                break;
+            }
+        }
+        if steps.is_empty() && absolute {
+            return Err(self.expected("path step"));
+        }
+        Ok(Path { base, steps })
+    }
+
+    /// Parses the step after a `/` or `//`, honoring explicit `child::` /
+    /// `descendant::` axes (only meaningful after a single `/`).
+    fn parse_step_body(&mut self, default_axis: Axis) -> Result<(Axis, NodeTest)> {
+        let mut axis = default_axis;
+        if self.rest().starts_with("child::") {
+            self.bump("child::".len());
+            axis = match default_axis {
+                Axis::Child => Axis::Child,
+                // `//child::a` means descendant-then-child; not expressible
+                // as a single XQ step.
+                Axis::Descendant => {
+                    return Err(self
+                        .err(ParseErrorKind::Unsupported("`//child::` composite axis".into())))
+                }
+            };
+        } else if self.rest().starts_with("descendant::") {
+            self.bump("descendant::".len());
+            axis = Axis::Descendant;
+        }
+        let test = self.parse_node_test()?;
+        Ok((axis, test))
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest> {
+        if self.eat("*") {
+            return Ok(NodeTest::Star);
+        }
+        if self.rest().starts_with("text()") {
+            self.bump("text()".len());
+            return Ok(NodeTest::Text);
+        }
+        if self.rest().starts_with("text ()") {
+            self.bump("text ()".len());
+            return Ok(NodeTest::Text);
+        }
+        let name = self.parse_name().map_err(|_| self.expected("node test (label, `*`, or `text()`)"))?;
+        Ok(NodeTest::Label(name))
+    }
+
+    /// Desugars a path used in output position into the Figure 1 AST.
+    fn path_to_expr(&mut self, path: Path) -> Expr {
+        let Path { base, mut steps } = path;
+        if steps.is_empty() {
+            return Expr::Var(base);
+        }
+        let last = steps.pop().expect("non-empty");
+        let (final_var, wrap): (Var, Vec<(Var, PathStep)>) = {
+            let mut wraps = Vec::new();
+            let mut current = base;
+            for (axis, test) in steps {
+                let fresh = self.fresh_var();
+                wraps.push((fresh.clone(), PathStep { var: current, axis, test }));
+                current = fresh;
+            }
+            (current, wraps)
+        };
+        let mut expr =
+            Expr::Step(PathStep { var: final_var, axis: last.0, test: last.1 });
+        for (var, source) in wrap.into_iter().rev() {
+            expr = Expr::For { var, source, body: Box::new(expr) };
+        }
+        expr
+    }
+
+    /// Desugars `for var in path return body`. The caller guarantees the
+    /// path has at least one step (a step-less binding would be a `let`,
+    /// which XQ excludes).
+    fn for_over_path(&mut self, var: Var, path: Path, body: Expr) -> Expr {
+        let Path { base, mut steps } = path;
+        let last = steps.pop().expect("for-binding paths have ≥1 step");
+        let mut wraps = Vec::new();
+        let mut current = base;
+        for (axis, test) in steps {
+            let fresh = self.fresh_var();
+            wraps.push((fresh.clone(), PathStep { var: current, axis, test }));
+            current = fresh;
+        }
+        let mut expr = Expr::For {
+            var,
+            source: PathStep { var: current, axis: last.0, test: last.1 },
+            body: Box::new(body),
+        };
+        for (v, source) in wraps.into_iter().rev() {
+            expr = Expr::For { var: v, source, body: Box::new(expr) };
+        }
+        expr
+    }
+
+    /// Desugars `some var in path satisfies cond`.
+    fn some_over_path(&mut self, var: Var, path: Path, satisfies: Cond) -> Cond {
+        let Path { base, mut steps } = path;
+        let last = steps.pop().expect("paths in some-bindings have ≥1 step");
+        let mut wraps = Vec::new();
+        let mut current = base;
+        for (axis, test) in steps {
+            let fresh = self.fresh_var();
+            wraps.push((fresh.clone(), PathStep { var: current, axis, test }));
+            current = fresh;
+        }
+        let mut cond = Cond::Some {
+            var,
+            source: PathStep { var: current, axis: last.0, test: last.1 },
+            satisfies: Box::new(satisfies),
+        };
+        for (v, source) in wraps.into_iter().rev() {
+            cond = Cond::Some { var: v, source, satisfies: Box::new(cond) };
+        }
+        cond
+    }
+
+    // --- conditions ------------------------------------------------------------
+
+    fn parse_cond(&mut self) -> Result<Cond> {
+        self.parse_or_cond()
+    }
+
+    fn parse_or_cond(&mut self) -> Result<Cond> {
+        let mut left = self.parse_and_cond()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("or") {
+                let right = self.parse_and_cond()?;
+                left = Cond::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_and_cond(&mut self) -> Result<Cond> {
+        let mut left = self.parse_prim_cond()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("and") {
+                let right = self.parse_prim_cond()?;
+                left = Cond::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_prim_cond(&mut self) -> Result<Cond> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some('(') => {
+                self.bump(1);
+                let inner = self.parse_cond()?;
+                self.skip_ws();
+                self.expect(")")?;
+                Ok(inner)
+            }
+            Some('$') => {
+                let lhs = self.parse_var()?;
+                self.skip_ws();
+                self.expect("=")?;
+                self.skip_ws();
+                match self.peek() {
+                    Some('$') => Ok(Cond::VarEqVar(lhs, self.parse_var()?)),
+                    Some('"') | Some('\'') => Ok(Cond::VarEqConst(lhs, self.parse_string()?)),
+                    _ => Err(self.expected("variable or string literal")),
+                }
+            }
+            Some(c) if is_name_start(c) => {
+                if self.rest().starts_with("true()") {
+                    self.bump("true()".len());
+                    return Ok(Cond::True);
+                }
+                if self.rest().starts_with("true ()") {
+                    self.bump("true ()".len());
+                    return Ok(Cond::True);
+                }
+                if self.rest().starts_with("false()") {
+                    return Err(self
+                        .err(ParseErrorKind::Unsupported("`false()` (use `not(true())`)".into())));
+                }
+                if self.eat_keyword("not") {
+                    self.skip_ws();
+                    self.expect("(")?;
+                    let inner = self.parse_cond()?;
+                    self.skip_ws();
+                    self.expect(")")?;
+                    return Ok(Cond::Not(Box::new(inner)));
+                }
+                if self.eat_keyword("some") {
+                    self.skip_ws();
+                    let var = self.parse_var()?;
+                    self.expect_keyword("in")?;
+                    self.skip_ws();
+                    let path = self.parse_path()?;
+                    if path.steps.is_empty() {
+                        return Err(self.err(ParseErrorKind::Unsupported(
+                            "`some` binding without navigation".into(),
+                        )));
+                    }
+                    self.expect_keyword("satisfies")?;
+                    let satisfies = self.parse_cond()?;
+                    return Ok(self.some_over_path(var, path, satisfies));
+                }
+                if self.rest().starts_with("every") {
+                    return Err(self.err(ParseErrorKind::Unsupported("`every` quantifier".into())));
+                }
+                Err(self.expected("condition"))
+            }
+            Some(c) => Err(self.err(ParseErrorKind::UnexpectedChar(c))),
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_numeric() || c == '-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(var: &str, axis: Axis, test: NodeTest) -> PathStep {
+        PathStep { var: Var(var.to_string()), axis, test }
+    }
+
+    fn label(l: &str) -> NodeTest {
+        NodeTest::Label(l.to_string())
+    }
+
+    #[test]
+    fn empty_query() {
+        assert_eq!(parse("()").unwrap(), Expr::Empty);
+        assert_eq!(parse("  (  ) ").unwrap(), Expr::Empty);
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let q = parse("/journal").unwrap();
+        assert_eq!(q, Expr::Step(step("$root", Axis::Child, label("journal"))));
+    }
+
+    #[test]
+    fn absolute_descendant_path() {
+        let q = parse("//name").unwrap();
+        assert_eq!(q, Expr::Step(step("$root", Axis::Descendant, label("name"))));
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let q = parse("for $x in /journal return $x/child::name").unwrap();
+        let Expr::For { body, .. } = q else { panic!("expected for") };
+        assert_eq!(*body, Expr::Step(step("$x", Axis::Child, label("name"))));
+        let q = parse("for $x in /journal return $x/descendant::text()").unwrap();
+        let Expr::For { body, .. } = q else { panic!("expected for") };
+        assert_eq!(*body, Expr::Step(step("$x", Axis::Descendant, NodeTest::Text)));
+    }
+
+    #[test]
+    fn example2_query_parses() {
+        // The paper's Example 2.
+        let q = parse(
+            "<names> { for $j in /journal return for $n in $j//name return $n } </names>",
+        )
+        .unwrap();
+        let Expr::Element { name, content } = q else { panic!("expected constructor") };
+        assert_eq!(name, "names");
+        let Expr::For { var, source, body } = *content else { panic!("expected for") };
+        assert_eq!(var, Var::named("j"));
+        assert_eq!(source, step("$root", Axis::Child, label("journal")));
+        let Expr::For { var, source, body } = *body else { panic!("expected inner for") };
+        assert_eq!(var, Var::named("n"));
+        assert_eq!(source, step("$j", Axis::Descendant, label("name")));
+        assert_eq!(*body, Expr::Var(Var::named("n")));
+    }
+
+    #[test]
+    fn example5_query_parses() {
+        let q = parse(
+            "<names>{ for $j in /journal return \
+             if (some $t in $j//text() satisfies true()) \
+             then for $n in $j//name return $n \
+             else () }</names>",
+        )
+        .unwrap();
+        let Expr::Element { content, .. } = q else { panic!() };
+        let Expr::For { body, .. } = *content else { panic!() };
+        let Expr::If { cond, then } = *body else { panic!("expected if, got {body:?}") };
+        assert_eq!(
+            cond,
+            Cond::Some {
+                var: Var::named("t"),
+                source: step("$j", Axis::Descendant, NodeTest::Text),
+                satisfies: Box::new(Cond::True),
+            }
+        );
+        assert!(matches!(*then, Expr::For { .. }));
+    }
+
+    #[test]
+    fn example6_query_parses() {
+        let q = parse(
+            "for $x in //article return \
+             if (some $v in $x/volume satisfies true()) \
+             then for $y in $x//author return $y else ()",
+        )
+        .unwrap();
+        let Expr::For { source, .. } = &q else { panic!() };
+        assert_eq!(*source, step("$root", Axis::Descendant, label("article")));
+    }
+
+    #[test]
+    fn multi_step_path_desugars_to_fors() {
+        let q = parse("for $a in /journal/authors/name return $a").unwrap();
+        // for $#p0 in $root/journal return for $#p1 in $#p0/authors
+        //   return for $a in $#p1/name return $a
+        let Expr::For { var: v0, source: s0, body } = q else { panic!() };
+        assert_eq!(s0, step("$root", Axis::Child, label("journal")));
+        let Expr::For { var: v1, source: s1, body } = *body else { panic!() };
+        assert_eq!(s1.var, v0);
+        assert_eq!(s1.test, label("authors"));
+        let Expr::For { var: v2, source: s2, body } = *body else { panic!() };
+        assert_eq!(s2.var, v1);
+        assert_eq!(v2, Var::named("a"));
+        assert_eq!(*body, Expr::Var(Var::named("a")));
+    }
+
+    #[test]
+    fn multi_step_in_output_position() {
+        let q = parse("for $j in /journal return $j/authors/name").unwrap();
+        let Expr::For { body, .. } = q else { panic!() };
+        let Expr::For { var, source, body } = *body else { panic!("got {body:?}") };
+        assert_eq!(source, step("$j", Axis::Child, label("authors")));
+        let Expr::Step(last) = *body else { panic!() };
+        assert_eq!(last.var, var);
+        assert_eq!(last.test, label("name"));
+    }
+
+    #[test]
+    fn star_and_text_tests() {
+        let q = parse("for $x in /journal return $x/*").unwrap();
+        let Expr::For { body, .. } = q else { panic!() };
+        assert_eq!(*body, Expr::Step(step("$x", Axis::Child, NodeTest::Star)));
+        let q = parse("for $x in /journal return $x//text()").unwrap();
+        let Expr::For { body, .. } = q else { panic!() };
+        assert_eq!(*body, Expr::Step(step("$x", Axis::Descendant, NodeTest::Text)));
+    }
+
+    #[test]
+    fn general_else_desugars() {
+        let q = parse(
+            "for $x in /a return if ($x = \"y\") then <yes/> else <no/>",
+        )
+        .unwrap();
+        let Expr::For { body, .. } = q else { panic!() };
+        let Expr::Sequence(parts) = *body else { panic!("expected sequence, got {body:?}") };
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(&parts[0], Expr::If { cond: Cond::VarEqConst(..), .. }));
+        assert!(matches!(&parts[1], Expr::If { cond: Cond::Not(_), .. }));
+    }
+
+    #[test]
+    fn else_empty_is_plain_if() {
+        let q = parse("for $x in /a return if ($x = \"y\") then $x else ()").unwrap();
+        let Expr::For { body, .. } = q else { panic!() };
+        assert!(matches!(*body, Expr::If { .. }));
+    }
+
+    #[test]
+    fn multi_binding_for() {
+        let q = parse("for $a in /x, $b in $a/y return $b").unwrap();
+        let Expr::For { var, body, .. } = q else { panic!() };
+        assert_eq!(var, Var::named("a"));
+        assert!(matches!(*body, Expr::For { .. }));
+    }
+
+    #[test]
+    fn condition_precedence_not_and_or() {
+        let c = parse_condition("$a = \"x\" or $b = \"y\" and not(true())").unwrap();
+        // and binds tighter than or
+        let Cond::Or(_, rhs) = c else { panic!("expected Or at top, got {c:?}") };
+        assert!(matches!(*rhs, Cond::And(..)));
+    }
+
+    #[test]
+    fn condition_parens() {
+        let c = parse_condition("($a = \"x\" or $b = \"y\") and true()").unwrap();
+        let Cond::And(lhs, _) = c else { panic!() };
+        assert!(matches!(*lhs, Cond::Or(..)));
+    }
+
+    #[test]
+    fn constructor_forms() {
+        assert_eq!(
+            parse("<a/>").unwrap(),
+            Expr::Element { name: "a".into(), content: Box::new(Expr::Empty) }
+        );
+        assert_eq!(
+            parse("<a></a>").unwrap(),
+            Expr::Element { name: "a".into(), content: Box::new(Expr::Empty) }
+        );
+        let q = parse("<a><b/><c/></a>").unwrap();
+        let Expr::Element { content, .. } = q else { panic!() };
+        assert!(matches!(*content, Expr::Sequence(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn constructor_literal_text() {
+        let q = parse("<a>hello</a>").unwrap();
+        let Expr::Element { content, .. } = q else { panic!() };
+        assert_eq!(*content, Expr::Text("hello".into()));
+    }
+
+    #[test]
+    fn constructor_mixed_content() {
+        let q = parse("<a>x{ /j }y</a>").unwrap();
+        let Expr::Element { content, .. } = q else { panic!() };
+        let Expr::Sequence(parts) = *content else { panic!() };
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], Expr::Text("x".into()));
+        assert!(matches!(parts[1], Expr::Step(_)));
+        assert_eq!(parts[2], Expr::Text("y".into()));
+    }
+
+    #[test]
+    fn mismatched_constructor_tags() {
+        let err = parse("<a></b>").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let err = parse("$x").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::UnboundVariable(v) if v == "$x"));
+        let err = parse("for $a in /x return $b").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::UnboundVariable(v) if v == "$b"));
+        let err = parse("for $a in $b/x return $a").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::UnboundVariable(v) if v == "$b"));
+    }
+
+    #[test]
+    fn root_var_is_bound() {
+        assert!(parse("$root").is_ok());
+    }
+
+    #[test]
+    fn scoping_in_some() {
+        // $t is only in scope inside the satisfies clause.
+        let err = parse(
+            "for $x in /a return if (some $t in $x/b satisfies true()) then $t else ()",
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::UnboundVariable(v) if v == "$t"));
+    }
+
+    #[test]
+    fn unsupported_features_rejected() {
+        for q in [
+            "let $x := /a return $x",
+            "every $x in /a satisfies true()",
+        ] {
+            let err = parse(q).unwrap_err();
+            assert!(
+                matches!(err.kind(), ParseErrorKind::Unsupported(_) | ParseErrorKind::Expected(_)),
+                "query {q:?} gave {err:?}"
+            );
+        }
+        let err = parse_condition("every $x in /a satisfies true()").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::Unsupported(_)));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        let err = parse("/a /b").unwrap_err();
+        // `/a /b` parses /a then finds trailing `/b`... which is actually a
+        // path continuation without whitespace significance; path parsing
+        // consumes `/b` as a second step. So use clearly-trailing junk:
+        let _ = err;
+        let err = parse("() ()").unwrap_err();
+        assert_eq!(*err.kind(), ParseErrorKind::TrailingInput);
+    }
+
+    #[test]
+    fn comma_sequence_at_top_level() {
+        let q = parse("/a, /b").unwrap();
+        let Expr::Sequence(parts) = q else { panic!() };
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn var_eq_var_condition() {
+        let q = parse(
+            "for $a in /x, $b in /y return if ($a = $b) then $a else ()",
+        )
+        .unwrap();
+        let Expr::For { body, .. } = q else { panic!() };
+        let Expr::For { body, .. } = *body else { panic!() };
+        let Expr::If { cond, .. } = *body else { panic!() };
+        assert_eq!(cond, Cond::VarEqVar(Var::named("a"), Var::named("b")));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let queries = [
+            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
+            "for $x in //article return if (some $v in $x/volume satisfies true()) then $x else ()",
+            "()",
+            "/a",
+        ];
+        for q in queries {
+            let ast = parse(q).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(ast, reparsed, "display round-trip changed {q:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse("for $j in /journal return $j//name").unwrap();
+        let b = parse("for  $j\n in\t/journal\nreturn   $j//name").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn descendant_text_in_some() {
+        let c = parse_condition("some $t in $root//text() satisfies $t = \"Ana\"").unwrap();
+        let Cond::Some { satisfies, .. } = c else { panic!() };
+        assert_eq!(*satisfies, Cond::VarEqConst(Var::named("t"), "Ana".into()));
+    }
+}

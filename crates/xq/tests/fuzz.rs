@@ -1,0 +1,65 @@
+//! No-panic guarantees for the XQ parser on arbitrary and almost-XQ input.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser never panics on arbitrary text.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = xmldb_xq::parse(&input);
+        let _ = xmldb_xq::parser::parse_condition(&input);
+    }
+
+    /// The parser never panics on token soup drawn from the XQ vocabulary.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("for".to_string()),
+                Just("$x".to_string()),
+                Just("in".to_string()),
+                Just("return".to_string()),
+                Just("if".to_string()),
+                Just("then".to_string()),
+                Just("else".to_string()),
+                Just("some".to_string()),
+                Just("satisfies".to_string()),
+                Just("and".to_string()),
+                Just("or".to_string()),
+                Just("not(".to_string()),
+                Just("true()".to_string()),
+                Just("//a".to_string()),
+                Just("/b".to_string()),
+                Just("/text()".to_string()),
+                Just("/*".to_string()),
+                Just("<t>".to_string()),
+                Just("</t>".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..20,
+        )
+    ) {
+        let input = parts.join(" ");
+        let _ = xmldb_xq::parse(&input);
+    }
+
+    /// Every accepted query pretty-prints to something that re-parses to the
+    /// same AST (Display is a total inverse on the parser's range).
+    #[test]
+    fn accepted_queries_roundtrip(input in "\\PC{0,120}") {
+        if let Ok(ast) = xmldb_xq::parse(&input) {
+            let printed = ast.to_string();
+            let reparsed = xmldb_xq::parse(&printed)
+                .unwrap_or_else(|e| panic!("printed form of {input:?} failed: {printed:?}: {e}"));
+            prop_assert_eq!(ast, reparsed);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: pretty-print → re-parse is the identity on
+//! well-formed XQ ASTs, and analyses agree with structural facts.
+
+use proptest::prelude::*;
+use xmldb_xq::{analysis, ast::*, parse};
+
+/// Strategy for variable names drawn from a small pool so generated queries
+/// actually bind the variables they use.
+fn var_pool() -> Vec<Var> {
+    vec![Var::named("a"), Var::named("b"), Var::named("c")]
+}
+
+fn node_test_strategy() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        "[a-z]{1,6}".prop_map(NodeTest::Label),
+        Just(NodeTest::Star),
+        Just(NodeTest::Text),
+    ]
+}
+
+fn axis_strategy() -> impl Strategy<Value = Axis> {
+    prop_oneof![Just(Axis::Child), Just(Axis::Descendant)]
+}
+
+/// Generates a well-scoped expression given variables currently in scope.
+fn expr_strategy(scope: Vec<Var>, depth: u32) -> BoxedStrategy<Expr> {
+    let scope_for_steps = scope.clone();
+    let step = (axis_strategy(), node_test_strategy(), 0..scope_for_steps.len())
+        .prop_map(move |(axis, test, i)| {
+            Expr::Step(PathStep { var: scope_for_steps[i].clone(), axis, test })
+        });
+    let scope_for_vars = scope.clone();
+    let var = (0..scope_for_vars.len())
+        .prop_map(move |i| Expr::Var(scope_for_vars[i].clone()));
+    let leaf = prop_oneof![Just(Expr::Empty), step, var];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let scope2 = scope.clone();
+    let for_expr = (axis_strategy(), node_test_strategy(), 0..scope.len(), 0..var_pool().len())
+        .prop_flat_map(move |(axis, test, src, bind)| {
+            let var = var_pool()[bind].clone();
+            let source = PathStep { var: scope2[src].clone(), axis, test };
+            let mut inner_scope = scope2.clone();
+            if !inner_scope.contains(&var) {
+                inner_scope.push(var.clone());
+            }
+            expr_strategy(inner_scope, depth - 1).prop_map(move |body| Expr::For {
+                var: var.clone(),
+                source: source.clone(),
+                body: Box::new(body),
+            })
+        });
+    let scope3 = scope.clone();
+    let if_expr = (cond_strategy(scope.clone(), depth - 1), 1u32..2)
+        .prop_flat_map(move |(cond, _)| {
+            expr_strategy(scope3.clone(), depth - 1).prop_map(move |then| Expr::If {
+                cond: cond.clone(),
+                then: Box::new(then),
+            })
+        });
+    let scope4 = scope.clone();
+    let elem = ("[a-z]{1,6}", 0u32..1).prop_flat_map(move |(name, _)| {
+        expr_strategy(scope4.clone(), depth - 1).prop_map(move |content| Expr::Element {
+            name: name.clone(),
+            content: Box::new(content),
+        })
+    });
+    let seq = prop::collection::vec(expr_strategy(scope, depth - 1), 2..4)
+        .prop_map(Expr::sequence);
+    prop_oneof![leaf, for_expr, if_expr, elem, seq].boxed()
+}
+
+fn cond_strategy(scope: Vec<Var>, depth: u32) -> BoxedStrategy<Cond> {
+    let scope_eq = scope.clone();
+    let eq_const = (0..scope_eq.len(), "[a-zA-Z ]{0,8}")
+        .prop_map(move |(i, s)| Cond::VarEqConst(scope_eq[i].clone(), s));
+    let scope_vv = scope.clone();
+    let eq_var = (0..scope_vv.len(), 0..scope_vv.len())
+        .prop_map(move |(i, j)| Cond::VarEqVar(scope_vv[i].clone(), scope_vv[j].clone()));
+    let leaf = prop_oneof![Just(Cond::True), eq_const, eq_var];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let scope2 = scope.clone();
+    let some = (axis_strategy(), node_test_strategy(), 0..scope.len(), 0..var_pool().len())
+        .prop_flat_map(move |(axis, test, src, bind)| {
+            let var = var_pool()[bind].clone();
+            let source = PathStep { var: scope2[src].clone(), axis, test };
+            let mut inner = scope2.clone();
+            if !inner.contains(&var) {
+                inner.push(var.clone());
+            }
+            cond_strategy(inner, depth - 1).prop_map(move |satisfies| Cond::Some {
+                var: var.clone(),
+                source: source.clone(),
+                satisfies: Box::new(satisfies),
+            })
+        });
+    let pair = (cond_strategy(scope.clone(), depth - 1), cond_strategy(scope.clone(), depth - 1));
+    let and = pair.clone().prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b)));
+    let or = pair.prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b)));
+    let not = cond_strategy(scope, depth - 1).prop_map(|c| Cond::Not(Box::new(c)));
+    prop_oneof![leaf, some, and, or, not].boxed()
+}
+
+fn root_query() -> impl Strategy<Value = Expr> {
+    expr_strategy(vec![Var::root()], 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display(ast) must re-parse to exactly the same AST.
+    #[test]
+    fn display_parse_roundtrip(ast in root_query()) {
+        // Skip ASTs containing literal text with characters the string
+        // syntax cannot carry (quotes); the generator avoids them already.
+        let printed = ast.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed query failed to parse: {printed}\n{e}"));
+        prop_assert_eq!(reparsed, ast);
+    }
+
+    /// Well-scoped generated queries never have free variables besides root.
+    #[test]
+    fn generated_queries_are_well_scoped(ast in root_query()) {
+        let free = analysis::free_vars(&ast);
+        for v in free {
+            prop_assert!(v.is_root(), "unexpected free variable {v}");
+        }
+    }
+
+    /// `labels_used` is invariant under wrapping in a constructor.
+    #[test]
+    fn labels_invariant_under_constructor(ast in root_query()) {
+        let wrapped = Expr::Element { name: "wrap".into(), content: Box::new(ast.clone()) };
+        prop_assert_eq!(analysis::labels_used(&ast), analysis::labels_used(&wrapped));
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: load a document, run XQ queries with different engines,
+//! inspect a query plan.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xmldb_core::{Database, EngineKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An in-memory database; `Database::open_dir` persists to disk instead.
+    let db = Database::in_memory();
+
+    // The paper's Figure 2 document.
+    db.load_document(
+        "fig2",
+        "<journal><authors><name>Ana</name><name>Bob</name></authors>\
+         <title>DB</title></journal>",
+    )?;
+
+    // Example 2 of the paper.
+    let query = "<names>{ for $j in /journal return for $n in $j//name return $n }</names>";
+
+    // Every milestone engine computes the same answer.
+    for engine in EngineKind::ALL {
+        let result = db.query("fig2", query, engine)?;
+        println!("{engine:<14} → {result}");
+    }
+
+    // Conditions, comparisons, and the runtime error the paper permits.
+    let with_ana = db.query(
+        "fig2",
+        "for $n in //name/text() return if ($n = \"Ana\") then <found/> else ()",
+        EngineKind::M4CostBased,
+    )?;
+    println!("\nAna found: {}", !with_ana.is_empty());
+
+    let err = db
+        .query(
+            "fig2",
+            // Comparing element nodes (not text) is the permitted runtime error.
+            "for $n in //name return if ($n = \"Ana\") then $n else ()",
+            EngineKind::M4CostBased,
+        )
+        .unwrap_err();
+    println!("non-text comparison rejected: {err}");
+
+    // EXPLAIN shows the merged TPM expression and the physical plan.
+    println!("\n--- EXPLAIN (milestone 4) ---");
+    print!("{}", db.explain("fig2", query, EngineKind::M4CostBased)?);
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! An interactive XQ shell over saardb.
+//!
+//! ```text
+//! cargo run --example xq_shell [path/to/document.xml]
+//! ```
+//!
+//! Commands:
+//! * `\help` — command list
+//! * `\docs` — loaded documents
+//! * `\load <name> <file>` — shred a document from disk
+//! * `\use <name>` — switch the current document
+//! * `\engine <m1|naive|m2|m3|m4>` — switch the evaluation engine
+//! * `\explain <query>` — show the TPM expression and physical plan
+//! * `\q` — quit
+//!
+//! Anything else is parsed as an XQ query against the current document.
+
+use std::io::{BufRead, Write};
+use xmldb_core::{Database, EngineKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::in_memory();
+    let mut current = "demo".to_string();
+    let mut engine = EngineKind::M4CostBased;
+
+    match std::env::args().nth(1) {
+        Some(path) => {
+            db.load_document_from_path(&current, &path)?;
+            println!("loaded {path} as document {current:?}");
+        }
+        None => {
+            db.load_document(&current, xmldb_datagen::classroom_document().as_str())?;
+            println!("loaded the built-in classroom document as {current:?}");
+        }
+    }
+    println!("engine: {engine}. Type \\help for commands, \\q to quit.");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("xq> ");
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("q") | Some("quit") => break,
+                Some("help") => {
+                    println!(
+                        "\\docs | \\load <name> <file> | \\use <name> | \
+                         \\engine <m1|naive|m2|m3|m4> | \\explain <query> | \\q"
+                    );
+                }
+                Some("docs") => {
+                    for doc in db.documents()? {
+                        let marker = if doc == current { "*" } else { " " };
+                        println!(" {marker} {doc}");
+                    }
+                }
+                Some("load") => match (parts.next(), parts.next()) {
+                    (Some(name), Some(path)) => {
+                        match db.load_document_from_path(name, path) {
+                            Ok(()) => println!("loaded {name}"),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    _ => println!("usage: \\load <name> <file>"),
+                },
+                Some("use") => match parts.next() {
+                    Some(name) if db.has_document(name) => {
+                        current = name.to_string();
+                        println!("using {current}");
+                    }
+                    Some(name) => println!("no such document: {name}"),
+                    None => println!("usage: \\use <name>"),
+                },
+                Some("engine") => {
+                    engine = match parts.next() {
+                        Some("m1") => EngineKind::M1InMemory,
+                        Some("naive") => EngineKind::NaiveScan,
+                        Some("m2") => EngineKind::M2Storage,
+                        Some("m3") => EngineKind::M3Algebraic,
+                        Some("m4") => EngineKind::M4CostBased,
+                        Some("m4p") => EngineKind::M4Pipelined,
+                        _ => {
+                            println!("usage: \\engine <m1|naive|m2|m3|m4|m4p>");
+                            continue;
+                        }
+                    };
+                    println!("engine: {engine}");
+                }
+                Some("explain") => {
+                    let query = rest.trim_start_matches("explain").trim();
+                    match db.explain(&current, query, engine) {
+                        Ok(text) => print!("{text}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                other => println!("unknown command {other:?}; try \\help"),
+            }
+            continue;
+        }
+        let started = std::time::Instant::now();
+        match db.query(&current, line, engine) {
+            Ok(result) => {
+                println!("{result}");
+                println!(
+                    "-- {} item(s) in {:.2} ms [{engine}]",
+                    result.len(),
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

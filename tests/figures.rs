@@ -1,0 +1,167 @@
+//! Reproduction of the paper's worked figures and examples: the Figure 2
+//! labeling, the Example 1 tuples, and Example 2's binding sequence and
+//! result.
+
+use xmldb_core::{Database, EngineKind};
+use xmldb_storage::Env;
+use xmldb_xasr::shred_document;
+
+const FIGURE2: &str =
+    "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>";
+
+/// Figure 2: the exact in/out assignment of the paper.
+#[test]
+fn figure2_labels() {
+    let doc = xmldb_xml::parse(FIGURE2).unwrap();
+    let lab = xmldb_xml::Labeling::compute(&doc);
+    let root = doc.root();
+    let journal = doc.root_element().unwrap();
+    let authors = doc.children(journal)[0];
+    let name1 = doc.children(authors)[0];
+    let ana = doc.children(name1)[0];
+    let name2 = doc.children(authors)[1];
+    let bob = doc.children(name2)[0];
+    let title = doc.children(journal)[1];
+    let db = doc.children(title)[0];
+    let expected = [
+        (root, 1, 18),
+        (journal, 2, 17),
+        (authors, 3, 12),
+        (name1, 4, 7),
+        (ana, 5, 6),
+        (name2, 8, 11),
+        (bob, 9, 10),
+        (title, 13, 16),
+        (db, 14, 15),
+    ];
+    for (node, in_v, out_v) in expected {
+        assert_eq!(lab.in_of(node), in_v);
+        assert_eq!(lab.out_of(node), out_v);
+    }
+}
+
+/// Example 1: "the nodes labeled 'journal' and Ana ... are represented in
+/// XASR as the tuples (2, 17, 1, element, journal) and (5, 6, 4, text,
+/// Ana)".
+#[test]
+fn example1_tuples() {
+    let env = Env::memory();
+    let store = shred_document(&env, "fig2", FIGURE2).unwrap();
+    assert_eq!(store.get(2).unwrap().unwrap().to_string(), "(2, 17, 1, element, journal)");
+    assert_eq!(store.get(5).unwrap().unwrap().to_string(), "(5, 6, 4, text, Ana)");
+}
+
+/// The structural-join characterizations stated in §2, verified
+/// exhaustively over the Figure 2 document.
+#[test]
+fn structural_join_formulas() {
+    let env = Env::memory();
+    let store = shred_document(&env, "fig2", FIGURE2).unwrap();
+    let all: Vec<_> = store.scan_all().map(|t| t.unwrap()).collect();
+    let doc = xmldb_xml::parse(FIGURE2).unwrap();
+    let lab = xmldb_xml::Labeling::compute(&doc);
+    let nodes: Vec<_> = std::iter::once(doc.root()).chain(doc.descendants(doc.root())).collect();
+    for (i, &x_node) in nodes.iter().enumerate() {
+        for (j, &y_node) in nodes.iter().enumerate() {
+            let x = &all[i];
+            let y = &all[j];
+            assert_eq!(lab.in_of(x_node), x.in_);
+            // child ⇔ parent_in linkage
+            assert_eq!(
+                doc.parent(y_node) == Some(x_node),
+                xmldb_xasr::predicates::is_child(x, y)
+            );
+            // descendant ⇔ interval containment
+            let is_desc = doc.descendants(x_node).any(|d| d == y_node);
+            assert_eq!(is_desc, xmldb_xasr::predicates::is_descendant(x, y));
+        }
+    }
+}
+
+/// Example 2: the relfor binds ($j, $n) successively to (2, 4) and (2, 8),
+/// and the result nodes appear in document order.
+#[test]
+fn example2_binding_sequence_and_result() {
+    let env = Env::memory();
+    let store = shred_document(&env, "fig2", FIGURE2).unwrap();
+    let journal = store.get(2).unwrap().unwrap();
+    let bindings: Vec<(u64, u64)> = store
+        .by_label_in_range("name", journal.in_, journal.out)
+        .map(|t| (journal.in_, t.unwrap().in_))
+        .collect();
+    assert_eq!(bindings, vec![(2, 4), (2, 8)], "the Example 2 vartuple sequence");
+
+    let db = Database::in_memory();
+    db.load_document("fig2", FIGURE2).unwrap();
+    let result = db
+        .query(
+            "fig2",
+            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
+            EngineKind::M4CostBased,
+        )
+        .unwrap();
+    assert_eq!(result.to_xml(), "<names><name>Ana</name><name>Bob</name></names>");
+}
+
+/// The strict-merging counterexample from §2: with a `<j>` constructor
+/// between the loops, empty `<j/>` elements must still be constructed for
+/// journals without names.
+#[test]
+fn strict_merging_counterexample_semantics() {
+    let db = Database::in_memory();
+    db.load_document(
+        "docs",
+        "<lib><journal><name>Ana</name></journal><journal><title>no names</title></journal></lib>",
+    )
+    .unwrap();
+    let q = "<names>{ for $j in //journal return <j>{ for $n in $j//name return $n }</j> }</names>";
+    for engine in EngineKind::ALL {
+        let r = db.query("docs", q, engine).unwrap();
+        assert_eq!(
+            r.to_xml(),
+            "<names><j><name>Ana</name></j><j/></names>",
+            "{engine} must construct the empty <j/>"
+        );
+    }
+}
+
+/// Example 5: the if/some query returns all names for journals that
+/// contain text.
+#[test]
+fn example5_semantics() {
+    let db = Database::in_memory();
+    db.load_document("fig2", FIGURE2).unwrap();
+    let q = "<names>{ for $j in /journal return \
+             if (some $t in $j//text() satisfies true()) \
+             then for $n in $j//name return $n else () }</names>";
+    for engine in EngineKind::ALL {
+        let r = db.query("fig2", q, engine).unwrap();
+        assert_eq!(r.to_xml(), "<names><name>Ana</name><name>Bob</name></names>", "{engine}");
+    }
+}
+
+/// Example 6 semantics on a document with volume-less articles.
+#[test]
+fn example6_semantics() {
+    let db = Database::in_memory();
+    db.load_document(
+        "bib",
+        "<dblp>\
+         <article><author>A</author><volume>1</volume></article>\
+         <article><author>B</author></article>\
+         <article><author>C</author><author>D</author><volume>2</volume></article>\
+         </dblp>",
+    )
+    .unwrap();
+    let q = "for $x in //article return \
+             if (some $v in $x/volume satisfies true()) \
+             then for $y in $x//author return $y else ()";
+    for engine in EngineKind::ALL {
+        let r = db.query("bib", q, engine).unwrap();
+        assert_eq!(
+            r.to_xml(),
+            "<author>A</author><author>C</author><author>D</author>",
+            "{engine}"
+        );
+    }
+}
