@@ -18,7 +18,7 @@
 //! PSX expressions; `or`/`not` are outside the fragment and fall back to
 //! the interpreter ([`Tpm::IfFallback`]).
 
-use crate::ir::{Attr, AtomicPred, CmpOp, ColRef, Operand, Psx, Tpm};
+use crate::ir::{AtomicPred, Attr, CmpOp, ColRef, Operand, Psx, Tpm};
 use std::collections::HashMap;
 use xmldb_xasr::NodeType;
 use xmldb_xq::{Axis, Cond, Expr, NodeTest, PathStep, Var};
@@ -42,9 +42,11 @@ struct Compiler {
 impl Compiler {
     fn fresh_alias(&mut self, test: &NodeTest) -> String {
         let letter = match test {
-            NodeTest::Label(l) => {
-                l.chars().next().map(|c| c.to_ascii_uppercase()).unwrap_or('R')
-            }
+            NodeTest::Label(l) => l
+                .chars()
+                .next()
+                .map(|c| c.to_ascii_uppercase())
+                .unwrap_or('R'),
             NodeTest::Star => 'S',
             NodeTest::Text => 'T',
         };
@@ -78,7 +80,11 @@ impl Compiler {
                 // for $o in step return $o.
                 let var = self.fresh_var();
                 let (_, source) = self.step_psx(step);
-                Tpm::RelFor { vars: vec![var.clone()], source, body: Box::new(Tpm::VarOut(var)) }
+                Tpm::RelFor {
+                    vars: vec![var.clone()],
+                    source,
+                    body: Box::new(Tpm::VarOut(var)),
+                }
             }
             Expr::For { var, source, body } => {
                 let (_, psx) = self.step_psx(source);
@@ -205,22 +211,18 @@ impl Compiler {
                     relations: vec![t1, t2],
                 }
             }
-            Cond::Some { var, source, satisfies } => {
+            Cond::Some {
+                var,
+                source,
+                satisfies,
+            } => {
                 let (target, step) = self.step_psx(source);
                 let inner = self.alg_cond(satisfies);
                 let inner = substitute_var(inner, var, &target);
                 Psx {
                     cols: Vec::new(),
-                    conjuncts: step
-                        .conjuncts
-                        .into_iter()
-                        .chain(inner.conjuncts)
-                        .collect(),
-                    relations: step
-                        .relations
-                        .into_iter()
-                        .chain(inner.relations)
-                        .collect(),
+                    conjuncts: step.conjuncts.into_iter().chain(inner.conjuncts).collect(),
+                    relations: step.relations.into_iter().chain(inner.relations).collect(),
                 }
             }
             Cond::And(a, b) => {
@@ -294,10 +296,8 @@ mod tests {
     /// query.
     #[test]
     fn figure3_shape() {
-        let q = parse(
-            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
-        )
-        .unwrap();
+        let q = parse("<names>{ for $j in /journal return for $n in $j//name return $n }</names>")
+            .unwrap();
         let tpm = compile_query(&q);
         let rendered = tpm.render();
         assert_eq!(
@@ -320,10 +320,19 @@ mod tests {
         )
         .unwrap();
         let tpm = compile_query(&q);
-        let Tpm::Constr { content, .. } = &tpm else { panic!() };
-        let Tpm::RelFor { vars, body, .. } = content.as_ref() else { panic!() };
+        let Tpm::Constr { content, .. } = &tpm else {
+            panic!()
+        };
+        let Tpm::RelFor { vars, body, .. } = content.as_ref() else {
+            panic!()
+        };
         assert_eq!(vars.len(), 1);
-        let Tpm::RelFor { vars: cond_vars, source, body: inner } = body.as_ref() else {
+        let Tpm::RelFor {
+            vars: cond_vars,
+            source,
+            body: inner,
+        } = body.as_ref()
+        else {
             panic!("expected nullary relfor, got:\n{}", tpm.render());
         };
         assert!(cond_vars.is_empty(), "if-relfor has empty vartuple");
@@ -335,12 +344,11 @@ mod tests {
 
     #[test]
     fn or_condition_falls_back() {
-        let q = parse(
-            "for $x in /a return if ($x = \"p\" or $x = \"q\") then $x else ()",
-        )
-        .unwrap();
+        let q = parse("for $x in /a return if ($x = \"p\" or $x = \"q\") then $x else ()").unwrap();
         let tpm = compile_query(&q);
-        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { body, .. } = &tpm else {
+            panic!()
+        };
         assert!(matches!(body.as_ref(), Tpm::IfFallback { .. }));
     }
 
@@ -348,7 +356,9 @@ mod tests {
     fn not_condition_falls_back() {
         let q = parse("for $x in /a return if (not(true())) then $x else ()").unwrap();
         let tpm = compile_query(&q);
-        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { body, .. } = &tpm else {
+            panic!()
+        };
         assert!(matches!(body.as_ref(), Tpm::IfFallback { .. }));
     }
 
@@ -378,7 +388,9 @@ mod tests {
     fn step_in_output_position_becomes_loop() {
         let q = parse("/journal").unwrap();
         let tpm = compile_query(&q);
-        let Tpm::RelFor { vars, source, body } = &tpm else { panic!() };
+        let Tpm::RelFor { vars, source, body } = &tpm else {
+            panic!()
+        };
         assert_eq!(vars.len(), 1);
         assert_eq!(source.relations.len(), 1);
         assert!(matches!(body.as_ref(), Tpm::VarOut(v) if v == &vars[0]));
@@ -388,8 +400,12 @@ mod tests {
     fn star_and_text_tests() {
         let q = parse("for $x in /j return for $y in $x/* return $y").unwrap();
         let tpm = compile_query(&q);
-        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
-        let Tpm::RelFor { source, .. } = body.as_ref() else { panic!() };
+        let Tpm::RelFor { body, .. } = &tpm else {
+            panic!()
+        };
+        let Tpm::RelFor { source, .. } = body.as_ref() else {
+            panic!()
+        };
         // Star: only a type conjunct (besides parent linkage).
         assert_eq!(source.conjuncts.len(), 2);
         assert!(source
@@ -406,8 +422,12 @@ mod tests {
         )
         .unwrap();
         let tpm = compile_query(&q);
-        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
-        let Tpm::RelFor { vars, source, .. } = body.as_ref() else { panic!() };
+        let Tpm::RelFor { body, .. } = &tpm else {
+            panic!()
+        };
+        let Tpm::RelFor { vars, source, .. } = body.as_ref() else {
+            panic!()
+        };
         assert!(vars.is_empty());
         // $v must not appear as an external var (it is bound inside).
         assert!(source.external_vars().iter().all(|v| v != &Var::named("v")));
@@ -424,8 +444,12 @@ mod tests {
         )
         .unwrap();
         let tpm = compile_query(&q);
-        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
-        let Tpm::RelFor { source, .. } = body.as_ref() else { panic!() };
+        let Tpm::RelFor { body, .. } = &tpm else {
+            panic!()
+        };
+        let Tpm::RelFor { source, .. } = body.as_ref() else {
+            panic!()
+        };
         // Relations: B (b step), C (c step), T (text lookup for $c = "z").
         assert_eq!(source.relations.len(), 3);
         // The only external var is $x.

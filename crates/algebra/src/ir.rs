@@ -43,7 +43,10 @@ pub struct ColRef {
 impl ColRef {
     /// Convenience constructor.
     pub fn new(alias: impl Into<String>, attr: Attr) -> ColRef {
-        ColRef { alias: alias.into(), attr }
+        ColRef {
+            alias: alias.into(),
+            attr,
+        }
     }
 }
 
@@ -124,12 +127,22 @@ pub struct AtomicPred {
 impl AtomicPred {
     /// Plain structural conjunct.
     pub fn new(lhs: Operand, op: CmpOp, rhs: Operand) -> AtomicPred {
-        AtomicPred { op, lhs, rhs, strict_text: false }
+        AtomicPred {
+            op,
+            lhs,
+            rhs,
+            strict_text: false,
+        }
     }
 
     /// XQ `=` conjunct (errors on non-text nodes at runtime).
     pub fn strict(lhs: Operand, op: CmpOp, rhs: Operand) -> AtomicPred {
-        AtomicPred { op, lhs, rhs, strict_text: true }
+        AtomicPred {
+            op,
+            lhs,
+            rhs,
+            strict_text: true,
+        }
     }
 
     /// Aliases referenced by this predicate (0, 1 or 2).
@@ -172,7 +185,11 @@ impl Psx {
     /// The nullary, relation-free PSX whose result is the "true" nullary
     /// relation (one empty tuple): the translation of `true()`.
     pub fn truth() -> Psx {
-        Psx { cols: Vec::new(), conjuncts: Vec::new(), relations: Vec::new() }
+        Psx {
+            cols: Vec::new(),
+            conjuncts: Vec::new(),
+            relations: Vec::new(),
+        }
     }
 
     /// Alias of the relation producing projection column `i`.
@@ -194,7 +211,10 @@ impl Psx {
 
     /// All conjuncts that mention two distinct aliases (join conditions).
     pub fn join_conjuncts(&self) -> Vec<&AtomicPred> {
-        self.conjuncts.iter().filter(|p| p.aliases().len() == 2).collect()
+        self.conjuncts
+            .iter()
+            .filter(|p| p.aliases().len() == 2)
+            .collect()
     }
 
     /// Renames every reference to `from` into `to` (alias unification when
@@ -280,7 +300,11 @@ pub enum Tpm {
     /// external variables interpreted as constants), sorted hierarchically
     /// in document order; bind `vars` to each result tuple; evaluate `body`
     /// per binding; concatenate.
-    RelFor { vars: Vec<Var>, source: Psx, body: Box<Tpm> },
+    RelFor {
+        vars: Vec<Var>,
+        source: Psx,
+        body: Box<Tpm>,
+    },
     /// Conditions outside the TPM-rewritable fragment (`or`, `not`):
     /// evaluated by the interpreter per binding environment, as the paper's
     /// restriction implies.
@@ -376,15 +400,28 @@ impl Tpm {
             }
             Tpm::RelFor { vars, source, body } => {
                 out.push_str(&pad);
-                let vartuple =
-                    vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+                let vartuple = vars
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 out.push_str(&format!("relfor ({vartuple}) in {source}\n"));
                 body.render_into(out, level + 1);
             }
-            Tpm::RelForOuter { outer_vars, outer_source, label, inner_var, inner_source, body } => {
+            Tpm::RelForOuter {
+                outer_vars,
+                outer_source,
+                label,
+                inner_var,
+                inner_source,
+                body,
+            } => {
                 out.push_str(&pad);
-                let vartuple =
-                    outer_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+                let vartuple = outer_vars
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 out.push_str(&format!(
                     "relfor-outer ({vartuple}; {inner_var}) in {outer_source} ⟕ {inner_source} constr({label})\n"
                 ));
@@ -472,7 +509,10 @@ mod tests {
             Tpm::Empty,
             Tpm::Concat(vec![Tpm::Text("a".into()), Tpm::Text("b".into())]),
         ]);
-        assert_eq!(t, Tpm::Concat(vec![Tpm::Text("a".into()), Tpm::Text("b".into())]));
+        assert_eq!(
+            t,
+            Tpm::Concat(vec![Tpm::Text("a".into()), Tpm::Text("b".into())])
+        );
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod ordering;
 pub mod rewrite;
 
 pub use compile::compile_query;
-pub use ir::{Attr, AtomicPred, CmpOp, ColRef, Operand, Psx, Tpm};
+pub use ir::{AtomicPred, Attr, CmpOp, ColRef, Operand, Psx, Tpm};

@@ -58,8 +58,12 @@ pub fn projection_compatible_orders(psx: &Psx) -> Vec<Vec<String>> {
     if prefix.iter().any(|a| !psx.relations.contains(a)) {
         return Vec::new();
     }
-    let rest: Vec<String> =
-        psx.relations.iter().filter(|r| !prefix.contains(r)).cloned().collect();
+    let rest: Vec<String> = psx
+        .relations
+        .iter()
+        .filter(|r| !prefix.contains(r))
+        .cloned()
+        .collect();
     permutations(&rest)
         .into_iter()
         .map(|tail| prefix.iter().cloned().chain(tail).collect())
@@ -88,7 +92,9 @@ pub fn permutations(items: &[String]) -> Vec<Vec<String>> {
 /// some relation is not a projection producer (its bindings multiply rows
 /// without appearing in the output — the Example 5 text-witness `T2`).
 pub fn needs_dedup(psx: &Psx) -> bool {
-    psx.relations.iter().any(|r| psx.cols.iter().all(|c| &c.alias != r))
+    psx.relations
+        .iter()
+        .any(|r| psx.cols.iter().all(|c| &c.alias != r))
 }
 
 #[cfg(test)]
@@ -100,7 +106,10 @@ mod tests {
     use xmldb_xq::parse;
 
     fn merged_psx(q: &str) -> Psx {
-        let tpm = optimize(compile_query(&parse(q).unwrap()), &RewriteOptions::default());
+        let tpm = optimize(
+            compile_query(&parse(q).unwrap()),
+            &RewriteOptions::default(),
+        );
         fn find(t: &Tpm) -> Option<&Psx> {
             match t {
                 Tpm::RelFor { source, .. } => Some(source),
@@ -114,9 +123,8 @@ mod tests {
 
     #[test]
     fn example2_orders() {
-        let psx = merged_psx(
-            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
-        );
+        let psx =
+            merged_psx("<names>{ for $j in /journal return for $n in $j//name return $n }</names>");
         // Two relations, both projected: only [J, N2] is compatible.
         let orders = projection_compatible_orders(&psx);
         assert_eq!(orders, vec![vec!["J".to_string(), "N2".to_string()]]);
@@ -173,7 +181,11 @@ mod tests {
 
     #[test]
     fn wrong_length_rejected() {
-        let psx = Psx { cols: vec![], conjuncts: vec![], relations: vec!["A".into()] };
+        let psx = Psx {
+            cols: vec![],
+            conjuncts: vec![],
+            relations: vec!["A".into()],
+        };
         assert!(!is_projection_compatible(&psx, &[]));
         assert!(!is_projection_compatible(&psx, &["B".to_string()]));
     }

@@ -1,7 +1,7 @@
 //! Logical TPM rewrites: relfor merging and redundant-relation elimination.
 
 use crate::compile::substitute_var;
-use crate::ir::{Attr, AtomicPred, CmpOp, Operand, Psx, Tpm};
+use crate::ir::{AtomicPred, Attr, CmpOp, Operand, Psx, Tpm};
 
 /// Which rewrites to apply — the knobs that differentiate the Figure 7
 /// engine configurations.
@@ -46,7 +46,10 @@ impl RewriteOptions {
     /// Everything on, including the left-outer-join extension (the
     /// milestone-4 engines).
     pub fn extended() -> RewriteOptions {
-        RewriteOptions { outer_join_constructors: true, ..RewriteOptions::default() }
+        RewriteOptions {
+            outer_join_constructors: true,
+            ..RewriteOptions::default()
+        }
     }
 }
 
@@ -65,9 +68,7 @@ pub fn optimize(tpm: Tpm, options: &RewriteOptions) -> Tpm {
 fn pass(tpm: Tpm, options: &RewriteOptions) -> Tpm {
     match tpm {
         Tpm::Empty | Tpm::Text(_) | Tpm::VarOut(_) => tpm,
-        Tpm::Concat(parts) => {
-            Tpm::concat(parts.into_iter().map(|p| pass(p, options)).collect())
-        }
+        Tpm::Concat(parts) => Tpm::concat(parts.into_iter().map(|p| pass(p, options)).collect()),
         Tpm::Constr { label, content } => Tpm::Constr {
             label,
             content: Box::new(pass(*content, options)),
@@ -87,8 +88,11 @@ fn pass(tpm: Tpm, options: &RewriteOptions) -> Tpm {
                 return body;
             }
             if options.merge_relfors {
-                if let Tpm::RelFor { vars: inner_vars, source: inner_src, body: inner_body } =
-                    body
+                if let Tpm::RelFor {
+                    vars: inner_vars,
+                    source: inner_src,
+                    body: inner_body,
+                } = body
                 {
                     let merged = merge_psx(&vars, &source, inner_vars.clone(), inner_src);
                     let mut all_vars = vars;
@@ -105,8 +109,11 @@ fn pass(tpm: Tpm, options: &RewriteOptions) -> Tpm {
             // but an outer join preserves match-less outer bindings.
             if options.outer_join_constructors && !vars.is_empty() {
                 if let Tpm::Constr { label, content } = &body {
-                    if let Tpm::RelFor { vars: ivars, source: isource, body: ibody } =
-                        content.as_ref()
+                    if let Tpm::RelFor {
+                        vars: ivars,
+                        source: isource,
+                        body: ibody,
+                    } = content.as_ref()
                     {
                         if ivars.len() == 1 && isource.relations.len() == 1 {
                             let mut inner = isource.clone();
@@ -125,18 +132,27 @@ fn pass(tpm: Tpm, options: &RewriteOptions) -> Tpm {
                     }
                 }
             }
-            Tpm::RelFor { vars, source, body: Box::new(body) }
-        }
-        Tpm::RelForOuter { outer_vars, outer_source, label, inner_var, inner_source, body } => {
-            Tpm::RelForOuter {
-                outer_vars,
-                outer_source,
-                label,
-                inner_var,
-                inner_source,
-                body: Box::new(pass(*body, options)),
+            Tpm::RelFor {
+                vars,
+                source,
+                body: Box::new(body),
             }
         }
+        Tpm::RelForOuter {
+            outer_vars,
+            outer_source,
+            label,
+            inner_var,
+            inner_source,
+            body,
+        } => Tpm::RelForOuter {
+            outer_vars,
+            outer_source,
+            label,
+            inner_var,
+            inner_source,
+            body: Box::new(pass(*body, options)),
+        },
     }
 }
 
@@ -154,8 +170,18 @@ fn merge_psx(
     }
     Psx {
         cols: outer.cols.iter().cloned().chain(inner.cols).collect(),
-        conjuncts: outer.conjuncts.iter().cloned().chain(inner.conjuncts).collect(),
-        relations: outer.relations.iter().cloned().chain(inner.relations).collect(),
+        conjuncts: outer
+            .conjuncts
+            .iter()
+            .cloned()
+            .chain(inner.conjuncts)
+            .collect(),
+        relations: outer
+            .relations
+            .iter()
+            .cloned()
+            .chain(inner.relations)
+            .collect(),
     }
 }
 
@@ -191,14 +217,15 @@ fn drop_redundant(mut psx: Psx) -> Psx {
                     // Only drop relations that are not projection producers:
                     // projecting a pinned relation is meaningful (it emits
                     // the bound node) and must stay.
-                    && psx.cols.iter().all(|col| col.alias != c.alias) => {
-                        action = Some(DropAction::Inline {
-                            conjunct: idx,
-                            alias: c.alias.clone(),
-                            var: v.clone(),
-                        });
-                        break;
-                    }
+                    && psx.cols.iter().all(|col| col.alias != c.alias) =>
+                {
+                    action = Some(DropAction::Inline {
+                        conjunct: idx,
+                        alias: c.alias.clone(),
+                        var: v.clone(),
+                    });
+                    break;
+                }
                 _ => {}
             }
         }
@@ -209,7 +236,11 @@ fn drop_redundant(mut psx: Psx) -> Psx {
                 psx.rename_alias(&from, &to);
                 dedup_conjuncts(&mut psx);
             }
-            Some(DropAction::Inline { conjunct, alias, var }) => {
+            Some(DropAction::Inline {
+                conjunct,
+                alias,
+                var,
+            }) => {
                 psx.conjuncts.remove(conjunct);
                 for pred in &mut psx.conjuncts {
                     for side in [&mut pred.lhs, &mut pred.rhs] {
@@ -229,8 +260,16 @@ fn drop_redundant(mut psx: Psx) -> Psx {
 }
 
 enum DropAction {
-    Unify { conjunct: usize, from: String, to: String },
-    Inline { conjunct: usize, alias: String, var: xmldb_xq::Var },
+    Unify {
+        conjunct: usize,
+        from: String,
+        to: String,
+    },
+    Inline {
+        conjunct: usize,
+        alias: String,
+        var: xmldb_xq::Var,
+    },
 }
 
 /// Removes duplicate and trivially-true conjuncts introduced by unification.
@@ -266,7 +305,12 @@ fn normalize(p: &AtomicPred) -> AtomicPred {
     let mut q = p.clone();
     // Canonicalize > into < for dedup purposes.
     if q.op == CmpOp::Gt {
-        q = AtomicPred { op: CmpOp::Lt, lhs: q.rhs, rhs: q.lhs, strict_text: q.strict_text };
+        q = AtomicPred {
+            op: CmpOp::Lt,
+            lhs: q.rhs,
+            rhs: q.lhs,
+            strict_text: q.strict_text,
+        };
     }
     q
 }
@@ -278,7 +322,10 @@ mod tests {
     use xmldb_xq::parse;
 
     fn compile_optimized(q: &str) -> Tpm {
-        optimize(compile_query(&parse(q).unwrap()), &RewriteOptions::default())
+        optimize(
+            compile_query(&parse(q).unwrap()),
+            &RewriteOptions::default(),
+        )
     }
 
     /// Example 4 / Figure 4: merged relfor with N1 dropped.
@@ -306,9 +353,18 @@ mod tests {
         let tpm = compile_optimized(
             "<names>{ for $j in /journal return <j>{ for $n in $j//name return $n }</j> }</names>",
         );
-        assert_eq!(tpm.relfor_count(), 2, "merge across constructor is unsound:\n{}", tpm.render());
-        let Tpm::Constr { content, .. } = &tpm else { panic!() };
-        let Tpm::RelFor { body, .. } = content.as_ref() else { panic!() };
+        assert_eq!(
+            tpm.relfor_count(),
+            2,
+            "merge across constructor is unsound:\n{}",
+            tpm.render()
+        );
+        let Tpm::Constr { content, .. } = &tpm else {
+            panic!()
+        };
+        let Tpm::RelFor { body, .. } = content.as_ref() else {
+            panic!()
+        };
         assert!(matches!(body.as_ref(), Tpm::Constr { .. }));
     }
 
@@ -321,8 +377,12 @@ mod tests {
              then for $n in $j//name return $n else () }</names>",
         );
         assert_eq!(tpm.relfor_count(), 1, "got:\n{}", tpm.render());
-        let Tpm::Constr { content, .. } = &tpm else { panic!() };
-        let Tpm::RelFor { vars, source, .. } = content.as_ref() else { panic!() };
+        let Tpm::Constr { content, .. } = &tpm else {
+            panic!()
+        };
+        let Tpm::RelFor { vars, source, .. } = content.as_ref() else {
+            panic!()
+        };
         assert_eq!(vars.len(), 2, "vartuple ($j, $n)");
         assert_eq!(source.cols.len(), 2);
         // Relations: J, T2 (text witness), N2. T1/N1 binder copies dropped.
@@ -334,7 +394,9 @@ mod tests {
         // Unmerged //name step has relations [N, N2]; after dropping, only
         // the target remains with $x.in / $x.out bounds.
         let tpm = compile_optimized("for $x in /a return for $y in $x//name return $y");
-        let Tpm::RelFor { source, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { source, .. } = &tpm else {
+            panic!()
+        };
         // After merging: relations [A, N2]; the N binder is gone.
         assert_eq!(source.relations.len(), 2, "got:\n{}", tpm.render());
         assert!(source.relations.iter().all(|r| r != "N"));
@@ -345,7 +407,9 @@ mod tests {
         let tpm = compile_optimized("for $x in /a return if (true()) then $x else ()");
         // `relfor () in TRUE` disappears entirely; merging leaves one loop.
         assert_eq!(tpm.relfor_count(), 1, "got:\n{}", tpm.render());
-        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { body, .. } = &tpm else {
+            panic!()
+        };
         assert!(matches!(body.as_ref(), Tpm::VarOut(_)));
     }
 
@@ -358,9 +422,16 @@ mod tests {
         )
         .unwrap();
         let tpm = optimize(compile_query(&q), &RewriteOptions::extended());
-        let Tpm::Constr { content, .. } = &tpm else { panic!() };
-        let Tpm::RelForOuter { outer_vars, label, inner_var, inner_source, .. } =
-            content.as_ref()
+        let Tpm::Constr { content, .. } = &tpm else {
+            panic!()
+        };
+        let Tpm::RelForOuter {
+            outer_vars,
+            label,
+            inner_var,
+            inner_source,
+            ..
+        } = content.as_ref()
         else {
             panic!("expected relfor-outer, got:\n{}", tpm.render());
         };
@@ -369,7 +440,10 @@ mod tests {
         assert_eq!(inner_var, &xmldb_xq::Var::named("n"));
         assert_eq!(inner_source.relations.len(), 1);
         // The inner references the outer producer's columns, not $j.
-        assert!(inner_source.external_vars().iter().all(|v| v.is_root() || v != &xmldb_xq::Var::named("j")));
+        assert!(inner_source
+            .external_vars()
+            .iter()
+            .all(|v| v.is_root() || v != &xmldb_xq::Var::named("j")));
     }
 
     /// Multi-relation inners stay unmerged even with the extension on.
@@ -386,7 +460,9 @@ mod tests {
         let tpm = optimize(compile_query(&q), &RewriteOptions::extended());
         // The inner content is an if-merged relfor over 2 relations (T2,
         // N2) — not the single-relation shape, so no outer join.
-        let Tpm::Constr { content, .. } = &tpm else { panic!() };
+        let Tpm::Constr { content, .. } = &tpm else {
+            panic!()
+        };
         assert!(
             matches!(content.as_ref(), Tpm::RelFor { .. }),
             "got:\n{}",
@@ -396,10 +472,8 @@ mod tests {
 
     #[test]
     fn no_rewrites_under_none_options() {
-        let q = parse(
-            "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
-        )
-        .unwrap();
+        let q = parse("<names>{ for $j in /journal return for $n in $j//name return $n }</names>")
+            .unwrap();
         let raw = compile_query(&q);
         let untouched = optimize(raw.clone(), &RewriteOptions::none());
         assert_eq!(untouched, raw);
@@ -407,10 +481,11 @@ mod tests {
 
     #[test]
     fn merge_preserves_projection_order() {
-        let tpm = compile_optimized(
-            "for $a in /x return for $b in $a/y return for $c in $b/z return $c",
-        );
-        let Tpm::RelFor { vars, source, .. } = &tpm else { panic!() };
+        let tpm =
+            compile_optimized("for $a in /x return for $b in $a/y return for $c in $b/z return $c");
+        let Tpm::RelFor { vars, source, .. } = &tpm else {
+            panic!()
+        };
         assert_eq!(vars.len(), 3);
         assert_eq!(source.cols.len(), 3);
         // Projection columns follow binding order: X, Y, Z producers.
@@ -431,7 +506,9 @@ mod tests {
              then for $y in $x//author return $y else ()",
         );
         assert_eq!(tpm.relfor_count(), 1, "got:\n{}", tpm.render());
-        let Tpm::RelFor { vars, source, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { vars, source, .. } = &tpm else {
+            panic!()
+        };
         assert_eq!(vars.len(), 2); // ($x, $y)
         assert_eq!(source.cols.len(), 2);
         assert_eq!(source.relations.len(), 3, "A, V, B:\n{}", tpm.render());
@@ -442,7 +519,9 @@ mod tests {
         let tpm = compile_optimized(
             "for $x in /a return if (not(true())) then for $y in $x/b return $y else ()",
         );
-        let Tpm::RelFor { body, .. } = &tpm else { panic!() };
+        let Tpm::RelFor { body, .. } = &tpm else {
+            panic!()
+        };
         assert!(matches!(body.as_ref(), Tpm::IfFallback { .. }));
         assert_eq!(tpm.relfor_count(), 2);
     }

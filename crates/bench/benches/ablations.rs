@@ -49,18 +49,25 @@ fn bench_rewrite_ablation(c: &mut Criterion) {
         ("all-rewrites", RewriteOptions::default()),
         (
             "no-merge",
-            RewriteOptions { merge_relfors: false, ..RewriteOptions::default() },
+            RewriteOptions {
+                merge_relfors: false,
+                ..RewriteOptions::default()
+            },
         ),
         (
             "no-drop-redundant",
-            RewriteOptions { drop_redundant_relations: false, ..RewriteOptions::default() },
+            RewriteOptions {
+                drop_redundant_relations: false,
+                ..RewriteOptions::default()
+            },
         ),
         ("no-rewrites", RewriteOptions::none()),
     ];
 
     // All variants must agree before we time them.
-    let reference =
-        tpm_exec::evaluate(&store, &query, &planner, &options).unwrap().to_xml();
+    let reference = tpm_exec::evaluate(&store, &query, &planner, &options)
+        .unwrap()
+        .to_xml();
     for (name, rewrites) in &variants {
         let got = tpm_exec::evaluate_with_rewrites(&store, &query, rewrites, &planner, &options)
             .unwrap()
@@ -89,7 +96,10 @@ fn bench_index_ablation(c: &mut Criterion) {
     let query = xmldb_xq::parse(EXAMPLE6).unwrap();
     let options = QueryOptions::default();
     let with = PlannerConfig::cost_based();
-    let without = PlannerConfig { use_indexes: false, ..PlannerConfig::cost_based() };
+    let without = PlannerConfig {
+        use_indexes: false,
+        ..PlannerConfig::cost_based()
+    };
 
     let mut group = c.benchmark_group("ablation_indexes");
     group.sample_size(10);
@@ -112,7 +122,10 @@ fn bench_pipeline_ablation(c: &mut Criterion) {
                  for $t in //text() return \
                  if ($a = $t) then <m/> else ()";
     let reference = db.query("dblp", query, EngineKind::M4CostBased).unwrap();
-    assert_eq!(db.query("dblp", query, EngineKind::M4Pipelined).unwrap(), reference);
+    assert_eq!(
+        db.query("dblp", query, EngineKind::M4Pipelined).unwrap(),
+        reference
+    );
 
     let mut group = c.benchmark_group("ablation_pipeline");
     group.sample_size(10);
@@ -198,7 +211,9 @@ fn bench_prepared_queries(c: &mut Criterion) {
     let db = Database::in_memory();
     let xml = xmldb_datagen::generate_dblp(&DblpConfig::scaled(0.02));
     db.load_document("dblp", &xml).unwrap();
-    let prepared = db.prepare("dblp", EXAMPLE6, EngineKind::M4CostBased).unwrap();
+    let prepared = db
+        .prepare("dblp", EXAMPLE6, EngineKind::M4CostBased)
+        .unwrap();
     assert_eq!(
         prepared.execute().unwrap(),
         db.query("dblp", EXAMPLE6, EngineKind::M4CostBased).unwrap()

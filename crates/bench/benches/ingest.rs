@@ -14,8 +14,8 @@ fn bench_ingest(c: &mut Criterion) {
     for (name, xml) in [("dblp", &dblp), ("treebank", &treebank)] {
         let mut group = c.benchmark_group(format!("ingest/{name}"));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
         group.throughput(Throughput::Bytes(xml.len() as u64));
 
         group.bench_function("tokenize-events", |b| {

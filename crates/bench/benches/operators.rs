@@ -3,11 +3,11 @@
 //! on a structural-join workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use xmldb_algebra::{Attr, CmpOp};
 use xmldb_physical::ops::{
     BlockNestedLoopJoinOp, IndexNestedLoopJoinOp, NestedLoopJoinOp, Probe, ScanOp, Src,
 };
 use xmldb_physical::{execute_all, Bindings, ExecContext, PhysOperand, PhysPred};
-use xmldb_algebra::{Attr, CmpOp};
 use xmldb_storage::{BTree, Env, EnvConfig, ExternalSorter};
 use xmldb_xasr::shred_document;
 
@@ -26,7 +26,8 @@ fn bench_btree(c: &mut Criterion) {
             let env = Env::memory();
             let mut tree = BTree::create(&env, "t").unwrap();
             for i in 0..10_000u64 {
-                tree.insert(&key((i * 7919 + 13) % 10_000), b"payload").unwrap();
+                tree.insert(&key((i * 7919 + 13) % 10_000), b"payload")
+                    .unwrap();
             }
             tree.len()
         })
@@ -36,14 +37,16 @@ fn bench_btree(c: &mut Criterion) {
         b.iter(|| {
             let env = Env::memory();
             let mut tree = BTree::create(&env, "t").unwrap();
-            tree.bulk_load((0..10_000u64).map(|i| (key(i), b"payload".to_vec()))).unwrap();
+            tree.bulk_load((0..10_000u64).map(|i| (key(i), b"payload".to_vec())))
+                .unwrap();
             tree.len()
         })
     });
 
     let env = Env::memory();
     let mut tree = BTree::create(&env, "probe").unwrap();
-    tree.bulk_load((0..100_000u64).map(|i| (key(i), b"v".to_vec()))).unwrap();
+    tree.bulk_load((0..100_000u64).map(|i| (key(i), b"v".to_vec())))
+        .unwrap();
     group.bench_function("get-hot", |b| {
         let mut i = 0u64;
         b.iter(|| {
@@ -102,14 +105,26 @@ fn bench_joins(c: &mut Criterion) {
         vec![
             PhysPred {
                 op: CmpOp::Lt,
-                lhs: PhysOperand::Col { pos: 0, attr: Attr::In },
-                rhs: PhysOperand::Col { pos: 1, attr: Attr::In },
+                lhs: PhysOperand::Col {
+                    pos: 0,
+                    attr: Attr::In,
+                },
+                rhs: PhysOperand::Col {
+                    pos: 1,
+                    attr: Attr::In,
+                },
                 strict_text: false,
             },
             PhysPred {
                 op: CmpOp::Lt,
-                lhs: PhysOperand::Col { pos: 1, attr: Attr::Out },
-                rhs: PhysOperand::Col { pos: 0, attr: Attr::Out },
+                lhs: PhysOperand::Col {
+                    pos: 1,
+                    attr: Attr::Out,
+                },
+                rhs: PhysOperand::Col {
+                    pos: 0,
+                    attr: Attr::Out,
+                },
                 strict_text: false,
             },
         ]

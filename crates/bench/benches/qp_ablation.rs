@@ -24,7 +24,11 @@ fn bench_qp_ablation(c: &mut Criterion) {
 
     // Sanity: all three strategies must agree before we time them.
     let reference = db.query("dblp", EXAMPLE6, EngineKind::M1InMemory).unwrap();
-    for engine in [EngineKind::NaiveScan, EngineKind::M3Algebraic, EngineKind::M4CostBased] {
+    for engine in [
+        EngineKind::NaiveScan,
+        EngineKind::M3Algebraic,
+        EngineKind::M4CostBased,
+    ] {
         assert_eq!(db.query("dblp", EXAMPLE6, engine).unwrap(), reference);
     }
 

@@ -28,8 +28,10 @@ fn main() {
                     Duration::from_secs_f64(value(&mut args).parse().expect("numeric budget"))
             }
             "--pool-mb" => {
-                config.pool_bytes =
-                    value(&mut args).parse::<usize>().expect("numeric --pool-mb") << 20
+                config.pool_bytes = value(&mut args)
+                    .parse::<usize>()
+                    .expect("numeric --pool-mb")
+                    << 20
             }
             "--help" | "-h" => {
                 println!("usage: figure7 [--scale F] [--budget-secs S] [--pool-mb M]");

@@ -2,14 +2,13 @@
 //! the Example 6 / Figure 6 query-plan progression (QP0 → QP2), with live
 //! EXPLAIN output from the optimizer.
 
-use xmldb_algebra::rewrite::{optimize, RewriteOptions};
 use xmldb_algebra::compile_query;
+use xmldb_algebra::rewrite::{optimize, RewriteOptions};
 use xmldb_core::{Database, EngineKind};
 use xmldb_datagen::DblpConfig;
 use xmldb_xq::parse;
 
-const EXAMPLE2: &str =
-    "<names>{ for $j in /journal return for $n in $j//name return $n }</names>";
+const EXAMPLE2: &str = "<names>{ for $j in /journal return for $n in $j//name return $n }</names>";
 const EXAMPLE5: &str = "<names>{ for $j in /journal return \
      if (some $t in $j//text() satisfies true()) \
      then for $n in $j//name return $n else () }</names>";
@@ -39,10 +38,18 @@ fn main() {
     db.load_document("dblp", &xml).unwrap();
 
     banner("Example 6 — milestone 3 heuristic plan (QP0/QP1 flavour)");
-    print!("{}", db.explain("dblp", EXAMPLE6, EngineKind::M3Algebraic).unwrap());
+    print!(
+        "{}",
+        db.explain("dblp", EXAMPLE6, EngineKind::M3Algebraic)
+            .unwrap()
+    );
 
     banner("Figure 6 — milestone 4 cost-based plan (QP2: semijoin + INL joins)");
-    print!("{}", db.explain("dblp", EXAMPLE6, EngineKind::M4CostBased).unwrap());
+    print!(
+        "{}",
+        db.explain("dblp", EXAMPLE6, EngineKind::M4CostBased)
+            .unwrap()
+    );
 }
 
 fn banner(title: &str) {

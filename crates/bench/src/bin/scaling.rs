@@ -27,8 +27,11 @@ const QUERIES: [(&str, &str); 2] = [
     ),
 ];
 
-const ENGINES: [EngineKind; 3] =
-    [EngineKind::M4CostBased, EngineKind::M2Storage, EngineKind::NaiveScan];
+const ENGINES: [EngineKind; 3] = [
+    EngineKind::M4CostBased,
+    EngineKind::M2Storage,
+    EngineKind::NaiveScan,
+];
 
 fn main() {
     let mut scales = vec![0.1f64, 0.3, 1.0];
@@ -46,7 +49,10 @@ fn main() {
             }
             "--budget-secs" => {
                 budget = Duration::from_secs_f64(
-                    args.next().expect("--budget-secs takes seconds").parse().expect("numeric"),
+                    args.next()
+                        .expect("--budget-secs takes seconds")
+                        .parse()
+                        .expect("numeric"),
                 );
             }
             other => {
@@ -71,14 +77,8 @@ fn main() {
             print!("{scale:<10}{nodes:>12}");
             let mut times = Vec::new();
             for engine in ENGINES {
-                let cell = run_budgeted(
-                    &db,
-                    "dblp",
-                    query,
-                    engine,
-                    &QueryOptions::default(),
-                    budget,
-                );
+                let cell =
+                    run_budgeted(&db, "dblp", query, engine, &QueryOptions::default(), budget);
                 match cell {
                     Some((Ok(_), elapsed)) => {
                         times.push(Some(elapsed.as_secs_f64()));

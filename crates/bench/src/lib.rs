@@ -59,9 +59,10 @@ pub struct EngineRow {
 /// unoptimal query plan (with the very unselective join at the bottom)".
 pub fn corrupted_stats(stats: &Statistics) -> Statistics {
     let mut out = stats.clone();
-    if let (Some(&max), Some(&min)) =
-        (stats.label_counts.values().max(), stats.label_counts.values().min())
-    {
+    if let (Some(&max), Some(&min)) = (
+        stats.label_counts.values().max(),
+        stats.label_counts.values().min(),
+    ) {
         for (_, count) in out.label_counts.iter_mut() {
             *count = max + min - *count;
         }
@@ -83,7 +84,9 @@ pub fn figure7_engines(real_stats: &Statistics) -> Vec<EngineRow> {
         EngineRow {
             label: "2".into(),
             engine: EngineKind::M4CostBased,
-            options: QueryOptions { stats_override: Some(corrupted_stats(real_stats)) },
+            options: QueryOptions {
+                stats_override: Some(corrupted_stats(real_stats)),
+            },
         },
         EngineRow {
             label: "3".into(),
@@ -128,7 +131,8 @@ pub struct Figure7Table {
 pub fn run_figure7(config: &Figure7Config) -> Figure7Table {
     let db = Database::in_memory_with(EnvConfig::with_pool_bytes(config.pool_bytes));
     let xml = xmldb_datagen::generate_dblp(&xmldb_datagen::DblpConfig::scaled(config.dblp_scale));
-    db.load_document("dblp", &xml).expect("generated DBLP loads");
+    db.load_document("dblp", &xml)
+        .expect("generated DBLP loads");
     run_figure7_on(&db, config)
 }
 
@@ -150,22 +154,30 @@ pub fn run_figure7_on(db: &Database, config: &Figure7Config) -> Figure7Table {
                 &engine.options,
                 config.budget,
             ) {
-                Some((Ok(_), elapsed)) => {
-                    Cell { seconds: elapsed.as_secs_f64(), timed_out: false }
-                }
+                Some((Ok(_), elapsed)) => Cell {
+                    seconds: elapsed.as_secs_f64(),
+                    timed_out: false,
+                },
                 Some((Err(e), _)) => {
                     panic!("engine {} failed on {query}: {e}", engine.label)
                 }
                 // "The engines that needed more than 2400 seconds ... were
                 // stopped and assigned 2400 seconds."
-                None => Cell { seconds: config.budget.as_secs_f64(), timed_out: true },
+                None => Cell {
+                    seconds: config.budget.as_secs_f64(),
+                    timed_out: true,
+                },
             };
             total += cell.seconds;
             cells.push(cell);
         }
         rows.push((engine.label, cells, total));
     }
-    Figure7Table { query_names, rows, config: config.clone() }
+    Figure7Table {
+        query_names,
+        rows,
+        config: config.clone(),
+    }
 }
 
 impl Figure7Table {
@@ -211,8 +223,11 @@ mod tests {
 
     #[test]
     fn corrupted_stats_invert_skew() {
-        let mut stats =
-            Statistics { node_count: 100, depth_sum: 350, ..Statistics::default() };
+        let mut stats = Statistics {
+            node_count: 100,
+            depth_sum: 350,
+            ..Statistics::default()
+        };
         stats.label_counts.insert("author".into(), 90);
         stats.label_counts.insert("volume".into(), 2);
         let bad = corrupted_stats(&stats);

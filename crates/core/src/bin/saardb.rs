@@ -9,6 +9,9 @@
 //! saardb --db <dir> dump <name>                serialize a document back to XML
 //! saardb --db <dir> query <name> <xq>          evaluate a query
 //! saardb --db <dir> explain <name> <xq>        show TPM + physical plan
+//! saardb --db <dir> explain analyze <name> <xq>  run and show actual
+//!                                              rows/opens/time per operator
+//!                                              plus buffer-pool traffic
 //!
 //! options: --engine m1|naive|m2|m3|m4|m4p   (default m4)
 //!          --pool-mb <n>                    buffer-pool budget (default 16)
@@ -29,7 +32,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: saardb --db <dir> [--engine m1|naive|m2|m3|m4|m4p] [--pool-mb N] <command>\n\
          commands: load <name> <file.xml> | replace <name> <file.xml> | drop <name> |\n\
-         \x20         ls | stats <name> | dump <name> | query <name> <xq> | explain <name> <xq>"
+         \x20         ls | stats <name> | dump <name> | query <name> <xq> |\n\
+         \x20         explain <name> <xq> | explain analyze <name> <xq>"
     );
     ExitCode::from(2)
 }
@@ -54,12 +58,7 @@ fn parse_args() -> Result<Args, ExitCode> {
                     _ => return Err(usage()),
                 }
             }
-            "--pool-mb" => {
-                pool_mb = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(usage)?
-            }
+            "--pool-mb" => pool_mb = args.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?,
             "--help" | "-h" => return Err(usage()),
             other => {
                 command.push(other.to_string());
@@ -67,11 +66,18 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
         }
     }
-    let Some(db_dir) = db_dir else { return Err(usage()) };
+    let Some(db_dir) = db_dir else {
+        return Err(usage());
+    };
     if command.is_empty() {
         return Err(usage());
     }
-    Ok(Args { db_dir, engine, pool_mb, command })
+    Ok(Args {
+        db_dir,
+        engine,
+        pool_mb,
+        command,
+    })
 }
 
 fn main() -> ExitCode {
@@ -159,12 +165,24 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let started = std::time::Instant::now();
             let result = db.query(name, query, args.engine)?;
             println!("{result}");
+            let io = result
+                .metrics()
+                .map(|m| {
+                    format!(
+                        ", {} pool hits, {} misses, {} reads",
+                        m.io.hits, m.io.misses, m.io.physical_reads
+                    )
+                })
+                .unwrap_or_default();
             eprintln!(
-                "-- {} item(s) in {:.2} ms [{}]",
+                "-- {} item(s) in {:.2} ms [{}{io}]",
                 result.len(),
                 started.elapsed().as_secs_f64() * 1e3,
                 args.engine
             );
+        }
+        ["explain", "analyze", name, query] => {
+            print!("{}", db.explain_analyze(name, query, args.engine)?);
         }
         ["explain", name, query] => {
             print!("{}", db.explain(name, query, args.engine)?);

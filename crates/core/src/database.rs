@@ -34,12 +34,16 @@ impl Database {
     /// An in-memory database with an explicit storage configuration (page
     /// size, buffer-pool budget — the efficiency tests' 20 MB knob).
     pub fn in_memory_with(config: EnvConfig) -> Database {
-        Database { env: Env::memory_with(config) }
+        Database {
+            env: Env::memory_with(config),
+        }
     }
 
     /// Opens (creating if needed) an on-disk database.
     pub fn open_dir(path: impl Into<std::path::PathBuf>, config: EnvConfig) -> Result<Database> {
-        Ok(Database { env: Env::open_dir(path, config)? })
+        Ok(Database {
+            env: Env::open_dir(path, config)?,
+        })
     }
 
     /// The underlying storage environment.
@@ -172,6 +176,27 @@ impl Database {
         engine::explain(&store, &expr, engine, options)
     }
 
+    /// EXPLAIN ANALYZE: runs `query` under `engine` and renders the
+    /// executed plans annotated with actual row counts, open (re-execution)
+    /// counts and per-operator wall time, followed by the elapsed time and
+    /// the query's buffer-pool traffic.
+    pub fn explain_analyze(&self, doc: &str, query: &str, engine: EngineKind) -> Result<String> {
+        self.explain_analyze_with(doc, query, engine, &QueryOptions::default())
+    }
+
+    /// [`Self::explain_analyze`] with per-query options.
+    pub fn explain_analyze_with(
+        &self,
+        doc: &str,
+        query: &str,
+        engine: EngineKind,
+        options: &QueryOptions,
+    ) -> Result<String> {
+        let expr = xmldb_xq::parse(query)?;
+        let store = self.store(doc)?;
+        engine::explain_analyze(&store, &expr, engine, options)
+    }
+
     /// Persists all dirty state.
     pub fn flush(&self) -> Result<()> {
         self.env.flush()?;
@@ -202,14 +227,20 @@ mod tests {
             let got = db.query("f", q, engine).unwrap();
             assert_eq!(got, reference, "engine {engine} diverges");
         }
-        assert_eq!(reference.to_xml(), "<names><name>Ana</name><name>Bob</name></names>");
+        assert_eq!(
+            reference.to_xml(),
+            "<names><name>Ana</name><name>Bob</name></names>"
+        );
     }
 
     #[test]
     fn duplicate_load_rejected() {
         let db = Database::in_memory();
         db.load_document("x", "<a/>").unwrap();
-        assert!(matches!(db.load_document("x", "<b/>"), Err(Error::DocumentExists(_))));
+        assert!(matches!(
+            db.load_document("x", "<b/>"),
+            Err(Error::DocumentExists(_))
+        ));
     }
 
     #[test]
@@ -226,7 +257,10 @@ mod tests {
         let db = Database::in_memory();
         db.load_document("a", "<x/>").unwrap();
         db.load_document("b", "<y/>").unwrap();
-        assert_eq!(db.documents().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            db.documents().unwrap(),
+            vec!["a".to_string(), "b".to_string()]
+        );
         db.drop_document("a").unwrap();
         assert_eq!(db.documents().unwrap(), vec!["b".to_string()]);
         assert!(!db.has_document("a"));
@@ -272,7 +306,10 @@ mod tests {
     fn concurrent_queries_agree() {
         let db = Database::in_memory();
         db.load_document("f", FIGURE2).unwrap();
-        let expected = db.query("f", "//name", EngineKind::M4CostBased).unwrap().to_xml();
+        let expected = db
+            .query("f", "//name", EngineKind::M4CostBased)
+            .unwrap()
+            .to_xml();
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let db = db.clone();

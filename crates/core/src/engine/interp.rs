@@ -48,7 +48,11 @@ pub(crate) fn eval_cond_indexed(
     cond: &Cond,
     env: &mut HashMap<Var, NodeTuple>,
 ) -> Result<bool> {
-    Interp { store, mode: AccessMode::Indexed }.eval_cond(cond, env)
+    Interp {
+        store,
+        mode: AccessMode::Indexed,
+    }
+    .eval_cond(cond, env)
 }
 
 struct Interp<'a> {
@@ -115,11 +119,7 @@ impl<'a> Interp<'a> {
 
     /// Condition evaluation (shared with the TPM executor's fallback for
     /// `or`/`not` conditions).
-    pub(crate) fn eval_cond(
-        &self,
-        cond: &Cond,
-        env: &mut HashMap<Var, NodeTuple>,
-    ) -> Result<bool> {
+    pub(crate) fn eval_cond(&self, cond: &Cond, env: &mut HashMap<Var, NodeTuple>) -> Result<bool> {
         match cond {
             Cond::True => Ok(true),
             Cond::VarEqConst(v, s) => {
@@ -131,7 +131,11 @@ impl<'a> Interp<'a> {
                 let tb = lookup(env, b)?;
                 Ok(text_value(&ta)? == text_value(&tb)?)
             }
-            Cond::Some { var, source, satisfies } => {
+            Cond::Some {
+                var,
+                source,
+                satisfies,
+            } => {
                 let base = lookup(env, &source.var)?;
                 let tuples: Vec<Result<NodeTuple>> =
                     self.axis(&base, source.axis, &source.test).collect();
@@ -318,10 +322,8 @@ mod tests {
     fn non_text_comparison_errors() {
         let env = Env::memory();
         let store = shred_document(&env, "d", FIGURE2).unwrap();
-        let q = xmldb_xq::parse(
-            "for $n in //name return if ($n = \"Ana\") then $n else ()",
-        )
-        .unwrap();
+        let q =
+            xmldb_xq::parse("for $n in //name return if ($n = \"Ana\") then $n else ()").unwrap();
         let err = evaluate(&store, &q, AccessMode::Indexed).unwrap_err();
         assert!(err.is_non_text_comparison());
     }

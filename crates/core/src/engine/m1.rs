@@ -100,7 +100,11 @@ pub fn eval_cond(doc: &Document, cond: &Cond, env: &mut HashMap<Var, NodeId>) ->
             let nb = lookup(env, b)?;
             Ok(text_value(doc, na)? == text_value(doc, nb)?)
         }
-        Cond::Some { var, source, satisfies } => {
+        Cond::Some {
+            var,
+            source,
+            satisfies,
+        } => {
             let base = lookup(env, &source.var)?;
             let nodes: Vec<NodeId> = axis_nodes(doc, base, source.axis, &source.test).collect();
             let saved = env.get(var).copied();
@@ -166,9 +170,12 @@ fn axis_nodes<'a>(
         NodeTest::Text => doc.kind(id) == NodeKind::Text,
     };
     match axis {
-        Axis::Child => {
-            Box::new(doc.children(base).iter().copied().filter(move |&id| matches(id)))
-        }
+        Axis::Child => Box::new(
+            doc.children(base)
+                .iter()
+                .copied()
+                .filter(move |&id| matches(id)),
+        ),
         Axis::Descendant => Box::new(doc.descendants(base).filter(move |&id| matches(id))),
     }
 }

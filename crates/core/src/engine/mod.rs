@@ -4,7 +4,8 @@ pub mod interp;
 pub mod m1;
 pub mod tpm_exec;
 
-use crate::{QueryResult, Result};
+use crate::{QueryMetrics, QueryResult, Result};
+use std::time::Instant;
 use xmldb_optimizer::PlannerConfig;
 use xmldb_xasr::{Statistics, XasrStore};
 use xmldb_xq::Expr;
@@ -70,9 +71,10 @@ impl EngineKind {
         match self {
             EngineKind::M3Algebraic => Some(PlannerConfig::heuristic()),
             EngineKind::M4CostBased => Some(PlannerConfig::cost_based()),
-            EngineKind::M4Pipelined => {
-                Some(PlannerConfig { materialize_right: false, ..PlannerConfig::cost_based() })
-            }
+            EngineKind::M4Pipelined => Some(PlannerConfig {
+                materialize_right: false,
+                ..PlannerConfig::cost_based()
+            }),
             _ => None,
         }
     }
@@ -94,14 +96,17 @@ pub struct QueryOptions {
 }
 
 /// Evaluates a parsed query over a shredded document with the chosen
-/// engine.
+/// engine. The returned result carries [`QueryMetrics`] — wall time and
+/// the buffer-pool traffic (I/O snapshot delta) the evaluation caused.
 pub fn evaluate(
     store: &XasrStore,
     query: &Expr,
     engine: EngineKind,
     options: &QueryOptions,
 ) -> Result<QueryResult> {
-    match engine {
+    let io_before = store.env().io_stats();
+    let started = Instant::now();
+    let mut result = match engine {
         EngineKind::M1InMemory => {
             // Milestone 1 works on the DOM; materialize the document.
             let doc = store.reconstruct(1)?;
@@ -110,7 +115,9 @@ pub fn evaluate(
         EngineKind::NaiveScan => interp::evaluate(store, query, interp::AccessMode::FullScan),
         EngineKind::M2Storage => interp::evaluate(store, query, interp::AccessMode::Indexed),
         algebraic => {
-            let config = algebraic.planner_config().expect("algebraic engines have configs");
+            let config = algebraic
+                .planner_config()
+                .expect("algebraic engines have configs");
             tpm_exec::evaluate_with_rewrites(
                 store,
                 query,
@@ -119,7 +126,12 @@ pub fn evaluate(
                 options,
             )
         }
-    }
+    }?;
+    result.set_metrics(QueryMetrics {
+        elapsed: started.elapsed(),
+        io: store.env().io_stats().delta(&io_before),
+    });
+    Ok(result)
 }
 
 /// Renders the TPM expression and per-relfor physical plans for a query
@@ -137,8 +149,64 @@ pub fn explain(
             engine.name()
         )),
         algebraic => {
-            let config = algebraic.planner_config().expect("algebraic engines have configs");
+            let config = algebraic
+                .planner_config()
+                .expect("algebraic engines have configs");
             tpm_exec::explain_with_rewrites(
+                store,
+                query,
+                &algebraic.rewrite_options(),
+                &config,
+                options,
+            )
+        }
+    }
+}
+
+/// EXPLAIN ANALYZE: runs the query and renders the executed plans with
+/// actual row counts, open counts and wall time per operator, plus the
+/// query's elapsed time and buffer-pool traffic. Interpreter engines have
+/// no plans; for them only the execution summary is reported.
+pub fn explain_analyze(
+    store: &XasrStore,
+    query: &Expr,
+    engine: EngineKind,
+    options: &QueryOptions,
+) -> Result<String> {
+    match engine {
+        EngineKind::M1InMemory | EngineKind::NaiveScan | EngineKind::M2Storage => {
+            let result = evaluate(store, query, engine, options);
+            let mut out = format!(
+                "engine {} is an interpreter (no algebraic plan)\n=== execution ===\n",
+                engine.name()
+            );
+            match &result {
+                Ok(r) => {
+                    out.push_str(&format!("result: {} item(s)\n", r.len()));
+                    if let Some(m) = r.metrics() {
+                        out.push_str(&format!(
+                            "elapsed: {:.3} ms\n",
+                            m.elapsed.as_secs_f64() * 1e3
+                        ));
+                        out.push_str(&format!(
+                            "buffer pool: {} hits, {} misses, {} physical reads, {} physical writes (hit ratio {:.1}%)\n",
+                            m.io.hits,
+                            m.io.misses,
+                            m.io.physical_reads,
+                            m.io.physical_writes,
+                            m.io.hit_ratio() * 100.0
+                        ));
+                    }
+                }
+                Err(e) => out.push_str(&format!("runtime error: {e}\n")),
+            }
+            Ok(out)
+        }
+        algebraic => {
+            let config = algebraic
+                .planner_config()
+                .expect("algebraic engines have configs");
+            tpm_exec::explain_analyze_with_rewrites(
                 store,
                 query,
                 &algebraic.rewrite_options(),

@@ -12,10 +12,12 @@
 use crate::engine::interp;
 use crate::engine::QueryOptions;
 use crate::{Error, QueryResult, Result};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::time::Instant;
 use xmldb_algebra::rewrite::{optimize, RewriteOptions};
 use xmldb_algebra::{compile_query, Tpm};
-use xmldb_optimizer::{plan_psx, CostModel, Plan, PlannerConfig};
+use xmldb_optimizer::{plan_psx, CostModel, Plan, PlanMetrics, PlannerConfig};
 use xmldb_physical::Error as ExecError;
 use xmldb_physical::{Bindings, ExecContext};
 use xmldb_xasr::{NodeTuple, XasrStore};
@@ -50,6 +52,8 @@ pub fn evaluate_with_rewrites(
 /// tree with a physical plan attached to every relfor.
 pub struct CompiledProgram {
     prog: Prog,
+    /// Number of planned relfors (= analyze metric slots).
+    plan_count: usize,
 }
 
 /// Compiles and plans a query once; the result can be executed repeatedly
@@ -62,7 +66,9 @@ pub fn compile_program(
     options: &QueryOptions,
 ) -> CompiledProgram {
     let tpm = optimize(compile_query(query), rewrites);
-    CompiledProgram { prog: plan_tpm(&tpm, &model_for(store, options), config) }
+    let mut plan_count = 0;
+    let prog = plan_tpm(&tpm, &model_for(store, options), config, &mut plan_count);
+    CompiledProgram { prog, plan_count }
 }
 
 /// Executes a previously compiled program against `store`.
@@ -71,8 +77,38 @@ pub fn execute_program(program: &CompiledProgram, store: &XasrStore) -> Result<Q
     let out_root = out.root();
     let mut env: HashMap<Var, NodeTuple> = HashMap::new();
     env.insert(Var::root(), store.root()?);
-    exec(&program.prog, store, &mut env, &mut out, out_root)?;
+    exec(&program.prog, store, &mut env, &mut out, out_root, None)?;
     Ok(QueryResult::new(out))
+}
+
+/// [`execute_program`] with per-operator instrumentation: every plan
+/// instantiates [`xmldb_physical::AnalyzedOperator`]-wrapped trees, and
+/// the collected counters come back as one [`PlanMetrics`] per relfor (in
+/// the order the relfors appear in EXPLAIN output). The result slot also
+/// carries the runtime error when execution failed part-way — the metrics
+/// up to the failure point are still returned, which is what makes the
+/// trace useful for triage.
+pub fn execute_program_analyzed(
+    program: &CompiledProgram,
+    store: &XasrStore,
+) -> (Result<QueryResult>, Vec<PlanMetrics>) {
+    let metrics = RefCell::new(vec![PlanMetrics::new(); program.plan_count]);
+    let result = (|| {
+        let mut out = Document::new();
+        let out_root = out.root();
+        let mut env: HashMap<Var, NodeTuple> = HashMap::new();
+        env.insert(Var::root(), store.root()?);
+        exec(
+            &program.prog,
+            store,
+            &mut env,
+            &mut out,
+            out_root,
+            Some(&metrics),
+        )?;
+        Ok(QueryResult::new(out))
+    })();
+    (result, metrics.into_inner())
 }
 
 /// EXPLAIN: the optimized TPM expression plus each relfor's physical plan.
@@ -94,12 +130,60 @@ pub fn explain_with_rewrites(
     options: &QueryOptions,
 ) -> Result<String> {
     let tpm = optimize(compile_query(query), rewrites);
-    let prog = plan_tpm(&tpm, &model_for(store, options), config);
+    let mut plan_count = 0;
+    let prog = plan_tpm(&tpm, &model_for(store, options), config, &mut plan_count);
     let mut out = String::new();
     out.push_str("=== TPM (merged) ===\n");
     out.push_str(&tpm.render());
     out.push_str("=== physical plans ===\n");
-    render_prog(&prog, 0, &mut out);
+    render_prog(&prog, 0, None, &mut out);
+    Ok(out)
+}
+
+/// EXPLAIN ANALYZE: compiles, plans and *runs* the query with instrumented
+/// operators, then renders the TPM and every relfor's plan annotated with
+/// actual row counts, open counts and wall time, followed by the result
+/// summary and the query's buffer-pool traffic (I/O snapshot delta).
+///
+/// A runtime error does not abort the rendering: the plans carry the
+/// counters accumulated up to the failure and the error is reported in the
+/// execution section — a mis-planned query's trace is exactly what triage
+/// needs to see.
+pub fn explain_analyze_with_rewrites(
+    store: &XasrStore,
+    query: &Expr,
+    rewrites: &RewriteOptions,
+    config: &PlannerConfig,
+    options: &QueryOptions,
+) -> Result<String> {
+    let tpm = optimize(compile_query(query), rewrites);
+    let mut plan_count = 0;
+    let prog = plan_tpm(&tpm, &model_for(store, options), config, &mut plan_count);
+    let program = CompiledProgram { prog, plan_count };
+    let io_before = store.env().io_stats();
+    let started = Instant::now();
+    let (result, metrics) = execute_program_analyzed(&program, store);
+    let elapsed = started.elapsed();
+    let io = store.env().io_stats().delta(&io_before);
+    let mut out = String::new();
+    out.push_str("=== TPM (merged) ===\n");
+    out.push_str(&tpm.render());
+    out.push_str("=== executed plans (EXPLAIN ANALYZE) ===\n");
+    render_prog(&program.prog, 0, Some(&metrics), &mut out);
+    out.push_str("=== execution ===\n");
+    match &result {
+        Ok(r) => out.push_str(&format!("result: {} item(s)\n", r.len())),
+        Err(e) => out.push_str(&format!("runtime error: {e}\n")),
+    }
+    out.push_str(&format!("elapsed: {:.3} ms\n", elapsed.as_secs_f64() * 1e3));
+    out.push_str(&format!(
+        "buffer pool: {} hits, {} misses, {} physical reads, {} physical writes (hit ratio {:.1}%)\n",
+        io.hits,
+        io.misses,
+        io.physical_reads,
+        io.physical_writes,
+        io.hit_ratio() * 100.0
+    ));
     Ok(out)
 }
 
@@ -121,9 +205,17 @@ enum Prog {
     Empty,
     Text(String),
     Concat(Vec<Prog>),
-    Constr { label: String, content: Box<Prog> },
+    Constr {
+        label: String,
+        content: Box<Prog>,
+    },
     VarOut(Var),
-    RelFor { vars: Vec<Var>, plan: Plan, body: Box<Prog> },
+    RelFor {
+        vars: Vec<Var>,
+        plan: Plan,
+        plan_index: usize,
+        body: Box<Prog>,
+    },
     /// The left-outer-join extension: one plan streams (outer ⟕ inner)
     /// rows; execution groups them by the outer prefix, emitting one
     /// `label` element per outer binding (empty for NULL-padded rows).
@@ -132,45 +224,70 @@ enum Prog {
         inner_var: Var,
         label: String,
         plan: Plan,
+        plan_index: usize,
         body: Box<Prog>,
     },
-    IfFallback { cond: Cond, body: Box<Prog> },
+    IfFallback {
+        cond: Cond,
+        body: Box<Prog>,
+    },
 }
 
-fn plan_tpm(tpm: &Tpm, model: &CostModel, config: &PlannerConfig) -> Prog {
+/// Plans every relfor in the TPM, assigning each one a dense `plan_index`
+/// (pre-order) so EXPLAIN ANALYZE can associate one [`PlanMetrics`] slot
+/// vector per planned relfor.
+fn plan_tpm(tpm: &Tpm, model: &CostModel, config: &PlannerConfig, next_index: &mut usize) -> Prog {
     match tpm {
         Tpm::Empty => Prog::Empty,
         Tpm::Text(t) => Prog::Text(t.clone()),
-        Tpm::Concat(parts) => {
-            Prog::Concat(parts.iter().map(|p| plan_tpm(p, model, config)).collect())
-        }
+        Tpm::Concat(parts) => Prog::Concat(
+            parts
+                .iter()
+                .map(|p| plan_tpm(p, model, config, next_index))
+                .collect(),
+        ),
         Tpm::Constr { label, content } => Prog::Constr {
             label: label.clone(),
-            content: Box::new(plan_tpm(content, model, config)),
+            content: Box::new(plan_tpm(content, model, config, next_index)),
         },
         Tpm::VarOut(v) => Prog::VarOut(v.clone()),
-        Tpm::RelFor { vars, source, body } => Prog::RelFor {
-            vars: vars.clone(),
-            plan: plan_psx(source, model, config),
-            body: Box::new(plan_tpm(body, model, config)),
-        },
-        Tpm::RelForOuter { outer_vars, outer_source, label, inner_var, inner_source, body } => {
+        Tpm::RelFor { vars, source, body } => {
+            let plan_index = *next_index;
+            *next_index += 1;
+            Prog::RelFor {
+                vars: vars.clone(),
+                plan: plan_psx(source, model, config),
+                plan_index,
+                body: Box::new(plan_tpm(body, model, config, next_index)),
+            }
+        }
+        Tpm::RelForOuter {
+            outer_vars,
+            outer_source,
+            label,
+            inner_var,
+            inner_source,
+            body,
+        } => {
+            let plan_index = *next_index;
+            *next_index += 1;
             Prog::RelForOuter {
                 outer_vars: outer_vars.clone(),
                 inner_var: inner_var.clone(),
                 label: label.clone(),
                 plan: xmldb_optimizer::plan_outer_join(outer_source, inner_source, model, config),
-                body: Box::new(plan_tpm(body, model, config)),
+                plan_index,
+                body: Box::new(plan_tpm(body, model, config, next_index)),
             }
         }
         Tpm::IfFallback { cond, body } => Prog::IfFallback {
             cond: cond.clone(),
-            body: Box::new(plan_tpm(body, model, config)),
+            body: Box::new(plan_tpm(body, model, config, next_index)),
         },
     }
 }
 
-fn render_prog(prog: &Prog, level: usize, out: &mut String) {
+fn render_prog(prog: &Prog, level: usize, metrics: Option<&[PlanMetrics]>, out: &mut String) {
     let pad = "  ".repeat(level);
     match prog {
         Prog::Empty => out.push_str(&format!("{pad}()\n")),
@@ -178,36 +295,63 @@ fn render_prog(prog: &Prog, level: usize, out: &mut String) {
         Prog::Concat(parts) => {
             out.push_str(&format!("{pad}concat\n"));
             for p in parts {
-                render_prog(p, level + 1, out);
+                render_prog(p, level + 1, metrics, out);
             }
         }
         Prog::Constr { label, content } => {
             out.push_str(&format!("{pad}constr({label})\n"));
-            render_prog(content, level + 1, out);
+            render_prog(content, level + 1, metrics, out);
         }
         Prog::VarOut(v) => out.push_str(&format!("{pad}emit {v}\n")),
-        Prog::RelFor { vars, plan, body } => {
-            let vartuple = vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        Prog::RelFor {
+            vars,
+            plan,
+            plan_index,
+            body,
+        } => {
+            let vartuple = vars
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!("{pad}relfor ({vartuple}):\n"));
-            for line in plan.explain().lines() {
+            let rendered = match metrics {
+                Some(m) => plan.explain_analyzed(&m[*plan_index]),
+                None => plan.explain(),
+            };
+            for line in rendered.lines() {
                 out.push_str(&format!("{pad}  | {line}\n"));
             }
-            render_prog(body, level + 1, out);
+            render_prog(body, level + 1, metrics, out);
         }
-        Prog::RelForOuter { outer_vars, inner_var, label, plan, body } => {
-            let vartuple =
-                outer_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        Prog::RelForOuter {
+            outer_vars,
+            inner_var,
+            label,
+            plan,
+            plan_index,
+            body,
+        } => {
+            let vartuple = outer_vars
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "{pad}relfor-outer ({vartuple}; {inner_var}) constr({label}):\n"
             ));
-            for line in plan.explain().lines() {
+            let rendered = match metrics {
+                Some(m) => plan.explain_analyzed(&m[*plan_index]),
+                None => plan.explain(),
+            };
+            for line in rendered.lines() {
                 out.push_str(&format!("{pad}  | {line}\n"));
             }
-            render_prog(body, level + 1, out);
+            render_prog(body, level + 1, metrics, out);
         }
         Prog::IfFallback { cond, body } => {
             out.push_str(&format!("{pad}if* [{cond}] (interpreted)\n"));
-            render_prog(body, level + 1, out);
+            render_prog(body, level + 1, metrics, out);
         }
     }
 }
@@ -218,6 +362,7 @@ fn exec(
     env: &mut HashMap<Var, NodeTuple>,
     out: &mut Document,
     parent: NodeId,
+    analyze: Option<&RefCell<Vec<PlanMetrics>>>,
 ) -> Result<()> {
     match prog {
         Prog::Empty => Ok(()),
@@ -227,13 +372,13 @@ fn exec(
         }
         Prog::Concat(parts) => {
             for p in parts {
-                exec(p, store, env, out, parent)?;
+                exec(p, store, env, out, parent, analyze)?;
             }
             Ok(())
         }
         Prog::Constr { label, content } => {
             let id = out.add_element(parent, label.clone());
-            exec(content, store, env, out, id)
+            exec(content, store, env, out, id, analyze)
         }
         Prog::VarOut(v) => {
             let tuple = env
@@ -242,25 +387,38 @@ fn exec(
                 .ok_or_else(|| Error::Exec(ExecError::UnboundVariable(v.to_string())))?;
             emit_subtree(store, &tuple, out, parent)
         }
-        Prog::RelFor { vars, plan, body } => {
+        Prog::RelFor {
+            vars,
+            plan,
+            plan_index,
+            body,
+        } => {
             // External variables become constants of this plan execution.
             let mut bindings = Bindings::new();
             for (var, tuple) in env.iter() {
                 bindings.bind(var.clone(), tuple.clone());
             }
             let ctx = ExecContext::new(store, &bindings);
-            let mut op = plan.instantiate();
+            // Metric slots are shared across re-instantiations of this
+            // plan (one per outer binding), so counters accumulate and
+            // `opens` counts re-executions.
+            let mut op = match analyze {
+                Some(cell) => plan.instantiate_analyzed(&mut cell.borrow_mut()[*plan_index]),
+                None => plan.instantiate(),
+            };
             op.open(&ctx)?;
             // Save shadowed bindings for restoration.
-            let saved: Vec<(Var, Option<NodeTuple>)> =
-                vars.iter().map(|v| (v.clone(), env.get(v).cloned())).collect();
+            let saved: Vec<(Var, Option<NodeTuple>)> = vars
+                .iter()
+                .map(|v| (v.clone(), env.get(v).cloned()))
+                .collect();
             let result = (|| -> Result<()> {
                 while let Some(row) = op.next(&ctx)? {
                     debug_assert_eq!(row.len(), vars.len());
                     for (i, var) in vars.iter().enumerate() {
                         env.insert(var.clone(), row[i].clone());
                     }
-                    exec(body, store, env, out, parent)?;
+                    exec(body, store, env, out, parent, analyze)?;
                 }
                 Ok(())
             })();
@@ -273,13 +431,23 @@ fn exec(
             }
             result
         }
-        Prog::RelForOuter { outer_vars, inner_var, label, plan, body } => {
+        Prog::RelForOuter {
+            outer_vars,
+            inner_var,
+            label,
+            plan,
+            plan_index,
+            body,
+        } => {
             let mut bindings = Bindings::new();
             for (var, tuple) in env.iter() {
                 bindings.bind(var.clone(), tuple.clone());
             }
             let ctx = ExecContext::new(store, &bindings);
-            let mut op = plan.instantiate();
+            let mut op = match analyze {
+                Some(cell) => plan.instantiate_analyzed(&mut cell.borrow_mut()[*plan_index]),
+                None => plan.instantiate(),
+            };
             op.open(&ctx)?;
             let saved: Vec<(Var, Option<NodeTuple>)> = outer_vars
                 .iter()
@@ -309,7 +477,7 @@ fn exec(
                         env.insert(var.clone(), row[i].clone());
                     }
                     env.insert(inner_var.clone(), row[k].clone());
-                    exec(body, store, env, out, element)?;
+                    exec(body, store, env, out, element, analyze)?;
                 }
                 Ok(())
             })();
@@ -324,7 +492,7 @@ fn exec(
         }
         Prog::IfFallback { cond, body } => {
             if interp::eval_cond_indexed(store, cond, env)? {
-                exec(body, store, env, out, parent)?;
+                exec(body, store, env, out, parent, analyze)?;
             }
             Ok(())
         }
@@ -358,7 +526,9 @@ mod tests {
         let env = Env::memory();
         let store = shred_document(&env, "d", FIGURE2).unwrap();
         let q = xmldb_xq::parse(query).unwrap();
-        evaluate(&store, &q, config, &QueryOptions::default()).unwrap().to_xml()
+        evaluate(&store, &q, config, &QueryOptions::default())
+            .unwrap()
+            .to_xml()
     }
 
     #[test]
@@ -381,7 +551,8 @@ mod tests {
 
     #[test]
     fn constructor_between_loops_not_merged_but_correct() {
-        let q = "<names>{ for $j in /journal return <j>{ for $n in $j//name return $n }</j> }</names>";
+        let q =
+            "<names>{ for $j in /journal return <j>{ for $n in $j//name return $n }</j> }</names>";
         let expected = "<names><j><name>Ana</name><name>Bob</name></j></names>";
         assert_eq!(run(q, &PlannerConfig::cost_based()), expected);
     }
@@ -402,8 +573,13 @@ mod tests {
             "<names>{ for $j in /journal return for $n in $j//name return $n }</names>",
         )
         .unwrap();
-        let text = explain(&store, &q, &PlannerConfig::cost_based(), &QueryOptions::default())
-            .unwrap();
+        let text = explain(
+            &store,
+            &q,
+            &PlannerConfig::cost_based(),
+            &QueryOptions::default(),
+        )
+        .unwrap();
         assert!(text.contains("=== TPM (merged) ==="), "{text}");
         assert!(text.contains("relfor ($j, $n)"), "{text}");
         assert!(text.contains("=== physical plans ==="), "{text}");
@@ -417,7 +593,9 @@ mod tests {
         let q = xmldb_xq::parse("for $n in //name return $n").unwrap();
         let mut lying = store.stats().clone();
         lying.label_counts.insert("name".into(), 1_000_000);
-        let opts = QueryOptions { stats_override: Some(lying) };
+        let opts = QueryOptions {
+            stats_override: Some(lying),
+        };
         let out = evaluate(&store, &q, &PlannerConfig::cost_based(), &opts).unwrap();
         assert_eq!(out.to_xml(), "<name>Ana</name><name>Bob</name>");
     }

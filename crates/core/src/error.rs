@@ -59,7 +59,10 @@ impl From<xmldb_physical::Error> for Error {
 impl Error {
     /// True for the XQ runtime error "comparison on a non-text node".
     pub fn is_non_text_comparison(&self) -> bool {
-        matches!(self, Error::Exec(xmldb_physical::Error::NonTextComparison { .. }))
+        matches!(
+            self,
+            Error::Exec(xmldb_physical::Error::NonTextComparison { .. })
+        )
     }
 }
 

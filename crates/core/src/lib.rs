@@ -34,9 +34,10 @@ mod error;
 
 pub use database::Database;
 pub use engine::{EngineKind, QueryOptions};
-pub use prepared::PreparedQuery;
 pub use error::Error;
-pub use result::QueryResult;
+pub use prepared::PreparedQuery;
+pub use result::{QueryMetrics, QueryResult};
+pub use xmldb_storage::IoSnapshot;
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;

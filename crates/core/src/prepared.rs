@@ -37,12 +37,7 @@ enum PreparedState {
 
 impl Database {
     /// Prepares `query` against `doc` for repeated execution with `engine`.
-    pub fn prepare(
-        &self,
-        doc: &str,
-        query: &str,
-        engine: EngineKind,
-    ) -> Result<PreparedQuery> {
+    pub fn prepare(&self, doc: &str, query: &str, engine: EngineKind) -> Result<PreparedQuery> {
         self.prepare_with(doc, query, engine, &QueryOptions::default())
     }
 
@@ -64,11 +59,18 @@ impl Database {
                 &store,
                 &expr,
                 &algebraic.rewrite_options(),
-                &algebraic.planner_config().expect("algebraic engines have configs"),
+                &algebraic
+                    .planner_config()
+                    .expect("algebraic engines have configs"),
                 options,
             )),
         };
-        Ok(PreparedQuery { db: self.clone(), doc: doc.to_string(), engine, state })
+        Ok(PreparedQuery {
+            db: self.clone(),
+            doc: doc.to_string(),
+            engine,
+            state,
+        })
     }
 }
 
@@ -111,7 +113,8 @@ mod tests {
 
     const DOC: &str =
         "<lib><journal><name>Ana</name></journal><journal><name>Bob</name></journal></lib>";
-    const QUERY: &str = "<names>{ for $j in //journal return for $n in $j//name return $n }</names>";
+    const QUERY: &str =
+        "<names>{ for $j in //journal return for $n in $j//name return $n }</names>";
 
     #[test]
     fn prepared_matches_adhoc_for_all_engines() {

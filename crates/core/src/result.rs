@@ -1,6 +1,20 @@
 //! Query results: a sequence of output items held as a DOM forest.
 
+use std::time::Duration;
+use xmldb_storage::IoSnapshot;
 use xmldb_xml::{serialize_subtree, Document, NodeId};
+
+/// Execution metrics attached to a [`QueryResult`] by the engine
+/// dispatcher: wall time plus the buffer-pool traffic the query caused
+/// (an [`IoSnapshot`] delta over the store's environment).
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Wall-clock evaluation time (parse excluded, plan included).
+    pub elapsed: Duration,
+    /// Buffer-pool counter deltas for this query: hits, misses, physical
+    /// reads and writes.
+    pub io: IoSnapshot,
+}
 
 /// The result of evaluating an XQ query: a sequence of constructed and/or
 /// copied nodes, in output order.
@@ -12,17 +26,33 @@ use xmldb_xml::{serialize_subtree, Document, NodeId};
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     doc: Document,
+    metrics: Option<QueryMetrics>,
 }
 
 impl QueryResult {
     /// Wraps a result forest.
     pub(crate) fn new(doc: Document) -> QueryResult {
-        QueryResult { doc }
+        QueryResult { doc, metrics: None }
     }
 
     /// An empty result.
     pub fn empty() -> QueryResult {
-        QueryResult { doc: Document::new() }
+        QueryResult {
+            doc: Document::new(),
+            metrics: None,
+        }
+    }
+
+    /// Attaches execution metrics (done by the engine dispatcher).
+    pub(crate) fn set_metrics(&mut self, metrics: QueryMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Execution metrics, if the result came through an entry point that
+    /// measures them (`Database::query` and friends). `None` for results
+    /// built by lower-level calls (e.g. [`QueryResult::empty`]).
+    pub fn metrics(&self) -> Option<&QueryMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The result forest as a DOM.
@@ -52,7 +82,9 @@ impl QueryResult {
 
     /// Serialization of one item.
     pub fn item_xml(&self, index: usize) -> Option<String> {
-        self.items().get(index).map(|&id| serialize_subtree(&self.doc, id))
+        self.items()
+            .get(index)
+            .map(|&id| serialize_subtree(&self.doc, id))
     }
 }
 

@@ -1,0 +1,125 @@
+//! EXPLAIN ANALYZE instrumentation tests: operator row counters, I/O
+//! snapshot deltas, and the rendered trace.
+
+use xmldb_core::engine::tpm_exec::{compile_program, execute_program_analyzed};
+use xmldb_core::engine::QueryOptions;
+use xmldb_core::{Database, EngineKind};
+use xmldb_storage::{Env, EnvConfig};
+use xmldb_xasr::shred_document;
+
+/// A scan producing N bound nodes must report exactly N rows at the plan
+/// root (and one open).
+#[test]
+fn scan_counts_one_row_per_node() {
+    let env = Env::memory();
+    let store = shred_document(&env, "d", "<a><b/><b/><b/></a>").unwrap();
+    let query = xmldb_xq::parse("//b").unwrap();
+    let program = compile_program(
+        &store,
+        &query,
+        &xmldb_algebra::rewrite::RewriteOptions::extended(),
+        &xmldb_optimizer::PlannerConfig::cost_based(),
+        &QueryOptions::default(),
+    );
+    let (result, metrics) = execute_program_analyzed(&program, &store);
+    assert_eq!(result.unwrap().to_xml(), "<b/><b/><b/>");
+    assert_eq!(metrics.len(), 1, "one relfor, one plan");
+    let root = metrics[0].get(0).expect("root operator has a metrics slot");
+    assert_eq!(root.rows, 3, "plan root must emit one row per //b node");
+    assert_eq!(root.opens, 1);
+    // Every operator in the plan executed at least once.
+    for i in 0..metrics[0].len() {
+        assert!(
+            metrics[0].get(i).unwrap().opens >= 1,
+            "operator {i} never opened"
+        );
+    }
+}
+
+/// With a buffer pool smaller than the working set, a query over a cold
+/// store must do physical reads — and the metrics attached to the result
+/// must show them.
+#[test]
+fn pool_overflow_shows_physical_reads() {
+    // The pool floor is 8 frames x 4 KiB = 32 KiB; ~3000 nodes of XASR
+    // (clustered file + indexes) comfortably exceed it.
+    let db = Database::in_memory_with(EnvConfig::with_pool_bytes(1));
+    let mut xml = String::from("<a>");
+    for i in 0..1500 {
+        xml.push_str(&format!("<b>t{i}</b>"));
+    }
+    xml.push_str("</a>");
+    db.load_document("big", &xml).unwrap();
+    let result = db.query("big", "//b", EngineKind::M4CostBased).unwrap();
+    assert_eq!(result.len(), 1500);
+    let metrics = result.metrics().expect("Database::query attaches metrics");
+    assert!(
+        metrics.io.physical_reads > 0,
+        "working set exceeds the pool budget, reads must hit storage: {:?}",
+        metrics.io
+    );
+    assert!(metrics.io.requests() > 0);
+}
+
+/// The rendered EXPLAIN ANALYZE trace carries actual counters and the
+/// buffer-pool summary; the interpreter engines get the execution summary
+/// only.
+#[test]
+fn explain_analyze_renders_counters() {
+    let db = Database::in_memory();
+    db.load_document("d", "<a><b/><b/></a>").unwrap();
+    for engine in [
+        EngineKind::M3Algebraic,
+        EngineKind::M4CostBased,
+        EngineKind::M4Pipelined,
+    ] {
+        let text = db.explain_analyze("d", "//b", engine).unwrap();
+        assert!(text.contains("EXPLAIN ANALYZE"), "[{engine}] {text}");
+        assert!(text.contains("actual rows=2"), "[{engine}] {text}");
+        assert!(text.contains("opens=1"), "[{engine}] {text}");
+        assert!(text.contains("result: 2 item(s)"), "[{engine}] {text}");
+        assert!(text.contains("buffer pool:"), "[{engine}] {text}");
+        assert!(text.contains("elapsed:"), "[{engine}] {text}");
+    }
+    let text = db
+        .explain_analyze("d", "//b", EngineKind::M2Storage)
+        .unwrap();
+    assert!(text.contains("interpreter"), "{text}");
+    assert!(text.contains("result: 2 item(s)"), "{text}");
+    assert!(text.contains("buffer pool:"), "{text}");
+}
+
+/// Nested relfors: the inner plan re-opens once per outer binding, and the
+/// shared metric slots accumulate across re-executions.
+#[test]
+fn inner_plan_accumulates_across_reexecutions() {
+    let env = Env::memory();
+    let store = shred_document(&env, "d", "<r><j><n>A</n><n>B</n></j><j><n>C</n></j></r>").unwrap();
+    // Heuristic planning without the merging rewrites keeps the inner
+    // for-loop as its own relfor, re-planned per outer binding.
+    let query = xmldb_xq::parse("for $j in /r/j return for $n in $j/n return $n").unwrap();
+    let program = compile_program(
+        &store,
+        &query,
+        &xmldb_algebra::rewrite::RewriteOptions::none(),
+        &xmldb_optimizer::PlannerConfig::heuristic(),
+        &QueryOptions::default(),
+    );
+    let (result, metrics) = execute_program_analyzed(&program, &store);
+    assert_eq!(result.unwrap().to_xml(), "<n>A</n><n>B</n><n>C</n>");
+    // Without merging, each path step keeps its own relfor: /r, then /r/j,
+    // then $j/n — three separate plans.
+    assert_eq!(metrics.len(), 3, "unmerged relfors have separate plans");
+    let outermost = metrics[0].get(0).unwrap();
+    let innermost = metrics[metrics.len() - 1].get(0).unwrap();
+    assert_eq!(outermost.rows, 1, "one /r binding");
+    assert_eq!(outermost.opens, 1);
+    assert_eq!(
+        innermost.rows, 3,
+        "inner rows accumulate across both $j bindings"
+    );
+    assert_eq!(
+        innermost.opens, 2,
+        "inner plan re-opened once per $j binding"
+    );
+}

@@ -35,8 +35,7 @@ fn tree() -> impl Strategy<Value = Tree> {
         label().prop_map(|l| Tree::Element(l, vec![])),
     ];
     leaf.prop_recursive(4, 40, 4, |inner| {
-        (label(), prop::collection::vec(inner, 0..4))
-            .prop_map(|(l, kids)| Tree::Element(l, kids))
+        (label(), prop::collection::vec(inner, 0..4)).prop_map(|(l, kids)| Tree::Element(l, kids))
     })
 }
 
@@ -95,8 +94,12 @@ fn query(depth: u32, vars: Vec<String>) -> BoxedStrategy<String> {
     }
     let for_q = {
         let vars = vars.clone();
-        (0..10u32, step_test.clone(), prop_oneof![Just("/"), Just("//")]).prop_flat_map(
-            move |(n, t, axis)| {
+        (
+            0..10u32,
+            step_test.clone(),
+            prop_oneof![Just("/"), Just("//")],
+        )
+            .prop_flat_map(move |(n, t, axis)| {
                 let var = format!("$v{n}");
                 let source = match vars.last() {
                     Some(outer) => format!("{outer}{axis}{t}"),
@@ -108,8 +111,7 @@ fn query(depth: u32, vars: Vec<String>) -> BoxedStrategy<String> {
                 }
                 query(depth - 1, inner_vars)
                     .prop_map(move |body| format!("for {var} in {source} return {body}"))
-            },
-        )
+            })
     };
     let if_q = {
         let vars = vars.clone();

@@ -1,0 +1,33 @@
+//! Named deterministic regressions promoted from proptest failure seeds.
+//!
+//! Root cause of the seed below: the planner used to push *strict*
+//! predicates (ones that raise the non-text-comparison error when applied
+//! to a non-text node, like `$v0 = "x"`) into a full-scan filter *below*
+//! the join with the empty `/text()` relation. The filter then evaluated
+//! the comparison against every node — including elements — and errored,
+//! while the nested M1 semantics never reach the comparison because the
+//! `some` clause over `/text()` has no witnesses. The fix defers strict
+//! conjuncts until all their relations are placed, so they only apply to
+//! rows the join actually produced.
+
+use xmldb_core::{Database, EngineKind};
+
+/// proptest seed: strict comparison under a `some` over an empty relation.
+/// All engines must agree with M1's empty (non-error) answer.
+#[test]
+fn strict_predicate_not_pushed_below_empty_join() {
+    let xml = "<a></a>";
+    let q = "if (some $v20 in /text() satisfies true()) \
+             then for $v0 in /a return if ($v0 = \"x\") then () else () \
+             else ()";
+    let db = Database::in_memory();
+    db.load_document("doc", xml).unwrap();
+    let reference = db.query("doc", q, EngineKind::M1InMemory).unwrap();
+    assert_eq!(reference.to_xml(), "");
+    for engine in EngineKind::ALL {
+        let got = db
+            .query("doc", q, engine)
+            .unwrap_or_else(|e| panic!("engine {engine} errored: {e}"));
+        assert_eq!(got, reference, "engine {engine} diverges from M1");
+    }
+}

@@ -50,23 +50,71 @@ impl DblpConfig {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "Ana", "Bob", "Carla", "Dan", "Eva", "Frank", "Georgiana", "Hans", "Ioana", "Josiane",
-    "Katrin", "Liviu", "Melih", "Nadia", "Otto", "Petra",
+    "Ana",
+    "Bob",
+    "Carla",
+    "Dan",
+    "Eva",
+    "Frank",
+    "Georgiana",
+    "Hans",
+    "Ioana",
+    "Josiane",
+    "Katrin",
+    "Liviu",
+    "Melih",
+    "Nadia",
+    "Otto",
+    "Petra",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Koch", "Olteanu", "Scherzinger", "Demir", "Ifrim", "Moleda", "Parreira", "Fiebig",
-    "Moerkotte", "Grust", "Weikum", "Neumann", "Schenkel", "Theobald",
+    "Koch",
+    "Olteanu",
+    "Scherzinger",
+    "Demir",
+    "Ifrim",
+    "Moleda",
+    "Parreira",
+    "Fiebig",
+    "Moerkotte",
+    "Grust",
+    "Weikum",
+    "Neumann",
+    "Schenkel",
+    "Theobald",
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "Evaluating", "Queries", "on", "Structure", "with", "Access", "Support", "Relations",
-    "Purely", "Relational", "Streams", "Composition", "XQuery", "Optimization", "Indexes",
-    "Storage", "Algebra", "Cost", "Models", "Joins",
+    "Evaluating",
+    "Queries",
+    "on",
+    "Structure",
+    "with",
+    "Access",
+    "Support",
+    "Relations",
+    "Purely",
+    "Relational",
+    "Streams",
+    "Composition",
+    "XQuery",
+    "Optimization",
+    "Indexes",
+    "Storage",
+    "Algebra",
+    "Cost",
+    "Models",
+    "Joins",
 ];
 
-const JOURNALS: &[&str] =
-    &["SIGMOD Record", "VLDB Journal", "TODS", "Informatik Spektrum", "WebDB Notes"];
+const JOURNALS: &[&str] = &[
+    "SIGMOD Record",
+    "VLDB Journal",
+    "TODS",
+    "Informatik Spektrum",
+    "WebDB Notes",
+];
 
 const BOOKTITLES: &[&str] = &["SIGMOD", "VLDB", "ICDE", "XIME-P", "WebDB", "EDBT"];
 
@@ -131,8 +179,9 @@ fn push_publication_body(
         push_tag(out, "author", &name);
     }
     let title_len = rng.gen_range(3..8);
-    let title: Vec<&str> =
-        (0..title_len).map(|_| TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]).collect();
+    let title: Vec<&str> = (0..title_len)
+        .map(|_| TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())])
+        .collect();
     push_tag(out, "title", &format!("{} #{index}", title.join(" ")));
     if is_article {
         push_tag(out, "journal", JOURNALS[rng.gen_range(0..JOURNALS.len())]);
@@ -140,7 +189,11 @@ fn push_publication_body(
             push_tag(out, "volume", &rng.gen_range(1..60).to_string());
         }
     } else {
-        push_tag(out, "booktitle", BOOKTITLES[rng.gen_range(0..BOOKTITLES.len())]);
+        push_tag(
+            out,
+            "booktitle",
+            BOOKTITLES[rng.gen_range(0..BOOKTITLES.len())],
+        );
     }
     push_tag(out, "year", &rng.gen_range(1990..2006).to_string());
     if rng.gen_bool(config.cite_probability) {
@@ -158,13 +211,20 @@ mod tests {
     fn deterministic() {
         let config = DblpConfig::default();
         assert_eq!(generate_dblp(&config), generate_dblp(&config));
-        let other = DblpConfig { seed: 7, ..DblpConfig::default() };
+        let other = DblpConfig {
+            seed: 7,
+            ..DblpConfig::default()
+        };
         assert_ne!(generate_dblp(&config), generate_dblp(&other));
     }
 
     #[test]
     fn well_formed_and_shallow() {
-        let xml = generate_dblp(&DblpConfig { articles: 50, inproceedings: 30, ..Default::default() });
+        let xml = generate_dblp(&DblpConfig {
+            articles: 50,
+            inproceedings: 30,
+            ..Default::default()
+        });
         let doc = xmldb_xml::parse(&xml).expect("generated DBLP must parse");
         let root = doc.root_element().unwrap();
         assert_eq!(doc.name(root), "dblp");
@@ -185,7 +245,10 @@ mod tests {
         let volumes = xml.matches("<volume>").count();
         let articles = xml.matches("<article>").count();
         assert_eq!(articles, 400);
-        assert!(authors > 5 * volumes, "authors ({authors}) must dwarf volumes ({volumes})");
+        assert!(
+            authors > 5 * volumes,
+            "authors ({authors}) must dwarf volumes ({volumes})"
+        );
         assert!(volumes > 0, "some articles must have volumes");
     }
 

@@ -23,7 +23,11 @@ pub fn classroom_document() -> String {
     for i in 0..12 {
         out.push_str(&format!(
             "<article><author>Author {i}</author><title>Paper {i}</title>{}{}</article>",
-            if i % 4 == 0 { format!("<volume>{}</volume>", i + 1) } else { String::new() },
+            if i % 4 == 0 {
+                format!("<volume>{}</volume>", i + 1)
+            } else {
+                String::new()
+            },
             if i % 3 == 0 {
                 "<note>contains <emph>nested</emph> markup</note>".to_string()
             } else {
@@ -44,7 +48,11 @@ mod tests {
     fn figure2_is_the_paper_document() {
         let doc = xmldb_xml::parse(figure2_document()).unwrap();
         let labeling = xmldb_xml::Labeling::compute(&doc);
-        assert_eq!(labeling.out_of(doc.root()), 18, "Figure 2 has tag counts 1..18");
+        assert_eq!(
+            labeling.out_of(doc.root()),
+            18,
+            "Figure 2 has tag counts 1..18"
+        );
     }
 
     #[test]

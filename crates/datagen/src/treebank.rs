@@ -19,7 +19,12 @@ pub struct TreebankConfig {
 
 impl Default for TreebankConfig {
     fn default() -> Self {
-        TreebankConfig { sentences: 120, max_depth: 24, branching: 3, seed: 0x7EE }
+        TreebankConfig {
+            sentences: 120,
+            max_depth: 24,
+            branching: 3,
+            seed: 0x7EE,
+        }
     }
 }
 
@@ -39,8 +44,22 @@ const PHRASES: &[&str] = &["NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP"];
 /// Part-of-speech labels at the frontier.
 const POS: &[&str] = &["NN", "VB", "JJ", "DT", "IN", "PRP", "RB"];
 const WORDS: &[&str] = &[
-    "students", "built", "native", "XML", "databases", "during", "the", "summer", "course",
-    "query", "engines", "optimizers", "indexes", "storage", "sorting", "joins",
+    "students",
+    "built",
+    "native",
+    "XML",
+    "databases",
+    "during",
+    "the",
+    "summer",
+    "course",
+    "query",
+    "engines",
+    "optimizers",
+    "indexes",
+    "storage",
+    "sorting",
+    "joins",
 ];
 
 /// Generates a TREEBANK-like document:
@@ -78,7 +97,11 @@ fn phrase(out: &mut String, rng: &mut StdRng, depth: usize, branching: usize) {
     // One child continues the deep spine; the rest are shallow.
     let spine = rng.gen_range(0..kids);
     for k in 0..kids {
-        let child_depth = if k == spine { depth - 1 } else { rng.gen_range(0..2.min(depth)) };
+        let child_depth = if k == spine {
+            depth - 1
+        } else {
+            rng.gen_range(0..2.min(depth))
+        };
         phrase(out, rng, child_depth, branching);
     }
     out.push_str("</");
@@ -98,10 +121,17 @@ mod tests {
 
     #[test]
     fn well_formed_and_deep() {
-        let xml = generate_treebank(&TreebankConfig { sentences: 20, ..Default::default() });
+        let xml = generate_treebank(&TreebankConfig {
+            sentences: 20,
+            ..Default::default()
+        });
         let doc = xmldb_xml::parse_with(&xml, &xmldb_xml::ParseOptions::preserving())
             .expect("generated treebank must parse");
-        let max_depth = doc.descendants(doc.root()).map(|n| doc.depth(n)).max().unwrap();
+        let max_depth = doc
+            .descendants(doc.root())
+            .map(|n| doc.depth(n))
+            .max()
+            .unwrap();
         assert!(max_depth >= 14, "treebank should be deep, got {max_depth}");
     }
 

@@ -1,7 +1,7 @@
 //! The cost model: cardinality and I/O estimates from the milestone-4
 //! minimum statistics (label selectivities + average depth).
 
-use xmldb_algebra::{Attr, AtomicPred, CmpOp, Operand};
+use xmldb_algebra::{AtomicPred, Attr, CmpOp, Operand};
 use xmldb_xasr::{NodeType, Statistics};
 
 /// Cost/cardinality estimator over one document's statistics.
@@ -33,7 +33,13 @@ pub const PROBE_PAGE: f64 = 0.25;
 
 impl CostModel {
     /// Builds a model from a store's statistics and physical sizes.
-    pub fn new(stats: Statistics, clustered_pages: u64, label_pages: u64, parent_pages: u64, page_size: usize) -> CostModel {
+    pub fn new(
+        stats: Statistics,
+        clustered_pages: u64,
+        label_pages: u64,
+        parent_pages: u64,
+        page_size: usize,
+    ) -> CostModel {
         let node_count = stats.node_count.max(1) as f64;
         let clustered_pages = (clustered_pages.max(1)) as f64;
         CostModel {
@@ -41,7 +47,9 @@ impl CostModel {
             clustered_pages,
             label_pages: label_pages.max(1) as f64,
             parent_pages: parent_pages.max(1) as f64,
-            tuples_per_page: (node_count / clustered_pages).max(1.0).min(page_size as f64 / 32.0),
+            tuples_per_page: (node_count / clustered_pages)
+                .max(1.0)
+                .min(page_size as f64 / 32.0),
         }
     }
 
@@ -128,8 +136,7 @@ impl CostModel {
 
     /// Scan of all entries with one label, via the label index.
     pub fn label_scan_cost(&self, label: &str) -> f64 {
-        let frac = self.stats.label_count(label) as f64
-            / (self.stats.element_count.max(1) as f64);
+        let frac = self.stats.label_count(label) as f64 / (self.stats.element_count.max(1) as f64);
         (self.label_pages * frac).max(1.0) + PROBE_DESCENT
     }
 
@@ -277,7 +284,11 @@ mod tests {
         assert_eq!(m.base_cardinality(&[&t]), 3_999.0);
         assert_eq!(m.base_cardinality(&[]), 10_000.0);
         let ghost = label_pred("G", "ghost");
-        assert_eq!(m.base_cardinality(&[&ghost]), 0.0, "non-existent label → zero");
+        assert_eq!(
+            m.base_cardinality(&[&ghost]),
+            0.0,
+            "non-existent label → zero"
+        );
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod plan;
 pub mod planner;
 
 pub use cost::CostModel;
-pub use plan::{Plan, PlanNode};
+pub use plan::{Plan, PlanMetrics, PlanNode};
 pub use planner::{plan_cost_based, plan_heuristic, plan_outer_join, plan_psx, PlannerConfig};

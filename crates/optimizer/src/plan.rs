@@ -4,12 +4,55 @@
 //! binding environment, so plans are descriptions that instantiate fresh
 //! operator trees on demand.
 
+use std::rc::Rc;
 use xmldb_physical::ops::{
     BlockNestedLoopJoinOp, FilterOp, IndexNestedLoopJoinOp, LeftOuterIndexNestedLoopJoinOp,
     LeftOuterNestedLoopJoinOp, LimitOp, MaterializeOp, NestedLoopJoinOp, ProjectOp, ScanOp,
     SingletonOp, SortOp,
 };
-use xmldb_physical::{Operator, PhysPred, Probe};
+use xmldb_physical::{AnalyzedOperator, OpMetrics, Operator, PhysPred, Probe, SharedOpMetrics};
+
+/// Actual-execution counters for every operator of one plan, indexed by
+/// the pre-order position the operator has in [`Plan::explain`] output.
+///
+/// Slots are allocated on first analyzed instantiation and *reused* by
+/// later ones, so the counters accumulate across the many executions of a
+/// relfor source plan (one per outer binding environment).
+#[derive(Debug, Clone, Default)]
+pub struct PlanMetrics {
+    slots: Vec<SharedOpMetrics>,
+}
+
+impl PlanMetrics {
+    /// An empty metrics store (no slots until a plan instantiates into it).
+    pub fn new() -> PlanMetrics {
+        PlanMetrics::default()
+    }
+
+    /// The shared handle for pre-order slot `index`, allocating as needed.
+    fn slot(&mut self, index: usize) -> SharedOpMetrics {
+        while self.slots.len() <= index {
+            self.slots.push(SharedOpMetrics::default());
+        }
+        Rc::clone(&self.slots[index])
+    }
+
+    /// Counters of the `index`-th operator in pre-order; `None` if the
+    /// plan was never instantiated under analysis.
+    pub fn get(&self, index: usize) -> Option<OpMetrics> {
+        self.slots.get(index).map(|m| *m.borrow())
+    }
+
+    /// Number of instrumented operators.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no analyzed instantiation has happened yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
 
 /// A costed physical plan node.
 #[derive(Debug, Clone)]
@@ -29,22 +72,50 @@ pub enum PlanNode {
     /// Leaf access path with pushed-down selection.
     Scan { probe: Probe, filter: Vec<PhysPred> },
     /// Residual selection.
-    Filter { input: Box<Plan>, preds: Vec<PhysPred> },
+    Filter {
+        input: Box<Plan>,
+        preds: Vec<PhysPred>,
+    },
     /// Order-preserving nested-loops join.
-    Nlj { left: Box<Plan>, right: Box<Plan>, preds: Vec<PhysPred> },
+    Nlj {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        preds: Vec<PhysPred>,
+    },
     /// Index nested-loops join (probe parameterized by left-row columns).
-    Inlj { left: Box<Plan>, probe: Probe, preds: Vec<PhysPred> },
+    Inlj {
+        left: Box<Plan>,
+        probe: Probe,
+        preds: Vec<PhysPred>,
+    },
     /// Left-outer index nested-loops join (the TPM left-outer-join
     /// extension): match-less left rows survive NULL-padded.
-    LeftOuterInlj { left: Box<Plan>, probe: Probe, preds: Vec<PhysPred> },
+    LeftOuterInlj {
+        left: Box<Plan>,
+        probe: Probe,
+        preds: Vec<PhysPred>,
+    },
     /// Left-outer nested-loops join over a re-openable right input.
-    LeftOuterNlj { left: Box<Plan>, right: Box<Plan>, preds: Vec<PhysPred> },
+    LeftOuterNlj {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        preds: Vec<PhysPred>,
+    },
     /// Block nested-loops join (not order-preserving).
-    Bnlj { left: Box<Plan>, right: Box<Plan>, preds: Vec<PhysPred>, block_rows: usize },
+    Bnlj {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        preds: Vec<PhysPred>,
+        block_rows: usize,
+    },
     /// External sort on the `in` values of the given columns.
     Sort { input: Box<Plan>, keys: Vec<usize> },
     /// Projection, optionally with one-pass duplicate elimination.
-    Project { input: Box<Plan>, cols: Vec<usize>, dedup: bool },
+    Project {
+        input: Box<Plan>,
+        cols: Vec<usize>,
+        dedup: bool,
+    },
     /// Spill-and-replay.
     Materialize { input: Box<Plan> },
     /// The nullary true relation.
@@ -87,14 +158,17 @@ impl Plan {
                     preds.clone(),
                 ))
             }
-            PlanNode::Bnlj { left, right, preds, block_rows } => {
-                Box::new(BlockNestedLoopJoinOp::new(
-                    left.instantiate(),
-                    right.instantiate(),
-                    preds.clone(),
-                    *block_rows,
-                ))
-            }
+            PlanNode::Bnlj {
+                left,
+                right,
+                preds,
+                block_rows,
+            } => Box::new(BlockNestedLoopJoinOp::new(
+                left.instantiate(),
+                right.instantiate(),
+                preds.clone(),
+                *block_rows,
+            )),
             PlanNode::Sort { input, keys } => {
                 Box::new(SortOp::new(input.instantiate(), keys.clone()))
             }
@@ -107,14 +181,109 @@ impl Plan {
         }
     }
 
+    /// [`Plan::instantiate`] with every operator wrapped in an
+    /// [`AnalyzedOperator`] that accumulates into `metrics`. Slot order is
+    /// the pre-order of [`Plan::explain`], so
+    /// [`Plan::explain_analyzed`] can line counters up with plan lines.
+    pub fn instantiate_analyzed(&self, metrics: &mut PlanMetrics) -> Box<dyn Operator> {
+        let mut next_slot = 0usize;
+        self.instantiate_analyzed_at(metrics, &mut next_slot)
+    }
+
+    fn instantiate_analyzed_at(
+        &self,
+        metrics: &mut PlanMetrics,
+        next_slot: &mut usize,
+    ) -> Box<dyn Operator> {
+        let handle = metrics.slot(*next_slot);
+        *next_slot += 1;
+        let inner: Box<dyn Operator> = match &self.node {
+            PlanNode::Scan { probe, filter } => {
+                Box::new(ScanOp::new(probe.clone(), filter.clone()))
+            }
+            PlanNode::Filter { input, preds } => Box::new(FilterOp::new(
+                input.instantiate_analyzed_at(metrics, next_slot),
+                preds.clone(),
+            )),
+            PlanNode::Nlj { left, right, preds } => Box::new(NestedLoopJoinOp::new(
+                left.instantiate_analyzed_at(metrics, next_slot),
+                right.instantiate_analyzed_at(metrics, next_slot),
+                preds.clone(),
+            )),
+            PlanNode::Inlj { left, probe, preds } => Box::new(IndexNestedLoopJoinOp::new(
+                left.instantiate_analyzed_at(metrics, next_slot),
+                probe.clone(),
+                preds.clone(),
+            )),
+            PlanNode::LeftOuterInlj { left, probe, preds } => {
+                Box::new(LeftOuterIndexNestedLoopJoinOp::new(
+                    left.instantiate_analyzed_at(metrics, next_slot),
+                    probe.clone(),
+                    preds.clone(),
+                ))
+            }
+            PlanNode::LeftOuterNlj { left, right, preds } => {
+                Box::new(LeftOuterNestedLoopJoinOp::new(
+                    left.instantiate_analyzed_at(metrics, next_slot),
+                    right.instantiate_analyzed_at(metrics, next_slot),
+                    preds.clone(),
+                ))
+            }
+            PlanNode::Bnlj {
+                left,
+                right,
+                preds,
+                block_rows,
+            } => Box::new(BlockNestedLoopJoinOp::new(
+                left.instantiate_analyzed_at(metrics, next_slot),
+                right.instantiate_analyzed_at(metrics, next_slot),
+                preds.clone(),
+                *block_rows,
+            )),
+            PlanNode::Sort { input, keys } => Box::new(SortOp::new(
+                input.instantiate_analyzed_at(metrics, next_slot),
+                keys.clone(),
+            )),
+            PlanNode::Project { input, cols, dedup } => Box::new(ProjectOp::new(
+                input.instantiate_analyzed_at(metrics, next_slot),
+                cols.clone(),
+                *dedup,
+            )),
+            PlanNode::Materialize { input } => Box::new(MaterializeOp::new(
+                input.instantiate_analyzed_at(metrics, next_slot),
+            )),
+            PlanNode::Singleton => Box::new(SingletonOp::new()),
+            PlanNode::Limit { input, n } => Box::new(LimitOp::new(
+                input.instantiate_analyzed_at(metrics, next_slot),
+                *n,
+            )),
+        };
+        Box::new(AnalyzedOperator::new(inner, handle))
+    }
+
     /// EXPLAIN rendering: one operator per line, indented, with estimates.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        self.explain_into(&mut out, 0, None, &mut 0);
         out
     }
 
-    fn explain_into(&self, out: &mut String, level: usize) {
+    /// [`Plan::explain`] with actual counters from an analyzed execution
+    /// appended to every line (`never executed` for slots the run never
+    /// instantiated — e.g. a plan behind a false condition).
+    pub fn explain_analyzed(&self, metrics: &PlanMetrics) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, Some(metrics), &mut 0);
+        out
+    }
+
+    fn explain_into(
+        &self,
+        out: &mut String,
+        level: usize,
+        metrics: Option<&PlanMetrics>,
+        next_slot: &mut usize,
+    ) {
         let pad = "  ".repeat(level);
         let describe_preds = |preds: &[PhysPred]| -> String {
             if preds.is_empty() {
@@ -122,7 +291,11 @@ impl Plan {
             } else {
                 format!(
                     " [{}]",
-                    preds.iter().map(describe_pred).collect::<Vec<_>>().join(" ∧ ")
+                    preds
+                        .iter()
+                        .map(describe_pred)
+                        .collect::<Vec<_>>()
+                        .join(" ∧ ")
                 )
             }
         };
@@ -133,15 +306,25 @@ impl Plan {
             PlanNode::Filter { preds, .. } => format!("filter{}", describe_preds(preds)),
             PlanNode::Nlj { preds, .. } => format!("nl-join{}", describe_preds(preds)),
             PlanNode::Inlj { probe, preds, .. } => {
-                format!("inl-join probe={}{}", probe.describe(), describe_preds(preds))
+                format!(
+                    "inl-join probe={}{}",
+                    probe.describe(),
+                    describe_preds(preds)
+                )
             }
             PlanNode::LeftOuterInlj { probe, preds, .. } => {
-                format!("left-outer-inl-join probe={}{}", probe.describe(), describe_preds(preds))
+                format!(
+                    "left-outer-inl-join probe={}{}",
+                    probe.describe(),
+                    describe_preds(preds)
+                )
             }
             PlanNode::LeftOuterNlj { preds, .. } => {
                 format!("left-outer-nl-join{}", describe_preds(preds))
             }
-            PlanNode::Bnlj { preds, block_rows, .. } => {
+            PlanNode::Bnlj {
+                preds, block_rows, ..
+            } => {
                 format!("bnl-join block={block_rows}{}", describe_preds(preds))
             }
             PlanNode::Sort { keys, .. } => format!("sort keys={keys:?}"),
@@ -152,12 +335,28 @@ impl Plan {
             PlanNode::Singleton => "singleton".to_string(),
             PlanNode::Limit { n, .. } => format!("limit {n}"),
         };
+        let actual = match metrics {
+            None => String::new(),
+            Some(m) => {
+                let slot = *next_slot;
+                *next_slot += 1;
+                match m.get(slot) {
+                    Some(counters) => format!(
+                        "  (actual rows={} opens={} time={:.3}ms)",
+                        counters.rows,
+                        counters.opens,
+                        counters.total_ms()
+                    ),
+                    None => "  (never executed)".to_string(),
+                }
+            }
+        };
         out.push_str(&format!(
-            "{pad}{line}  (rows≈{:.1}, cost≈{:.1})\n",
+            "{pad}{line}  (rows≈{:.1}, cost≈{:.1}){actual}\n",
             self.est_rows, self.est_cost
         ));
         for child in self.children() {
-            child.explain_into(out, level + 1);
+            child.explain_into(out, level + 1, metrics, next_slot);
         }
     }
 
@@ -203,7 +402,11 @@ impl Plan {
             | (PlanNode::Limit { .. }, "limit") => 1,
             _ => 0,
         };
-        here + self.children().iter().map(|c| c.count_ops(name)).sum::<usize>()
+        here + self
+            .children()
+            .iter()
+            .map(|c| c.count_ops(name))
+            .sum::<usize>()
     }
 }
 

@@ -4,7 +4,7 @@ use crate::cost::{find_label_eq, CostModel};
 use crate::plan::{Plan, PlanNode};
 use std::collections::HashMap;
 use xmldb_algebra::ordering;
-use xmldb_algebra::{Attr, AtomicPred, CmpOp, Operand, Psx};
+use xmldb_algebra::{AtomicPred, Attr, CmpOp, Operand, Psx};
 use xmldb_physical::ops::Src;
 use xmldb_physical::{PhysOperand, PhysPred, Probe};
 
@@ -98,7 +98,11 @@ pub fn plan_psx(psx: &Psx, model: &CostModel, config: &PlannerConfig) -> Plan {
     candidates
         .into_iter()
         .map(|(order, force_sort)| build_plan(psx, &order, force_sort, model, config))
-        .min_by(|a, b| a.est_cost.partial_cmp(&b.est_cost).expect("costs are finite"))
+        .min_by(|a, b| {
+            a.est_cost
+                .partial_cmp(&b.est_cost)
+                .expect("costs are finite")
+        })
         .expect("at least one candidate order")
 }
 
@@ -124,8 +128,15 @@ pub fn plan_outer_join(
         positions.entry(col.alias.clone()).or_insert(i);
     }
     let mut consumed = vec![false; inner.conjuncts.len()];
-    let access =
-        choose_access(inner, &inner_alias, Some(&positions), &positions, &mut consumed, model, config);
+    let access = choose_access(
+        inner,
+        &inner_alias,
+        Some(&positions),
+        &positions,
+        &mut consumed,
+        model,
+        config,
+    );
     let inner_pos = outer.cols.len();
 
     match access.join {
@@ -152,23 +163,30 @@ pub fn plan_outer_join(
         }
         JoinKind::Nested => {
             // Local inner conjuncts go into the right scan (alias at its
-            // position 0); cross conjuncts stay at the join.
+            // position 0); cross conjuncts stay at the join. Strict (XQ
+            // `=`) conjuncts never push below the join — see take_local.
+            let mut pushed = vec![false; inner.conjuncts.len()];
             let local: Vec<&AtomicPred> = inner
                 .conjuncts
                 .iter()
-                .zip(consumed.iter())
-                .filter(|(p, done)| {
-                    !**done && {
+                .enumerate()
+                .filter(|(i, p)| {
+                    !consumed[*i] && !p.strict_text && {
                         let aliases = p.aliases();
                         aliases.len() == 1 && aliases[0] == inner_alias
                     }
                 })
-                .map(|(p, _)| p)
+                .map(|(i, p)| {
+                    pushed[i] = true;
+                    p
+                })
                 .collect();
             let local_positions: HashMap<String, usize> =
                 [(inner_alias.clone(), 0usize)].into_iter().collect();
-            let filter: Vec<PhysPred> =
-                local.iter().map(|p| resolve_pred(p, &local_positions)).collect();
+            let filter: Vec<PhysPred> = local
+                .iter()
+                .map(|p| resolve_pred(p, &local_positions))
+                .collect();
             let right = Plan {
                 est_rows: access.est_rows,
                 est_cost: access.est_cost + model.materialize_cost(access.est_rows),
@@ -176,7 +194,10 @@ pub fn plan_outer_join(
                     input: Box::new(Plan {
                         est_rows: access.est_rows,
                         est_cost: access.est_cost,
-                        node: PlanNode::Scan { probe: access.probe, filter },
+                        node: PlanNode::Scan {
+                            probe: access.probe,
+                            filter,
+                        },
                     }),
                 },
             };
@@ -184,14 +205,9 @@ pub fn plan_outer_join(
             let residual: Vec<PhysPred> = inner
                 .conjuncts
                 .iter()
-                .zip(consumed.iter())
-                .filter(|(p, done)| {
-                    !**done && {
-                        let aliases = p.aliases();
-                        !(aliases.len() == 1 && aliases[0] == inner_alias)
-                    }
-                })
-                .map(|(p, _)| resolve_pred(p, &positions))
+                .enumerate()
+                .filter(|(i, _)| !consumed[*i] && !pushed[*i])
+                .map(|(_, p)| resolve_pred(p, &positions))
                 .collect();
             let rows = (outer_plan.est_rows * access.est_rows * 0.1).max(outer_plan.est_rows);
             let cost = outer_plan.est_cost
@@ -231,17 +247,31 @@ fn heuristic_order(psx: &Psx) -> Vec<String> {
 /// conjuncts over external variables only.
 fn plan_relation_free(psx: &Psx, model: &CostModel) -> Plan {
     let positions = HashMap::new();
-    let preds: Vec<PhysPred> =
-        psx.conjuncts.iter().map(|p| resolve_pred(p, &positions)).collect();
-    let base = Plan { node: PlanNode::Singleton, est_rows: 1.0, est_cost: 0.0 };
+    let preds: Vec<PhysPred> = psx
+        .conjuncts
+        .iter()
+        .map(|p| resolve_pred(p, &positions))
+        .collect();
+    let base = Plan {
+        node: PlanNode::Singleton,
+        est_rows: 1.0,
+        est_cost: 0.0,
+    };
     if preds.is_empty() {
         return base;
     }
-    let sel: f64 = psx.conjuncts.iter().map(|p| model.residual_selectivity(p)).product();
+    let sel: f64 = psx
+        .conjuncts
+        .iter()
+        .map(|p| model.residual_selectivity(p))
+        .product();
     Plan {
         est_rows: sel.max(0.0),
         est_cost: base.est_cost,
-        node: PlanNode::Filter { input: Box::new(base), preds },
+        node: PlanNode::Filter {
+            input: Box::new(base),
+            preds,
+        },
     }
 }
 
@@ -285,20 +315,31 @@ fn build_plan(
     let access = choose_access(psx, first, None, &positions, &mut consumed, model, config);
     positions.insert(first.clone(), 0);
     row_aliases.push(first.clone());
-    let filter = take_applicable(psx, &positions, &mut consumed);
+    let filter = take_applicable(psx, &positions, &mut consumed, order.len() == 1);
     let filter_sel = non_structural_selectivity(&filter, model);
     let resolved: Vec<PhysPred> = filter.iter().map(|p| resolve_pred(p, &positions)).collect();
     let mut plan = Plan {
         est_rows: (access.est_rows * filter_sel).max(0.0),
         est_cost: access.est_cost,
-        node: PlanNode::Scan { probe: access.probe, filter: resolved },
+        node: PlanNode::Scan {
+            probe: access.probe,
+            filter: resolved,
+        },
     };
 
     // --- subsequent relations ---------------------------------------------------
-    for alias in order.iter().skip(1) {
+    for (placed, alias) in order.iter().enumerate().skip(1) {
+        let all_placed = placed + 1 == order.len();
         let rows_before_join = plan.est_rows;
-        let access =
-            choose_access(psx, alias, Some(&positions), &positions, &mut consumed, model, config);
+        let access = choose_access(
+            psx,
+            alias,
+            Some(&positions),
+            &positions,
+            &mut consumed,
+            model,
+            config,
+        );
 
         // For nested-loops rights, push this relation's remaining local
         // conjuncts into the right-side scan ("pushing selections as far
@@ -311,7 +352,10 @@ fn build_plan(
             pushed_sel = non_structural_selectivity(&local, model);
             let local_positions: HashMap<String, usize> =
                 [(alias.clone(), 0usize)].into_iter().collect();
-            pushed = local.iter().map(|p| resolve_pred(p, &local_positions)).collect();
+            pushed = local
+                .iter()
+                .map(|p| resolve_pred(p, &local_positions))
+                .collect();
         } else {
             pushed = Vec::new();
             pushed_sel = 1.0;
@@ -319,10 +363,12 @@ fn build_plan(
 
         positions.insert(alias.clone(), row_aliases.len());
         row_aliases.push(alias.clone());
-        let residual = take_applicable(psx, &positions, &mut consumed);
+        let residual = take_applicable(psx, &positions, &mut consumed, all_placed);
         let residual_sel = non_structural_selectivity(&residual, model);
-        let preds: Vec<PhysPred> =
-            residual.iter().map(|p| resolve_pred(p, &positions)).collect();
+        let preds: Vec<PhysPred> = residual
+            .iter()
+            .map(|p| resolve_pred(p, &positions))
+            .collect();
 
         plan = match access.join {
             JoinKind::Index => {
@@ -331,7 +377,11 @@ fn build_plan(
                 Plan {
                     est_rows: rows,
                     est_cost: cost,
-                    node: PlanNode::Inlj { left: Box::new(plan), probe: access.probe, preds },
+                    node: PlanNode::Inlj {
+                        left: Box::new(plan),
+                        probe: access.probe,
+                        preds,
+                    },
                 }
             }
             JoinKind::Nested => {
@@ -340,7 +390,10 @@ fn build_plan(
                 let right_scan = Plan {
                     est_rows: (access.est_rows * pushed_sel).max(0.0),
                     est_cost: access.est_cost,
-                    node: PlanNode::Scan { probe: access.probe, filter: pushed },
+                    node: PlanNode::Scan {
+                        probe: access.probe,
+                        filter: pushed,
+                    },
                 };
                 let (right, rescan_cost) = if config.materialize_right {
                     let pages = model.materialized_pages(right_scan.est_rows);
@@ -349,7 +402,9 @@ fn build_plan(
                             est_rows: right_scan.est_rows,
                             est_cost: right_scan.est_cost
                                 + model.materialize_cost(right_scan.est_rows),
-                            node: PlanNode::Materialize { input: Box::new(right_scan) },
+                            node: PlanNode::Materialize {
+                                input: Box::new(right_scan),
+                            },
                         },
                         pages,
                     )
@@ -361,8 +416,9 @@ fn build_plan(
                 let cpu = model.join_cpu_cost(plan.est_rows * right.est_rows);
                 if force_sort {
                     // Order does not matter: block join saves rescans.
-                    let blocks =
-                        (plan.est_rows / config.bnlj_block_rows as f64).ceil().max(1.0);
+                    let blocks = (plan.est_rows / config.bnlj_block_rows as f64)
+                        .ceil()
+                        .max(1.0);
                     let cost = plan.est_cost + right.est_cost + blocks * rescan_cost + cpu;
                     Plan {
                         est_rows: rows,
@@ -375,10 +431,8 @@ fn build_plan(
                         },
                     }
                 } else {
-                    let cost = plan.est_cost
-                        + right.est_cost
-                        + plan.est_rows.max(1.0) * rescan_cost
-                        + cpu;
+                    let cost =
+                        plan.est_cost + right.est_cost + plan.est_rows.max(1.0) * rescan_cost + cpu;
                     Plan {
                         est_rows: rows,
                         est_cost: cost,
@@ -419,22 +473,31 @@ fn build_plan(
                 plan = Plan {
                     est_rows: rows,
                     est_cost: plan.est_cost,
-                    node: PlanNode::Project { input: Box::new(plan), cols, dedup: true },
+                    node: PlanNode::Project {
+                        input: Box::new(plan),
+                        cols,
+                        dedup: true,
+                    },
                 };
             }
         }
     }
 
     // --- leftover conjuncts ------------------------------------------------------
-    let leftovers = take_applicable(psx, &positions, &mut consumed);
+    let leftovers = take_applicable(psx, &positions, &mut consumed, true);
     if !leftovers.is_empty() {
         let sel = non_structural_selectivity(&leftovers, model);
-        let preds: Vec<PhysPred> =
-            leftovers.iter().map(|p| resolve_pred(p, &positions)).collect();
+        let preds: Vec<PhysPred> = leftovers
+            .iter()
+            .map(|p| resolve_pred(p, &positions))
+            .collect();
         plan = Plan {
             est_rows: (plan.est_rows * sel).max(0.0),
             est_cost: plan.est_cost,
-            node: PlanNode::Filter { input: Box::new(plan), preds },
+            node: PlanNode::Filter {
+                input: Box::new(plan),
+                preds,
+            },
         };
     }
 
@@ -444,19 +507,25 @@ fn build_plan(
         let limited = Plan {
             est_rows: plan_rows.min(1.0),
             est_cost: plan.est_cost, // pessimistic: early exit not credited
-            node: PlanNode::Limit { input: Box::new(plan), n: 1 },
+            node: PlanNode::Limit {
+                input: Box::new(plan),
+                n: 1,
+            },
         };
         return Plan {
             est_rows: limited.est_rows,
             est_cost: limited.est_cost,
-            node: PlanNode::Project { input: Box::new(limited), cols: Vec::new(), dedup: true },
+            node: PlanNode::Project {
+                input: Box::new(limited),
+                cols: Vec::new(),
+                dedup: true,
+            },
         };
     }
 
     // --- projection (+ sort when order was not maintained) --------------------------
     let producer_layout: Vec<&String> = psx.cols.iter().map(|c| &c.alias).collect();
-    let ordered_layout =
-        !force_sort && row_aliases.iter().collect::<Vec<_>>() == producer_layout;
+    let ordered_layout = !force_sort && row_aliases.iter().collect::<Vec<_>>() == producer_layout;
     let cols: Vec<usize> = psx.cols.iter().map(|c| positions[&c.alias]).collect();
     if ordered_layout {
         // A mid-chain semijoin projection that already produced exactly the
@@ -464,7 +533,12 @@ fn build_plan(
         // redundant.
         let identity = cols.iter().copied().eq(0..psx.cols.len());
         if identity {
-            if let PlanNode::Project { cols: inner_cols, dedup: true, .. } = &plan.node {
+            if let PlanNode::Project {
+                cols: inner_cols,
+                dedup: true,
+                ..
+            } = &plan.node
+            {
                 if inner_cols.len() == psx.cols.len() {
                     return plan;
                 }
@@ -474,25 +548,40 @@ fn build_plan(
         Plan {
             est_rows: plan.est_rows,
             est_cost: plan.est_cost,
-            node: PlanNode::Project { input: Box::new(plan), cols, dedup },
+            node: PlanNode::Project {
+                input: Box::new(plan),
+                cols,
+                dedup,
+            },
         }
     } else {
         let projected = Plan {
             est_rows: plan.est_rows,
             est_cost: plan.est_cost,
-            node: PlanNode::Project { input: Box::new(plan), cols, dedup: false },
+            node: PlanNode::Project {
+                input: Box::new(plan),
+                cols,
+                dedup: false,
+            },
         };
         let keys: Vec<usize> = (0..psx.cols.len()).collect();
         let sort_cost = model.sort_cost(projected.est_rows);
         let sorted = Plan {
             est_rows: projected.est_rows,
             est_cost: projected.est_cost + sort_cost,
-            node: PlanNode::Sort { input: Box::new(projected), keys: keys.clone() },
+            node: PlanNode::Sort {
+                input: Box::new(projected),
+                keys: keys.clone(),
+            },
         };
         Plan {
             est_rows: sorted.est_rows,
             est_cost: sorted.est_cost,
-            node: PlanNode::Project { input: Box::new(sorted), cols: keys, dedup: true },
+            node: PlanNode::Project {
+                input: Box::new(sorted),
+                cols: keys,
+                dedup: true,
+            },
         }
     }
 }
@@ -605,8 +694,7 @@ fn choose_access(
             }
         }
         // 3. Descendant interval: src.in < alias.in ∧ alias.out < src.out.
-        if let Some((idx_lo, idx_hi, src)) = find_interval_link(psx, alias, positions, consumed)
-        {
+        if let Some((idx_lo, idx_hi, src)) = find_interval_link(psx, alias, positions, consumed) {
             consumed[idx_lo] = true;
             consumed[idx_hi] = true;
             let join = join_kind(&src, left);
@@ -881,9 +969,9 @@ fn operand_src(op: &Operand, positions: &HashMap<String, usize>) -> Option<Src> 
 
 fn operand_src_in(op: &Operand, positions: &HashMap<String, usize>) -> Option<(Src, SrcKey)> {
     match op {
-        Operand::Col(c) if c.attr == Attr::In => {
-            positions.get(&c.alias).map(|&p| (Src::Col(p), SrcKey::Pos(p)))
-        }
+        Operand::Col(c) if c.attr == Attr::In => positions
+            .get(&c.alias)
+            .map(|&p| (Src::Col(p), SrcKey::Pos(p))),
         Operand::ExtVar(v, Attr::In) => Some((Src::Ext(v.clone()), SrcKey::Var(v.clone()))),
         _ => None,
     }
@@ -891,19 +979,25 @@ fn operand_src_in(op: &Operand, positions: &HashMap<String, usize>) -> Option<(S
 
 fn operand_src_out(op: &Operand, positions: &HashMap<String, usize>) -> Option<(Src, SrcKey)> {
     match op {
-        Operand::Col(c) if c.attr == Attr::Out => {
-            positions.get(&c.alias).map(|&p| (Src::Col(p), SrcKey::Pos(p)))
-        }
+        Operand::Col(c) if c.attr == Attr::Out => positions
+            .get(&c.alias)
+            .map(|&p| (Src::Col(p), SrcKey::Pos(p))),
         Operand::ExtVar(v, Attr::Out) => Some((Src::Ext(v.clone()), SrcKey::Var(v.clone()))),
         _ => None,
     }
 }
 
 /// Takes (and marks consumed) the unconsumed conjuncts local to one alias.
+///
+/// Strict (XQ `=`) conjuncts are never taken: pushing them below a join
+/// would evaluate the comparison on tuples the σ-over-× semantics never
+/// forms (e.g. when another relation is empty), raising the paper's
+/// non-text runtime error where the reference semantics succeeds. They
+/// stay deferred until every relation is placed (see [`take_applicable`]).
 fn take_local<'a>(psx: &'a Psx, alias: &str, consumed: &mut [bool]) -> Vec<&'a AtomicPred> {
     let mut out = Vec::new();
     for (i, pred) in psx.conjuncts.iter().enumerate() {
-        if consumed[i] {
+        if consumed[i] || pred.strict_text {
             continue;
         }
         let aliases = pred.aliases();
@@ -942,14 +1036,21 @@ fn is_label_or_type_test(pred: &AtomicPred) -> bool {
 
 /// Takes (and marks consumed) every unconsumed conjunct whose relations are
 /// all placed.
+///
+/// Strict (XQ `=`) conjuncts are only taken once *every* relation of the
+/// PSX has been placed (`all_placed`): a cross-product tuple then exists
+/// and has already passed the structural conjuncts that guard the
+/// comparison in the merged conjunct order, so the non-text runtime error
+/// fires only where the nested reference semantics would raise it too.
 fn take_applicable<'a>(
     psx: &'a Psx,
     positions: &HashMap<String, usize>,
     consumed: &mut [bool],
+    all_placed: bool,
 ) -> Vec<&'a AtomicPred> {
     let mut out = Vec::new();
     for (i, pred) in psx.conjuncts.iter().enumerate() {
-        if consumed[i] {
+        if consumed[i] || (pred.strict_text && !all_placed) {
             continue;
         }
         if pred.aliases().iter().all(|a| positions.contains_key(*a)) {
@@ -981,7 +1082,10 @@ fn resolve_operand(op: &Operand, positions: &HashMap<String, usize>) -> PhysOper
         Operand::Num(n) => PhysOperand::Num(*n),
         Operand::Str(s) => PhysOperand::Str(s.clone()),
         Operand::Kind(k) => PhysOperand::Kind(*k),
-        Operand::ExtVar(v, attr) => PhysOperand::Ext { var: v.clone(), attr: *attr },
+        Operand::ExtVar(v, attr) => PhysOperand::Ext {
+            var: v.clone(),
+            attr: *attr,
+        },
     }
 }
 
@@ -1092,7 +1196,11 @@ mod tests {
         assert!(plan.count_ops("project") >= 2, "{explain}");
         // Execution: only articles with volumes contribute authors.
         let rows = run(&plan, &store);
-        assert_eq!(rows.len(), 4 * 5, "4 volumed articles × 5 authors: {explain}");
+        assert_eq!(
+            rows.len(),
+            4 * 5,
+            "4 volumed articles × 5 authors: {explain}"
+        );
     }
 
     /// All planner configurations agree on the result rows.
@@ -1242,16 +1350,10 @@ mod text_index_tests {
     #[test]
     fn const_text_eq_uses_index() {
         let env = Env::memory();
-        let store = shred_document(
-            &env,
-            "d",
-            "<r><a>Ana</a><a>Bob</a><a>Ana</a><b>Ana</b></r>",
-        )
-        .unwrap();
+        let store =
+            shred_document(&env, "d", "<r><a>Ana</a><a>Bob</a><a>Ana</a><b>Ana</b></r>").unwrap();
         let model = CostModel::from_store(&store);
-        let psx = merged_psx(
-            "for $t in //text() return if ($t = \"Ana\") then $t else ()",
-        );
+        let psx = merged_psx("for $t in //text() return if ($t = \"Ana\") then $t else ()");
         let plan = plan_cost_based(&psx, &model);
         let explain = plan.explain();
         assert!(explain.contains("text-eq(\"Ana\")"), "{explain}");
@@ -1293,8 +1395,7 @@ mod text_index_tests {
     #[test]
     fn text_probe_on_non_text_source_errors() {
         let env = Env::memory();
-        let store =
-            shred_document(&env, "d", "<r><x><deep/></x><y>k</y></r>").unwrap();
+        let store = shred_document(&env, "d", "<r><x><deep/></x><y>k</y></r>").unwrap();
         let model = CostModel::from_store(&store);
         // $a binds elements (star test), compared against text nodes.
         let psx = merged_psx(

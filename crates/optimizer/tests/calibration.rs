@@ -18,7 +18,10 @@ use xmldb_xasr::shred_document;
 use xmldb_xq::parse;
 
 fn merged_psx(query: &str) -> Psx {
-    let tpm = optimize(compile_query(&parse(query).unwrap()), &RewriteOptions::default());
+    let tpm = optimize(
+        compile_query(&parse(query).unwrap()),
+        &RewriteOptions::default(),
+    );
     fn find(t: &Tpm) -> Option<&Psx> {
         match t {
             Tpm::RelFor { source, .. } => Some(source),
@@ -31,10 +34,7 @@ fn merged_psx(query: &str) -> Psx {
 }
 
 /// Executes a plan and returns the logical page requests it caused.
-fn measure(
-    plan: &xmldb_optimizer::Plan,
-    store: &xmldb_xasr::XasrStore,
-) -> (u64, usize) {
+fn measure(plan: &xmldb_optimizer::Plan, store: &xmldb_xasr::XasrStore) -> (u64, usize) {
     let binds = Bindings::with_root(store).unwrap();
     let ctx = ExecContext::new(store, &binds);
     store.env().reset_io_stats();
@@ -99,7 +99,12 @@ fn example6_qp_ranking_matches_reality() {
     );
     let qp2 = plan_psx(&psx, &model, &PlannerConfig::cost_based());
     let qp1 = plan_psx(&psx, &model, &PlannerConfig::heuristic());
-    assert!(qp2.est_cost < qp1.est_cost, "{} vs {}", qp2.est_cost, qp1.est_cost);
+    assert!(
+        qp2.est_cost < qp1.est_cost,
+        "{} vs {}",
+        qp2.est_cost,
+        qp1.est_cost
+    );
     let (qp2_io, rows_a) = measure(&qp2, &store);
     let (qp1_io, rows_b) = measure(&qp1, &store);
     assert_eq!(rows_a, rows_b);
@@ -121,7 +126,10 @@ fn ghost_label_touches_almost_nothing() {
     let plan = plan_psx(&psx, &model, &PlannerConfig::cost_based());
     let (io, rows) = measure(&plan, &store);
     assert_eq!(rows, 0);
-    assert!(io < 10, "ghost label should cost a handful of pages, took {io}");
+    assert!(
+        io < 10,
+        "ghost label should cost a handful of pages, took {io}"
+    );
     // Whereas a full scan of the same document is orders bigger.
     let scan = plan_psx(&psx, &model, &PlannerConfig::heuristic());
     let (scan_io, _) = measure(&scan, &store);

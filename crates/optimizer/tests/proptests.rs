@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use xmldb_algebra::{Attr, AtomicPred, CmpOp, ColRef, Operand, Psx};
+use xmldb_algebra::{AtomicPred, Attr, CmpOp, ColRef, Operand, Psx};
 use xmldb_optimizer::{plan_psx, CostModel, PlannerConfig};
 use xmldb_physical::{execute_all, Bindings, ExecContext};
 use xmldb_storage::Env;
@@ -30,8 +30,7 @@ fn tree() -> impl Strategy<Value = Tree> {
         label().prop_map(|l| Tree::Element(l, vec![])),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
-        (label(), prop::collection::vec(inner, 0..3))
-            .prop_map(|(l, kids)| Tree::Element(l, kids))
+        (label(), prop::collection::vec(inner, 0..3)).prop_map(|(l, kids)| Tree::Element(l, kids))
     })
 }
 
@@ -101,8 +100,11 @@ fn psx_spec() -> impl Strategy<Value = PsxSpec> {
     (1usize..=3).prop_flat_map(|n_rel| {
         let producers = prop::sample::subsequence((0..n_rel).collect::<Vec<_>>(), 0..=n_rel);
         let conjuncts = prop::collection::vec(conjunct(n_rel), 0..4);
-        (Just(n_rel), producers, conjuncts)
-            .prop_map(|(n_rel, producers, conjuncts)| PsxSpec { n_rel, producers, conjuncts })
+        (Just(n_rel), producers, conjuncts).prop_map(|(n_rel, producers, conjuncts)| PsxSpec {
+            n_rel,
+            producers,
+            conjuncts,
+        })
     })
 }
 
@@ -121,7 +123,11 @@ fn build_psx(spec: &PsxSpec) -> Psx {
                 col(*b, Attr::In),
             )),
             ConjunctKind::Interval(a, b) => {
-                conjuncts.push(AtomicPred::new(col(*b, Attr::In), CmpOp::Lt, col(*a, Attr::In)));
+                conjuncts.push(AtomicPred::new(
+                    col(*b, Attr::In),
+                    CmpOp::Lt,
+                    col(*a, Attr::In),
+                ));
                 conjuncts.push(AtomicPred::new(
                     col(*a, Attr::Out),
                     CmpOp::Lt,
@@ -136,7 +142,11 @@ fn build_psx(spec: &PsxSpec) -> Psx {
             ConjunctKind::Kind(a, element) => conjuncts.push(AtomicPred::new(
                 col(*a, Attr::Type),
                 CmpOp::Eq,
-                Operand::Kind(if *element { NodeType::Element } else { NodeType::Text }),
+                Operand::Kind(if *element {
+                    NodeType::Element
+                } else {
+                    NodeType::Text
+                }),
             )),
             ConjunctKind::RootChild(a) => conjuncts.push(AtomicPred::new(
                 col(*a, Attr::ParentIn),
@@ -158,7 +168,11 @@ fn build_psx(spec: &PsxSpec) -> Psx {
         }
     }
     Psx {
-        cols: spec.producers.iter().map(|&i| ColRef::new(alias(i), Attr::In)).collect(),
+        cols: spec
+            .producers
+            .iter()
+            .map(|&i| ColRef::new(alias(i), Attr::In))
+            .collect(),
         conjuncts,
         relations: (0..spec.n_rel).map(alias).collect(),
     }
@@ -170,8 +184,12 @@ fn build_psx(spec: &PsxSpec) -> Psx {
 /// hierarchically, dedup.
 fn brute_force(psx: &Psx, store: &XasrStore, bindings: &Bindings) -> Vec<Vec<u64>> {
     let all: Vec<NodeTuple> = store.scan_all().map(|t| t.unwrap()).collect();
-    let positions: HashMap<String, usize> =
-        psx.relations.iter().enumerate().map(|(i, r)| (r.clone(), i)).collect();
+    let positions: HashMap<String, usize> = psx
+        .relations
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.clone(), i))
+        .collect();
     // Resolve predicates against the product row layout.
     let preds: Vec<xmldb_physical::PhysPred> = psx
         .conjuncts
@@ -185,9 +203,10 @@ fn brute_force(psx: &Psx, store: &XasrStore, bindings: &Bindings) -> Vec<Vec<u64
                 Operand::Num(n) => xmldb_physical::PhysOperand::Num(*n),
                 Operand::Str(s) => xmldb_physical::PhysOperand::Str(s.clone()),
                 Operand::Kind(k) => xmldb_physical::PhysOperand::Kind(*k),
-                Operand::ExtVar(v, a) => {
-                    xmldb_physical::PhysOperand::Ext { var: v.clone(), attr: *a }
-                }
+                Operand::ExtVar(v, a) => xmldb_physical::PhysOperand::Ext {
+                    var: v.clone(),
+                    attr: *a,
+                },
             };
             xmldb_physical::PhysPred {
                 op: p.op,
@@ -206,7 +225,10 @@ fn brute_force(psx: &Psx, store: &XasrStore, bindings: &Bindings) -> Vec<Vec<u64
         let row: Vec<NodeTuple> = counters.iter().map(|&i| all[i].clone()).collect();
         if xmldb_physical::pred::eval_all(&preds, &row, bindings).unwrap() {
             out.push(
-                psx.cols.iter().map(|c| row[positions[&c.alias]].in_).collect(),
+                psx.cols
+                    .iter()
+                    .map(|c| row[positions[&c.alias]].in_)
+                    .collect(),
             );
         }
         for pos in (0..k).rev() {

@@ -28,11 +28,13 @@
 //! `out` value (and the rest of its tuple), so descendant steps on outer
 //! variables need no extra join.
 
+pub mod analyze;
 pub mod exec;
 pub mod ops;
 pub mod pred;
 pub mod row;
 
+pub use analyze::{AnalyzedOperator, OpMetrics, SharedOpMetrics};
 pub use exec::{execute_all, Bindings, ExecContext, Operator};
 pub use ops::Probe;
 pub use pred::{PhysOperand, PhysPred};

@@ -59,7 +59,12 @@ pub struct ProjectOp {
 impl ProjectOp {
     /// Creates a projection onto `cols`, optionally deduplicating.
     pub fn new(input: Box<dyn Operator>, cols: Vec<usize>, dedup: bool) -> ProjectOp {
-        ProjectOp { input, cols, dedup, last: None }
+        ProjectOp {
+            input,
+            cols,
+            dedup,
+            last: None,
+        }
     }
 }
 
@@ -144,7 +149,11 @@ pub struct LimitOp {
 impl LimitOp {
     /// Caps `input` at `limit` rows.
     pub fn new(input: Box<dyn Operator>, limit: usize) -> LimitOp {
-        LimitOp { input, limit, seen: 0 }
+        LimitOp {
+            input,
+            limit,
+            seen: 0,
+        }
     }
 }
 
@@ -273,7 +282,10 @@ mod tests {
         let binds = Bindings::new();
         let ctx = ExecContext::new(&store, &binds);
         let mut s = SingletonOp::new();
-        assert_eq!(execute_all(&mut s, &ctx).unwrap(), vec![Vec::<NodeTuple>::new()]);
+        assert_eq!(
+            execute_all(&mut s, &ctx).unwrap(),
+            vec![Vec::<NodeTuple>::new()]
+        );
         let rows = vec![vec![t(1)], vec![t(2)], vec![t(3)]];
         let mut l = LimitOp::new(Box::new(RowsOp::new(rows)), 2);
         assert_eq!(execute_all(&mut l, &ctx).unwrap().len(), 2);

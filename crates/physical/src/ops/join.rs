@@ -25,7 +25,12 @@ impl NestedLoopJoinOp {
         right: Box<dyn Operator>,
         preds: Vec<PhysPred>,
     ) -> NestedLoopJoinOp {
-        NestedLoopJoinOp { left, right, preds, current_left: None }
+        NestedLoopJoinOp {
+            left,
+            right,
+            preds,
+            current_left: None,
+        }
     }
 }
 
@@ -87,7 +92,13 @@ impl IndexNestedLoopJoinOp {
         probe: Probe,
         preds: Vec<PhysPred>,
     ) -> IndexNestedLoopJoinOp {
-        IndexNestedLoopJoinOp { left, probe, preds, current_left: None, cursor: None }
+        IndexNestedLoopJoinOp {
+            left,
+            probe,
+            preds,
+            current_left: None,
+            cursor: None,
+        }
     }
 }
 
@@ -348,7 +359,13 @@ impl LeftOuterNestedLoopJoinOp {
         right: Box<dyn Operator>,
         preds: Vec<PhysPred>,
     ) -> LeftOuterNestedLoopJoinOp {
-        LeftOuterNestedLoopJoinOp { left, right, preds, current_left: None, matched: false }
+        LeftOuterNestedLoopJoinOp {
+            left,
+            right,
+            preds,
+            current_left: None,
+            matched: false,
+        }
     }
 }
 
@@ -424,14 +441,26 @@ mod tests {
         vec![
             PhysPred {
                 op: CmpOp::Lt,
-                lhs: PhysOperand::Col { pos: left, attr: Attr::In },
-                rhs: PhysOperand::Col { pos: right, attr: Attr::In },
+                lhs: PhysOperand::Col {
+                    pos: left,
+                    attr: Attr::In,
+                },
+                rhs: PhysOperand::Col {
+                    pos: right,
+                    attr: Attr::In,
+                },
                 strict_text: false,
             },
             PhysPred {
                 op: CmpOp::Lt,
-                lhs: PhysOperand::Col { pos: right, attr: Attr::Out },
-                rhs: PhysOperand::Col { pos: left, attr: Attr::Out },
+                lhs: PhysOperand::Col {
+                    pos: right,
+                    attr: Attr::Out,
+                },
+                rhs: PhysOperand::Col {
+                    pos: left,
+                    attr: Attr::Out,
+                },
                 strict_text: false,
             },
         ]
@@ -445,14 +474,15 @@ mod tests {
         let ctx = ExecContext::new(&store, &binds);
         let left = ScanOp::new(Probe::ByLabel("journal".into()), vec![]);
         let right = ScanOp::new(Probe::ByLabel("name".into()), vec![]);
-        let mut join = NestedLoopJoinOp::new(
-            Box::new(left),
-            Box::new(right),
-            descendant_preds(0, 1),
-        );
+        let mut join =
+            NestedLoopJoinOp::new(Box::new(left), Box::new(right), descendant_preds(0, 1));
         let rows = execute_all(&mut join, &ctx).unwrap();
         let pairs: Vec<(u64, u64)> = rows.iter().map(|r| (r[0].in_, r[1].in_)).collect();
-        assert_eq!(pairs, vec![(2, 4), (2, 8)], "the Example 2 vartuple sequence");
+        assert_eq!(
+            pairs,
+            vec![(2, 4), (2, 8)],
+            "the Example 2 vartuple sequence"
+        );
     }
 
     #[test]
@@ -511,10 +541,7 @@ mod tests {
         // names, plus each name's own parents... count pairs (x, name).
         let mut pairs: Vec<(u64, u64)> = rows.iter().map(|r| (r[0].in_, r[1].in_)).collect();
         pairs.sort_unstable();
-        assert_eq!(
-            pairs,
-            vec![(1, 4), (1, 8), (2, 4), (2, 8), (3, 4), (3, 8)]
-        );
+        assert_eq!(pairs, vec![(1, 4), (1, 8), (2, 4), (2, 8), (3, 4), (3, 8)]);
     }
 
     #[test]
@@ -539,7 +566,10 @@ mod tests {
         let left = ScanOp::new(Probe::ByLabel("authors".into()), vec![]);
         let text_only = vec![PhysPred {
             op: CmpOp::Eq,
-            lhs: PhysOperand::Col { pos: 1, attr: Attr::Type },
+            lhs: PhysOperand::Col {
+                pos: 1,
+                attr: Attr::Type,
+            },
             rhs: PhysOperand::Kind(xmldb_xasr::NodeType::Text),
             strict_text: false,
         }];
@@ -575,8 +605,13 @@ mod tests {
         );
         let rows2 = execute_all(&mut loj_inl, &ctx).unwrap();
         assert_eq!(
-            rows.iter().map(|r| (r[0].in_, r[1].in_)).collect::<Vec<_>>(),
-            rows2.iter().map(|r| (r[0].in_, r[1].in_)).collect::<Vec<_>>()
+            rows.iter()
+                .map(|r| (r[0].in_, r[1].in_))
+                .collect::<Vec<_>>(),
+            rows2
+                .iter()
+                .map(|r| (r[0].in_, r[1].in_))
+                .collect::<Vec<_>>()
         );
     }
 

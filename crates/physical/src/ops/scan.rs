@@ -111,29 +111,36 @@ impl ProbeCursor {
         let resolved = match probe {
             Probe::Full => Resolved::Full,
             Probe::ByLabel(l) => Resolved::ByLabel(l.clone()),
-            Probe::ChildrenOf(s) => {
-                Resolved::Children { parent_in: s.resolve(left, ctx)?.in_ }
-            }
+            Probe::ChildrenOf(s) => Resolved::Children {
+                parent_in: s.resolve(left, ctx)?.in_,
+            },
             Probe::LabelChildrenOf(l, s) => Resolved::LabelChildren {
                 label: l.clone(),
                 parent_in: s.resolve(left, ctx)?.in_,
             },
             Probe::DescendantsOf(s) => {
                 let t = s.resolve(left, ctx)?;
-                Resolved::Descendants { lo: t.in_, hi: t.out }
+                Resolved::Descendants {
+                    lo: t.in_,
+                    hi: t.out,
+                }
             }
             Probe::LabelDescendantsOf(l, s) => {
                 let t = s.resolve(left, ctx)?;
-                Resolved::LabelDescendants { label: l.clone(), lo: t.in_, hi: t.out }
+                Resolved::LabelDescendants {
+                    label: l.clone(),
+                    lo: t.in_,
+                    hi: t.out,
+                }
             }
             Probe::Bound(s) => Resolved::Bound(Some(s.resolve(left, ctx)?)),
             Probe::ByTextEq(t) => Resolved::TextEq { text: t.clone() },
             Probe::TextEqOf(s) => {
                 let t = s.resolve(left, ctx)?;
                 match (t.kind, &t.value) {
-                    (xmldb_xasr::NodeType::Text, Some(content)) => {
-                        Resolved::TextEq { text: content.clone() }
-                    }
+                    (xmldb_xasr::NodeType::Text, Some(content)) => Resolved::TextEq {
+                        text: content.clone(),
+                    },
                     _ => {
                         return Err(Error::NonTextComparison {
                             kind: t.kind,
@@ -195,9 +202,7 @@ impl ProbeCursor {
                     let lower = Some(self.resume.map_or(*lo, |r| r.max(*lo)));
                     ctx.store.label_batch(label, lower, Some(*hi), BATCH)?
                 }
-                Resolved::TextEq { text } => {
-                    ctx.store.text_batch(text, self.resume, BATCH)?
-                }
+                Resolved::TextEq { text } => ctx.store.text_batch(text, self.resume, BATCH)?,
                 Resolved::Bound(slot) => match slot.take() {
                     Some(t) => {
                         self.done = true;
@@ -226,7 +231,11 @@ pub struct ScanOp {
 impl ScanOp {
     /// Creates a scan over `probe` with pushed-down `filter` conjuncts.
     pub fn new(probe: Probe, filter: Vec<PhysPred>) -> ScanOp {
-        ScanOp { probe, filter, cursor: None }
+        ScanOp {
+            probe,
+            filter,
+            cursor: None,
+        }
     }
 }
 
@@ -237,7 +246,10 @@ impl Operator for ScanOp {
     }
 
     fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
-        let cursor = self.cursor.as_mut().ok_or_else(|| Error::Xasr("scan not open".into()))?;
+        let cursor = self
+            .cursor
+            .as_mut()
+            .ok_or_else(|| Error::Xasr("scan not open".into()))?;
         while let Some(tuple) = cursor.next(ctx)? {
             let row = vec![tuple];
             if eval_all(&self.filter, &row, ctx.bindings)? {
@@ -294,7 +306,10 @@ mod tests {
         let ctx = ExecContext::new(&store, &binds);
         let filter = vec![PhysPred {
             op: CmpOp::Eq,
-            lhs: crate::pred::PhysOperand::Col { pos: 0, attr: Attr::Type },
+            lhs: crate::pred::PhysOperand::Col {
+                pos: 0,
+                attr: Attr::Type,
+            },
             rhs: crate::pred::PhysOperand::Kind(NodeType::Text),
             strict_text: false,
         }];
@@ -330,7 +345,10 @@ mod tests {
         let binds = Bindings::with_root(&store).unwrap();
         let ctx = ExecContext::new(&store, &binds);
         let mut op = ScanOp::new(Probe::DescendantsOf(Src::Ext(Var::root())), vec![]);
-        assert_eq!(ins(&execute_all(&mut op, &ctx).unwrap()), vec![2, 3, 4, 5, 8, 9, 13, 14]);
+        assert_eq!(
+            ins(&execute_all(&mut op, &ctx).unwrap()),
+            vec![2, 3, 4, 5, 8, 9, 13, 14]
+        );
     }
 
     #[test]

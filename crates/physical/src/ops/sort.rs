@@ -20,7 +20,11 @@ pub struct SortOp {
 impl SortOp {
     /// Sorts `input` by the `in` values of `key_cols`.
     pub fn new(input: Box<dyn Operator>, key_cols: Vec<usize>) -> SortOp {
-        SortOp { input, key_cols, sorted: None }
+        SortOp {
+            input,
+            key_cols,
+            sorted: None,
+        }
     }
 }
 
@@ -30,11 +34,10 @@ impl Operator for SortOp {
         // Records are prefixed with the fixed-width sort key so the sorter
         // can compare bytes directly.
         let key_width = self.key_cols.len() * 8;
-        let mut sorter = xmldb_storage::ExternalSorter::new(
-            ctx.store.env(),
-            SORT_BUDGET,
-            move |a, b| a[..key_width].cmp(&b[..key_width]),
-        );
+        let mut sorter =
+            xmldb_storage::ExternalSorter::new(ctx.store.env(), SORT_BUDGET, move |a, b| {
+                a[..key_width].cmp(&b[..key_width])
+            });
         while let Some(row) = self.input.next(ctx)? {
             let mut rec = Vec::with_capacity(key_width + 32);
             for &c in &self.key_cols {
@@ -49,7 +52,10 @@ impl Operator for SortOp {
     }
 
     fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
-        let sorted = self.sorted.as_mut().ok_or_else(|| Error::Xasr("sort not open".into()))?;
+        let sorted = self
+            .sorted
+            .as_mut()
+            .ok_or_else(|| Error::Xasr("sort not open".into()))?;
         let key_width = self.key_cols.len() * 8;
         match sorted.next() {
             Some(rec) => {
@@ -86,7 +92,13 @@ pub struct MaterializeOp {
 impl MaterializeOp {
     /// Materializes `input` into a scratch file on first open.
     pub fn new(input: Box<dyn Operator>) -> MaterializeOp {
-        MaterializeOp { input, heap: None, page: 0, buffered: Vec::new(), buffer_pos: 0 }
+        MaterializeOp {
+            input,
+            heap: None,
+            page: 0,
+            buffered: Vec::new(),
+            buffer_pos: 0,
+        }
     }
 }
 
@@ -108,7 +120,10 @@ impl Operator for MaterializeOp {
     }
 
     fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
-        let heap = self.heap.as_ref().ok_or_else(|| Error::Xasr("materialize not open".into()))?;
+        let heap = self
+            .heap
+            .as_ref()
+            .ok_or_else(|| Error::Xasr("materialize not open".into()))?;
         loop {
             if self.buffer_pos < self.buffered.len() {
                 let rec = &self.buffered[self.buffer_pos];
@@ -157,7 +172,12 @@ pub struct BTreeSortOp {
 impl BTreeSortOp {
     /// Sorts `input` via a scratch B+-tree keyed on `key_cols`.
     pub fn new(input: Box<dyn Operator>, key_cols: Vec<usize>) -> BTreeSortOp {
-        BTreeSortOp { input, key_cols, tree: None, cursor_after: None }
+        BTreeSortOp {
+            input,
+            key_cols,
+            tree: None,
+            cursor_after: None,
+        }
     }
 }
 
@@ -183,7 +203,10 @@ impl Operator for BTreeSortOp {
     }
 
     fn next(&mut self, _ctx: &ExecContext<'_>) -> Result<Option<Row>> {
-        let tree = self.tree.as_ref().ok_or_else(|| Error::Xasr("btree-sort not open".into()))?;
+        let tree = self
+            .tree
+            .as_ref()
+            .ok_or_else(|| Error::Xasr("btree-sort not open".into()))?;
         let lower = match &self.cursor_after {
             Some(k) => std::ops::Bound::Excluded(k.as_slice()),
             None => std::ops::Bound::Unbounded,
@@ -271,7 +294,7 @@ mod tests {
         let mut op = MaterializeOp::new(Box::new(scan));
         let first = execute_all(&mut op, &ctx).unwrap();
         assert_eq!(first.len(), 4); // root, a, b, c
-        // Re-execution streams from the scratch file, same contents.
+                                    // Re-execution streams from the scratch file, same contents.
         let io_before = store.env().io_stats();
         let second = execute_all(&mut op, &ctx).unwrap();
         assert_eq!(first, second);

@@ -164,11 +164,26 @@ mod tests {
         let row: Row = vec![elem(2, 17, 1, "journal"), elem(4, 7, 3, "name")];
         let binds = Bindings::new();
         // Descendant: J.in < N.in ∧ N.out < J.out.
-        let p1 = PhysPred { op: CmpOp::Lt, lhs: col(0, Attr::In), rhs: col(1, Attr::In), strict_text: false };
-        let p2 = PhysPred { op: CmpOp::Lt, lhs: col(1, Attr::Out), rhs: col(0, Attr::Out), strict_text: false };
+        let p1 = PhysPred {
+            op: CmpOp::Lt,
+            lhs: col(0, Attr::In),
+            rhs: col(1, Attr::In),
+            strict_text: false,
+        };
+        let p2 = PhysPred {
+            op: CmpOp::Lt,
+            lhs: col(1, Attr::Out),
+            rhs: col(0, Attr::Out),
+            strict_text: false,
+        };
         assert!(eval_all(&[p1, p2], &row, &binds).unwrap());
         // Child of root: parent_in = 1.
-        let p = PhysPred { op: CmpOp::Eq, lhs: col(0, Attr::ParentIn), rhs: PhysOperand::Num(1), strict_text: false };
+        let p = PhysPred {
+            op: CmpOp::Eq,
+            lhs: col(0, Attr::ParentIn),
+            rhs: PhysOperand::Num(1),
+            strict_text: false,
+        };
         assert!(p.eval(&row, &binds).unwrap());
     }
 
@@ -176,11 +191,26 @@ mod tests {
     fn label_and_kind_tests() {
         let row: Row = vec![elem(2, 17, 1, "journal")];
         let binds = Bindings::new();
-        let is_elem = PhysPred { op: CmpOp::Eq, lhs: col(0, Attr::Type), rhs: PhysOperand::Kind(NodeType::Element), strict_text: false };
+        let is_elem = PhysPred {
+            op: CmpOp::Eq,
+            lhs: col(0, Attr::Type),
+            rhs: PhysOperand::Kind(NodeType::Element),
+            strict_text: false,
+        };
         assert!(is_elem.eval(&row, &binds).unwrap());
-        let label = PhysPred { op: CmpOp::Eq, lhs: col(0, Attr::Value), rhs: PhysOperand::Str("journal".into()), strict_text: false };
+        let label = PhysPred {
+            op: CmpOp::Eq,
+            lhs: col(0, Attr::Value),
+            rhs: PhysOperand::Str("journal".into()),
+            strict_text: false,
+        };
         assert!(label.eval(&row, &binds).unwrap());
-        let wrong = PhysPred { op: CmpOp::Eq, lhs: col(0, Attr::Value), rhs: PhysOperand::Str("title".into()), strict_text: false };
+        let wrong = PhysPred {
+            op: CmpOp::Eq,
+            lhs: col(0, Attr::Value),
+            rhs: PhysOperand::Str("title".into()),
+            strict_text: false,
+        };
         assert!(!wrong.eval(&row, &binds).unwrap());
     }
 
@@ -194,7 +224,10 @@ mod tests {
             rhs: PhysOperand::Str("journal".into()),
             strict_text: true,
         };
-        assert!(matches!(p.eval(&row, &binds), Err(Error::NonTextComparison { .. })));
+        assert!(matches!(
+            p.eval(&row, &binds),
+            Err(Error::NonTextComparison { .. })
+        ));
     }
 
     #[test]
@@ -221,22 +254,37 @@ mod tests {
         let p = PhysPred {
             op: CmpOp::Gt,
             lhs: col(0, Attr::In),
-            rhs: PhysOperand::Ext { var: Var::named("x"), attr: Attr::In },
+            rhs: PhysOperand::Ext {
+                var: Var::named("x"),
+                attr: Attr::In,
+            },
             strict_text: false,
         };
         assert!(p.eval(&row, &binds).unwrap());
         let missing = PhysPred {
             op: CmpOp::Eq,
-            lhs: PhysOperand::Ext { var: Var::named("nope"), attr: Attr::In },
+            lhs: PhysOperand::Ext {
+                var: Var::named("nope"),
+                attr: Attr::In,
+            },
             rhs: PhysOperand::Num(1),
             strict_text: false,
         };
-        assert!(matches!(missing.eval(&row, &binds), Err(Error::UnboundVariable(_))));
+        assert!(matches!(
+            missing.eval(&row, &binds),
+            Err(Error::UnboundVariable(_))
+        ));
     }
 
     #[test]
     fn null_value_comparisons_are_false() {
-        let root = NodeTuple { in_: 1, out: 10, parent_in: 0, kind: NodeType::Root, value: None };
+        let root = NodeTuple {
+            in_: 1,
+            out: 10,
+            parent_in: 0,
+            kind: NodeType::Root,
+            value: None,
+        };
         let row: Row = vec![root];
         let binds = Bindings::new();
         let p = PhysPred {

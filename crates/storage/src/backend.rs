@@ -47,8 +47,12 @@ impl FileBackend {
     /// Opens (creating if missing) the file at `path`.
     pub fn open(path: &Path, page_size: usize) -> Result<FileBackend> {
         // Never truncate: opening an existing file must preserve its pages.
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
         let len = file.metadata()?.len();
         if len % page_size as u64 != 0 {
             return Err(StorageError::corrupt(format!(
@@ -122,17 +126,22 @@ pub struct MemBackend {
 impl MemBackend {
     /// Creates an empty in-memory store.
     pub fn new(page_size: usize) -> MemBackend {
-        MemBackend { page_size, pages: Mutex::new(Vec::new()) }
+        MemBackend {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+        }
     }
 }
 
 impl Backend for MemBackend {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         let pages = self.pages.lock();
-        let page = pages.get(id.0 as usize).ok_or(StorageError::PageOutOfBounds {
-            page: id.0,
-            pages: pages.len() as u64,
-        })?;
+        let page = pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::PageOutOfBounds {
+                page: id.0,
+                pages: pages.len() as u64,
+            })?;
         buf.copy_from_slice(page);
         Ok(())
     }
@@ -142,7 +151,10 @@ impl Backend for MemBackend {
         let count = pages.len() as u64;
         let page = pages
             .get_mut(id.0 as usize)
-            .ok_or(StorageError::PageOutOfBounds { page: id.0, pages: count })?;
+            .ok_or(StorageError::PageOutOfBounds {
+                page: id.0,
+                pages: count,
+            })?;
         page.copy_from_slice(buf);
         Ok(())
     }
@@ -226,7 +238,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("torn.sdb");
         std::fs::write(&path, vec![0u8; 100]).unwrap();
-        assert!(matches!(FileBackend::open(&path, 512), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            FileBackend::open(&path, 512),
+            Err(StorageError::Corrupt(_))
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 }

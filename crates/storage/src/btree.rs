@@ -83,8 +83,14 @@ struct Node {
 }
 
 enum InsertOutcome {
-    Fit { replaced: bool },
-    Split { sep: Vec<u8>, right: u64, replaced: bool },
+    Fit {
+        replaced: bool,
+    },
+    Split {
+        sep: Vec<u8>,
+        right: u64,
+        replaced: bool,
+    },
 }
 
 impl BTree {
@@ -118,7 +124,13 @@ impl BTree {
             height: 1,
             count: 0,
         };
-        tree.write_node(root, &Node { extra: NO_SIBLING, body: NodeBody::Leaf(Vec::new()) })?;
+        tree.write_node(
+            root,
+            &Node {
+                extra: NO_SIBLING,
+                body: NodeBody::Leaf(Vec::new()),
+            },
+        )?;
         tree.write_meta()?;
         Ok(tree)
     }
@@ -140,7 +152,14 @@ impl BTree {
                 u32::from_le_bytes(data[META_HEIGHT..META_HEIGHT + 4].try_into().unwrap()),
             ))
         })??;
-        Ok(BTree { env: env.clone(), file, _temp: None, root: PageId(root), height, count })
+        Ok(BTree {
+            env: env.clone(),
+            file,
+            _temp: None,
+            root: PageId(root),
+            height,
+            count,
+        })
     }
 
     /// The underlying file id.
@@ -190,7 +209,8 @@ impl BTree {
     }
 
     fn write_node(&self, page: PageId, node: &Node) -> Result<()> {
-        self.env.with_page_mut(self.file, page, |data| serialize_node(node, data))?
+        self.env
+            .with_page_mut(self.file, page, |data| serialize_node(node, data))?
     }
 
     // --- point operations --------------------------------------------------------
@@ -222,7 +242,9 @@ impl BTree {
             match node.body {
                 NodeBody::Internal(cells) => page = PageId(child_for(&cells, node.extra, key)),
                 NodeBody::Leaf(cells) => {
-                    return Ok(cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)).is_ok())
+                    return Ok(cells
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .is_ok())
                 }
             }
         }
@@ -232,7 +254,10 @@ impl BTree {
     /// if the key was new.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<bool> {
         if key.len() > self.max_key() {
-            return Err(StorageError::KeyTooLarge { len: key.len(), max: self.max_key() });
+            return Err(StorageError::KeyTooLarge {
+                len: key.len(),
+                max: self.max_key(),
+            });
         }
         let val = self.store_value(value)?;
         match self.insert_rec(self.root, key, val)? {
@@ -243,11 +268,18 @@ impl BTree {
                 self.write_meta()?;
                 Ok(!replaced)
             }
-            InsertOutcome::Split { sep, right, replaced } => {
+            InsertOutcome::Split {
+                sep,
+                right,
+                replaced,
+            } => {
                 let new_root = PageId(self.env.allocate_page(self.file)?.0);
                 self.write_node(
                     new_root,
-                    &Node { extra: self.root.0, body: NodeBody::Internal(vec![(sep, right)]) },
+                    &Node {
+                        extra: self.root.0,
+                        body: NodeBody::Internal(vec![(sep, right)]),
+                    },
                 )?;
                 self.root = new_root;
                 self.height += 1;
@@ -279,7 +311,9 @@ impl BTree {
                     return Ok(InsertOutcome::Fit { replaced });
                 }
                 // Split the leaf.
-                let NodeBody::Leaf(cells) = node.body else { unreachable!() };
+                let NodeBody::Leaf(cells) = node.body else {
+                    unreachable!()
+                };
                 let split = split_point_leaf(&cells);
                 let right_cells = cells[split..].to_vec();
                 let left_cells = cells[..split].to_vec();
@@ -287,19 +321,33 @@ impl BTree {
                 let right_page = self.env.allocate_page(self.file)?;
                 self.write_node(
                     right_page,
-                    &Node { extra: node.extra, body: NodeBody::Leaf(right_cells) },
+                    &Node {
+                        extra: node.extra,
+                        body: NodeBody::Leaf(right_cells),
+                    },
                 )?;
                 self.write_node(
                     page,
-                    &Node { extra: right_page.0, body: NodeBody::Leaf(left_cells) },
+                    &Node {
+                        extra: right_page.0,
+                        body: NodeBody::Leaf(left_cells),
+                    },
                 )?;
-                Ok(InsertOutcome::Split { sep, right: right_page.0, replaced })
+                Ok(InsertOutcome::Split {
+                    sep,
+                    right: right_page.0,
+                    replaced,
+                })
             }
             NodeBody::Internal(cells) => {
                 let child = PageId(child_for(cells, node.extra, key));
                 match self.insert_rec(child, key, val)? {
                     InsertOutcome::Fit { replaced } => Ok(InsertOutcome::Fit { replaced }),
-                    InsertOutcome::Split { sep, right, replaced } => {
+                    InsertOutcome::Split {
+                        sep,
+                        right,
+                        replaced,
+                    } => {
                         let idx = match cells.binary_search_by(|(k, _)| k.as_slice().cmp(&sep)) {
                             Ok(i) => i + 1,
                             Err(i) => i,
@@ -310,7 +358,9 @@ impl BTree {
                             return Ok(InsertOutcome::Fit { replaced });
                         }
                         // Split the internal node: the middle key moves up.
-                        let NodeBody::Internal(cells) = node.body else { unreachable!() };
+                        let NodeBody::Internal(cells) = node.body else {
+                            unreachable!()
+                        };
                         let mid = cells.len() / 2;
                         let sep_up = cells[mid].0.clone();
                         let right_extra = cells[mid].1;
@@ -319,11 +369,17 @@ impl BTree {
                         let right_page = self.env.allocate_page(self.file)?;
                         self.write_node(
                             right_page,
-                            &Node { extra: right_extra, body: NodeBody::Internal(right_cells) },
+                            &Node {
+                                extra: right_extra,
+                                body: NodeBody::Internal(right_cells),
+                            },
                         )?;
                         self.write_node(
                             page,
-                            &Node { extra: node.extra, body: NodeBody::Internal(left_cells) },
+                            &Node {
+                                extra: node.extra,
+                                body: NodeBody::Internal(left_cells),
+                            },
                         )?;
                         Ok(InsertOutcome::Split {
                             sep: sep_up,
@@ -381,7 +437,10 @@ impl BTree {
             })?;
             next = page.0;
         }
-        Ok(LeafVal::Overflow { page: next, len: value.len() as u32 })
+        Ok(LeafVal::Overflow {
+            page: next,
+            len: value.len() as u32,
+        })
     }
 
     fn load_value(&self, val: &LeafVal) -> Result<Vec<u8>> {
@@ -448,7 +507,9 @@ impl BTree {
         }
         Cursor {
             tree: self,
-            state: CursorState::Unseeked { lower: Bound::Included(prefix.to_vec()) },
+            state: CursorState::Unseeked {
+                lower: Bound::Included(prefix.to_vec()),
+            },
             upper: Bound::Excluded(upper),
         }
     }
@@ -500,7 +561,10 @@ impl BTree {
 
         for (key, value) in entries {
             if key.len() > self.max_key() {
-                return Err(StorageError::KeyTooLarge { len: key.len(), max: self.max_key() });
+                return Err(StorageError::KeyTooLarge {
+                    len: key.len(),
+                    max: self.max_key(),
+                });
             }
             if let Some(prev) = &prev_key {
                 if *prev >= key {
@@ -534,7 +598,10 @@ impl BTree {
         }
         // Flush the final leaf.
         let page = self.env.allocate_page(self.file)?;
-        let node = Node { extra: NO_SIBLING, body: NodeBody::Leaf(cells) };
+        let node = Node {
+            extra: NO_SIBLING,
+            body: NodeBody::Leaf(cells),
+        };
         if let Some((prev_page, mut prev_node)) = pending_leaf.take() {
             prev_node.extra = page.0;
             self.write_node(prev_page, &prev_node)?;
@@ -643,12 +710,14 @@ fn internal_cell_size(key: &[u8]) -> usize {
 fn node_size(node: &Node) -> usize {
     NODE_HEADER
         + match &node.body {
-            NodeBody::Leaf(cells) => {
-                cells.iter().map(|(k, v)| leaf_cell_size(k, v)).sum::<usize>()
-            }
-            NodeBody::Internal(cells) => {
-                cells.iter().map(|(k, _)| internal_cell_size(k)).sum::<usize>()
-            }
+            NodeBody::Leaf(cells) => cells
+                .iter()
+                .map(|(k, v)| leaf_cell_size(k, v))
+                .sum::<usize>(),
+            NodeBody::Internal(cells) => cells
+                .iter()
+                .map(|(k, _)| internal_cell_size(k))
+                .sum::<usize>(),
         }
 }
 
@@ -695,7 +764,10 @@ fn parse_node(data: &[u8]) -> Result<Node> {
                 };
                 cells.push((key, val));
             }
-            Ok(Node { extra, body: NodeBody::Leaf(cells) })
+            Ok(Node {
+                extra,
+                body: NodeBody::Leaf(cells),
+            })
         }
         TYPE_INTERNAL => {
             let mut cells = Vec::with_capacity(nkeys);
@@ -707,9 +779,14 @@ fn parse_node(data: &[u8]) -> Result<Node> {
                 pos += key_len;
                 cells.push((key, child));
             }
-            Ok(Node { extra, body: NodeBody::Internal(cells) })
+            Ok(Node {
+                extra,
+                body: NodeBody::Internal(cells),
+            })
         }
-        t => Err(StorageError::corrupt(format!("unknown btree node type {t}"))),
+        t => Err(StorageError::corrupt(format!(
+            "unknown btree node type {t}"
+        ))),
     }
 }
 
@@ -771,9 +848,15 @@ fn clone_bound(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
 // --- cursor --------------------------------------------------------------------
 
 enum CursorState {
-    Unseeked { lower: Bound<Vec<u8>> },
+    Unseeked {
+        lower: Bound<Vec<u8>>,
+    },
     /// Positioned within a parsed leaf.
-    At { cells: Vec<(Vec<u8>, LeafVal)>, idx: usize, next_leaf: u64 },
+    At {
+        cells: Vec<(Vec<u8>, LeafVal)>,
+        idx: usize,
+        next_leaf: u64,
+    },
     Done,
 }
 
@@ -797,20 +880,20 @@ impl<'a> Cursor<'a> {
         };
         let idx = match &lower {
             Bound::Unbounded => 0,
-            Bound::Included(k) => {
-                match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
-                    Ok(i) => i,
-                    Err(i) => i,
-                }
-            }
-            Bound::Excluded(k) => {
-                match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
-                    Ok(i) => i + 1,
-                    Err(i) => i,
-                }
-            }
+            Bound::Included(k) => match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
+                Ok(i) => i,
+                Err(i) => i,
+            },
+            Bound::Excluded(k) => match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
+                Ok(i) => i + 1,
+                Err(i) => i,
+            },
         };
-        self.state = CursorState::At { cells, idx, next_leaf: node.extra };
+        self.state = CursorState::At {
+            cells,
+            idx,
+            next_leaf: node.extra,
+        };
         Ok(())
     }
 
@@ -826,7 +909,11 @@ impl<'a> Cursor<'a> {
         loop {
             match &mut self.state {
                 CursorState::Done | CursorState::Unseeked { .. } => return Ok(None),
-                CursorState::At { cells, idx, next_leaf } => {
+                CursorState::At {
+                    cells,
+                    idx,
+                    next_leaf,
+                } => {
                     if *idx < cells.len() {
                         let (key, val) = &cells[*idx];
                         let in_range = match &self.upper {
@@ -852,8 +939,11 @@ impl<'a> Cursor<'a> {
                     let NodeBody::Leaf(next_cells) = node.body else {
                         return Err(StorageError::corrupt("sibling pointer to internal node"));
                     };
-                    self.state =
-                        CursorState::At { cells: next_cells, idx: 0, next_leaf: node.extra };
+                    self.state = CursorState::At {
+                        cells: next_cells,
+                        idx: 0,
+                        next_leaf: node.extra,
+                    };
                 }
             }
         }
@@ -912,7 +1002,10 @@ mod tests {
 
     #[test]
     fn many_inserts_split_and_stay_sorted() {
-        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 512,
+            pool_bytes: 64 * 512,
+        });
         let mut t = BTree::create(&env, "t").unwrap();
         // Insert in a scrambled order.
         let n = 2000u64;
@@ -962,12 +1055,18 @@ mod tests {
             collect(Bound::Excluded(&k10), Bound::Included(&k20)),
             (11..=20).collect::<Vec<u64>>()
         );
-        assert_eq!(collect(Bound::Unbounded, Bound::Excluded(&k10)), (0..10).collect::<Vec<u64>>());
+        assert_eq!(
+            collect(Bound::Unbounded, Bound::Excluded(&k10)),
+            (0..10).collect::<Vec<u64>>()
+        );
         assert_eq!(
             collect(Bound::Included(&key(95)), Bound::Unbounded),
             (95..100).collect::<Vec<u64>>()
         );
-        assert_eq!(collect(Bound::Included(&key(200)), Bound::Unbounded), Vec::<u64>::new());
+        assert_eq!(
+            collect(Bound::Included(&key(200)), Bound::Unbounded),
+            Vec::<u64>::new()
+        );
     }
 
     #[test]
@@ -1007,7 +1106,10 @@ mod tests {
 
     #[test]
     fn overflow_values_roundtrip() {
-        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 512,
+            pool_bytes: 64 * 512,
+        });
         let mut t = BTree::create(&env, "t").unwrap();
         let big = vec![0xABu8; 5000]; // ~10 overflow pages at 512B
         t.insert(b"big", &big).unwrap();
@@ -1020,13 +1122,20 @@ mod tests {
 
     #[test]
     fn bulk_load_matches_inserts() {
-        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 512,
+            pool_bytes: 64 * 512,
+        });
         let n = 5000u64;
         let mut bulk = BTree::create(&env, "bulk").unwrap();
-        bulk.bulk_load((0..n).map(|i| (key(i), format!("v{i}").into_bytes()))).unwrap();
+        bulk.bulk_load((0..n).map(|i| (key(i), format!("v{i}").into_bytes())))
+            .unwrap();
         assert_eq!(bulk.len(), n);
         for i in (0..n).step_by(97) {
-            assert_eq!(bulk.get(&key(i)).unwrap(), Some(format!("v{i}").into_bytes()));
+            assert_eq!(
+                bulk.get(&key(i)).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
         }
         let keys: Vec<Vec<u8>> = bulk.iter().map(|r| r.unwrap().0).collect();
         assert_eq!(keys.len(), n as usize);
@@ -1041,7 +1150,9 @@ mod tests {
     fn bulk_load_rejects_unsorted() {
         let env = Env::memory();
         let mut t = BTree::create(&env, "t").unwrap();
-        let err = t.bulk_load(vec![(key(2), vec![]), (key(1), vec![])]).unwrap_err();
+        let err = t
+            .bulk_load(vec![(key(2), vec![]), (key(1), vec![])])
+            .unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)));
     }
 
@@ -1059,7 +1170,10 @@ mod tests {
 
     #[test]
     fn key_too_large_rejected() {
-        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 64 * 512 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 512,
+            pool_bytes: 64 * 512,
+        });
         let mut t = BTree::create(&env, "t").unwrap();
         let err = t.insert(&[0u8; 100], b"").unwrap_err();
         assert!(matches!(err, StorageError::KeyTooLarge { .. }));

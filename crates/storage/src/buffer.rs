@@ -78,6 +78,19 @@ impl IoSnapshot {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counter-wise difference `self − earlier`, saturating at zero — the
+    /// per-query I/O attribution used by EXPLAIN ANALYZE (snapshot before,
+    /// snapshot after, delta). Saturation matters when another handle
+    /// resets the shared counters between the two snapshots.
+    pub fn delta(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+        }
+    }
 }
 
 /// Access mode for a page fetch.
@@ -123,13 +136,22 @@ impl BufferPool {
     pub fn new(capacity: usize, page_size: usize) -> BufferPool {
         let capacity = capacity.max(8);
         let metas = (0..capacity)
-            .map(|_| FrameMeta { tag: None, pin: 0, refbit: false, dirty: false })
+            .map(|_| FrameMeta {
+                tag: None,
+                pin: 0,
+                refbit: false,
+                dirty: false,
+            })
             .collect();
         let data = (0..capacity)
             .map(|_| Arc::new(RwLock::new(vec![0u8; page_size].into_boxed_slice())))
             .collect();
         BufferPool {
-            state: Mutex::new(PoolState { metas, table: HashMap::new(), clock: 0 }),
+            state: Mutex::new(PoolState {
+                metas,
+                table: HashMap::new(),
+                clock: 0,
+            }),
             data,
             page_size,
             stats: IoStats::default(),
@@ -146,17 +168,37 @@ impl BufferPool {
         &self.stats
     }
 
-    /// Runs `f` on the contents of `(file, page)`, faulting it in if
-    /// necessary. `Write` mode marks the frame dirty.
-    pub(crate) fn with_frame<R>(
+    /// Runs `f` on the read-only contents of `(file, page)`, faulting it in
+    /// if necessary. Takes the frame's *read* lock, so concurrent readers
+    /// of the same hot page (e.g. an index root) proceed in parallel;
+    /// writers are excluded by the `RwLock`, and eviction cannot touch the
+    /// frame while the pin is held.
+    pub(crate) fn with_frame_read<R>(
         &self,
         file: FileId,
         page: PageId,
-        mode: AccessMode,
+        resolve: &Resolver<'_>,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let idx = self.acquire(file, page, AccessMode::Read, resolve)?;
+        let result = {
+            let guard = self.data[idx].read();
+            f(&guard)
+        };
+        self.release(idx);
+        Ok(result)
+    }
+
+    /// Runs `f` on the mutable contents of `(file, page)`, faulting it in
+    /// if necessary and marking the frame dirty.
+    pub(crate) fn with_frame_write<R>(
+        &self,
+        file: FileId,
+        page: PageId,
         resolve: &Resolver<'_>,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
-        let idx = self.acquire(file, page, mode, resolve)?;
+        let idx = self.acquire(file, page, AccessMode::Write, resolve)?;
         // Frame data lock is only ever contended by another fetch of the
         // same page; the state lock is not held here.
         let result = {
@@ -268,13 +310,26 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Drops every frame belonging to `file` without write-back (the file is
-    /// being removed).
-    pub(crate) fn invalidate_file(&self, file: FileId) {
+    /// Drops every frame belonging to `file` without write-back (the file
+    /// is being removed). Refuses with [`StorageError::FileBusy`] if any of
+    /// the file's frames is still pinned — silently unmapping a page
+    /// another operator holds would hand it a frame whose identity can
+    /// change under it.
+    pub(crate) fn invalidate_file(&self, file: FileId) -> Result<()> {
         let mut state = self.state.lock();
+        let pinned = state
+            .metas
+            .iter()
+            .filter(|m| matches!(m.tag, Some((f, _)) if f == file) && m.pin > 0)
+            .count();
+        if pinned > 0 {
+            return Err(StorageError::FileBusy {
+                file: format!("{file}"),
+                pinned,
+            });
+        }
         for idx in 0..state.metas.len() {
             if matches!(state.metas[idx].tag, Some((f, _)) if f == file) {
-                debug_assert_eq!(state.metas[idx].pin, 0, "invalidating pinned frame");
                 if let Some(tag) = state.metas[idx].tag.take() {
                     state.table.remove(&tag);
                 }
@@ -282,6 +337,7 @@ impl BufferPool {
                 state.metas[idx].refbit = false;
             }
         }
+        Ok(())
     }
 
     /// Page size of frames in this pool.
@@ -313,8 +369,9 @@ mod tests {
         let r = resolver(&backend);
         let f = FileId(0);
         let p = backend.allocate_page().unwrap();
-        pool.with_frame(f, p, AccessMode::Write, &r, |data| data[0] = 42).unwrap();
-        let v = pool.with_frame(f, p, AccessMode::Read, &r, |data| data[0]).unwrap();
+        pool.with_frame_write(f, p, &r, |data| data[0] = 42)
+            .unwrap();
+        let v = pool.with_frame_read(f, p, &r, |data| data[0]).unwrap();
         assert_eq!(v, 42);
         let snap = pool.stats().snapshot();
         assert_eq!(snap.misses, 1);
@@ -328,12 +385,13 @@ mod tests {
         let f = FileId(0);
         let pages: Vec<PageId> = (0..20).map(|_| backend.allocate_page().unwrap()).collect();
         for (i, &p) in pages.iter().enumerate() {
-            pool.with_frame(f, p, AccessMode::Write, &r, |data| data[0] = i as u8).unwrap();
+            pool.with_frame_write(f, p, &r, |data| data[0] = i as u8)
+                .unwrap();
         }
         // All 20 pages were written through a pool of 8 frames; re-reading
         // each must see its value (write-back on eviction + reload).
         for (i, &p) in pages.iter().enumerate() {
-            let v = pool.with_frame(f, p, AccessMode::Read, &r, |data| data[0]).unwrap();
+            let v = pool.with_frame_read(f, p, &r, |data| data[0]).unwrap();
             assert_eq!(v, i as u8, "page {p}");
         }
     }
@@ -344,7 +402,7 @@ mod tests {
         let r = resolver(&backend);
         let f = FileId(0);
         let p = backend.allocate_page().unwrap();
-        pool.with_frame(f, p, AccessMode::Write, &r, |d| d[0] = 7).unwrap();
+        pool.with_frame_write(f, p, &r, |d| d[0] = 7).unwrap();
         // Backend still has zeros (no eviction yet).
         let mut raw = vec![0u8; PS];
         backend.read_page(p, &mut raw).unwrap();
@@ -361,7 +419,7 @@ mod tests {
         let f = FileId(0);
         let p = backend.allocate_page().unwrap();
         for _ in 0..9 {
-            pool.with_frame(f, p, AccessMode::Read, &r, |_| ()).unwrap();
+            pool.with_frame_read(f, p, &r, |_| ()).unwrap();
         }
         let snap = pool.stats().snapshot();
         assert_eq!(snap.misses, 1);
@@ -377,11 +435,11 @@ mod tests {
         let r = resolver(&backend);
         let f = FileId(3);
         let p = backend.allocate_page().unwrap();
-        pool.with_frame(f, p, AccessMode::Write, &r, |d| d[0] = 9).unwrap();
-        pool.invalidate_file(f);
+        pool.with_frame_write(f, p, &r, |d| d[0] = 9).unwrap();
+        pool.invalidate_file(f).unwrap();
         // Refetch misses and reads from the backend (which has zeros, since
         // the dirty frame was dropped, not flushed).
-        let v = pool.with_frame(f, p, AccessMode::Read, &r, |d| d[0]).unwrap();
+        let v = pool.with_frame_read(f, p, &r, |d| d[0]).unwrap();
         assert_eq!(v, 0);
         assert_eq!(pool.stats().snapshot().misses, 2);
     }
@@ -390,5 +448,53 @@ mod tests {
     fn capacity_clamped_to_minimum() {
         let pool = BufferPool::new(1, PS);
         assert_eq!(pool.capacity(), 8);
+    }
+
+    #[test]
+    fn invalidate_file_refuses_pinned_frames() {
+        let (pool, backend) = setup(8);
+        let r = resolver(&backend);
+        let f = FileId(5);
+        let p = backend.allocate_page().unwrap();
+        let idx = pool.acquire(f, p, AccessMode::Read, &r).unwrap();
+        let err = pool.invalidate_file(f).unwrap_err();
+        assert!(
+            matches!(err, StorageError::FileBusy { pinned: 1, .. }),
+            "unexpected error: {err}"
+        );
+        pool.release(idx);
+        pool.invalidate_file(f).unwrap();
+        // Frame was unmapped: the next fetch is a miss.
+        pool.with_frame_read(f, p, &r, |_| ()).unwrap();
+        assert_eq!(pool.stats().snapshot().misses, 2);
+    }
+
+    #[test]
+    fn snapshot_delta_is_per_interval() {
+        let (pool, backend) = setup(8);
+        let r = resolver(&backend);
+        let f = FileId(0);
+        let p = backend.allocate_page().unwrap();
+        pool.with_frame_read(f, p, &r, |_| ()).unwrap();
+        let before = pool.stats().snapshot();
+        pool.with_frame_read(f, p, &r, |_| ()).unwrap();
+        pool.with_frame_read(f, p, &r, |_| ()).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(
+            d,
+            IoSnapshot {
+                hits: 2,
+                misses: 0,
+                physical_reads: 0,
+                physical_writes: 0
+            }
+        );
+        // Saturates instead of underflowing if counters were reset between
+        // the snapshots.
+        pool.stats().reset();
+        assert_eq!(
+            pool.stats().snapshot().delta(&before),
+            IoSnapshot::default()
+        );
     }
 }

@@ -114,7 +114,12 @@ mod tests {
     #[test]
     fn composite_key_order_matches_tuple_order() {
         // (label, in) composite: compare as tuples, then as bytes.
-        let tuples = [("author", 5u64), ("author", 9), ("journal", 1), ("title", 2)];
+        let tuples = [
+            ("author", 5u64),
+            ("author", 9),
+            ("journal", 1),
+            ("title", 2),
+        ];
         let encode = |(s, n): (&str, u64)| {
             let mut buf = Vec::new();
             put_str_terminated(&mut buf, s);

@@ -2,7 +2,7 @@
 //! pool (the analogue of a Berkeley DB environment).
 
 use crate::backend::{Backend, FileBackend, MemBackend};
-use crate::buffer::{AccessMode, BufferPool, IoSnapshot};
+use crate::buffer::{BufferPool, IoSnapshot};
 use crate::error::StorageError;
 use crate::page::{PageId, DEFAULT_PAGE_SIZE};
 use crate::Result;
@@ -34,14 +34,20 @@ pub struct EnvConfig {
 
 impl Default for EnvConfig {
     fn default() -> Self {
-        EnvConfig { page_size: DEFAULT_PAGE_SIZE, pool_bytes: 4 << 20 }
+        EnvConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            pool_bytes: 4 << 20,
+        }
     }
 }
 
 impl EnvConfig {
     /// Configuration with a pool of exactly `bytes` bytes.
     pub fn with_pool_bytes(bytes: usize) -> EnvConfig {
-        EnvConfig { pool_bytes: bytes, ..EnvConfig::default() }
+        EnvConfig {
+            pool_bytes: bytes,
+            ..EnvConfig::default()
+        }
     }
 }
 
@@ -123,7 +129,10 @@ impl Env {
     }
 
     fn disk_path(&self, name: &str) -> Option<PathBuf> {
-        self.inner.dir.as_ref().map(|d| d.join(format!("{name}.sdb")))
+        self.inner
+            .dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.sdb")))
     }
 
     fn register(&self, table: &mut FileTable, name: String, backend: Arc<dyn Backend>) -> FileId {
@@ -200,9 +209,10 @@ impl Env {
     }
 
     /// Removes a file: drops its pool frames, forgets it, deletes the disk
-    /// file if any.
+    /// file if any. Fails with [`StorageError::FileBusy`] while any of the
+    /// file's pages is pinned by an in-flight operation.
     pub fn remove_file(&self, id: FileId) -> Result<()> {
-        self.inner.pool.invalidate_file(id);
+        self.inner.pool.invalidate_file(id)?;
         let entry = {
             let mut table = self.inner.files.lock();
             let entry = table
@@ -238,7 +248,8 @@ impl Env {
         Ok(self.backend(file)?.page_count())
     }
 
-    /// Runs `f` over the (read-only) contents of a page.
+    /// Runs `f` over the (read-only) contents of a page. Takes the frame's
+    /// shared lock: concurrent readers of a hot page do not serialize.
     pub fn with_page<R>(
         &self,
         file: FileId,
@@ -246,9 +257,7 @@ impl Env {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
         let resolve = |id: FileId| self.backend(id);
-        self.inner
-            .pool
-            .with_frame(file, page, AccessMode::Read, &resolve, |data| f(data))
+        self.inner.pool.with_frame_read(file, page, &resolve, f)
     }
 
     /// Runs `f` over the mutable contents of a page, marking it dirty.
@@ -259,7 +268,7 @@ impl Env {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
         let resolve = |id: FileId| self.backend(id);
-        self.inner.pool.with_frame(file, page, AccessMode::Write, &resolve, f)
+        self.inner.pool.with_frame_write(file, page, &resolve, f)
     }
 
     /// Writes back all dirty frames and syncs on-disk files.
@@ -313,13 +322,19 @@ mod tests {
     fn duplicate_create_rejected() {
         let env = Env::memory();
         env.create_file("x").unwrap();
-        assert!(matches!(env.create_file("x"), Err(StorageError::FileExists(_))));
+        assert!(matches!(
+            env.create_file("x"),
+            Err(StorageError::FileExists(_))
+        ));
     }
 
     #[test]
     fn open_missing_rejected() {
         let env = Env::memory();
-        assert!(matches!(env.open_file("nope"), Err(StorageError::NoSuchFile(_))));
+        assert!(matches!(
+            env.open_file("nope"),
+            Err(StorageError::NoSuchFile(_))
+        ));
     }
 
     #[test]
@@ -361,13 +376,19 @@ mod tests {
 
     #[test]
     fn pool_budget_controls_frames() {
-        let env = Env::memory_with(EnvConfig { page_size: 1024, pool_bytes: 16 * 1024 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 1024,
+            pool_bytes: 16 * 1024,
+        });
         assert_eq!(env.pool_frames(), 16);
     }
 
     #[test]
     fn io_stats_visible_through_env() {
-        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 8 * 512 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 512,
+            pool_bytes: 8 * 512,
+        });
         let f = env.create_file("s").unwrap();
         let pages: Vec<_> = (0..32).map(|_| env.allocate_page(f).unwrap()).collect();
         for &p in &pages {
@@ -376,7 +397,11 @@ mod tests {
         let snap = env.io_stats();
         assert_eq!(snap.misses, 32);
         // 32 pages through 8 frames: at least 24 evictions of dirty pages.
-        assert!(snap.physical_writes >= 24, "writes = {}", snap.physical_writes);
+        assert!(
+            snap.physical_writes >= 24,
+            "writes = {}",
+            snap.physical_writes
+        );
         env.reset_io_stats();
         assert_eq!(env.io_stats().requests(), 0);
     }

@@ -37,6 +37,14 @@ pub enum StorageError {
     NoSuchFile(String),
     /// A file with this name already exists.
     FileExists(String),
+    /// A file could not be removed because buffer-pool frames holding its
+    /// pages are still pinned by an in-flight operation.
+    FileBusy {
+        /// The file being removed.
+        file: String,
+        /// Number of pinned frames belonging to it.
+        pinned: usize,
+    },
 }
 
 impl StorageError {
@@ -70,6 +78,9 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
             StorageError::NoSuchFile(name) => write!(f, "no such file: {name}"),
             StorageError::FileExists(name) => write!(f, "file already exists: {name}"),
+            StorageError::FileBusy { file, pinned } => {
+                write!(f, "file {file} is busy: {pinned} pinned frame(s)")
+            }
         }
     }
 }

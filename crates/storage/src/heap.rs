@@ -59,7 +59,13 @@ impl HeapFile {
             data[..4].copy_from_slice(MAGIC);
             data[META_COUNT_OFF..META_COUNT_OFF + 8].copy_from_slice(&0u64.to_le_bytes());
         })?;
-        Ok(HeapFile { env, file, _temp: temp, count: 0, tail: None })
+        Ok(HeapFile {
+            env,
+            file,
+            _temp: temp,
+            count: 0,
+            tail: None,
+        })
     }
 
     /// Opens an existing heap file.
@@ -74,8 +80,18 @@ impl HeapFile {
             Ok(u64::from_le_bytes(bytes))
         })??;
         let pages = env.page_count(file)?;
-        let tail = if pages > 1 { Some(PageId(pages - 1)) } else { None };
-        Ok(HeapFile { env: env.clone(), file, _temp: None, count, tail })
+        let tail = if pages > 1 {
+            Some(PageId(pages - 1))
+        } else {
+            None
+        };
+        Ok(HeapFile {
+            env: env.clone(),
+            file,
+            _temp: None,
+            count,
+            tail,
+        })
     }
 
     /// The underlying file id.
@@ -162,7 +178,13 @@ impl HeapFile {
     /// Iterates over all records in append order. Each `next()` clones the
     /// record bytes; a full page of records is decoded per page fetch.
     pub fn scan(&self) -> Scan<'_> {
-        Scan { heap: self, next_page: 1, buffered: Vec::new(), buffer_pos: 0, error: None }
+        Scan {
+            heap: self,
+            next_page: 1,
+            buffered: Vec::new(),
+            buffer_pos: 0,
+            error: None,
+        }
     }
 
     /// Number of data pages (for explicit page-at-a-time iteration by
@@ -275,7 +297,13 @@ pub struct OwnedScan {
 impl HeapFile {
     /// Converts the heap into an owning streaming scan.
     pub fn into_scan(self) -> OwnedScan {
-        OwnedScan { heap: self, next_page: 1, buffered: Vec::new(), buffer_pos: 0, done: false }
+        OwnedScan {
+            heap: self,
+            next_page: 1,
+            buffered: Vec::new(),
+            buffer_pos: 0,
+            done: false,
+        }
     }
 }
 
@@ -339,8 +367,9 @@ mod tests {
     fn append_scan_roundtrip() {
         let env = Env::memory();
         let mut heap = HeapFile::create(&env, "h").unwrap();
-        let records: Vec<Vec<u8>> =
-            (0..100u32).map(|i| i.to_le_bytes().repeat(1 + (i % 5) as usize)).collect();
+        let records: Vec<Vec<u8>> = (0..100u32)
+            .map(|i| i.to_le_bytes().repeat(1 + (i % 5) as usize))
+            .collect();
         for r in &records {
             heap.append(r).unwrap();
         }
@@ -351,7 +380,10 @@ mod tests {
 
     #[test]
     fn spans_many_pages() {
-        let env = Env::memory_with(EnvConfig { page_size: 256, pool_bytes: 8 * 256 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 256,
+            pool_bytes: 8 * 256,
+        });
         let mut heap = HeapFile::create(&env, "h").unwrap();
         let record = vec![7u8; 100];
         for _ in 0..50 {
@@ -363,7 +395,10 @@ mod tests {
 
     #[test]
     fn oversized_record_rejected() {
-        let env = Env::memory_with(EnvConfig { page_size: 256, pool_bytes: 8 * 256 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 256,
+            pool_bytes: 8 * 256,
+        });
         let mut heap = HeapFile::create(&env, "h").unwrap();
         let err = heap.append(&vec![0u8; 300]).unwrap_err();
         assert!(matches!(err, StorageError::RecordTooLarge { .. }));
@@ -425,6 +460,9 @@ mod tests {
         let env = Env::memory();
         let f = env.create_file("junk").unwrap();
         env.allocate_page(f).unwrap();
-        assert!(matches!(HeapFile::open(&env, "junk"), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            HeapFile::open(&env, "junk"),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 }

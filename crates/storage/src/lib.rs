@@ -46,6 +46,7 @@ mod error;
 mod page;
 
 pub use btree::{BTree, Cursor};
+pub use buffer::{IoSnapshot, IoStats};
 pub use env::{Env, EnvConfig, FileId};
 pub use error::StorageError;
 pub use heap::HeapFile;

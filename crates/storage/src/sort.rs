@@ -155,7 +155,10 @@ impl MergeState {
     fn new(runs: Vec<HeapFile>, cmp: RecordCmp) -> Result<MergeState> {
         let mut cursors = Vec::with_capacity(runs.len());
         for heap in runs {
-            let mut cursor = RunCursor { records: heap.into_scan(), head: None };
+            let mut cursor = RunCursor {
+                records: heap.into_scan(),
+                head: None,
+            };
             cursor.step()?;
             cursors.push(cursor);
         }
@@ -198,12 +201,18 @@ mod tests {
         }
         assert_eq!(sorter.spilled_runs(), 0);
         let out: Vec<Vec<u8>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
-        assert_eq!(out, vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]);
+        assert_eq!(
+            out,
+            vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]
+        );
     }
 
     #[test]
     fn spilling_sort_merges_runs() {
-        let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 32 * 512 });
+        let env = Env::memory_with(EnvConfig {
+            page_size: 512,
+            pool_bytes: 32 * 512,
+        });
         // Tiny budget forces many runs.
         let mut sorter = ExternalSorter::lexicographic(&env, 512);
         let n = 1000u32;
@@ -212,7 +221,11 @@ mod tests {
             let v = (i * 7919 + 13) % n;
             sorter.push(format!("{v:08}").into_bytes()).unwrap();
         }
-        assert!(sorter.spilled_runs() > 2, "expected spills, got {}", sorter.spilled_runs());
+        assert!(
+            sorter.spilled_runs() > 2,
+            "expected spills, got {}",
+            sorter.spilled_runs()
+        );
         let out: Vec<Vec<u8>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
         assert_eq!(out.len(), n as usize);
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
@@ -227,7 +240,9 @@ mod tests {
         let env = Env::memory();
         let mut sorter = ExternalSorter::new(&env, 64, |a, b| b.cmp(a));
         for i in 0..100u32 {
-            sorter.push(format!("{:04}", (i * 37) % 100).into_bytes()).unwrap();
+            sorter
+                .push(format!("{:04}", (i * 37) % 100).into_bytes())
+                .unwrap();
         }
         let out: Vec<Vec<u8>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
         assert!(out.windows(2).all(|w| w[0] >= w[1]));

@@ -17,7 +17,10 @@ impl TempFile {
     /// Allocates a fresh scratch file in `env`.
     pub fn new(env: &Env) -> Result<TempFile> {
         let file = env.create_temp_file()?;
-        Ok(TempFile { env: env.clone(), file: Some(file) })
+        Ok(TempFile {
+            env: env.clone(),
+            file: Some(file),
+        })
     }
 
     /// The underlying file id.

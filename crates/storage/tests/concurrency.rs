@@ -9,7 +9,10 @@ use xmldb_storage::{BTree, Env, EnvConfig};
 
 #[test]
 fn concurrent_readers_on_shared_tree() {
-    let env = Env::memory_with(EnvConfig { page_size: 1024, pool_bytes: 16 * 1024 });
+    let env = Env::memory_with(EnvConfig {
+        page_size: 1024,
+        pool_bytes: 16 * 1024,
+    });
     let mut tree = BTree::create(&env, "shared").unwrap();
     let n = 2_000u64;
     tree.bulk_load((0..n).map(|i| (i.to_be_bytes().to_vec(), format!("v{i}").into_bytes())))
@@ -37,10 +40,15 @@ fn concurrent_readers_on_shared_tree() {
 
 #[test]
 fn concurrent_page_traffic_across_files() {
-    let env = Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 8 * 512 });
+    let env = Env::memory_with(EnvConfig {
+        page_size: 512,
+        pool_bytes: 8 * 512,
+    });
     // Each thread owns its own file; the pool is shared and smaller than
     // the combined working set.
-    let files: Vec<_> = (0..4).map(|i| env.create_file(&format!("f{i}")).unwrap()).collect();
+    let files: Vec<_> = (0..4)
+        .map(|i| env.create_file(&format!("f{i}")).unwrap())
+        .collect();
     let pages_per_file = 16u64;
     for &f in &files {
         for _ in 0..pages_per_file {
@@ -64,8 +72,9 @@ fn concurrent_page_traffic_across_files() {
                 }
                 for p in 0..pages_per_file {
                     let page = xmldb_storage::PageId(p);
-                    let (owner, pp) =
-                        env.with_page(file, page, |data| (data[0], data[2])).unwrap();
+                    let (owner, pp) = env
+                        .with_page(file, page, |data| (data[0], data[2]))
+                        .unwrap();
                     assert_eq!(owner, t as u8, "page leaked between files");
                     assert_eq!(pp, p as u8);
                 }
@@ -81,9 +90,13 @@ fn concurrent_page_traffic_across_files() {
 fn concurrent_queries_through_cloned_envs() {
     // Mirrors the testbed: one env, many reader threads running full scans
     // through btrees while another thread creates and deletes temp files.
-    let env = Env::memory_with(EnvConfig { page_size: 1024, pool_bytes: 32 * 1024 });
+    let env = Env::memory_with(EnvConfig {
+        page_size: 1024,
+        pool_bytes: 32 * 1024,
+    });
     let mut tree = BTree::create(&env, "data").unwrap();
-    tree.bulk_load((0..500u64).map(|i| (i.to_be_bytes().to_vec(), vec![1u8; 16]))).unwrap();
+    tree.bulk_load((0..500u64).map(|i| (i.to_be_bytes().to_vec(), vec![1u8; 16])))
+        .unwrap();
     let tree = Arc::new(tree);
     let env2 = env.clone();
 
@@ -91,7 +104,8 @@ fn concurrent_queries_through_cloned_envs() {
         for _ in 0..50 {
             let tmp = xmldb_storage::TempFile::new(&env2).unwrap();
             env2.allocate_page(tmp.id()).unwrap();
-            env2.with_page_mut(tmp.id(), xmldb_storage::PageId(0), |d| d[0] = 1).unwrap();
+            env2.with_page_mut(tmp.id(), xmldb_storage::PageId(0), |d| d[0] = 1)
+                .unwrap();
         }
     });
     let mut readers = Vec::new();

@@ -35,7 +35,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn tiny_env() -> Env {
     // Small pages force splits early; a small pool forces eviction.
-    Env::memory_with(EnvConfig { page_size: 256, pool_bytes: 8 * 256 })
+    Env::memory_with(EnvConfig {
+        page_size: 256,
+        pool_bytes: 8 * 256,
+    })
 }
 
 proptest! {

@@ -1,0 +1,22 @@
+//! Runs the differential-engine triage sweep on a scaled-down corpus and
+//! prints the report. With healthy engines it reports zero mismatches; to
+//! see a full report, try breaking a planner rule and re-running.
+//!
+//! ```bash
+//! cargo run --release -p xmldb-testbed --example triage_demo
+//! ```
+
+use xmldb_testbed::{triage_corpus, Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        dblp_scale: 0.05,
+        excerpt_scale: 0.02,
+        treebank_scale: 0.05,
+    });
+    let summary = triage_corpus(&corpus, 12);
+    print!("{}", summary.render());
+    if !summary.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,11 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { dblp_scale: 1.0, excerpt_scale: 0.1, treebank_scale: 1.0 }
+        CorpusConfig {
+            dblp_scale: 1.0,
+            excerpt_scale: 0.1,
+            treebank_scale: 1.0,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ pub fn correctness_queries() -> Vec<(&'static str, &'static str)> {
         ("q02-constructor", "<empty/>"),
         ("q03-root-element", "/*"),
         ("q04-descendant-label", "//name"),
-        ("q05-child-star", "for $r in /* return <kids>{ $r/* }</kids>"),
+        (
+            "q05-child-star",
+            "for $r in /* return <kids>{ $r/* }</kids>",
+        ),
         ("q06-authors", "for $a in //author return $a"),
         (
             "q07-text-items",
@@ -110,10 +117,7 @@ pub fn correctness_queries() -> Vec<(&'static str, &'static str)> {
             "for $j in //journal return \
              if (not(some $v in $j/volume satisfies true())) then <novolume/> else ()",
         ),
-        (
-            "q15-sequence-mixed",
-            "<r><head/>{ //volume }<tail/></r>",
-        ),
+        ("q15-sequence-mixed", "<r><head/>{ //volume }<tail/></r>"),
         (
             "q16-deep-nesting",
             "for $s in //S return for $n in $s//NN return $n",
@@ -152,7 +156,10 @@ pub fn efficiency_queries() -> Vec<(&'static str, &'static str)> {
         ),
         // Test 4: non-existent label — near-zero for engines that consult
         // the statistics or the label index.
-        ("eff4-ghost-label", "for $x in //phdthesis return $x//author"),
+        (
+            "eff4-ghost-label",
+            "for $x in //phdthesis return $x//author",
+        ),
         // Test 5: a three-relation structural join whose orders differ by
         // orders of magnitude: expanding authors before checking volumes
         // is catastrophic — the estimator trap that cost the paper's

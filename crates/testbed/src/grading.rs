@@ -86,7 +86,8 @@ impl GradeBook {
         exam_points: u32,
         efficiency_total: Option<Duration>,
     ) {
-        self.records.insert(team.into(), (record, exam_points, efficiency_total));
+        self.records
+            .insert(team.into(), (record, exam_points, efficiency_total));
     }
 
     /// Computes every team's outcome. Scalability bonuses go to the top
@@ -118,7 +119,13 @@ impl GradeBook {
                 let mut milestone_points: i32 = record
                     .weeks_late
                     .iter()
-                    .map(|&w| if w == 0 { EARLY_BIRD_POINTS } else { lateness_penalty(w) })
+                    .map(|&w| {
+                        if w == 0 {
+                            EARLY_BIRD_POINTS
+                        } else {
+                            lateness_penalty(w)
+                        }
+                    })
                     .sum();
                 // Small teams completing the final milestones earn extra.
                 if record.team_size <= 2 && record.weeks_late.len() >= 4 {
@@ -179,8 +186,18 @@ mod tests {
     #[test]
     fn exam_threshold_enforced() {
         let mut book = GradeBook::new();
-        book.register("barely", record(&[0; 4], true), 50, Some(Duration::from_secs(10)));
-        book.register("failed", record(&[0; 4], true), 49, Some(Duration::from_secs(10)));
+        book.register(
+            "barely",
+            record(&[0; 4], true),
+            50,
+            Some(Duration::from_secs(10)),
+        );
+        book.register(
+            "failed",
+            record(&[0; 4], true),
+            49,
+            Some(Duration::from_secs(10)),
+        );
         let grades = book.grade();
         let barely = grades.iter().find(|g| g.team == "barely").unwrap();
         let failed = grades.iter().find(|g| g.team == "failed").unwrap();
@@ -213,7 +230,12 @@ mod tests {
     #[test]
     fn late_submissions_cost_points() {
         let mut book = GradeBook::new();
-        book.register("tardy", record(&[0, 1, 2, 3], true), 80, Some(Duration::from_secs(5)));
+        book.register(
+            "tardy",
+            record(&[0, 1, 2, 3], true),
+            80,
+            Some(Duration::from_secs(5)),
+        );
         let grades = book.grade();
         let g = &grades[0];
         // +2 (early) -1 -3 -7 + small-team +1 = -8.

@@ -20,14 +20,22 @@
 //!   budgets, diffs answers against the milestone-1 reference engine, and
 //!   produces the notification report,
 //! * [`grading`] — the §3 points model: early-bird points, lateness
-//!   penalties, scalability bonuses, exam admission.
+//!   penalties, scalability bonuses, exam admission,
+//! * [`triage`] — differential-engine triage: run every engine against the
+//!   M1 oracle over the corpus plus generated documents, shrink each
+//!   mismatch to a minimal witness, and report it with every engine's
+//!   output and the offender's `EXPLAIN ANALYZE` trace.
 
 pub mod corpus;
 pub mod grading;
 pub mod runner;
 pub mod submission;
+pub mod triage;
 
 pub use corpus::{Corpus, CorpusConfig};
 pub use grading::{GradeBook, GradeOutcome};
-pub use runner::{run_budgeted, run_submission, EfficiencyCell, RunLimits, SubmissionReport, TestOutcome};
+pub use runner::{
+    run_budgeted, run_submission, EfficiencyCell, RunLimits, SubmissionReport, TestOutcome,
+};
 pub use submission::{Submission, SubmissionPool};
+pub use triage::{triage_corpus, triage_query, EngineRun, Mismatch, TriageSummary};

@@ -100,12 +100,19 @@ impl SubmissionReport {
         ));
         out.push_str(&format!(
             "Correctness: {}\n",
-            if self.passed_correctness { "PASSED" } else { "FAILED" }
+            if self.passed_correctness {
+                "PASSED"
+            } else {
+                "FAILED"
+            }
         ));
         for (doc, query, outcome) in &self.correctness {
             match outcome {
                 TestOutcome::Pass(t) => {
-                    out.push_str(&format!("  ok   {doc}/{query} ({:.1} ms)\n", t.as_secs_f64() * 1e3));
+                    out.push_str(&format!(
+                        "  ok   {doc}/{query} ({:.1} ms)\n",
+                        t.as_secs_f64() * 1e3
+                    ));
                 }
                 TestOutcome::Wrong { expected, got } => {
                     out.push_str(&format!(
@@ -136,7 +143,10 @@ impl SubmissionReport {
                     cell.charged.as_secs_f64()
                 ));
             }
-            out.push_str(&format!("  Total: {:.3} s\n", self.total_charged.as_secs_f64()));
+            out.push_str(&format!(
+                "  Total: {:.3} s\n",
+                self.total_charged.as_secs_f64()
+            ));
         }
         out
     }
@@ -152,17 +162,30 @@ pub fn run_submission(
 ) -> SubmissionReport {
     let db = Database::in_memory_with(EnvConfig::with_pool_bytes(limits.pool_bytes));
     for (name, xml) in &corpus.documents {
-        db.load_document(name, xml).expect("corpus documents are well-formed");
+        db.load_document(name, xml)
+            .expect("corpus documents are well-formed");
     }
 
     let mut correctness = Vec::new();
     let mut passed = true;
     for doc in corpus.correctness_documents() {
         for (qname, query) in correctness_queries() {
-            let reference =
-                run_query(&db, doc, query, EngineKind::M1InMemory, &QueryOptions::default(), limits.correctness_budget);
-            let got =
-                run_query(&db, doc, query, submission.engine, &submission.options, limits.correctness_budget);
+            let reference = run_query(
+                &db,
+                doc,
+                query,
+                EngineKind::M1InMemory,
+                &QueryOptions::default(),
+                limits.correctness_budget,
+            );
+            let got = run_query(
+                &db,
+                doc,
+                query,
+                submission.engine,
+                &submission.options,
+                limits.correctness_budget,
+            );
             let outcome = judge(&reference, &got);
             if !outcome.passed() {
                 passed = false;
@@ -193,7 +216,11 @@ pub fn run_submission(
             };
             let _ = started;
             total += charged;
-            efficiency.push(EfficiencyCell { query: qname.to_string(), outcome, charged });
+            efficiency.push(EfficiencyCell {
+                query: qname.to_string(),
+                outcome,
+                charged,
+            });
         }
     }
 
@@ -341,7 +368,11 @@ mod tests {
             options: QueryOptions::default(),
         };
         let report = run_submission(&corpus, &submission, &RunLimits::default());
-        assert!(report.passed_correctness, "email:\n{}", report.render_email());
+        assert!(
+            report.passed_correctness,
+            "email:\n{}",
+            report.render_email()
+        );
         assert_eq!(report.efficiency.len(), 5);
         assert!(report.efficiency.iter().all(|c| c.outcome.passed()));
         let email = report.render_email();

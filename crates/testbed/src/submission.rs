@@ -48,7 +48,12 @@ impl SubmissionPool {
         let team = team.into();
         let id = self.next_id;
         self.next_id += 1;
-        let submission = Submission { id, team: team.clone(), engine, options };
+        let submission = Submission {
+            id,
+            team: team.clone(),
+            engine,
+            options,
+        };
         if let Some((_, queue)) = self.queues.iter_mut().find(|(t, _)| *t == team) {
             queue.push_back(submission);
         } else {
@@ -100,7 +105,9 @@ mod tests {
         }
         pool.submit("team-b", EngineKind::M3Algebraic, QueryOptions::default());
         assert_eq!(pool.pending(), 6);
-        let order: Vec<String> = std::iter::from_fn(|| pool.take_next()).map(|s| s.team).collect();
+        let order: Vec<String> = std::iter::from_fn(|| pool.take_next())
+            .map(|s| s.team)
+            .collect();
         // B must be served second, not sixth.
         assert_eq!(order[1], "team-b");
         assert_eq!(order.len(), 6);

@@ -65,15 +65,23 @@ mod tests {
         let all: Vec<NodeTuple> = s.scan_all().map(|r| r.unwrap()).collect();
         for x in &all {
             // Children by predicate vs. by parent index.
-            let by_pred: Vec<u64> =
-                all.iter().filter(|y| is_child(x, y)).map(|y| y.in_).collect();
+            let by_pred: Vec<u64> = all
+                .iter()
+                .filter(|y| is_child(x, y))
+                .map(|y| y.in_)
+                .collect();
             let by_index: Vec<u64> = s.children(x.in_).map(|r| r.unwrap().in_).collect();
             assert_eq!(by_pred, by_index, "children of {x}");
             // Descendants by predicate vs. by interval scan.
-            let by_pred: Vec<u64> =
-                all.iter().filter(|y| is_descendant(x, y)).map(|y| y.in_).collect();
-            let by_scan: Vec<u64> =
-                s.scan_in_range(x.in_, x.out).map(|r| r.unwrap().in_).collect();
+            let by_pred: Vec<u64> = all
+                .iter()
+                .filter(|y| is_descendant(x, y))
+                .map(|y| y.in_)
+                .collect();
+            let by_scan: Vec<u64> = s
+                .scan_in_range(x.in_, x.out)
+                .map(|r| r.unwrap().in_)
+                .collect();
             assert_eq!(by_pred, by_scan, "descendants of {x}");
         }
     }

@@ -66,17 +66,26 @@ pub fn shred_document_with(
     stats.record_node(0);
 
     let push_tuple = |tuple: NodeTuple,
-                          clustered: &mut ExternalSorter,
-                          label: &mut ExternalSorter,
-                          parent: &mut ExternalSorter,
-                          text: &mut ExternalSorter|
+                      clustered: &mut ExternalSorter,
+                      label: &mut ExternalSorter,
+                      parent: &mut ExternalSorter,
+                      text: &mut ExternalSorter|
      -> Result<()> {
-        clustered.push(kv_record(&NodeTuple::clustered_key(tuple.in_), &tuple.encode()))?;
+        clustered.push(kv_record(
+            &NodeTuple::clustered_key(tuple.in_),
+            &tuple.encode(),
+        ))?;
         if let Some(l) = tuple.label() {
-            label.push(kv_record(&NodeTuple::label_key(l, tuple.in_), &tuple.label_value()))?;
+            label.push(kv_record(
+                &NodeTuple::label_key(l, tuple.in_),
+                &tuple.label_value(),
+            ))?;
         }
         if let Some(t) = tuple.text() {
-            text.push(kv_record(&NodeTuple::text_key(t, tuple.in_), &tuple.text_value_entry()))?;
+            text.push(kv_record(
+                &NodeTuple::text_key(t, tuple.in_),
+                &tuple.text_value_entry(),
+            ))?;
         }
         parent.push(kv_record(
             &NodeTuple::parent_key(tuple.parent_in, tuple.in_),
@@ -145,8 +154,13 @@ pub fn shred_document_with(
     // Close the virtual root.
     let (root_in, _) = stack.pop().expect("root still open");
     counter += 1;
-    let root_tuple =
-        NodeTuple { in_: root_in, out: counter, parent_in: 0, kind: NodeType::Root, value: None };
+    let root_tuple = NodeTuple {
+        in_: root_in,
+        out: counter,
+        parent_in: 0,
+        kind: NodeType::Root,
+        value: None,
+    };
     push_tuple(
         root_tuple,
         &mut clustered_sorter,
@@ -193,7 +207,11 @@ struct DistinctPrefixCounter {
 
 impl DistinctPrefixCounter {
     fn observe(&mut self, key: &[u8]) {
-        let prefix_end = key.iter().position(|&b| b == 0).map(|p| p + 1).unwrap_or(key.len());
+        let prefix_end = key
+            .iter()
+            .position(|&b| b == 0)
+            .map(|p| p + 1)
+            .unwrap_or(key.len());
         let prefix = &key[..prefix_end];
         if self.last.as_deref() != Some(prefix) {
             self.count += 1;
@@ -243,7 +261,10 @@ impl<I: Iterator<Item = xmldb_storage::Result<Vec<u8>>>> Iterator for SplitRecor
     type Item = (Vec<u8>, Vec<u8>);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let rec = self.inner.next()?.expect("sort spill I/O failed during shred");
+        let rec = self
+            .inner
+            .next()?
+            .expect("sort spill I/O failed during shred");
         Some(kv_split(rec))
     }
 }

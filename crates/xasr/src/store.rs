@@ -55,7 +55,15 @@ impl XasrStore {
         text_idx: BTree,
         stats: Statistics,
     ) -> Result<XasrStore> {
-        Ok(XasrStore { env, name, clustered, label_idx, parent_idx, text_idx, stats })
+        Ok(XasrStore {
+            env,
+            name,
+            clustered,
+            label_idx,
+            parent_idx,
+            text_idx,
+            stats,
+        })
     }
 
     /// Opens a previously shredded document.
@@ -80,7 +88,13 @@ impl XasrStore {
     /// Drops all files of document `name`.
     pub fn drop_document(env: &Env, name: &str) -> Result<()> {
         let names = file_names(name);
-        for file in [&names.clustered, &names.label, &names.parent, &names.text, &names.stats] {
+        for file in [
+            &names.clustered,
+            &names.label,
+            &names.parent,
+            &names.text,
+            &names.stats,
+        ] {
             if env.file_exists(file) {
                 let id = env.open_file(file)?;
                 env.remove_file(id)?;
@@ -139,7 +153,8 @@ impl XasrStore {
 
     /// The root tuple (`in` = 1 in the XASR encoding, as the paper notes).
     pub fn root(&self) -> Result<NodeTuple> {
-        self.get(1)?.ok_or_else(|| Error::Corrupt("document has no root tuple".into()))
+        self.get(1)?
+            .ok_or_else(|| Error::Corrupt("document has no root tuple".into()))
     }
 
     /// Point lookup by `in` value.
@@ -179,19 +194,23 @@ impl XasrStore {
     /// All children of the node with `in = parent_in`, in document order
     /// (covering parent-index scan).
     pub fn children(&self, parent_in: u64) -> impl Iterator<Item = Result<NodeTuple>> + '_ {
-        self.parent_idx.prefix(&NodeTuple::parent_prefix(parent_in)).map(|r| {
-            let (k, v) = r?;
-            NodeTuple::from_parent_entry(&k, &v)
-        })
+        self.parent_idx
+            .prefix(&NodeTuple::parent_prefix(parent_in))
+            .map(|r| {
+                let (k, v) = r?;
+                NodeTuple::from_parent_entry(&k, &v)
+            })
     }
 
     /// All elements with `label`, in document order (covering label-index
     /// scan).
     pub fn by_label(&self, label: &str) -> impl Iterator<Item = Result<NodeTuple>> + '_ {
-        self.label_idx.prefix(&NodeTuple::label_prefix(label)).map(|r| {
-            let (k, v) = r?;
-            NodeTuple::from_label_entry(&k, &v)
-        })
+        self.label_idx
+            .prefix(&NodeTuple::label_prefix(label))
+            .map(|r| {
+                let (k, v) = r?;
+                NodeTuple::from_label_entry(&k, &v)
+            })
     }
 
     /// Elements with `label` and `in ∈ (lo, hi)` exclusive — the descendant
@@ -218,16 +237,18 @@ impl XasrStore {
     /// prefix).
     pub fn by_text(&self, text: &str) -> impl Iterator<Item = Result<NodeTuple>> + '_ {
         let needle = text.to_string();
-        self.text_idx.prefix(&NodeTuple::text_prefix(text)).filter_map(move |r| {
-            let entry = r
-                .map_err(crate::Error::from)
-                .and_then(|(k, v)| NodeTuple::from_text_entry(&k, &v));
-            match entry {
-                Ok(t) if t.text() == Some(needle.as_str()) => Some(Ok(t)),
-                Ok(_) => None,
-                Err(e) => Some(Err(e)),
-            }
-        })
+        self.text_idx
+            .prefix(&NodeTuple::text_prefix(text))
+            .filter_map(move |r| {
+                let entry = r
+                    .map_err(crate::Error::from)
+                    .and_then(|(k, v)| NodeTuple::from_text_entry(&k, &v));
+                match entry {
+                    Ok(t) if t.text() == Some(needle.as_str()) => Some(Ok(t)),
+                    Ok(_) => None,
+                    Err(e) => Some(Err(e)),
+                }
+            })
     }
 
     /// Up to `limit` text nodes with content exactly `text` and
@@ -242,9 +263,10 @@ impl XasrStore {
         let lo = NodeTuple::text_key(prefix, lower_excl.unwrap_or(0));
         let hi = NodeTuple::text_key(prefix, u64::MAX);
         let mut out = Vec::with_capacity(limit.min(16));
-        for entry in
-            self.text_idx.range(Bound::Excluded(lo.as_slice()), Bound::Included(hi.as_slice()))
-        {
+        for entry in self.text_idx.range(
+            Bound::Excluded(lo.as_slice()),
+            Bound::Included(hi.as_slice()),
+        ) {
             let (k, v) = entry?;
             let t = NodeTuple::from_text_entry(&k, &v)?;
             if t.text() == Some(text) {
@@ -309,7 +331,10 @@ impl XasrStore {
             Bound::Included(hi.as_slice())
         };
         let mut out = Vec::with_capacity(limit);
-        for entry in self.label_idx.range(Bound::Excluded(lo.as_slice()), hi_bound) {
+        for entry in self
+            .label_idx
+            .range(Bound::Excluded(lo.as_slice()), hi_bound)
+        {
             let (k, v) = entry?;
             out.push(NodeTuple::from_label_entry(&k, &v)?);
             if out.len() >= limit {
@@ -329,9 +354,10 @@ impl XasrStore {
         let lo = NodeTuple::parent_key(parent_in, lower_excl.unwrap_or(0));
         let hi = NodeTuple::parent_key(parent_in, u64::MAX);
         let mut out = Vec::with_capacity(limit);
-        for entry in
-            self.parent_idx.range(Bound::Excluded(lo.as_slice()), Bound::Included(hi.as_slice()))
-        {
+        for entry in self.parent_idx.range(
+            Bound::Excluded(lo.as_slice()),
+            Bound::Included(hi.as_slice()),
+        ) {
             let (k, v) = entry?;
             out.push(NodeTuple::from_parent_entry(&k, &v)?);
             if out.len() >= limit {
@@ -346,8 +372,9 @@ impl XasrStore {
     /// reconstructed". Used when query results copy input subtrees to the
     /// output.
     pub fn reconstruct(&self, in_: u64) -> Result<Document> {
-        let root_tuple =
-            self.get(in_)?.ok_or_else(|| Error::Corrupt(format!("no node with in={in_}")))?;
+        let root_tuple = self
+            .get(in_)?
+            .ok_or_else(|| Error::Corrupt(format!("no node with in={in_}")))?;
         let mut doc = Document::new();
         let doc_root = doc.root();
         // Map from tuple.in to the node id of its copy.
@@ -356,18 +383,15 @@ impl XasrStore {
         ids.insert(root_tuple.parent_in, doc_root);
 
         let attach = |doc: &mut Document,
-                          ids: &mut std::collections::HashMap<u64, xmldb_xml::NodeId>,
-                          tuple: &NodeTuple|
+                      ids: &mut std::collections::HashMap<u64, xmldb_xml::NodeId>,
+                      tuple: &NodeTuple|
          -> Result<()> {
             let parent = ids.get(&tuple.parent_in).copied().ok_or_else(|| {
                 Error::Corrupt(format!("orphan tuple {tuple} during reconstruction"))
             })?;
             match tuple.kind {
                 NodeType::Element => {
-                    let id = doc.add_element(
-                        parent,
-                        tuple.value.clone().unwrap_or_default(),
-                    );
+                    let id = doc.add_element(parent, tuple.value.clone().unwrap_or_default());
                     ids.insert(tuple.in_, id);
                 }
                 NodeType::Text => {
@@ -450,8 +474,10 @@ mod tests {
     fn descendant_interval_scan() {
         let (_env, s) = store();
         let journal = s.get(2).unwrap().unwrap();
-        let descendants: Vec<u64> =
-            s.scan_in_range(journal.in_, journal.out).map(|r| r.unwrap().in_).collect();
+        let descendants: Vec<u64> = s
+            .scan_in_range(journal.in_, journal.out)
+            .map(|r| r.unwrap().in_)
+            .collect();
         assert_eq!(descendants, vec![3, 4, 5, 8, 9, 13, 14]);
     }
 
@@ -472,7 +498,10 @@ mod tests {
     #[test]
     fn reconstruct_subtree() {
         let (_env, s) = store();
-        assert_eq!(s.serialize_subtree(3).unwrap(), "<authors><name>Ana</name><name>Bob</name></authors>");
+        assert_eq!(
+            s.serialize_subtree(3).unwrap(),
+            "<authors><name>Ana</name><name>Bob</name></authors>"
+        );
         assert_eq!(s.serialize_subtree(5).unwrap(), "Ana");
         assert_eq!(s.serialize_subtree(1).unwrap(), FIGURE2);
         assert_eq!(s.serialize_subtree(2).unwrap(), FIGURE2);
@@ -519,7 +548,10 @@ mod tests {
     #[test]
     fn override_stats_replaces() {
         let (_env, mut s) = store();
-        let fake = Statistics { node_count: 1_000_000, ..Statistics::default() };
+        let fake = Statistics {
+            node_count: 1_000_000,
+            ..Statistics::default()
+        };
         s.override_stats(fake.clone());
         assert_eq!(s.stats().node_count, 1_000_000);
     }
@@ -566,7 +598,11 @@ mod tests {
         )
         .unwrap();
         let hits: Vec<u64> = s.by_text("Ana").map(|r| r.unwrap().in_).collect();
-        assert_eq!(hits.len(), 2, "prefix matches must be filtered to exact equality");
+        assert_eq!(
+            hits.len(),
+            2,
+            "prefix matches must be filtered to exact equality"
+        );
         assert!(s.by_text("Anast").next().is_none());
         assert_eq!(s.by_text("Bob").count(), 1);
         assert_eq!(s.by_text("Zoe").count(), 0);
@@ -576,15 +612,12 @@ mod tests {
     #[test]
     fn text_batch_resumes_and_verifies() {
         let env = Env::memory();
-        let s = shred_document(
-            &env,
-            "tb",
-            "<r><a>x</a><b>x</b><c>x</c><d>y</d></r>",
-        )
-        .unwrap();
+        let s = shred_document(&env, "tb", "<r><a>x</a><b>x</b><c>x</c><d>y</d></r>").unwrap();
         let first = s.text_batch("x", None, 2).unwrap();
         assert_eq!(first.len(), 2);
-        let rest = s.text_batch("x", Some(first.last().unwrap().in_), 10).unwrap();
+        let rest = s
+            .text_batch("x", Some(first.last().unwrap().in_), 10)
+            .unwrap();
         assert_eq!(rest.len(), 1);
         assert!(s.text_batch("x", Some(rest[0].in_), 10).unwrap().is_empty());
         // Long values sharing a 48-byte prefix are distinguished.

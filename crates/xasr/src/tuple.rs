@@ -65,7 +65,13 @@ impl NodeTuple {
     /// The NULL tuple of left-outer joins: `in` = 0 never occurs in a real
     /// document (tag counting starts at 1 on the root).
     pub fn null() -> NodeTuple {
-        NodeTuple { in_: 0, out: 0, parent_in: 0, kind: NodeType::Root, value: None }
+        NodeTuple {
+            in_: 0,
+            out: 0,
+            parent_in: 0,
+            kind: NodeType::Root,
+            value: None,
+        }
     }
 
     /// True for the left-outer-join NULL tuple.
@@ -117,7 +123,10 @@ impl NodeTuple {
     /// Inverse of [`Self::encode`].
     pub fn decode(buf: &[u8]) -> Result<NodeTuple> {
         if buf.len() < 26 {
-            return Err(Error::Corrupt(format!("tuple record too short: {}", buf.len())));
+            return Err(Error::Corrupt(format!(
+                "tuple record too short: {}",
+                buf.len()
+            )));
         }
         let mut pos = 0;
         let in_ = codec::get_u64(buf, &mut pos);
@@ -136,7 +145,13 @@ impl NodeTuple {
         } else {
             None
         };
-        Ok(NodeTuple { in_, out, parent_in, kind, value })
+        Ok(NodeTuple {
+            in_,
+            out,
+            parent_in,
+            kind,
+            value,
+        })
     }
 
     // --- key encodings ---------------------------------------------------------
@@ -195,7 +210,13 @@ impl NodeTuple {
         let mut vpos = 0;
         let out = codec::get_u64(value, &mut vpos);
         let parent_in = codec::get_u64(value, &mut vpos);
-        Ok(NodeTuple { in_, out, parent_in, kind: NodeType::Element, value: Some(label) })
+        Ok(NodeTuple {
+            in_,
+            out,
+            parent_in,
+            kind: NodeType::Element,
+            value: Some(label),
+        })
     }
 
     /// Text-value index keys use a bounded prefix of the content so
@@ -254,7 +275,13 @@ impl NodeTuple {
         let parent_in = codec::get_u64(value, &mut vpos);
         let text = String::from_utf8(codec::get_bytes(value, &mut vpos).to_vec())
             .map_err(|_| Error::Corrupt("text entry not UTF-8".into()))?;
-        Ok(NodeTuple { in_, out, parent_in, kind: NodeType::Text, value: Some(text) })
+        Ok(NodeTuple {
+            in_,
+            out,
+            parent_in,
+            kind: NodeType::Text,
+            value: Some(text),
+        })
     }
 
     /// Parent index value: `(out, type, value)` — covering.
@@ -292,7 +319,13 @@ impl NodeTuple {
         } else {
             None
         };
-        Ok(NodeTuple { in_, out, parent_in, kind, value: val })
+        Ok(NodeTuple {
+            in_,
+            out,
+            parent_in,
+            kind,
+            value: val,
+        })
     }
 }
 
@@ -325,7 +358,13 @@ mod tests {
     }
 
     fn ana() -> NodeTuple {
-        NodeTuple { in_: 5, out: 6, parent_in: 4, kind: NodeType::Text, value: Some("Ana".into()) }
+        NodeTuple {
+            in_: 5,
+            out: 6,
+            parent_in: 4,
+            kind: NodeType::Text,
+            value: Some("Ana".into()),
+        }
     }
 
     #[test]
@@ -339,7 +378,13 @@ mod tests {
         for tuple in [
             journal(),
             ana(),
-            NodeTuple { in_: 1, out: 18, parent_in: 0, kind: NodeType::Root, value: None },
+            NodeTuple {
+                in_: 1,
+                out: 18,
+                parent_in: 0,
+                kind: NodeType::Root,
+                value: None,
+            },
         ] {
             assert_eq!(NodeTuple::decode(&tuple.encode()).unwrap(), tuple);
         }
@@ -395,7 +440,10 @@ mod tests {
         // Long texts sharing a prefix share the index prefix.
         let long_a = format!("{}{}", "x".repeat(60), "AAA");
         let long_b = format!("{}{}", "x".repeat(60), "BBB");
-        assert_eq!(NodeTuple::text_prefix(&long_a), NodeTuple::text_prefix(&long_b));
+        assert_eq!(
+            NodeTuple::text_prefix(&long_a),
+            NodeTuple::text_prefix(&long_b)
+        );
         // Full content survives in the entry.
         let t = NodeTuple {
             in_: 5,
@@ -404,11 +452,9 @@ mod tests {
             kind: NodeType::Text,
             value: Some(long_a.clone()),
         };
-        let back = NodeTuple::from_text_entry(
-            &NodeTuple::text_key(&long_a, 5),
-            &t.text_value_entry(),
-        )
-        .unwrap();
+        let back =
+            NodeTuple::from_text_entry(&NodeTuple::text_key(&long_a, 5), &t.text_value_entry())
+                .unwrap();
         assert_eq!(back.text(), Some(long_a.as_str()));
     }
 

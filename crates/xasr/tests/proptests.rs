@@ -50,7 +50,10 @@ fn to_xml(tree: &Tree, out: &mut String) {
 }
 
 fn small_env() -> Env {
-    Env::memory_with(EnvConfig { page_size: 512, pool_bytes: 32 * 512 })
+    Env::memory_with(EnvConfig {
+        page_size: 512,
+        pool_bytes: 32 * 512,
+    })
 }
 
 proptest! {

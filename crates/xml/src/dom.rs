@@ -293,7 +293,10 @@ impl Document {
         let ca = self.children(a);
         let cb = other.children(b);
         ca.len() == cb.len()
-            && ca.iter().zip(cb.iter()).all(|(&x, &y)| self.subtree_eq(x, other, y))
+            && ca
+                .iter()
+                .zip(cb.iter())
+                .all(|(&x, &y)| self.subtree_eq(x, other, y))
     }
 }
 
@@ -309,7 +312,8 @@ impl<'a> Iterator for Descendants<'a> {
 
     fn next(&mut self) -> Option<NodeId> {
         let id = self.stack.pop()?;
-        self.stack.extend(self.doc.children(id).iter().rev().copied());
+        self.stack
+            .extend(self.doc.children(id).iter().rev().copied());
         Some(id)
     }
 }
@@ -338,9 +342,11 @@ mod tests {
     fn descendants_in_document_order() {
         let doc = crate::parse(FIGURE2).unwrap();
         let journal = doc.root_element().unwrap();
-        let values: Vec<&str> =
-            doc.descendants(journal).map(|n| doc.value(n)).collect();
-        assert_eq!(values, vec!["authors", "name", "Ana", "name", "Bob", "title", "DB"]);
+        let values: Vec<&str> = doc.descendants(journal).map(|n| doc.value(n)).collect();
+        assert_eq!(
+            values,
+            vec!["authors", "name", "Ana", "name", "Bob", "title", "DB"]
+        );
     }
 
     #[test]
@@ -399,8 +405,11 @@ mod tests {
         let a = crate::parse("<a><b>x</b></a>").unwrap();
         let b = crate::parse("<a><b>y</b></a>").unwrap();
         let c = crate::parse("<a><b>x</b></a>").unwrap();
-        let (ra, rb, rc) =
-            (a.root_element().unwrap(), b.root_element().unwrap(), c.root_element().unwrap());
+        let (ra, rb, rc) = (
+            a.root_element().unwrap(),
+            b.root_element().unwrap(),
+            c.root_element().unwrap(),
+        );
         assert!(!a.subtree_eq(ra, &b, rb));
         assert!(a.subtree_eq(ra, &c, rc));
     }

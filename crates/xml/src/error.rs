@@ -47,7 +47,12 @@ pub enum XmlErrorKind {
 impl XmlError {
     pub(crate) fn new(kind: XmlErrorKind, input: &str, offset: usize) -> Self {
         let (line, column) = line_col(input, offset);
-        XmlError { kind, offset, line, column }
+        XmlError {
+            kind,
+            offset,
+            line,
+            column,
+        }
     }
 
     /// The error category.

@@ -19,8 +19,15 @@ pub fn unescape(raw: &str) -> Result<Cow<'_, str>> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         rest = &rest[amp..];
+        // Byte offset (within `raw`) of the `&` under inspection, so parse
+        // errors point at the offending entity rather than the value start.
+        let amp_offset = raw.len() - rest.len();
         let semi = rest.find(';').ok_or_else(|| {
-            XmlError::new(XmlErrorKind::BadEntity(snippet(&rest[1..])), raw, 0)
+            XmlError::new(
+                XmlErrorKind::BadEntity(snippet(&rest[1..])),
+                raw,
+                amp_offset,
+            )
         })?;
         let entity = &rest[1..semi];
         match entity {
@@ -33,7 +40,7 @@ pub fn unescape(raw: &str) -> Result<Cow<'_, str>> {
                 let code = u32::from_str_radix(&entity[2..], 16)
                     .ok()
                     .and_then(char::from_u32)
-                    .ok_or_else(|| bad_entity(raw, entity))?;
+                    .ok_or_else(|| bad_entity(raw, entity, amp_offset))?;
                 out.push(code);
             }
             _ if entity.starts_with('#') => {
@@ -41,10 +48,10 @@ pub fn unescape(raw: &str) -> Result<Cow<'_, str>> {
                     .parse::<u32>()
                     .ok()
                     .and_then(char::from_u32)
-                    .ok_or_else(|| bad_entity(raw, entity))?;
+                    .ok_or_else(|| bad_entity(raw, entity, amp_offset))?;
                 out.push(code);
             }
-            _ => return Err(bad_entity(raw, entity)),
+            _ => return Err(bad_entity(raw, entity, amp_offset)),
         }
         rest = &rest[semi + 1..];
     }
@@ -52,8 +59,8 @@ pub fn unescape(raw: &str) -> Result<Cow<'_, str>> {
     Ok(Cow::Owned(out))
 }
 
-fn bad_entity(raw: &str, entity: &str) -> XmlError {
-    XmlError::new(XmlErrorKind::BadEntity(entity.to_string()), raw, 0)
+fn bad_entity(raw: &str, entity: &str, offset: usize) -> XmlError {
+    XmlError::new(XmlErrorKind::BadEntity(entity.to_string()), raw, offset)
 }
 
 fn snippet(s: &str) -> String {
@@ -101,7 +108,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;").unwrap(), "<a> & \"b\" 'c'");
+        assert_eq!(
+            unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;").unwrap(),
+            "<a> & \"b\" 'c'"
+        );
     }
 
     #[test]
@@ -116,6 +126,16 @@ mod tests {
         assert!(unescape("&#xZZ;").is_err());
         assert!(unescape("&unterminated").is_err());
         assert!(unescape("&#1114112;").is_err()); // beyond char::MAX
+    }
+
+    #[test]
+    fn unescape_errors_carry_the_offending_offset() {
+        // The error points at the `&` of the bad entity, not the value
+        // start.
+        assert_eq!(unescape("ab&bogus;").unwrap_err().offset(), 2);
+        assert_eq!(unescape("&lt;x&#xZZ;").unwrap_err().offset(), 5);
+        assert_eq!(unescape("abc&unterminated").unwrap_err().offset(), 3);
+        assert_eq!(unescape("&amp;&amp;&nope;").unwrap_err().offset(), 10);
     }
 
     #[test]

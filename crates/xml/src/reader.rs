@@ -30,7 +30,11 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { ignore_whitespace_text: true, keep_comments: false, keep_pis: false }
+        ParseOptions {
+            ignore_whitespace_text: true,
+            keep_comments: false,
+            keep_pis: false,
+        }
     }
 }
 
@@ -38,7 +42,11 @@ impl ParseOptions {
     /// Options preserving whitespace text (mixed-content documents such as
     /// TREEBANK-style linguistic data).
     pub fn preserving() -> Self {
-        ParseOptions { ignore_whitespace_text: false, keep_comments: false, keep_pis: false }
+        ParseOptions {
+            ignore_whitespace_text: false,
+            keep_comments: false,
+            keep_pis: false,
+        }
     }
 }
 
@@ -47,7 +55,10 @@ impl ParseOptions {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// An element opens. Attribute values are entity-resolved.
-    StartElement { name: String, attrs: Vec<(String, String)> },
+    StartElement {
+        name: String,
+        attrs: Vec<(String, String)>,
+    },
     /// An element closes.
     EndElement { name: String },
     /// Character data (entity-resolved; adjacent text/CDATA coalesced).
@@ -129,7 +140,7 @@ impl<'a> EventReader<'a> {
                 }
                 Some(Token::Text(raw)) => {
                     let resolved = unescape(raw).map_err(|e| {
-                        XmlError::new(e.kind().clone(), self.input, self.tokenizer.offset())
+                        XmlError::new(e.kind().clone(), self.input, self.slice_offset(raw, &e))
                     })?;
                     if self.stack.is_empty() {
                         if !resolved.trim().is_empty() {
@@ -168,15 +179,24 @@ impl<'a> EventReader<'a> {
                         );
                     }
                 }
-                Some(Token::StartTag { name, attrs, self_closing }) => {
+                Some(Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                }) => {
                     if self.root_seen && self.stack.is_empty() {
                         return Err(self.err(XmlErrorKind::MultipleRoots));
                     }
                     self.flush_text();
                     let attrs = self.resolve_attrs(&attrs)?;
-                    self.queue.push_back(Event::StartElement { name: name.to_string(), attrs });
+                    self.queue.push_back(Event::StartElement {
+                        name: name.to_string(),
+                        attrs,
+                    });
                     if self_closing {
-                        self.queue.push_back(Event::EndElement { name: name.to_string() });
+                        self.queue.push_back(Event::EndElement {
+                            name: name.to_string(),
+                        });
                         if self.stack.is_empty() {
                             self.root_seen = true;
                         }
@@ -191,7 +211,9 @@ impl<'a> EventReader<'a> {
                             if self.stack.is_empty() {
                                 self.root_seen = true;
                             }
-                            self.queue.push_back(Event::EndElement { name: name.to_string() });
+                            self.queue.push_back(Event::EndElement {
+                                name: name.to_string(),
+                            });
                         }
                         Some(open) => {
                             return Err(self.err(XmlErrorKind::MismatchedTag {
@@ -225,12 +247,26 @@ impl<'a> EventReader<'a> {
             .map(|(n, v)| {
                 let resolved = unescape(v)
                     .map_err(|e| {
-                        XmlError::new(e.kind().clone(), self.input, self.tokenizer.offset())
+                        XmlError::new(e.kind().clone(), self.input, self.slice_offset(v, &e))
                     })?
                     .into_owned();
                 Ok((n.to_string(), resolved))
             })
             .collect()
+    }
+
+    /// Document offset of an [`unescape`] error raised inside `slice`: the
+    /// slice's position within the input plus the error's offset within the
+    /// slice. Falls back to the tokenizer position if `slice` is not a
+    /// subslice of the input (it always is for tokenizer-produced tokens).
+    fn slice_offset(&self, slice: &str, e: &XmlError) -> usize {
+        let input_start = self.input.as_ptr() as usize;
+        let slice_start = slice.as_ptr() as usize;
+        if (input_start..input_start + self.input.len()).contains(&slice_start) {
+            slice_start - input_start + e.offset()
+        } else {
+            self.tokenizer.offset()
+        }
     }
 
     /// Collects every event of `input` into a vector (convenience for tests
@@ -259,8 +295,14 @@ mod tests {
         assert_eq!(
             evs,
             vec![
-                Event::StartElement { name: "a".into(), attrs: vec![] },
-                Event::StartElement { name: "b".into(), attrs: vec![] },
+                Event::StartElement {
+                    name: "a".into(),
+                    attrs: vec![]
+                },
+                Event::StartElement {
+                    name: "b".into(),
+                    attrs: vec![]
+                },
                 Event::Text("x".into()),
                 Event::EndElement { name: "b".into() },
                 Event::EndElement { name: "a".into() },
@@ -272,7 +314,13 @@ mod tests {
     fn self_closing_emits_both() {
         let evs = events("<a><b/></a>");
         assert_eq!(evs.len(), 4);
-        assert_eq!(evs[1], Event::StartElement { name: "b".into(), attrs: vec![] });
+        assert_eq!(
+            evs[1],
+            Event::StartElement {
+                name: "b".into(),
+                attrs: vec![]
+            }
+        );
         assert_eq!(evs[2], Event::EndElement { name: "b".into() });
     }
 
@@ -285,7 +333,9 @@ mod tests {
     #[test]
     fn whitespace_skipped_by_default() {
         let evs = events("<a>\n  <b>x</b>\n</a>");
-        assert!(!evs.iter().any(|e| matches!(e, Event::Text(t) if t.trim().is_empty())));
+        assert!(!evs
+            .iter()
+            .any(|e| matches!(e, Event::Text(t) if t.trim().is_empty())));
     }
 
     #[test]
@@ -299,7 +349,10 @@ mod tests {
         let evs = events(r#"<a t="&lt;x&gt;">&amp;</a>"#);
         assert_eq!(
             evs[0],
-            Event::StartElement { name: "a".into(), attrs: vec![("t".into(), "<x>".into())] }
+            Event::StartElement {
+                name: "a".into(),
+                attrs: vec![("t".into(), "<x>".into())]
+            }
         );
         assert_eq!(evs[1], Event::Text("&".into()));
     }
@@ -361,7 +414,10 @@ mod tests {
 
     #[test]
     fn comments_emitted_on_request() {
-        let opts = ParseOptions { keep_comments: true, ..ParseOptions::default() };
+        let opts = ParseOptions {
+            keep_comments: true,
+            ..ParseOptions::default()
+        };
         let evs = EventReader::collect_events("<a>x<!-- c -->y</a>", opts).unwrap();
         assert_eq!(evs[1], Event::Text("x".into()));
         assert_eq!(evs[2], Event::Comment(" c ".into()));
@@ -370,15 +426,24 @@ mod tests {
 
     #[test]
     fn pis_emitted_on_request() {
-        let opts = ParseOptions { keep_pis: true, ..ParseOptions::default() };
+        let opts = ParseOptions {
+            keep_pis: true,
+            ..ParseOptions::default()
+        };
         let evs = EventReader::collect_events("<a><?php echo?></a>", opts).unwrap();
-        assert_eq!(evs[1], Event::Pi { target: "php".into(), data: "echo".into() });
+        assert_eq!(
+            evs[1],
+            Event::Pi {
+                target: "php".into(),
+                data: "echo".into()
+            }
+        );
     }
 
     #[test]
     fn doctype_after_content_rejected() {
-        let err =
-            EventReader::collect_events("<a><!DOCTYPE x></a>", ParseOptions::default()).unwrap_err();
+        let err = EventReader::collect_events("<a><!DOCTYPE x></a>", ParseOptions::default())
+            .unwrap_err();
         assert!(matches!(err.kind(), XmlErrorKind::Malformed(_)));
     }
 
@@ -388,5 +453,29 @@ mod tests {
         assert_eq!(r.depth(), 0);
         r.next_event().unwrap(); // <a>
         assert_eq!(r.depth(), 1);
+    }
+
+    #[test]
+    fn bad_entity_in_text_points_at_the_ampersand() {
+        let input = "<a>x&bogus;</a>";
+        let err = EventReader::collect_events(input, ParseOptions::default()).unwrap_err();
+        assert!(
+            matches!(err.kind(), XmlErrorKind::BadEntity(e) if e == "bogus"),
+            "{err}"
+        );
+        assert_eq!(err.offset(), 4, "{err}");
+        assert_eq!((err.line(), err.column()), (1, 5), "{err}");
+    }
+
+    #[test]
+    fn bad_entity_in_attr_points_at_the_ampersand() {
+        let input = "<a>\n  <b c=\"x&nope;\"/></a>";
+        let err = EventReader::collect_events(input, ParseOptions::default()).unwrap_err();
+        assert!(
+            matches!(err.kind(), XmlErrorKind::BadEntity(e) if e == "nope"),
+            "{err}"
+        );
+        assert_eq!(err.offset(), input.find('&').unwrap(), "{err}");
+        assert_eq!(err.line(), 2, "{err}");
     }
 }

@@ -45,7 +45,13 @@ pub fn serialize_with(doc: &Document, id: NodeId, options: &SerializeOptions) ->
     out
 }
 
-fn write_node(doc: &Document, id: NodeId, options: &SerializeOptions, level: usize, out: &mut String) {
+fn write_node(
+    doc: &Document,
+    id: NodeId,
+    options: &SerializeOptions,
+    level: usize,
+    out: &mut String,
+) {
     match doc.kind(id) {
         NodeKind::Text => {
             out.push_str(&escape_text(doc.value(id)));
@@ -67,8 +73,7 @@ fn write_node(doc: &Document, id: NodeId, options: &SerializeOptions, level: usi
                 return;
             }
             out.push('>');
-            let only_text =
-                children.iter().all(|&c| doc.kind(c) == NodeKind::Text);
+            let only_text = children.iter().all(|&c| doc.kind(c) == NodeKind::Text);
             for &child in children {
                 write_node(doc, child, options, level + 1, out);
             }
@@ -150,7 +155,10 @@ mod tests {
     #[test]
     fn pretty_print_indents_elements() {
         let doc = parse("<a><b>x</b><c><d/></c></a>").unwrap();
-        let opts = SerializeOptions { indent: Some(2), xml_decl: false };
+        let opts = SerializeOptions {
+            indent: Some(2),
+            xml_decl: false,
+        };
         let out = serialize_with(&doc, doc.root(), &opts);
         assert_eq!(out, "<a>\n  <b>x</b>\n  <c>\n    <d/>\n  </c>\n</a>");
     }
@@ -158,7 +166,10 @@ mod tests {
     #[test]
     fn xml_decl_emitted() {
         let doc = parse("<a/>").unwrap();
-        let opts = SerializeOptions { indent: None, xml_decl: true };
+        let opts = SerializeOptions {
+            indent: None,
+            xml_decl: true,
+        };
         assert_eq!(
             serialize_with(&doc, doc.root(), &opts),
             "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>"

@@ -217,13 +217,21 @@ impl<'a> Tokenizer<'a> {
             match self.peek_byte() {
                 Some(b'>') => {
                     self.bump(1);
-                    return Ok(Token::StartTag { name, attrs, self_closing: false });
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: false,
+                    });
                 }
                 Some(b'/') => {
                     self.bump(1);
                     if self.peek_byte() == Some(b'>') {
                         self.bump(1);
-                        return Ok(Token::StartTag { name, attrs, self_closing: true });
+                        return Ok(Token::StartTag {
+                            name,
+                            attrs,
+                            self_closing: true,
+                        });
                     }
                     return Err(self.err(XmlErrorKind::UnexpectedChar('/')));
                 }
@@ -330,7 +338,11 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                Token::StartTag { name: "a", attrs: vec![], self_closing: false },
+                Token::StartTag {
+                    name: "a",
+                    attrs: vec![],
+                    self_closing: false
+                },
                 Token::Text("hi"),
                 Token::EndTag { name: "a" },
             ]
@@ -352,14 +364,22 @@ mod tests {
 
     #[test]
     fn comment_and_pi_and_doctype() {
-        let toks = all_tokens("<?xml version=\"1.0\"?><!DOCTYPE dblp SYSTEM \"dblp.dtd\"><!-- c --><a/>");
+        let toks =
+            all_tokens("<?xml version=\"1.0\"?><!DOCTYPE dblp SYSTEM \"dblp.dtd\"><!-- c --><a/>");
         assert_eq!(
             toks,
             vec![
-                Token::Pi { target: "xml", data: "version=\"1.0\"" },
+                Token::Pi {
+                    target: "xml",
+                    data: "version=\"1.0\""
+                },
                 Token::Doctype,
                 Token::Comment(" c "),
-                Token::StartTag { name: "a", attrs: vec![], self_closing: true },
+                Token::StartTag {
+                    name: "a",
+                    attrs: vec![],
+                    self_closing: true
+                },
             ]
         );
     }

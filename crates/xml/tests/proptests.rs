@@ -32,7 +32,10 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
 }
 
 fn root_strategy() -> impl Strategy<Value = Tree> {
-    (name_strategy(), prop::collection::vec(tree_strategy(), 0..5))
+    (
+        name_strategy(),
+        prop::collection::vec(tree_strategy(), 0..5),
+    )
         .prop_map(|(n, kids)| Tree::Element(n, kids))
 }
 

@@ -69,7 +69,11 @@ fn collect_cond(cond: &Cond, bound: &mut Vec<Var>, free: &mut BTreeSet<Var>) {
             note(b, bound, free);
         }
         Cond::VarEqConst(v, _) => note(v, bound, free),
-        Cond::Some { var, source, satisfies } => {
+        Cond::Some {
+            var,
+            source,
+            satisfies,
+        } => {
             note(&source.var, bound, free);
             bound.push(var.clone());
             collect_cond(satisfies, bound, free);
@@ -138,7 +142,9 @@ pub fn uses_descendant_axis(expr: &Expr) -> bool {
     fn walk_c(c: &Cond) -> bool {
         match c {
             Cond::True | Cond::VarEqVar(..) | Cond::VarEqConst(..) => false,
-            Cond::Some { source, satisfies, .. } => step_desc(source) || walk_c(satisfies),
+            Cond::Some {
+                source, satisfies, ..
+            } => step_desc(source) || walk_c(satisfies),
             Cond::And(a, b) | Cond::Or(a, b) => walk_c(a) || walk_c(b),
             Cond::Not(c) => walk_c(c),
         }
@@ -175,7 +181,9 @@ pub fn labels_used(expr: &Expr) -> BTreeSet<String> {
     fn walk_c(c: &Cond, out: &mut BTreeSet<String>) {
         match c {
             Cond::True | Cond::VarEqVar(..) | Cond::VarEqConst(..) => {}
-            Cond::Some { source, satisfies, .. } => {
+            Cond::Some {
+                source, satisfies, ..
+            } => {
                 step(source, out);
                 walk_c(satisfies, out);
             }
@@ -226,7 +234,10 @@ mod tests {
         assert!(uses_descendant_axis(&parse("//a").unwrap()));
         assert!(!uses_descendant_axis(&parse("/a").unwrap()));
         assert!(uses_descendant_axis(
-            &parse("for $x in /a return if (some $t in $x//text() satisfies true()) then $x else ()").unwrap()
+            &parse(
+                "for $x in /a return if (some $t in $x//text() satisfies true()) then $x else ()"
+            )
+            .unwrap()
         ));
     }
 

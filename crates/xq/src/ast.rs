@@ -112,7 +112,11 @@ pub enum Expr {
     /// `var/axis::ν` — emits copies of all matching nodes in document order.
     Step(PathStep),
     /// `for var in var/axis::ν return query`.
-    For { var: Var, source: PathStep, body: Box<Expr> },
+    For {
+        var: Var,
+        source: PathStep,
+        body: Box<Expr>,
+    },
     /// `if cond then query` (implicit empty else).
     If { cond: Cond, then: Box<Expr> },
 }
@@ -159,7 +163,11 @@ pub enum Cond {
     /// `var = "string"`.
     VarEqConst(Var, String),
     /// `some var in var/axis::ν satisfies cond`.
-    Some { var: Var, source: PathStep, satisfies: Box<Cond> },
+    Some {
+        var: Var,
+        source: PathStep,
+        satisfies: Box<Cond>,
+    },
     /// `cond and cond`.
     And(Box<Cond>, Box<Cond>),
     /// `cond or cond`.
@@ -247,7 +255,11 @@ impl fmt::Display for Cond {
             Cond::True => f.write_str("true()"),
             Cond::VarEqVar(a, b) => write!(f, "{a} = {b}"),
             Cond::VarEqConst(v, s) => write!(f, "{v} = \"{s}\""),
-            Cond::Some { var, source, satisfies } => {
+            Cond::Some {
+                var,
+                source,
+                satisfies,
+            } => {
                 write!(f, "some {var} in {source} satisfies {satisfies}")
             }
             Cond::And(a, b) => {
@@ -289,7 +301,10 @@ mod tests {
             Expr::Sequence(vec![Expr::Var(Var::named("a")), Expr::Var(Var::named("b"))])
         );
         assert_eq!(Expr::sequence(vec![]), Expr::Empty);
-        assert_eq!(Expr::sequence(vec![Expr::Var(Var::named("x"))]), Expr::Var(Var::named("x")));
+        assert_eq!(
+            Expr::sequence(vec![Expr::Var(Var::named("x"))]),
+            Expr::Var(Var::named("x"))
+        );
     }
 
     #[test]
@@ -303,7 +318,11 @@ mod tests {
 
     #[test]
     fn display_step() {
-        let s = PathStep { var: Var::named("x"), axis: Axis::Descendant, test: NodeTest::Text };
+        let s = PathStep {
+            var: Var::named("x"),
+            axis: Axis::Descendant,
+            test: NodeTest::Text,
+        };
         assert_eq!(s.to_string(), "$x/descendant::text()");
     }
 

@@ -48,7 +48,12 @@ impl ParseError {
                 column += 1;
             }
         }
-        ParseError { kind, offset, line, column }
+        ParseError {
+            kind,
+            offset,
+            line,
+            column,
+        }
     }
 
     /// The error category.

@@ -50,7 +50,11 @@ fn check_bound(expr: &Expr, input: &str) -> Result<()> {
 }
 
 fn unbound(var: &Var, input: &str) -> ParseError {
-    ParseError::new(ParseErrorKind::UnboundVariable(var.0.clone()), input, input.len())
+    ParseError::new(
+        ParseErrorKind::UnboundVariable(var.0.clone()),
+        input,
+        input.len(),
+    )
 }
 
 fn check_expr<'a>(expr: &'a Expr, scope: &mut HashSet<&'a str>, input: &str) -> Result<()> {
@@ -108,7 +112,11 @@ fn check_cond<'a>(cond: &'a Cond, scope: &mut HashSet<&'a str>, input: &str) -> 
                 Err(unbound(v, input))
             }
         }
-        Cond::Some { var, source, satisfies } => {
+        Cond::Some {
+            var,
+            source,
+            satisfies,
+        } => {
             if !scope.contains(source.var.0.as_str()) {
                 return Err(unbound(&source.var, input));
             }
@@ -143,7 +151,11 @@ struct Path {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input, pos: 0, gensym: 0 }
+        Parser {
+            input,
+            pos: 0,
+            gensym: 0,
+        }
     }
 
     fn err(&self, kind: ParseErrorKind) -> ParseError {
@@ -368,17 +380,29 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let else_branch = self.parse_item()?;
             if else_branch == Expr::Empty {
-                return Ok(Expr::If { cond, then: Box::new(then) });
+                return Ok(Expr::If {
+                    cond,
+                    then: Box::new(then),
+                });
             }
             // General else: (if c then q1) (if not(c) then q2); sound because
             // XQ conditions are pure.
             return Ok(Expr::sequence(vec![
-                Expr::If { cond: cond.clone(), then: Box::new(then) },
-                Expr::If { cond: Cond::Not(Box::new(cond)), then: Box::new(else_branch) },
+                Expr::If {
+                    cond: cond.clone(),
+                    then: Box::new(then),
+                },
+                Expr::If {
+                    cond: Cond::Not(Box::new(cond)),
+                    then: Box::new(else_branch),
+                },
             ]));
         }
         self.pos = save;
-        Ok(Expr::If { cond, then: Box::new(then) })
+        Ok(Expr::If {
+            cond,
+            then: Box::new(then),
+        })
     }
 
     fn parse_constructor(&mut self) -> Result<Expr> {
@@ -386,7 +410,10 @@ impl<'a> Parser<'a> {
         let name = self.parse_name()?;
         self.skip_ws();
         if self.eat("/>") {
-            return Ok(Expr::Element { name, content: Box::new(Expr::Empty) });
+            return Ok(Expr::Element {
+                name,
+                content: Box::new(Expr::Empty),
+            });
         }
         if self.peek().map(is_name_start).unwrap_or(false) {
             return Err(self.err(ParseErrorKind::Unsupported("constructor attributes".into())));
@@ -402,7 +429,10 @@ impl<'a> Parser<'a> {
                 if close != name {
                     return Err(self.err(ParseErrorKind::MismatchedTag { open: name, close }));
                 }
-                return Ok(Expr::Element { name, content: Box::new(Expr::sequence(items)) });
+                return Ok(Expr::Element {
+                    name,
+                    content: Box::new(Expr::sequence(items)),
+                });
             }
             match self.peek() {
                 None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
@@ -422,9 +452,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Literal text up to the next markup/enclosed expression.
                     let rest = self.rest();
-                    let end = rest
-                        .find(['<', '{', '}'])
-                        .unwrap_or(rest.len());
+                    let end = rest.find(['<', '{', '}']).unwrap_or(rest.len());
                     let text = &rest[..end];
                     self.bump(end);
                     // Boundary whitespace (XQuery default) is stripped.
@@ -490,8 +518,9 @@ impl<'a> Parser<'a> {
                 // `//child::a` means descendant-then-child; not expressible
                 // as a single XQ step.
                 Axis::Descendant => {
-                    return Err(self
-                        .err(ParseErrorKind::Unsupported("`//child::` composite axis".into())))
+                    return Err(self.err(ParseErrorKind::Unsupported(
+                        "`//child::` composite axis".into(),
+                    )))
                 }
             };
         } else if self.rest().starts_with("descendant::") {
@@ -514,7 +543,9 @@ impl<'a> Parser<'a> {
             self.bump("text ()".len());
             return Ok(NodeTest::Text);
         }
-        let name = self.parse_name().map_err(|_| self.expected("node test (label, `*`, or `text()`)"))?;
+        let name = self
+            .parse_name()
+            .map_err(|_| self.expected("node test (label, `*`, or `text()`)"))?;
         Ok(NodeTest::Label(name))
     }
 
@@ -530,15 +561,29 @@ impl<'a> Parser<'a> {
             let mut current = base;
             for (axis, test) in steps {
                 let fresh = self.fresh_var();
-                wraps.push((fresh.clone(), PathStep { var: current, axis, test }));
+                wraps.push((
+                    fresh.clone(),
+                    PathStep {
+                        var: current,
+                        axis,
+                        test,
+                    },
+                ));
                 current = fresh;
             }
             (current, wraps)
         };
-        let mut expr =
-            Expr::Step(PathStep { var: final_var, axis: last.0, test: last.1 });
+        let mut expr = Expr::Step(PathStep {
+            var: final_var,
+            axis: last.0,
+            test: last.1,
+        });
         for (var, source) in wrap.into_iter().rev() {
-            expr = Expr::For { var, source, body: Box::new(expr) };
+            expr = Expr::For {
+                var,
+                source,
+                body: Box::new(expr),
+            };
         }
         expr
     }
@@ -553,16 +598,31 @@ impl<'a> Parser<'a> {
         let mut current = base;
         for (axis, test) in steps {
             let fresh = self.fresh_var();
-            wraps.push((fresh.clone(), PathStep { var: current, axis, test }));
+            wraps.push((
+                fresh.clone(),
+                PathStep {
+                    var: current,
+                    axis,
+                    test,
+                },
+            ));
             current = fresh;
         }
         let mut expr = Expr::For {
             var,
-            source: PathStep { var: current, axis: last.0, test: last.1 },
+            source: PathStep {
+                var: current,
+                axis: last.0,
+                test: last.1,
+            },
             body: Box::new(body),
         };
         for (v, source) in wraps.into_iter().rev() {
-            expr = Expr::For { var: v, source, body: Box::new(expr) };
+            expr = Expr::For {
+                var: v,
+                source,
+                body: Box::new(expr),
+            };
         }
         expr
     }
@@ -575,16 +635,31 @@ impl<'a> Parser<'a> {
         let mut current = base;
         for (axis, test) in steps {
             let fresh = self.fresh_var();
-            wraps.push((fresh.clone(), PathStep { var: current, axis, test }));
+            wraps.push((
+                fresh.clone(),
+                PathStep {
+                    var: current,
+                    axis,
+                    test,
+                },
+            ));
             current = fresh;
         }
         let mut cond = Cond::Some {
             var,
-            source: PathStep { var: current, axis: last.0, test: last.1 },
+            source: PathStep {
+                var: current,
+                axis: last.0,
+                test: last.1,
+            },
             satisfies: Box::new(satisfies),
         };
         for (v, source) in wraps.into_iter().rev() {
-            cond = Cond::Some { var: v, source, satisfies: Box::new(cond) };
+            cond = Cond::Some {
+                var: v,
+                source,
+                satisfies: Box::new(cond),
+            };
         }
         cond
     }
@@ -653,8 +728,9 @@ impl<'a> Parser<'a> {
                     return Ok(Cond::True);
                 }
                 if self.rest().starts_with("false()") {
-                    return Err(self
-                        .err(ParseErrorKind::Unsupported("`false()` (use `not(true())`)".into())));
+                    return Err(self.err(ParseErrorKind::Unsupported(
+                        "`false()` (use `not(true())`)".into(),
+                    )));
                 }
                 if self.eat_keyword("not") {
                     self.skip_ws();
@@ -702,7 +778,11 @@ mod tests {
     use super::*;
 
     fn step(var: &str, axis: Axis, test: NodeTest) -> PathStep {
-        PathStep { var: Var(var.to_string()), axis, test }
+        PathStep {
+            var: Var(var.to_string()),
+            axis,
+            test,
+        }
     }
 
     fn label(l: &str) -> NodeTest {
@@ -724,32 +804,47 @@ mod tests {
     #[test]
     fn absolute_descendant_path() {
         let q = parse("//name").unwrap();
-        assert_eq!(q, Expr::Step(step("$root", Axis::Descendant, label("name"))));
+        assert_eq!(
+            q,
+            Expr::Step(step("$root", Axis::Descendant, label("name")))
+        );
     }
 
     #[test]
     fn explicit_axes() {
         let q = parse("for $x in /journal return $x/child::name").unwrap();
-        let Expr::For { body, .. } = q else { panic!("expected for") };
+        let Expr::For { body, .. } = q else {
+            panic!("expected for")
+        };
         assert_eq!(*body, Expr::Step(step("$x", Axis::Child, label("name"))));
         let q = parse("for $x in /journal return $x/descendant::text()").unwrap();
-        let Expr::For { body, .. } = q else { panic!("expected for") };
-        assert_eq!(*body, Expr::Step(step("$x", Axis::Descendant, NodeTest::Text)));
+        let Expr::For { body, .. } = q else {
+            panic!("expected for")
+        };
+        assert_eq!(
+            *body,
+            Expr::Step(step("$x", Axis::Descendant, NodeTest::Text))
+        );
     }
 
     #[test]
     fn example2_query_parses() {
         // The paper's Example 2.
-        let q = parse(
-            "<names> { for $j in /journal return for $n in $j//name return $n } </names>",
-        )
-        .unwrap();
-        let Expr::Element { name, content } = q else { panic!("expected constructor") };
+        let q =
+            parse("<names> { for $j in /journal return for $n in $j//name return $n } </names>")
+                .unwrap();
+        let Expr::Element { name, content } = q else {
+            panic!("expected constructor")
+        };
         assert_eq!(name, "names");
-        let Expr::For { var, source, body } = *content else { panic!("expected for") };
+        let Expr::For { var, source, body } = *content else {
+            panic!("expected for")
+        };
         assert_eq!(var, Var::named("j"));
         assert_eq!(source, step("$root", Axis::Child, label("journal")));
-        let Expr::For { var, source, body } = *body else { panic!("expected inner for") };
+        let Expr::For { var, source, body } = *body else {
+            panic!("expected inner for")
+        };
         assert_eq!(var, Var::named("n"));
         assert_eq!(source, step("$j", Axis::Descendant, label("name")));
         assert_eq!(*body, Expr::Var(Var::named("n")));
@@ -764,9 +859,15 @@ mod tests {
              else () }</names>",
         )
         .unwrap();
-        let Expr::Element { content, .. } = q else { panic!() };
-        let Expr::For { body, .. } = *content else { panic!() };
-        let Expr::If { cond, then } = *body else { panic!("expected if, got {body:?}") };
+        let Expr::Element { content, .. } = q else {
+            panic!()
+        };
+        let Expr::For { body, .. } = *content else {
+            panic!()
+        };
+        let Expr::If { cond, then } = *body else {
+            panic!("expected if, got {body:?}")
+        };
         assert_eq!(
             cond,
             Cond::Some {
@@ -786,7 +887,9 @@ mod tests {
              then for $y in $x//author return $y else ()",
         )
         .unwrap();
-        let Expr::For { source, .. } = &q else { panic!() };
+        let Expr::For { source, .. } = &q else {
+            panic!()
+        };
         assert_eq!(*source, step("$root", Axis::Descendant, label("article")));
     }
 
@@ -795,12 +898,33 @@ mod tests {
         let q = parse("for $a in /journal/authors/name return $a").unwrap();
         // for $#p0 in $root/journal return for $#p1 in $#p0/authors
         //   return for $a in $#p1/name return $a
-        let Expr::For { var: v0, source: s0, body } = q else { panic!() };
+        let Expr::For {
+            var: v0,
+            source: s0,
+            body,
+        } = q
+        else {
+            panic!()
+        };
         assert_eq!(s0, step("$root", Axis::Child, label("journal")));
-        let Expr::For { var: v1, source: s1, body } = *body else { panic!() };
+        let Expr::For {
+            var: v1,
+            source: s1,
+            body,
+        } = *body
+        else {
+            panic!()
+        };
         assert_eq!(s1.var, v0);
         assert_eq!(s1.test, label("authors"));
-        let Expr::For { var: v2, source: s2, body } = *body else { panic!() };
+        let Expr::For {
+            var: v2,
+            source: s2,
+            body,
+        } = *body
+        else {
+            panic!()
+        };
         assert_eq!(s2.var, v1);
         assert_eq!(v2, Var::named("a"));
         assert_eq!(*body, Expr::Var(Var::named("a")));
@@ -810,7 +934,9 @@ mod tests {
     fn multi_step_in_output_position() {
         let q = parse("for $j in /journal return $j/authors/name").unwrap();
         let Expr::For { body, .. } = q else { panic!() };
-        let Expr::For { var, source, body } = *body else { panic!("got {body:?}") };
+        let Expr::For { var, source, body } = *body else {
+            panic!("got {body:?}")
+        };
         assert_eq!(source, step("$j", Axis::Child, label("authors")));
         let Expr::Step(last) = *body else { panic!() };
         assert_eq!(last.var, var);
@@ -824,20 +950,34 @@ mod tests {
         assert_eq!(*body, Expr::Step(step("$x", Axis::Child, NodeTest::Star)));
         let q = parse("for $x in /journal return $x//text()").unwrap();
         let Expr::For { body, .. } = q else { panic!() };
-        assert_eq!(*body, Expr::Step(step("$x", Axis::Descendant, NodeTest::Text)));
+        assert_eq!(
+            *body,
+            Expr::Step(step("$x", Axis::Descendant, NodeTest::Text))
+        );
     }
 
     #[test]
     fn general_else_desugars() {
-        let q = parse(
-            "for $x in /a return if ($x = \"y\") then <yes/> else <no/>",
-        )
-        .unwrap();
+        let q = parse("for $x in /a return if ($x = \"y\") then <yes/> else <no/>").unwrap();
         let Expr::For { body, .. } = q else { panic!() };
-        let Expr::Sequence(parts) = *body else { panic!("expected sequence, got {body:?}") };
+        let Expr::Sequence(parts) = *body else {
+            panic!("expected sequence, got {body:?}")
+        };
         assert_eq!(parts.len(), 2);
-        assert!(matches!(&parts[0], Expr::If { cond: Cond::VarEqConst(..), .. }));
-        assert!(matches!(&parts[1], Expr::If { cond: Cond::Not(_), .. }));
+        assert!(matches!(
+            &parts[0],
+            Expr::If {
+                cond: Cond::VarEqConst(..),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &parts[1],
+            Expr::If {
+                cond: Cond::Not(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -850,7 +990,9 @@ mod tests {
     #[test]
     fn multi_binding_for() {
         let q = parse("for $a in /x, $b in $a/y return $b").unwrap();
-        let Expr::For { var, body, .. } = q else { panic!() };
+        let Expr::For { var, body, .. } = q else {
+            panic!()
+        };
         assert_eq!(var, Var::named("a"));
         assert!(matches!(*body, Expr::For { .. }));
     }
@@ -859,7 +1001,9 @@ mod tests {
     fn condition_precedence_not_and_or() {
         let c = parse_condition("$a = \"x\" or $b = \"y\" and not(true())").unwrap();
         // and binds tighter than or
-        let Cond::Or(_, rhs) = c else { panic!("expected Or at top, got {c:?}") };
+        let Cond::Or(_, rhs) = c else {
+            panic!("expected Or at top, got {c:?}")
+        };
         assert!(matches!(*rhs, Cond::And(..)));
     }
 
@@ -874,29 +1018,43 @@ mod tests {
     fn constructor_forms() {
         assert_eq!(
             parse("<a/>").unwrap(),
-            Expr::Element { name: "a".into(), content: Box::new(Expr::Empty) }
+            Expr::Element {
+                name: "a".into(),
+                content: Box::new(Expr::Empty)
+            }
         );
         assert_eq!(
             parse("<a></a>").unwrap(),
-            Expr::Element { name: "a".into(), content: Box::new(Expr::Empty) }
+            Expr::Element {
+                name: "a".into(),
+                content: Box::new(Expr::Empty)
+            }
         );
         let q = parse("<a><b/><c/></a>").unwrap();
-        let Expr::Element { content, .. } = q else { panic!() };
+        let Expr::Element { content, .. } = q else {
+            panic!()
+        };
         assert!(matches!(*content, Expr::Sequence(ref v) if v.len() == 2));
     }
 
     #[test]
     fn constructor_literal_text() {
         let q = parse("<a>hello</a>").unwrap();
-        let Expr::Element { content, .. } = q else { panic!() };
+        let Expr::Element { content, .. } = q else {
+            panic!()
+        };
         assert_eq!(*content, Expr::Text("hello".into()));
     }
 
     #[test]
     fn constructor_mixed_content() {
         let q = parse("<a>x{ /j }y</a>").unwrap();
-        let Expr::Element { content, .. } = q else { panic!() };
-        let Expr::Sequence(parts) = *content else { panic!() };
+        let Expr::Element { content, .. } = q else {
+            panic!()
+        };
+        let Expr::Sequence(parts) = *content else {
+            panic!()
+        };
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0], Expr::Text("x".into()));
         assert!(matches!(parts[1], Expr::Step(_)));
@@ -927,22 +1085,21 @@ mod tests {
     #[test]
     fn scoping_in_some() {
         // $t is only in scope inside the satisfies clause.
-        let err = parse(
-            "for $x in /a return if (some $t in $x/b satisfies true()) then $t else ()",
-        )
-        .unwrap_err();
+        let err =
+            parse("for $x in /a return if (some $t in $x/b satisfies true()) then $t else ()")
+                .unwrap_err();
         assert!(matches!(err.kind(), ParseErrorKind::UnboundVariable(v) if v == "$t"));
     }
 
     #[test]
     fn unsupported_features_rejected() {
-        for q in [
-            "let $x := /a return $x",
-            "every $x in /a satisfies true()",
-        ] {
+        for q in ["let $x := /a return $x", "every $x in /a satisfies true()"] {
             let err = parse(q).unwrap_err();
             assert!(
-                matches!(err.kind(), ParseErrorKind::Unsupported(_) | ParseErrorKind::Expected(_)),
+                matches!(
+                    err.kind(),
+                    ParseErrorKind::Unsupported(_) | ParseErrorKind::Expected(_)
+                ),
                 "query {q:?} gave {err:?}"
             );
         }
@@ -970,13 +1127,14 @@ mod tests {
 
     #[test]
     fn var_eq_var_condition() {
-        let q = parse(
-            "for $a in /x, $b in /y return if ($a = $b) then $a else ()",
-        )
-        .unwrap();
+        let q = parse("for $a in /x, $b in /y return if ($a = $b) then $a else ()").unwrap();
         let Expr::For { body, .. } = q else { panic!() };
-        let Expr::For { body, .. } = *body else { panic!() };
-        let Expr::If { cond, .. } = *body else { panic!() };
+        let Expr::For { body, .. } = *body else {
+            panic!()
+        };
+        let Expr::If { cond, .. } = *body else {
+            panic!()
+        };
         assert_eq!(cond, Cond::VarEqVar(Var::named("a"), Var::named("b")));
     }
 
@@ -991,8 +1149,8 @@ mod tests {
         for q in queries {
             let ast = parse(q).unwrap();
             let printed = ast.to_string();
-            let reparsed = parse(&printed)
-                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            let reparsed =
+                parse(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
             assert_eq!(ast, reparsed, "display round-trip changed {q:?}");
         }
     }
@@ -1007,7 +1165,9 @@ mod tests {
     #[test]
     fn descendant_text_in_some() {
         let c = parse_condition("some $t in $root//text() satisfies $t = \"Ana\"").unwrap();
-        let Cond::Some { satisfies, .. } = c else { panic!() };
+        let Cond::Some { satisfies, .. } = c else {
+            panic!()
+        };
         assert_eq!(*satisfies, Cond::VarEqConst(Var::named("t"), "Ana".into()));
     }
 }

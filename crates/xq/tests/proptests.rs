@@ -25,22 +25,38 @@ fn axis_strategy() -> impl Strategy<Value = Axis> {
 /// Generates a well-scoped expression given variables currently in scope.
 fn expr_strategy(scope: Vec<Var>, depth: u32) -> BoxedStrategy<Expr> {
     let scope_for_steps = scope.clone();
-    let step = (axis_strategy(), node_test_strategy(), 0..scope_for_steps.len())
+    let step = (
+        axis_strategy(),
+        node_test_strategy(),
+        0..scope_for_steps.len(),
+    )
         .prop_map(move |(axis, test, i)| {
-            Expr::Step(PathStep { var: scope_for_steps[i].clone(), axis, test })
+            Expr::Step(PathStep {
+                var: scope_for_steps[i].clone(),
+                axis,
+                test,
+            })
         });
     let scope_for_vars = scope.clone();
-    let var = (0..scope_for_vars.len())
-        .prop_map(move |i| Expr::Var(scope_for_vars[i].clone()));
+    let var = (0..scope_for_vars.len()).prop_map(move |i| Expr::Var(scope_for_vars[i].clone()));
     let leaf = prop_oneof![Just(Expr::Empty), step, var];
     if depth == 0 {
         return leaf.boxed();
     }
     let scope2 = scope.clone();
-    let for_expr = (axis_strategy(), node_test_strategy(), 0..scope.len(), 0..var_pool().len())
+    let for_expr = (
+        axis_strategy(),
+        node_test_strategy(),
+        0..scope.len(),
+        0..var_pool().len(),
+    )
         .prop_flat_map(move |(axis, test, src, bind)| {
             let var = var_pool()[bind].clone();
-            let source = PathStep { var: scope2[src].clone(), axis, test };
+            let source = PathStep {
+                var: scope2[src].clone(),
+                axis,
+                test,
+            };
             let mut inner_scope = scope2.clone();
             if !inner_scope.contains(&var) {
                 inner_scope.push(var.clone());
@@ -52,8 +68,8 @@ fn expr_strategy(scope: Vec<Var>, depth: u32) -> BoxedStrategy<Expr> {
             })
         });
     let scope3 = scope.clone();
-    let if_expr = (cond_strategy(scope.clone(), depth - 1), 1u32..2)
-        .prop_flat_map(move |(cond, _)| {
+    let if_expr =
+        (cond_strategy(scope.clone(), depth - 1), 1u32..2).prop_flat_map(move |(cond, _)| {
             expr_strategy(scope3.clone(), depth - 1).prop_map(move |then| Expr::If {
                 cond: cond.clone(),
                 then: Box::new(then),
@@ -66,8 +82,7 @@ fn expr_strategy(scope: Vec<Var>, depth: u32) -> BoxedStrategy<Expr> {
             content: Box::new(content),
         })
     });
-    let seq = prop::collection::vec(expr_strategy(scope, depth - 1), 2..4)
-        .prop_map(Expr::sequence);
+    let seq = prop::collection::vec(expr_strategy(scope, depth - 1), 2..4).prop_map(Expr::sequence);
     prop_oneof![leaf, for_expr, if_expr, elem, seq].boxed()
 }
 
@@ -83,10 +98,19 @@ fn cond_strategy(scope: Vec<Var>, depth: u32) -> BoxedStrategy<Cond> {
         return leaf.boxed();
     }
     let scope2 = scope.clone();
-    let some = (axis_strategy(), node_test_strategy(), 0..scope.len(), 0..var_pool().len())
+    let some = (
+        axis_strategy(),
+        node_test_strategy(),
+        0..scope.len(),
+        0..var_pool().len(),
+    )
         .prop_flat_map(move |(axis, test, src, bind)| {
             let var = var_pool()[bind].clone();
-            let source = PathStep { var: scope2[src].clone(), axis, test };
+            let source = PathStep {
+                var: scope2[src].clone(),
+                axis,
+                test,
+            };
             let mut inner = scope2.clone();
             if !inner.contains(&var) {
                 inner.push(var.clone());
@@ -97,8 +121,13 @@ fn cond_strategy(scope: Vec<Var>, depth: u32) -> BoxedStrategy<Cond> {
                 satisfies: Box::new(satisfies),
             })
         });
-    let pair = (cond_strategy(scope.clone(), depth - 1), cond_strategy(scope.clone(), depth - 1));
-    let and = pair.clone().prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b)));
+    let pair = (
+        cond_strategy(scope.clone(), depth - 1),
+        cond_strategy(scope.clone(), depth - 1),
+    );
+    let and = pair
+        .clone()
+        .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b)));
     let or = pair.prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b)));
     let not = cond_strategy(scope, depth - 1).prop_map(|c| Cond::Not(Box::new(c)));
     prop_oneof![leaf, some, and, or, not].boxed()

@@ -10,9 +10,7 @@
 use std::time::Duration;
 use xmldb_core::{EngineKind, QueryOptions};
 use xmldb_testbed::grading::MilestoneRecord;
-use xmldb_testbed::{
-    run_submission, Corpus, CorpusConfig, GradeBook, RunLimits, SubmissionPool,
-};
+use xmldb_testbed::{run_submission, Corpus, CorpusConfig, GradeBook, RunLimits, SubmissionPool};
 
 fn main() {
     println!("generating the test corpus…");
@@ -24,11 +22,31 @@ fn main() {
 
     // Five teams submit — the Figure 7 lineup.
     let mut pool = SubmissionPool::new();
-    pool.submit("team-tuplejuggler", EngineKind::M4CostBased, QueryOptions::default());
-    pool.submit("team-unluckystats", EngineKind::M4CostBased, QueryOptions::default());
-    pool.submit("team-heuristics", EngineKind::M3Algebraic, QueryOptions::default());
-    pool.submit("team-interpreters", EngineKind::M2Storage, QueryOptions::default());
-    pool.submit("team-scanline", EngineKind::NaiveScan, QueryOptions::default());
+    pool.submit(
+        "team-tuplejuggler",
+        EngineKind::M4CostBased,
+        QueryOptions::default(),
+    );
+    pool.submit(
+        "team-unluckystats",
+        EngineKind::M4CostBased,
+        QueryOptions::default(),
+    );
+    pool.submit(
+        "team-heuristics",
+        EngineKind::M3Algebraic,
+        QueryOptions::default(),
+    );
+    pool.submit(
+        "team-interpreters",
+        EngineKind::M2Storage,
+        QueryOptions::default(),
+    );
+    pool.submit(
+        "team-scanline",
+        EngineKind::NaiveScan,
+        QueryOptions::default(),
+    );
 
     let limits = RunLimits {
         efficiency_budget: Duration::from_secs(3),
@@ -39,18 +57,28 @@ fn main() {
     let mut book = GradeBook::new();
     // The tester picks submissions up fairly and mails results back.
     while let Some(submission) = pool.take_next() {
-        println!("\n==== testing submission #{} from {} ====", submission.id, submission.team);
+        println!(
+            "\n==== testing submission #{} from {} ====",
+            submission.id, submission.team
+        );
         let report = run_submission(&corpus, &submission, &limits);
         print!("{}", report.render_email());
-        let efficiency_total =
-            if report.passed_correctness { Some(report.total_charged) } else { None };
+        let efficiency_total = if report.passed_correctness {
+            Some(report.total_charged)
+        } else {
+            None
+        };
         book.register(
             submission.team.clone(),
             MilestoneRecord {
                 weeks_late: vec![0, 0, 0, 0],
                 runnable_before_exam: report.passed_correctness,
                 team_size: 2,
-                bonus_features: if submission.engine == EngineKind::M4CostBased { 1 } else { 0 },
+                bonus_features: if submission.engine == EngineKind::M4CostBased {
+                    1
+                } else {
+                    0
+                },
             },
             // Everyone aces the exam in this simulation.
             90,

@@ -16,8 +16,11 @@ const EXAMPLE6: &str = "for $x in //article return \
     then for $y in $x//author return $y else ()";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.5);
 
     // A deliberately small buffer pool, as in the course's efficiency tests.
     let db = Database::in_memory_with(EnvConfig::with_pool_bytes(2 << 20));

@@ -11,8 +11,11 @@ use xmldb_core::{Database, EngineKind};
 use xmldb_datagen::TreebankConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.5);
 
     let db = Database::in_memory();
     println!("generating TREEBANK-like data at scale {scale}…");
@@ -30,13 +33,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Deep descendant navigation: noun phrases anywhere under sentences,
     // then nouns anywhere under those.
     let queries = [
-        ("nouns-in-NPs", "for $s in //S return for $np in $s//NP return $np//NN"),
+        (
+            "nouns-in-NPs",
+            "for $s in //S return for $np in $s//NP return $np//NN",
+        ),
         (
             "sentences-with-sbar",
             "for $s in //S return \
              if (some $x in $s//SBAR satisfies true()) then <deep/> else ()",
         ),
-        ("np-under-np", "for $np in //NP return for $inner in $np//NP return <nested/>"),
+        (
+            "np-under-np",
+            "for $np in //NP return for $inner in $np//NP return <nested/>",
+        ),
     ];
 
     for (name, query) in queries {

@@ -65,12 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 }
                 Some("load") => match (parts.next(), parts.next()) {
-                    (Some(name), Some(path)) => {
-                        match db.load_document_from_path(name, path) {
-                            Ok(()) => println!("loaded {name}"),
-                            Err(e) => println!("error: {e}"),
-                        }
-                    }
+                    (Some(name), Some(path)) => match db.load_document_from_path(name, path) {
+                        Ok(()) => println!("loaded {name}"),
+                        Err(e) => println!("error: {e}"),
+                    },
                     _ => println!("usage: \\load <name> <file>"),
                 },
                 Some("use") => match parts.next() {

@@ -76,20 +76,26 @@ fn corrupted_stats_never_change_answers() {
     }
     let stats = db.store("dblp").unwrap().stats().clone();
     let mut corrupted = stats.clone();
-    if let (Some(&max), Some(&min)) =
-        (stats.label_counts.values().max(), stats.label_counts.values().min())
-    {
+    if let (Some(&max), Some(&min)) = (
+        stats.label_counts.values().max(),
+        stats.label_counts.values().min(),
+    ) {
         for count in corrupted.label_counts.values_mut() {
             *count = max + min - *count;
         }
     }
-    let options = xmldb_core::QueryOptions { stats_override: Some(corrupted) };
+    let options = xmldb_core::QueryOptions {
+        stats_override: Some(corrupted),
+    };
     for (qname, query) in xmldb_testbed::corpus::efficiency_queries() {
         let reference = db.query("dblp", query, EngineKind::M4CostBased).unwrap();
         let got = db
             .query_with("dblp", query, EngineKind::M4CostBased, &options)
             .unwrap();
-        assert_eq!(got, reference, "corrupted stats changed the answer of {qname}");
+        assert_eq!(
+            got, reference,
+            "corrupted stats changed the answer of {qname}"
+        );
     }
 }
 
@@ -100,7 +106,9 @@ fn missing_labels_yield_empty_results() {
     let db = Database::in_memory();
     db.load_document("doc", "<a><b>x</b></a>").unwrap();
     for engine in EngineKind::ALL {
-        let r = db.query("doc", "for $z in //zzz return $z//www", engine).unwrap();
+        let r = db
+            .query("doc", "for $z in //zzz return $z//www", engine)
+            .unwrap();
         assert!(r.is_empty(), "{engine} returned {r}");
     }
 }
@@ -113,11 +121,8 @@ fn testbed_pipeline_end_to_end() {
     let mut pool = xmldb_testbed::SubmissionPool::new();
     pool.submit("itest", EngineKind::M4CostBased, Default::default());
     let submission = pool.take_next().unwrap();
-    let report = xmldb_testbed::run_submission(
-        &corpus,
-        &submission,
-        &xmldb_testbed::RunLimits::default(),
-    );
+    let report =
+        xmldb_testbed::run_submission(&corpus, &submission, &xmldb_testbed::RunLimits::default());
     assert!(report.passed_correctness, "{}", report.render_email());
     assert_eq!(report.efficiency.len(), 5);
 }

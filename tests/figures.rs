@@ -47,8 +47,14 @@ fn figure2_labels() {
 fn example1_tuples() {
     let env = Env::memory();
     let store = shred_document(&env, "fig2", FIGURE2).unwrap();
-    assert_eq!(store.get(2).unwrap().unwrap().to_string(), "(2, 17, 1, element, journal)");
-    assert_eq!(store.get(5).unwrap().unwrap().to_string(), "(5, 6, 4, text, Ana)");
+    assert_eq!(
+        store.get(2).unwrap().unwrap().to_string(),
+        "(2, 17, 1, element, journal)"
+    );
+    assert_eq!(
+        store.get(5).unwrap().unwrap().to_string(),
+        "(5, 6, 4, text, Ana)"
+    );
 }
 
 /// The structural-join characterizations stated in §2, verified
@@ -60,7 +66,9 @@ fn structural_join_formulas() {
     let all: Vec<_> = store.scan_all().map(|t| t.unwrap()).collect();
     let doc = xmldb_xml::parse(FIGURE2).unwrap();
     let lab = xmldb_xml::Labeling::compute(&doc);
-    let nodes: Vec<_> = std::iter::once(doc.root()).chain(doc.descendants(doc.root())).collect();
+    let nodes: Vec<_> = std::iter::once(doc.root())
+        .chain(doc.descendants(doc.root()))
+        .collect();
     for (i, &x_node) in nodes.iter().enumerate() {
         for (j, &y_node) in nodes.iter().enumerate() {
             let x = &all[i];
@@ -89,7 +97,11 @@ fn example2_binding_sequence_and_result() {
         .by_label_in_range("name", journal.in_, journal.out)
         .map(|t| (journal.in_, t.unwrap().in_))
         .collect();
-    assert_eq!(bindings, vec![(2, 4), (2, 8)], "the Example 2 vartuple sequence");
+    assert_eq!(
+        bindings,
+        vec![(2, 4), (2, 8)],
+        "the Example 2 vartuple sequence"
+    );
 
     let db = Database::in_memory();
     db.load_document("fig2", FIGURE2).unwrap();
@@ -100,7 +112,10 @@ fn example2_binding_sequence_and_result() {
             EngineKind::M4CostBased,
         )
         .unwrap();
-    assert_eq!(result.to_xml(), "<names><name>Ana</name><name>Bob</name></names>");
+    assert_eq!(
+        result.to_xml(),
+        "<names><name>Ana</name><name>Bob</name></names>"
+    );
 }
 
 /// The strict-merging counterexample from §2: with a `<j>` constructor
@@ -136,7 +151,11 @@ fn example5_semantics() {
              then for $n in $j//name return $n else () }</names>";
     for engine in EngineKind::ALL {
         let r = db.query("fig2", q, engine).unwrap();
-        assert_eq!(r.to_xml(), "<names><name>Ana</name><name>Bob</name></names>", "{engine}");
+        assert_eq!(
+            r.to_xml(),
+            "<names><name>Ana</name><name>Bob</name></names>",
+            "{engine}"
+        );
     }
 }
 

@@ -22,7 +22,10 @@ fn full_database_reopen_roundtrip() {
             "<lib><journal><name>Ana</name></journal><journal><name>Bob</name></journal></lib>",
         )
         .unwrap();
-        expected = db.query("lib", query, EngineKind::M4CostBased).unwrap().to_xml();
+        expected = db
+            .query("lib", query, EngineKind::M4CostBased)
+            .unwrap()
+            .to_xml();
         db.flush().unwrap();
     }
     {
@@ -63,7 +66,12 @@ fn multiple_documents_coexist_on_disk() {
     {
         let db = Database::open_dir(&dir, EnvConfig::default()).unwrap();
         assert!(!db.has_document("a"));
-        assert_eq!(db.query("b", "//y", EngineKind::M4CostBased).unwrap().to_xml(), "<y>2</y>");
+        assert_eq!(
+            db.query("b", "//y", EngineKind::M4CostBased)
+                .unwrap()
+                .to_xml(),
+            "<y>2</y>"
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -77,7 +85,10 @@ fn tiny_buffer_pool_still_correct() {
     {
         let db = Database::open_dir(
             &dir,
-            EnvConfig { page_size: 4096, pool_bytes: 16 * 4096 },
+            EnvConfig {
+                page_size: 4096,
+                pool_bytes: 16 * 4096,
+            },
         )
         .unwrap();
         db.load_document("dblp", &xml).unwrap();
@@ -85,7 +96,10 @@ fn tiny_buffer_pool_still_correct() {
     }
     let db_small = Database::open_dir(
         &dir,
-        EnvConfig { page_size: 4096, pool_bytes: 16 * 4096 },
+        EnvConfig {
+            page_size: 4096,
+            pool_bytes: 16 * 4096,
+        },
     )
     .unwrap();
     let db_big = Database::in_memory();
@@ -111,7 +125,9 @@ fn load_from_file_path() {
     let db = Database::in_memory();
     db.load_document_from_path("disk", &path).unwrap();
     assert_eq!(
-        db.query("disk", "//item", EngineKind::M1InMemory).unwrap().to_xml(),
+        db.query("disk", "//item", EngineKind::M1InMemory)
+            .unwrap()
+            .to_xml(),
         "<item>from disk</item>"
     );
     std::fs::remove_dir_all(&dir).unwrap();

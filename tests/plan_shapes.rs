@@ -6,8 +6,7 @@ use xmldb_algebra::rewrite::{optimize, RewriteOptions};
 use xmldb_core::{Database, EngineKind};
 use xmldb_xq::parse;
 
-const EXAMPLE2: &str =
-    "<names>{ for $j in /journal return for $n in $j//name return $n }</names>";
+const EXAMPLE2: &str = "<names>{ for $j in /journal return for $n in $j//name return $n }</names>";
 
 /// Figure 3: the un-merged TPM expression (two relfors; the descendant
 /// step carries its own copy of the binding relation).
@@ -27,7 +26,10 @@ fn figure3_snapshot() {
 /// (the paper's N1) is dropped because N1.in = $j = J.in.
 #[test]
 fn figure4_snapshot() {
-    let tpm = optimize(compile_query(&parse(EXAMPLE2).unwrap()), &RewriteOptions::default());
+    let tpm = optimize(
+        compile_query(&parse(EXAMPLE2).unwrap()),
+        &RewriteOptions::default(),
+    );
     assert_eq!(
         tpm.render(),
         "constr(names)\n\
@@ -59,11 +61,22 @@ fn figure5_snapshot() {
 /// elimination necessary (the §2 ordering discussion).
 #[test]
 fn figure5_merged_needs_dedup() {
-    let tpm = optimize(compile_query(&parse(EXAMPLE5).unwrap()), &RewriteOptions::default());
+    let tpm = optimize(
+        compile_query(&parse(EXAMPLE5).unwrap()),
+        &RewriteOptions::default(),
+    );
     assert_eq!(tpm.relfor_count(), 1, "{}", tpm.render());
-    let xmldb_algebra::Tpm::Constr { content, .. } = &tpm else { panic!() };
-    let xmldb_algebra::Tpm::RelFor { source, .. } = content.as_ref() else { panic!() };
-    assert!(xmldb_algebra::ordering::needs_dedup(source), "{}", tpm.render());
+    let xmldb_algebra::Tpm::Constr { content, .. } = &tpm else {
+        panic!()
+    };
+    let xmldb_algebra::Tpm::RelFor { source, .. } = content.as_ref() else {
+        panic!()
+    };
+    assert!(
+        xmldb_algebra::ordering::needs_dedup(source),
+        "{}",
+        tpm.render()
+    );
 }
 
 const EXAMPLE6: &str = "for $x in //article return \
@@ -91,14 +104,19 @@ fn figure6_qp2_plan() {
     }
     xml.push_str("</dblp>");
     db.load_document("dblp", &xml).unwrap();
-    let explain = db.explain("dblp", EXAMPLE6, EngineKind::M4CostBased).unwrap();
+    let explain = db
+        .explain("dblp", EXAMPLE6, EngineKind::M4CostBased)
+        .unwrap();
     // Two index nested-loops joins.
     assert_eq!(explain.matches("inl-join").count(), 2, "{explain}");
     // The volume semijoin happens before the author expansion: in the
     // rendered plan (top-down), the author probe is above the volume probe.
     let author_pos = explain.find("label=author").expect("author probe");
     let volume_pos = explain.find("label=volume").expect("volume probe");
-    assert!(author_pos < volume_pos, "authors must join last:\n{explain}");
+    assert!(
+        author_pos < volume_pos,
+        "authors must join last:\n{explain}"
+    );
     // Order-preserving: no sort operator.
     assert!(!explain.contains("sort keys"), "{explain}");
     // Semijoin: a dedup projection between the joins (two projections
@@ -117,7 +135,9 @@ fn example6_heuristic_plan_is_less_clever() {
         "<dblp><article><author>a</author><volume>1</volume></article></dblp>",
     )
     .unwrap();
-    let explain = db.explain("dblp", EXAMPLE6, EngineKind::M3Algebraic).unwrap();
+    let explain = db
+        .explain("dblp", EXAMPLE6, EngineKind::M3Algebraic)
+        .unwrap();
     // No index joins in milestone 3.
     assert_eq!(explain.matches("inl-join").count(), 0, "{explain}");
     assert!(explain.contains("nl-join"), "{explain}");
@@ -146,7 +166,9 @@ fn left_outer_join_extension_plan() {
     assert!(!m3.contains("relfor-outer"), "{m3}");
     // And the semantics include the empty element.
     assert_eq!(
-        db.query("lib", q, EngineKind::M4CostBased).unwrap().to_xml(),
+        db.query("lib", q, EngineKind::M4CostBased)
+            .unwrap()
+            .to_xml(),
         "<names><j><name>Ana</name></j><j/></names>"
     );
 }

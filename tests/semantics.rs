@@ -260,10 +260,13 @@ fn replace_document_updates_answers() {
     let db = Database::in_memory();
     db.load_document("doc", "<a><n>old</n></a>").unwrap();
     assert_eq!(
-        db.query("doc", "//n", EngineKind::M4CostBased).unwrap().to_xml(),
+        db.query("doc", "//n", EngineKind::M4CostBased)
+            .unwrap()
+            .to_xml(),
         "<n>old</n>"
     );
-    db.replace_document("doc", "<a><n>new</n><n>two</n></a>").unwrap();
+    db.replace_document("doc", "<a><n>new</n><n>two</n></a>")
+        .unwrap();
     for engine in EngineKind::ALL {
         assert_eq!(
             db.query("doc", "//n", engine).unwrap().to_xml(),

@@ -1,0 +1,332 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the bench targets use — groups, `iter`,
+//! `bench_with_input`, throughput annotation — with a plain wall-clock
+//! measurement loop and stdout reporting. No statistics, no HTML reports.
+//!
+//! Under `cargo test` each benchmark body runs exactly once, as a smoke
+//! test. Under `cargo bench` (detected via the `--bench` flag cargo passes)
+//! a small timed loop runs and the mean iteration time is printed.
+
+// Stand-in code: keep the real workspace lint-clean without polishing stubs.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Whether we're running as a smoke test (`cargo test`) rather than a real
+/// benchmark run. Cargo passes `--bench` to `harness = false` targets only
+/// under `cargo bench`; anything else (notably `cargo test`, which passes
+/// `--test` or nothing) gets the single-iteration smoke mode.
+fn test_mode() -> bool {
+    !std::env::args().any(|a| a == "--bench")
+}
+
+/// Throughput annotation; recorded and echoed, not analyzed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if !self.function.is_empty() => write!(f, "{}/{}", self.function, p),
+            Some(p) => f.write_str(p),
+            None => f.write_str(&self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured body.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by `iter`.
+    elapsed: Duration,
+    iters: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `body` and records its mean wall-clock time. In test mode the
+    /// body runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if test_mode() {
+            black_box(body());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // One warm-up call, then loop until the measurement budget is spent
+        // (bounded to keep worst-case runs sane).
+        black_box(body());
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            black_box(body());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed() / self.iters as u32;
+    }
+}
+
+/// Group-level configuration + reporting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.measurement_time, self.throughput, |b| f(b));
+        let _ = &self.criterion;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.measurement_time, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        measurement_time,
+    };
+    f(&mut b);
+    if test_mode() {
+        println!("bench {name}: ok (smoke, 1 iter)");
+        return;
+    }
+    let per_iter = b.elapsed;
+    match throughput {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if !per_iter.is_zero() => {
+            let mib_s = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+            println!(
+                "bench {name}: {per_iter:?}/iter ({} iters, {mib_s:.1} MiB/s)",
+                b.iters
+            );
+        }
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            let elems_s = n as f64 / per_iter.as_secs_f64();
+            println!(
+                "bench {name}: {per_iter:?}/iter ({} iters, {elems_s:.0} elem/s)",
+                b.iters
+            );
+        }
+        _ => println!("bench {name}: {per_iter:?}/iter ({} iters)", b.iters),
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let t = self.measurement_time;
+        run_one(name, t, None, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let t = self.measurement_time;
+        run_one(&id.to_string(), t, None, |b| f(b, input));
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_smoke_runs_once_in_test_mode() {
+        // Unit tests run with the libtest harness, which doesn't pass
+        // --test; emulate bench-mode with a tiny budget instead.
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            measurement_time: Duration::from_millis(5),
+        };
+        b.iter(|| calls += 1);
+        assert!(calls >= 1);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,54 @@
+//! `any::<T>()` for primitive types.
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary(_rng: &mut TestRng) -> Self {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn any_u8_covers_range() {
+        let mut rng = TestRng::from_seed(41);
+        let strat = any::<u8>();
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[strat.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 250);
+    }
+}

@@ -1,0 +1,66 @@
+//! Sampling strategies over fixed collections.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// An order-preserving random subsequence of `items`, with a length drawn
+/// from `size` (clamped to the number of items).
+pub fn subsequence<T: Clone + Debug>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        items,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone + Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<T> {
+        let want = if self.items.is_empty() {
+            0
+        } else {
+            self.size.clamp_hi(self.items.len()).sample(rng)
+        };
+        // Partial Fisher-Yates over the index set, then restore order.
+        let mut indices: Vec<usize> = (0..self.items.len()).collect();
+        for slot in 0..want {
+            let pick = rng.range(slot, indices.len());
+            indices.swap(slot, pick);
+        }
+        let mut chosen = indices[..want].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequence_preserves_order_and_bounds() {
+        let mut rng = TestRng::from_seed(31);
+        let s = subsequence(vec![1, 2, 3, 4, 5], 0..=5);
+        for _ in 0..500 {
+            let v = s.new_value(&mut rng);
+            assert!(v.len() <= 5);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn subsequence_of_empty() {
+        let mut rng = TestRng::from_seed(32);
+        let s = subsequence(Vec::<u8>::new(), 0..=0);
+        assert!(s.new_value(&mut rng).is_empty());
+    }
+}

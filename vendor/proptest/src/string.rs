@@ -1,0 +1,242 @@
+//! Regex-lite string generation: the subset of regex syntax the
+//! workspace's string strategies use.
+//!
+//! Supported: literal chars, character classes `[a-z0-9_]` (ranges and
+//! singletons), the printable-character escape `\PC`, the escapes
+//! `\d`/`\w`/`\s`, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Inclusive char ranges.
+    Ranges(Vec<(char, char)>),
+    /// Any printable (non-control) character — regex `\PC`. Mostly ASCII,
+    /// with an occasional multibyte character to exercise UTF-8 paths.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// A handful of printable non-ASCII characters mixed into `\PC` output.
+const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '🙂', '†', '±'];
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let inner: Vec<char> = chars[i + 1..i + close].to_vec();
+                i += close + 1;
+                CharSet::Ranges(parse_class(&inner, pattern))
+            }
+            '\\' => {
+                let (set, consumed) = parse_escape(&chars[i + 1..], pattern);
+                i += 1 + consumed;
+                set
+            }
+            '.' => {
+                i += 1;
+                CharSet::Printable
+            }
+            c => {
+                i += 1;
+                CharSet::Ranges(vec![(c, c)])
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn parse_class(inner: &[char], pattern: &str) -> Vec<(char, char)> {
+    assert!(!inner.is_empty(), "empty char class in pattern {pattern:?}");
+    let mut ranges = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if j + 2 < inner.len() && inner[j + 1] == '-' {
+            assert!(
+                inner[j] <= inner[j + 2],
+                "reversed range in pattern {pattern:?}"
+            );
+            ranges.push((inner[j], inner[j + 2]));
+            j += 3;
+        } else {
+            ranges.push((inner[j], inner[j]));
+            j += 1;
+        }
+    }
+    ranges
+}
+
+/// Parses the escape after a `\`; returns the set and chars consumed.
+fn parse_escape(rest: &[char], pattern: &str) -> (CharSet, usize) {
+    match rest {
+        ['P', 'C', ..] | ['p', 'C', ..] => (CharSet::Printable, 2),
+        ['d', ..] => (CharSet::Ranges(vec![('0', '9')]), 1),
+        ['w', ..] => (
+            CharSet::Ranges(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            1,
+        ),
+        ['s', ..] => (CharSet::Ranges(vec![(' ', ' '), ('\t', '\t')]), 1),
+        [c, ..] => (CharSet::Ranges(vec![(*c, *c)]), 1),
+        [] => panic!("dangling backslash in pattern {pattern:?}"),
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad repetition {body:?} in {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Printable => {
+            // 1-in-16 exotic; otherwise printable ASCII (0x20..=0x7e).
+            if rng.below(16) == 0 {
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+            }
+        }
+        CharSet::Ranges(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let size = *hi as u64 - *lo as u64 + 1;
+                if pick < size {
+                    // Surrogate gaps never occur in the workspace's classes.
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .expect("char class crossed a surrogate gap");
+                }
+                pick -= size;
+            }
+            unreachable!("class pick out of range")
+        }
+    }
+}
+
+/// Generates a string matching `pattern` (within the supported subset).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = if atom.min == atom.max {
+            atom.min
+        } else {
+            rng.range(atom.min, atom.max + 1)
+        };
+        for _ in 0..count {
+            out.push(sample_char(&atom.set, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(11)
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = generate("[a-d]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenated_classes() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = generate("[a-z][a-z0-9]{0,6}", &mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s.chars().count() <= 7);
+        }
+    }
+
+    #[test]
+    fn printable_space_to_tilde() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = generate("[ -~]{1,12}", &mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pc_never_generates_control_chars() {
+        let mut rng = rng();
+        let mut saw_exotic = false;
+        for _ in 0..2000 {
+            let s = generate("\\PC{0,40}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            saw_exotic |= s.chars().any(|c| !c.is_ascii());
+        }
+        assert!(saw_exotic, "\\PC should occasionally emit non-ASCII");
+    }
+
+    #[test]
+    fn fixed_count_and_literals() {
+        let mut rng = rng();
+        let s = generate("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset this workspace uses: `rngs::StdRng` (and `SmallRng`),
+//! `SeedableRng::seed_from_u64`, and the `Rng` methods `gen_range` /
+//! `gen_bool` / `gen`. `StdRng` is xoshiro256++ seeded through splitmix64 —
+//! statistically solid for data generation, **not** cryptographic (the real
+//! `StdRng` is ChaCha12; nothing here relies on that).
+
+// Stand-in code: keep the real workspace lint-clean without polishing stubs.
+#![allow(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of random u64s plus the derived sampling methods.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from a (half-open or inclusive) integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 uniform mantissa bits, same construction as rand's `f64` sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniformly random value of a supported primitive type.
+    fn gen<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::fill(self)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Fill {
+    fn fill<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            fn fill<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for bool {
+    fn fill<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types `gen_range` can sample uniformly. The blanket
+/// [`SampleRange`] impls below mirror rand's shape (one generic impl per
+/// range type) so integer-literal ranges infer exactly as with real rand.
+pub trait SampleUniform: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "gen_range on empty range");
+        let offset = (rng.next_u64() as u128) % ((hi - lo) as u128);
+        T::from_i128(lo + offset as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "gen_range on empty range");
+        let offset = (rng.next_u64() as u128) % ((hi - lo) as u128 + 1);
+        T::from_i128(lo + offset as i128)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core shared by both rng types.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Xoshiro256 {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is a fixed point; splitmix64 of any seed avoids it,
+        // but guard anyway.
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Xoshiro256 { s }
+    }
+
+    fn step(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// Stand-in for rand's `StdRng` (see crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(pub(crate) Xoshiro256);
+
+    /// Stand-in for rand's `SmallRng`; same core as [`StdRng`] here.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(pub(crate) Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.step()
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.step()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.gen_range(0..=4);
+            assert!(w <= 4);
+            let s: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "hits = {hits}");
+    }
+}
