@@ -1,0 +1,248 @@
+//! B+-tree read-path benchmark: warm point-gets, full scans and prefix
+//! scans against the raw tree, plus the same access patterns end-to-end
+//! through `shred_document` and the M2/M4 engines.
+//!
+//! Emits a machine-readable JSON snapshot so read-path changes can be
+//! compared against a committed baseline (`BENCH_btree_read.json` /
+//! `BENCH_btree_read.baseline.json` at the repo root):
+//!
+//! ```text
+//! cargo bench -p xmldb-bench --bench btree_read -- --out BENCH_btree_read.json
+//! ```
+//!
+//! Under `cargo test` (no `--bench` flag) each case runs once as a smoke
+//! test at a reduced size.
+
+use std::time::Instant;
+use xmldb_core::{Database, EngineKind};
+use xmldb_storage::{codec, BTree, Env, EnvConfig};
+
+/// One measured case.
+struct Sample {
+    name: &'static str,
+    size: u64,
+    iters: u64,
+    /// Total operations across all iterations (rows scanned, gets issued,
+    /// or queries run).
+    ops: u64,
+    ns_per_op: f64,
+}
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Deterministic shuffle order (no RNG dependency): a full-period LCG walk.
+fn scrambled(n: u64) -> Vec<u64> {
+    let mut order: Vec<u64> = (0..n).collect();
+    for i in 0..order.len() as u64 {
+        let j = i
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            % order.len() as u64;
+        order.swap(i as usize, j as usize);
+    }
+    order
+}
+
+fn clustered_key(i: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(8);
+    codec::put_u64(&mut k, i);
+    k
+}
+
+fn label_key(label: u64, i: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(24);
+    codec::put_str_terminated(&mut k, &format!("label{label:03}"));
+    codec::put_u64(&mut k, i);
+    k
+}
+
+/// Times `op` (which reports how many operations it performed) until it has
+/// run for at least `min_iters` iterations, after one warmup pass.
+fn measure(name: &'static str, size: u64, min_iters: u64, mut op: impl FnMut() -> u64) -> Sample {
+    let _ = op(); // warm the pool and the allocator
+    let iters = if bench_mode() { min_iters } else { 1 };
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        ops += std::hint::black_box(op());
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = if ops == 0 {
+        0.0
+    } else {
+        elapsed.as_nanos() as f64 / ops as f64
+    };
+    Sample {
+        name,
+        size,
+        iters,
+        ops,
+        ns_per_op,
+    }
+}
+
+/// Raw-tree cases at one size: the tree is bulk-loaded with `n` short
+/// values under a pool large enough to hold it (warm reads only — the
+/// paper's efficiency setting once the working set fits the 20 MB budget).
+fn raw_tree_cases(n: u64, out: &mut Vec<Sample>) {
+    let env = Env::memory_with(EnvConfig {
+        page_size: 8192,
+        pool_bytes: 32 << 20,
+    });
+    let mut tree = BTree::create(&env, "bench").unwrap();
+    tree.bulk_load((0..n).map(|i| (clustered_key(i), format!("value-{i:08}").into_bytes())))
+        .unwrap();
+    let order = scrambled(n);
+
+    out.push(measure("point_get", n, 4, || {
+        let mut hits = 0u64;
+        for &i in &order {
+            if tree.get(&clustered_key(i)).unwrap().is_some() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, n);
+        hits
+    }));
+
+    // The canonical scan: zero-copy visit of every row in place. The
+    // pre-slotted engine had no cheaper way to walk the tree than the
+    // materializing cursor, so the baseline's `full_scan` numbers are the
+    // cursor's.
+    out.push(measure("full_scan", n, 4, || {
+        let mut rows = 0u64;
+        let mut sum = 0u64;
+        tree.scan(|k, v| {
+            sum = sum.wrapping_add(k[7] as u64 + v.len() as u64);
+            rows += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(rows, n);
+        std::hint::black_box(sum);
+        rows
+    }));
+
+    // The cursor path (owned key/value pairs per row), same shape as the
+    // pre-change `full_scan`.
+    out.push(measure("full_scan_materialize", n, 4, || {
+        let mut rows = 0u64;
+        for entry in tree.iter() {
+            let (k, v) = entry.unwrap();
+            std::hint::black_box((k, v));
+            rows += 1;
+        }
+        assert_eq!(rows, n);
+        rows
+    }));
+
+    // Secondary-index shape: 64 labels, n/64 entries each, scanned label by
+    // label (the XASR `(label, in)` covering-index pattern).
+    let labels = 64u64;
+    let mut idx = BTree::create(&env, "bench-idx").unwrap();
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+        .map(|i| (label_key(i % labels, i), i.to_be_bytes().to_vec()))
+        .collect();
+    entries.sort();
+    idx.bulk_load(entries).unwrap();
+    out.push(measure("prefix_scan", n, 4, || {
+        let mut rows = 0u64;
+        for label in 0..labels {
+            let mut prefix = Vec::new();
+            codec::put_str_terminated(&mut prefix, &format!("label{label:03}"));
+            for entry in idx.prefix(&prefix) {
+                entry.unwrap();
+                rows += 1;
+            }
+        }
+        assert_eq!(rows, n);
+        rows
+    }));
+}
+
+/// End-to-end cases: shred a generated document and run a descendant query
+/// through the M2 interpreter and the M4 cost-based engine.
+fn engine_cases(records: u64, out: &mut Vec<Sample>) {
+    let db = Database::in_memory_with(EnvConfig {
+        page_size: 8192,
+        pool_bytes: 32 << 20,
+    });
+    let mut xml = String::from("<db>");
+    for i in 0..records {
+        xml.push_str(&format!(
+            "<journal><name>author-{i:06}</name><title>t{i}</title></journal>"
+        ));
+    }
+    xml.push_str("</db>");
+    db.load_document("bench", &xml).unwrap();
+
+    for (name, engine) in [
+        ("engine_m2_descendant", EngineKind::M2Storage),
+        ("engine_m4_descendant", EngineKind::M4CostBased),
+    ] {
+        out.push(measure(name, records, 3, || {
+            let result = db.query("bench", "//name", engine).unwrap();
+            assert_eq!(result.len(), records as usize);
+            1
+        }));
+    }
+}
+
+fn render_json(samples: &[Sample]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"btree_read\",\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"results\": [\n",
+        if bench_mode() { "bench" } else { "smoke" }
+    ));
+    for (i, r) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"size\": {}, \"iters\": {}, \"ops\": {}, \"ns_per_op\": {:.1}}}{}\n",
+            r.name,
+            r.size,
+            r.iters,
+            r.ops,
+            r.ns_per_op,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        // Any other flag is a harness flag (--bench, filters) — ignored.
+        if flag == "--out" {
+            out_path = Some(args.next().expect("--out takes a path"));
+        }
+    }
+
+    let sizes: &[u64] = if bench_mode() {
+        &[1_000, 10_000, 50_000]
+    } else {
+        &[500]
+    };
+    let records = if bench_mode() { 5_000 } else { 200 };
+
+    let mut samples = Vec::new();
+    for &n in sizes {
+        raw_tree_cases(n, &mut samples);
+    }
+    engine_cases(records, &mut samples);
+
+    for r in &samples {
+        println!(
+            "{:<22} n={:<6} {:>10.1} ns/op  ({} iters, {} ops)",
+            r.name, r.size, r.ns_per_op, r.iters, r.ops
+        );
+    }
+    let json = render_json(&samples);
+    match out_path {
+        Some(path) => std::fs::write(&path, &json).expect("write JSON snapshot"),
+        None => print!("{json}"),
+    }
+}

@@ -196,6 +196,10 @@ pub fn explain_analyze(
                             m.io.physical_writes,
                             m.io.hit_ratio() * 100.0
                         ));
+                        out.push_str(&format!(
+                            "read path: {} node views, {} in-place searches, {} shard locks\n",
+                            m.io.node_views, m.io.in_place_searches, m.io.shard_locks
+                        ));
                     }
                 }
                 Err(e) => out.push_str(&format!("runtime error: {e}\n")),

@@ -184,6 +184,10 @@ pub fn explain_analyze_with_rewrites(
         io.physical_writes,
         io.hit_ratio() * 100.0
     ));
+    out.push_str(&format!(
+        "read path: {} node views, {} in-place searches, {} shard locks\n",
+        io.node_views, io.in_place_searches, io.shard_locks
+    ));
     Ok(out)
 }
 

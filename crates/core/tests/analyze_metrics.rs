@@ -59,6 +59,16 @@ fn pool_overflow_shows_physical_reads() {
         metrics.io
     );
     assert!(metrics.io.requests() > 0);
+    assert!(
+        metrics.io.node_views > 0 && metrics.io.in_place_searches > 0,
+        "index descents run on zero-copy views: {:?}",
+        metrics.io
+    );
+    assert!(
+        metrics.io.shard_locks > 0,
+        "every page acquire crosses a shard lock: {:?}",
+        metrics.io
+    );
 }
 
 /// The rendered EXPLAIN ANALYZE trace carries actual counters and the
@@ -79,6 +89,10 @@ fn explain_analyze_renders_counters() {
         assert!(text.contains("opens=1"), "[{engine}] {text}");
         assert!(text.contains("result: 2 item(s)"), "[{engine}] {text}");
         assert!(text.contains("buffer pool:"), "[{engine}] {text}");
+        assert!(text.contains("read path:"), "[{engine}] {text}");
+        assert!(text.contains("node views"), "[{engine}] {text}");
+        assert!(text.contains("in-place searches"), "[{engine}] {text}");
+        assert!(text.contains("shard locks"), "[{engine}] {text}");
         assert!(text.contains("elapsed:"), "[{engine}] {text}");
     }
     let text = db
@@ -87,6 +101,7 @@ fn explain_analyze_renders_counters() {
     assert!(text.contains("interpreter"), "{text}");
     assert!(text.contains("result: 2 item(s)"), "{text}");
     assert!(text.contains("buffer pool:"), "{text}");
+    assert!(text.contains("read path:"), "{text}");
 }
 
 /// Nested relfors: the inner plan re-opens once per outer binding, and the

@@ -8,11 +8,17 @@
 //!
 //! ## Design notes
 //!
-//! * Nodes are (de)serialized whole: a page is parsed into a `Node` value,
-//!   manipulated, and written back. This trades some memcpy for simplicity
-//!   and makes the free-space check trivial ("does the serialized node
-//!   fit"). Profiling on the Figure 7 workloads shows page parse cost is
-//!   dominated by buffer-pool traffic, which the cost model captures.
+//! * Pages use the slotted layout of [`crate::node`] (format v2): a
+//!   cell-offset directory lets the read path binary-search keys *in
+//!   place* against the pinned frame bytes. `get`, `contains` and cursor
+//!   descent run on [`crate::node::NodeView`]s and allocate only for rows
+//!   actually returned; the write path still materializes whole nodes
+//!   (parse → mutate → serialize), which keeps the free-space check
+//!   trivial ("does the serialized node fit").
+//! * Cursors copy the in-range cells of one leaf out per page acquire
+//!   rather than pinning frames across `next()` calls — engine iterators
+//!   nest as deep as the document, and pins held that long could exhaust
+//!   the small pools the efficiency tests run under.
 //! * Keys must compare lexicographically ([`crate::codec`] provides
 //!   order-preserving encodings). Keys are unique; inserting an existing
 //!   key replaces its value.
@@ -34,6 +40,10 @@
 
 use crate::env::{Env, FileId};
 use crate::error::StorageError;
+use crate::node::{
+    internal_cell_size, leaf_cell_size, node_size, parse_node, serialize_node, LeafVal, Node,
+    NodeBody, NodeView, ValueRef, NODE_HEADER, NO_SIBLING,
+};
 use crate::page::PageId;
 use crate::temp::TempFile;
 use crate::Result;
@@ -43,11 +53,6 @@ const MAGIC: &[u8; 4] = b"SABT";
 const META_ROOT: usize = 4;
 const META_COUNT: usize = 12;
 const META_HEIGHT: usize = 20;
-
-const NODE_HEADER: usize = 11;
-const TYPE_LEAF: u8 = 1;
-const TYPE_INTERNAL: u8 = 2;
-const NO_SIBLING: u64 = u64::MAX;
 
 /// A B+-tree. See module docs.
 pub struct BTree {
@@ -59,29 +64,6 @@ pub struct BTree {
     count: u64,
 }
 
-#[derive(Debug, Clone)]
-enum LeafVal {
-    Inline(Vec<u8>),
-    Overflow { page: u64, len: u32 },
-}
-
-#[derive(Debug, Clone)]
-enum NodeBody {
-    /// Sorted `(key, value)` cells.
-    Leaf(Vec<(Vec<u8>, LeafVal)>),
-    /// Sorted `(key, child)` cells; keys ≥ `key_i` and < `key_{i+1}` live
-    /// under `child_i`.
-    Internal(Vec<(Vec<u8>, u64)>),
-}
-
-#[derive(Debug, Clone)]
-struct Node {
-    /// Leaf: right sibling page (or [`NO_SIBLING`]); internal: leftmost
-    /// child.
-    extra: u64,
-    body: NodeBody,
-}
-
 enum InsertOutcome {
     Fit {
         replaced: bool,
@@ -91,6 +73,12 @@ enum InsertOutcome {
         right: u64,
         replaced: bool,
     },
+}
+
+/// One zero-copy descent step, computed entirely inside the page closure.
+enum Step<T> {
+    Descend(u64),
+    Leaf(T),
 }
 
 impl BTree {
@@ -204,6 +192,7 @@ impl BTree {
 
     // --- node (de)serialization -------------------------------------------------
 
+    /// Materializes a node (write path only — readers use [`NodeView`]s).
     fn read_node(&self, page: PageId) -> Result<Node> {
         self.env.with_page(self.file, page, parse_node)?
     }
@@ -213,39 +202,50 @@ impl BTree {
             .with_page_mut(self.file, page, |data| serialize_node(node, data))?
     }
 
+    /// Runs one descent step against the pinned page bytes: internal nodes
+    /// resolve the child pointer in place, leaves are handed to `at_leaf`.
+    fn view_step<T>(
+        &self,
+        page: PageId,
+        key: &[u8],
+        at_leaf: impl FnOnce(&crate::node::LeafView<'_>) -> T,
+    ) -> Result<Step<T>> {
+        let stats = self.env.counters();
+        self.env.with_page(self.file, page, |data| {
+            stats.note_node_view();
+            stats.note_in_place_search();
+            match NodeView::parse(data)? {
+                NodeView::Internal(view) => Ok(Step::Descend(view.child_for(key))),
+                NodeView::Leaf(view) => Ok(Step::Leaf(at_leaf(&view))),
+            }
+        })?
+    }
+
     // --- point operations --------------------------------------------------------
 
-    /// Looks up `key`, returning its value.
+    /// Looks up `key`, returning its value. The descent binary-searches
+    /// each page in place; only the returned value is materialized.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut page = self.root;
         loop {
-            let node = self.read_node(page)?;
-            match node.body {
-                NodeBody::Internal(cells) => {
-                    page = PageId(child_for(&cells, node.extra, key));
-                }
-                NodeBody::Leaf(cells) => {
-                    return match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-                        Ok(idx) => Ok(Some(self.load_value(&cells[idx].1)?)),
-                        Err(_) => Ok(None),
-                    };
-                }
+            let step = self.view_step(page, key, |leaf| {
+                leaf.search(key).ok().map(|i| leaf.value(i).to_leaf_val())
+            })?;
+            match step {
+                Step::Descend(child) => page = PageId(child),
+                Step::Leaf(Some(val)) => return Ok(Some(self.load_value(val)?)),
+                Step::Leaf(None) => return Ok(None),
             }
         }
     }
 
-    /// True if `key` is present (no value materialization).
+    /// True if `key` is present. Fully zero-copy: no cell is materialized.
     pub fn contains(&self, key: &[u8]) -> Result<bool> {
         let mut page = self.root;
         loop {
-            let node = self.read_node(page)?;
-            match node.body {
-                NodeBody::Internal(cells) => page = PageId(child_for(&cells, node.extra, key)),
-                NodeBody::Leaf(cells) => {
-                    return Ok(cells
-                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
-                        .is_ok())
-                }
+            match self.view_step(page, key, |leaf| leaf.search(key).is_ok())? {
+                Step::Descend(child) => page = PageId(child),
+                Step::Leaf(found) => return Ok(found),
             }
         }
     }
@@ -393,26 +393,23 @@ impl BTree {
     }
 
     /// Removes `key`; returns `true` if it was present. Leaves are never
-    /// rebalanced (see module docs).
+    /// rebalanced (see module docs). The descent is zero-copy; only the
+    /// target leaf is materialized for rewriting.
     pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
-        let mut page = self.root;
-        loop {
-            let mut node = self.read_node(page)?;
-            match &mut node.body {
-                NodeBody::Internal(cells) => page = PageId(child_for(cells, node.extra, key)),
-                NodeBody::Leaf(cells) => {
-                    match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-                        Ok(idx) => {
-                            cells.remove(idx);
-                            self.write_node(page, &node)?;
-                            self.count -= 1;
-                            self.write_meta()?;
-                            return Ok(true);
-                        }
-                        Err(_) => return Ok(false),
-                    }
-                }
+        let leaf = self.leaf_for(key)?;
+        let mut node = self.read_node(leaf)?;
+        let NodeBody::Leaf(cells) = &mut node.body else {
+            return Err(StorageError::corrupt("leaf_for returned internal node"));
+        };
+        match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(idx) => {
+                cells.remove(idx);
+                self.write_node(leaf, &node)?;
+                self.count -= 1;
+                self.write_meta()?;
+                Ok(true)
             }
+            Err(_) => Ok(false),
         }
     }
 
@@ -443,23 +440,22 @@ impl BTree {
         })
     }
 
-    fn load_value(&self, val: &LeafVal) -> Result<Vec<u8>> {
+    fn load_value(&self, val: LeafVal) -> Result<Vec<u8>> {
         match val {
-            LeafVal::Inline(bytes) => Ok(bytes.clone()),
+            LeafVal::Inline(bytes) => Ok(bytes),
             LeafVal::Overflow { page, len } => {
-                let mut out = Vec::with_capacity(*len as usize);
-                let mut next = *page;
+                let mut out = Vec::with_capacity(len as usize);
+                let mut next = page;
                 while next != NO_SIBLING {
-                    let (chunk, n) = self.env.with_page(self.file, PageId(next), |data| {
+                    next = self.env.with_page(self.file, PageId(next), |data| {
                         let n = u64::from_le_bytes(data[..8].try_into().unwrap());
                         let chunk_len =
                             u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
-                        (data[12..12 + chunk_len].to_vec(), n)
+                        out.extend_from_slice(&data[12..12 + chunk_len]);
+                        n
                     })?;
-                    out.extend_from_slice(&chunk);
-                    next = n;
                 }
-                if out.len() != *len as usize {
+                if out.len() != len as usize {
                     return Err(StorageError::corrupt("overflow chain length mismatch"));
                 }
                 Ok(out)
@@ -488,39 +484,125 @@ impl BTree {
     /// Cursor over every key with prefix `prefix` (works because keys are
     /// compared lexicographically).
     pub fn prefix(&self, prefix: &[u8]) -> Cursor<'_> {
-        let mut upper = prefix.to_vec();
-        // Successor of the prefix: bump the last non-0xFF byte.
-        loop {
-            match upper.last() {
-                Some(&0xFF) => {
-                    upper.pop();
-                }
-                Some(_) => {
-                    *upper.last_mut().expect("non-empty") += 1;
-                    break;
-                }
-                None => {
-                    // Prefix was all 0xFF: everything ≥ prefix matches.
-                    return self.range(Bound::Included(prefix), Bound::Unbounded);
-                }
-            }
-        }
+        let upper = match prefix_successor(prefix) {
+            Some(succ) => Bound::Excluded(succ),
+            // Prefix was all 0xFF: everything ≥ prefix matches.
+            None => Bound::Unbounded,
+        };
         Cursor {
             tree: self,
             state: CursorState::Unseeked {
                 lower: Bound::Included(prefix.to_vec()),
             },
-            upper: Bound::Excluded(upper),
+            upper,
         }
     }
 
+    /// Visits every `(key, value)` pair with keys in `[lower, upper]`, in
+    /// ascending order, without materializing rows: `visit` receives
+    /// slices borrowed straight from the pinned page (only overflow
+    /// values are assembled into a scratch buffer first). Scanning stops
+    /// early when `visit` returns `false`.
+    ///
+    /// This is the fast path the slotted layout exists for — a full scan
+    /// allocates nothing per row. `visit` runs while the leaf's frame is
+    /// pinned under a read latch, so it must not write to this
+    /// environment; nested *reads* (even on this tree) are fine.
+    pub fn scan_range(
+        &self,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+        mut visit: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        let mut leaf = match lower {
+            Bound::Unbounded => self.leftmost_leaf()?,
+            Bound::Included(k) | Bound::Excluded(k) => self.leaf_for(k)?,
+        };
+        let stats = self.env.counters();
+        let mut first = true;
+        loop {
+            let next = self
+                .env
+                .with_page(self.file, leaf, |data| -> Result<u64> {
+                    stats.note_node_view();
+                    let NodeView::Leaf(view) = NodeView::parse(data)? else {
+                        return Err(StorageError::corrupt("expected leaf page in scan"));
+                    };
+                    let start = if first {
+                        match lower {
+                            Bound::Unbounded => 0,
+                            Bound::Included(k) => {
+                                stats.note_in_place_search();
+                                view.search(k).unwrap_or_else(|i| i)
+                            }
+                            Bound::Excluded(k) => {
+                                stats.note_in_place_search();
+                                match view.search(k) {
+                                    Ok(i) => i + 1,
+                                    Err(i) => i,
+                                }
+                            }
+                        }
+                    } else {
+                        0
+                    };
+                    for i in start..view.nkeys() {
+                        let (key, val) = view.cell(i);
+                        let in_range = match upper {
+                            Bound::Unbounded => true,
+                            Bound::Included(u) => key <= u,
+                            Bound::Excluded(u) => key < u,
+                        };
+                        if !in_range {
+                            return Ok(NO_SIBLING);
+                        }
+                        let keep = match val {
+                            ValueRef::Inline(v) => visit(key, v),
+                            ValueRef::Overflow { page, len } => {
+                                let owned = self.load_value(LeafVal::Overflow { page, len })?;
+                                visit(key, &owned)
+                            }
+                        };
+                        if !keep {
+                            return Ok(NO_SIBLING);
+                        }
+                    }
+                    Ok(view.next_leaf())
+                })??;
+            if next == NO_SIBLING {
+                return Ok(());
+            }
+            first = false;
+            leaf = PageId(next);
+        }
+    }
+
+    /// Visits every entry in key order without materializing rows; see
+    /// [`BTree::scan_range`].
+    pub fn scan(&self, visit: impl FnMut(&[u8], &[u8]) -> bool) -> Result<()> {
+        self.scan_range(Bound::Unbounded, Bound::Unbounded, visit)
+    }
+
+    /// Visits every entry whose key starts with `prefix`, zero-copy; see
+    /// [`BTree::scan_range`].
+    pub fn scan_prefix(
+        &self,
+        prefix: &[u8],
+        visit: impl FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        match prefix_successor(prefix) {
+            Some(succ) => self.scan_range(Bound::Included(prefix), Bound::Excluded(&succ), visit),
+            None => self.scan_range(Bound::Included(prefix), Bound::Unbounded, visit),
+        }
+    }
+
+    /// Leaf page that would hold `key`, found by zero-copy descent.
     fn leaf_for(&self, key: &[u8]) -> Result<PageId> {
         let mut page = self.root;
         loop {
-            let node = self.read_node(page)?;
-            match node.body {
-                NodeBody::Internal(cells) => page = PageId(child_for(&cells, node.extra, key)),
-                NodeBody::Leaf(_) => return Ok(page),
+            match self.view_step(page, key, |_| ())? {
+                Step::Descend(child) => page = PageId(child),
+                Step::Leaf(()) => return Ok(page),
             }
         }
     }
@@ -528,10 +610,19 @@ impl BTree {
     fn leftmost_leaf(&self) -> Result<PageId> {
         let mut page = self.root;
         loop {
-            let node = self.read_node(page)?;
-            match node.body {
-                NodeBody::Internal(_) => page = PageId(node.extra),
-                NodeBody::Leaf(_) => return Ok(page),
+            let stats = self.env.counters();
+            let step = self
+                .env
+                .with_page(self.file, page, |data| -> Result<Step<()>> {
+                    stats.note_node_view();
+                    match NodeView::parse(data)? {
+                        NodeView::Internal(view) => Ok(Step::Descend(view.leftmost())),
+                        NodeView::Leaf(_) => Ok(Step::Leaf(())),
+                    }
+                })??;
+            match step {
+                Step::Descend(child) => page = PageId(child),
+                Step::Leaf(()) => return Ok(page),
             }
         }
     }
@@ -555,7 +646,10 @@ impl BTree {
         let mut leaf_index: Vec<(Vec<u8>, u64)> = Vec::new();
         let mut cells: Vec<(Vec<u8>, LeafVal)> = Vec::new();
         let mut size = NODE_HEADER;
-        let mut prev_key: Option<Vec<u8>> = None;
+        // The ascending-order check reuses one buffer instead of cloning
+        // every key.
+        let mut prev_key: Vec<u8> = Vec::new();
+        let mut have_prev = false;
         let mut count = 0u64;
         let mut pending_leaf: Option<(PageId, Node)> = None;
 
@@ -566,12 +660,12 @@ impl BTree {
                     max: self.max_key(),
                 });
             }
-            if let Some(prev) = &prev_key {
-                if *prev >= key {
-                    return Err(StorageError::corrupt("bulk_load keys must strictly ascend"));
-                }
+            if have_prev && prev_key.as_slice() >= key.as_slice() {
+                return Err(StorageError::corrupt("bulk_load keys must strictly ascend"));
             }
-            prev_key = Some(key.clone());
+            prev_key.clear();
+            prev_key.extend_from_slice(&key);
+            have_prev = true;
             let val = self.store_value(&value)?;
             let cell = leaf_cell_size(&key, &val);
             if size + cell > fill_limit && !cells.is_empty() {
@@ -685,7 +779,7 @@ impl BTree {
 
 // --- helpers -------------------------------------------------------------------
 
-/// Child page for `key` within an internal node.
+/// Child page for `key` within an owned internal node (write path).
 fn child_for(cells: &[(Vec<u8>, u64)], extra: u64, key: &[u8]) -> u64 {
     // Rightmost cell with key_i ≤ key, else leftmost child.
     match cells.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
@@ -695,30 +789,13 @@ fn child_for(cells: &[(Vec<u8>, u64)], extra: u64, key: &[u8]) -> u64 {
     }
 }
 
-fn leaf_cell_size(key: &[u8], val: &LeafVal) -> usize {
-    7 + key.len()
-        + match val {
-            LeafVal::Inline(v) => v.len(),
-            LeafVal::Overflow { .. } => 12,
-        }
-}
-
-fn internal_cell_size(key: &[u8]) -> usize {
-    10 + key.len()
-}
-
-fn node_size(node: &Node) -> usize {
-    NODE_HEADER
-        + match &node.body {
-            NodeBody::Leaf(cells) => cells
-                .iter()
-                .map(|(k, v)| leaf_cell_size(k, v))
-                .sum::<usize>(),
-            NodeBody::Internal(cells) => cells
-                .iter()
-                .map(|(k, _)| internal_cell_size(k))
-                .sum::<usize>(),
-        }
+/// Smallest byte string greater than every key starting with `prefix`,
+/// or `None` when no such bound exists (the prefix is empty or all 0xFF).
+fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let last = prefix.iter().rposition(|&b| b != 0xFF)?;
+    let mut succ = prefix[..=last].to_vec();
+    succ[last] += 1;
+    Some(succ)
 }
 
 /// Split index for an oversized leaf: the first index where the left half's
@@ -736,107 +813,6 @@ fn split_point_leaf(cells: &[(Vec<u8>, LeafVal)]) -> usize {
     cells.len() / 2
 }
 
-fn parse_node(data: &[u8]) -> Result<Node> {
-    let node_type = data[0];
-    let nkeys = u16::from_le_bytes([data[1], data[2]]) as usize;
-    let extra = u64::from_le_bytes(data[3..11].try_into().unwrap());
-    let mut pos = NODE_HEADER;
-    match node_type {
-        TYPE_LEAF => {
-            let mut cells = Vec::with_capacity(nkeys);
-            for _ in 0..nkeys {
-                let flags = data[pos];
-                let key_len = u16::from_le_bytes([data[pos + 1], data[pos + 2]]) as usize;
-                let val_len =
-                    u32::from_le_bytes(data[pos + 3..pos + 7].try_into().unwrap()) as usize;
-                pos += 7;
-                let key = data[pos..pos + key_len].to_vec();
-                pos += key_len;
-                let val = if flags & 1 != 0 {
-                    let page = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
-                    let len = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap());
-                    pos += 12;
-                    LeafVal::Overflow { page, len }
-                } else {
-                    let v = data[pos..pos + val_len].to_vec();
-                    pos += val_len;
-                    LeafVal::Inline(v)
-                };
-                cells.push((key, val));
-            }
-            Ok(Node {
-                extra,
-                body: NodeBody::Leaf(cells),
-            })
-        }
-        TYPE_INTERNAL => {
-            let mut cells = Vec::with_capacity(nkeys);
-            for _ in 0..nkeys {
-                let key_len = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
-                let child = u64::from_le_bytes(data[pos + 2..pos + 10].try_into().unwrap());
-                pos += 10;
-                let key = data[pos..pos + key_len].to_vec();
-                pos += key_len;
-                cells.push((key, child));
-            }
-            Ok(Node {
-                extra,
-                body: NodeBody::Internal(cells),
-            })
-        }
-        t => Err(StorageError::corrupt(format!(
-            "unknown btree node type {t}"
-        ))),
-    }
-}
-
-fn serialize_node(node: &Node, data: &mut [u8]) -> Result<()> {
-    debug_assert!(node_size(node) <= data.len(), "node does not fit page");
-    data[3..11].copy_from_slice(&node.extra.to_le_bytes());
-    let mut pos = NODE_HEADER;
-    match &node.body {
-        NodeBody::Leaf(cells) => {
-            data[0] = TYPE_LEAF;
-            data[1..3].copy_from_slice(&(cells.len() as u16).to_le_bytes());
-            for (key, val) in cells {
-                let (flags, val_len) = match val {
-                    LeafVal::Inline(v) => (0u8, v.len() as u32),
-                    LeafVal::Overflow { len, .. } => (1u8, *len),
-                };
-                data[pos] = flags;
-                data[pos + 1..pos + 3].copy_from_slice(&(key.len() as u16).to_le_bytes());
-                data[pos + 3..pos + 7].copy_from_slice(&val_len.to_le_bytes());
-                pos += 7;
-                data[pos..pos + key.len()].copy_from_slice(key);
-                pos += key.len();
-                match val {
-                    LeafVal::Inline(v) => {
-                        data[pos..pos + v.len()].copy_from_slice(v);
-                        pos += v.len();
-                    }
-                    LeafVal::Overflow { page, len } => {
-                        data[pos..pos + 8].copy_from_slice(&page.to_le_bytes());
-                        data[pos + 8..pos + 12].copy_from_slice(&len.to_le_bytes());
-                        pos += 12;
-                    }
-                }
-            }
-        }
-        NodeBody::Internal(cells) => {
-            data[0] = TYPE_INTERNAL;
-            data[1..3].copy_from_slice(&(cells.len() as u16).to_le_bytes());
-            for (key, child) in cells {
-                data[pos..pos + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
-                data[pos + 2..pos + 10].copy_from_slice(&child.to_le_bytes());
-                pos += 10;
-                data[pos..pos + key.len()].copy_from_slice(key);
-                pos += key.len();
-            }
-        }
-    }
-    Ok(())
-}
-
 fn clone_bound(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
     match b {
         Bound::Included(k) => Bound::Included(k.to_vec()),
@@ -847,14 +823,68 @@ fn clone_bound(b: Bound<&[u8]>) -> Bound<Vec<u8>> {
 
 // --- cursor --------------------------------------------------------------------
 
+/// Copies the in-range cells of one leaf out under a single page acquire.
+///
+/// Returns the copied rows and the next leaf to visit ([`NO_SIBLING`] when
+/// the scan is finished — either the leaf chain ended or a key crossed
+/// `upper`, in which case no later leaf can be in range). The start
+/// position comes from an in-place binary search when `lower` is given
+/// (initial seek) and is 0 otherwise (sibling steps).
+/// Rows copied out of one leaf plus the next leaf page to visit.
+type LeafBatch = (Vec<(Vec<u8>, LeafVal)>, u64);
+
+fn load_leaf(
+    tree: &BTree,
+    upper: &Bound<Vec<u8>>,
+    page: PageId,
+    lower: Option<&Bound<Vec<u8>>>,
+) -> Result<LeafBatch> {
+    let stats = tree.env.counters();
+    tree.env.with_page(tree.file, page, |data| {
+        stats.note_node_view();
+        let NodeView::Leaf(view) = NodeView::parse(data)? else {
+            return Err(StorageError::corrupt("expected leaf page in cursor"));
+        };
+        let start = match lower {
+            None | Some(Bound::Unbounded) => 0,
+            Some(Bound::Included(k)) => {
+                stats.note_in_place_search();
+                view.search(k).unwrap_or_else(|i| i)
+            }
+            Some(Bound::Excluded(k)) => {
+                stats.note_in_place_search();
+                match view.search(k) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                }
+            }
+        };
+        let mut rows = Vec::with_capacity(view.nkeys().saturating_sub(start));
+        let mut next = view.next_leaf();
+        for i in start..view.nkeys() {
+            let (key, val) = view.cell(i);
+            let in_range = match upper {
+                Bound::Unbounded => true,
+                Bound::Included(u) => key <= u.as_slice(),
+                Bound::Excluded(u) => key < u.as_slice(),
+            };
+            if !in_range {
+                next = NO_SIBLING;
+                break;
+            }
+            rows.push((key.to_vec(), val.to_leaf_val()));
+        }
+        Ok((rows, next))
+    })?
+}
+
 enum CursorState {
     Unseeked {
         lower: Bound<Vec<u8>>,
     },
-    /// Positioned within a parsed leaf.
+    /// Draining the in-range rows copied out of one leaf.
     At {
-        cells: Vec<(Vec<u8>, LeafVal)>,
-        idx: usize,
+        rows: std::vec::IntoIter<(Vec<u8>, LeafVal)>,
         next_leaf: u64,
     },
     Done,
@@ -874,25 +904,10 @@ impl<'a> Cursor<'a> {
             Bound::Unbounded => self.tree.leftmost_leaf()?,
             Bound::Included(k) | Bound::Excluded(k) => self.tree.leaf_for(k)?,
         };
-        let node = self.tree.read_node(leaf)?;
-        let NodeBody::Leaf(cells) = node.body else {
-            return Err(StorageError::corrupt("leaf_for returned internal node"));
-        };
-        let idx = match &lower {
-            Bound::Unbounded => 0,
-            Bound::Included(k) => match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
-                Ok(i) => i,
-                Err(i) => i,
-            },
-            Bound::Excluded(k) => match cells.binary_search_by(|(ck, _)| ck.as_slice().cmp(k)) {
-                Ok(i) => i + 1,
-                Err(i) => i,
-            },
-        };
+        let (rows, next_leaf) = load_leaf(self.tree, &self.upper, leaf, Some(&lower))?;
         self.state = CursorState::At {
-            cells,
-            idx,
-            next_leaf: node.extra,
+            rows: rows.into_iter(),
+            next_leaf,
         };
         Ok(())
     }
@@ -907,45 +922,25 @@ impl<'a> Cursor<'a> {
             self.seek(lower)?;
         }
         loop {
-            match &mut self.state {
+            let next_page = match &mut self.state {
                 CursorState::Done | CursorState::Unseeked { .. } => return Ok(None),
-                CursorState::At {
-                    cells,
-                    idx,
-                    next_leaf,
-                } => {
-                    if *idx < cells.len() {
-                        let (key, val) = &cells[*idx];
-                        let in_range = match &self.upper {
-                            Bound::Unbounded => true,
-                            Bound::Included(u) => key.as_slice() <= u.as_slice(),
-                            Bound::Excluded(u) => key.as_slice() < u.as_slice(),
-                        };
-                        if !in_range {
-                            self.state = CursorState::Done;
-                            return Ok(None);
-                        }
-                        let key = key.clone();
+                CursorState::At { rows, next_leaf } => {
+                    if let Some((key, val)) = rows.next() {
                         let value = self.tree.load_value(val)?;
-                        *idx += 1;
                         return Ok(Some((key, value)));
                     }
                     if *next_leaf == NO_SIBLING {
                         self.state = CursorState::Done;
                         return Ok(None);
                     }
-                    let next_page = PageId(*next_leaf);
-                    let node = self.tree.read_node(next_page)?;
-                    let NodeBody::Leaf(next_cells) = node.body else {
-                        return Err(StorageError::corrupt("sibling pointer to internal node"));
-                    };
-                    self.state = CursorState::At {
-                        cells: next_cells,
-                        idx: 0,
-                        next_leaf: node.extra,
-                    };
+                    PageId(*next_leaf)
                 }
-            }
+            };
+            let (rows, next_leaf) = load_leaf(self.tree, &self.upper, next_page, None)?;
+            self.state = CursorState::At {
+                rows: rows.into_iter(),
+                next_leaf,
+            };
         }
     }
 }
@@ -1070,6 +1065,51 @@ mod tests {
     }
 
     #[test]
+    fn seek_at_leaf_boundaries() {
+        // Small pages force many leaves; exercise Included/Excluded seeks
+        // landing on every cell, including each leaf's last one (where an
+        // Excluded bound must step to the sibling leaf).
+        let env = Env::memory_with(EnvConfig {
+            page_size: 256,
+            pool_bytes: 64 * 256,
+        });
+        let mut t = BTree::create(&env, "t").unwrap();
+        let n = 300u64;
+        for i in 0..n {
+            t.insert(&key(i), b"v").unwrap();
+        }
+        assert!(t.height() > 1, "need multiple leaves");
+        for i in 0..n {
+            let ki = key(i);
+            let first = t
+                .range(Bound::Included(&ki), Bound::Unbounded)
+                .next()
+                .unwrap()
+                .unwrap()
+                .0;
+            assert_eq!(first, ki, "Included seek lands on the key");
+            let after = t.range(Bound::Excluded(&ki), Bound::Unbounded).next();
+            if i + 1 < n {
+                assert_eq!(
+                    after.unwrap().unwrap().0,
+                    key(i + 1),
+                    "Excluded seek steps past the key (i={i})"
+                );
+            } else {
+                assert!(after.is_none(), "Excluded seek past the last key is empty");
+            }
+            assert_eq!(
+                t.range(Bound::Included(&ki), Bound::Included(&ki)).count(),
+                1
+            );
+            assert_eq!(
+                t.range(Bound::Included(&ki), Bound::Excluded(&ki)).count(),
+                0
+            );
+        }
+    }
+
+    #[test]
     fn prefix_scan() {
         let env = Env::memory();
         let mut t = BTree::create(&env, "t").unwrap();
@@ -1085,6 +1125,110 @@ mod tests {
         assert_eq!(hits, vec![b"a1".to_vec(), b"a2".to_vec()]);
         assert_eq!(t.prefix(b"volume\x00").count(), 0);
         assert_eq!(t.prefix(b"journal\x00").count(), 1);
+    }
+
+    #[test]
+    fn prefix_successor_bumps_and_saturates() {
+        assert_eq!(prefix_successor(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_successor(b"a\xFF"), Some(b"b".to_vec()));
+        assert_eq!(prefix_successor(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn prefix_scan_all_ff_prefix() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        t.insert(&[0xFF, 0x01], b"a").unwrap();
+        t.insert(&[0xFF, 0xFF], b"b").unwrap();
+        t.insert(&[0xFF, 0xFF, 0x00], b"c").unwrap();
+        t.insert(&[0x10], b"d").unwrap();
+        let hits: Vec<Vec<u8>> = t.prefix(&[0xFF]).map(|r| r.unwrap().1).collect();
+        assert_eq!(hits, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        let hits: Vec<Vec<u8>> = t.prefix(&[0xFF, 0xFF]).map(|r| r.unwrap().1).collect();
+        assert_eq!(hits, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn scan_matches_cursor() {
+        let env = Env::memory_with(EnvConfig {
+            page_size: 256,
+            pool_bytes: 64 * 256,
+        });
+        let mut t = BTree::create(&env, "t").unwrap();
+        for i in 0..500u64 {
+            t.insert(&key(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        let mut scanned: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        t.scan(|k, v| {
+            scanned.push((k.to_vec(), v.to_vec()));
+            true
+        })
+        .unwrap();
+        let cursored: Vec<(Vec<u8>, Vec<u8>)> = t.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(scanned, cursored);
+
+        // Bounded scans respect both bounds and early exit.
+        let mut ranged: Vec<Vec<u8>> = Vec::new();
+        t.scan_range(
+            Bound::Excluded(&key(10)),
+            Bound::Included(&key(20)),
+            |k, _| {
+                ranged.push(k.to_vec());
+                true
+            },
+        )
+        .unwrap();
+        assert_eq!(ranged, (11..=20).map(key).collect::<Vec<_>>());
+        let mut seen = 0;
+        t.scan(|_, _| {
+            seen += 1;
+            seen < 7
+        })
+        .unwrap();
+        assert_eq!(seen, 7, "visitor returning false stops the scan");
+    }
+
+    #[test]
+    fn scan_handles_overflow_values() {
+        let env = Env::memory_with(EnvConfig {
+            page_size: 512,
+            pool_bytes: 64 * 512,
+        });
+        let mut t = BTree::create(&env, "t").unwrap();
+        let big = vec![0xCDu8; 3000];
+        t.insert(b"big", &big).unwrap();
+        t.insert(b"tiny", b"t").unwrap();
+        let mut got: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        t.scan(|k, v| {
+            got.push((k.to_vec(), v.to_vec()));
+            true
+        })
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![(b"big".to_vec(), big), (b"tiny".to_vec(), b"t".to_vec())]
+        );
+    }
+
+    #[test]
+    fn scan_prefix_matches_prefix_cursor() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        for (k, v) in [
+            ("author\x001", "a1"),
+            ("author\x002", "a2"),
+            ("journal\x001", "j1"),
+        ] {
+            t.insert(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        let mut vals: Vec<Vec<u8>> = Vec::new();
+        t.scan_prefix(b"author\x00", |_, v| {
+            vals.push(v.to_vec());
+            true
+        })
+        .unwrap();
+        assert_eq!(vals, vec![b"a1".to_vec(), b"a2".to_vec()]);
     }
 
     #[test]
@@ -1157,6 +1301,16 @@ mod tests {
     }
 
     #[test]
+    fn bulk_load_rejects_duplicates() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        let err = t
+            .bulk_load(vec![(key(1), vec![]), (key(1), vec![])])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
     fn bulk_load_empty_iter() {
         let env = Env::memory();
         let mut t = BTree::create(&env, "t").unwrap();
@@ -1177,6 +1331,39 @@ mod tests {
         let mut t = BTree::create(&env, "t").unwrap();
         let err = t.insert(&[0u8; 100], b"").unwrap_err();
         assert!(matches!(err, StorageError::KeyTooLarge { .. }));
+    }
+
+    #[test]
+    fn v1_format_pages_rejected() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        t.insert(b"k", b"v").unwrap();
+        // Rewrite the root as a v1-style page: the old format had no
+        // version byte — byte 0 held the node type directly.
+        env.with_page_mut(t.file_id(), PageId(1), |data| {
+            data[0] = crate::node::TYPE_LEAF;
+        })
+        .unwrap();
+        let err = t.get(b"k").unwrap_err();
+        assert!(
+            matches!(&err, StorageError::Corrupt(m) if m.contains("page format v1, expected v2")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn read_path_counters_tick() {
+        let env = Env::memory();
+        let mut t = BTree::create(&env, "t").unwrap();
+        for i in 0..100u64 {
+            t.insert(&key(i), b"v").unwrap();
+        }
+        let before = env.io_stats();
+        assert_eq!(t.get(&key(42)).unwrap(), Some(b"v".to_vec()));
+        let after = env.io_stats();
+        let delta = after.delta(&before);
+        assert!(delta.node_views >= 1, "descent parses at least one view");
+        assert!(delta.in_place_searches >= 1, "leaf search happens in place");
     }
 
     #[test]

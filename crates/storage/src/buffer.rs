@@ -6,6 +6,18 @@
 //! tests ("we allowed only 20 MB of memory"): a query whose working set
 //! exceeds the budget pays physical I/O, which is exactly what the cost
 //! model must predict.
+//!
+//! ## Sharding
+//!
+//! The pool is split into up to [`MAX_SHARDS`] shards, each with its own
+//! frame set, its own `Mutex<PoolState>` (frame table + pin counts) and its
+//! own clock hand. A page's shard is fixed by `hash(file, page)`, so
+//! concurrent engines — the testbed runs queries on worker threads against
+//! clones of one environment — only contend when they touch pages that
+//! land in the same shard, instead of serializing every access on one
+//! global lock. Each shard keeps at least [`MIN_SHARD_FRAMES`] frames so
+//! multi-page operations (B+-tree splits, overflow chains) can always pin
+//! their working set no matter how the pages hash.
 
 use crate::backend::Backend;
 use crate::env::FileId;
@@ -16,6 +28,14 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Upper bound on the number of pool shards.
+pub const MAX_SHARDS: usize = 16;
+
+/// Minimum frames per shard (the old whole-pool floor, now per shard, so a
+/// worst-case hash distribution still leaves room for a B+-tree split's
+/// pinned working set).
+pub const MIN_SHARD_FRAMES: usize = 8;
 
 /// Counters describing pool and backend traffic since the last reset.
 #[derive(Debug, Default)]
@@ -28,6 +48,14 @@ pub struct IoStats {
     pub physical_reads: AtomicU64,
     /// Physical page writes issued to backends.
     pub physical_writes: AtomicU64,
+    /// Zero-copy B+-tree node views constructed over pinned frame bytes
+    /// (read path only — one per page visited without materialization).
+    pub node_views: AtomicU64,
+    /// Binary searches executed in place against pinned frame bytes
+    /// (internal-node descent steps and leaf probes).
+    pub in_place_searches: AtomicU64,
+    /// Shard-lock acquisitions on the page-fetch path (one per pin).
+    pub shard_locks: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -41,6 +69,12 @@ pub struct IoSnapshot {
     pub physical_reads: u64,
     /// Physical page writes.
     pub physical_writes: u64,
+    /// Zero-copy node views constructed.
+    pub node_views: u64,
+    /// In-place binary searches over pinned frames.
+    pub in_place_searches: u64,
+    /// Shard-lock acquisitions on the fetch path.
+    pub shard_locks: u64,
 }
 
 impl IoStats {
@@ -51,6 +85,9 @@ impl IoStats {
             misses: self.misses.load(Ordering::Relaxed),
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            node_views: self.node_views.load(Ordering::Relaxed),
+            in_place_searches: self.in_place_searches.load(Ordering::Relaxed),
+            shard_locks: self.shard_locks.load(Ordering::Relaxed),
         }
     }
 
@@ -60,6 +97,17 @@ impl IoStats {
         self.misses.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.node_views.store(0, Ordering::Relaxed);
+        self.in_place_searches.store(0, Ordering::Relaxed);
+        self.shard_locks.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_node_view(&self) {
+        self.node_views.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_in_place_search(&self) {
+        self.in_place_searches.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -89,6 +137,11 @@ impl IoSnapshot {
             misses: self.misses.saturating_sub(earlier.misses),
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            node_views: self.node_views.saturating_sub(earlier.node_views),
+            in_place_searches: self
+                .in_place_searches
+                .saturating_sub(earlier.in_place_searches),
+            shard_locks: self.shard_locks.saturating_sub(earlier.shard_locks),
         }
     }
 }
@@ -116,56 +169,99 @@ struct PoolState {
     clock: usize,
 }
 
+/// One pool shard: a private frame set behind a private lock with its own
+/// clock hand.
+struct Shard {
+    state: Mutex<PoolState>,
+    /// Frame contents. Indexed in lockstep with `PoolState::metas`.
+    data: Vec<RwLock<Box<[u8]>>>,
+}
+
 /// Resolves a [`FileId`] to its backend; provided by the environment so the
 /// pool can write back dirty victims belonging to any file.
 pub(crate) type Resolver<'a> = dyn Fn(FileId) -> Result<Arc<dyn Backend>> + 'a;
 
 /// The buffer pool. See module docs.
 pub struct BufferPool {
-    state: Mutex<PoolState>,
-    /// Frame contents. Indexed in lockstep with `PoolState::metas`.
-    data: Vec<Arc<RwLock<Box<[u8]>>>>,
+    shards: Vec<Shard>,
     page_size: usize,
     stats: IoStats,
 }
 
+/// Number of shards for a pool of `capacity` frames: the largest power of
+/// two that still leaves [`MIN_SHARD_FRAMES`] frames per shard, capped at
+/// [`MAX_SHARDS`].
+fn shard_count(capacity: usize) -> usize {
+    let mut n = 1;
+    while n * 2 * MIN_SHARD_FRAMES <= capacity && n * 2 <= MAX_SHARDS {
+        n *= 2;
+    }
+    n
+}
+
 impl BufferPool {
-    /// Creates a pool of `capacity` frames of `page_size` bytes. Capacity is
-    /// clamped to at least 8 frames so multi-page operations (B+-tree
-    /// splits) can always pin their working set.
+    /// Creates a pool of `capacity` frames of `page_size` bytes, split into
+    /// shards (see module docs). Capacity is clamped to at least
+    /// [`MIN_SHARD_FRAMES`] frames.
     pub fn new(capacity: usize, page_size: usize) -> BufferPool {
-        let capacity = capacity.max(8);
-        let metas = (0..capacity)
-            .map(|_| FrameMeta {
-                tag: None,
-                pin: 0,
-                refbit: false,
-                dirty: false,
+        let capacity = capacity.max(MIN_SHARD_FRAMES);
+        let nshards = shard_count(capacity);
+        let shards = (0..nshards)
+            .map(|i| {
+                // Distribute frames as evenly as possible; the remainder
+                // goes to the first shards.
+                let frames = capacity / nshards + usize::from(i < capacity % nshards);
+                Shard {
+                    state: Mutex::new(PoolState {
+                        metas: (0..frames)
+                            .map(|_| FrameMeta {
+                                tag: None,
+                                pin: 0,
+                                refbit: false,
+                                dirty: false,
+                            })
+                            .collect(),
+                        table: HashMap::new(),
+                        clock: 0,
+                    }),
+                    data: (0..frames)
+                        .map(|_| RwLock::new(vec![0u8; page_size].into_boxed_slice()))
+                        .collect(),
+                }
             })
             .collect();
-        let data = (0..capacity)
-            .map(|_| Arc::new(RwLock::new(vec![0u8; page_size].into_boxed_slice())))
-            .collect();
         BufferPool {
-            state: Mutex::new(PoolState {
-                metas,
-                table: HashMap::new(),
-                clock: 0,
-            }),
-            data,
+            shards,
             page_size,
             stats: IoStats::default(),
         }
     }
 
-    /// Number of frames.
+    /// Number of frames across all shards.
     pub fn capacity(&self) -> usize {
-        self.data.len()
+        self.shards.iter().map(|s| s.data.len()).sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Traffic counters.
     pub fn stats(&self) -> &IoStats {
         &self.stats
+    }
+
+    /// The shard holding `(file, page)`. Fibonacci multiplicative hash over
+    /// the page id with the file id folded in; shard counts are powers of
+    /// two, so the top bits mask cleanly.
+    fn shard_of(&self, file: FileId, page: PageId) -> usize {
+        let n = self.shards.len();
+        if n == 1 {
+            return 0;
+        }
+        let h = (page.0 ^ ((file.0 as u64) << 40)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) & (n - 1)
     }
 
     /// Runs `f` on the read-only contents of `(file, page)`, faulting it in
@@ -180,12 +276,12 @@ impl BufferPool {
         resolve: &Resolver<'_>,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        let idx = self.acquire(file, page, AccessMode::Read, resolve)?;
+        let (shard, idx) = self.acquire(file, page, AccessMode::Read, resolve)?;
         let result = {
-            let guard = self.data[idx].read();
+            let guard = self.shards[shard].data[idx].read();
             f(&guard)
         };
-        self.release(idx);
+        self.release(shard, idx);
         Ok(result)
     }
 
@@ -198,27 +294,30 @@ impl BufferPool {
         resolve: &Resolver<'_>,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
-        let idx = self.acquire(file, page, AccessMode::Write, resolve)?;
+        let (shard, idx) = self.acquire(file, page, AccessMode::Write, resolve)?;
         // Frame data lock is only ever contended by another fetch of the
-        // same page; the state lock is not held here.
+        // same page; the shard lock is not held here.
         let result = {
-            let mut guard = self.data[idx].write();
+            let mut guard = self.shards[shard].data[idx].write();
             f(&mut guard)
         };
-        self.release(idx);
+        self.release(shard, idx);
         Ok(result)
     }
 
     /// Pins the frame holding `(file, page)`, loading it on a miss. Returns
-    /// the frame index with `pin` already incremented.
+    /// `(shard, frame)` with `pin` already incremented.
     fn acquire(
         &self,
         file: FileId,
         page: PageId,
         mode: AccessMode,
         resolve: &Resolver<'_>,
-    ) -> Result<usize> {
-        let mut state = self.state.lock();
+    ) -> Result<(usize, usize)> {
+        let shard_idx = self.shard_of(file, page);
+        let shard = &self.shards[shard_idx];
+        self.stats.shard_locks.fetch_add(1, Ordering::Relaxed);
+        let mut state = shard.state.lock();
         if let Some(&idx) = state.table.get(&(file, page)) {
             let meta = &mut state.metas[idx];
             meta.pin += 1;
@@ -227,30 +326,29 @@ impl BufferPool {
                 meta.dirty = true;
             }
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(idx);
+            return Ok((shard_idx, idx));
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let idx = self.find_victim(&mut state)?;
+        let idx = find_victim(&mut state)?;
 
-        // Write back the victim while still holding the state lock, so no
+        // Write back the victim while still holding the shard lock, so no
         // other fetch can read stale bytes for the evicted page.
         let old = state.metas[idx].tag;
         if let Some((old_file, old_page)) = old {
             if state.metas[idx].dirty {
                 let backend = resolve(old_file)?;
-                let data = self.data[idx].read();
+                let data = shard.data[idx].read();
                 backend.write_page(old_page, &data)?;
                 self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
             }
             state.table.remove(&(old_file, old_page));
         }
 
-        // Claim the frame, then load outside nothing — load under the state
-        // lock too: the pool is optimized for a single query thread, and
-        // holding the lock keeps the table exact.
+        // Claim the frame and load under the shard lock: holding the lock
+        // keeps this shard's table exact, and only this shard is blocked.
         {
             let backend = resolve(file)?;
-            let mut data = self.data[idx].write();
+            let mut data = shard.data[idx].write();
             backend.read_page(page, &mut data)?;
             self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
         }
@@ -260,51 +358,29 @@ impl BufferPool {
         meta.pin = 1;
         meta.refbit = true;
         meta.dirty = mode == AccessMode::Write;
-        Ok(idx)
+        Ok((shard_idx, idx))
     }
 
-    fn release(&self, idx: usize) {
-        let mut state = self.state.lock();
+    fn release(&self, shard: usize, idx: usize) {
+        let mut state = self.shards[shard].state.lock();
         let meta = &mut state.metas[idx];
         debug_assert!(meta.pin > 0, "release of unpinned frame");
         meta.pin -= 1;
     }
 
-    /// Clock (second-chance) victim selection among unpinned frames.
-    fn find_victim(&self, state: &mut PoolState) -> Result<usize> {
-        let n = state.metas.len();
-        // Two sweeps: the first clears reference bits, the second takes the
-        // first unpinned frame.
-        for _ in 0..2 * n {
-            let idx = state.clock;
-            state.clock = (state.clock + 1) % n;
-            let meta = &mut state.metas[idx];
-            if meta.pin > 0 {
-                continue;
-            }
-            if meta.tag.is_none() {
-                return Ok(idx);
-            }
-            if meta.refbit {
-                meta.refbit = false;
-            } else {
-                return Ok(idx);
-            }
-        }
-        Err(StorageError::PoolExhausted)
-    }
-
     /// Writes back every dirty frame.
     pub(crate) fn flush(&self, resolve: &Resolver<'_>) -> Result<()> {
-        let mut state = self.state.lock();
-        for idx in 0..state.metas.len() {
-            let meta = &state.metas[idx];
-            if let (Some((file, page)), true) = (meta.tag, meta.dirty) {
-                let backend = resolve(file)?;
-                let data = self.data[idx].read();
-                backend.write_page(page, &data)?;
-                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
-                state.metas[idx].dirty = false;
+        for shard in &self.shards {
+            let mut state = shard.state.lock();
+            for idx in 0..state.metas.len() {
+                let meta = &state.metas[idx];
+                if let (Some((file, page)), true) = (meta.tag, meta.dirty) {
+                    let backend = resolve(file)?;
+                    let data = shard.data[idx].read();
+                    backend.write_page(page, &data)?;
+                    self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    state.metas[idx].dirty = false;
+                }
             }
         }
         Ok(())
@@ -314,12 +390,15 @@ impl BufferPool {
     /// is being removed). Refuses with [`StorageError::FileBusy`] if any of
     /// the file's frames is still pinned — silently unmapping a page
     /// another operator holds would hand it a frame whose identity can
-    /// change under it.
+    /// change under it. All shard locks are held together so the
+    /// pinned-check and the unmapping are one atomic step.
     pub(crate) fn invalidate_file(&self, file: FileId) -> Result<()> {
-        let mut state = self.state.lock();
-        let pinned = state
-            .metas
+        // Lock shards in index order (the only place multiple shard locks
+        // are held at once, so lock ordering is trivially consistent).
+        let mut states: Vec<_> = self.shards.iter().map(|s| s.state.lock()).collect();
+        let pinned = states
             .iter()
+            .flat_map(|state| state.metas.iter())
             .filter(|m| matches!(m.tag, Some((f, _)) if f == file) && m.pin > 0)
             .count();
         if pinned > 0 {
@@ -328,13 +407,15 @@ impl BufferPool {
                 pinned,
             });
         }
-        for idx in 0..state.metas.len() {
-            if matches!(state.metas[idx].tag, Some((f, _)) if f == file) {
-                if let Some(tag) = state.metas[idx].tag.take() {
-                    state.table.remove(&tag);
+        for state in &mut states {
+            for idx in 0..state.metas.len() {
+                if matches!(state.metas[idx].tag, Some((f, _)) if f == file) {
+                    if let Some(tag) = state.metas[idx].tag.take() {
+                        state.table.remove(&tag);
+                    }
+                    state.metas[idx].dirty = false;
+                    state.metas[idx].refbit = false;
                 }
-                state.metas[idx].dirty = false;
-                state.metas[idx].refbit = false;
             }
         }
         Ok(())
@@ -344,6 +425,31 @@ impl BufferPool {
     pub fn page_size(&self) -> usize {
         self.page_size
     }
+}
+
+/// Clock (second-chance) victim selection among one shard's unpinned
+/// frames.
+fn find_victim(state: &mut PoolState) -> Result<usize> {
+    let n = state.metas.len();
+    // Two sweeps: the first clears reference bits, the second takes the
+    // first unpinned frame.
+    for _ in 0..2 * n {
+        let idx = state.clock;
+        state.clock = (state.clock + 1) % n;
+        let meta = &mut state.metas[idx];
+        if meta.pin > 0 {
+            continue;
+        }
+        if meta.tag.is_none() {
+            return Ok(idx);
+        }
+        if meta.refbit {
+            meta.refbit = false;
+        } else {
+            return Ok(idx);
+        }
+    }
+    Err(StorageError::PoolExhausted)
 }
 
 #[cfg(test)]
@@ -376,6 +482,7 @@ mod tests {
         let snap = pool.stats().snapshot();
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.hits, 1);
+        assert_eq!(snap.shard_locks, 2, "one shard-lock acquisition per pin");
     }
 
     #[test]
@@ -448,6 +555,40 @@ mod tests {
     fn capacity_clamped_to_minimum() {
         let pool = BufferPool::new(1, PS);
         assert_eq!(pool.capacity(), 8);
+        assert_eq!(pool.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharding_scales_with_capacity() {
+        // 8 frames per shard minimum: 64 frames → 8 shards, 512 → capped
+        // at MAX_SHARDS; capacity is preserved exactly in every case.
+        for (frames, shards) in [(8, 1), (15, 1), (16, 2), (64, 8), (512, 16), (513, 16)] {
+            let pool = BufferPool::new(frames, PS);
+            assert_eq!(pool.capacity(), frames, "{frames} frames");
+            assert_eq!(pool.shard_count(), shards, "{frames} frames");
+        }
+    }
+
+    #[test]
+    fn pages_spread_across_shards() {
+        let (pool, backend) = setup(128); // 16 shards of 8
+        assert_eq!(pool.shard_count(), 16);
+        let r = resolver(&backend);
+        let f = FileId(0);
+        // 64 distinct pages must not all land in one 8-frame shard; with
+        // everything resident, re-reads are all hits.
+        let pages: Vec<PageId> = (0..64).map(|_| backend.allocate_page().unwrap()).collect();
+        for &p in &pages {
+            pool.with_frame_write(f, p, &r, |d| d[0] = (p.0 & 0xFF) as u8)
+                .unwrap();
+        }
+        for &p in &pages {
+            let v = pool.with_frame_read(f, p, &r, |d| d[0]).unwrap();
+            assert_eq!(v, (p.0 & 0xFF) as u8);
+        }
+        let snap = pool.stats().snapshot();
+        assert_eq!(snap.physical_writes, 0, "64 pages fit a 128-frame pool");
+        assert_eq!(snap.hits, 64);
     }
 
     #[test]
@@ -456,13 +597,13 @@ mod tests {
         let r = resolver(&backend);
         let f = FileId(5);
         let p = backend.allocate_page().unwrap();
-        let idx = pool.acquire(f, p, AccessMode::Read, &r).unwrap();
+        let (shard, idx) = pool.acquire(f, p, AccessMode::Read, &r).unwrap();
         let err = pool.invalidate_file(f).unwrap_err();
         assert!(
             matches!(err, StorageError::FileBusy { pinned: 1, .. }),
             "unexpected error: {err}"
         );
-        pool.release(idx);
+        pool.release(shard, idx);
         pool.invalidate_file(f).unwrap();
         // Frame was unmapped: the next fetch is a miss.
         pool.with_frame_read(f, p, &r, |_| ()).unwrap();
@@ -484,9 +625,8 @@ mod tests {
             d,
             IoSnapshot {
                 hits: 2,
-                misses: 0,
-                physical_reads: 0,
-                physical_writes: 0
+                shard_locks: 2,
+                ..IoSnapshot::default()
             }
         );
         // Saturates instead of underflowing if counters were reset between

@@ -2,7 +2,7 @@
 //! pool (the analogue of a Berkeley DB environment).
 
 use crate::backend::{Backend, FileBackend, MemBackend};
-use crate::buffer::{BufferPool, IoSnapshot};
+use crate::buffer::{BufferPool, IoSnapshot, IoStats};
 use crate::error::StorageError;
 use crate::page::{PageId, DEFAULT_PAGE_SIZE};
 use crate::Result;
@@ -121,6 +121,11 @@ impl Env {
     /// Buffer pool frame count.
     pub fn pool_frames(&self) -> usize {
         self.inner.pool.capacity()
+    }
+
+    /// Number of buffer-pool shards (lock-striping granularity).
+    pub fn pool_shards(&self) -> usize {
+        self.inner.pool.shard_count()
     }
 
     /// True if the environment is backed by a directory on disk.
@@ -285,6 +290,11 @@ impl Env {
     /// Buffer-pool traffic counters.
     pub fn io_stats(&self) -> IoSnapshot {
         self.inner.pool.stats().snapshot()
+    }
+
+    /// Live counter handle (B+-tree read-path instrumentation).
+    pub(crate) fn counters(&self) -> &IoStats {
+        self.inner.pool.stats()
     }
 
     /// Zeroes the traffic counters (between benchmark runs).

@@ -43,6 +43,7 @@ pub mod sort;
 pub mod temp;
 
 mod error;
+mod node;
 mod page;
 
 pub use btree::{BTree, Cursor};

@@ -12,7 +12,12 @@ enum Op {
     Insert(Vec<u8>, Vec<u8>),
     Delete(Vec<u8>),
     Get(Vec<u8>),
+    Contains(Vec<u8>),
     Range(Vec<u8>, Vec<u8>),
+    /// Excluded lower / Included upper — exercises the cursor's
+    /// step-past-the-key seek against the slotted leaves.
+    RangeExcl(Vec<u8>, Vec<u8>),
+    Prefix(Vec<u8>),
     FullScan,
 }
 
@@ -28,7 +33,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             .prop_map(|(k, v)| Op::Insert(k, v)),
         key_strategy().prop_map(Op::Delete),
         key_strategy().prop_map(Op::Get),
+        key_strategy().prop_map(Op::Contains),
         (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Range(a, b)),
+        (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::RangeExcl(a, b)),
+        prop::collection::vec(0u8..4, 0..4).prop_map(Op::Prefix),
         Just(Op::FullScan),
     ]
 }
@@ -63,6 +71,9 @@ proptest! {
                 Op::Get(k) => {
                     prop_assert_eq!(tree.get(&k).unwrap(), model.get(&k).cloned());
                 }
+                Op::Contains(k) => {
+                    prop_assert_eq!(tree.contains(&k).unwrap(), model.contains_key(&k));
+                }
                 Op::Range(a, b) => {
                     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
                     let got: Vec<(Vec<u8>, Vec<u8>)> = tree
@@ -71,6 +82,32 @@ proptest! {
                         .collect();
                     let want: Vec<(Vec<u8>, Vec<u8>)> = model
                         .range::<Vec<u8>, _>((Bound::Included(&lo), Bound::Excluded(&hi)))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::RangeExcl(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got: Vec<(Vec<u8>, Vec<u8>)> = tree
+                        .range(Bound::Excluded(&lo), Bound::Included(&hi))
+                        .map(|r| r.unwrap())
+                        .collect();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = if lo == hi {
+                        Vec::new()
+                    } else {
+                        model
+                            .range::<Vec<u8>, _>((Bound::Excluded(&lo), Bound::Included(&hi)))
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect()
+                    };
+                    prop_assert_eq!(got, want);
+                }
+                Op::Prefix(p) => {
+                    let got: Vec<(Vec<u8>, Vec<u8>)> =
+                        tree.prefix(&p).map(|r| r.unwrap()).collect();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range::<Vec<u8>, _>((Bound::Included(&p), Bound::Unbounded))
+                        .take_while(|(k, _)| k.starts_with(&p))
                         .map(|(k, v)| (k.clone(), v.clone()))
                         .collect();
                     prop_assert_eq!(got, want);
