@@ -1,0 +1,167 @@
+//! WAL write-path overhead: insert+commit workloads on a disk environment
+//! (page-image WAL on) against the same workload on a memory environment
+//! (no WAL), plus the log's write amplification per committed insert.
+//!
+//! ```text
+//! cargo bench -p xmldb-bench --bench wal -- --out BENCH_wal.json
+//! ```
+//!
+//! Under `cargo test` (no `--bench` flag) each case runs once at a
+//! reduced size as a smoke test.
+
+use std::time::Instant;
+use xmldb_storage::{codec, BTree, Env, EnvConfig};
+
+struct Sample {
+    name: &'static str,
+    size: u64,
+    iters: u64,
+    ops: u64,
+    ns_per_op: f64,
+}
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn key(i: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(8);
+    // Scramble so inserts are not an append-only best case.
+    codec::put_u64(&mut k, i.wrapping_mul(6364136223846793005));
+    k
+}
+
+fn config() -> EnvConfig {
+    EnvConfig {
+        page_size: 8192,
+        pool_bytes: 4 << 20,
+    }
+}
+
+fn measure(name: &'static str, size: u64, min_iters: u64, mut op: impl FnMut() -> u64) -> Sample {
+    let _ = op(); // warm the allocator and the page cache
+    let iters = if bench_mode() { min_iters } else { 1 };
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        ops += std::hint::black_box(op());
+    }
+    let elapsed = start.elapsed();
+    Sample {
+        name,
+        size,
+        iters,
+        ops,
+        ns_per_op: elapsed.as_nanos() as f64 / ops.max(1) as f64,
+    }
+}
+
+/// One workload run: `n` inserts with a commit (`Env::flush`) every
+/// `batch`. Returns the ops count (n) for the harness.
+fn workload(env: &Env, n: u64, batch: u64) -> u64 {
+    let mut tree = BTree::create(env, "wal-bench").unwrap();
+    for i in 0..n {
+        tree.insert(&key(i), format!("value-{i:08}").as_bytes())
+            .unwrap();
+        if (i + 1) % batch == 0 {
+            env.flush().unwrap();
+        }
+    }
+    env.flush().unwrap();
+    n
+}
+
+fn scratch(tag: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("saardb-wal-bench-{}-{tag}", std::process::id()))
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--out" {
+            out_path = Some(args.next().expect("--out takes a path"));
+        }
+    }
+
+    let (n, batch, iters) = if bench_mode() {
+        (10_000u64, 1_000u64, 3u64)
+    } else {
+        (500, 100, 1)
+    };
+
+    let mut samples = Vec::new();
+
+    // Ceiling: the same workload with no WAL and no disk at all.
+    samples.push(measure("insert_commit_mem", n, iters, || {
+        let env = Env::memory_with(config());
+        workload(&env, n, batch)
+    }));
+
+    // The real thing: disk files + page-image WAL + fsync per commit.
+    let mut dir_seq = 0u64;
+    samples.push(measure("insert_commit_disk_wal", n, iters, || {
+        dir_seq += 1;
+        let dir = scratch(dir_seq);
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = Env::open_dir(&dir, config()).unwrap();
+        let ops = workload(&env, n, batch);
+        drop(env);
+        let _ = std::fs::remove_dir_all(&dir);
+        ops
+    }));
+
+    // Write amplification: WAL bytes appended per committed insert.
+    {
+        let dir = scratch(0);
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = Env::open_dir(&dir, config()).unwrap();
+        workload(&env, n, batch);
+        let io = env.io_stats();
+        samples.push(Sample {
+            name: "wal_bytes_per_insert",
+            size: n,
+            iters: 1,
+            ops: io.wal_appends,
+            ns_per_op: io.wal_bytes as f64 / n as f64,
+        });
+        samples.push(Sample {
+            name: "wal_syncs_per_commit",
+            size: n,
+            iters: 1,
+            ops: io.wal_syncs,
+            ns_per_op: io.wal_syncs as f64 / (n / batch) as f64,
+        });
+        drop(env);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    for r in &samples {
+        println!(
+            "{:<24} n={:<6} {:>12.1}   ({} iters, {} ops)",
+            r.name, r.size, r.ns_per_op, r.iters, r.ops
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"wal\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"results\": [\n",
+        if bench_mode() { "bench" } else { "smoke" }
+    ));
+    for (i, r) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"size\": {}, \"iters\": {}, \"ops\": {}, \"ns_per_op\": {:.1}}}{}\n",
+            r.name,
+            r.size,
+            r.iters,
+            r.ops,
+            r.ns_per_op,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match out_path {
+        Some(path) => std::fs::write(&path, &json).expect("write JSON snapshot"),
+        None => print!("{json}"),
+    }
+}

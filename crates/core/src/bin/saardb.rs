@@ -22,7 +22,7 @@ use xmldb_core::{Database, EngineKind};
 use xmldb_storage::EnvConfig;
 
 struct Args {
-    db_dir: String,
+    db_dir: Option<String>,
     engine: EngineKind,
     pool_mb: usize,
     command: Vec<String>,
@@ -33,7 +33,9 @@ fn usage() -> ExitCode {
         "usage: saardb --db <dir> [--engine m1|naive|m2|m3|m4|m4p] [--pool-mb N] <command>\n\
          commands: load <name> <file.xml> | replace <name> <file.xml> | drop <name> |\n\
          \x20         ls | stats <name> | dump <name> | query <name> <xq> |\n\
-         \x20         explain <name> <xq> | explain analyze <name> <xq>"
+         \x20         explain <name> <xq> | explain analyze <name> <xq>\n\
+         \x20  saardb recover <dir>    replay the write-ahead log and print a\n\
+         \x20                          recovery report (no database open needed)"
     );
     ExitCode::from(2)
 }
@@ -66,9 +68,10 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
         }
     }
-    let Some(db_dir) = db_dir else {
+    // Every command except `recover <dir>` needs --db.
+    if db_dir.is_none() && command.first().map(String::as_str) != Some("recover") {
         return Err(usage());
-    };
+    }
     if command.is_empty() {
         return Err(usage());
     }
@@ -85,11 +88,39 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(code) => return code,
     };
+    // `recover` replays the WAL directly, before any environment opens the
+    // directory — opening one would itself replay (and truncate) the log,
+    // leaving nothing to report.
+    if args.command.first().map(String::as_str) == Some("recover") {
+        let dir = match (args.command.get(1), &args.db_dir) {
+            (Some(d), _) => d.clone(),
+            (None, Some(d)) => d.clone(),
+            (None, None) => return usage(),
+        };
+        return match xmldb_storage::wal::replay(std::path::Path::new(&dir)) {
+            Ok(report) => {
+                println!("{report}");
+                if report.is_clean() {
+                    eprintln!("-- {dir}: clean (nothing to recover)");
+                } else {
+                    eprintln!("-- {dir}: recovered");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("recovery failed for {dir}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(db_dir) = args.db_dir.as_deref() else {
+        return usage();
+    };
     let config = EnvConfig::with_pool_bytes(args.pool_mb << 20);
-    let db = match Database::open_dir(&args.db_dir, config) {
+    let db = match Database::open_dir(db_dir, config) {
         Ok(db) => db,
         Err(e) => {
-            eprintln!("cannot open database at {}: {e}", args.db_dir);
+            eprintln!("cannot open database at {db_dir}: {e}");
             return ExitCode::FAILURE;
         }
     };

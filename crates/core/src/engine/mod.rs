@@ -200,6 +200,10 @@ pub fn explain_analyze(
                             "read path: {} node views, {} in-place searches, {} shard locks\n",
                             m.io.node_views, m.io.in_place_searches, m.io.shard_locks
                         ));
+                        out.push_str(&format!(
+                            "wal: {} page images, {} bytes, {} syncs\n",
+                            m.io.wal_appends, m.io.wal_bytes, m.io.wal_syncs
+                        ));
                     }
                 }
                 Err(e) => out.push_str(&format!("runtime error: {e}\n")),

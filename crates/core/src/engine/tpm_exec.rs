@@ -188,6 +188,10 @@ pub fn explain_analyze_with_rewrites(
         "read path: {} node views, {} in-place searches, {} shard locks\n",
         io.node_views, io.in_place_searches, io.shard_locks
     ));
+    out.push_str(&format!(
+        "wal: {} page images, {} bytes, {} syncs\n",
+        io.wal_appends, io.wal_bytes, io.wal_syncs
+    ));
     Ok(out)
 }
 

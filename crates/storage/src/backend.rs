@@ -45,6 +45,11 @@ pub struct FileBackend {
 
 impl FileBackend {
     /// Opens (creating if missing) the file at `path`.
+    ///
+    /// A length that is not a page multiple is the signature of a crash
+    /// mid-extension (`allocate_page`'s `write_all_at` failing part-way):
+    /// the torn tail is trimmed to whole pages instead of refusing the
+    /// file — the partial page was never handed out, so no data is lost.
     pub fn open(path: &Path, page_size: usize) -> Result<FileBackend> {
         // Never truncate: opening an existing file must preserve its pages.
         let file = OpenOptions::new()
@@ -54,11 +59,9 @@ impl FileBackend {
             .truncate(false)
             .open(path)?;
         let len = file.metadata()?.len();
-        if len % page_size as u64 != 0 {
-            return Err(StorageError::corrupt(format!(
-                "file {} has length {len}, not a multiple of page size {page_size}",
-                path.display()
-            )));
+        let torn = len % page_size as u64;
+        if torn != 0 {
+            file.set_len(len - torn)?;
         }
         Ok(FileBackend {
             file,
@@ -75,11 +78,22 @@ impl FileBackend {
         }
         Ok(())
     }
+
+    fn check_buf(&self, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(StorageError::PageBufferSize {
+                len: buf.len(),
+                page_size: self.page_size,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Backend for FileBackend {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
+        self.check_buf(buf)?;
         self.check_bounds(id)?;
         self.file.read_exact_at(buf, id.offset(self.page_size))?;
         Ok(())
@@ -87,6 +101,7 @@ impl Backend for FileBackend {
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
+        self.check_buf(buf)?;
         self.check_bounds(id)?;
         self.file.write_all_at(buf, id.offset(self.page_size))?;
         Ok(())
@@ -97,7 +112,13 @@ impl Backend for FileBackend {
         let mut pages = self.pages.lock();
         let id = PageId(*pages);
         let zeros = vec![0u8; self.page_size];
-        self.file.write_all_at(&zeros, id.offset(self.page_size))?;
+        if let Err(e) = self.file.write_all_at(&zeros, id.offset(self.page_size)) {
+            // A failed extension may leave a torn tail; trim it back to the
+            // page boundary so the file stays openable (best effort — a
+            // crash here is repaired by the round-down in `open`).
+            let _ = self.file.set_len(id.offset(self.page_size));
+            return Err(e.into());
+        }
         *pages += 1;
         Ok(id)
     }
@@ -133,8 +154,21 @@ impl MemBackend {
     }
 }
 
+impl MemBackend {
+    fn check_buf(&self, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(StorageError::PageBufferSize {
+                len: buf.len(),
+                page_size: self.page_size,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Backend for MemBackend {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.check_buf(buf)?;
         let pages = self.pages.lock();
         let page = pages
             .get(id.0 as usize)
@@ -147,6 +181,7 @@ impl Backend for MemBackend {
     }
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.check_buf(buf)?;
         let mut pages = self.pages.lock();
         let count = pages.len() as u64;
         let page = pages
@@ -202,6 +237,22 @@ mod tests {
             backend.read_page(PageId(9), &mut read),
             Err(StorageError::PageOutOfBounds { page: 9, pages: 2 })
         ));
+
+        // A buffer of the wrong size is a typed error, not a torn file or
+        // a panic — and the page keeps its old content.
+        let short = vec![0xEEu8; page_size / 2];
+        assert!(matches!(
+            backend.write_page(p1, &short),
+            Err(StorageError::PageBufferSize { .. })
+        ));
+        let mut long = vec![0xEEu8; page_size + 1];
+        assert!(matches!(
+            backend.read_page(p1, &mut long),
+            Err(StorageError::PageBufferSize { .. })
+        ));
+        backend.read_page(p1, &mut read).unwrap();
+        assert_eq!(read, buf, "rejected writes must not change the page");
+
         backend.sync().unwrap();
     }
 
@@ -233,15 +284,23 @@ mod tests {
     }
 
     #[test]
-    fn file_backend_rejects_torn_file() {
+    fn file_backend_trims_torn_tail_on_open() {
         let dir = std::env::temp_dir().join(format!("saardb-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("torn.sdb");
-        std::fs::write(&path, vec![0u8; 100]).unwrap();
-        assert!(matches!(
-            FileBackend::open(&path, 512),
-            Err(StorageError::Corrupt(_))
-        ));
+        // One whole page plus a torn 100-byte tail from a crashed
+        // extension: the page survives, the tail is trimmed.
+        let mut bytes = vec![0xABu8; 512];
+        bytes.extend_from_slice(&[0u8; 100]);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let b = FileBackend::open(&path, 512).unwrap();
+            assert_eq!(b.page_count(), 1);
+            let mut read = vec![0u8; 512];
+            b.read_page(PageId(0), &mut read).unwrap();
+            assert_eq!(read[0], 0xAB);
+        }
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 512);
         std::fs::remove_file(&path).unwrap();
     }
 }

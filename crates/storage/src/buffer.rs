@@ -56,6 +56,12 @@ pub struct IoStats {
     pub in_place_searches: AtomicU64,
     /// Shard-lock acquisitions on the page-fetch path (one per pin).
     pub shard_locks: AtomicU64,
+    /// WAL records appended (page images, commits, deletes).
+    pub wal_appends: AtomicU64,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: AtomicU64,
+    /// WAL fsyncs issued (one per eviction steal, one per commit).
+    pub wal_syncs: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -75,6 +81,12 @@ pub struct IoSnapshot {
     pub in_place_searches: u64,
     /// Shard-lock acquisitions on the fetch path.
     pub shard_locks: u64,
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// WAL fsyncs issued.
+    pub wal_syncs: u64,
 }
 
 impl IoStats {
@@ -88,6 +100,9 @@ impl IoStats {
             node_views: self.node_views.load(Ordering::Relaxed),
             in_place_searches: self.in_place_searches.load(Ordering::Relaxed),
             shard_locks: self.shard_locks.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -100,6 +115,9 @@ impl IoStats {
         self.node_views.store(0, Ordering::Relaxed);
         self.in_place_searches.store(0, Ordering::Relaxed);
         self.shard_locks.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        self.wal_syncs.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn note_node_view(&self) {
@@ -142,6 +160,9 @@ impl IoSnapshot {
                 .in_place_searches
                 .saturating_sub(earlier.in_place_searches),
             shard_locks: self.shard_locks.saturating_sub(earlier.shard_locks),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
         }
     }
 }
@@ -177,9 +198,40 @@ struct Shard {
     data: Vec<RwLock<Box<[u8]>>>,
 }
 
-/// Resolves a [`FileId`] to its backend; provided by the environment so the
-/// pool can write back dirty victims belonging to any file.
-pub(crate) type Resolver<'a> = dyn Fn(FileId) -> Result<Arc<dyn Backend>> + 'a;
+/// The environment services the pool needs on the write-back path:
+/// backend resolution plus write-ahead logging. The WAL hooks enforce
+/// *WAL-before-steal*: a dirty page's before/after images must be durable
+/// in the log before the page overwrites its slot in the data file.
+/// Environments without a WAL (in-memory) implement the hooks as no-ops.
+pub(crate) trait PoolIo {
+    /// Resolves a [`FileId`] to its backend.
+    fn backend(&self, file: FileId) -> Result<Arc<dyn Backend>>;
+
+    /// Appends `after` (and the page's current on-disk content as the
+    /// before-image) to the WAL. Not yet durable — see [`PoolIo::wal_sync`].
+    fn wal_page_image(&self, file: FileId, page: PageId, after: &[u8]) -> Result<()>;
+
+    /// Forces appended WAL records to durable storage.
+    fn wal_sync(&self) -> Result<()>;
+}
+
+/// Plain resolvers (tests, scratch pools) get no-op WAL hooks.
+impl<F> PoolIo for F
+where
+    F: Fn(FileId) -> Result<Arc<dyn Backend>>,
+{
+    fn backend(&self, file: FileId) -> Result<Arc<dyn Backend>> {
+        self(file)
+    }
+
+    fn wal_page_image(&self, _file: FileId, _page: PageId, _after: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn wal_sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
 
 /// The buffer pool. See module docs.
 pub struct BufferPool {
@@ -273,10 +325,10 @@ impl BufferPool {
         &self,
         file: FileId,
         page: PageId,
-        resolve: &Resolver<'_>,
+        io: &dyn PoolIo,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        let (shard, idx) = self.acquire(file, page, AccessMode::Read, resolve)?;
+        let (shard, idx) = self.acquire(file, page, AccessMode::Read, io)?;
         let result = {
             let guard = self.shards[shard].data[idx].read();
             f(&guard)
@@ -291,10 +343,10 @@ impl BufferPool {
         &self,
         file: FileId,
         page: PageId,
-        resolve: &Resolver<'_>,
+        io: &dyn PoolIo,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
-        let (shard, idx) = self.acquire(file, page, AccessMode::Write, resolve)?;
+        let (shard, idx) = self.acquire(file, page, AccessMode::Write, io)?;
         // Frame data lock is only ever contended by another fetch of the
         // same page; the shard lock is not held here.
         let result = {
@@ -312,7 +364,7 @@ impl BufferPool {
         file: FileId,
         page: PageId,
         mode: AccessMode,
-        resolve: &Resolver<'_>,
+        io: &dyn PoolIo,
     ) -> Result<(usize, usize)> {
         let shard_idx = self.shard_of(file, page);
         let shard = &self.shards[shard_idx];
@@ -332,12 +384,16 @@ impl BufferPool {
         let idx = find_victim(&mut state)?;
 
         // Write back the victim while still holding the shard lock, so no
-        // other fetch can read stale bytes for the evicted page.
+        // other fetch can read stale bytes for the evicted page. This is a
+        // *steal* — the page may carry uncommitted changes — so its images
+        // must be durable in the WAL before the data file is touched.
         let old = state.metas[idx].tag;
         if let Some((old_file, old_page)) = old {
             if state.metas[idx].dirty {
-                let backend = resolve(old_file)?;
+                let backend = io.backend(old_file)?;
                 let data = shard.data[idx].read();
+                io.wal_page_image(old_file, old_page, &data)?;
+                io.wal_sync()?;
                 backend.write_page(old_page, &data)?;
                 self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
             }
@@ -347,7 +403,7 @@ impl BufferPool {
         // Claim the frame and load under the shard lock: holding the lock
         // keeps this shard's table exact, and only this shard is blocked.
         {
-            let backend = resolve(file)?;
+            let backend = io.backend(file)?;
             let mut data = shard.data[idx].write();
             backend.read_page(page, &mut data)?;
             self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
@@ -368,18 +424,61 @@ impl BufferPool {
         meta.pin -= 1;
     }
 
-    /// Writes back every dirty frame.
-    pub(crate) fn flush(&self, resolve: &Resolver<'_>) -> Result<()> {
-        for shard in &self.shards {
-            let mut state = shard.state.lock();
-            for idx in 0..state.metas.len() {
-                let meta = &state.metas[idx];
+    /// Writes back every dirty frame and syncs the touched files.
+    ///
+    /// All shard locks are held for the duration so no frame can be
+    /// re-dirtied mid-flush, which makes the dirty-bit protocol sound: a
+    /// frame's dirty bit is cleared only once the owning file's
+    /// `Backend::sync` has returned `Ok` (clearing it after the write but
+    /// before the sync would make a retried flush skip the page and lose
+    /// the write if the first sync failed). Frames that are still pinned
+    /// (an operator may be mid-mutation) are written back but stay dirty.
+    ///
+    /// WAL ordering: every dirty page's images are appended first and
+    /// synced with a single fsync, and only then do the data-file writes
+    /// begin.
+    pub(crate) fn flush(&self, io: &dyn PoolIo) -> Result<()> {
+        let mut states: Vec<_> = self.shards.iter().map(|s| s.state.lock()).collect();
+
+        // Phase 1: log every dirty page, then force the log once.
+        let mut logged = false;
+        for (si, shard) in self.shards.iter().enumerate() {
+            for idx in 0..states[si].metas.len() {
+                let meta = &states[si].metas[idx];
                 if let (Some((file, page)), true) = (meta.tag, meta.dirty) {
-                    let backend = resolve(file)?;
+                    let data = shard.data[idx].read();
+                    io.wal_page_image(file, page, &data)?;
+                    logged = true;
+                }
+            }
+        }
+        if logged {
+            io.wal_sync()?;
+        }
+
+        // Phase 2: write every dirty page, grouping frames by file.
+        let mut by_file: HashMap<FileId, Vec<(usize, usize)>> = HashMap::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            for idx in 0..states[si].metas.len() {
+                let meta = &states[si].metas[idx];
+                if let (Some((file, page)), true) = (meta.tag, meta.dirty) {
+                    let backend = io.backend(file)?;
                     let data = shard.data[idx].read();
                     backend.write_page(page, &data)?;
                     self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
-                    state.metas[idx].dirty = false;
+                    by_file.entry(file).or_default().push((si, idx));
+                }
+            }
+        }
+
+        // Phase 3: per file, sync — and only on success clear the dirty
+        // bits of the frames written for that file.
+        for (file, frames) in by_file {
+            io.backend(file)?.sync()?;
+            for (si, idx) in frames {
+                let meta = &mut states[si].metas[idx];
+                if meta.pin == 0 {
+                    meta.dirty = false;
                 }
             }
         }

@@ -2,14 +2,23 @@
 //! pool (the analogue of a Berkeley DB environment).
 
 use crate::backend::{Backend, FileBackend, MemBackend};
-use crate::buffer::{BufferPool, IoSnapshot, IoStats};
+use crate::buffer::{BufferPool, IoSnapshot, IoStats, PoolIo};
 use crate::error::StorageError;
 use crate::page::{PageId, DEFAULT_PAGE_SIZE};
+use crate::wal::{self, RecoveryReport, Wal, WAL_CHECKPOINT_BYTES};
 use crate::Result;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{atomic, Arc};
+
+/// Decorates backends as the environment creates them (name, raw backend) —
+/// the hook fault-injection wrappers use. See [`Env::open_dir_with_decorator`].
+pub type BackendDecorator = Arc<dyn Fn(&str, Arc<dyn Backend>) -> Arc<dyn Backend> + Send + Sync>;
+
+/// Prefix of anonymous scratch files: exempt from write-ahead logging and
+/// removed by recovery.
+pub(crate) const TEMP_PREFIX: &str = "__tmp-";
 
 /// Identifier of an open file within an [`Env`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,6 +78,12 @@ struct EnvInner {
     files: Mutex<FileTable>,
     pool: BufferPool,
     next_temp: Mutex<u64>,
+    /// Write-ahead log; present for every on-disk environment.
+    wal: Option<Wal>,
+    /// What recovery did when this environment was opened.
+    recovery: Option<RecoveryReport>,
+    /// Wraps backends at creation time (fault injection in tests).
+    decorator: Option<BackendDecorator>,
 }
 
 /// A storage environment. Cheap to clone (shared handle).
@@ -89,13 +104,56 @@ impl Env {
     }
 
     /// Opens (creating if needed) an on-disk environment rooted at `dir`.
+    ///
+    /// Before any data file is touched, the directory's write-ahead log is
+    /// replayed: committed page images are redone, uncommitted steals are
+    /// undone, and torn log tails are discarded — see [`crate::wal`]. The
+    /// resulting [`RecoveryReport`] is available via
+    /// [`Env::recovery_report`].
     pub fn open_dir(dir: impl Into<PathBuf>, config: EnvConfig) -> Result<Env> {
-        let dir = dir.into();
+        Env::open_dir_inner(dir.into(), config, None)
+    }
+
+    /// [`Env::open_dir`] with a [`BackendDecorator`] applied to every
+    /// backend the environment creates — the hook the crash-torture
+    /// harness uses to wrap files in [`crate::fault::FaultBackend`].
+    /// Recovery itself runs on the raw files, never through the decorator.
+    pub fn open_dir_with_decorator(
+        dir: impl Into<PathBuf>,
+        config: EnvConfig,
+        decorator: BackendDecorator,
+    ) -> Result<Env> {
+        Env::open_dir_inner(dir.into(), config, Some(decorator))
+    }
+
+    fn open_dir_inner(
+        dir: PathBuf,
+        config: EnvConfig,
+        decorator: Option<BackendDecorator>,
+    ) -> Result<Env> {
         std::fs::create_dir_all(&dir)?;
-        Ok(Env::build(Some(dir), config))
+        let recovery = wal::replay(&dir)?;
+        let wal = Wal::open(&dir)?;
+        Ok(Env::build_inner(
+            Some(dir),
+            config,
+            Some(wal),
+            Some(recovery),
+            decorator,
+        ))
     }
 
     fn build(dir: Option<PathBuf>, config: EnvConfig) -> Env {
+        Env::build_inner(dir, config, None, None, None)
+    }
+
+    fn build_inner(
+        dir: Option<PathBuf>,
+        config: EnvConfig,
+        wal: Option<Wal>,
+        recovery: Option<RecoveryReport>,
+        decorator: Option<BackendDecorator>,
+    ) -> Env {
         let frames = (config.pool_bytes / config.page_size).max(8);
         let pool = BufferPool::new(frames, config.page_size);
         Env {
@@ -109,8 +167,22 @@ impl Env {
                 }),
                 pool,
                 next_temp: Mutex::new(0),
+                wal,
+                recovery,
+                decorator,
             }),
         }
+    }
+
+    /// What recovery did when this on-disk environment was opened; `None`
+    /// for in-memory environments.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.inner.recovery.as_ref()
+    }
+
+    /// Current write-ahead-log length in bytes (`None` when in memory).
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.inner.wal.as_ref().map(|w| w.len())
     }
 
     /// Page size of this environment.
@@ -141,6 +213,10 @@ impl Env {
     }
 
     fn register(&self, table: &mut FileTable, name: String, backend: Arc<dyn Backend>) -> FileId {
+        let backend = match &self.inner.decorator {
+            Some(wrap) => wrap(&name, backend),
+            None => backend,
+        };
         let id = FileId(table.next);
         table.next += 1;
         table.by_name.insert(name.clone(), id);
@@ -227,6 +303,16 @@ impl Env {
             table.by_name.remove(&entry.name);
             entry
         };
+        // Log the drop ahead of the filesystem delete so recovery re-applies
+        // it instead of resurrecting the file from stale page images.
+        if let Some(wal) = &self.inner.wal {
+            if !entry.name.starts_with(TEMP_PREFIX) {
+                wal.append_delete(&entry.name)?;
+                let stats = self.inner.pool.stats();
+                stats.wal_appends.fetch_add(1, atomic::Ordering::Relaxed);
+                stats.wal_syncs.fetch_add(1, atomic::Ordering::Relaxed);
+            }
+        }
         if let Some(path) = entry.backend.path() {
             std::fs::remove_file(path)?;
         }
@@ -239,6 +325,16 @@ impl Env {
             .by_id
             .get(&id)
             .map(|e| Arc::clone(&e.backend))
+            .ok_or_else(|| StorageError::NoSuchFile(format!("{id}")))
+    }
+
+    /// Name and backend of an open file.
+    fn entry(&self, id: FileId) -> Result<(String, Arc<dyn Backend>)> {
+        let table = self.inner.files.lock();
+        table
+            .by_id
+            .get(&id)
+            .map(|e| (e.name.clone(), Arc::clone(&e.backend)))
             .ok_or_else(|| StorageError::NoSuchFile(format!("{id}")))
     }
 
@@ -261,8 +357,7 @@ impl Env {
         page: PageId,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        let resolve = |id: FileId| self.backend(id);
-        self.inner.pool.with_frame_read(file, page, &resolve, f)
+        self.inner.pool.with_frame_read(file, page, &EnvIo(self), f)
     }
 
     /// Runs `f` over the mutable contents of a page, marking it dirty.
@@ -272,17 +367,62 @@ impl Env {
         page: PageId,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
-        let resolve = |id: FileId| self.backend(id);
-        self.inner.pool.with_frame_write(file, page, &resolve, f)
+        self.inner
+            .pool
+            .with_frame_write(file, page, &EnvIo(self), f)
     }
 
-    /// Writes back all dirty frames and syncs on-disk files.
+    /// Writes back all dirty frames, syncs every on-disk file, and — for
+    /// WAL-backed environments — appends a commit marker: this is the
+    /// durability point. Everything flushed here survives a crash; work
+    /// done since the previous flush that only reached the data files via
+    /// eviction steals is rolled back by recovery.
+    ///
+    /// Once the log outgrows [`WAL_CHECKPOINT_BYTES`] the commit also
+    /// checkpoints (truncates) it — the data files are consistent at this
+    /// instant, so the old records are dead weight.
     pub fn flush(&self) -> Result<()> {
-        let resolve = |id: FileId| self.backend(id);
-        self.inner.pool.flush(&resolve)?;
-        let table = self.inner.files.lock();
-        for entry in table.by_id.values() {
-            entry.backend.sync()?;
+        self.inner.pool.flush(&EnvIo(self))?;
+        // Sync every backend: pages stolen by eviction since the last
+        // flush were written without a data-file sync.
+        let entries: Vec<(String, Arc<dyn Backend>)> = {
+            let table = self.inner.files.lock();
+            table
+                .by_id
+                .values()
+                .map(|e| (e.name.clone(), Arc::clone(&e.backend)))
+                .collect()
+        };
+        for (_, backend) in &entries {
+            backend.sync()?;
+        }
+        if let Some(wal) = &self.inner.wal {
+            let counts: Vec<(String, u64)> = entries
+                .iter()
+                .filter(|(name, _)| !name.starts_with(TEMP_PREFIX))
+                .map(|(name, backend)| (name.clone(), backend.page_count()))
+                .collect();
+            let bytes = wal.append_commit(self.page_size(), counts)?;
+            wal.sync()?;
+            let stats = self.inner.pool.stats();
+            stats.wal_appends.fetch_add(1, atomic::Ordering::Relaxed);
+            stats.wal_bytes.fetch_add(bytes, atomic::Ordering::Relaxed);
+            stats.wal_syncs.fetch_add(1, atomic::Ordering::Relaxed);
+            if wal.len() > WAL_CHECKPOINT_BYTES {
+                wal.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes and then unconditionally truncates the write-ahead log.
+    /// The explicit form of the periodic checkpoint [`Env::flush`] applies
+    /// by threshold; a no-op beyond [`Env::flush`] for in-memory
+    /// environments.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.flush()?;
+        if let Some(wal) = &self.inner.wal {
+            wal.checkpoint()?;
         }
         Ok(())
     }
@@ -300,6 +440,51 @@ impl Env {
     /// Zeroes the traffic counters (between benchmark runs).
     pub fn reset_io_stats(&self) {
         self.inner.pool.stats().reset();
+    }
+}
+
+/// The pool's view of the environment: backend resolution plus the
+/// WAL-before-steal hooks. The before-image of a logged page is its
+/// current content in the data file, read here — reverse-order undo then
+/// restores the committed image even when a page is stolen several times
+/// between commits.
+struct EnvIo<'a>(&'a Env);
+
+impl PoolIo for EnvIo<'_> {
+    fn backend(&self, file: FileId) -> Result<Arc<dyn Backend>> {
+        self.0.backend(file)
+    }
+
+    fn wal_page_image(&self, file: FileId, page: PageId, after: &[u8]) -> Result<()> {
+        let Some(wal) = &self.0.inner.wal else {
+            return Ok(());
+        };
+        let (name, backend) = self.0.entry(file)?;
+        if name.starts_with(TEMP_PREFIX) {
+            // Scratch files are transient: recovery deletes them, so
+            // logging their pages would be pure overhead.
+            return Ok(());
+        }
+        let mut before = vec![0u8; after.len()];
+        backend.read_page(page, &mut before)?;
+        let bytes = wal.append_page_image(&name, page, &before, after)?;
+        let stats = self.0.inner.pool.stats();
+        stats.wal_appends.fetch_add(1, atomic::Ordering::Relaxed);
+        stats.wal_bytes.fetch_add(bytes, atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn wal_sync(&self) -> Result<()> {
+        if let Some(wal) = &self.0.inner.wal {
+            wal.sync()?;
+            self.0
+                .inner
+                .pool
+                .stats()
+                .wal_syncs
+                .fetch_add(1, atomic::Ordering::Relaxed);
+        }
+        Ok(())
     }
 }
 

@@ -45,6 +45,17 @@ pub enum StorageError {
         /// Number of pinned frames belonging to it.
         pinned: usize,
     },
+    /// A page read/write was handed a buffer whose length is not the page
+    /// size (a short buffer would tear the file or panic).
+    PageBufferSize {
+        /// The offending buffer length.
+        len: usize,
+        /// The backend's page size.
+        page_size: usize,
+    },
+    /// An error injected by a [`crate::fault::FaultBackend`] (simulated
+    /// crash or transient I/O failure) — test harnesses only.
+    FaultInjected(String),
 }
 
 impl StorageError {
@@ -81,6 +92,13 @@ impl fmt::Display for StorageError {
             StorageError::FileBusy { file, pinned } => {
                 write!(f, "file {file} is busy: {pinned} pinned frame(s)")
             }
+            StorageError::PageBufferSize { len, page_size } => {
+                write!(
+                    f,
+                    "page buffer of {len} bytes does not match page size {page_size}"
+                )
+            }
+            StorageError::FaultInjected(op) => write!(f, "injected fault: {op}"),
         }
     }
 }

@@ -1,0 +1,264 @@
+//! Fault injection: a [`Backend`] decorator that simulates crashes, torn
+//! page writes and transient I/O errors.
+//!
+//! The crash-torture harness (crates/testbed) arms a shared [`FaultState`]
+//! with a *kill-point* — "crash after N page writes" — wraps every backend
+//! of an environment in a [`FaultBackend`] sharing that state, and runs a
+//! workload until the kill fires. From then on every operation on the
+//! wrapped backends fails (the process is "dead"); the harness drops the
+//! environment, reopens it without faults, and checks that WAL recovery
+//! restored exactly the last committed state.
+
+use crate::backend::Backend;
+use crate::error::StorageError;
+use crate::page::PageId;
+use crate::Result;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What happens at the kill-point's page write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KillMode {
+    /// The write at the kill-point never reaches the file.
+    #[default]
+    BeforeWrite,
+    /// The write at the kill-point is torn: only the first half of the
+    /// page's new bytes land; the rest keeps its old content.
+    TornWrite,
+}
+
+/// Shared fault plan. One state can be shared by every [`FaultBackend`] of
+/// an environment, so the kill-point counts page writes globally.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    /// Page writes observed so far (successful or torn).
+    writes: AtomicU64,
+    /// Kill after this many page writes; `u64::MAX` = disarmed.
+    kill_after: AtomicU64,
+    kill_mode_torn: AtomicBool,
+    /// Latched once the kill-point fires: all later operations fail.
+    killed: AtomicBool,
+    /// One-shot transient errors (no kill): the next write / sync fails.
+    fail_next_write: AtomicBool,
+    fail_next_sync: AtomicBool,
+}
+
+impl FaultState {
+    /// A disarmed fault plan (all operations pass through).
+    pub fn new() -> Arc<FaultState> {
+        Arc::new(FaultState {
+            kill_after: AtomicU64::new(u64::MAX),
+            ..FaultState::default()
+        })
+    }
+
+    /// Arms the kill-point: the first `n` page writes succeed; the write
+    /// after them triggers `mode` and latches the killed state.
+    pub fn arm_kill(&self, n: u64, mode: KillMode) {
+        self.writes.store(0, Ordering::SeqCst);
+        self.killed.store(false, Ordering::SeqCst);
+        self.kill_mode_torn
+            .store(mode == KillMode::TornWrite, Ordering::SeqCst);
+        self.kill_after.store(n, Ordering::SeqCst);
+    }
+
+    /// Clears every armed fault and the killed latch.
+    pub fn disarm(&self) {
+        self.kill_after.store(u64::MAX, Ordering::SeqCst);
+        self.killed.store(false, Ordering::SeqCst);
+        self.fail_next_write.store(false, Ordering::SeqCst);
+        self.fail_next_sync.store(false, Ordering::SeqCst);
+    }
+
+    /// Makes the next page write fail with an injected I/O error without
+    /// killing the backend (a transient fault).
+    pub fn fail_next_write(&self) {
+        self.fail_next_write.store(true, Ordering::SeqCst);
+    }
+
+    /// Makes the next sync fail with an injected I/O error without killing
+    /// the backend.
+    pub fn fail_next_sync(&self) {
+        self.fail_next_sync.store(true, Ordering::SeqCst);
+    }
+
+    /// Page writes observed since the last [`FaultState::arm_kill`].
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// True once the kill-point has fired.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    fn injected(op: &'static str) -> StorageError {
+        StorageError::FaultInjected(op.to_string())
+    }
+
+    fn check_alive(&self, op: &'static str) -> Result<()> {
+        if self.is_killed() {
+            return Err(Self::injected(op));
+        }
+        Ok(())
+    }
+
+    /// Accounts one page write; decides whether it proceeds, tears, or
+    /// fails. Returns `Ok(true)` for a torn write.
+    fn on_write(&self) -> Result<bool> {
+        self.check_alive("write_page after kill")?;
+        if self.fail_next_write.swap(false, Ordering::SeqCst) {
+            return Err(Self::injected("write_page (transient)"));
+        }
+        let n = self.writes.fetch_add(1, Ordering::SeqCst);
+        if n >= self.kill_after.load(Ordering::SeqCst) {
+            self.killed.store(true, Ordering::SeqCst);
+            if self.kill_mode_torn.load(Ordering::SeqCst) {
+                return Ok(true);
+            }
+            return Err(Self::injected("write_page at kill-point"));
+        }
+        Ok(false)
+    }
+}
+
+/// A [`Backend`] decorator that injects the faults of a shared
+/// [`FaultState`]. Reads, writes, allocation and sync all fail once the
+/// state is killed; until then, writes are counted toward the kill-point.
+pub struct FaultBackend {
+    inner: Arc<dyn Backend>,
+    state: Arc<FaultState>,
+}
+
+impl FaultBackend {
+    /// Wraps `inner`, injecting the faults of `state`.
+    pub fn new(inner: Arc<dyn Backend>, state: Arc<FaultState>) -> FaultBackend {
+        FaultBackend { inner, state }
+    }
+
+    /// The shared fault state.
+    pub fn state(&self) -> &Arc<FaultState> {
+        &self.state
+    }
+}
+
+impl Backend for FaultBackend {
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.state.check_alive("read_page after kill")?;
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        let torn = self.state.on_write()?;
+        if torn {
+            // Crash mid-write: the first half of the new page lands, the
+            // rest keeps the old bytes — then the process is dead.
+            let mut spliced = vec![0u8; buf.len()];
+            self.inner.read_page(id, &mut spliced)?;
+            let half = buf.len() / 2;
+            spliced[..half].copy_from_slice(&buf[..half]);
+            self.inner.write_page(id, &spliced)?;
+            return Err(FaultState::injected("write_page torn at kill-point"));
+        }
+        self.inner.write_page(id, buf)
+    }
+
+    fn allocate_page(&self) -> Result<PageId> {
+        // Allocation extends the file (a physical write): it respects the
+        // killed latch but does not count toward the kill-point, keeping
+        // kill schedules in units of data-page writes.
+        self.state.check_alive("allocate_page after kill")?;
+        self.inner.allocate_page()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.state.check_alive("sync after kill")?;
+        if self.state.fail_next_sync.swap(false, Ordering::SeqCst) {
+            return Err(FaultState::injected("sync (transient)"));
+        }
+        self.inner.sync()
+    }
+
+    fn path(&self) -> Option<&Path> {
+        self.inner.path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    const PS: usize = 128;
+
+    fn setup() -> (FaultBackend, Arc<FaultState>) {
+        let state = FaultState::new();
+        let inner: Arc<dyn Backend> = Arc::new(MemBackend::new(PS));
+        (FaultBackend::new(inner, Arc::clone(&state)), state)
+    }
+
+    #[test]
+    fn disarmed_passes_through() {
+        let (b, state) = setup();
+        let p = b.allocate_page().unwrap();
+        b.write_page(p, &[7u8; PS]).unwrap();
+        let mut buf = vec![0u8; PS];
+        b.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
+        assert_eq!(state.writes(), 1);
+        b.sync().unwrap();
+    }
+
+    #[test]
+    fn kill_point_latches_all_operations() {
+        let (b, state) = setup();
+        let p0 = b.allocate_page().unwrap();
+        let p1 = b.allocate_page().unwrap();
+        state.arm_kill(1, KillMode::BeforeWrite);
+        b.write_page(p0, &[1u8; PS]).unwrap();
+        let err = b.write_page(p1, &[2u8; PS]).unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected(_)), "{err}");
+        assert!(state.is_killed());
+        // Dead: everything fails, and the killed write never landed.
+        let mut buf = vec![0u8; PS];
+        assert!(b.read_page(p1, &mut buf).is_err());
+        assert!(b.sync().is_err());
+        assert!(b.allocate_page().is_err());
+        state.disarm();
+        b.read_page(p1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0), "killed write must not land");
+    }
+
+    #[test]
+    fn torn_write_leaves_half_a_page() {
+        let (b, state) = setup();
+        let p = b.allocate_page().unwrap();
+        b.write_page(p, &[0xAAu8; PS]).unwrap();
+        state.arm_kill(0, KillMode::TornWrite);
+        let err = b.write_page(p, &[0xBBu8; PS]).unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected(_)), "{err}");
+        state.disarm();
+        let mut buf = vec![0u8; PS];
+        b.read_page(p, &mut buf).unwrap();
+        assert!(buf[..PS / 2].iter().all(|&x| x == 0xBB));
+        assert!(buf[PS / 2..].iter().all(|&x| x == 0xAA));
+    }
+
+    #[test]
+    fn transient_faults_are_one_shot() {
+        let (b, state) = setup();
+        let p = b.allocate_page().unwrap();
+        state.fail_next_write();
+        assert!(b.write_page(p, &[1u8; PS]).is_err());
+        b.write_page(p, &[1u8; PS]).unwrap();
+        state.fail_next_sync();
+        assert!(b.sync().is_err());
+        b.sync().unwrap();
+        assert!(!state.is_killed(), "transient faults do not kill");
+    }
+}

@@ -38,9 +38,11 @@ pub mod btree;
 pub mod buffer;
 pub mod codec;
 pub mod env;
+pub mod fault;
 pub mod heap;
 pub mod sort;
 pub mod temp;
+pub mod wal;
 
 mod error;
 mod node;
@@ -48,12 +50,14 @@ mod page;
 
 pub use btree::{BTree, Cursor};
 pub use buffer::{IoSnapshot, IoStats};
-pub use env::{Env, EnvConfig, FileId};
+pub use env::{BackendDecorator, Env, EnvConfig, FileId};
 pub use error::StorageError;
+pub use fault::{FaultBackend, FaultState, KillMode};
 pub use heap::HeapFile;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use sort::{ExternalSorter, SortedRecords};
 pub use temp::TempFile;
+pub use wal::{RecoveryReport, Wal};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,774 @@
+//! Page-image write-ahead log and crash recovery.
+//!
+//! The paper's M2 engine got durability "for free" from Berkeley DB; this
+//! module supplies the equivalent guarantee for our storage manager. The
+//! buffer pool runs a *steal / no-force* policy — dirty pages may be
+//! written back at arbitrary eviction points, and a flush is not forced
+//! after every operation — so without write-ahead ordering a crash
+//! mid-insert could persist a half-updated B+-tree. The WAL restores the
+//! invariant:
+//!
+//! * **Before any dirty page reaches a data file** (eviction steal or
+//!   [`crate::Env::flush`]), a [`Record::PageImage`] holding the page's
+//!   *before* and *after* images is appended to the log and fsynced.
+//! * **A commit point** is a successful `Env::flush`: every dirty page is
+//!   logged and written, every data file is fsynced, and then a
+//!   [`Record::Commit`] carrying each file's page count is appended and
+//!   fsynced. Everything up to the marker is durable; everything after it
+//!   is provisional.
+//! * **Recovery** ([`replay`]) runs before any file of the environment is
+//!   touched: the log is scanned with a checksum cut-off (a torn tail from
+//!   a crash mid-append is discarded, not an error), after-images up to
+//!   the last commit marker are redone, before-images after it are undone
+//!   in reverse order, files are truncated to their committed page counts,
+//!   and leftover temp files are removed. The log is then reset.
+//! * **Checkpointing** truncates the log once the data files are known
+//!   consistent (immediately after a commit), bounding both log growth and
+//!   recovery time.
+//!
+//! ## Record format
+//!
+//! The log is a sequence of length-prefixed, CRC-32-checksummed records:
+//!
+//! ```text
+//! record  := [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! payload := 0x01 page-image | 0x02 commit | 0x03 file-delete | 0x04 checkpoint
+//! ```
+//!
+//! A record whose length overruns the file or whose checksum mismatches
+//! ends the scan: it *is* the torn tail. Page images are keyed by file
+//! *name* (not [`crate::FileId`], which is assigned per-session) so replay
+//! can address the `.sdb` files directly.
+
+use crate::page::PageId;
+use crate::Result;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Name of the log file inside an environment directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Log size (bytes) above which a commit triggers an automatic checkpoint.
+pub const WAL_CHECKPOINT_BYTES: u64 = 4 << 20;
+
+const TAG_PAGE_IMAGE: u8 = 0x01;
+const TAG_COMMIT: u8 = 0x02;
+const TAG_DELETE: u8 = 0x03;
+const TAG_CHECKPOINT: u8 = 0x04;
+
+/// CRC-32 (IEEE, reflected) lookup table, built at compile time.
+static CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A decoded log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Record {
+    /// Before/after images of one page, logged ahead of the page write.
+    PageImage {
+        name: String,
+        page: u64,
+        before: Vec<u8>,
+        after: Vec<u8>,
+    },
+    /// Commit marker: the environment's files and their page counts at a
+    /// completed, fully synced flush.
+    Commit {
+        page_size: u32,
+        files: Vec<(String, u64)>,
+    },
+    /// A file was removed (drops are immediate, not transactional).
+    Delete { name: String },
+    /// Head marker of a freshly truncated log.
+    Checkpoint,
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    put_u16(out, name.len() as u16);
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Cursor over a payload during decoding; all readers fail soft (a
+/// malformed payload is treated like a checksum mismatch by the caller).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn name(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl Record {
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Record::PageImage {
+                name,
+                page,
+                before,
+                after,
+            } => {
+                p.push(TAG_PAGE_IMAGE);
+                put_u32(&mut p, before.len() as u32);
+                put_name(&mut p, name);
+                put_u64(&mut p, *page);
+                p.extend_from_slice(before);
+                p.extend_from_slice(after);
+            }
+            Record::Commit { page_size, files } => {
+                p.push(TAG_COMMIT);
+                put_u32(&mut p, *page_size);
+                put_u32(&mut p, files.len() as u32);
+                for (name, pages) in files {
+                    put_name(&mut p, name);
+                    put_u64(&mut p, *pages);
+                }
+            }
+            Record::Delete { name } => {
+                p.push(TAG_DELETE);
+                put_name(&mut p, name);
+            }
+            Record::Checkpoint => p.push(TAG_CHECKPOINT),
+        }
+        p
+    }
+
+    /// Decodes one payload; `None` means malformed (treated as torn).
+    fn decode(payload: &[u8]) -> Option<Record> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let rec = match r.u8()? {
+            TAG_PAGE_IMAGE => {
+                let page_size = r.u32()? as usize;
+                let name = r.name()?;
+                let page = r.u64()?;
+                let before = r.take(page_size)?.to_vec();
+                let after = r.take(page_size)?.to_vec();
+                Record::PageImage {
+                    name,
+                    page,
+                    before,
+                    after,
+                }
+            }
+            TAG_COMMIT => {
+                let page_size = r.u32()?;
+                let n = r.u32()? as usize;
+                let mut files = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let pages = r.u64()?;
+                    files.push((name, pages));
+                }
+                Record::Commit { page_size, files }
+            }
+            TAG_DELETE => Record::Delete { name: r.name()? },
+            TAG_CHECKPOINT => Record::Checkpoint,
+            _ => return None,
+        };
+        (r.pos == payload.len()).then_some(rec)
+    }
+}
+
+struct WalFile {
+    file: File,
+    len: u64,
+}
+
+impl WalFile {
+    fn append(&mut self, record: &Record) -> Result<u64> {
+        use std::os::unix::fs::FileExt;
+        let payload = record.encode();
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut framed, payload.len() as u32);
+        put_u32(&mut framed, crc32(&payload));
+        framed.extend_from_slice(&payload);
+        self.file.write_all_at(&framed, self.len)?;
+        self.len += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+}
+
+/// The write-ahead log of one on-disk environment.
+pub struct Wal {
+    path: PathBuf,
+    inner: Mutex<WalFile>,
+}
+
+impl Wal {
+    /// Opens (creating if missing) the log at `dir/wal.log`, appending at
+    /// the end. Call [`replay`] first: a log that needs recovery must not
+    /// be appended to.
+    pub fn open(dir: &Path) -> Result<Wal> {
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Wal {
+            path,
+            inner: Mutex::new(WalFile { file, len }),
+        })
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().len
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a page's before/after images. Returns bytes appended. Not
+    /// synced — call [`Wal::sync`] before the page write it protects.
+    pub fn append_page_image(
+        &self,
+        name: &str,
+        page: PageId,
+        before: &[u8],
+        after: &[u8],
+    ) -> Result<u64> {
+        debug_assert_eq!(before.len(), after.len());
+        self.inner.lock().append(&Record::PageImage {
+            name: name.to_string(),
+            page: page.0,
+            before: before.to_vec(),
+            after: after.to_vec(),
+        })
+    }
+
+    /// Appends a commit marker carrying each file's committed page count.
+    pub fn append_commit(&self, page_size: usize, files: Vec<(String, u64)>) -> Result<u64> {
+        self.inner.lock().append(&Record::Commit {
+            page_size: page_size as u32,
+            files,
+        })
+    }
+
+    /// Appends a file-deletion marker (synced immediately: drops are
+    /// applied to the filesystem right after, and must not be lost).
+    pub fn append_delete(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.append(&Record::Delete {
+            name: name.to_string(),
+        })?;
+        inner.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Forces appended records to durable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.inner.lock().file.sync_data()?;
+        Ok(())
+    }
+
+    /// Truncates the log and writes a fresh checkpoint marker. Only sound
+    /// immediately after a commit (data files synced and consistent).
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.file.set_len(0)?;
+        inner.len = 0;
+        inner.append(&Record::Checkpoint)?;
+        inner.file.sync_data()?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// What [`replay`] did to bring an environment directory back to its last
+/// committed state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes in the log when recovery started.
+    pub log_bytes: u64,
+    /// Valid records scanned.
+    pub records: usize,
+    /// Bytes discarded as a torn tail (checksum/length cut-off).
+    pub torn_bytes: u64,
+    /// Committed page images re-applied (redo).
+    pub pages_redone: usize,
+    /// Uncommitted page images rolled back (undo, reverse order).
+    pub pages_undone: usize,
+    /// Files truncated to their committed page counts.
+    pub files_truncated: usize,
+    /// File deletions re-applied.
+    pub files_deleted: usize,
+    /// Leftover temp files removed.
+    pub temp_files_removed: usize,
+    /// True when a commit marker was found (otherwise everything after the
+    /// last checkpoint was rolled back).
+    pub committed: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "wal: {} bytes, {} record(s), {} torn byte(s) discarded",
+            self.log_bytes, self.records, self.torn_bytes
+        )?;
+        writeln!(
+            f,
+            "redo: {} page(s); undo: {} page(s); commit marker {}",
+            self.pages_redone,
+            self.pages_undone,
+            if self.committed { "found" } else { "absent" }
+        )?;
+        write!(
+            f,
+            "files: {} truncated, {} deletion(s) re-applied, {} temp file(s) removed",
+            self.files_truncated, self.files_deleted, self.temp_files_removed
+        )
+    }
+}
+
+impl RecoveryReport {
+    /// True when recovery changed nothing (clean shutdown).
+    pub fn is_clean(&self) -> bool {
+        self.pages_redone == 0
+            && self.pages_undone == 0
+            && self.files_truncated == 0
+            && self.files_deleted == 0
+            && self.temp_files_removed == 0
+            && self.torn_bytes == 0
+    }
+}
+
+/// Parses the log into its valid record prefix, returning the records and
+/// the number of torn bytes discarded.
+fn scan_log(bytes: &[u8]) -> (Vec<Record>, u64) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break; // length overruns the file: torn tail
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Some(record) = Record::decode(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    (records, (bytes.len() - pos) as u64)
+}
+
+/// Opens (creating if absent) a data file for recovery writes.
+fn recovery_file(dir: &Path, name: &str) -> Result<File> {
+    Ok(OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(dir.join(format!("{name}.sdb")))?)
+}
+
+/// Replays `dir/wal.log`, restoring every data file to the state of the
+/// last commit marker, then resets the log. Idempotent; a missing or empty
+/// log yields a clean report (leftover temp files are still removed).
+///
+/// Must run before any file of the environment is opened —
+/// [`crate::Env::open_dir`] does this automatically; the `saardb recover`
+/// subcommand exposes it manually.
+pub fn replay(dir: &Path) -> Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = match File::open(&wal_path) {
+        Ok(mut f) => {
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf)?;
+            buf
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    report.log_bytes = bytes.len() as u64;
+    let (records, torn) = scan_log(&bytes);
+    report.records = records.len();
+    report.torn_bytes = torn;
+
+    let last_commit = records
+        .iter()
+        .rposition(|r| matches!(r, Record::Commit { .. }));
+    report.committed = last_commit.is_some();
+
+    use std::os::unix::fs::FileExt;
+    let mut files: HashMap<String, File> = HashMap::new();
+    let mut deleted: HashSet<String> = HashSet::new();
+    // Undo work list: uncommitted page images, applied in reverse below.
+    let mut undo: Vec<(String, u64, &Vec<u8>)> = Vec::new();
+
+    for (i, record) in records.iter().enumerate() {
+        match record {
+            Record::PageImage {
+                name,
+                page,
+                before,
+                after,
+            } => {
+                // An image after a deletion means the name was recreated.
+                deleted.remove(name);
+                if last_commit.is_some_and(|c| i <= c) {
+                    let file = match files.entry(name.clone()) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(recovery_file(dir, name)?)
+                        }
+                    };
+                    file.write_all_at(after, page * after.len() as u64)?;
+                    report.pages_redone += 1;
+                } else {
+                    undo.push((name.clone(), *page, before));
+                }
+            }
+            Record::Delete { name } => {
+                // Drops are immediate (not transactional): re-apply them
+                // wherever they sit in the log, and forget pending undo
+                // work for the dropped file.
+                files.remove(name);
+                undo.retain(|(n, _, _)| n != name);
+                let path = dir.join(format!("{name}.sdb"));
+                match std::fs::remove_file(&path) {
+                    Ok(()) => report.files_deleted += 1,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+                deleted.insert(name.clone());
+            }
+            Record::Commit { .. } | Record::Checkpoint => {}
+        }
+    }
+
+    // Roll back uncommitted steals, newest first, so a page stolen twice
+    // since the last commit ends at its committed image.
+    for (name, page, before) in undo.iter().rev() {
+        let file = match files.entry(name.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(recovery_file(dir, name)?),
+        };
+        file.write_all_at(before, page * before.len() as u64)?;
+        report.pages_undone += 1;
+    }
+
+    // Trim files back to their committed page counts: pages allocated
+    // after the commit are provisional (allocation extends files eagerly,
+    // outside the pool).
+    if let Some(Record::Commit {
+        page_size,
+        files: counts,
+    }) = last_commit.map(|c| &records[c])
+    {
+        for (name, pages) in counts {
+            if deleted.contains(name) {
+                continue;
+            }
+            let path = dir.join(format!("{name}.sdb"));
+            let Ok(meta) = std::fs::metadata(&path) else {
+                continue;
+            };
+            let committed_len = pages * *page_size as u64;
+            if meta.len() > committed_len {
+                let file = match files.entry(name.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(recovery_file(dir, name)?)
+                    }
+                };
+                file.set_len(committed_len)?;
+                report.files_truncated += 1;
+            }
+        }
+    }
+
+    for file in files.values() {
+        file.sync_data()?;
+    }
+
+    // Leftover scratch files from a crashed process are garbage.
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            if fname.starts_with("__tmp-") && fname.ends_with(".sdb") {
+                std::fs::remove_file(entry.path())?;
+                report.temp_files_removed += 1;
+            }
+        }
+    }
+
+    // The data files now hold the committed state: reset the log.
+    if report.log_bytes > 0 {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&wal_path)?;
+        file.sync_data()?;
+        drop(file);
+        let wal = Wal::open(dir)?;
+        wal.checkpoint()?;
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("saardb-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn read_file(dir: &Path, name: &str) -> Vec<u8> {
+        std::fs::read(dir.join(format!("{name}.sdb"))).unwrap()
+    }
+
+    const PS: usize = 64;
+
+    fn page(fill: u8) -> Vec<u8> {
+        vec![fill; PS]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let records = [
+            Record::PageImage {
+                name: "nodes".into(),
+                page: 7,
+                before: page(1),
+                after: page(2),
+            },
+            Record::Commit {
+                page_size: PS as u32,
+                files: vec![("nodes".into(), 3), ("idx".into(), 9)],
+            },
+            Record::Delete { name: "old".into() },
+            Record::Checkpoint,
+        ];
+        for r in &records {
+            assert_eq!(Record::decode(&r.encode()).as_ref(), Some(r));
+        }
+    }
+
+    #[test]
+    fn replay_of_missing_log_is_clean() {
+        let dir = tmp_dir("missing");
+        let report = replay(&dir).unwrap();
+        assert!(report.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn redo_applies_committed_images() {
+        let dir = tmp_dir("redo");
+        let wal = Wal::open(&dir).unwrap();
+        wal.append_page_image("f", PageId(0), &page(0), &page(0xAA))
+            .unwrap();
+        wal.append_page_image("f", PageId(1), &page(0), &page(0xBB))
+            .unwrap();
+        wal.append_commit(PS, vec![("f".into(), 2)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.pages_redone, 2);
+        assert_eq!(report.pages_undone, 0);
+        assert!(report.committed);
+        let bytes = read_file(&dir, "f");
+        assert_eq!(&bytes[..PS], &page(0xAA)[..]);
+        assert_eq!(&bytes[PS..2 * PS], &page(0xBB)[..]);
+        // Log was reset to a bare checkpoint: a second replay is a no-op.
+        let again = replay(&dir).unwrap();
+        assert_eq!(again.pages_redone, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undo_rolls_back_uncommitted_steals_in_reverse() {
+        let dir = tmp_dir("undo");
+        // Data file already holds the (uncommitted) stolen content.
+        std::fs::write(dir.join("f.sdb"), page(0x33)).unwrap();
+        let wal = Wal::open(&dir).unwrap();
+        // The same page stolen twice after the last commit: committed
+        // content 0x11, then 0x22 hit the disk, then 0x33.
+        wal.append_page_image("f", PageId(0), &page(0x11), &page(0x22))
+            .unwrap();
+        wal.append_page_image("f", PageId(0), &page(0x22), &page(0x33))
+            .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.pages_undone, 2);
+        assert!(!report.committed);
+        assert_eq!(read_file(&dir, "f"), page(0x11));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_cut_off() {
+        let dir = tmp_dir("torn");
+        let wal = Wal::open(&dir).unwrap();
+        wal.append_page_image("f", PageId(0), &page(0), &page(0xAA))
+            .unwrap();
+        wal.append_commit(PS, vec![("f".into(), 1)]).unwrap();
+        wal.sync().unwrap();
+        let len = wal.len();
+        wal.append_page_image("f", PageId(0), &page(0xAA), &page(0xBB))
+            .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Chop mid-way through the last record: a crash during append.
+        let log = dir.join(WAL_FILE);
+        let full = std::fs::metadata(&log).unwrap().len();
+        let cut = len + (full - len) / 2;
+        OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.torn_bytes, cut - len);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.pages_redone, 1);
+        assert_eq!(read_file(&dir, "f")[..PS], page(0xAA)[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_truncates_provisional_allocation() {
+        let dir = tmp_dir("trunc");
+        // File grew to 3 pages, but only 1 was committed.
+        std::fs::write(dir.join("f.sdb"), [page(1), page(2), page(3)].concat()).unwrap();
+        let wal = Wal::open(&dir).unwrap();
+        wal.append_commit(PS, vec![("f".into(), 1)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.files_truncated, 1);
+        assert_eq!(read_file(&dir, "f").len(), PS);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_records_reapply_and_cancel_undo() {
+        let dir = tmp_dir("delete");
+        std::fs::write(dir.join("gone.sdb"), page(9)).unwrap();
+        let wal = Wal::open(&dir).unwrap();
+        wal.append_page_image("gone", PageId(0), &page(1), &page(9))
+            .unwrap();
+        wal.append_delete("gone").unwrap();
+        drop(wal);
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.files_deleted, 1);
+        assert_eq!(report.pages_undone, 0, "undo for a dropped file is moot");
+        assert!(!dir.join("gone.sdb").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_removes_leftover_temp_files() {
+        let dir = tmp_dir("temps");
+        std::fs::write(dir.join("__tmp-1234-1.sdb"), page(0)).unwrap();
+        std::fs::write(dir.join("keep.sdb"), page(0)).unwrap();
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.temp_files_removed, 1);
+        assert!(dir.join("keep.sdb").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

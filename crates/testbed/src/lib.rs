@@ -21,6 +21,9 @@
 //!   produces the notification report,
 //! * [`grading`] — the §3 points model: early-bird points, lateness
 //!   penalties, scalability bonuses, exam admission,
+//! * [`torture`] — crash-torture harness: kill the storage layer after a
+//!   scripted number of page writes, reopen, and verify WAL recovery
+//!   restores exactly the last committed state,
 //! * [`triage`] — differential-engine triage: run every engine against the
 //!   M1 oracle over the corpus plus generated documents, shrink each
 //!   mismatch to a minimal witness, and report it with every engine's
@@ -30,6 +33,7 @@ pub mod corpus;
 pub mod grading;
 pub mod runner;
 pub mod submission;
+pub mod torture;
 pub mod triage;
 
 pub use corpus::{Corpus, CorpusConfig};
@@ -38,4 +42,5 @@ pub use runner::{
     run_budgeted, run_submission, EfficiencyCell, RunLimits, SubmissionReport, TestOutcome,
 };
 pub use submission::{Submission, SubmissionPool};
+pub use torture::{crash_torture, KillPointOutcome, TortureConfig, TortureReport};
 pub use triage::{triage_corpus, triage_query, EngineRun, Mismatch, TriageSummary};

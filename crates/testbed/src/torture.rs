@@ -1,0 +1,317 @@
+//! Crash-torture harness: scripted kill-points against the storage WAL.
+//!
+//! The course graded engines on correctness under a memory budget; a
+//! native XML-DBMS also has to survive losing power mid-write. This
+//! harness sweeps a workload over a schedule of kill-points: at each
+//! point the [`xmldb_storage::FaultState`] "kills the process" after N
+//! page writes (optionally tearing the Nth write in half), the
+//! environment is dropped, reopened — which runs WAL recovery — and the
+//! recovered B+-tree is compared against a shadow `BTreeMap` snapshotted
+//! at the last successful flush. Durability holds iff the tree equals
+//! the committed snapshot exactly, at every kill-point.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xmldb_storage::{BTree, Env, EnvConfig, FaultBackend, FaultState, KillMode};
+
+/// Parameters for one torture sweep.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Keys inserted per run (the workload).
+    pub inserts: u64,
+    /// `Env::flush` (= commit) after every this many inserts.
+    pub flush_every: u64,
+    /// First kill-point: die after this many page writes.
+    pub first_kill: u64,
+    /// Kill-point stride: the k-th run dies after `first_kill + k*stride`
+    /// page writes.
+    pub kill_stride: u64,
+    /// Number of kill-points to sweep (bounds the schedule for CI).
+    pub kill_points: u64,
+    /// Tear the fatal write in half instead of suppressing it.
+    pub torn_writes: bool,
+    /// Page size for the environment (small pages force splits early).
+    pub page_size: usize,
+    /// Buffer-pool budget in bytes (small pools force eviction steals).
+    pub pool_bytes: usize,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            inserts: 1000,
+            flush_every: 50,
+            first_kill: 1,
+            kill_stride: 7,
+            kill_points: 20,
+            torn_writes: false,
+            page_size: 256,
+            pool_bytes: 8 * 256,
+        }
+    }
+}
+
+/// What happened at one kill-point.
+#[derive(Debug, Clone)]
+pub struct KillPointOutcome {
+    /// The scheduled kill-point (page writes before death).
+    pub kill_after: u64,
+    /// Inserts applied before the run died.
+    pub inserts_before_kill: u64,
+    /// Keys in the shadow model at the last successful flush.
+    pub committed_keys: usize,
+    /// Pages redone from after-images during recovery.
+    pub pages_redone: usize,
+    /// Pages undone from before-images during recovery.
+    pub pages_undone: usize,
+    /// Bytes discarded from the torn WAL tail.
+    pub torn_bytes: u64,
+    /// `None` if the recovered tree matched the committed snapshot;
+    /// `Some(reason)` otherwise.
+    pub divergence: Option<String>,
+}
+
+/// Aggregate result of a torture sweep.
+#[derive(Debug, Clone, Default)]
+pub struct TortureReport {
+    /// One entry per kill-point, in schedule order.
+    pub outcomes: Vec<KillPointOutcome>,
+}
+
+impl TortureReport {
+    /// True iff every kill-point recovered to its committed snapshot.
+    pub fn all_recovered(&self) -> bool {
+        self.outcomes.iter().all(|o| o.divergence.is_none())
+    }
+
+    /// Kill-points whose recovery diverged from the shadow model.
+    pub fn failures(&self) -> impl Iterator<Item = &KillPointOutcome> {
+        self.outcomes.iter().filter(|o| o.divergence.is_some())
+    }
+}
+
+impl std::fmt::Display for TortureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let failed = self.outcomes.len()
+            - self
+                .outcomes
+                .iter()
+                .filter(|o| o.divergence.is_none())
+                .count();
+        writeln!(
+            f,
+            "crash torture: {} kill-points, {} recovered, {} diverged",
+            self.outcomes.len(),
+            self.outcomes.len() - failed,
+            failed
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  kill@{:>5}: {:>4} inserts, {:>4} committed keys, redo {:>3}, undo {:>3}, torn {:>4}B  {}",
+                o.kill_after,
+                o.inserts_before_kill,
+                o.committed_keys,
+                o.pages_redone,
+                o.pages_undone,
+                o.torn_bytes,
+                match &o.divergence {
+                    None => "ok",
+                    Some(why) => why.as_str(),
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("saardb-torture-{}-{n}", std::process::id()))
+}
+
+fn key(i: u64) -> Vec<u8> {
+    format!("doc{:06}", (i * 7919) % 1_000_000).into_bytes()
+}
+
+fn value(i: u64) -> Vec<u8> {
+    format!("node-{i}-{}", "p".repeat((i % 29) as usize)).into_bytes()
+}
+
+/// Runs the workload to one kill-point and verifies recovery.
+fn torture_once(cfg: &TortureConfig, kill_after: u64) -> xmldb_storage::Result<KillPointOutcome> {
+    let dir = scratch_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let env_config = EnvConfig {
+        page_size: cfg.page_size,
+        pool_bytes: cfg.pool_bytes,
+    };
+    let mode = if cfg.torn_writes {
+        KillMode::TornWrite
+    } else {
+        KillMode::BeforeWrite
+    };
+
+    let faults = FaultState::new();
+    let mut committed: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut inserts_before_kill = 0u64;
+    {
+        let state = Arc::clone(&faults);
+        let env = Env::open_dir_with_decorator(
+            &dir,
+            env_config.clone(),
+            Arc::new(move |_name, inner| {
+                Arc::new(FaultBackend::new(inner, Arc::clone(&state))) as _
+            }),
+        )?;
+        let mut tree = BTree::create(&env, "torture")?;
+        faults.arm_kill(kill_after, mode);
+        for i in 0..cfg.inserts {
+            if tree.insert(&key(i), &value(i)).is_err() {
+                break;
+            }
+            model.insert(key(i), value(i));
+            inserts_before_kill = i + 1;
+            if (i + 1) % cfg.flush_every == 0 {
+                if env.flush().is_err() {
+                    break;
+                }
+                committed = model.clone();
+            }
+        }
+        // If the whole workload fit before the kill-point fired, commit the
+        // remainder so the run still exercises recovery of a clean tail.
+        if !faults.is_killed() && env.flush().is_ok() {
+            committed = model.clone();
+        }
+    }
+
+    // Reopen without fault injection: recovery runs inside `open_dir`.
+    let env = Env::open_dir(&dir, env_config)?;
+    let report = env.recovery_report().cloned().unwrap_or_default();
+    let divergence = verify(&env, &committed);
+    drop(env);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(KillPointOutcome {
+        kill_after,
+        inserts_before_kill,
+        committed_keys: committed.len(),
+        pages_redone: report.pages_redone,
+        pages_undone: report.pages_undone,
+        torn_bytes: report.torn_bytes,
+        divergence,
+    })
+}
+
+/// Compares the recovered tree against the committed shadow snapshot.
+fn verify(env: &Env, committed: &BTreeMap<Vec<u8>, Vec<u8>>) -> Option<String> {
+    let tree = match BTree::open(env, "torture") {
+        Ok(t) => t,
+        // A run killed before its first commit may roll the tree's meta
+        // page back to zeros (or truncate the file away entirely); failing
+        // to open is then the correct committed state: nothing.
+        Err(_) if committed.is_empty() => return None,
+        Err(e) => return Some(format!("committed tree failed to open: {e}")),
+    };
+    let mut recovered = BTreeMap::new();
+    let scan = tree.scan(|k, v| {
+        recovered.insert(k.to_vec(), v.to_vec());
+        true
+    });
+    if let Err(e) = scan {
+        return Some(format!("recovered tree unreadable: {e}"));
+    }
+    if &recovered != committed {
+        let missing = committed
+            .keys()
+            .filter(|k| !recovered.contains_key(*k))
+            .count();
+        let extra = recovered
+            .keys()
+            .filter(|k| !committed.contains_key(*k))
+            .count();
+        return Some(format!(
+            "diverged: {} committed keys missing, {} uncommitted keys present",
+            missing, extra
+        ));
+    }
+    None
+}
+
+/// Sweeps the kill-point schedule and reports per-point outcomes.
+///
+/// Errors only on harness failures (scratch directory I/O); divergence at
+/// a kill-point is reported in the [`TortureReport`], not as an `Err`.
+pub fn crash_torture(cfg: &TortureConfig) -> xmldb_storage::Result<TortureReport> {
+    let mut report = TortureReport::default();
+    for k in 0..cfg.kill_points {
+        let kill_after = cfg.first_kill + k * cfg.kill_stride;
+        report.outcomes.push(torture_once(cfg, kill_after)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_kill_point_sweep_recovers() {
+        let cfg = TortureConfig {
+            inserts: 300,
+            flush_every: 25,
+            first_kill: 2,
+            kill_stride: 11,
+            kill_points: 8,
+            ..TortureConfig::default()
+        };
+        let report = crash_torture(&cfg).unwrap();
+        assert_eq!(report.outcomes.len(), 8);
+        assert!(report.all_recovered(), "{report}");
+        // The schedule must actually have killed mid-workload somewhere.
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .any(|o| o.inserts_before_kill < cfg.inserts),
+            "no kill-point fired before the workload finished: {report}"
+        );
+    }
+
+    /// The full acceptance sweep: 1 000 inserts, 20 kill-points, plus a
+    /// torn-write schedule. Run by the CI crash-torture step.
+    #[test]
+    #[ignore = "extended sweep; CI runs it explicitly with --ignored"]
+    fn full_kill_point_sweep_1k() {
+        let report = crash_torture(&TortureConfig::default()).unwrap();
+        assert_eq!(report.outcomes.len(), 20);
+        assert!(report.all_recovered(), "{report}");
+        let torn = crash_torture(&TortureConfig {
+            torn_writes: true,
+            kill_points: 10,
+            ..TortureConfig::default()
+        })
+        .unwrap();
+        assert!(torn.all_recovered(), "{torn}");
+    }
+
+    #[test]
+    fn torn_write_sweep_recovers() {
+        let cfg = TortureConfig {
+            inserts: 200,
+            flush_every: 20,
+            first_kill: 3,
+            kill_stride: 17,
+            kill_points: 4,
+            torn_writes: true,
+            ..TortureConfig::default()
+        };
+        let report = crash_torture(&cfg).unwrap();
+        assert!(report.all_recovered(), "{report}");
+    }
+}
