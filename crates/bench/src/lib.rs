@@ -86,6 +86,7 @@ pub fn figure7_engines(real_stats: &Statistics) -> Vec<EngineRow> {
             engine: EngineKind::M4CostBased,
             options: QueryOptions {
                 stats_override: Some(corrupted_stats(real_stats)),
+                ..QueryOptions::default()
             },
         },
         EngineRow {

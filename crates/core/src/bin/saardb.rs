@@ -15,22 +15,38 @@
 //!
 //! options: --engine m1|naive|m2|m3|m4|m4p   (default m4)
 //!          --pool-mb <n>                    buffer-pool budget (default 16)
+//!          --timeout <secs>                 per-query wall-clock deadline
+//!          --mem-limit <mb>                 per-query working-memory budget
 //! ```
 
 use std::process::ExitCode;
-use xmldb_core::{Database, EngineKind};
+use std::time::Duration;
+use xmldb_core::{Database, EngineKind, QueryOptions};
 use xmldb_storage::EnvConfig;
 
 struct Args {
     db_dir: Option<String>,
     engine: EngineKind,
     pool_mb: usize,
+    timeout: Option<Duration>,
+    mem_limit_mb: Option<usize>,
     command: Vec<String>,
+}
+
+impl Args {
+    fn query_options(&self) -> QueryOptions {
+        QueryOptions {
+            timeout: self.timeout,
+            mem_limit: self.mem_limit_mb.map(|mb| mb << 20),
+            ..QueryOptions::default()
+        }
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: saardb --db <dir> [--engine m1|naive|m2|m3|m4|m4p] [--pool-mb N] <command>\n\
+        "usage: saardb --db <dir> [--engine m1|naive|m2|m3|m4|m4p] [--pool-mb N]\n\
+         \x20             [--timeout SECS] [--mem-limit MB] <command>\n\
          commands: load <name> <file.xml> | replace <name> <file.xml> | drop <name> |\n\
          \x20         ls | stats <name> | dump <name> | query <name> <xq> |\n\
          \x20         explain <name> <xq> | explain analyze <name> <xq>\n\
@@ -44,6 +60,8 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut db_dir = None;
     let mut engine = EngineKind::M4CostBased;
     let mut pool_mb = 16usize;
+    let mut timeout = None;
+    let mut mem_limit_mb = None;
     let mut command = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +79,16 @@ fn parse_args() -> Result<Args, ExitCode> {
                 }
             }
             "--pool-mb" => pool_mb = args.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?,
+            "--timeout" => {
+                let secs: f64 = args.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?;
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    return Err(usage());
+                }
+                timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--mem-limit" => {
+                mem_limit_mb = Some(args.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?)
+            }
             "--help" | "-h" => return Err(usage()),
             other => {
                 command.push(other.to_string());
@@ -79,6 +107,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         db_dir,
         engine,
         pool_mb,
+        timeout,
+        mem_limit_mb,
         command,
     })
 }
@@ -194,13 +224,18 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         ["query", name, query] => {
             let started = std::time::Instant::now();
-            let result = db.query(name, query, args.engine)?;
+            let result = db.query_with(name, query, args.engine, &args.query_options())?;
             println!("{result}");
             let io = result
                 .metrics()
                 .map(|m| {
+                    let governor = if m.governor.active {
+                        format!(", governor: {}", m.governor.render())
+                    } else {
+                        String::new()
+                    };
                     format!(
-                        ", {} pool hits, {} misses, {} reads",
+                        ", {} pool hits, {} misses, {} reads{governor}",
                         m.io.hits, m.io.misses, m.io.physical_reads
                     )
                 })
@@ -213,7 +248,10 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         ["explain", "analyze", name, query] => {
-            print!("{}", db.explain_analyze(name, query, args.engine)?);
+            print!(
+                "{}",
+                db.explain_analyze_with(name, query, args.engine, &args.query_options())?
+            );
         }
         ["explain", name, query] => {
             print!("{}", db.explain(name, query, args.engine)?);

@@ -70,7 +70,11 @@ fn eval(
             let base = lookup(env, &source.var)?;
             let nodes: Vec<NodeId> = axis_nodes(doc, base, source.axis, &source.test).collect();
             let saved = env.get(var).copied();
+            // The DOM interpreter never touches the buffer pool, so its
+            // loop iterations are the only place governor checks can fire.
+            let gov = xmldb_storage::Governor::current();
             for node in nodes {
+                gov.check().map_err(Error::Storage)?;
                 env.insert(var.clone(), node);
                 eval(doc, body, env, out, parent)?;
             }
@@ -108,7 +112,9 @@ pub fn eval_cond(doc: &Document, cond: &Cond, env: &mut HashMap<Var, NodeId>) ->
             let base = lookup(env, &source.var)?;
             let nodes: Vec<NodeId> = axis_nodes(doc, base, source.axis, &source.test).collect();
             let saved = env.get(var).copied();
+            let gov = xmldb_storage::Governor::current();
             for node in nodes {
+                gov.check().map_err(Error::Storage)?;
                 env.insert(var.clone(), node);
                 let holds = eval_cond(doc, satisfies, env)?;
                 if holds {

@@ -5,8 +5,9 @@ pub mod m1;
 pub mod tpm_exec;
 
 use crate::{QueryMetrics, QueryResult, Result};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xmldb_optimizer::PlannerConfig;
+use xmldb_storage::{Governor, MemReservation};
 use xmldb_xasr::{Statistics, XasrStore};
 use xmldb_xq::Expr;
 
@@ -93,6 +94,48 @@ pub struct QueryOptions {
     /// Figure 7 engine-2 configuration ("due to unlucky estimates, the
     /// second engine decided for an unoptimal query plan").
     pub stats_override: Option<Statistics>,
+    /// Wall-clock deadline for the evaluation. Past it the governor fails
+    /// cooperative checks with `DeadlineExceeded`.
+    pub timeout: Option<Duration>,
+    /// Memory budget in bytes for operator-side working memory (sort
+    /// buffers, join blocks, milestone 1's DOM). Budget pressure spills
+    /// where an external path exists and fails with `MemoryExceeded`
+    /// where none does.
+    pub mem_limit: Option<usize>,
+    /// An explicit governor handle, overriding `timeout`/`mem_limit`.
+    /// Lets callers keep the cancellation token to fire it from another
+    /// thread (the testbed's timed runner does exactly this).
+    pub governor: Option<Governor>,
+}
+
+impl QueryOptions {
+    /// The governor this query runs under: an explicit handle wins; else
+    /// one is built from `timeout`/`mem_limit` if either is set; else the
+    /// enclosing scope's governor is inherited (inert when there is none).
+    pub(crate) fn governor_handle(&self) -> Governor {
+        if let Some(gov) = &self.governor {
+            gov.clone()
+        } else if self.timeout.is_some() || self.mem_limit.is_some() {
+            Governor::with_limits(self.timeout, self.mem_limit)
+        } else {
+            Governor::current()
+        }
+    }
+}
+
+/// Up-front accounting for milestone 1's whole-document DOM: the engine
+/// materializes every node before evaluating, so the reservation is made
+/// from the document's statistics *before* reconstruction starts. A budget
+/// too small for the DOM fails fast with `MemoryExceeded` instead of
+/// letting reconstruction exhaust real memory.
+fn reserve_dom_estimate(store: &XasrStore, governor: &Governor) -> Result<MemReservation> {
+    // Per-node DOM overhead (node struct, child-vector slot, label share)
+    // plus the raw text bytes. Deliberately coarse: accounting granularity
+    // here is "the whole DOM", matching how M1 allocates.
+    const PER_NODE: usize = 96;
+    let stats = store.stats();
+    let estimate = stats.node_count as usize * PER_NODE + stats.text_bytes as usize;
+    Ok(MemReservation::new(governor, estimate)?)
 }
 
 /// Evaluates a parsed query over a shredded document with the chosen
@@ -104,11 +147,16 @@ pub fn evaluate(
     engine: EngineKind,
     options: &QueryOptions,
 ) -> Result<QueryResult> {
+    let governor = options.governor_handle();
+    let _scope = governor.install();
     let io_before = store.env().io_stats();
     let started = Instant::now();
     let mut result = match engine {
         EngineKind::M1InMemory => {
             // Milestone 1 works on the DOM; materialize the document.
+            // Account for the whole DOM up front so a small budget fails
+            // with MemoryExceeded rather than OOMing mid-reconstruction.
+            let _dom = reserve_dom_estimate(store, &governor)?;
             let doc = store.reconstruct(1)?;
             m1::evaluate(&doc, query)
         }
@@ -130,6 +178,7 @@ pub fn evaluate(
     result.set_metrics(QueryMetrics {
         elapsed: started.elapsed(),
         io: store.env().io_stats().delta(&io_before),
+        governor: governor.snapshot(),
     });
     Ok(result)
 }
@@ -204,6 +253,7 @@ pub fn explain_analyze(
                             "wal: {} page images, {} bytes, {} syncs\n",
                             m.io.wal_appends, m.io.wal_bytes, m.io.wal_syncs
                         ));
+                        out.push_str(&format!("governor: {}\n", m.governor.render()));
                     }
                 }
                 Err(e) => out.push_str(&format!("runtime error: {e}\n")),

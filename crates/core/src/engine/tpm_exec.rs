@@ -160,6 +160,8 @@ pub fn explain_analyze_with_rewrites(
     let mut plan_count = 0;
     let prog = plan_tpm(&tpm, &model_for(store, options), config, &mut plan_count);
     let program = CompiledProgram { prog, plan_count };
+    let governor = options.governor_handle();
+    let _scope = governor.install();
     let io_before = store.env().io_stats();
     let started = Instant::now();
     let (result, metrics) = execute_program_analyzed(&program, store);
@@ -192,6 +194,7 @@ pub fn explain_analyze_with_rewrites(
         "wal: {} page images, {} bytes, {} syncs\n",
         io.wal_appends, io.wal_bytes, io.wal_syncs
     ));
+    out.push_str(&format!("governor: {}\n", governor.snapshot().render()));
     Ok(out)
 }
 
@@ -603,6 +606,7 @@ mod tests {
         lying.label_counts.insert("name".into(), 1_000_000);
         let opts = QueryOptions {
             stats_override: Some(lying),
+            ..QueryOptions::default()
         };
         let out = evaluate(&store, &q, &PlannerConfig::cost_based(), &opts).unwrap();
         assert_eq!(out.to_xml(), "<name>Ana</name><name>Bob</name>");

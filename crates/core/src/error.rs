@@ -64,6 +64,44 @@ impl Error {
             Error::Exec(xmldb_physical::Error::NonTextComparison { .. })
         )
     }
+
+    /// The underlying storage error, whether it surfaced directly
+    /// (`Error::Storage`, e.g. from a buffer-pool governor check) or
+    /// through the executor (`Error::Exec(Storage(..))`, e.g. from a
+    /// row-boundary check in an operator).
+    fn storage_cause(&self) -> Option<&xmldb_storage::StorageError> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Exec(xmldb_physical::Error::Storage(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True when the query was stopped by its governor's cancellation
+    /// token.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(xmldb_storage::StorageError::Cancelled)
+        )
+    }
+
+    /// True when the query ran past its governor's wall-clock deadline.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(xmldb_storage::StorageError::DeadlineExceeded)
+        )
+    }
+
+    /// True when the query exhausted its governor's memory budget with no
+    /// spillable degradation left.
+    pub fn is_memory_exceeded(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(xmldb_storage::StorageError::MemoryExceeded { .. })
+        )
+    }
 }
 
 impl fmt::Display for Error {

@@ -37,7 +37,7 @@ pub use engine::{EngineKind, QueryOptions};
 pub use error::Error;
 pub use prepared::PreparedQuery;
 pub use result::{QueryMetrics, QueryResult};
-pub use xmldb_storage::IoSnapshot;
+pub use xmldb_storage::{Governor, GovernorSnapshot, IoSnapshot};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -25,6 +25,7 @@ pub struct PreparedQuery {
     db: Database,
     doc: String,
     engine: EngineKind,
+    options: QueryOptions,
     state: PreparedState,
 }
 
@@ -69,6 +70,7 @@ impl Database {
             db: self.clone(),
             doc: doc.to_string(),
             engine,
+            options: options.clone(),
             state,
         })
     }
@@ -85,9 +87,12 @@ impl PreparedQuery {
         &self.doc
     }
 
-    /// Runs the prepared query.
+    /// Runs the prepared query under the governor its preparation options
+    /// describe (a fresh deadline per execution).
     pub fn execute(&self) -> Result<QueryResult> {
         let store = self.db.store(&self.doc)?;
+        let governor = self.options.governor_handle();
+        let _scope = governor.install();
         match &self.state {
             PreparedState::Ast(expr) => match self.engine {
                 EngineKind::M1InMemory => {

@@ -1,7 +1,7 @@
 //! Query results: a sequence of output items held as a DOM forest.
 
 use std::time::Duration;
-use xmldb_storage::IoSnapshot;
+use xmldb_storage::{GovernorSnapshot, IoSnapshot};
 use xmldb_xml::{serialize_subtree, Document, NodeId};
 
 /// Execution metrics attached to a [`QueryResult`] by the engine
@@ -14,6 +14,10 @@ pub struct QueryMetrics {
     /// Buffer-pool counter deltas for this query: hits, misses, physical
     /// reads and writes.
     pub io: IoSnapshot,
+    /// Resource-governor counters for this query: cooperative checks,
+    /// peak accounted bytes, budget-pressure spills. Inactive (all zeros)
+    /// when the query ran without limits.
+    pub governor: GovernorSnapshot,
 }
 
 /// The result of evaluating an XQ query: a sequence of constructed and/or

@@ -1,0 +1,172 @@
+//! Resource-governor integration: scripted cancellations at random check
+//! counts across every engine, deadline and memory-budget regressions,
+//! and the EXPLAIN ANALYZE governor line.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use xmldb_core::{Database, EngineKind, Governor, QueryOptions};
+
+/// A document big enough that every engine performs a few hundred governor
+/// checks on the join query below.
+fn busy_doc() -> String {
+    let mut xml = String::from("<lib>");
+    for i in 0..30 {
+        xml.push_str(&format!("<journal><title>t{i}</title><authors>"));
+        for j in 0..4 {
+            xml.push_str(&format!("<name>a{:02}</name>", (i * 5 + j) % 17));
+        }
+        xml.push_str("</authors></journal>");
+    }
+    xml.push_str("</lib>");
+    xml
+}
+
+const JOIN_QUERY: &str = "<pairs>{ for $a in //name/text() return \
+     for $b in //name/text() return if ($a = $b) then <p/> else () }</pairs>";
+
+fn busy_db() -> Database {
+    let db = Database::in_memory();
+    db.load_document("doc", &busy_doc()).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Firing the cancellation token after a random number of cooperative
+    /// checks, on a random engine, always yields either a completed result
+    /// or a clean `Cancelled` error — and always leaves the database
+    /// reusable with zero pinned frames and zero temp files.
+    #[test]
+    fn scripted_cancellation_is_clean_on_every_engine(
+        trip in 1u64..400,
+        engine_idx in 0usize..EngineKind::ALL.len(),
+    ) {
+        let db = busy_db();
+        let engine = EngineKind::ALL[engine_idx];
+        let gov = Governor::unlimited();
+        gov.trip_cancel_after_checks(trip);
+        let options = QueryOptions {
+            governor: Some(gov),
+            ..QueryOptions::default()
+        };
+        match db.query_with("doc", JOIN_QUERY, engine, &options) {
+            Ok(_) => {} // finished before the trip-point
+            Err(e) => prop_assert!(
+                e.is_cancelled(),
+                "{engine} trip@{trip}: expected Cancelled, got {e}"
+            ),
+        }
+        prop_assert_eq!(db.env().pinned_frames(), 0, "{} trip@{}", engine, trip);
+        prop_assert!(
+            db.env().temp_files().is_empty(),
+            "{} trip@{} left temp files", engine, trip
+        );
+        let again = db.query("doc", "//title", EngineKind::M2Storage);
+        prop_assert!(again.is_ok(), "db unusable after {} trip@{}", engine, trip);
+    }
+}
+
+#[test]
+fn zero_timeout_is_deadline_exceeded_on_every_engine() {
+    let db = busy_db();
+    let options = QueryOptions {
+        timeout: Some(Duration::ZERO),
+        ..QueryOptions::default()
+    };
+    for engine in EngineKind::ALL {
+        let err = db
+            .query_with("doc", JOIN_QUERY, engine, &options)
+            .unwrap_err();
+        assert!(
+            err.is_deadline_exceeded(),
+            "{engine}: expected DeadlineExceeded, got {err}"
+        );
+        assert_eq!(db.env().pinned_frames(), 0, "{engine}");
+    }
+}
+
+#[test]
+fn tiny_memory_budget_fails_m1_with_memory_exceeded() {
+    // M1 reserves its whole-DOM estimate up front; a budget far below it
+    // must fail fast with MemoryExceeded, not OOM mid-reconstruction.
+    let db = busy_db();
+    let options = QueryOptions {
+        mem_limit: Some(64),
+        ..QueryOptions::default()
+    };
+    let err = db
+        .query_with("doc", "//title", EngineKind::M1InMemory, &options)
+        .unwrap_err();
+    assert!(err.is_memory_exceeded(), "got {err}");
+    // The budget only bounds working memory; the stored document is fine.
+    assert!(db.query("doc", "//title", EngineKind::M1InMemory).is_ok());
+}
+
+#[test]
+fn generous_budget_reports_accounting_in_metrics() {
+    let db = busy_db();
+    let options = QueryOptions {
+        mem_limit: Some(64 << 20),
+        ..QueryOptions::default()
+    };
+    let result = db
+        .query_with("doc", "//title", EngineKind::M1InMemory, &options)
+        .unwrap();
+    let metrics = result.metrics().expect("query_with attaches metrics");
+    assert!(metrics.governor.active);
+    assert!(
+        metrics.governor.peak_bytes > 0,
+        "M1's DOM reservation must show up in the snapshot: {:?}",
+        metrics.governor
+    );
+    assert_eq!(metrics.governor.render(), metrics.governor.render());
+}
+
+#[test]
+fn explain_analyze_renders_governor_line() {
+    let db = busy_db();
+    let options = QueryOptions {
+        timeout: Some(Duration::from_secs(30)),
+        ..QueryOptions::default()
+    };
+    // Interpreter branch.
+    let text = db
+        .explain_analyze_with("doc", "//title", EngineKind::M2Storage, &options)
+        .unwrap();
+    assert!(text.contains("governor: "), "{text}");
+    assert!(text.contains("checks"), "{text}");
+    // Algebraic branch.
+    let text = db
+        .explain_analyze_with("doc", "//title", EngineKind::M4CostBased, &options)
+        .unwrap();
+    assert!(text.contains("governor: "), "{text}");
+    assert!(text.contains("checks"), "{text}");
+    // Without limits the line reports the governor as off.
+    let text = db
+        .explain_analyze("doc", "//title", EngineKind::M2Storage)
+        .unwrap();
+    assert!(text.contains("governor: off"), "{text}");
+}
+
+#[test]
+fn cancelled_prepared_query_can_rerun() {
+    let db = busy_db();
+    let gov = Governor::unlimited();
+    let options = QueryOptions {
+        governor: Some(gov.clone()),
+        ..QueryOptions::default()
+    };
+    let prepared = db
+        .prepare_with("doc", JOIN_QUERY, EngineKind::M4CostBased, &options)
+        .unwrap();
+    gov.trip_cancel_after_checks(10);
+    let err = prepared.execute().unwrap_err();
+    assert!(err.is_cancelled(), "got {err}");
+    assert_eq!(db.env().pinned_frames(), 0);
+    // A fresh governor on a fresh preparation runs the same query fine.
+    let fresh = db
+        .prepare("doc", JOIN_QUERY, EngineKind::M4CostBased)
+        .unwrap();
+    assert!(fresh.execute().is_ok());
+}

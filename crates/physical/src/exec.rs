@@ -3,6 +3,7 @@
 use crate::row::Row;
 use crate::Result;
 use std::collections::HashMap;
+use xmldb_storage::Governor;
 use xmldb_xasr::{NodeTuple, XasrStore};
 use xmldb_xq::Var;
 
@@ -54,12 +55,37 @@ pub struct ExecContext<'a> {
     pub store: &'a XasrStore,
     /// External variable bindings (constant for one plan execution).
     pub bindings: &'a Bindings,
+    /// The query's resource governor. Operators check it at row boundaries
+    /// in `next` and account large buffers against its memory budget; the
+    /// inert [`Governor::none`] handle makes every check free.
+    pub governor: Governor,
 }
 
 impl<'a> ExecContext<'a> {
-    /// Bundles a store and a binding environment.
+    /// Bundles a store and a binding environment. Picks up the calling
+    /// thread's installed [`Governor`] (the engine entry points install
+    /// one per query), so plan execution is governed without every caller
+    /// threading a handle through.
     pub fn new(store: &'a XasrStore, bindings: &'a Bindings) -> ExecContext<'a> {
-        ExecContext { store, bindings }
+        ExecContext {
+            store,
+            bindings,
+            governor: Governor::current(),
+        }
+    }
+
+    /// [`ExecContext::new`] with an explicit governor (tests and callers
+    /// that manage their own scope).
+    pub fn with_governor(
+        store: &'a XasrStore,
+        bindings: &'a Bindings,
+        governor: Governor,
+    ) -> ExecContext<'a> {
+        ExecContext {
+            store,
+            bindings,
+            governor,
+        }
     }
 }
 

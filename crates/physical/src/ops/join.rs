@@ -6,6 +6,7 @@ use crate::exec::{ExecContext, Operator};
 use crate::pred::{eval_all, PhysPred};
 use crate::row::Row;
 use crate::Result;
+use xmldb_storage::MemReservation;
 
 /// Tuple-at-a-time nested-loops join (order-preserving). The right input is
 /// re-opened for every left row; with a [`super::MaterializeOp`] right this
@@ -42,6 +43,7 @@ impl Operator for NestedLoopJoinOp {
 
     fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
         loop {
+            ctx.governor.check()?;
             if self.current_left.is_none() {
                 match self.left.next(ctx)? {
                     Some(row) => {
@@ -111,6 +113,7 @@ impl Operator for IndexNestedLoopJoinOp {
 
     fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
         loop {
+            ctx.governor.check()?;
             if self.current_left.is_none() {
                 match self.left.next(ctx)? {
                     Some(row) => {
@@ -160,6 +163,21 @@ pub struct BlockNestedLoopJoinOp {
     block_pos: usize,
     current_right: Option<Row>,
     left_exhausted: bool,
+    /// A left row pulled but deferred to the next block because the
+    /// governor's budget could not cover it alongside the current block.
+    pending_left: Option<Row>,
+    /// Accounts the buffered block against the governor's memory budget.
+    reservation: MemReservation,
+}
+
+/// Estimated heap footprint of a buffered row (tuples plus text values).
+fn row_bytes(row: &Row) -> usize {
+    std::mem::size_of::<Row>()
+        + row.len() * std::mem::size_of::<xmldb_xasr::NodeTuple>()
+        + row
+            .iter()
+            .map(|t| t.value.as_ref().map_or(0, |v| v.len()))
+            .sum::<usize>()
 }
 
 impl BlockNestedLoopJoinOp {
@@ -179,19 +197,41 @@ impl BlockNestedLoopJoinOp {
             block_pos: 0,
             current_right: None,
             left_exhausted: false,
+            pending_left: None,
+            reservation: MemReservation::default(),
         }
     }
 
     fn fill_block(&mut self, ctx: &ExecContext<'_>) -> Result<bool> {
         self.block.clear();
+        self.reservation.release_all();
         while self.block.len() < self.block_rows {
-            match self.left.next(ctx)? {
-                Some(row) => self.block.push(row),
-                None => {
-                    self.left_exhausted = true;
-                    break;
+            let row = match self.pending_left.take() {
+                Some(row) => row,
+                None => match self.left.next(ctx)? {
+                    Some(row) => row,
+                    None => {
+                        self.left_exhausted = true;
+                        break;
+                    }
+                },
+            };
+            // A block the budget cannot hold degrades gracefully: stop
+            // filling and run the partial block (more right rescans,
+            // bounded memory). Only a single row that does not fit even in
+            // an otherwise empty block is a hard error.
+            if !self.reservation.grow(row_bytes(&row)) {
+                if self.block.is_empty() {
+                    return Err(xmldb_storage::StorageError::MemoryExceeded {
+                        used: ctx.governor.mem_used() + row_bytes(&row),
+                        budget: ctx.governor.mem_budget().unwrap_or(0),
+                    }
+                    .into());
                 }
+                self.pending_left = Some(row);
+                break;
             }
+            self.block.push(row);
         }
         Ok(!self.block.is_empty())
     }
@@ -203,12 +243,15 @@ impl Operator for BlockNestedLoopJoinOp {
         self.block_pos = 0;
         self.current_right = None;
         self.left_exhausted = false;
+        self.pending_left = None;
+        self.reservation = MemReservation::empty(&ctx.governor);
         self.left.open(ctx)?;
         Ok(())
     }
 
     fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
         loop {
+            ctx.governor.check()?;
             if self.block.is_empty() {
                 if self.left_exhausted || !self.fill_block(ctx)? {
                     return Ok(None);
@@ -248,6 +291,8 @@ impl Operator for BlockNestedLoopJoinOp {
         self.left.close();
         self.right.close();
         self.block.clear();
+        self.pending_left = None;
+        self.reservation.release_all();
     }
 
     fn name(&self) -> &'static str {
@@ -300,6 +345,7 @@ impl Operator for LeftOuterIndexNestedLoopJoinOp {
 
     fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
         loop {
+            ctx.governor.check()?;
             if self.current_left.is_none() {
                 match self.left.next(ctx)? {
                     Some(row) => {
@@ -378,6 +424,7 @@ impl Operator for LeftOuterNestedLoopJoinOp {
 
     fn next(&mut self, ctx: &ExecContext<'_>) -> Result<Option<Row>> {
         loop {
+            ctx.governor.check()?;
             if self.current_left.is_none() {
                 match self.left.next(ctx)? {
                     Some(row) => {
@@ -613,6 +660,45 @@ mod tests {
                 .map(|r| (r[0].in_, r[1].in_))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn bnlj_degrades_to_smaller_blocks_under_budget() {
+        use xmldb_storage::Governor;
+        let (_e, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        // Budget fits roughly one row at a time: the huge configured block
+        // degrades to tiny blocks and the join still completes correctly.
+        let gov = Governor::with_limits(None, Some(row_bytes(&vec![store.root().unwrap()]) + 16));
+        let ctx = ExecContext::with_governor(&store, &binds, gov.clone());
+        let mk_scan = || Box::new(ScanOp::new(Probe::ByLabel("name".into()), vec![]));
+        let mut bnlj = BlockNestedLoopJoinOp::new(mk_scan(), mk_scan(), vec![], 1000);
+        let rows = execute_all(&mut bnlj, &ctx).unwrap();
+        let mut pairs: Vec<(u64, u64)> = rows.iter().map(|r| (r[0].in_, r[1].in_)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(4, 4), (4, 8), (8, 4), (8, 8)]);
+        assert_eq!(gov.mem_used(), 0, "block reservation released");
+    }
+
+    #[test]
+    fn cancellation_mid_join_is_clean() {
+        use xmldb_storage::Governor;
+        let (env, store) = fixture();
+        let binds = Bindings::with_root(&store).unwrap();
+        let gov = Governor::unlimited();
+        gov.trip_cancel_after_checks(3);
+        let ctx = ExecContext::with_governor(&store, &binds, gov);
+        let mk_scan = || Box::new(ScanOp::new(Probe::Full, vec![]));
+        let mut nlj = NestedLoopJoinOp::new(mk_scan(), mk_scan(), vec![]);
+        let err = execute_all(&mut nlj, &ctx).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::Error::Storage(xmldb_storage::StorageError::Cancelled)
+            ),
+            "{err}"
+        );
+        assert_eq!(env.pinned_frames(), 0);
     }
 
     #[test]

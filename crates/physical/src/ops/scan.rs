@@ -250,6 +250,7 @@ impl Operator for ScanOp {
             .cursor
             .as_mut()
             .ok_or_else(|| Error::Xasr("scan not open".into()))?;
+        ctx.governor.check()?;
         while let Some(tuple) = cursor.next(ctx)? {
             let row = vec![tuple];
             if eval_all(&self.filter, &row, ctx.bindings)? {

@@ -34,11 +34,16 @@ impl Operator for SortOp {
         // Records are prefixed with the fixed-width sort key so the sorter
         // can compare bytes directly.
         let key_width = self.key_cols.len() * 8;
-        let mut sorter =
-            xmldb_storage::ExternalSorter::new(ctx.store.env(), SORT_BUDGET, move |a, b| {
-                a[..key_width].cmp(&b[..key_width])
-            });
+        // The sorter accounts its buffer against the query's governor:
+        // budget pressure forces early spills instead of unbounded growth.
+        let mut sorter = xmldb_storage::ExternalSorter::with_governor(
+            ctx.store.env(),
+            SORT_BUDGET,
+            ctx.governor.clone(),
+            move |a, b| a[..key_width].cmp(&b[..key_width]),
+        );
         while let Some(row) = self.input.next(ctx)? {
+            ctx.governor.check()?;
             let mut rec = Vec::with_capacity(key_width + 32);
             for &c in &self.key_cols {
                 rec.extend_from_slice(&row[c].in_.to_be_bytes());
@@ -108,6 +113,7 @@ impl Operator for MaterializeOp {
             let mut heap = HeapFile::temp(ctx.store.env())?;
             self.input.open(ctx)?;
             while let Some(row) = self.input.next(ctx)? {
+                ctx.governor.check()?;
                 heap.append(&encode_row(&row))?;
             }
             self.input.close();
@@ -187,6 +193,7 @@ impl Operator for BTreeSortOp {
         let mut tree = xmldb_storage::BTree::temp(ctx.store.env())?;
         let mut seq = 0u64;
         while let Some(row) = self.input.next(ctx)? {
+            ctx.governor.check()?;
             let mut key = Vec::with_capacity(self.key_cols.len() * 8 + 8);
             for &c in &self.key_cols {
                 key.extend_from_slice(&row[c].in_.to_be_bytes());
@@ -353,5 +360,72 @@ mod tests {
         let ctx = ExecContext::new(&store, &binds);
         let mut op = SortOp::new(Box::new(RowsOp::new(vec![])), vec![0]);
         assert!(execute_all(&mut op, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sort_under_memory_budget_spills_and_completes() {
+        use xmldb_storage::Governor;
+        let (_e, store) = fixture();
+        let binds = Bindings::new();
+        // A budget far below the rows' footprint: the sort must spill to
+        // disk and still produce the full ordered output — never an error.
+        let gov = Governor::with_limits(None, Some(4096));
+        let ctx = ExecContext::with_governor(&store, &binds, gov.clone());
+        let n = 2000u64;
+        let rows: Vec<Row> = (0..n).map(|i| vec![t((i * 7919 + 13) % n)]).collect();
+        let mut op = SortOp::new(Box::new(RowsOp::new(rows)), vec![0]);
+        let out = execute_all(&mut op, &ctx).unwrap();
+        assert_eq!(out.len(), n as usize);
+        assert!(out.windows(2).all(|w| w[0][0].in_ <= w[1][0].in_));
+        let snap = gov.snapshot();
+        assert!(snap.spill_count > 0, "budget pressure must have spilled");
+        assert!(snap.peak_bytes <= 4096, "peak {}", snap.peak_bytes);
+        assert_eq!(gov.mem_used(), 0, "reservations released after close");
+    }
+
+    #[test]
+    fn cancellation_mid_sort_leaves_no_temp_files() {
+        use xmldb_storage::Governor;
+        let (env, store) = fixture();
+        let binds = Bindings::new();
+        // Small budget: runs spill to disk before the scripted cancellation
+        // fires, so the test proves spill files are cleaned up on unwind.
+        let gov = Governor::with_limits(None, Some(2048));
+        gov.trip_cancel_after_checks(300);
+        let ctx = ExecContext::with_governor(&store, &binds, gov.clone());
+        let rows: Vec<Row> = (0..500u64).map(|i| vec![t(i)]).collect();
+        let mut op = SortOp::new(Box::new(RowsOp::new(rows)), vec![0]);
+        let err = execute_all(&mut op, &ctx).unwrap_err();
+        assert!(
+            matches!(err, Error::Storage(xmldb_storage::StorageError::Cancelled)),
+            "{err}"
+        );
+        assert!(
+            gov.snapshot().spill_count > 0,
+            "test must cancel after spills happened"
+        );
+        drop(op);
+        assert!(
+            env.temp_files().is_empty(),
+            "spill files leaked: {:?}",
+            env.temp_files()
+        );
+        assert_eq!(env.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn cancellation_mid_materialize_cleans_up() {
+        use xmldb_storage::Governor;
+        let (env, store) = fixture();
+        let binds = Bindings::new();
+        let gov = Governor::unlimited();
+        gov.trip_cancel_after_checks(10);
+        let ctx = ExecContext::with_governor(&store, &binds, gov);
+        let rows: Vec<Row> = (0..100u64).map(|i| vec![t(i)]).collect();
+        let mut op = MaterializeOp::new(Box::new(RowsOp::new(rows)));
+        assert!(execute_all(&mut op, &ctx).is_err());
+        drop(op);
+        assert!(env.temp_files().is_empty());
+        assert_eq!(env.pinned_frames(), 0);
     }
 }

@@ -328,12 +328,11 @@ impl BufferPool {
         io: &dyn PoolIo,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        let (shard, idx) = self.acquire(file, page, AccessMode::Read, io)?;
+        let pin = PinGuard::new(self, self.acquire(file, page, AccessMode::Read, io)?);
         let result = {
-            let guard = self.shards[shard].data[idx].read();
+            let guard = self.shards[pin.shard].data[pin.idx].read();
             f(&guard)
         };
-        self.release(shard, idx);
         Ok(result)
     }
 
@@ -346,14 +345,13 @@ impl BufferPool {
         io: &dyn PoolIo,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
-        let (shard, idx) = self.acquire(file, page, AccessMode::Write, io)?;
+        let pin = PinGuard::new(self, self.acquire(file, page, AccessMode::Write, io)?);
         // Frame data lock is only ever contended by another fetch of the
         // same page; the shard lock is not held here.
         let result = {
-            let mut guard = self.shards[shard].data[idx].write();
+            let mut guard = self.shards[pin.shard].data[pin.idx].write();
             f(&mut guard)
         };
-        self.release(shard, idx);
         Ok(result)
     }
 
@@ -366,6 +364,13 @@ impl BufferPool {
         mode: AccessMode,
         io: &dyn PoolIo,
     ) -> Result<(usize, usize)> {
+        // Page acquires are the structural choke point every
+        // storage-touching engine passes through: check the thread's
+        // installed governor here so cancellation and deadlines reach even
+        // code that never sees an `ExecContext` (B+-tree descents, the
+        // XASR axis cursors, recovery replays nothing — it runs before any
+        // governor is installed).
+        crate::governor::Governor::check_current()?;
         let shard_idx = self.shard_of(file, page);
         let shard = &self.shards[shard_idx];
         self.stats.shard_locks.fetch_add(1, Ordering::Relaxed);
@@ -523,6 +528,39 @@ impl BufferPool {
     /// Page size of frames in this pool.
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// Number of frames with a non-zero pin count across all shards.
+    /// Zero whenever no operation is in flight — the cancellation-torture
+    /// sweep asserts this after every cancelled query to prove no pin
+    /// leaked on the unwind path.
+    pub fn pinned_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().metas.iter().filter(|m| m.pin > 0).count())
+            .sum()
+    }
+}
+
+/// Unpins a frame on drop, so `with_frame_read`/`with_frame_write` release
+/// their pin even when the caller's closure panics (a crashing engine must
+/// not leave the pool with stuck pins — `catch_unwind` in the testbed
+/// relies on this to keep the pool usable after a `Crashed` submission).
+struct PinGuard<'a> {
+    pool: &'a BufferPool,
+    shard: usize,
+    idx: usize,
+}
+
+impl<'a> PinGuard<'a> {
+    fn new(pool: &'a BufferPool, (shard, idx): (usize, usize)) -> PinGuard<'a> {
+        PinGuard { pool, shard, idx }
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.shard, self.idx);
     }
 }
 
@@ -707,6 +745,40 @@ mod tests {
         // Frame was unmapped: the next fetch is a miss.
         pool.with_frame_read(f, p, &r, |_| ()).unwrap();
         assert_eq!(pool.stats().snapshot().misses, 2);
+    }
+
+    #[test]
+    fn panicking_closure_releases_its_pin() {
+        let (pool, backend) = setup(8);
+        let r = resolver(&backend);
+        let f = FileId(0);
+        let p = backend.allocate_page().unwrap();
+        pool.with_frame_write(f, p, &r, |d| d[0] = 1).unwrap();
+        assert_eq!(pool.pinned_frames(), 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.with_frame_read(f, p, &r, |_| panic!("engine bug"))
+        }));
+        assert!(result.is_err());
+        // The pin was released during unwinding: the file can still be
+        // invalidated and the pool reports no stuck pins.
+        assert_eq!(pool.pinned_frames(), 0);
+        pool.invalidate_file(f).unwrap();
+    }
+
+    #[test]
+    fn acquire_honors_installed_governor() {
+        use crate::governor::Governor;
+        let (pool, backend) = setup(8);
+        let r = resolver(&backend);
+        let f = FileId(0);
+        let p = backend.allocate_page().unwrap();
+        let gov = Governor::unlimited();
+        let _scope = gov.install();
+        pool.with_frame_read(f, p, &r, |_| ()).unwrap();
+        gov.cancel();
+        let err = pool.with_frame_read(f, p, &r, |_| ()).unwrap_err();
+        assert!(matches!(err, StorageError::Cancelled), "{err}");
+        assert_eq!(pool.pinned_frames(), 0);
     }
 
     #[test]

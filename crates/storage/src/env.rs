@@ -441,6 +441,53 @@ impl Env {
     pub fn reset_io_stats(&self) {
         self.inner.pool.stats().reset();
     }
+
+    /// Number of buffer-pool frames currently pinned. Zero whenever no
+    /// operation is in flight; the cancellation-torture sweep asserts this
+    /// after every cancelled query.
+    pub fn pinned_frames(&self) -> usize {
+        self.inner.pool.pinned_frames()
+    }
+
+    /// Names of scratch (`__tmp-`) files still present — registered in the
+    /// file table or lying in the directory. Empty whenever no query is in
+    /// flight: spill and materialization files are owned by
+    /// [`crate::TempFile`] Drop guards, so even a cancelled or panicking
+    /// query must leave nothing behind.
+    pub fn temp_files(&self) -> Vec<String> {
+        let mut names: Vec<String> = {
+            let table = self.inner.files.lock();
+            table
+                .by_id
+                .values()
+                .map(|e| e.name.clone())
+                .filter(|n| n.starts_with(TEMP_PREFIX))
+                .collect()
+        };
+        if let Some(dir) = &self.inner.dir {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let file = entry.file_name().to_string_lossy().into_owned();
+                    if let Some(stem) = file.strip_suffix(".sdb") {
+                        if stem.starts_with(TEMP_PREFIX) {
+                            names.push(stem.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Number of live `Env` handles (clones of this environment). A
+    /// supervisor that hands a clone to a worker thread can assert the
+    /// worker is gone — not abandoned in the background — by watching the
+    /// count return to its baseline after a join.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
 }
 
 /// The pool's view of the environment: backend resolution plus the

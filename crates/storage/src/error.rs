@@ -56,6 +56,19 @@ pub enum StorageError {
     /// An error injected by a [`crate::fault::FaultBackend`] (simulated
     /// crash or transient I/O failure) — test harnesses only.
     FaultInjected(String),
+    /// The query's governor token was cancelled by its supervisor (the
+    /// testbed runner, a server admin, a tripped fault injection).
+    Cancelled,
+    /// The query ran past its governor's wall-clock deadline.
+    DeadlineExceeded,
+    /// An accounted allocation would push the query past its governor's
+    /// memory budget and no graceful degradation (spill) was possible.
+    MemoryExceeded {
+        /// Accounted bytes the allocation would have reached.
+        used: usize,
+        /// The configured budget in bytes.
+        budget: usize,
+    },
 }
 
 impl StorageError {
@@ -99,6 +112,14 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::FaultInjected(op) => write!(f, "injected fault: {op}"),
+            StorageError::Cancelled => write!(f, "query cancelled"),
+            StorageError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            StorageError::MemoryExceeded { used, budget } => {
+                write!(
+                    f,
+                    "query memory budget exceeded: {used} bytes needed, {budget} allowed"
+                )
+            }
         }
     }
 }

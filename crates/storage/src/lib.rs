@@ -21,7 +21,10 @@
 //! * [`sort::ExternalSorter`] — run-generation + k-way-merge external sort
 //!   (the paper laments BDB made this hard to do "properly by the book";
 //!   here it is by the book),
-//! * [`temp::TempFile`] — scratch files that free themselves.
+//! * [`temp::TempFile`] — scratch files that free themselves,
+//! * [`governor::Governor`] — the per-query resource governor: cooperative
+//!   cancellation, wall-clock deadlines and byte-accounted memory budgets
+//!   (the honest version of the testbed's time and memory limits).
 //!
 //! Unlike Berkeley DB, this storage manager supports block-based *writing*
 //! as well as reading, so block-oriented operators can be implemented
@@ -39,6 +42,7 @@ pub mod buffer;
 pub mod codec;
 pub mod env;
 pub mod fault;
+pub mod governor;
 pub mod heap;
 pub mod sort;
 pub mod temp;
@@ -53,6 +57,7 @@ pub use buffer::{IoSnapshot, IoStats};
 pub use env::{BackendDecorator, Env, EnvConfig, FileId};
 pub use error::StorageError;
 pub use fault::{FaultBackend, FaultState, KillMode};
+pub use governor::{Governor, GovernorScope, GovernorSnapshot, MemReservation};
 pub use heap::HeapFile;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use sort::{ExternalSorter, SortedRecords};

@@ -9,6 +9,7 @@
 //! book"; our heap files write blocks, so this is the textbook algorithm.
 
 use crate::env::Env;
+use crate::governor::{Governor, MemReservation};
 use crate::heap::HeapFile;
 use crate::Result;
 use std::cmp::Ordering;
@@ -27,16 +28,35 @@ pub struct ExternalSorter {
     /// Spilled, individually sorted runs.
     runs: Vec<HeapFile>,
     pushed: u64,
+    governor: Governor,
+    /// Accounts the buffered records against the governor's memory budget;
+    /// releases itself on drop (including on a cancellation unwind).
+    reservation: MemReservation,
 }
 
 impl ExternalSorter {
     /// Creates a sorter that spills once the buffered records exceed
-    /// `budget_bytes` (plus bookkeeping).
+    /// `budget_bytes` (plus bookkeeping). Buffered bytes are accounted
+    /// against the calling thread's installed [`Governor`], if any:
+    /// governor budget pressure forces an early spill exactly like the
+    /// sorter's own budget does.
     pub fn new(
         env: &Env,
         budget_bytes: usize,
         cmp: impl Fn(&[u8], &[u8]) -> Ordering + Send + 'static,
     ) -> ExternalSorter {
+        Self::with_governor(env, budget_bytes, Governor::current(), cmp)
+    }
+
+    /// [`ExternalSorter::new`] with an explicit governor instead of the
+    /// thread's installed one.
+    pub fn with_governor(
+        env: &Env,
+        budget_bytes: usize,
+        governor: Governor,
+        cmp: impl Fn(&[u8], &[u8]) -> Ordering + Send + 'static,
+    ) -> ExternalSorter {
+        let reservation = MemReservation::empty(&governor);
         ExternalSorter {
             env: env.clone(),
             cmp: Box::new(cmp),
@@ -45,6 +65,8 @@ impl ExternalSorter {
             budget_bytes: budget_bytes.max(1),
             runs: Vec::new(),
             pushed: 0,
+            governor,
+            reservation,
         }
     }
 
@@ -68,9 +90,22 @@ impl ExternalSorter {
         self.runs.len()
     }
 
-    /// Adds a record.
+    /// Adds a record. A record the governor's budget cannot cover forces a
+    /// spill first (graceful degradation: disk instead of an error); only
+    /// a record too large for the *whole* budget fails with
+    /// [`crate::StorageError::MemoryExceeded`].
     pub fn push(&mut self, record: Vec<u8>) -> Result<()> {
-        self.buffered_bytes += record.len() + std::mem::size_of::<Vec<u8>>();
+        let cost = record.len() + std::mem::size_of::<Vec<u8>>();
+        if !self.reservation.grow(cost) {
+            self.spill()?;
+            if !self.reservation.grow(cost) {
+                return Err(crate::StorageError::MemoryExceeded {
+                    used: self.governor.mem_used() + cost,
+                    budget: self.governor.mem_budget().unwrap_or(0),
+                });
+            }
+        }
+        self.buffered_bytes += cost;
         self.buffer.push(record);
         self.pushed += 1;
         if self.buffered_bytes > self.budget_bytes {
@@ -89,7 +124,9 @@ impl ExternalSorter {
         for record in self.buffer.drain(..) {
             run.append(&record)?;
         }
+        self.governor.note_spill(self.buffered_bytes as u64);
         self.buffered_bytes = 0;
+        self.reservation.release_all();
         self.runs.push(run);
         Ok(())
     }
@@ -97,18 +134,22 @@ impl ExternalSorter {
     /// Finishes and returns the records in sorted order.
     pub fn finish(mut self) -> Result<SortedRecords> {
         if self.runs.is_empty() {
-            // Everything fit in memory: no merge needed.
+            // Everything fit in memory: no merge needed. The reservation
+            // moves into the iterator — the records stay accounted until
+            // the consumer is done with them.
             let cmp = &self.cmp;
             self.buffer.sort_by(|a, b| cmp(a, b));
             return Ok(SortedRecords {
                 memory: self.buffer.into_iter(),
                 merge: None,
+                _reservation: self.reservation,
             });
         }
         self.spill()?;
         Ok(SortedRecords {
             memory: Vec::new().into_iter(),
             merge: Some(MergeState::new(self.runs, self.cmp)?),
+            _reservation: self.reservation,
         })
     }
 }
@@ -117,6 +158,9 @@ impl ExternalSorter {
 pub struct SortedRecords {
     memory: std::vec::IntoIter<Vec<u8>>,
     merge: Option<MergeState>,
+    /// Keeps the in-memory records accounted against the governor until
+    /// the iterator drops.
+    _reservation: MemReservation,
 }
 
 impl Iterator for SortedRecords {
@@ -265,6 +309,60 @@ mod tests {
         let sorter = ExternalSorter::lexicographic(&env, 1024);
         assert!(sorter.is_empty());
         assert_eq!(sorter.finish().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn governor_pressure_spills_instead_of_failing() {
+        let env = Env::memory();
+        // The sorter's own budget is generous; the governor's is not.
+        let gov = Governor::with_limits(None, Some(400));
+        let mut sorter = ExternalSorter::with_governor(&env, 1 << 20, gov.clone(), |a, b| a.cmp(b));
+        for i in 0..200u32 {
+            sorter
+                .push(format!("{:08}", (i * 37) % 200).into_bytes())
+                .unwrap();
+        }
+        assert!(sorter.spilled_runs() > 0, "governor pressure must spill");
+        let out: Vec<Vec<u8>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(out.len(), 200);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        let snap = gov.snapshot();
+        assert!(snap.spill_count > 0);
+        assert!(snap.spill_bytes > 0);
+        assert!(
+            snap.peak_bytes <= 400,
+            "peak {} over budget",
+            snap.peak_bytes
+        );
+        assert_eq!(gov.mem_used(), 0, "all reservations released");
+    }
+
+    #[test]
+    fn oversized_record_fails_with_memory_exceeded() {
+        let env = Env::memory();
+        let gov = Governor::with_limits(None, Some(64));
+        let mut sorter = ExternalSorter::with_governor(&env, 1 << 20, gov.clone(), |a, b| a.cmp(b));
+        let err = sorter.push(vec![0u8; 1000]).unwrap_err();
+        assert!(
+            matches!(err, crate::StorageError::MemoryExceeded { budget: 64, .. }),
+            "{err}"
+        );
+        drop(sorter);
+        assert_eq!(gov.mem_used(), 0, "reservation released after failure");
+    }
+
+    #[test]
+    fn in_memory_records_stay_accounted_until_iterator_drops() {
+        let env = Env::memory();
+        let gov = Governor::with_limits(None, Some(1 << 20));
+        let mut sorter = ExternalSorter::with_governor(&env, 1 << 20, gov.clone(), |a, b| a.cmp(b));
+        for i in 0..10u32 {
+            sorter.push(format!("{i:04}").into_bytes()).unwrap();
+        }
+        let sorted = sorter.finish().unwrap();
+        assert!(gov.mem_used() > 0, "in-memory results remain accounted");
+        drop(sorted);
+        assert_eq!(gov.mem_used(), 0);
     }
 
     #[test]

@@ -39,8 +39,12 @@ pub mod triage;
 pub use corpus::{Corpus, CorpusConfig};
 pub use grading::{GradeBook, GradeOutcome};
 pub use runner::{
-    run_budgeted, run_submission, EfficiencyCell, RunLimits, SubmissionReport, TestOutcome,
+    run_budgeted, run_governed, run_submission, EfficiencyCell, GovernedRun, RunLimits,
+    SubmissionReport, TestOutcome,
 };
 pub use submission::{Submission, SubmissionPool};
-pub use torture::{crash_torture, KillPointOutcome, TortureConfig, TortureReport};
+pub use torture::{
+    cancel_torture, crash_torture, CancelPointOutcome, CancelTortureConfig, CancelTortureReport,
+    KillPointOutcome, TortureConfig, TortureReport,
+};
 pub use triage::{triage_corpus, triage_query, EngineRun, Mismatch, TriageSummary};

@@ -3,9 +3,10 @@
 
 use crate::corpus::{correctness_queries, efficiency_queries, Corpus};
 use crate::submission::Submission;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
-use xmldb_core::{Database, EngineKind, Error, QueryOptions, QueryResult};
+use xmldb_core::{Database, EngineKind, Error, Governor, QueryOptions, QueryResult};
 use xmldb_storage::EnvConfig;
 
 /// Budgets for one submission run.
@@ -18,6 +19,9 @@ pub struct RunLimits {
     pub correctness_budget: Duration,
     /// Buffer-pool byte budget — the paper's "only 20 MB of memory".
     pub pool_bytes: usize,
+    /// Per-query working-memory budget (sort buffers, join blocks, M1's
+    /// DOM), enforced by the query's governor. `None` = unbounded.
+    pub mem_limit: Option<usize>,
 }
 
 impl Default for RunLimits {
@@ -26,6 +30,7 @@ impl Default for RunLimits {
             efficiency_budget: Duration::from_secs(5),
             correctness_budget: Duration::from_secs(10),
             pool_bytes: 4 << 20,
+            mem_limit: None,
         }
     }
 }
@@ -48,6 +53,10 @@ pub enum TestOutcome {
     /// errors — e.g. both sides raising the non-text comparison — count as
     /// a pass).
     EngineError(String),
+    /// The engine *panicked*; the worker contained it and the testbed kept
+    /// running (the paper's tester "takes precautions against system
+    /// crashes"). Carries the panic message.
+    Crashed(String),
 }
 
 impl TestOutcome {
@@ -123,6 +132,9 @@ impl SubmissionReport {
                 TestOutcome::EngineError(e) => {
                     out.push_str(&format!("  ERR  {doc}/{query}: {e}\n"))
                 }
+                TestOutcome::Crashed(msg) => {
+                    out.push_str(&format!("  CRASH {doc}/{query}: {msg}\n"))
+                }
             }
         }
         if self.efficiency.is_empty() {
@@ -135,6 +147,7 @@ impl SubmissionReport {
                     TestOutcome::Timeout => "STOPPED",
                     TestOutcome::Wrong { .. } => "DIFF",
                     TestOutcome::EngineError(_) => "ERR",
+                    TestOutcome::Crashed(_) => "CRASH",
                 };
                 out.push_str(&format!(
                     "  {:8} {:28} {:>10.3} s\n",
@@ -166,6 +179,13 @@ pub fn run_submission(
             .expect("corpus documents are well-formed");
     }
 
+    // The submission's options, topped up with the run's memory limit
+    // (a submission-provided limit wins).
+    let mut options = submission.options.clone();
+    if options.mem_limit.is_none() {
+        options.mem_limit = limits.mem_limit;
+    }
+
     let mut correctness = Vec::new();
     let mut passed = true;
     for doc in corpus.correctness_documents() {
@@ -183,7 +203,7 @@ pub fn run_submission(
                 doc,
                 query,
                 submission.engine,
-                &submission.options,
+                &options,
                 limits.correctness_budget,
             );
             let outcome = judge(&reference, &got);
@@ -204,17 +224,17 @@ pub fn run_submission(
                 "dblp",
                 query,
                 submission.engine,
-                &submission.options,
+                &options,
                 limits.efficiency_budget,
             );
             let (outcome, charged) = match result {
-                QueryRun::Completed(Ok(_), elapsed) => (TestOutcome::Pass(elapsed), elapsed),
-                QueryRun::Completed(Err(e), elapsed) => {
+                GovernedRun::Completed(Ok(_), elapsed) => (TestOutcome::Pass(elapsed), elapsed),
+                GovernedRun::Completed(Err(e), elapsed) => {
                     (TestOutcome::EngineError(e.to_string()), elapsed)
                 }
-                QueryRun::TimedOut => (TestOutcome::Timeout, limits.efficiency_budget),
+                GovernedRun::TimedOut => (TestOutcome::Timeout, limits.efficiency_budget),
+                GovernedRun::Crashed(msg) => (TestOutcome::Crashed(msg), started.elapsed()),
             };
-            let _ = started;
             total += charged;
             efficiency.push(EfficiencyCell {
                 query: qname.to_string(),
@@ -235,15 +255,25 @@ pub fn run_submission(
     }
 }
 
-/// Outcome of a budgeted query run.
-enum QueryRun {
+/// Outcome of a governed, budgeted query run.
+#[derive(Debug)]
+pub enum GovernedRun {
+    /// The worker finished within budget (successfully or with a query
+    /// error).
     Completed(Result<QueryResult, Error>, Duration),
+    /// The budget expired: the worker was cancelled through its governor
+    /// and joined before this variant was returned — no thread outlives
+    /// the run.
     TimedOut,
+    /// The engine panicked; the worker contained the panic. Carries the
+    /// panic message.
+    Crashed(String),
 }
 
 /// Public budgeted runner: executes a query on a worker thread; `None`
-/// means the budget expired (the worker is abandoned, mirroring the tester
-/// killing a student process). Used by the Figure 7 benchmark harness.
+/// means the budget expired or the engine crashed. Either way the worker
+/// has been stopped *and joined* before this returns. Used by the Figure 7
+/// benchmark harness.
 pub fn run_budgeted(
     db: &Database,
     doc: &str,
@@ -253,14 +283,69 @@ pub fn run_budgeted(
     budget: Duration,
 ) -> Option<(Result<QueryResult, Error>, Duration)> {
     match run_query(db, doc, query, engine, options, budget) {
-        QueryRun::Completed(result, elapsed) => Some((result, elapsed)),
-        QueryRun::TimedOut => None,
+        GovernedRun::Completed(result, elapsed) => Some((result, elapsed)),
+        GovernedRun::TimedOut | GovernedRun::Crashed(_) => None,
     }
 }
 
-/// Runs a query on a worker thread with a wall-clock budget. A timed-out
-/// worker is abandoned (it finishes in the background), mirroring the
-/// tester killing a student process.
+/// Runs a query on a worker thread under a governor with a wall-clock
+/// budget.
+///
+/// Unlike the historical tester (which abandoned over-budget workers the
+/// way it killed student processes, leaving them to finish in the
+/// background against a shared buffer pool), a timed-out worker here is
+/// *cancelled* through the query's governor and *joined*: the worker hits
+/// its next cooperative check, unwinds releasing its pins and temp files,
+/// and terminates before this function returns. A panicking engine is
+/// contained by `catch_unwind` and graded [`GovernedRun::Crashed`].
+pub fn run_governed(
+    db: &Database,
+    doc: &str,
+    query: &str,
+    engine: EngineKind,
+    options: &QueryOptions,
+    budget: Duration,
+) -> GovernedRun {
+    // The supervisor keeps a clone of the governor so it can fire the
+    // cancellation token from outside the worker thread.
+    let governor = options
+        .governor
+        .clone()
+        .unwrap_or_else(|| Governor::with_limits(options.timeout, options.mem_limit));
+    let mut options = options.clone();
+    options.governor = Some(governor.clone());
+
+    let worker_db = db.clone();
+    let doc = doc.to_string();
+    let query = query.to_string();
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            worker_db.query_with(&doc, &query, engine, &options)
+        }));
+        let _ = tx.send((result, started.elapsed()));
+    });
+    let outcome = match rx.recv_timeout(budget) {
+        Ok((Ok(result), elapsed)) => match result {
+            // A governor-stopped query (the options carried their own
+            // deadline, or a scripted cancellation fired) grades as a
+            // timeout, not an engine error.
+            Err(e) if e.is_cancelled() || e.is_deadline_exceeded() => GovernedRun::TimedOut,
+            result => GovernedRun::Completed(result, elapsed),
+        },
+        Ok((Err(payload), _)) => GovernedRun::Crashed(panic_message(payload.as_ref())),
+        Err(_) => {
+            governor.cancel();
+            GovernedRun::TimedOut
+        }
+    };
+    // Always join: on the timeout path the cancellation above makes the
+    // worker fail its next cooperative check and exit promptly.
+    handle.join().ok();
+    outcome
+}
+
 fn run_query(
     db: &Database,
     doc: &str,
@@ -268,27 +353,24 @@ fn run_query(
     engine: EngineKind,
     options: &QueryOptions,
     budget: Duration,
-) -> QueryRun {
-    let db = db.clone();
-    let doc = doc.to_string();
-    let query = query.to_string();
-    let options = options.clone();
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let started = Instant::now();
-        let result = db.query_with(&doc, &query, engine, &options);
-        let _ = tx.send((result, started.elapsed()));
-    });
-    match rx.recv_timeout(budget) {
-        Ok((result, elapsed)) => QueryRun::Completed(result, elapsed),
-        Err(_) => QueryRun::TimedOut,
+) -> GovernedRun {
+    run_governed(db, doc, query, engine, options, budget)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
     }
 }
 
 /// Compares an engine run against the reference run.
-fn judge(reference: &QueryRun, got: &QueryRun) -> TestOutcome {
+fn judge(reference: &GovernedRun, got: &GovernedRun) -> TestOutcome {
     match (reference, got) {
-        (QueryRun::Completed(Ok(expected), _), QueryRun::Completed(Ok(actual), elapsed)) => {
+        (GovernedRun::Completed(Ok(expected), _), GovernedRun::Completed(Ok(actual), elapsed)) => {
             if expected == actual {
                 TestOutcome::Pass(*elapsed)
             } else {
@@ -298,35 +380,42 @@ fn judge(reference: &QueryRun, got: &QueryRun) -> TestOutcome {
                 }
             }
         }
+        // A crashing submission is graded as such; a crashing *reference*
+        // is inconclusive (like a reference timeout) and never fails
+        // students.
+        (_, GovernedRun::Crashed(msg)) => TestOutcome::Crashed(msg.clone()),
+        (GovernedRun::Crashed(_), _) => TestOutcome::Pass(Duration::ZERO),
         // The permitted non-text comparison exit is *plan-dependent* (like
         // division-by-zero in SQL): an optimized plan may evaluate a
         // comparison the nested semantics would have guarded away, or skip
         // one it would have hit. Either side raising it counts as
         // agreement; any other error does not.
-        (QueryRun::Completed(_, _), QueryRun::Completed(Err(e), elapsed))
+        (GovernedRun::Completed(_, _), GovernedRun::Completed(Err(e), elapsed))
             if e.is_non_text_comparison() =>
         {
             TestOutcome::Pass(*elapsed)
         }
-        (QueryRun::Completed(Err(e), _), QueryRun::Completed(Ok(_), elapsed))
+        (GovernedRun::Completed(Err(e), _), GovernedRun::Completed(Ok(_), elapsed))
             if e.is_non_text_comparison() =>
         {
             TestOutcome::Pass(*elapsed)
         }
-        (QueryRun::Completed(Ok(_), _), QueryRun::Completed(Err(e), _)) => {
+        (GovernedRun::Completed(Ok(_), _), GovernedRun::Completed(Err(e), _)) => {
             TestOutcome::EngineError(e.to_string())
         }
-        (QueryRun::Completed(Err(_), _), QueryRun::Completed(Ok(got), _)) => TestOutcome::Wrong {
-            expected: "<runtime error>".to_string(),
-            got: truncate(&got.to_xml()),
-        },
-        (_, QueryRun::TimedOut) => TestOutcome::Timeout,
-        (QueryRun::TimedOut, _) => {
+        (GovernedRun::Completed(Err(_), _), GovernedRun::Completed(Ok(got), _)) => {
+            TestOutcome::Wrong {
+                expected: "<runtime error>".to_string(),
+                got: truncate(&got.to_xml()),
+            }
+        }
+        (_, GovernedRun::TimedOut) => TestOutcome::Timeout,
+        (GovernedRun::TimedOut, _) => {
             // Reference timed out: treat as inconclusive pass so a slow
             // reference never fails students.
             TestOutcome::Pass(Duration::ZERO)
         }
-        (QueryRun::Completed(Err(_), _), QueryRun::Completed(Err(e), _)) => {
+        (GovernedRun::Completed(Err(_), _), GovernedRun::Completed(Err(e), _)) => {
             TestOutcome::EngineError(e.to_string())
         }
     }
@@ -432,5 +521,98 @@ mod tests {
             "the naive engine should get stopped at least once:\n{}",
             report.render_email()
         );
+    }
+
+    #[test]
+    fn timed_out_worker_is_cancelled_and_joined() {
+        let corpus = tiny_corpus();
+        let db = Database::in_memory();
+        for (name, xml) in &corpus.documents {
+            db.load_document(name, xml).unwrap();
+        }
+        let baseline = db.env().handle_count();
+        let (_, query) = efficiency_queries()[2];
+        // A zero budget forces the timeout path deterministically; the
+        // worker must then be cancelled through its governor and joined.
+        let run = run_governed(
+            &db,
+            "dblp",
+            query,
+            EngineKind::NaiveScan,
+            &QueryOptions::default(),
+            Duration::ZERO,
+        );
+        assert!(matches!(run, GovernedRun::TimedOut), "got {run:?}");
+        // The joined worker dropped its Database clone and released every
+        // pin — the env handle count is back at the baseline, which the
+        // old abandon-the-thread runner could not guarantee.
+        assert_eq!(db.env().handle_count(), baseline);
+        assert_eq!(db.env().pinned_frames(), 0);
+        // The database stays fully usable.
+        let r = db.query("dblp", "//author", EngineKind::M2Storage).unwrap();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn panicking_engine_grades_crashed() {
+        let corpus = tiny_corpus();
+        let db = Database::in_memory();
+        for (name, xml) in &corpus.documents {
+            db.load_document(name, xml).unwrap();
+        }
+        let gov = xmldb_core::Governor::unlimited();
+        gov.trip_panic_after_checks(5);
+        let options = QueryOptions {
+            governor: Some(gov),
+            ..QueryOptions::default()
+        };
+        let (_, query) = efficiency_queries()[0];
+        let run = run_governed(
+            &db,
+            "dblp",
+            query,
+            EngineKind::M2Storage,
+            &options,
+            Duration::from_secs(30),
+        );
+        match run {
+            GovernedRun::Crashed(msg) => assert!(msg.contains("fault injection"), "{msg}"),
+            other => panic!("expected Crashed, got {other:?}"),
+        }
+        // Panic isolation: the pool dropped the crashed worker's pins and
+        // keeps serving queries.
+        assert_eq!(db.env().pinned_frames(), 0);
+        let r = db
+            .query("dblp", "//author", EngineKind::M4CostBased)
+            .unwrap();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn crashing_submission_is_reported_not_fatal() {
+        let corpus = tiny_corpus();
+        let gov = xmldb_core::Governor::unlimited();
+        gov.trip_panic_after_checks(40);
+        let submission = Submission {
+            id: 3,
+            team: "crashy".into(),
+            engine: EngineKind::M2Storage,
+            options: QueryOptions {
+                governor: Some(gov),
+                ..QueryOptions::default()
+            },
+        };
+        // run_submission survives the panicking engine and grades it.
+        let report = run_submission(&corpus, &submission, &RunLimits::default());
+        assert!(!report.passed_correctness);
+        assert!(
+            report
+                .correctness
+                .iter()
+                .any(|(_, _, o)| matches!(o, TestOutcome::Crashed(_))),
+            "email:\n{}",
+            report.render_email()
+        );
+        assert!(report.render_email().contains("CRASH"));
     }
 }

@@ -52,6 +52,9 @@ fn main() {
         efficiency_budget: Duration::from_secs(3),
         correctness_budget: Duration::from_secs(20),
         pool_bytes: 2 << 20,
+        // The paper's "only 20 MB of memory", scaled down: every query runs
+        // under a working-memory budget and must spill or fail cleanly.
+        mem_limit: Some(8 << 20),
     };
 
     let mut book = GradeBook::new();

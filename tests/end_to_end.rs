@@ -86,6 +86,7 @@ fn corrupted_stats_never_change_answers() {
     }
     let options = xmldb_core::QueryOptions {
         stats_override: Some(corrupted),
+        ..Default::default()
     };
     for (qname, query) in xmldb_testbed::corpus::efficiency_queries() {
         let reference = db.query("dblp", query, EngineKind::M4CostBased).unwrap();
