@@ -12,6 +12,13 @@
 //! saardb --db <dir> explain analyze <name> <xq>  run and show actual
 //!                                              rows/opens/time per operator
 //!                                              plus buffer-pool traffic
+//! saardb --db <dir> stats [--json]             dump the metrics registry
+//!                                              (Prometheus text or JSON)
+//! saardb --db <dir> trace <name> <xq>          evaluate and print the
+//!                                              query's span tree
+//! saardb --db <dir> flightrec [--slow-ms N] [<name> <xq>...]
+//!                                              run queries, then replay
+//!                                              the flight recorder
 //!
 //! options: --engine m1|naive|m2|m3|m4|m4p   (default m4)
 //!          --pool-mb <n>                    buffer-pool budget (default 16)
@@ -49,7 +56,9 @@ fn usage() -> ExitCode {
          \x20             [--timeout SECS] [--mem-limit MB] <command>\n\
          commands: load <name> <file.xml> | replace <name> <file.xml> | drop <name> |\n\
          \x20         ls | stats <name> | dump <name> | query <name> <xq> |\n\
-         \x20         explain <name> <xq> | explain analyze <name> <xq>\n\
+         \x20         explain <name> <xq> | explain analyze <name> <xq> |\n\
+         \x20         stats [--json] | trace <name> <xq> |\n\
+         \x20         flightrec [--slow-ms N] [<name> <xq>...]\n\
          \x20  saardb recover <dir>    replay the write-ahead log and print a\n\
          \x20                          recovery report (no database open needed)"
     );
@@ -199,6 +208,14 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+        // `stats` with no document name dumps the engine-wide metrics
+        // registry rather than one document's shredding statistics.
+        ["stats"] => {
+            print!("{}", db.env().registry().render_prometheus());
+        }
+        ["stats", "--json"] => {
+            println!("{}", db.env().registry().render_json());
+        }
         ["stats", name] => {
             let store = db.store(name)?;
             let stats = store.stats();
@@ -246,6 +263,53 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 started.elapsed().as_secs_f64() * 1e3,
                 args.engine
             );
+        }
+        ["trace", name, query] => {
+            let result = db.query_with(name, query, args.engine, &args.query_options())?;
+            let metrics = result.metrics().expect("query_with attaches metrics");
+            eprintln!(
+                "-- {} item(s) in {:.2} ms [{}]",
+                result.len(),
+                metrics.elapsed.as_secs_f64() * 1e3,
+                args.engine
+            );
+            if let Some(digest) = metrics.plan_digest {
+                eprintln!("-- plan digest {digest:016x}");
+            }
+            print!("{}", metrics.spans.render());
+        }
+        ["flightrec", rest @ ..] => {
+            let mut slow_ms = None;
+            let mut positional = Vec::new();
+            let mut it = rest.iter();
+            while let Some(tok) = it.next() {
+                if *tok == "--slow-ms" {
+                    let ms: u64 = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("flightrec: --slow-ms needs a number of milliseconds")?;
+                    slow_ms = Some(ms);
+                } else {
+                    positional.push(*tok);
+                }
+            }
+            if let Some(ms) = slow_ms {
+                db.set_slow_query_threshold(Some(Duration::from_millis(ms)));
+            }
+            if let Some((name, queries)) = positional.split_first() {
+                for query in queries {
+                    // Failed queries land in the recorder too; replay
+                    // them instead of aborting the session.
+                    let _ = db.query_with(name, query, args.engine, &args.query_options());
+                }
+            }
+            let records = db.flight_recorder().records();
+            if records.is_empty() {
+                eprintln!("flight recorder is empty (give it queries to run)");
+            }
+            for record in &records {
+                println!("{}", record.render());
+            }
         }
         ["explain", "analyze", name, query] => {
             print!(

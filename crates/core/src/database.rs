@@ -3,6 +3,9 @@
 
 use crate::engine::{self, EngineKind, QueryOptions};
 use crate::{Error, QueryResult, Result};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xmldb_obs::{span, FlightRecorder, QueryRecord, SpanTree, TraceScope};
 use xmldb_storage::{Env, EnvConfig, HeapFile};
 use xmldb_xasr::{shred_document, XasrStore};
 
@@ -23,32 +26,62 @@ const CATALOG: &str = "__catalog";
 #[derive(Clone)]
 pub struct Database {
     env: Env,
+    /// Ring of recent query records; shared by all clones of this handle,
+    /// so the testbed's worker threads feed one recorder.
+    flight: Arc<FlightRecorder>,
+}
+
+/// Everything `record_flight` needs to describe one `query_with` call.
+struct FlightRun<'a> {
+    doc: &'a str,
+    query: &'a str,
+    engine: EngineKind,
+    options: &'a QueryOptions,
+    elapsed: Duration,
+    spans: SpanTree,
 }
 
 impl Database {
+    fn with_env(env: Env) -> Database {
+        Database {
+            env,
+            flight: Arc::new(FlightRecorder::new(xmldb_obs::flight::DEFAULT_CAPACITY)),
+        }
+    }
+
     /// An in-memory database (tests, examples).
     pub fn in_memory() -> Database {
-        Database { env: Env::memory() }
+        Database::with_env(Env::memory())
     }
 
     /// An in-memory database with an explicit storage configuration (page
     /// size, buffer-pool budget — the efficiency tests' 20 MB knob).
     pub fn in_memory_with(config: EnvConfig) -> Database {
-        Database {
-            env: Env::memory_with(config),
-        }
+        Database::with_env(Env::memory_with(config))
     }
 
     /// Opens (creating if needed) an on-disk database.
     pub fn open_dir(path: impl Into<std::path::PathBuf>, config: EnvConfig) -> Result<Database> {
-        Ok(Database {
-            env: Env::open_dir(path, config)?,
-        })
+        Ok(Database::with_env(Env::open_dir(path, config)?))
     }
 
     /// The underlying storage environment.
     pub fn env(&self) -> &Env {
         &self.env
+    }
+
+    /// The flight recorder holding this database's recent query records.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Sets (or clears) the slow-query threshold: queries at or above it
+    /// are re-run under EXPLAIN ANALYZE and the full output is attached to
+    /// their flight record. (Queries are read-only, so the re-run is
+    /// side-effect free; it is skipped when the query was cancelled or hit
+    /// a governor limit — re-running those would just trip again.)
+    pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
+        self.flight.set_slow_threshold(threshold);
     }
 
     /// Loads (shreds) an XML document under `name`.
@@ -145,6 +178,10 @@ impl Database {
     }
 
     /// [`Self::query`] with per-query options (e.g. corrupted statistics).
+    ///
+    /// Every call runs under a trace collector (the span tree comes back
+    /// in [`crate::QueryMetrics::spans`]) and deposits a record — success
+    /// or failure — in the flight recorder.
     pub fn query_with(
         &self,
         doc: &str,
@@ -152,9 +189,95 @@ impl Database {
         engine: EngineKind,
         options: &QueryOptions,
     ) -> Result<QueryResult> {
-        let expr = xmldb_xq::parse(query)?;
-        let store = self.store(doc)?;
-        engine::evaluate(&store, &expr, engine, options)
+        let scope = TraceScope::start();
+        let started = Instant::now();
+        let result = (|| {
+            let expr = {
+                let _span = span("parse");
+                xmldb_xq::parse(query)?
+            };
+            let store = self.store(doc)?;
+            engine::evaluate(&store, &expr, engine, options)
+        })();
+        let elapsed = started.elapsed();
+        let spans = scope.finish();
+        let run = FlightRun {
+            doc,
+            query,
+            engine,
+            options,
+            elapsed,
+            spans: spans.clone(),
+        };
+        self.record_flight(run, &result);
+        let mut result = result?;
+        if let Some(m) = result.metrics_mut() {
+            m.spans = spans;
+        }
+        Ok(result)
+    }
+
+    /// Builds and deposits the flight record for one `query_with` call,
+    /// capturing EXPLAIN ANALYZE when the query was at or above the slow
+    /// threshold.
+    fn record_flight(&self, run: FlightRun<'_>, result: &Result<QueryResult>) {
+        let FlightRun {
+            doc,
+            query,
+            engine,
+            options,
+            elapsed,
+            spans,
+        } = run;
+        let (outcome, plan_digest, metrics) = match result {
+            Ok(r) => {
+                let m = r.metrics();
+                let deltas = m.map_or_else(Vec::new, |m| {
+                    vec![
+                        ("pool.hits", m.io.hits),
+                        ("pool.misses", m.io.misses),
+                        ("pool.evictions", m.io.evictions),
+                        ("pool.physical_reads", m.io.physical_reads),
+                        ("pool.physical_writes", m.io.physical_writes),
+                        ("btree.node_views", m.io.node_views),
+                        ("btree.in_place_searches", m.io.in_place_searches),
+                        ("btree.splits", m.io.btree_splits),
+                        ("wal.appends", m.io.wal_appends),
+                        ("wal.bytes", m.io.wal_bytes),
+                        ("wal.syncs", m.io.wal_syncs),
+                        ("governor.spills", m.governor.spill_count),
+                    ]
+                });
+                (
+                    format!("ok ({} item(s))", r.len()),
+                    m.and_then(|m| m.plan_digest),
+                    deltas,
+                )
+            }
+            Err(e) => (format!("error: {e}"), None, Vec::new()),
+        };
+        // Slow-query capture: re-run under EXPLAIN ANALYZE. Sound because
+        // queries are read-only; skipped for governor trips (a deadline
+        // that fired once would fire again, and a cancelled query's
+        // re-run was not asked for).
+        let rerun_is_safe = !matches!(result, Err(e) if engine::governor_trip_kind(e).is_some());
+        let analyze = if self.flight.is_slow(elapsed) && rerun_is_safe {
+            self.explain_analyze_with(doc, query, engine, options).ok()
+        } else {
+            None
+        };
+        self.flight.record(QueryRecord {
+            seq: 0,
+            doc: doc.to_string(),
+            query: query.to_string(),
+            engine: engine.name().to_string(),
+            plan_digest,
+            elapsed,
+            outcome,
+            metrics,
+            spans,
+            analyze,
+        });
     }
 
     /// EXPLAIN: the merged TPM and physical plans for `query` under

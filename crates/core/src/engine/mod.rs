@@ -4,10 +4,11 @@ pub mod interp;
 pub mod m1;
 pub mod tpm_exec;
 
-use crate::{QueryMetrics, QueryResult, Result};
+use crate::{Error, QueryMetrics, QueryResult, Result};
 use std::time::{Duration, Instant};
+use xmldb_obs::span;
 use xmldb_optimizer::PlannerConfig;
-use xmldb_storage::{Governor, MemReservation};
+use xmldb_storage::{Governor, MemReservation, StorageError};
 use xmldb_xasr::{Statistics, XasrStore};
 use xmldb_xq::Expr;
 
@@ -138,9 +139,30 @@ fn reserve_dom_estimate(store: &XasrStore, governor: &Governor) -> Result<MemRes
     Ok(MemReservation::new(governor, estimate)?)
 }
 
+/// Classifies an error as a governor trip for the
+/// `saardb_governor_trips_total{kind=…}` counter. Governor failures
+/// surface wrapped at whichever layer hit the cooperative check.
+pub(crate) fn governor_trip_kind(e: &Error) -> Option<&'static str> {
+    let storage = match e {
+        Error::Storage(se) => se,
+        Error::Xasr(xmldb_xasr::Error::Storage(se)) => se,
+        Error::Exec(xmldb_physical::Error::Storage(se)) => se,
+        _ => return None,
+    };
+    match storage {
+        StorageError::Cancelled => Some("cancelled"),
+        StorageError::DeadlineExceeded => Some("deadline"),
+        StorageError::MemoryExceeded { .. } => Some("memory"),
+        _ => None,
+    }
+}
+
 /// Evaluates a parsed query over a shredded document with the chosen
 /// engine. The returned result carries [`QueryMetrics`] — wall time and
 /// the buffer-pool traffic (I/O snapshot delta) the evaluation caused.
+/// Every evaluation (including failed ones) lands in the environment's
+/// metrics registry: a per-engine latency histogram, a query counter, and
+/// — for governor failures — a trip counter by kind.
 pub fn evaluate(
     store: &XasrStore,
     query: &Expr,
@@ -151,7 +173,10 @@ pub fn evaluate(
     let _scope = governor.install();
     let io_before = store.env().io_stats();
     let started = Instant::now();
-    let mut result = match engine {
+    let exec_span = span("exec");
+    exec_span.attr_str("engine", engine.name());
+    let mut plan_digest = None;
+    let result = (|| match engine {
         EngineKind::M1InMemory => {
             // Milestone 1 works on the DOM; materialize the document.
             // Account for the whole DOM up front so a small budget fails
@@ -166,19 +191,43 @@ pub fn evaluate(
             let config = algebraic
                 .planner_config()
                 .expect("algebraic engines have configs");
-            tpm_exec::evaluate_with_rewrites(
+            let program = tpm_exec::compile_program(
                 store,
                 query,
                 &algebraic.rewrite_options(),
                 &config,
                 options,
-            )
+            );
+            plan_digest = Some(program.plan_digest());
+            tpm_exec::execute_program(&program, store)
         }
-    }?;
+    })();
+    let elapsed = started.elapsed();
+    let io = store.env().io_stats().delta(&io_before);
+    exec_span.attr_u64("pool_hits", io.hits);
+    exec_span.attr_u64("pool_misses", io.misses);
+    exec_span.attr_u64("node_views", io.node_views);
+    drop(exec_span);
+    let registry = store.env().registry();
+    let labels = [("engine", engine.name())];
+    registry
+        .histogram("saardb_query_latency_us", &labels)
+        .record(elapsed.as_micros() as u64);
+    registry.counter("saardb_queries_total", &labels).inc();
+    if let Err(e) = &result {
+        if let Some(kind) = governor_trip_kind(e) {
+            registry
+                .counter("saardb_governor_trips_total", &[("kind", kind)])
+                .inc();
+        }
+    }
+    let mut result = result?;
     result.set_metrics(QueryMetrics {
-        elapsed: started.elapsed(),
-        io: store.env().io_stats().delta(&io_before),
+        elapsed,
+        io,
         governor: governor.snapshot(),
+        plan_digest,
+        spans: Default::default(),
     });
     Ok(result)
 }
@@ -249,11 +298,18 @@ pub fn explain_analyze(
                             "read path: {} node views, {} in-place searches, {} shard locks\n",
                             m.io.node_views, m.io.in_place_searches, m.io.shard_locks
                         ));
-                        out.push_str(&format!(
-                            "wal: {} page images, {} bytes, {} syncs\n",
-                            m.io.wal_appends, m.io.wal_bytes, m.io.wal_syncs
-                        ));
-                        out.push_str(&format!("governor: {}\n", m.governor.render()));
+                        // A WAL line for an environment without a WAL (or a
+                        // governor line for a query run without limits)
+                        // would only ever print zeros/"off" — omit them.
+                        if store.env().has_wal() {
+                            out.push_str(&format!(
+                                "wal: {} page images, {} bytes, {} syncs\n",
+                                m.io.wal_appends, m.io.wal_bytes, m.io.wal_syncs
+                            ));
+                        }
+                        if m.governor.active {
+                            out.push_str(&format!("governor: {}\n", m.governor.render()));
+                        }
                     }
                 }
                 Err(e) => out.push_str(&format!("runtime error: {e}\n")),

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 use xmldb_algebra::rewrite::{optimize, RewriteOptions};
 use xmldb_algebra::{compile_query, Tpm};
+use xmldb_obs::span;
 use xmldb_optimizer::{plan_psx, CostModel, Plan, PlanMetrics, PlannerConfig};
 use xmldb_physical::Error as ExecError;
 use xmldb_physical::{Bindings, ExecContext};
@@ -56,6 +57,30 @@ pub struct CompiledProgram {
     plan_count: usize,
 }
 
+impl CompiledProgram {
+    /// Digest of the whole program's physical shape: FNV-1a over the
+    /// per-relfor plan digests in pre-order. Two queries with the same
+    /// value were planned identically — the flight recorder shows it so
+    /// plan changes across runs stand out without diffing EXPLAIN text.
+    pub fn plan_digest(&self) -> u64 {
+        fn walk(prog: &Prog, bytes: &mut Vec<u8>) {
+            match prog {
+                Prog::Empty | Prog::Text(_) | Prog::VarOut(_) => {}
+                Prog::Concat(parts) => parts.iter().for_each(|p| walk(p, bytes)),
+                Prog::Constr { content, .. } => walk(content, bytes),
+                Prog::RelFor { plan, body, .. } | Prog::RelForOuter { plan, body, .. } => {
+                    bytes.extend_from_slice(&plan.digest().to_le_bytes());
+                    walk(body, bytes);
+                }
+                Prog::IfFallback { body, .. } => walk(body, bytes),
+            }
+        }
+        let mut bytes = Vec::new();
+        walk(&self.prog, &mut bytes);
+        xmldb_obs::fnv1a(&bytes)
+    }
+}
+
 /// Compiles and plans a query once; the result can be executed repeatedly
 /// via [`execute_program`].
 pub fn compile_program(
@@ -65,7 +90,15 @@ pub fn compile_program(
     config: &PlannerConfig,
     options: &QueryOptions,
 ) -> CompiledProgram {
-    let tpm = optimize(compile_query(query), rewrites);
+    let tpm = {
+        let _span = span("analyze");
+        compile_query(query)
+    };
+    let tpm = {
+        let _span = span("optimize");
+        optimize(tpm, rewrites)
+    };
+    let _span = span("plan");
     let mut plan_count = 0;
     let prog = plan_tpm(&tpm, &model_for(store, options), config, &mut plan_count);
     CompiledProgram { prog, plan_count }
@@ -190,11 +223,19 @@ pub fn explain_analyze_with_rewrites(
         "read path: {} node views, {} in-place searches, {} shard locks\n",
         io.node_views, io.in_place_searches, io.shard_locks
     ));
-    out.push_str(&format!(
-        "wal: {} page images, {} bytes, {} syncs\n",
-        io.wal_appends, io.wal_bytes, io.wal_syncs
-    ));
-    out.push_str(&format!("governor: {}\n", governor.snapshot().render()));
+    // Omit — rather than zero-fill — telemetry lines for subsystems the
+    // query ran without: a WAL line without a WAL, or a governor line for
+    // an unlimited query, carries no information.
+    if store.env().has_wal() {
+        out.push_str(&format!(
+            "wal: {} page images, {} bytes, {} syncs\n",
+            io.wal_appends, io.wal_bytes, io.wal_syncs
+        ));
+    }
+    let gov = governor.snapshot();
+    if gov.active {
+        out.push_str(&format!("governor: {}\n", gov.render()));
+    }
     Ok(out)
 }
 

@@ -37,6 +37,7 @@ pub use engine::{EngineKind, QueryOptions};
 pub use error::Error;
 pub use prepared::PreparedQuery;
 pub use result::{QueryMetrics, QueryResult};
+pub use xmldb_obs::{FlightRecorder, QueryRecord, Registry, SpanTree};
 pub use xmldb_storage::{Governor, GovernorSnapshot, IoSnapshot};
 
 /// Result alias for this crate.

@@ -1,6 +1,7 @@
 //! Query results: a sequence of output items held as a DOM forest.
 
 use std::time::Duration;
+use xmldb_obs::SpanTree;
 use xmldb_storage::{GovernorSnapshot, IoSnapshot};
 use xmldb_xml::{serialize_subtree, Document, NodeId};
 
@@ -18,6 +19,13 @@ pub struct QueryMetrics {
     /// peak accounted bytes, budget-pressure spills. Inactive (all zeros)
     /// when the query ran without limits.
     pub governor: GovernorSnapshot,
+    /// FNV-1a digest of the physical plan shape; `None` for interpreter
+    /// engines (they have no plan).
+    pub plan_digest: Option<u64>,
+    /// The query's span tree (`parse → analyze → optimize → plan → exec`
+    /// with storage sub-spans); empty when the query ran through an entry
+    /// point that does not install a trace collector.
+    pub spans: SpanTree,
 }
 
 /// The result of evaluating an XQ query: a sequence of constructed and/or
@@ -30,7 +38,10 @@ pub struct QueryMetrics {
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     doc: Document,
-    metrics: Option<QueryMetrics>,
+    // Boxed: the metrics block (io snapshot, governor counters, span tree)
+    // is larger than the result header itself and most results move
+    // through channels and enum variants by value.
+    metrics: Option<Box<QueryMetrics>>,
 }
 
 impl QueryResult {
@@ -49,14 +60,20 @@ impl QueryResult {
 
     /// Attaches execution metrics (done by the engine dispatcher).
     pub(crate) fn set_metrics(&mut self, metrics: QueryMetrics) {
-        self.metrics = Some(metrics);
+        self.metrics = Some(Box::new(metrics));
     }
 
     /// Execution metrics, if the result came through an entry point that
     /// measures them (`Database::query` and friends). `None` for results
     /// built by lower-level calls (e.g. [`QueryResult::empty`]).
     pub fn metrics(&self) -> Option<&QueryMetrics> {
-        self.metrics.as_ref()
+        self.metrics.as_deref()
+    }
+
+    /// Mutable metrics access (the facade attaches the span tree after the
+    /// trace scope closes).
+    pub(crate) fn metrics_mut(&mut self) -> Option<&mut QueryMetrics> {
+        self.metrics.as_deref_mut()
     }
 
     /// The result forest as a DOM.

@@ -142,11 +142,18 @@ fn explain_analyze_renders_governor_line() {
         .unwrap();
     assert!(text.contains("governor: "), "{text}");
     assert!(text.contains("checks"), "{text}");
-    // Without limits the line reports the governor as off.
+    // Without limits there is no governor — the line is omitted entirely
+    // (not rendered as "governor: off" or zeros).
     let text = db
         .explain_analyze("doc", "//title", EngineKind::M2Storage)
         .unwrap();
-    assert!(text.contains("governor: off"), "{text}");
+    assert!(!text.contains("governor:"), "{text}");
+    let text = db
+        .explain_analyze("doc", "//title", EngineKind::M4CostBased)
+        .unwrap();
+    assert!(!text.contains("governor:"), "{text}");
+    // Likewise the WAL line: this database is in-memory, no WAL exists.
+    assert!(!text.contains("wal:"), "{text}");
 }
 
 #[test]

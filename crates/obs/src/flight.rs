@@ -1,0 +1,264 @@
+//! The flight recorder: a fixed-size ring of recent query records.
+//!
+//! Every query that goes through the `Database` facade deposits a
+//! [`QueryRecord`] — query text, engine, plan digest, outcome, metric
+//! deltas and the span tree. When a slow-query threshold is set, queries
+//! at or above it additionally carry their full EXPLAIN ANALYZE output,
+//! captured by the facade. `saardb flightrec` replays the ring.
+
+use crate::trace::SpanTree;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default ring capacity.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// One recorded query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Monotonic sequence number (1-based, never reused).
+    pub seq: u64,
+    /// Document the query ran against.
+    pub doc: String,
+    /// The query text.
+    pub query: String,
+    /// Engine name (`m4-costbased`, …).
+    pub engine: String,
+    /// FNV-1a digest of the physical plan rendering; `None` for
+    /// interpreter engines (they have no plan).
+    pub plan_digest: Option<u64>,
+    /// Wall time of the whole call (parse included).
+    pub elapsed: Duration,
+    /// `"ok: N item(s)"` or `"error: …"`.
+    pub outcome: String,
+    /// Named metric deltas attributed to this query (pool hits, misses,
+    /// …), in stable order.
+    pub metrics: Vec<(&'static str, u64)>,
+    /// The query's span tree (empty when tracing was off).
+    pub spans: SpanTree,
+    /// Full EXPLAIN ANALYZE output, captured when the query was at or
+    /// above the slow threshold.
+    pub analyze: Option<String>,
+}
+
+impl QueryRecord {
+    /// Multi-line rendering for `saardb flightrec`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "#{} [{}] {} on \"{}\": {} in {:.3} ms",
+            self.seq,
+            self.engine,
+            compact(&self.query),
+            self.doc,
+            self.outcome,
+            self.elapsed.as_secs_f64() * 1e3
+        );
+        if let Some(digest) = self.plan_digest {
+            out.push_str(&format!("  plan={digest:016x}"));
+        }
+        out.push('\n');
+        if !self.metrics.is_empty() {
+            let parts: Vec<String> = self
+                .metrics
+                .iter()
+                .filter(|(_, v)| *v > 0)
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            if !parts.is_empty() {
+                out.push_str(&format!("  metrics: {}\n", parts.join(" ")));
+            }
+        }
+        if !self.spans.is_empty() {
+            for line in self.spans.render().lines() {
+                out.push_str(&format!("  | {line}\n"));
+            }
+        }
+        if let Some(analyze) = &self.analyze {
+            out.push_str("  -- slow query: EXPLAIN ANALYZE --\n");
+            for line in analyze.lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// One-line form of a query for the record header.
+fn compact(query: &str) -> String {
+    let one_line: String = query.split_whitespace().collect::<Vec<_>>().join(" ");
+    if one_line.len() > 120 {
+        let mut cut = 119;
+        while !one_line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &one_line[..cut])
+    } else {
+        one_line
+    }
+}
+
+/// Sentinel for "no slow threshold".
+const SLOW_OFF: u64 = u64::MAX;
+
+/// The ring buffer. Thread-safe; `record` takes a short mutex.
+pub struct FlightRecorder {
+    capacity: usize,
+    seq: AtomicU64,
+    /// Slow-query threshold in microseconds; [`SLOW_OFF`] disables it.
+    slow_us: AtomicU64,
+    ring: Mutex<VecDeque<QueryRecord>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` records.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            slow_us: AtomicU64::new(SLOW_OFF),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets (or clears) the slow-query threshold. Queries at or above it
+    /// should be recorded with EXPLAIN ANALYZE attached — the facade
+    /// checks [`FlightRecorder::is_slow`] to decide.
+    pub fn set_slow_threshold(&self, threshold: Option<Duration>) {
+        let us = threshold.map_or(SLOW_OFF, |d| (d.as_micros() as u64).min(SLOW_OFF - 1));
+        self.slow_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current slow-query threshold.
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        match self.slow_us.load(Ordering::Relaxed) {
+            SLOW_OFF => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    /// True if `elapsed` is at or above the slow threshold.
+    pub fn is_slow(&self, elapsed: Duration) -> bool {
+        (elapsed.as_micros() as u64) >= self.slow_us.load(Ordering::Relaxed)
+    }
+
+    /// Deposits a record (assigning its sequence number), evicting the
+    /// oldest once the ring is full. Returns the sequence number.
+    pub fn record(&self, mut rec: QueryRecord) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        rec.seq = seq;
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+        seq
+    }
+
+    /// The recorded queries, oldest first.
+    pub fn records(&self) -> Vec<QueryRecord> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever deposited (≥ `len()` once the ring wrapped).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("slow_threshold", &self.slow_threshold())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(query: &str) -> QueryRecord {
+        QueryRecord {
+            seq: 0,
+            doc: "d".into(),
+            query: query.into(),
+            engine: "m4-costbased".into(),
+            plan_digest: Some(0xabcd),
+            elapsed: Duration::from_millis(2),
+            outcome: "ok: 1 item(s)".into(),
+            metrics: vec![("pool.hits", 3), ("pool.misses", 0)],
+            spans: SpanTree::default(),
+            analyze: None,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_last_n_in_order() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record(rec(&format!("q{i}")));
+        }
+        let records = fr.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records.iter().map(|r| r.query.as_str()).collect::<Vec<_>>(),
+            vec!["q2", "q3", "q4"]
+        );
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "sequence numbers survive eviction"
+        );
+        assert_eq!(fr.total_recorded(), 5);
+    }
+
+    #[test]
+    fn slow_threshold_gate() {
+        let fr = FlightRecorder::new(4);
+        assert!(!fr.is_slow(Duration::from_secs(3600)), "off by default");
+        fr.set_slow_threshold(Some(Duration::from_millis(50)));
+        assert!(!fr.is_slow(Duration::from_millis(49)));
+        assert!(fr.is_slow(Duration::from_millis(50)));
+        assert_eq!(fr.slow_threshold(), Some(Duration::from_millis(50)));
+        fr.set_slow_threshold(None);
+        assert!(!fr.is_slow(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn render_carries_the_story() {
+        let mut r = rec("for $x in //a    return $x");
+        r.analyze = Some("=== executed plans ===\nscan".into());
+        let fr = FlightRecorder::new(2);
+        fr.record(r);
+        let text = fr.records()[0].render();
+        assert!(text.contains("#1 [m4-costbased]"), "{text}");
+        assert!(
+            text.contains("for $x in //a return $x"),
+            "whitespace collapsed: {text}"
+        );
+        assert!(text.contains("plan=000000000000abcd"), "{text}");
+        assert!(text.contains("pool.hits=3"), "{text}");
+        assert!(!text.contains("pool.misses"), "zero deltas elided: {text}");
+        assert!(text.contains("slow query"), "{text}");
+        assert!(text.contains("scan"), "{text}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Unified observability for saardb: one telemetry path for every layer.
+//!
+//! Three facilities, deliberately dependency-free so every crate in the
+//! workspace can afford to link them:
+//!
+//! - [`metrics`]: a process-local [`Registry`] of named counters, gauges
+//!   and log-linear [`Histogram`]s, with a Prometheus-style text
+//!   exposition and a JSON dump. The storage layer's buffer-pool, WAL and
+//!   B+-tree counters live here, as do the engines' per-query latency
+//!   histograms — EXPLAIN ANALYZE, the testbed's efficiency reports and
+//!   `saardb stats` all read the same numbers.
+//! - [`trace`]: cheap structured spans (`parse → analyze → optimize →
+//!   plan → exec → storage`) recorded into a per-thread buffer and
+//!   assembled into a [`SpanTree`] per query. When no collector is
+//!   installed a span costs one thread-local flag read.
+//! - [`flight`]: a fixed-size ring of recent [`QueryRecord`]s (query
+//!   text, plan digest, span tree, metric deltas, outcome) with a
+//!   slow-query threshold that triggers full EXPLAIN ANALYZE capture.
+
+pub mod flight;
+pub mod metrics;
+pub mod trace;
+
+pub use flight::{FlightRecorder, QueryRecord};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{span, SpanGuard, SpanTree, TraceScope};
+
+/// FNV-1a over `bytes` — the stable 64-bit digest used to fingerprint
+/// query plans (flight-recorder records carry it so "same plan, different
+/// latency" is visible at a glance).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference values for the standard FNV-1a 64-bit parameters.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_discriminates() {
+        assert_ne!(fnv1a(b"scan(label=a)"), fnv1a(b"scan(label=b)"));
+    }
+}

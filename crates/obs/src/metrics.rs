@@ -1,0 +1,676 @@
+//! The metrics registry: named counters, gauges and log-linear histograms.
+//!
+//! Hot paths hold `Arc` handles obtained once at construction time; the
+//! registry's lock is only taken to create a metric or to render an
+//! exposition. Recording into any metric is a relaxed atomic operation.
+//!
+//! ## Naming scheme
+//!
+//! `saardb_<component>_<what>[_total]` with snake-case label keys, e.g.
+//! `saardb_pool_hits_total{shard="3"}` or
+//! `saardb_query_latency_us{engine="m4-costbased"}`. Counters end in
+//! `_total`; gauges and histograms do not. Histogram names carry their
+//! unit as a suffix (`_us`, `_bytes`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (benchmark intervals).
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^SUB_BITS linear sub-buckets per power of two.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count: exact buckets below `SUB_COUNT`, then `SUB_COUNT`
+/// sub-buckets for each octave up to 2^64.
+pub(crate) const BUCKETS: usize = (SUB_COUNT + (64 - SUB_BITS as u64) * SUB_COUNT) as usize;
+
+/// Bucket index for `v`: values below [`SUB_COUNT`] are exact; above, the
+/// octave (position of the most significant bit) selects a run of
+/// [`SUB_COUNT`] linear sub-buckets. Relative error is bounded by
+/// `1/SUB_COUNT` (12.5%) everywhere.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // >= SUB_BITS
+    let sub = (v >> (msb - SUB_BITS as u64)) & (SUB_COUNT - 1);
+    ((msb - SUB_BITS as u64) * SUB_COUNT + SUB_COUNT + sub) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_COUNT {
+        return i;
+    }
+    let octave = (i - SUB_COUNT) / SUB_COUNT + SUB_BITS as u64;
+    let sub = (i - SUB_COUNT) % SUB_COUNT;
+    (SUB_COUNT + sub) << (octave - SUB_BITS as u64)
+}
+
+/// Exclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if (i as u64) < SUB_COUNT {
+        return i as u64 + 1;
+    }
+    let octave = (i as u64 - SUB_COUNT) / SUB_COUNT + SUB_BITS as u64;
+    bucket_lower(i).saturating_add(1 << (octave - SUB_BITS as u64))
+}
+
+/// A log-linear histogram of `u64` samples (HDR-style): exact below
+/// [`SUB_COUNT`], bounded 12.5% relative error above, fixed memory, and
+/// lock-free recording. Quantiles are estimated from bucket midpoints.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile estimation and rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The estimated `q`-quantile (`q` in `[0, 1]`): the midpoint of the
+    /// bucket holding the sample of rank `ceil(q·count)`, clamped to the
+    /// observed `[min, max]`. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_lower(i) + (bucket_upper(i) - 1 - bucket_lower(i)) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Inclusive-lower/exclusive-upper bounds of the bucket holding the
+    /// sample of rank `ceil(q·count)` — the estimation error contract the
+    /// property tests check against a sorted-vector oracle.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (bucket_lower(i), bucket_upper(i));
+            }
+        }
+        (self.max, self.max.saturating_add(1))
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (bucket-wise add): merging the
+    /// snapshot of shard-local histograms yields the same estimates as one
+    /// shared histogram would have.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = if self.count == other.count {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Identity of a metric: family name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k="v",...}` (bare name when label-free).
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+
+    fn render_with(&self, extra_key: &str, extra_val: &str) -> String {
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+            .chain(std::iter::once(format!("{extra_key}=\"{extra_val}\"")))
+            .collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricId, Arc<Counter>>,
+    gauges: BTreeMap<MetricId, Arc<Gauge>>,
+    histograms: BTreeMap<MetricId, Arc<Histogram>>,
+    /// Family name → HELP text (first registration wins).
+    help: BTreeMap<String, String>,
+}
+
+/// A registry of named metrics. Handle creation takes the registry lock;
+/// recording through a handle does not. Expositions iterate in
+/// `BTreeMap` order, so output is deterministic — golden-file friendly.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.counters.entry(id).or_default())
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.gauges.entry(id).or_default())
+    }
+
+    /// Gets or creates the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let id = MetricId::new(name, labels);
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(inner.histograms.entry(id).or_default())
+    }
+
+    /// Registers HELP text for a metric family (first registration wins).
+    pub fn help(&self, name: &str, text: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| text.to_string());
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as single
+    /// samples, histograms as summaries (`{quantile="…"}`, `_sum`,
+    /// `_count`). Families appear in name order, series in label order.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut family_header = |out: &mut String, name: &str, kind: &str| {
+            if last_family != name {
+                last_family = name.to_string();
+                if let Some(help) = inner.help.get(name) {
+                    out.push_str(&format!("# HELP {name} {help}\n"));
+                }
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+            }
+        };
+        for (id, c) in &inner.counters {
+            family_header(&mut out, &id.name, "counter");
+            out.push_str(&format!("{} {}\n", id.render(), c.get()));
+        }
+        for (id, g) in &inner.gauges {
+            family_header(&mut out, &id.name, "gauge");
+            out.push_str(&format!("{} {}\n", id.render(), g.get()));
+        }
+        for (id, h) in &inner.histograms {
+            family_header(&mut out, &id.name, "summary");
+            let snap = h.snapshot();
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "{} {}\n",
+                    id.render_with("quantile", label),
+                    snap.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{} {}\n", suffixed_series(id, "_sum"), snap.sum));
+            out.push_str(&format!(
+                "{} {}\n",
+                suffixed_series(id, "_count"),
+                snap.count
+            ));
+        }
+        out
+    }
+
+    /// JSON dump of every metric: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`, keys in deterministic order. Histograms
+    /// report count/sum/min/max and the three standard quantiles.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (id, c) in &inner.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", escape(&id.render()), c.get()));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (id, g) in &inner.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", escape(&id.render()), g.get()));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (id, h) in &inner.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let s = h.snapshot();
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                escape(&id.render()),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.quantile(0.5),
+                s.quantile(0.95),
+                s.quantile(0.99)
+            ));
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Snapshot of every histogram whose name matches `name` (across label
+    /// sets), merged — the testbed uses this to aggregate per-engine
+    /// latency across a submission run.
+    pub fn merged_histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let inner = self.inner.lock().unwrap();
+        let mut merged: Option<HistogramSnapshot> = None;
+        for (id, h) in &inner.histograms {
+            if id.name == name {
+                let snap = h.snapshot();
+                match &mut merged {
+                    Some(m) => m.merge(&snap),
+                    None => merged = Some(snap),
+                }
+            }
+        }
+        merged
+    }
+
+    /// `(series, value)` pairs of every counter, in deterministic order.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .iter()
+            .map(|(id, c)| (id.render(), c.get()))
+            .collect()
+    }
+
+    /// `(series, snapshot)` pairs of every histogram, in deterministic
+    /// order.
+    pub fn histogram_values(&self) -> Vec<(String, HistogramSnapshot)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .iter()
+            .map(|(id, h)| (id.render(), h.snapshot()))
+            .collect()
+    }
+}
+
+/// `name<suffix>{labels}` rendering helper for summary `_sum`/`_count`
+/// lines: the suffix goes on the family name, before the label set.
+fn suffixed_series(id: &MetricId, suffix: &str) -> String {
+    if id.labels.is_empty() {
+        return format!("{}{suffix}", id.name);
+    }
+    let pairs: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{}{suffix}{{{}}}", id.name, pairs.join(","))
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_contiguous() {
+        // Every bucket's upper bound is the next bucket's lower bound, and
+        // every value maps into the bucket whose bounds contain it.
+        for i in 0..(BUCKETS - 1) {
+            assert_eq!(bucket_upper(i), bucket_lower(i + 1), "bucket {i}");
+        }
+        for v in (0..4096).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v, "v={v} i={i}");
+            // The topmost bucket's upper bound saturates at u64::MAX.
+            assert!(
+                v < bucket_upper(i) || (i == BUCKETS - 1 && bucket_upper(i) == u64::MAX),
+                "v={v} i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for v in 0..SUB_COUNT {
+            assert_eq!(
+                s.quantile_bounds((v as f64 + 1.0) / SUB_COUNT as f64),
+                (v, v + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [9u64, 100, 1000, 123_456, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_upper(i) - bucket_lower(i);
+            assert!(
+                (width as f64) <= (bucket_lower(i) as f64) / SUB_COUNT as f64 + 1.0,
+                "v={v}: bucket [{}, {}) too wide",
+                bucket_lower(i),
+                bucket_upper(i)
+            );
+        }
+    }
+
+    #[test]
+    fn counter_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("saardb_test_total", &[("k", "v")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same identity → same counter, regardless of label order.
+        assert_eq!(r.counter("saardb_test_total", &[("k", "v")]).get(), 5);
+        let g = r.gauge("saardb_test_gauge", &[]);
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_mass() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // 12.5% relative error bound on the estimates.
+        for (q, true_v) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = s.quantile(q) as f64;
+            assert!(
+                (est - true_v).abs() / true_v < 0.125,
+                "q={q}: est {est} vs {true_v}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in [3u64, 17, 900, 40_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 250, 1_000_000] {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let expect = combined.snapshot();
+        assert_eq!(merged.count, expect.count);
+        assert_eq!(merged.sum, expect.sum);
+        assert_eq!(merged.min, expect.min);
+        assert_eq!(merged.max, expect.max);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile(q), expect.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!((s.min, s.max, s.count, s.sum), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn exposition_orders_and_escapes() {
+        let r = Registry::new();
+        r.help("saardb_b_total", "second family");
+        r.counter("saardb_b_total", &[("doc", "has\"quote")]).inc();
+        r.counter("saardb_a_total", &[]).add(2);
+        let text = r.render_prometheus();
+        let a_pos = text.find("saardb_a_total 2").expect("bare counter");
+        let b_pos = text
+            .find("saardb_b_total{doc=\"has\\\"quote\"} 1")
+            .expect("escaped label");
+        assert!(a_pos < b_pos, "name-ordered families:\n{text}");
+        assert!(text.contains("# HELP saardb_b_total second family"));
+        assert!(text.contains("# TYPE saardb_b_total counter"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Structured tracing: cheap spans recorded into a per-thread buffer and
+//! assembled into a [`SpanTree`] per query.
+//!
+//! A [`TraceScope`] installs a collector on the current thread (RAII,
+//! nestable — the inner scope shadows the outer one and restores it on
+//! finish, the same discipline the resource governor uses). While a
+//! collector is installed, [`span`] pushes a record and returns a guard
+//! that stamps the wall time on drop; [`SpanGuard::attr_u64`] /
+//! [`SpanGuard::attr_str`] attach key/value attributes. With no collector
+//! installed, a span costs a single thread-local flag read and no
+//! allocation — the storage layer can afford spans on its cold paths
+//! without checking who is listening.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// A span attribute value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// An unsigned integer (counters, byte counts).
+    U64(u64),
+    /// A string (engine names, file names).
+    Str(String),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Static span name (`"parse"`, `"exec"`, `"storage.flush"` …).
+    pub name: &'static str,
+    /// Index of the parent span within the tree, `None` for roots.
+    pub parent: Option<usize>,
+    /// Start offset from the trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall time between open and close, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Key/value attributes, in attachment order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// The spans of one query, in open order (parents before children).
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// The recorded spans.
+    pub spans: Vec<SpanRec>,
+}
+
+impl SpanTree {
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Indented tree rendering, one span per line:
+    /// `name  123.456 ms  [k=v ...]`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut depth = vec![0usize; self.spans.len()];
+        for (i, span) in self.spans.iter().enumerate() {
+            depth[i] = span.parent.map_or(0, |p| depth[p] + 1);
+            out.push_str(&"  ".repeat(depth[i]));
+            out.push_str(&format!(
+                "{}  {:.3} ms",
+                span.name,
+                span.elapsed_ns as f64 / 1e6
+            ));
+            if !span.attrs.is_empty() {
+                let attrs: Vec<String> =
+                    span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                out.push_str(&format!("  [{}]", attrs.join(" ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+struct TraceBuf {
+    epoch: Instant,
+    spans: Vec<SpanRec>,
+    /// Indices of currently open spans, innermost last.
+    stack: Vec<usize>,
+}
+
+thread_local! {
+    /// Fast path: is a collector installed on this thread? Checked by
+    /// every `span()` call before touching the buffer.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// The installed collector's buffer, if any.
+    static BUF: RefCell<Option<TraceBuf>> = const { RefCell::new(None) };
+}
+
+/// True while a [`TraceScope`] is installed on this thread.
+pub fn enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// An installed trace collector. Dropping or [`TraceScope::finish`]ing it
+/// restores whatever collector (or none) was installed before.
+pub struct TraceScope {
+    prev: Option<TraceBuf>,
+    finished: bool,
+}
+
+impl TraceScope {
+    /// Installs a fresh collector on the current thread.
+    pub fn start() -> TraceScope {
+        let prev = BUF.with(|b| {
+            b.borrow_mut().replace(TraceBuf {
+                epoch: Instant::now(),
+                spans: Vec::with_capacity(16),
+                stack: Vec::with_capacity(8),
+            })
+        });
+        ACTIVE.with(|a| a.set(true));
+        TraceScope {
+            prev,
+            finished: false,
+        }
+    }
+
+    /// Uninstalls the collector and returns the assembled tree. Spans
+    /// still open (a panic unwound past their guards without dropping
+    /// them) keep `elapsed_ns == 0`.
+    pub fn finish(mut self) -> SpanTree {
+        self.finished = true;
+        let buf = BUF.with(|b| std::mem::replace(&mut *b.borrow_mut(), self.prev.take()));
+        ACTIVE.with(|a| a.set(BUF.with(|b| b.borrow().is_some())));
+        SpanTree {
+            spans: buf.map(|b| b.spans).unwrap_or_default(),
+        }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if !self.finished {
+            BUF.with(|b| *b.borrow_mut() = self.prev.take());
+            ACTIVE.with(|a| a.set(BUF.with(|b| b.borrow().is_some())));
+        }
+    }
+}
+
+/// Opens a span named `name` under the innermost open span. Returns a
+/// guard that closes it (stamping the elapsed time) on drop. A no-op
+/// returning an inert guard when no collector is installed.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !ACTIVE.with(|a| a.get()) {
+        return SpanGuard {
+            idx: None,
+            start: None,
+        };
+    }
+    let idx = BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let buf = b.as_mut().expect("ACTIVE implies BUF");
+        let idx = buf.spans.len();
+        let parent = buf.stack.last().copied();
+        buf.spans.push(SpanRec {
+            name,
+            parent,
+            start_ns: buf.epoch.elapsed().as_nanos() as u64,
+            elapsed_ns: 0,
+            attrs: Vec::new(),
+        });
+        buf.stack.push(idx);
+        idx
+    });
+    SpanGuard {
+        idx: Some(idx),
+        start: Some(Instant::now()),
+    }
+}
+
+/// Closes its span on drop; attach attributes through it while open.
+pub struct SpanGuard {
+    idx: Option<usize>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Attaches an integer attribute to this span.
+    pub fn attr_u64(&self, key: &'static str, value: u64) {
+        self.attach(key, AttrValue::U64(value));
+    }
+
+    /// Attaches a string attribute to this span.
+    pub fn attr_str(&self, key: &'static str, value: &str) {
+        self.attach(key, AttrValue::Str(value.to_string()));
+    }
+
+    fn attach(&self, key: &'static str, value: AttrValue) {
+        let Some(idx) = self.idx else { return };
+        BUF.with(|b| {
+            if let Some(buf) = b.borrow_mut().as_mut() {
+                if let Some(rec) = buf.spans.get_mut(idx) {
+                    rec.attrs.push((key, value));
+                }
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(idx), Some(start)) = (self.idx, self.start) else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos() as u64;
+        BUF.with(|b| {
+            if let Some(buf) = b.borrow_mut().as_mut() {
+                if let Some(rec) = buf.spans.get_mut(idx) {
+                    rec.elapsed_ns = elapsed;
+                }
+                // Pop this span (and anything leaked above it by a panic).
+                while let Some(&top) = buf.stack.last() {
+                    buf.stack.pop();
+                    if top == idx {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_without_collector_are_free() {
+        assert!(!enabled());
+        let g = span("orphan");
+        g.attr_u64("k", 1);
+        drop(g);
+        // Nothing was recorded anywhere; a later scope starts empty.
+        let scope = TraceScope::start();
+        assert!(scope.finish().is_empty());
+    }
+
+    #[test]
+    fn tree_structure_and_timing() {
+        let scope = TraceScope::start();
+        {
+            let root = span("query");
+            root.attr_str("engine", "m4-costbased");
+            {
+                let _parse = span("parse");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _exec = span("exec");
+        }
+        let tree = scope.finish();
+        assert_eq!(tree.spans.len(), 3);
+        assert_eq!(tree.spans[0].name, "query");
+        assert_eq!(tree.spans[0].parent, None);
+        assert_eq!(tree.spans[1].name, "parse");
+        assert_eq!(tree.spans[1].parent, Some(0));
+        assert_eq!(tree.spans[2].parent, Some(0));
+        assert!(tree.spans[1].elapsed_ns >= 1_000_000, "parse slept 1ms");
+        assert!(
+            tree.spans[0].elapsed_ns >= tree.spans[1].elapsed_ns,
+            "parent covers child"
+        );
+        let text = tree.render();
+        assert!(text.contains("query"), "{text}");
+        assert!(text.contains("  parse"), "{text}");
+        assert!(text.contains("engine=m4-costbased"), "{text}");
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = TraceScope::start();
+        let _a = span("outer-span");
+        {
+            let inner = TraceScope::start();
+            let _b = span("inner-span");
+            drop(_b);
+            let tree = inner.finish();
+            assert_eq!(tree.spans.len(), 1);
+            assert_eq!(tree.spans[0].name, "inner-span");
+        }
+        // Outer collector is back in charge.
+        assert!(enabled());
+        let _c = span("outer-span-2");
+        drop(_c);
+        drop(_a);
+        let tree = outer.finish();
+        let names: Vec<_> = tree.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["outer-span", "outer-span-2"]);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn guard_drop_across_panic_keeps_stack_sane() {
+        let scope = TraceScope::start();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _s = span("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // The guard's Drop ran during unwinding; a new span is a root's
+        // child no longer.
+        let _after = span("after");
+        drop(_after);
+        let tree = scope.finish();
+        assert_eq!(tree.spans.len(), 2);
+        assert_eq!(tree.spans[1].parent, None, "stack was repaired");
+    }
+}

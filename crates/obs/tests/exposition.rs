@@ -1,0 +1,79 @@
+//! Golden-file tests for the Prometheus text and JSON expositions.
+//!
+//! The fixture registry is fully deterministic, so the rendered output
+//! must match `tests/golden/*.golden` byte-for-byte. Regenerate with
+//! `OBS_BLESS=1 cargo test -p xmldb-obs --test exposition` after an
+//! intentional format change — and eyeball the diff.
+
+use std::path::PathBuf;
+use xmldb_obs::Registry;
+
+/// A registry exercising every metric kind, label shapes, escaping and
+/// ordering.
+fn fixture() -> Registry {
+    let r = Registry::new();
+    r.help("saardb_pool_hits_total", "Buffer pool page hits.");
+    r.help("saardb_query_latency_us", "Per-engine query latency.");
+    for shard in 0..2 {
+        let c = r.counter("saardb_pool_hits_total", &[("shard", &shard.to_string())]);
+        c.add(100 + shard * 11);
+    }
+    r.counter("saardb_pool_misses_total", &[("shard", "0")])
+        .add(7);
+    r.counter("saardb_wal_appends_total", &[]).add(3);
+    r.gauge("saardb_pool_frames", &[]).set(512);
+    r.gauge("saardb_pool_pinned_frames", &[]).set(0);
+    let h = r.histogram("saardb_query_latency_us", &[("engine", "m4-costbased")]);
+    for v in [12u64, 15, 15, 90, 430, 431, 5000] {
+        h.record(v);
+    }
+    // Empty histogram series and a label value needing escapes.
+    r.histogram("saardb_query_latency_us", &[("engine", "m1-inmemory")]);
+    r.counter("saardb_doc_loads_total", &[("doc", "we\"ird\\name")])
+        .inc();
+    r
+}
+
+fn check(golden_name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(golden_name);
+    if std::env::var_os("OBS_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "exposition drifted from {} — if intentional, re-bless with OBS_BLESS=1",
+        path.display()
+    );
+}
+
+#[test]
+fn prometheus_text_matches_golden() {
+    check("stats.prom.golden", &fixture().render_prometheus());
+}
+
+#[test]
+fn json_dump_matches_golden() {
+    let json = fixture().render_json();
+    check("stats.json.golden", &json);
+    // Structural sanity beyond the byte comparison: balanced braces and
+    // one key per metric.
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "balanced JSON:\n{json}"
+    );
+    assert!(json.contains("\"saardb_pool_hits_total{shard=\\\"1\\\"}\": 111"));
+}
+
+#[test]
+fn rendering_is_stable_across_calls() {
+    let r = fixture();
+    assert_eq!(r.render_prometheus(), r.render_prometheus());
+    assert_eq!(r.render_json(), r.render_json());
+}

@@ -1,0 +1,91 @@
+//! Property tests: the log-linear histogram's quantile estimates against
+//! a sorted-vector oracle, and merge against combined recording.
+
+use proptest::prelude::*;
+use xmldb_obs::Histogram;
+
+/// The oracle: the exact `q`-quantile of `samples` by the same rank rule
+/// the histogram uses (`ceil(q·n)`, 1-based).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// For every quantile, the exact sample of that rank must lie inside
+    /// the bucket the histogram reports — the estimate can be off by the
+    /// bucket width (≤ 12.5% relative), never by a bucket.
+    #[test]
+    fn quantiles_bracket_the_oracle(
+        samples in prop::collection::vec(0u64..=1_000_000_000, 1..300),
+        q_millis in 1u32..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let truth = oracle_quantile(&sorted, q);
+        let snap = h.snapshot();
+        let (lo, hi) = snap.quantile_bounds(q);
+        prop_assert!(
+            lo <= truth && truth < hi,
+            "q={q}: oracle {truth} outside reported bucket [{lo}, {hi})"
+        );
+        // The point estimate stays inside the same bucket (clamped to the
+        // observed range).
+        let est = snap.quantile(q);
+        prop_assert!(
+            (lo.max(snap.min) <= est && est < hi) || est == snap.max,
+            "q={q}: estimate {est} outside [{lo}, {hi}) (min {} max {})",
+            snap.min,
+            snap.max
+        );
+    }
+
+    /// count/sum/min/max are exact regardless of bucketing.
+    #[test]
+    fn aggregates_are_exact(samples in prop::collection::vec(0u64..=u32::MAX as u64, 1..200)) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *samples.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *samples.iter().max().unwrap());
+    }
+
+    /// Merging two snapshots is indistinguishable from recording both
+    /// sample sets into one histogram.
+    #[test]
+    fn merge_matches_combined(
+        left in prop::collection::vec(0u64..=10_000_000, 0..120),
+        right in prop::collection::vec(0u64..=10_000_000, 0..120),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &left {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let expect = combined.snapshot();
+        prop_assert_eq!(merged.count, expect.count);
+        prop_assert_eq!(merged.sum, expect.sum);
+        prop_assert_eq!(merged.min, expect.min);
+        prop_assert_eq!(merged.max, expect.max);
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), expect.quantile(q), "q={}", q);
+        }
+    }
+}

@@ -268,6 +268,14 @@ impl Plan {
         out
     }
 
+    /// Stable digest of the plan *shape* (FNV-1a over the EXPLAIN text).
+    /// Two queries landing on the same digest were given the same physical
+    /// plan — the flight recorder records it so plan changes across runs
+    /// (or between engines) are visible without diffing EXPLAIN output.
+    pub fn digest(&self) -> u64 {
+        xmldb_obs::fnv1a(self.explain().as_bytes())
+    }
+
     /// [`Plan::explain`] with actual counters from an analyzed execution
     /// appended to every line (`never executed` for slots the run never
     /// instantiated — e.g. a plan behind a false condition).

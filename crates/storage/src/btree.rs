@@ -311,6 +311,7 @@ impl BTree {
                     return Ok(InsertOutcome::Fit { replaced });
                 }
                 // Split the leaf.
+                self.env.counters().note_split();
                 let NodeBody::Leaf(cells) = node.body else {
                     unreachable!()
                 };
@@ -358,6 +359,7 @@ impl BTree {
                             return Ok(InsertOutcome::Fit { replaced });
                         }
                         // Split the internal node: the middle key moves up.
+                        self.env.counters().note_split();
                         let NodeBody::Internal(cells) = node.body else {
                             unreachable!()
                         };

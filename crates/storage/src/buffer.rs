@@ -26,8 +26,8 @@ use crate::page::PageId;
 use crate::Result;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use xmldb_obs::{Counter, Registry};
 
 /// Upper bound on the number of pool shards.
 pub const MAX_SHARDS: usize = 16;
@@ -37,40 +37,78 @@ pub const MAX_SHARDS: usize = 16;
 /// pinned working set).
 pub const MIN_SHARD_FRAMES: usize = 8;
 
-/// Counters describing pool and backend traffic since the last reset.
-#[derive(Debug, Default)]
-pub struct IoStats {
-    /// Page requests satisfied from the pool.
-    pub hits: AtomicU64,
-    /// Page requests that required a physical read.
-    pub misses: AtomicU64,
-    /// Physical page reads issued to backends.
-    pub physical_reads: AtomicU64,
-    /// Physical page writes issued to backends.
-    pub physical_writes: AtomicU64,
-    /// Zero-copy B+-tree node views constructed over pinned frame bytes
-    /// (read path only — one per page visited without materialization).
-    pub node_views: AtomicU64,
-    /// Binary searches executed in place against pinned frame bytes
-    /// (internal-node descent steps and leaf probes).
-    pub in_place_searches: AtomicU64,
-    /// Shard-lock acquisitions on the page-fetch path (one per pin).
-    pub shard_locks: AtomicU64,
-    /// WAL records appended (page images, commits, deletes).
-    pub wal_appends: AtomicU64,
-    /// Bytes appended to the WAL.
-    pub wal_bytes: AtomicU64,
-    /// WAL fsyncs issued (one per eviction steal, one per commit).
-    pub wal_syncs: AtomicU64,
+/// One shard's traffic counters, registered in the environment's metrics
+/// registry under a `shard="<i>"` label. The shard increments its own
+/// counters on the fetch path (no cross-shard contention beyond what the
+/// seed had); [`IoStats::snapshot`] aggregates across shards.
+#[derive(Clone)]
+pub(crate) struct ShardStats {
+    pub(crate) hits: Arc<Counter>,
+    pub(crate) misses: Arc<Counter>,
+    pub(crate) evictions: Arc<Counter>,
+    pub(crate) physical_reads: Arc<Counter>,
+    pub(crate) physical_writes: Arc<Counter>,
 }
 
-/// A point-in-time copy of [`IoStats`].
+impl ShardStats {
+    fn new(registry: &Registry, shard: usize) -> ShardStats {
+        let s = shard.to_string();
+        let labels: [(&str, &str); 1] = [("shard", &s)];
+        ShardStats {
+            hits: registry.counter("saardb_pool_hits_total", &labels),
+            misses: registry.counter("saardb_pool_misses_total", &labels),
+            evictions: registry.counter("saardb_pool_evictions_total", &labels),
+            physical_reads: registry.counter("saardb_pool_physical_reads_total", &labels),
+            physical_writes: registry.counter("saardb_pool_physical_writes_total", &labels),
+        }
+    }
+
+    fn counters(&self) -> [&Counter; 5] {
+        [
+            &self.hits,
+            &self.misses,
+            &self.evictions,
+            &self.physical_reads,
+            &self.physical_writes,
+        ]
+    }
+}
+
+/// Counters describing pool and backend traffic since the last reset.
+/// All counters are registry-backed: the same cells feed EXPLAIN ANALYZE
+/// deltas, `saardb stats` and the testbed's efficiency reports — one
+/// telemetry path. Per-shard counters (hits/misses/evictions/physical
+/// I/O) live on the shards; this struct holds the pool- and WAL-level
+/// ones plus handles for aggregation.
+pub struct IoStats {
+    shards: Vec<ShardStats>,
+    /// Zero-copy B+-tree node views constructed over pinned frame bytes
+    /// (read path only — one per page visited without materialization).
+    pub node_views: Arc<Counter>,
+    /// Binary searches executed in place against pinned frame bytes
+    /// (internal-node descent steps and leaf probes).
+    pub in_place_searches: Arc<Counter>,
+    /// Shard-lock acquisitions on the page-fetch path (one per pin).
+    pub shard_locks: Arc<Counter>,
+    /// B+-tree node splits (leaf and internal) on the insert path.
+    pub btree_splits: Arc<Counter>,
+    /// WAL records appended (page images, commits, deletes).
+    pub wal_appends: Arc<Counter>,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: Arc<Counter>,
+    /// WAL fsyncs issued (one per eviction steal, one per commit).
+    pub wal_syncs: Arc<Counter>,
+}
+
+/// A point-in-time copy of [`IoStats`], aggregated across shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
     /// Pool hits.
     pub hits: u64,
     /// Pool misses (physical reads required).
     pub misses: u64,
+    /// Frames whose previous occupant was displaced to load a new page.
+    pub evictions: u64,
     /// Physical page reads.
     pub physical_reads: u64,
     /// Physical page writes.
@@ -81,6 +119,8 @@ pub struct IoSnapshot {
     pub in_place_searches: u64,
     /// Shard-lock acquisitions on the fetch path.
     pub shard_locks: u64,
+    /// B+-tree node splits.
+    pub btree_splits: u64,
     /// WAL records appended.
     pub wal_appends: u64,
     /// Bytes appended to the WAL.
@@ -89,43 +129,137 @@ pub struct IoSnapshot {
     pub wal_syncs: u64,
 }
 
-impl IoStats {
-    /// Takes a snapshot of the counters.
-    pub fn snapshot(&self) -> IoSnapshot {
-        IoSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            physical_reads: self.physical_reads.load(Ordering::Relaxed),
-            physical_writes: self.physical_writes.load(Ordering::Relaxed),
-            node_views: self.node_views.load(Ordering::Relaxed),
-            in_place_searches: self.in_place_searches.load(Ordering::Relaxed),
-            shard_locks: self.shard_locks.load(Ordering::Relaxed),
-            wal_appends: self.wal_appends.load(Ordering::Relaxed),
-            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
-            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+/// Reads a counter group until two consecutive passes agree — the
+/// "single consistent cut" a snapshot needs. The counters are monotonic
+/// between resets, so pass `n` equalling pass `n+1` proves no increment
+/// landed between the two passes and the group is internally consistent
+/// (a field-by-field read could pair a post-query `misses` with a
+/// pre-query `physical_reads` torn by a concurrent engine). Bounded
+/// retries: under sustained concurrent load the last pass is returned
+/// as a best effort.
+fn read_stable<const N: usize>(counters: [&Counter; N]) -> [u64; N] {
+    let mut prev = counters.map(Counter::get);
+    for _ in 0..8 {
+        let cur = counters.map(Counter::get);
+        if cur == prev {
+            return cur;
         }
+        prev = cur;
+    }
+    prev
+}
+
+impl IoStats {
+    /// Creates the counter set in `registry`, one shard group per pool
+    /// shard.
+    pub(crate) fn new(registry: &Registry, nshards: usize) -> IoStats {
+        registry.help(
+            "saardb_pool_hits_total",
+            "Page requests satisfied from the buffer pool.",
+        );
+        registry.help(
+            "saardb_pool_misses_total",
+            "Page requests that required a physical read.",
+        );
+        registry.help(
+            "saardb_pool_evictions_total",
+            "Pool frames whose occupant was displaced for a new page.",
+        );
+        registry.help(
+            "saardb_btree_node_views_total",
+            "Zero-copy B+-tree node views over pinned frames.",
+        );
+        registry.help(
+            "saardb_btree_splits_total",
+            "B+-tree node splits (leaf and internal).",
+        );
+        registry.help(
+            "saardb_wal_appends_total",
+            "WAL records appended (page images, commits, deletes).",
+        );
+        IoStats {
+            shards: (0..nshards.max(1))
+                .map(|i| ShardStats::new(registry, i))
+                .collect(),
+            node_views: registry.counter("saardb_btree_node_views_total", &[]),
+            in_place_searches: registry.counter("saardb_btree_in_place_searches_total", &[]),
+            shard_locks: registry.counter("saardb_pool_shard_locks_total", &[]),
+            btree_splits: registry.counter("saardb_btree_splits_total", &[]),
+            wal_appends: registry.counter("saardb_wal_appends_total", &[]),
+            wal_bytes: registry.counter("saardb_wal_bytes_total", &[]),
+            wal_syncs: registry.counter("saardb_wal_syncs_total", &[]),
+        }
+    }
+
+    /// Takes a consistent snapshot: one stable read pass per counter
+    /// group (each shard, the read-path group, the WAL group) instead of
+    /// field-by-field reads that can tear against concurrent queries.
+    pub fn snapshot(&self) -> IoSnapshot {
+        let mut snap = IoSnapshot::default();
+        for shard in &self.shards {
+            let [hits, misses, evictions, reads, writes] = read_stable(shard.counters());
+            snap.hits += hits;
+            snap.misses += misses;
+            snap.evictions += evictions;
+            snap.physical_reads += reads;
+            snap.physical_writes += writes;
+        }
+        let [node_views, in_place_searches, shard_locks, btree_splits] = read_stable([
+            &*self.node_views,
+            &*self.in_place_searches,
+            &*self.shard_locks,
+            &*self.btree_splits,
+        ]);
+        snap.node_views = node_views;
+        snap.in_place_searches = in_place_searches;
+        snap.shard_locks = shard_locks;
+        snap.btree_splits = btree_splits;
+        let [wal_appends, wal_bytes, wal_syncs] =
+            read_stable([&*self.wal_appends, &*self.wal_bytes, &*self.wal_syncs]);
+        snap.wal_appends = wal_appends;
+        snap.wal_bytes = wal_bytes;
+        snap.wal_syncs = wal_syncs;
+        snap
     }
 
     /// Zeroes all counters.
     pub fn reset(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.physical_reads.store(0, Ordering::Relaxed);
-        self.physical_writes.store(0, Ordering::Relaxed);
-        self.node_views.store(0, Ordering::Relaxed);
-        self.in_place_searches.store(0, Ordering::Relaxed);
-        self.shard_locks.store(0, Ordering::Relaxed);
-        self.wal_appends.store(0, Ordering::Relaxed);
-        self.wal_bytes.store(0, Ordering::Relaxed);
-        self.wal_syncs.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            for c in shard.counters() {
+                c.reset();
+            }
+        }
+        for c in [
+            &self.node_views,
+            &self.in_place_searches,
+            &self.shard_locks,
+            &self.btree_splits,
+            &self.wal_appends,
+            &self.wal_bytes,
+            &self.wal_syncs,
+        ] {
+            c.reset();
+        }
     }
 
     pub(crate) fn note_node_view(&self) {
-        self.node_views.fetch_add(1, Ordering::Relaxed);
+        self.node_views.inc();
     }
 
     pub(crate) fn note_in_place_search(&self) {
-        self.in_place_searches.fetch_add(1, Ordering::Relaxed);
+        self.in_place_searches.inc();
+    }
+
+    pub(crate) fn note_split(&self) {
+        self.btree_splits.inc();
+    }
+}
+
+impl std::fmt::Debug for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
     }
 }
 
@@ -153,6 +287,7 @@ impl IoSnapshot {
         IoSnapshot {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
             node_views: self.node_views.saturating_sub(earlier.node_views),
@@ -160,6 +295,7 @@ impl IoSnapshot {
                 .in_place_searches
                 .saturating_sub(earlier.in_place_searches),
             shard_locks: self.shard_locks.saturating_sub(earlier.shard_locks),
+            btree_splits: self.btree_splits.saturating_sub(earlier.btree_splits),
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
             wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
@@ -196,6 +332,8 @@ struct Shard {
     state: Mutex<PoolState>,
     /// Frame contents. Indexed in lockstep with `PoolState::metas`.
     data: Vec<RwLock<Box<[u8]>>>,
+    /// This shard's registry-backed traffic counters.
+    stats: ShardStats,
 }
 
 /// The environment services the pool needs on the write-back path:
@@ -254,10 +392,19 @@ fn shard_count(capacity: usize) -> usize {
 impl BufferPool {
     /// Creates a pool of `capacity` frames of `page_size` bytes, split into
     /// shards (see module docs). Capacity is clamped to at least
-    /// [`MIN_SHARD_FRAMES`] frames.
+    /// [`MIN_SHARD_FRAMES`] frames. Counters land in a private registry;
+    /// environments that expose metrics use [`BufferPool::with_registry`].
     pub fn new(capacity: usize, page_size: usize) -> BufferPool {
+        BufferPool::with_registry(capacity, page_size, &Registry::new())
+    }
+
+    /// Creates a pool whose counters are registered in `registry` (the
+    /// counter cells stay alive through the pool's `Arc` handles even if
+    /// the registry is dropped first).
+    pub fn with_registry(capacity: usize, page_size: usize, registry: &Registry) -> BufferPool {
         let capacity = capacity.max(MIN_SHARD_FRAMES);
         let nshards = shard_count(capacity);
+        let stats = IoStats::new(registry, nshards);
         let shards = (0..nshards)
             .map(|i| {
                 // Distribute frames as evenly as possible; the remainder
@@ -279,13 +426,14 @@ impl BufferPool {
                     data: (0..frames)
                         .map(|_| RwLock::new(vec![0u8; page_size].into_boxed_slice()))
                         .collect(),
+                    stats: stats.shards[i].clone(),
                 }
             })
             .collect();
         BufferPool {
             shards,
             page_size,
-            stats: IoStats::default(),
+            stats,
         }
     }
 
@@ -373,7 +521,7 @@ impl BufferPool {
         crate::governor::Governor::check_current()?;
         let shard_idx = self.shard_of(file, page);
         let shard = &self.shards[shard_idx];
-        self.stats.shard_locks.fetch_add(1, Ordering::Relaxed);
+        self.stats.shard_locks.inc();
         let mut state = shard.state.lock();
         if let Some(&idx) = state.table.get(&(file, page)) {
             let meta = &mut state.metas[idx];
@@ -382,10 +530,10 @@ impl BufferPool {
             if mode == AccessMode::Write {
                 meta.dirty = true;
             }
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            shard.stats.hits.inc();
             return Ok((shard_idx, idx));
         }
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        shard.stats.misses.inc();
         let idx = find_victim(&mut state)?;
 
         // Write back the victim while still holding the shard lock, so no
@@ -400,9 +548,10 @@ impl BufferPool {
                 io.wal_page_image(old_file, old_page, &data)?;
                 io.wal_sync()?;
                 backend.write_page(old_page, &data)?;
-                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                shard.stats.physical_writes.inc();
             }
             state.table.remove(&(old_file, old_page));
+            shard.stats.evictions.inc();
         }
 
         // Claim the frame and load under the shard lock: holding the lock
@@ -411,7 +560,7 @@ impl BufferPool {
             let backend = io.backend(file)?;
             let mut data = shard.data[idx].write();
             backend.read_page(page, &mut data)?;
-            self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+            shard.stats.physical_reads.inc();
         }
         state.table.insert((file, page), idx);
         let meta = &mut state.metas[idx];
@@ -470,7 +619,7 @@ impl BufferPool {
                     let backend = io.backend(file)?;
                     let data = shard.data[idx].read();
                     backend.write_page(page, &data)?;
-                    self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.physical_writes.inc();
                     by_file.entry(file).or_default().push((si, idx));
                 }
             }

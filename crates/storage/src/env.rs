@@ -10,7 +10,8 @@ use crate::Result;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{atomic, Arc};
+use std::sync::Arc;
+use xmldb_obs::{span, Gauge, Registry};
 
 /// Decorates backends as the environment creates them (name, raw backend) —
 /// the hook fault-injection wrappers use. See [`Env::open_dir_with_decorator`].
@@ -77,6 +78,11 @@ struct EnvInner {
     dir: Option<PathBuf>,
     files: Mutex<FileTable>,
     pool: BufferPool,
+    /// Metrics registry every layer of this environment publishes into —
+    /// pool/WAL/B+-tree counters here, engine latency histograms in core.
+    registry: Arc<Registry>,
+    /// Sampled on demand in [`Env::pinned_frames`].
+    pinned_gauge: Arc<Gauge>,
     next_temp: Mutex<u64>,
     /// Write-ahead log; present for every on-disk environment.
     wal: Option<Wal>,
@@ -155,7 +161,18 @@ impl Env {
         decorator: Option<BackendDecorator>,
     ) -> Env {
         let frames = (config.pool_bytes / config.page_size).max(8);
-        let pool = BufferPool::new(frames, config.page_size);
+        let registry = Arc::new(Registry::new());
+        let pool = BufferPool::with_registry(frames, config.page_size, &registry);
+        registry
+            .gauge("saardb_pool_frames", &[])
+            .set(pool.capacity() as i64);
+        registry
+            .gauge("saardb_pool_shards", &[])
+            .set(pool.shard_count() as i64);
+        registry
+            .gauge("saardb_env_on_disk", &[])
+            .set(i64::from(dir.is_some()));
+        let pinned_gauge = registry.gauge("saardb_pool_pinned_frames", &[]);
         Env {
             inner: Arc::new(EnvInner {
                 config,
@@ -166,6 +183,8 @@ impl Env {
                     next: 0,
                 }),
                 pool,
+                registry,
+                pinned_gauge,
                 next_temp: Mutex::new(0),
                 wal,
                 recovery,
@@ -309,8 +328,8 @@ impl Env {
             if !entry.name.starts_with(TEMP_PREFIX) {
                 wal.append_delete(&entry.name)?;
                 let stats = self.inner.pool.stats();
-                stats.wal_appends.fetch_add(1, atomic::Ordering::Relaxed);
-                stats.wal_syncs.fetch_add(1, atomic::Ordering::Relaxed);
+                stats.wal_appends.inc();
+                stats.wal_syncs.inc();
             }
         }
         if let Some(path) = entry.backend.path() {
@@ -382,6 +401,7 @@ impl Env {
     /// checkpoints (truncates) it — the data files are consistent at this
     /// instant, so the old records are dead weight.
     pub fn flush(&self) -> Result<()> {
+        let _span = span("storage.flush");
         self.inner.pool.flush(&EnvIo(self))?;
         // Sync every backend: pages stolen by eviction since the last
         // flush were written without a data-file sync.
@@ -405,11 +425,16 @@ impl Env {
             let bytes = wal.append_commit(self.page_size(), counts)?;
             wal.sync()?;
             let stats = self.inner.pool.stats();
-            stats.wal_appends.fetch_add(1, atomic::Ordering::Relaxed);
-            stats.wal_bytes.fetch_add(bytes, atomic::Ordering::Relaxed);
-            stats.wal_syncs.fetch_add(1, atomic::Ordering::Relaxed);
+            stats.wal_appends.inc();
+            stats.wal_bytes.add(bytes);
+            stats.wal_syncs.inc();
             if wal.len() > WAL_CHECKPOINT_BYTES {
+                let checkpointed = wal.len();
                 wal.checkpoint()?;
+                self.inner
+                    .registry
+                    .counter("saardb_wal_checkpoint_bytes_total", &[])
+                    .add(checkpointed);
             }
         }
         Ok(())
@@ -425,6 +450,21 @@ impl Env {
             wal.checkpoint()?;
         }
         Ok(())
+    }
+
+    /// True if this environment write-ahead-logs page images (on-disk
+    /// environments only). EXPLAIN ANALYZE uses this to omit WAL lines —
+    /// rather than print zeros — when no log exists.
+    pub fn has_wal(&self) -> bool {
+        self.inner.wal.is_some()
+    }
+
+    /// The metrics registry all layers of this environment publish into.
+    /// Storage registers pool/WAL/B+-tree counters at construction; the
+    /// engine layers add latency histograms and governor trip counters to
+    /// the same registry, so one exposition covers the whole stack.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
     }
 
     /// Buffer-pool traffic counters.
@@ -446,7 +486,9 @@ impl Env {
     /// operation is in flight; the cancellation-torture sweep asserts this
     /// after every cancelled query.
     pub fn pinned_frames(&self) -> usize {
-        self.inner.pool.pinned_frames()
+        let pinned = self.inner.pool.pinned_frames();
+        self.inner.pinned_gauge.set(pinned as i64);
+        pinned
     }
 
     /// Names of scratch (`__tmp-`) files still present — registered in the
@@ -516,20 +558,15 @@ impl PoolIo for EnvIo<'_> {
         backend.read_page(page, &mut before)?;
         let bytes = wal.append_page_image(&name, page, &before, after)?;
         let stats = self.0.inner.pool.stats();
-        stats.wal_appends.fetch_add(1, atomic::Ordering::Relaxed);
-        stats.wal_bytes.fetch_add(bytes, atomic::Ordering::Relaxed);
+        stats.wal_appends.inc();
+        stats.wal_bytes.add(bytes);
         Ok(())
     }
 
     fn wal_sync(&self) -> Result<()> {
         if let Some(wal) = &self.0.inner.wal {
             wal.sync()?;
-            self.0
-                .inner
-                .pool
-                .stats()
-                .wal_syncs
-                .fetch_add(1, atomic::Ordering::Relaxed);
+            self.0.inner.pool.stats().wal_syncs.inc();
         }
         Ok(())
     }

@@ -118,6 +118,9 @@ impl ExternalSorter {
         if self.buffer.is_empty() {
             return Ok(());
         }
+        let span = xmldb_obs::span("sort.spill");
+        span.attr_u64("bytes", self.buffered_bytes as u64);
+        span.attr_u64("records", self.buffer.len() as u64);
         let cmp = &self.cmp;
         self.buffer.sort_by(|a, b| cmp(a, b));
         let mut run = HeapFile::temp(&self.env)?;
@@ -125,6 +128,11 @@ impl ExternalSorter {
             run.append(&record)?;
         }
         self.governor.note_spill(self.buffered_bytes as u64);
+        let registry = self.env.registry();
+        registry.counter("saardb_sort_spills_total", &[]).inc();
+        registry
+            .counter("saardb_sort_spill_bytes_total", &[])
+            .add(self.buffered_bytes as u64);
         self.buffered_bytes = 0;
         self.reservation.release_all();
         self.runs.push(run);

@@ -96,6 +96,10 @@ pub struct SubmissionReport {
     pub passed_correctness: bool,
     /// Total charged efficiency time (the Figure 7 "Total" column).
     pub total_charged: Duration,
+    /// Run telemetry pulled from the environment's unified metrics
+    /// registry after the sweep: the engine's latency distribution and
+    /// the buffer-pool / read-path traffic the whole run caused.
+    pub telemetry: Vec<String>,
 }
 
 impl SubmissionReport {
@@ -161,8 +165,73 @@ impl SubmissionReport {
                 self.total_charged.as_secs_f64()
             ));
         }
+        if !self.telemetry.is_empty() {
+            out.push_str("\nTelemetry (metrics registry):\n");
+            for line in &self.telemetry {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
         out
     }
+}
+
+/// Summarizes a submission run from the environment's metrics registry:
+/// the engine's latency quantiles plus the pool and read-path counters
+/// accumulated across every query of the sweep (reference runs included
+/// under their own engine label, so only the submission's label is read).
+fn registry_telemetry(db: &Database, engine: EngineKind) -> Vec<String> {
+    let registry = db.env().registry();
+    let mut out = Vec::new();
+    let latency = registry
+        .histogram("saardb_query_latency_us", &[("engine", engine.name())])
+        .snapshot();
+    if latency.count > 0 {
+        out.push(format!(
+            "{}: {} queries, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            engine.name(),
+            latency.count,
+            latency.quantile(0.50) as f64 / 1e3,
+            latency.quantile(0.95) as f64 / 1e3,
+            latency.quantile(0.99) as f64 / 1e3,
+            latency.max as f64 / 1e3,
+        ));
+    }
+    let sum_of = |prefix: &str| -> u64 {
+        registry
+            .counter_values()
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    let hits = sum_of("saardb_pool_hits_total");
+    let misses = sum_of("saardb_pool_misses_total");
+    let ratio = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64 * 100.0
+    } else {
+        100.0
+    };
+    out.push(format!(
+        "pool: {hits} hits, {misses} misses ({ratio:.1}% hit ratio), {} evictions",
+        sum_of("saardb_pool_evictions_total")
+    ));
+    out.push(format!(
+        "read path: {} node views, {} in-place searches",
+        sum_of("saardb_btree_node_views_total"),
+        sum_of("saardb_btree_in_place_searches_total")
+    ));
+    let spills = sum_of("saardb_sort_spills_total");
+    if spills > 0 {
+        out.push(format!(
+            "sorts: {spills} spills, {} bytes",
+            sum_of("saardb_sort_spill_bytes_total")
+        ));
+    }
+    let trips: u64 = sum_of("saardb_governor_trips_total");
+    if trips > 0 {
+        out.push(format!("governor: {trips} trips"));
+    }
+    out
 }
 
 /// Runs one submission against the corpus: correctness on all small
@@ -252,6 +321,7 @@ pub fn run_submission(
         efficiency,
         passed_correctness: passed,
         total_charged: total,
+        telemetry: registry_telemetry(&db, submission.engine),
     }
 }
 
@@ -467,6 +537,10 @@ mod tests {
         let email = report.render_email();
         assert!(email.contains("Correctness: PASSED"));
         assert!(email.contains("Total:"));
+        // The telemetry section comes from the unified metrics registry.
+        assert!(email.contains("Telemetry (metrics registry):"), "{email}");
+        assert!(email.contains("m4-costbased:"), "{email}");
+        assert!(email.contains("pool:"), "{email}");
     }
 
     #[test]

@@ -136,6 +136,23 @@ impl std::fmt::Display for TortureReport {
     }
 }
 
+/// The quiescence invariant both torture sweeps grade with: after any
+/// run — a recovered kill-point or a cancelled query — the environment
+/// must hold zero pinned buffer frames and zero leftover temp (spill)
+/// files. Returns the violation as a divergence string (`None` = clean)
+/// so sweeps can report it per point instead of aborting the schedule.
+pub fn assert_quiescent(env: &Env) -> Option<String> {
+    let pinned = env.pinned_frames();
+    if pinned != 0 {
+        return Some(format!("{pinned} frames left pinned"));
+    }
+    let temps = env.temp_files();
+    if !temps.is_empty() {
+        return Some(format!("temp files left behind: {temps:?}"));
+    }
+    None
+}
+
 fn scratch_dir() -> PathBuf {
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let n = SEQ.fetch_add(1, Ordering::Relaxed);
@@ -202,7 +219,7 @@ fn torture_once(cfg: &TortureConfig, kill_after: u64) -> xmldb_storage::Result<K
     // Reopen without fault injection: recovery runs inside `open_dir`.
     let env = Env::open_dir(&dir, env_config)?;
     let report = env.recovery_report().cloned().unwrap_or_default();
-    let divergence = verify(&env, &committed);
+    let divergence = verify(&env, &committed).or_else(|| assert_quiescent(&env));
     drop(env);
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -419,12 +436,8 @@ pub fn cancel_torture(cfg: &CancelTortureConfig) -> xmldb_core::Result<CancelTor
                     Err(e) if cfg.mem_limit.is_some() && e.is_memory_exceeded() => None,
                     Err(e) => Some(format!("unexpected error: {e}")),
                 };
-                if divergence.is_none() && db.env().pinned_frames() != 0 {
-                    divergence = Some(format!("{} frames left pinned", db.env().pinned_frames()));
-                }
-                let temps = db.env().temp_files();
-                if divergence.is_none() && !temps.is_empty() {
-                    divergence = Some(format!("temp files left behind: {temps:?}"));
+                if divergence.is_none() {
+                    divergence = assert_quiescent(db.env());
                 }
                 if divergence.is_none() {
                     if let Err(e) = db.query("t", "//title", EngineKind::M2Storage) {
@@ -452,7 +465,8 @@ pub fn cancel_torture(cfg: &CancelTortureConfig) -> xmldb_core::Result<CancelTor
                 r.len()
             )),
             Err(e) => Some(format!("post-recovery query failed: {e}")),
-        };
+        }
+        .or_else(|| assert_quiescent(db.env()));
         report.outcomes.push(CancelPointOutcome {
             engine: "reopen".to_string(),
             trip_after: 0,
