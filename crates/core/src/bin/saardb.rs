@@ -19,6 +19,12 @@
 //! saardb --db <dir> flightrec [--slow-ms N] [<name> <xq>...]
 //!                                              run queries, then replay
 //!                                              the flight recorder
+//! saardb --db <dir> shell                      interactive session with
+//!                                              begin/commit/rollback —
+//!                                              queries between begin and
+//!                                              commit run in one
+//!                                              transaction; without begin
+//!                                              each statement auto-commits
 //!
 //! options: --engine m1|naive|m2|m3|m4|m4p   (default m4)
 //!          --pool-mb <n>                    buffer-pool budget (default 16)
@@ -58,7 +64,7 @@ fn usage() -> ExitCode {
          \x20         ls | stats <name> | dump <name> | query <name> <xq> |\n\
          \x20         explain <name> <xq> | explain analyze <name> <xq> |\n\
          \x20         stats [--json] | trace <name> <xq> |\n\
-         \x20         flightrec [--slow-ms N] [<name> <xq>...]\n\
+         \x20         flightrec [--slow-ms N] [<name> <xq>...] | shell\n\
          \x20  saardb recover <dir>    replay the write-ahead log and print a\n\
          \x20                          recovery report (no database open needed)"
     );
@@ -311,6 +317,7 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 println!("{}", record.render());
             }
         }
+        ["shell"] => shell(db, args)?,
         ["explain", "analyze", name, query] => {
             print!(
                 "{}",
@@ -325,4 +332,124 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+/// The interactive session: statements between `begin` and
+/// `commit`/`rollback` run inside one transaction (reads hold shared page
+/// locks, writes exclusive ones, nothing durable until `commit`); outside
+/// a transaction every statement auto-commits as the one-shot commands do.
+/// A `deadlock victim` error means the whole transaction was rolled back —
+/// `begin` again and retry.
+fn shell(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let mut txn: Option<xmldb_core::Txn> = None;
+    eprintln!("saardb shell — begin | commit | rollback | query <doc> <xq> | load <doc> <file> | drop <doc> | ls | exit");
+    loop {
+        eprint!("{}", if txn.is_some() { "txn> " } else { "sdb> " });
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (word, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let outcome = shell_statement(db, args, &mut txn, word, rest.trim());
+        match outcome {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                // A deadlock victim is already rolled back — drop the
+                // dead handle so the prompt reflects reality.
+                if txn.as_ref().is_some_and(|t| !t.is_active()) {
+                    eprintln!(
+                        "-- transaction {} ended; begin again to retry",
+                        txn.as_ref().unwrap().id()
+                    );
+                    txn = None;
+                }
+            }
+        }
+    }
+    if let Some(t) = txn {
+        eprintln!("-- rolling back open transaction {}", t.id());
+        t.rollback()?;
+    }
+    Ok(())
+}
+
+/// One shell statement. Returns `Ok(true)` to exit the session.
+fn shell_statement(
+    db: &Database,
+    args: &Args,
+    txn: &mut Option<xmldb_core::Txn>,
+    word: &str,
+    rest: &str,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    match (word, rest) {
+        ("exit" | "quit", _) => return Ok(true),
+        ("begin", _) => match txn {
+            Some(t) => eprintln!("-- already in transaction {}", t.id()),
+            None => {
+                let t = db.begin();
+                eprintln!("-- begin transaction {}", t.id());
+                *txn = Some(t);
+            }
+        },
+        ("commit", _) => match txn.take() {
+            Some(t) => {
+                let id = t.id();
+                t.commit()?;
+                eprintln!("-- committed transaction {id}");
+            }
+            None => eprintln!("-- no open transaction"),
+        },
+        ("rollback", _) => match txn.take() {
+            Some(t) => {
+                let id = t.id();
+                t.rollback()?;
+                eprintln!("-- rolled back transaction {id}");
+            }
+            None => eprintln!("-- no open transaction"),
+        },
+        ("ls", _) => {
+            for doc in db.documents()? {
+                println!("{doc}");
+            }
+        }
+        ("load", spec) => {
+            let (name, file) = spec
+                .split_once(char::is_whitespace)
+                .ok_or("load <doc> <file.xml>")?;
+            let _scope = txn.as_ref().map(|t| t.install());
+            db.load_document_from_path(name, file.trim())?;
+            if txn.is_none() {
+                db.flush()?;
+            }
+            eprintln!("-- loaded {name}");
+        }
+        ("drop", name) if !name.is_empty() => {
+            let _scope = txn.as_ref().map(|t| t.install());
+            db.drop_document(name)?;
+            eprintln!("-- dropped {name}");
+        }
+        ("query", spec) => {
+            let (name, query) = spec
+                .split_once(char::is_whitespace)
+                .ok_or("query <doc> <xq>")?;
+            let options = QueryOptions {
+                txn: txn.clone(),
+                ..args.query_options()
+            };
+            let result = db.query_with(name, query.trim(), args.engine, &options)?;
+            println!("{result}");
+            eprintln!("-- {} item(s) [{}]", result.len(), args.engine);
+        }
+        _ => eprintln!("-- unknown statement: {word} (begin | commit | rollback | query | load | drop | ls | exit)"),
+    }
+    Ok(false)
 }

@@ -325,6 +325,16 @@ impl Database {
         self.env.flush()?;
         Ok(())
     }
+
+    /// Begins a transaction. Run queries inside it by setting
+    /// [`QueryOptions::txn`], or wrap direct store mutations in
+    /// [`xmldb_storage::Txn::install`]; finish with
+    /// [`xmldb_storage::Txn::commit`] or [`xmldb_storage::Txn::rollback`]
+    /// (dropping the last handle of an unfinished transaction rolls back).
+    /// Queries without a transaction stay auto-commit, exactly as before.
+    pub fn begin(&self) -> xmldb_storage::Txn {
+        self.env.begin_txn()
+    }
 }
 
 impl std::fmt::Debug for Database {

@@ -8,7 +8,7 @@ use crate::{Error, QueryMetrics, QueryResult, Result};
 use std::time::{Duration, Instant};
 use xmldb_obs::span;
 use xmldb_optimizer::PlannerConfig;
-use xmldb_storage::{Governor, MemReservation, StorageError};
+use xmldb_storage::{Governor, MemReservation, StorageError, Txn};
 use xmldb_xasr::{Statistics, XasrStore};
 use xmldb_xq::Expr;
 
@@ -107,6 +107,11 @@ pub struct QueryOptions {
     /// Lets callers keep the cancellation token to fire it from another
     /// thread (the testbed's timed runner does exactly this).
     pub governor: Option<Governor>,
+    /// Run the query inside this transaction: its page reads take (and
+    /// hold) shared locks, writes take exclusive locks, and nothing is
+    /// durable until the transaction commits. `None` — the default — is
+    /// auto-commit: the query runs on the untransacted fast path.
+    pub txn: Option<Txn>,
 }
 
 impl QueryOptions {
@@ -171,6 +176,7 @@ pub fn evaluate(
 ) -> Result<QueryResult> {
     let governor = options.governor_handle();
     let _scope = governor.install();
+    let _txn_scope = options.txn.as_ref().map(Txn::install);
     let io_before = store.env().io_stats();
     let started = Instant::now();
     let exec_span = span("exec");

@@ -102,6 +102,16 @@ impl Error {
             Some(xmldb_storage::StorageError::MemoryExceeded { .. })
         )
     }
+
+    /// True when the enclosing transaction was aborted as a deadlock
+    /// victim. Retryable: begin a fresh transaction and rerun — like
+    /// [`Error::is_cancelled`], this marks scheduling bad luck, not a bug.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(xmldb_storage::StorageError::Deadlock { .. })
+        )
+    }
 }
 
 impl fmt::Display for Error {

@@ -38,7 +38,7 @@ pub use error::Error;
 pub use prepared::PreparedQuery;
 pub use result::{QueryMetrics, QueryResult};
 pub use xmldb_obs::{FlightRecorder, QueryRecord, Registry, SpanTree};
-pub use xmldb_storage::{Governor, GovernorSnapshot, IoSnapshot};
+pub use xmldb_storage::{Governor, GovernorSnapshot, IoSnapshot, Txn};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;

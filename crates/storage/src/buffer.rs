@@ -96,8 +96,15 @@ pub struct IoStats {
     pub wal_appends: Arc<Counter>,
     /// Bytes appended to the WAL.
     pub wal_bytes: Arc<Counter>,
-    /// WAL fsyncs issued (one per eviction steal, one per commit).
+    /// WAL fsyncs issued (one per eviction steal, one per group-commit
+    /// leader).
     pub wal_syncs: Arc<Counter>,
+    /// Snapshot cuts that never stabilized: [`IoStats::snapshot`] gave up
+    /// after its bounded retries and returned the last read. Non-zero is
+    /// not an error — it means concurrent committers kept the counters
+    /// moving for every retry — but a growing value says snapshots taken
+    /// under load are best-effort cuts, not exact ones.
+    pub snapshot_unstable: Arc<Counter>,
 }
 
 /// A point-in-time copy of [`IoStats`], aggregated across shards.
@@ -129,24 +136,41 @@ pub struct IoSnapshot {
     pub wal_syncs: u64,
 }
 
-/// Reads a counter group until two consecutive passes agree — the
-/// "single consistent cut" a snapshot needs. The counters are monotonic
-/// between resets, so pass `n` equalling pass `n+1` proves no increment
-/// landed between the two passes and the group is internally consistent
-/// (a field-by-field read could pair a post-query `misses` with a
-/// pre-query `physical_reads` torn by a concurrent engine). Bounded
-/// retries: under sustained concurrent load the last pass is returned
-/// as a best effort.
-fn read_stable<const N: usize>(counters: [&Counter; N]) -> [u64; N] {
-    let mut prev = counters.map(Counter::get);
-    for _ in 0..8 {
-        let cur = counters.map(Counter::get);
+/// Upper bound on double-read retries in [`stable_cut`]. Without a cap
+/// the loop could spin unboundedly once concurrent committers keep the
+/// counters moving on every pass (16 threads in a commit storm do exactly
+/// that); with it, the cut degrades to best-effort and the caller counts
+/// the give-up.
+const STABLE_CUT_RETRIES: usize = 8;
+
+/// Reads a value group until two consecutive passes agree — the "single
+/// consistent cut" a snapshot needs. Returns the values and whether they
+/// stabilized; after [`STABLE_CUT_RETRIES`] moving passes the last read
+/// is returned with `false`.
+fn stable_cut<const N: usize>(mut read: impl FnMut() -> [u64; N]) -> ([u64; N], bool) {
+    let mut prev = read();
+    for _ in 0..STABLE_CUT_RETRIES {
+        let cur = read();
         if cur == prev {
-            return cur;
+            return (cur, true);
         }
         prev = cur;
     }
-    prev
+    (prev, false)
+}
+
+/// [`stable_cut`] over registry counters. The counters are monotonic
+/// between resets, so pass `n` equalling pass `n+1` proves no increment
+/// landed between the two passes and the group is internally consistent
+/// (a field-by-field read could pair a post-query `misses` with a
+/// pre-query `physical_reads` torn by a concurrent engine). A cut that
+/// never stabilizes bumps `unstable` and falls back to the last read.
+fn read_stable<const N: usize>(counters: [&Counter; N], unstable: &Counter) -> [u64; N] {
+    let (vals, stable) = stable_cut(|| counters.map(Counter::get));
+    if !stable {
+        unstable.inc();
+    }
+    vals
 }
 
 impl IoStats {
@@ -177,6 +201,10 @@ impl IoStats {
             "saardb_wal_appends_total",
             "WAL records appended (page images, commits, deletes).",
         );
+        registry.help(
+            "saardb_snapshot_unstable_total",
+            "I/O-counter snapshots that fell back to a best-effort cut.",
+        );
         IoStats {
             shards: (0..nshards.max(1))
                 .map(|i| ShardStats::new(registry, i))
@@ -188,6 +216,7 @@ impl IoStats {
             wal_appends: registry.counter("saardb_wal_appends_total", &[]),
             wal_bytes: registry.counter("saardb_wal_bytes_total", &[]),
             wal_syncs: registry.counter("saardb_wal_syncs_total", &[]),
+            snapshot_unstable: registry.counter("saardb_snapshot_unstable_total", &[]),
         }
     }
 
@@ -195,27 +224,33 @@ impl IoStats {
     /// group (each shard, the read-path group, the WAL group) instead of
     /// field-by-field reads that can tear against concurrent queries.
     pub fn snapshot(&self) -> IoSnapshot {
+        let unstable = &*self.snapshot_unstable;
         let mut snap = IoSnapshot::default();
         for shard in &self.shards {
-            let [hits, misses, evictions, reads, writes] = read_stable(shard.counters());
+            let [hits, misses, evictions, reads, writes] = read_stable(shard.counters(), unstable);
             snap.hits += hits;
             snap.misses += misses;
             snap.evictions += evictions;
             snap.physical_reads += reads;
             snap.physical_writes += writes;
         }
-        let [node_views, in_place_searches, shard_locks, btree_splits] = read_stable([
-            &*self.node_views,
-            &*self.in_place_searches,
-            &*self.shard_locks,
-            &*self.btree_splits,
-        ]);
+        let [node_views, in_place_searches, shard_locks, btree_splits] = read_stable(
+            [
+                &*self.node_views,
+                &*self.in_place_searches,
+                &*self.shard_locks,
+                &*self.btree_splits,
+            ],
+            unstable,
+        );
         snap.node_views = node_views;
         snap.in_place_searches = in_place_searches;
         snap.shard_locks = shard_locks;
         snap.btree_splits = btree_splits;
-        let [wal_appends, wal_bytes, wal_syncs] =
-            read_stable([&*self.wal_appends, &*self.wal_bytes, &*self.wal_syncs]);
+        let [wal_appends, wal_bytes, wal_syncs] = read_stable(
+            [&*self.wal_appends, &*self.wal_bytes, &*self.wal_syncs],
+            unstable,
+        );
         snap.wal_appends = wal_appends;
         snap.wal_bytes = wal_bytes;
         snap.wal_syncs = wal_syncs;
@@ -237,6 +272,7 @@ impl IoStats {
             &self.wal_appends,
             &self.wal_bytes,
             &self.wal_syncs,
+            &self.snapshot_unstable,
         ] {
             c.reset();
         }
@@ -928,6 +964,55 @@ mod tests {
         let err = pool.with_frame_read(f, p, &r, |_| ()).unwrap_err();
         assert!(matches!(err, StorageError::Cancelled), "{err}");
         assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn stable_cut_converges_on_quiet_counters() {
+        let (vals, stable) = stable_cut(|| [1u64, 2, 3]);
+        assert!(stable);
+        assert_eq!(vals, [1, 2, 3]);
+    }
+
+    #[test]
+    fn stable_cut_is_bounded_under_constant_motion() {
+        // Regression: a counter that moves on every pass must not spin the
+        // snapshot forever — the cut gives up after its retry cap and
+        // reports instability.
+        let mut ticks = 0u64;
+        let (vals, stable) = stable_cut(|| {
+            ticks += 1;
+            [ticks]
+        });
+        assert!(!stable);
+        assert_eq!(ticks, STABLE_CUT_RETRIES as u64 + 1);
+        assert_eq!(vals, [ticks], "falls back to the last read");
+    }
+
+    #[test]
+    fn unstable_snapshot_bumps_counter() {
+        let pool = BufferPool::new(8, PS);
+        let c = Counter::default();
+        // Quiet counters: no instability recorded.
+        read_stable([&pool.stats().wal_syncs], &c);
+        assert_eq!(c.get(), 0);
+        // A group that moves under the reader records the give-up.
+        let moving = Counter::default();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    moving.inc();
+                }
+            });
+            for _ in 0..64 {
+                read_stable([&moving], &c);
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        // A tight incrementer on another core almost always outruns 8
+        // retry passes at least once in 64 snapshots; but even if it never
+        // does, the snapshot terminated — which is the property under test.
+        assert!(c.get() <= 64);
     }
 
     #[test]

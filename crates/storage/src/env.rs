@@ -1,13 +1,22 @@
 //! The storage environment: a set of named paged files sharing one buffer
 //! pool (the analogue of a Berkeley DB environment).
+//!
+//! Internally the environment splits into three cooperating components:
+//! the **pager** (file table + buffer pool — everything about resolving a
+//! `(FileId, PageId)` to bytes), the **transaction manager**
+//! ([`crate::txn`] — locks, undo images, commit/rollback), and the
+//! **write-ahead log** ([`crate::wal`] — durability and recovery). The
+//! pager's file table is under a reader/writer lock: page accesses only
+//! ever read it, so lookups never serialize behind file create/drop.
 
 use crate::backend::{Backend, FileBackend, MemBackend};
 use crate::buffer::{BufferPool, IoSnapshot, IoStats, PoolIo};
 use crate::error::StorageError;
 use crate::page::{PageId, DEFAULT_PAGE_SIZE};
+use crate::txn::{self, Txn, TxnManager};
 use crate::wal::{self, RecoveryReport, Wal, WAL_CHECKPOINT_BYTES};
 use crate::Result;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -64,6 +73,8 @@ impl EnvConfig {
 struct FileEntry {
     backend: Arc<dyn Backend>,
     name: String,
+    /// Scratch file: exempt from logging and locking, private to its query.
+    temp: bool,
 }
 
 struct FileTable {
@@ -72,18 +83,26 @@ struct FileTable {
     next: u32,
 }
 
+/// The pager: everything about resolving pages to bytes — the file table
+/// and the buffer pool. Page accesses take the table's read lock only.
+struct Pager {
+    files: RwLock<FileTable>,
+    pool: BufferPool,
+    next_temp: Mutex<u64>,
+}
+
 struct EnvInner {
     config: EnvConfig,
     /// Directory for on-disk environments; `None` keeps everything in RAM.
     dir: Option<PathBuf>,
-    files: Mutex<FileTable>,
-    pool: BufferPool,
+    pager: Pager,
+    /// Transaction bookkeeping: ids, lock table, page ownership.
+    txns: TxnManager,
     /// Metrics registry every layer of this environment publishes into —
     /// pool/WAL/B+-tree counters here, engine latency histograms in core.
     registry: Arc<Registry>,
     /// Sampled on demand in [`Env::pinned_frames`].
     pinned_gauge: Arc<Gauge>,
-    next_temp: Mutex<u64>,
     /// Write-ahead log; present for every on-disk environment.
     wal: Option<Wal>,
     /// What recovery did when this environment was opened.
@@ -173,19 +192,23 @@ impl Env {
             .gauge("saardb_env_on_disk", &[])
             .set(i64::from(dir.is_some()));
         let pinned_gauge = registry.gauge("saardb_pool_pinned_frames", &[]);
+        let txns = TxnManager::new(&registry);
         Env {
             inner: Arc::new(EnvInner {
                 config,
                 dir,
-                files: Mutex::new(FileTable {
-                    by_name: HashMap::new(),
-                    by_id: HashMap::new(),
-                    next: 0,
-                }),
-                pool,
+                pager: Pager {
+                    files: RwLock::new(FileTable {
+                        by_name: HashMap::new(),
+                        by_id: HashMap::new(),
+                        next: 0,
+                    }),
+                    pool,
+                    next_temp: Mutex::new(0),
+                },
+                txns,
                 registry,
                 pinned_gauge,
-                next_temp: Mutex::new(0),
                 wal,
                 recovery,
                 decorator,
@@ -211,17 +234,32 @@ impl Env {
 
     /// Buffer pool frame count.
     pub fn pool_frames(&self) -> usize {
-        self.inner.pool.capacity()
+        self.inner.pager.pool.capacity()
     }
 
     /// Number of buffer-pool shards (lock-striping granularity).
     pub fn pool_shards(&self) -> usize {
-        self.inner.pool.shard_count()
+        self.inner.pager.pool.shard_count()
     }
 
     /// True if the environment is backed by a directory on disk.
     pub fn is_on_disk(&self) -> bool {
         self.inner.dir.is_some()
+    }
+
+    /// True if `other` is a clone of this environment (same shared state).
+    pub(crate) fn same_env(&self, other: &Env) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The transaction manager (lock table, ownership index, counters).
+    pub(crate) fn txns(&self) -> &TxnManager {
+        &self.inner.txns
+    }
+
+    /// The write-ahead log, if this environment has one.
+    pub(crate) fn wal(&self) -> Option<&Wal> {
+        self.inner.wal.as_ref()
     }
 
     fn disk_path(&self, name: &str) -> Option<PathBuf> {
@@ -238,15 +276,23 @@ impl Env {
         };
         let id = FileId(table.next);
         table.next += 1;
+        let temp = name.starts_with(TEMP_PREFIX);
         table.by_name.insert(name.clone(), id);
-        table.by_id.insert(id, FileEntry { backend, name });
+        table.by_id.insert(
+            id,
+            FileEntry {
+                backend,
+                name,
+                temp,
+            },
+        );
         id
     }
 
     /// Creates a new file named `name`; errors if it already exists (in
     /// this environment or on disk).
     pub fn create_file(&self, name: &str) -> Result<FileId> {
-        let mut table = self.inner.files.lock();
+        let mut table = self.inner.pager.files.write();
         if table.by_name.contains_key(name) {
             return Err(StorageError::FileExists(name.to_string()));
         }
@@ -265,7 +311,7 @@ impl Env {
     /// Opens an existing file named `name` (possibly persisted by a
     /// previous environment over the same directory).
     pub fn open_file(&self, name: &str) -> Result<FileId> {
-        let mut table = self.inner.files.lock();
+        let mut table = self.inner.pager.files.write();
         if let Some(&id) = table.by_name.get(name) {
             return Ok(id);
         }
@@ -290,7 +336,7 @@ impl Env {
 
     /// True if `name` exists in this environment or its directory.
     pub fn file_exists(&self, name: &str) -> bool {
-        let table = self.inner.files.lock();
+        let table = self.inner.pager.files.read();
         if table.by_name.contains_key(name) {
             return true;
         }
@@ -301,7 +347,7 @@ impl Env {
     /// removes it automatically.
     pub fn create_temp_file(&self) -> Result<FileId> {
         let n = {
-            let mut next = self.inner.next_temp.lock();
+            let mut next = self.inner.pager.next_temp.lock();
             *next += 1;
             *next
         };
@@ -312,9 +358,9 @@ impl Env {
     /// file if any. Fails with [`StorageError::FileBusy`] while any of the
     /// file's pages is pinned by an in-flight operation.
     pub fn remove_file(&self, id: FileId) -> Result<()> {
-        self.inner.pool.invalidate_file(id)?;
+        self.inner.pager.pool.invalidate_file(id)?;
         let entry = {
-            let mut table = self.inner.files.lock();
+            let mut table = self.inner.pager.files.write();
             let entry = table
                 .by_id
                 .remove(&id)
@@ -325,11 +371,13 @@ impl Env {
         // Log the drop ahead of the filesystem delete so recovery re-applies
         // it instead of resurrecting the file from stale page images.
         if let Some(wal) = &self.inner.wal {
-            if !entry.name.starts_with(TEMP_PREFIX) {
-                wal.append_delete(&entry.name)?;
-                let stats = self.inner.pool.stats();
+            if !entry.temp {
+                let synced = wal.append_delete(&entry.name)?;
+                let stats = self.inner.pager.pool.stats();
                 stats.wal_appends.inc();
-                stats.wal_syncs.inc();
+                if synced {
+                    stats.wal_syncs.inc();
+                }
             }
         }
         if let Some(path) = entry.backend.path() {
@@ -339,7 +387,7 @@ impl Env {
     }
 
     fn backend(&self, id: FileId) -> Result<Arc<dyn Backend>> {
-        let table = self.inner.files.lock();
+        let table = self.inner.pager.files.read();
         table
             .by_id
             .get(&id)
@@ -347,14 +395,22 @@ impl Env {
             .ok_or_else(|| StorageError::NoSuchFile(format!("{id}")))
     }
 
-    /// Name and backend of an open file.
-    fn entry(&self, id: FileId) -> Result<(String, Arc<dyn Backend>)> {
-        let table = self.inner.files.lock();
+    /// Name and temp flag of an open file, if it is still open.
+    pub(crate) fn file_meta(&self, id: FileId) -> Option<(String, bool)> {
+        let table = self.inner.pager.files.read();
+        table.by_id.get(&id).map(|e| (e.name.clone(), e.temp))
+    }
+
+    /// Page counts of every durable (non-scratch) file — the truncation
+    /// targets a commit record carries for recovery.
+    pub(crate) fn durable_file_counts(&self) -> Vec<(String, u64)> {
+        let table = self.inner.pager.files.read();
         table
             .by_id
-            .get(&id)
-            .map(|e| (e.name.clone(), Arc::clone(&e.backend)))
-            .ok_or_else(|| StorageError::NoSuchFile(format!("{id}")))
+            .values()
+            .filter(|e| !e.temp)
+            .map(|e| (e.name.clone(), e.backend.page_count()))
+            .collect()
     }
 
     /// Appends a zeroed page to `file`.
@@ -368,27 +424,76 @@ impl Env {
         Ok(self.backend(file)?.page_count())
     }
 
+    /// Begins a transaction on this environment. The handle is inert until
+    /// [`Txn::install`]ed on a thread; see [`crate::txn`] for the locking
+    /// and commit protocol. Without an installed transaction every page
+    /// access stays on the untransacted fast path (one thread-local probe,
+    /// no locks) and [`Env::flush`] remains the durability point.
+    pub fn begin_txn(&self) -> Txn {
+        Txn::begin(self)
+    }
+
+    /// Number of live transactions on this environment.
+    pub fn active_txns(&self) -> usize {
+        self.inner.txns.active_count()
+    }
+
     /// Runs `f` over the (read-only) contents of a page. Takes the frame's
     /// shared lock: concurrent readers of a hot page do not serialize.
+    /// Under an installed transaction, first acquires (and holds, per
+    /// strict two-phase locking) a shared page lock.
     pub fn with_page<R>(
         &self,
         file: FileId,
         page: PageId,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R> {
-        self.inner.pool.with_frame_read(file, page, &EnvIo(self), f)
+        txn::read_hook(self, file, page)?;
+        self.inner
+            .pager
+            .pool
+            .with_frame_read(file, page, &EnvIo(self), f)
     }
 
     /// Runs `f` over the mutable contents of a page, marking it dirty.
+    /// Under an installed transaction, first acquires an exclusive page
+    /// lock and captures the page's undo image.
     pub fn with_page_mut<R>(
         &self,
         file: FileId,
         page: PageId,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
+        txn::write_hook(self, file, page)?;
         self.inner
+            .pager
             .pool
             .with_frame_write(file, page, &EnvIo(self), f)
+    }
+
+    /// Copies a page's current (pool-resident) content. Bypasses the
+    /// transaction hooks — used by the transaction layer itself, which
+    /// already holds the page lock when it captures images.
+    pub(crate) fn read_page_vec(&self, file: FileId, page: PageId) -> Result<Vec<u8>> {
+        self.inner
+            .pager
+            .pool
+            .with_frame_read(file, page, &EnvIo(self), |d| d.to_vec())
+    }
+
+    /// Overwrites a page with `data` (pool write, marks dirty). Bypasses
+    /// the transaction hooks — rollback's pre-image restore.
+    pub(crate) fn write_page_raw(&self, file: FileId, page: PageId, data: &[u8]) -> Result<()> {
+        if data.len() != self.page_size() {
+            return Err(StorageError::PageBufferSize {
+                len: data.len(),
+                page_size: self.page_size(),
+            });
+        }
+        self.inner
+            .pager
+            .pool
+            .with_frame_write(file, page, &EnvIo(self), |d| d.copy_from_slice(data))
     }
 
     /// Writes back all dirty frames, syncs every on-disk file, and — for
@@ -398,37 +503,39 @@ impl Env {
     /// eviction steals is rolled back by recovery.
     ///
     /// Once the log outgrows [`WAL_CHECKPOINT_BYTES`] the commit also
-    /// checkpoints (truncates) it — the data files are consistent at this
-    /// instant, so the old records are dead weight.
+    /// checkpoints (truncates) it — unless a transaction is in flight,
+    /// whose undo records the truncation would discard; the next
+    /// quiescent flush catches up.
     pub fn flush(&self) -> Result<()> {
         let _span = span("storage.flush");
-        self.inner.pool.flush(&EnvIo(self))?;
+        self.inner.pager.pool.flush(&EnvIo(self))?;
         // Sync every backend: pages stolen by eviction since the last
         // flush were written without a data-file sync.
-        let entries: Vec<(String, Arc<dyn Backend>)> = {
-            let table = self.inner.files.lock();
+        let entries: Vec<(String, Arc<dyn Backend>, bool)> = {
+            let table = self.inner.pager.files.read();
             table
                 .by_id
                 .values()
-                .map(|e| (e.name.clone(), Arc::clone(&e.backend)))
+                .map(|e| (e.name.clone(), Arc::clone(&e.backend), e.temp))
                 .collect()
         };
-        for (_, backend) in &entries {
+        for (_, backend, _) in &entries {
             backend.sync()?;
         }
         if let Some(wal) = &self.inner.wal {
             let counts: Vec<(String, u64)> = entries
                 .iter()
-                .filter(|(name, _)| !name.starts_with(TEMP_PREFIX))
-                .map(|(name, backend)| (name.clone(), backend.page_count()))
+                .filter(|(_, _, temp)| !temp)
+                .map(|(name, backend, _)| (name.clone(), backend.page_count()))
                 .collect();
-            let bytes = wal.append_commit(self.page_size(), counts)?;
-            wal.sync()?;
-            let stats = self.inner.pool.stats();
+            let a = wal.append_commit(self.page_size(), counts)?;
+            let stats = self.inner.pager.pool.stats();
             stats.wal_appends.inc();
-            stats.wal_bytes.add(bytes);
-            stats.wal_syncs.inc();
-            if wal.len() > WAL_CHECKPOINT_BYTES {
+            stats.wal_bytes.add(a.bytes);
+            if wal.sync_to(a.end)? {
+                stats.wal_syncs.inc();
+            }
+            if wal.len() > WAL_CHECKPOINT_BYTES && self.inner.txns.active_count() == 0 {
                 let checkpointed = wal.len();
                 wal.checkpoint()?;
                 self.inner
@@ -440,14 +547,17 @@ impl Env {
         Ok(())
     }
 
-    /// Flushes and then unconditionally truncates the write-ahead log.
-    /// The explicit form of the periodic checkpoint [`Env::flush`] applies
-    /// by threshold; a no-op beyond [`Env::flush`] for in-memory
-    /// environments.
+    /// Flushes and then truncates the write-ahead log. The explicit form
+    /// of the periodic checkpoint [`Env::flush`] applies by threshold; a
+    /// no-op beyond [`Env::flush`] for in-memory environments. Skipped
+    /// (flush still runs) while any transaction is in flight — truncation
+    /// would discard its undo records.
     pub fn checkpoint(&self) -> Result<()> {
         self.flush()?;
         if let Some(wal) = &self.inner.wal {
-            wal.checkpoint()?;
+            if self.inner.txns.active_count() == 0 {
+                wal.checkpoint()?;
+            }
         }
         Ok(())
     }
@@ -469,24 +579,24 @@ impl Env {
 
     /// Buffer-pool traffic counters.
     pub fn io_stats(&self) -> IoSnapshot {
-        self.inner.pool.stats().snapshot()
+        self.inner.pager.pool.stats().snapshot()
     }
 
     /// Live counter handle (B+-tree read-path instrumentation).
     pub(crate) fn counters(&self) -> &IoStats {
-        self.inner.pool.stats()
+        self.inner.pager.pool.stats()
     }
 
     /// Zeroes the traffic counters (between benchmark runs).
     pub fn reset_io_stats(&self) {
-        self.inner.pool.stats().reset();
+        self.inner.pager.pool.stats().reset();
     }
 
     /// Number of buffer-pool frames currently pinned. Zero whenever no
     /// operation is in flight; the cancellation-torture sweep asserts this
     /// after every cancelled query.
     pub fn pinned_frames(&self) -> usize {
-        let pinned = self.inner.pool.pinned_frames();
+        let pinned = self.inner.pager.pool.pinned_frames();
         self.inner.pinned_gauge.set(pinned as i64);
         pinned
     }
@@ -498,12 +608,12 @@ impl Env {
     /// query must leave nothing behind.
     pub fn temp_files(&self) -> Vec<String> {
         let mut names: Vec<String> = {
-            let table = self.inner.files.lock();
+            let table = self.inner.pager.files.read();
             table
                 .by_id
                 .values()
+                .filter(|e| e.temp)
                 .map(|e| e.name.clone())
-                .filter(|n| n.starts_with(TEMP_PREFIX))
                 .collect()
         };
         if let Some(dir) = &self.inner.dir {
@@ -536,7 +646,10 @@ impl Env {
 /// WAL-before-steal hooks. The before-image of a logged page is its
 /// current content in the data file, read here — reverse-order undo then
 /// restores the committed image even when a page is stolen several times
-/// between commits.
+/// between commits. Pages owned by an active transaction are logged as
+/// transaction-tagged images instead, with the owner's first-touch
+/// pre-image as the before-image, so recovery can undo a loser no matter
+/// how many times its pages were stolen.
 struct EnvIo<'a>(&'a Env);
 
 impl PoolIo for EnvIo<'_> {
@@ -548,25 +661,34 @@ impl PoolIo for EnvIo<'_> {
         let Some(wal) = &self.0.inner.wal else {
             return Ok(());
         };
-        let (name, backend) = self.0.entry(file)?;
-        if name.starts_with(TEMP_PREFIX) {
+        let Some((name, temp)) = self.0.file_meta(file) else {
+            return Err(StorageError::NoSuchFile(format!("{file}")));
+        };
+        if temp {
             // Scratch files are transient: recovery deletes them, so
             // logging their pages would be pure overhead.
             return Ok(());
         }
-        let mut before = vec![0u8; after.len()];
-        backend.read_page(page, &mut before)?;
-        let bytes = wal.append_page_image(&name, page, &before, after)?;
-        let stats = self.0.inner.pool.stats();
+        let a = match self.0.inner.txns.owner_pre_image(file, page) {
+            Some((owner, pre)) => wal.append_txn_page_image(owner, &name, page, &pre, after)?,
+            None => {
+                let backend = self.0.backend(file)?;
+                let mut before = vec![0u8; after.len()];
+                backend.read_page(page, &mut before)?;
+                wal.append_page_image(&name, page, &before, after)?
+            }
+        };
+        let stats = self.0.inner.pager.pool.stats();
         stats.wal_appends.inc();
-        stats.wal_bytes.add(bytes);
+        stats.wal_bytes.add(a.bytes);
         Ok(())
     }
 
     fn wal_sync(&self) -> Result<()> {
         if let Some(wal) = &self.0.inner.wal {
-            wal.sync()?;
-            self.0.inner.pool.stats().wal_syncs.inc();
+            if wal.sync()? {
+                self.0.inner.pager.pool.stats().wal_syncs.inc();
+            }
         }
         Ok(())
     }
@@ -577,7 +699,7 @@ impl std::fmt::Debug for Env {
         f.debug_struct("Env")
             .field("dir", &self.inner.dir)
             .field("page_size", &self.inner.config.page_size)
-            .field("pool_frames", &self.inner.pool.capacity())
+            .field("pool_frames", &self.inner.pager.pool.capacity())
             .finish()
     }
 }
@@ -691,5 +813,32 @@ mod tests {
         let a = env.create_temp_file().unwrap();
         let b = env.create_temp_file().unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_skipped_while_txn_active() {
+        let dir = std::env::temp_dir().join(format!("saardb-env-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = Env::open_dir(&dir, EnvConfig::default()).unwrap();
+        let f = env.create_file("t").unwrap();
+        let p = env.allocate_page(f).unwrap();
+        let txn = env.begin_txn();
+        {
+            let _s = txn.install();
+            env.with_page_mut(f, p, |d| d[0] = 1).unwrap();
+        }
+        env.checkpoint().unwrap();
+        // The txn's steal/undo records (if any) plus the flush commit
+        // marker must survive: no truncation with a live transaction.
+        assert!(env.wal_bytes().unwrap() > 0);
+        txn.commit().unwrap();
+        env.checkpoint().unwrap();
+        // Quiescent now: the log holds exactly the fresh checkpoint record.
+        let after = env.wal_bytes().unwrap();
+        let env2 = Env::open_dir(&dir, EnvConfig::default());
+        drop(env2);
+        assert!(after < 64, "log not truncated: {after} bytes");
+        drop(env);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

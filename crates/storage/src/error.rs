@@ -69,6 +69,20 @@ pub enum StorageError {
         /// The configured budget in bytes.
         budget: usize,
     },
+    /// The transaction was chosen as the deadlock victim: its lock request
+    /// closed a cycle in the wait-for graph. The transaction has been
+    /// rolled back; retry it from `begin` (like the governor's
+    /// [`StorageError::Cancelled`], this is a retryable error, not a bug).
+    Deadlock {
+        /// The aborted transaction's id.
+        txn: u64,
+    },
+    /// An operation on a transaction that is no longer active (already
+    /// committed, rolled back, or aborted as a deadlock victim).
+    TxnInactive {
+        /// The transaction's id.
+        txn: u64,
+    },
 }
 
 impl StorageError {
@@ -119,6 +133,12 @@ impl fmt::Display for StorageError {
                     f,
                     "query memory budget exceeded: {used} bytes needed, {budget} allowed"
                 )
+            }
+            StorageError::Deadlock { txn } => {
+                write!(f, "transaction {txn} aborted as deadlock victim (retry)")
+            }
+            StorageError::TxnInactive { txn } => {
+                write!(f, "transaction {txn} is no longer active")
             }
         }
     }

@@ -46,6 +46,7 @@ pub mod governor;
 pub mod heap;
 pub mod sort;
 pub mod temp;
+pub mod txn;
 pub mod wal;
 
 mod error;
@@ -62,7 +63,8 @@ pub use heap::HeapFile;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use sort::{ExternalSorter, SortedRecords};
 pub use temp::TempFile;
-pub use wal::{RecoveryReport, Wal};
+pub use txn::{Txn, TxnScope};
+pub use wal::{Appended, RecoveryReport, Wal};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -10,21 +10,27 @@
 //!
 //! * **Before any dirty page reaches a data file** (eviction steal or
 //!   [`crate::Env::flush`]), a [`Record::PageImage`] holding the page's
-//!   *before* and *after* images is appended to the log and fsynced.
-//! * **A commit point** is a successful `Env::flush`: every dirty page is
-//!   logged and written, every data file is fsynced, and then a
-//!   [`Record::Commit`] carrying each file's page count is appended and
-//!   fsynced. Everything up to the marker is durable; everything after it
-//!   is provisional.
+//!   *before* and *after* images is appended to the log and fsynced. Pages
+//!   written under an open transaction carry the transaction's id
+//!   ([`Record::TxnPageImage`]) so recovery can tell winners from losers
+//!   even when records of several transactions interleave in the log.
+//! * **A commit point** is either a successful `Env::flush` (the
+//!   environment-wide epoch, [`Record::Commit`]) or a transaction commit
+//!   ([`Record::TxnCommit`]): the write set's images and the marker are
+//!   appended and forced with [`Wal::sync_to`] — the *group commit* path,
+//!   where N concurrent committers ride one `sync_data`.
 //! * **Recovery** ([`replay`]) runs before any file of the environment is
 //!   touched: the log is scanned with a checksum cut-off (a torn tail from
-//!   a crash mid-append is discarded, not an error), after-images up to
-//!   the last commit marker are redone, before-images after it are undone
-//!   in reverse order, files are truncated to their committed page counts,
-//!   and leftover temp files are removed. The log is then reset.
-//! * **Checkpointing** truncates the log once the data files are known
-//!   consistent (immediately after a commit), bounding both log growth and
-//!   recovery time.
+//!   a crash mid-append is discarded, not an error), and every page is
+//!   restored with one rule — the after-image of its *last committed*
+//!   update wins; a page with no committed update reverts to the
+//!   before-image of its *first* update. Files are truncated to their
+//!   committed page counts and leftover temp files are removed. The log is
+//!   then reset.
+//! * **Checkpointing** atomically replaces the log with a fresh one-record
+//!   log once the data files are known consistent (write to `wal.log.tmp`,
+//!   fsync, rename over `wal.log`): there is no instant at which the log
+//!   on disk is in a half-truncated state.
 //!
 //! ## Record format
 //!
@@ -32,24 +38,37 @@
 //!
 //! ```text
 //! record  := [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
-//! payload := 0x01 page-image | 0x02 commit | 0x03 file-delete | 0x04 checkpoint
+//! payload := 0x01 page-image | 0x02 commit | 0x03 file-delete
+//!          | 0x04 checkpoint | 0x05 txn-page-image | 0x06 txn-commit
+//!          | 0x07 txn-abort
 //! ```
 //!
 //! A record whose length overruns the file or whose checksum mismatches
-//! ends the scan: it *is* the torn tail. Page images are keyed by file
-//! *name* (not [`crate::FileId`], which is assigned per-session) so replay
-//! can address the `.sdb` files directly.
+//! ends the scan: it *is* the torn tail. A log whose very first record is
+//! torn — or a zero-length log — is explicitly an *empty* log, not
+//! corruption: the atomic checkpoint above makes that state unreachable,
+//! but logs written by older builds (truncate-in-place checkpoints) can
+//! still present it after a crash. Page images are keyed by file *name*
+//! (not [`crate::FileId`], which is assigned per-session) so replay can
+//! address the `.sdb` files directly.
 
+use crate::error::StorageError;
 use crate::page::PageId;
 use crate::Result;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex as StdMutex};
 
 /// Name of the log file inside an environment directory.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Scratch name the atomic checkpoint stages the fresh log under before
+/// renaming it over [`WAL_FILE`]. A leftover (crash between the staging
+/// write and the rename) is removed by [`replay`].
+pub const WAL_TMP_FILE: &str = "wal.log.tmp";
 
 /// Log size (bytes) above which a commit triggers an automatic checkpoint.
 pub const WAL_CHECKPOINT_BYTES: u64 = 4 << 20;
@@ -58,6 +77,9 @@ const TAG_PAGE_IMAGE: u8 = 0x01;
 const TAG_COMMIT: u8 = 0x02;
 const TAG_DELETE: u8 = 0x03;
 const TAG_CHECKPOINT: u8 = 0x04;
+const TAG_TXN_PAGE_IMAGE: u8 = 0x05;
+const TAG_TXN_COMMIT: u8 = 0x06;
+const TAG_TXN_ABORT: u8 = 0x07;
 
 /// CRC-32 (IEEE, reflected) lookup table, built at compile time.
 static CRC_TABLE: [u32; 256] = {
@@ -108,6 +130,29 @@ enum Record {
     Delete { name: String },
     /// Head marker of a freshly truncated log.
     Checkpoint,
+    /// Before/after images of a page written under transaction `txn`.
+    /// The before-image is the page's content when the transaction first
+    /// touched it, so undo restores the pre-transaction state no matter
+    /// how many times the page was stolen since.
+    TxnPageImage {
+        txn: u64,
+        name: String,
+        page: u64,
+        before: Vec<u8>,
+        after: Vec<u8>,
+    },
+    /// Transaction commit marker; carries file page counts like
+    /// [`Record::Commit`]. A transaction with this marker anywhere in the
+    /// log is a recovery *winner*; one without is a loser.
+    TxnCommit {
+        txn: u64,
+        page_size: u32,
+        files: Vec<(String, u64)>,
+    },
+    /// Transaction rollback marker (informational: a transaction without a
+    /// [`Record::TxnCommit`] is rolled back whether or not the abort
+    /// record reached the log).
+    TxnAbort { txn: u64 },
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -157,6 +202,32 @@ impl<'a> Reader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
+    fn file_counts(&mut self) -> Option<Vec<(String, u64)>> {
+        let n = self.u32()? as usize;
+        let mut files = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.name()?;
+            let pages = self.u64()?;
+            files.push((name, pages));
+        }
+        Some(files)
+    }
+}
+
+fn put_page_images(p: &mut Vec<u8>, name: &str, page: u64, before: &[u8], after: &[u8]) {
+    put_u32(p, before.len() as u32);
+    put_name(p, name);
+    put_u64(p, page);
+    p.extend_from_slice(before);
+    p.extend_from_slice(after);
+}
+
+fn put_file_counts(p: &mut Vec<u8>, files: &[(String, u64)]) {
+    put_u32(p, files.len() as u32);
+    for (name, pages) in files {
+        put_name(p, name);
+        put_u64(p, *pages);
+    }
 }
 
 impl Record {
@@ -170,26 +241,43 @@ impl Record {
                 after,
             } => {
                 p.push(TAG_PAGE_IMAGE);
-                put_u32(&mut p, before.len() as u32);
-                put_name(&mut p, name);
-                put_u64(&mut p, *page);
-                p.extend_from_slice(before);
-                p.extend_from_slice(after);
+                put_page_images(&mut p, name, *page, before, after);
             }
             Record::Commit { page_size, files } => {
                 p.push(TAG_COMMIT);
                 put_u32(&mut p, *page_size);
-                put_u32(&mut p, files.len() as u32);
-                for (name, pages) in files {
-                    put_name(&mut p, name);
-                    put_u64(&mut p, *pages);
-                }
+                put_file_counts(&mut p, files);
             }
             Record::Delete { name } => {
                 p.push(TAG_DELETE);
                 put_name(&mut p, name);
             }
             Record::Checkpoint => p.push(TAG_CHECKPOINT),
+            Record::TxnPageImage {
+                txn,
+                name,
+                page,
+                before,
+                after,
+            } => {
+                p.push(TAG_TXN_PAGE_IMAGE);
+                put_u64(&mut p, *txn);
+                put_page_images(&mut p, name, *page, before, after);
+            }
+            Record::TxnCommit {
+                txn,
+                page_size,
+                files,
+            } => {
+                p.push(TAG_TXN_COMMIT);
+                put_u64(&mut p, *txn);
+                put_u32(&mut p, *page_size);
+                put_file_counts(&mut p, files);
+            }
+            Record::TxnAbort { txn } => {
+                p.push(TAG_TXN_ABORT);
+                put_u64(&mut p, *txn);
+            }
         }
         p
     }
@@ -216,46 +304,94 @@ impl Record {
             }
             TAG_COMMIT => {
                 let page_size = r.u32()?;
-                let n = r.u32()? as usize;
-                let mut files = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let name = r.name()?;
-                    let pages = r.u64()?;
-                    files.push((name, pages));
-                }
+                let files = r.file_counts()?;
                 Record::Commit { page_size, files }
             }
             TAG_DELETE => Record::Delete { name: r.name()? },
             TAG_CHECKPOINT => Record::Checkpoint,
+            TAG_TXN_PAGE_IMAGE => {
+                let txn = r.u64()?;
+                let page_size = r.u32()? as usize;
+                let name = r.name()?;
+                let page = r.u64()?;
+                let before = r.take(page_size)?.to_vec();
+                let after = r.take(page_size)?.to_vec();
+                Record::TxnPageImage {
+                    txn,
+                    name,
+                    page,
+                    before,
+                    after,
+                }
+            }
+            TAG_TXN_COMMIT => {
+                let txn = r.u64()?;
+                let page_size = r.u32()?;
+                let files = r.file_counts()?;
+                Record::TxnCommit {
+                    txn,
+                    page_size,
+                    files,
+                }
+            }
+            TAG_TXN_ABORT => Record::TxnAbort { txn: r.u64()? },
             _ => return None,
         };
         (r.pos == payload.len()).then_some(rec)
     }
 }
 
-struct WalFile {
-    file: File,
-    len: u64,
+fn frame(record: &Record) -> Vec<u8> {
+    let payload = record.encode();
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut framed, payload.len() as u32);
+    put_u32(&mut framed, crc32(&payload));
+    framed.extend_from_slice(&payload);
+    framed
 }
 
-impl WalFile {
-    fn append(&mut self, record: &Record) -> Result<u64> {
-        use std::os::unix::fs::FileExt;
-        let payload = record.encode();
-        let mut framed = Vec::with_capacity(payload.len() + 8);
-        put_u32(&mut framed, payload.len() as u32);
-        put_u32(&mut framed, crc32(&payload));
-        framed.extend_from_slice(&payload);
-        self.file.write_all_at(&framed, self.len)?;
-        self.len += framed.len() as u64;
-        Ok(framed.len() as u64)
-    }
+/// What one append wrote: its size and the log end offset right after it —
+/// the offset a committer hands to [`Wal::sync_to`] to make the record
+/// durable.
+#[derive(Debug, Clone, Copy)]
+pub struct Appended {
+    /// Bytes this append added to the log.
+    pub bytes: u64,
+    /// Log length immediately after this append.
+    pub end: u64,
+}
+
+/// Group-commit state: how far the log is known durable, and whether a
+/// leader's fsync is in flight. Committers that arrive while a leader is
+/// inside `sync_data` park on the condvar; when the leader returns, the
+/// durable watermark usually already covers them (their records were
+/// appended before the leader snapshotted the length) and they finish
+/// without an fsync of their own.
+struct GroupState {
+    /// Log offset up to which `sync_data` has returned.
+    synced: u64,
+    /// True while some thread is inside `sync_data`.
+    syncing: bool,
 }
 
 /// The write-ahead log of one on-disk environment.
+///
+/// Appends serialize on a short length lock (reserve offset + positional
+/// write); durability goes through [`Wal::sync_to`], the group-commit
+/// gate, so concurrent committers batch behind a single `sync_data`.
 pub struct Wal {
     path: PathBuf,
-    inner: Mutex<WalFile>,
+    /// The log file. `RwLock` so appends (read side, positional writes)
+    /// run concurrently with each other while [`Wal::checkpoint`] (write
+    /// side) can swap in the freshly renamed file.
+    file: RwLock<File>,
+    /// Current log length; held across the positional write so the group
+    /// leader's length snapshot never covers a hole.
+    len: Mutex<u64>,
+    /// Group-commit gate (std primitives: the vendored `parking_lot` shim
+    /// has no condvar).
+    group: StdMutex<GroupState>,
+    group_cv: Condvar,
 }
 
 impl Wal {
@@ -273,13 +409,20 @@ impl Wal {
         let len = file.metadata()?.len();
         Ok(Wal {
             path,
-            inner: Mutex::new(WalFile { file, len }),
+            file: RwLock::new(file),
+            len: Mutex::new(len),
+            group: StdMutex::new(GroupState {
+                // Nothing of the pre-open log needs re-syncing.
+                synced: len,
+                syncing: false,
+            }),
+            group_cv: Condvar::new(),
         })
     }
 
     /// Current log length in bytes.
     pub fn len(&self) -> u64 {
-        self.inner.lock().len
+        *self.len.lock()
     }
 
     /// True when the log holds no records.
@@ -292,17 +435,51 @@ impl Wal {
         &self.path
     }
 
-    /// Appends a page's before/after images. Returns bytes appended. Not
-    /// synced — call [`Wal::sync`] before the page write it protects.
+    fn append(&self, record: &Record) -> Result<Appended> {
+        use std::os::unix::fs::FileExt;
+        let framed = frame(record);
+        let mut len = self.len.lock();
+        let file = self.file.read();
+        file.write_all_at(&framed, *len)?;
+        *len += framed.len() as u64;
+        Ok(Appended {
+            bytes: framed.len() as u64,
+            end: *len,
+        })
+    }
+
+    /// Appends a page's before/after images. Returns what was appended.
+    /// Not synced — call [`Wal::sync`] (or [`Wal::sync_to`]) before the
+    /// page write it protects.
     pub fn append_page_image(
         &self,
         name: &str,
         page: PageId,
         before: &[u8],
         after: &[u8],
-    ) -> Result<u64> {
-        debug_assert_eq!(before.len(), after.len());
-        self.inner.lock().append(&Record::PageImage {
+    ) -> Result<Appended> {
+        check_image_pair(before, after)?;
+        self.append(&Record::PageImage {
+            name: name.to_string(),
+            page: page.0,
+            before: before.to_vec(),
+            after: after.to_vec(),
+        })
+    }
+
+    /// Appends a page image tagged with the owning transaction. `before`
+    /// must be the page's content when `txn` first touched it.
+    pub fn append_txn_page_image(
+        &self,
+        txn: u64,
+        name: &str,
+        page: PageId,
+        before: &[u8],
+        after: &[u8],
+    ) -> Result<Appended> {
+        check_image_pair(before, after)?;
+        self.append(&Record::TxnPageImage {
+            txn,
             name: name.to_string(),
             page: page.0,
             before: before.to_vec(),
@@ -311,40 +488,156 @@ impl Wal {
     }
 
     /// Appends a commit marker carrying each file's committed page count.
-    pub fn append_commit(&self, page_size: usize, files: Vec<(String, u64)>) -> Result<u64> {
-        self.inner.lock().append(&Record::Commit {
+    pub fn append_commit(&self, page_size: usize, files: Vec<(String, u64)>) -> Result<Appended> {
+        self.append(&Record::Commit {
             page_size: page_size as u32,
             files,
         })
     }
 
+    /// Appends a transaction commit marker. The transaction is durable
+    /// once [`Wal::sync_to`] covers the returned end offset.
+    pub fn append_txn_commit(
+        &self,
+        txn: u64,
+        page_size: usize,
+        files: Vec<(String, u64)>,
+    ) -> Result<Appended> {
+        self.append(&Record::TxnCommit {
+            txn,
+            page_size: page_size as u32,
+            files,
+        })
+    }
+
+    /// Appends a transaction abort marker (informational; not synced —
+    /// a transaction without a commit marker is a loser regardless).
+    pub fn append_txn_abort(&self, txn: u64) -> Result<Appended> {
+        self.append(&Record::TxnAbort { txn })
+    }
+
     /// Appends a file-deletion marker (synced immediately: drops are
     /// applied to the filesystem right after, and must not be lost).
-    pub fn append_delete(&self, name: &str) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.append(&Record::Delete {
+    /// Returns `true` if this call issued the fsync itself — see
+    /// [`Wal::sync_to`].
+    pub fn append_delete(&self, name: &str) -> Result<bool> {
+        let a = self.append(&Record::Delete {
             name: name.to_string(),
         })?;
-        inner.file.sync_data()?;
-        Ok(())
+        self.sync_to(a.end)
     }
 
-    /// Forces appended records to durable storage.
-    pub fn sync(&self) -> Result<()> {
-        self.inner.lock().file.sync_data()?;
-        Ok(())
+    /// Makes the log durable at least up to offset `upto` — the group
+    /// commit gate. Returns `true` if *this* call issued an `sync_data`
+    /// (it was a group leader), `false` if it rode a concurrent leader's
+    /// fsync as a follower. Callers maintaining the `saardb_wal_syncs`
+    /// counter increment it only on `true`, which is what makes group
+    /// commit observable: fsyncs grow sublinearly in committers.
+    pub fn sync_to(&self, upto: u64) -> Result<bool> {
+        let mut did_fsync = false;
+        let mut g = self.group.lock().unwrap();
+        loop {
+            if g.synced >= upto {
+                return Ok(did_fsync);
+            }
+            if g.syncing {
+                // A leader is inside sync_data; its result will cover every
+                // byte appended before it snapshotted the length.
+                g = self.group_cv.wait(g).unwrap();
+                continue;
+            }
+            g.syncing = true;
+            drop(g);
+            // Snapshot outside the group lock: appenders hold `len` across
+            // their positional write, so every byte below `target` is in
+            // the file (possibly in the page cache) when sync_data runs.
+            let target = *self.len.lock();
+            let result = self.file.read().sync_data();
+            g = self.group.lock().unwrap();
+            g.syncing = false;
+            self.group_cv.notify_all();
+            result?;
+            g.synced = g.synced.max(target);
+            did_fsync = true;
+        }
     }
 
-    /// Truncates the log and writes a fresh checkpoint marker. Only sound
-    /// immediately after a commit (data files synced and consistent).
+    /// Forces every appended record to durable storage. Returns `true` if
+    /// this call issued the fsync itself (see [`Wal::sync_to`]).
+    pub fn sync(&self) -> Result<bool> {
+        let end = self.len();
+        self.sync_to(end)
+    }
+
+    /// Atomically replaces the log with a fresh one holding a single
+    /// synced [`Record::Checkpoint`]: the new log is staged in
+    /// `wal.log.tmp`, fsynced, and renamed over `wal.log`. A crash at any
+    /// instant leaves either the complete old log or the complete new one
+    /// — never the zero-length/torn-head state the old truncate-in-place
+    /// scheme could expose between its `set_len(0)` and the synced fresh
+    /// record. Only sound immediately after a commit (data files synced
+    /// and consistent) with no transaction in flight.
     pub fn checkpoint(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.file.set_len(0)?;
-        inner.len = 0;
-        inner.append(&Record::Checkpoint)?;
-        inner.file.sync_data()?;
+        let mut g = self.group.lock().unwrap();
+        while g.syncing {
+            g = self.group_cv.wait(g).unwrap();
+        }
+        let mut len = self.len.lock();
+        let mut file = self.file.write();
+        let dir = self
+            .path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let (fresh, fresh_len) = fresh_log(&dir)?;
+        *file = fresh;
+        *len = fresh_len;
+        g.synced = fresh_len;
+        drop(file);
+        drop(len);
+        drop(g);
+        self.group_cv.notify_all();
         Ok(())
     }
+}
+
+/// Both images of a page-image record must be exactly one page. A
+/// mismatched pair logged silently would corrupt undo: replay writes the
+/// before-image back with the page size inferred from its length, so a
+/// short image would splice into the wrong offsets.
+fn check_image_pair(before: &[u8], after: &[u8]) -> Result<()> {
+    if before.len() != after.len() {
+        return Err(StorageError::PageBufferSize {
+            len: after.len(),
+            page_size: before.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds a fresh single-checkpoint log in `dir` and atomically installs
+/// it as `dir/wal.log` (stage in `wal.log.tmp`, fsync, rename, fsync the
+/// directory). Returns the still-open file handle — rename does not
+/// invalidate it — and the new log length.
+fn fresh_log(dir: &Path) -> Result<(File, u64)> {
+    use std::os::unix::fs::FileExt;
+    let tmp = dir.join(WAL_TMP_FILE);
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    let framed = frame(&Record::Checkpoint);
+    file.write_all_at(&framed, 0)?;
+    file.sync_data()?;
+    std::fs::rename(&tmp, dir.join(WAL_FILE))?;
+    if let Ok(d) = File::open(dir) {
+        // Make the rename itself durable. Best effort: some filesystems
+        // refuse directory fsync, and the rename is atomic regardless.
+        let _ = d.sync_data();
+    }
+    Ok((file, framed.len() as u64))
 }
 
 impl std::fmt::Debug for Wal {
@@ -368,7 +661,7 @@ pub struct RecoveryReport {
     pub torn_bytes: u64,
     /// Committed page images re-applied (redo).
     pub pages_redone: usize,
-    /// Uncommitted page images rolled back (undo, reverse order).
+    /// Uncommitted page images rolled back (undo).
     pub pages_undone: usize,
     /// Files truncated to their committed page counts.
     pub files_truncated: usize,
@@ -376,9 +669,15 @@ pub struct RecoveryReport {
     pub files_deleted: usize,
     /// Leftover temp files removed.
     pub temp_files_removed: usize,
-    /// True when a commit marker was found (otherwise everything after the
-    /// last checkpoint was rolled back).
+    /// True when a commit marker (environment epoch or transaction) was
+    /// found; otherwise everything after the last checkpoint was rolled
+    /// back.
     pub committed: bool,
+    /// Transactions whose commit marker was found (winners, redone).
+    pub txns_committed: usize,
+    /// Transactions with page images but no commit marker (losers —
+    /// in-flight or aborted at the crash — rolled back).
+    pub txns_rolled_back: usize,
 }
 
 impl std::fmt::Display for RecoveryReport {
@@ -394,6 +693,11 @@ impl std::fmt::Display for RecoveryReport {
             self.pages_redone,
             self.pages_undone,
             if self.committed { "found" } else { "absent" }
+        )?;
+        writeln!(
+            f,
+            "txns: {} committed (redone), {} rolled back",
+            self.txns_committed, self.txns_rolled_back
         )?;
         write!(
             f,
@@ -448,15 +752,49 @@ fn recovery_file(dir: &Path, name: &str) -> Result<File> {
         .open(dir.join(format!("{name}.sdb")))?)
 }
 
+/// The resolved fate of one page: enough of its update history to decide
+/// its recovered content with the one-rule resolution (last committed
+/// after-image wins; otherwise the first update's before-image).
+struct PageFate {
+    /// Before-image of the page's *first* logged update — the
+    /// pre-crash-epoch content every loser chain unwinds to.
+    first_before: Vec<u8>,
+    /// After-image of the page's *last committed* update, if any.
+    last_committed: Option<Vec<u8>>,
+    /// Committed update records seen (report accounting).
+    redo_records: usize,
+    /// Loser update records seen (report accounting).
+    undo_records: usize,
+}
+
 /// Replays `dir/wal.log`, restoring every data file to the state of the
-/// last commit marker, then resets the log. Idempotent; a missing or empty
-/// log yields a clean report (leftover temp files are still removed).
+/// last commit marker(s), then resets the log. Idempotent; a missing,
+/// zero-length or head-torn log is an *empty* log and yields no
+/// redo/undo work (leftover temp files are still removed).
+///
+/// Transactions interleave freely in the log: each page is restored to
+/// the after-image of its last update by a committed transaction or
+/// committed environment epoch; a page touched only by losers reverts to
+/// its first update's before-image. This is exactly the old
+/// "redo-prefix, undo-tail-in-reverse" behavior when the log holds a
+/// single untagged epoch, and generalizes it to interleaved winners and
+/// losers.
 ///
 /// Must run before any file of the environment is opened —
 /// [`crate::Env::open_dir`] does this automatically; the `saardb recover`
 /// subcommand exposes it manually.
 pub fn replay(dir: &Path) -> Result<RecoveryReport> {
     let mut report = RecoveryReport::default();
+
+    // A leftover staging file from a checkpoint that crashed between the
+    // staging write and the rename is garbage either way: the rename
+    // either happened (wal.log is the fresh log) or it did not (wal.log is
+    // the complete old log).
+    match std::fs::remove_file(dir.join(WAL_TMP_FILE)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
 
     let wal_path = dir.join(WAL_FILE);
     let bytes = match File::open(&wal_path) {
@@ -473,46 +811,62 @@ pub fn replay(dir: &Path) -> Result<RecoveryReport> {
     report.records = records.len();
     report.torn_bytes = torn;
 
-    let last_commit = records
+    // Who committed? Environment epochs: every untagged image at or
+    // before the LAST epoch marker. Transactions: every image whose
+    // transaction has a TxnCommit marker anywhere in the log.
+    let last_epoch_commit = records
         .iter()
         .rposition(|r| matches!(r, Record::Commit { .. }));
-    report.committed = last_commit.is_some();
+    let mut winners: HashSet<u64> = HashSet::new();
+    let mut txns_seen: HashSet<u64> = HashSet::new();
+    for r in &records {
+        match r {
+            Record::TxnCommit { txn, .. } => {
+                winners.insert(*txn);
+                txns_seen.insert(*txn);
+            }
+            Record::TxnPageImage { txn, .. } | Record::TxnAbort { txn } => {
+                txns_seen.insert(*txn);
+            }
+            _ => {}
+        }
+    }
+    report.txns_committed = winners.len();
+    report.txns_rolled_back = txns_seen.len() - winners.len();
+    report.committed = last_epoch_commit.is_some() || !winners.is_empty();
 
     use std::os::unix::fs::FileExt;
     let mut files: HashMap<String, File> = HashMap::new();
     let mut deleted: HashSet<String> = HashSet::new();
-    // Undo work list: uncommitted page images, applied in reverse below.
-    let mut undo: Vec<(String, u64, &Vec<u8>)> = Vec::new();
+    let mut fates: HashMap<(String, u64), PageFate> = HashMap::new();
 
     for (i, record) in records.iter().enumerate() {
-        match record {
+        let (name, page, before, after, committed) = match record {
             Record::PageImage {
                 name,
                 page,
                 before,
                 after,
-            } => {
-                // An image after a deletion means the name was recreated.
-                deleted.remove(name);
-                if last_commit.is_some_and(|c| i <= c) {
-                    let file = match files.entry(name.clone()) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(recovery_file(dir, name)?)
-                        }
-                    };
-                    file.write_all_at(after, page * after.len() as u64)?;
-                    report.pages_redone += 1;
-                } else {
-                    undo.push((name.clone(), *page, before));
-                }
-            }
+            } => (
+                name,
+                *page,
+                before,
+                after,
+                last_epoch_commit.is_some_and(|c| i <= c),
+            ),
+            Record::TxnPageImage {
+                txn,
+                name,
+                page,
+                before,
+                after,
+            } => (name, *page, before, after, winners.contains(txn)),
             Record::Delete { name } => {
                 // Drops are immediate (not transactional): re-apply them
-                // wherever they sit in the log, and forget pending undo
-                // work for the dropped file.
+                // wherever they sit in the log, and forget accumulated
+                // page fates for the dropped file.
                 files.remove(name);
-                undo.retain(|(n, _, _)| n != name);
+                fates.retain(|(n, _), _| n != name);
                 let path = dir.join(format!("{name}.sdb"));
                 match std::fs::remove_file(&path) {
                     Ok(()) => report.files_deleted += 1,
@@ -520,30 +874,54 @@ pub fn replay(dir: &Path) -> Result<RecoveryReport> {
                     Err(e) => return Err(e.into()),
                 }
                 deleted.insert(name.clone());
+                continue;
             }
-            Record::Commit { .. } | Record::Checkpoint => {}
+            Record::Commit { .. }
+            | Record::Checkpoint
+            | Record::TxnCommit { .. }
+            | Record::TxnAbort { .. } => continue,
+        };
+        // An image after a deletion means the name was recreated.
+        deleted.remove(name);
+        let fate = fates
+            .entry((name.clone(), page))
+            .or_insert_with(|| PageFate {
+                first_before: before.clone(),
+                last_committed: None,
+                redo_records: 0,
+                undo_records: 0,
+            });
+        if committed {
+            fate.last_committed = Some(after.clone());
+            fate.redo_records += 1;
+        } else {
+            fate.undo_records += 1;
         }
     }
 
-    // Roll back uncommitted steals, newest first, so a page stolen twice
-    // since the last commit ends at its committed image.
-    for (name, page, before) in undo.iter().rev() {
+    // Apply each page's resolved fate with one write.
+    for ((name, page), fate) in &fates {
         let file = match files.entry(name.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => e.insert(recovery_file(dir, name)?),
         };
-        file.write_all_at(before, page * before.len() as u64)?;
-        report.pages_undone += 1;
+        let image = fate.last_committed.as_ref().unwrap_or(&fate.first_before);
+        file.write_all_at(image, page * image.len() as u64)?;
+        report.pages_redone += fate.redo_records;
+        report.pages_undone += fate.undo_records;
     }
 
     // Trim files back to their committed page counts: pages allocated
-    // after the commit are provisional (allocation extends files eagerly,
-    // outside the pool).
-    if let Some(Record::Commit {
-        page_size,
-        files: counts,
-    }) = last_commit.map(|c| &records[c])
-    {
+    // after the last commit marker are provisional (allocation extends
+    // files eagerly, outside the pool).
+    let last_counts = records.iter().rev().find_map(|r| match r {
+        Record::Commit { page_size, files } => Some((*page_size, files)),
+        Record::TxnCommit {
+            page_size, files, ..
+        } => Some((*page_size, files)),
+        _ => None,
+    });
+    if let Some((page_size, counts)) = last_counts {
         for (name, pages) in counts {
             if deleted.contains(name) {
                 continue;
@@ -552,7 +930,7 @@ pub fn replay(dir: &Path) -> Result<RecoveryReport> {
             let Ok(meta) = std::fs::metadata(&path) else {
                 continue;
             };
-            let committed_len = pages * *page_size as u64;
+            let committed_len = pages * page_size as u64;
             if meta.len() > committed_len {
                 let file = match files.entry(name.clone()) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -582,17 +960,10 @@ pub fn replay(dir: &Path) -> Result<RecoveryReport> {
         }
     }
 
-    // The data files now hold the committed state: reset the log.
+    // The data files now hold the committed state: reset the log (same
+    // atomic stage-and-rename as a live checkpoint).
     if report.log_bytes > 0 {
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&wal_path)?;
-        file.sync_data()?;
-        drop(file);
-        let wal = Wal::open(dir)?;
-        wal.checkpoint()?;
+        fresh_log(dir)?;
     }
 
     Ok(report)
@@ -640,6 +1011,19 @@ mod tests {
             },
             Record::Delete { name: "old".into() },
             Record::Checkpoint,
+            Record::TxnPageImage {
+                txn: 42,
+                name: "nodes".into(),
+                page: 5,
+                before: page(3),
+                after: page(4),
+            },
+            Record::TxnCommit {
+                txn: 42,
+                page_size: PS as u32,
+                files: vec![("nodes".into(), 6)],
+            },
+            Record::TxnAbort { txn: 43 },
         ];
         for r in &records {
             assert_eq!(Record::decode(&r.encode()).as_ref(), Some(r));
@@ -769,6 +1153,207 @@ mod tests {
         let report = replay(&dir).unwrap();
         assert_eq!(report.temp_files_removed, 1);
         assert!(dir.join("keep.sdb").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_image_lengths_rejected() {
+        // Regression: this used to be a debug_assert only — release builds
+        // silently logged a mismatched pair and corrupted undo.
+        let dir = tmp_dir("mismatch");
+        let wal = Wal::open(&dir).unwrap();
+        let err = wal
+            .append_page_image("f", PageId(0), &page(0), &[0u8; PS / 2])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::PageBufferSize {
+                    len,
+                    page_size
+                } if len == PS / 2 && page_size == PS
+            ),
+            "{err}"
+        );
+        let err = wal
+            .append_txn_page_image(1, "f", PageId(0), &[0u8; PS - 1], &page(0))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::PageBufferSize { .. }), "{err}");
+        assert!(wal.is_empty(), "rejected records must not reach the log");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_length_log_is_empty_not_corrupt() {
+        // The crash window of the old truncate-in-place checkpoint: a kill
+        // right after set_len(0).
+        let dir = tmp_dir("zerolen");
+        std::fs::write(dir.join("f.sdb"), page(0x77)).unwrap();
+        std::fs::write(dir.join(WAL_FILE), b"").unwrap();
+        let report = replay(&dir).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.records, 0);
+        assert_eq!(read_file(&dir, "f"), page(0x77), "data untouched");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_head_log_is_empty_not_corrupt() {
+        // The other half of the old checkpoint crash window: the fresh
+        // checkpoint record was half-written when the process died.
+        let dir = tmp_dir("tornhead");
+        std::fs::write(dir.join("f.sdb"), page(0x77)).unwrap();
+        let full = frame(&Record::Checkpoint);
+        std::fs::write(dir.join(WAL_FILE), &full[..full.len() - 1]).unwrap();
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.torn_bytes, full.len() as u64 - 1);
+        assert_eq!(report.pages_redone + report.pages_undone, 0);
+        assert_eq!(read_file(&dir, "f"), page(0x77), "data untouched");
+        // The reset left a valid log behind.
+        let again = replay(&dir).unwrap();
+        assert_eq!(again.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_removes_stale_checkpoint_staging_file() {
+        let dir = tmp_dir("stale-tmp");
+        std::fs::write(dir.join(WAL_TMP_FILE), b"half-written garbage").unwrap();
+        replay(&dir).unwrap();
+        assert!(!dir.join(WAL_TMP_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_is_atomic_under_reopen() {
+        let dir = tmp_dir("ckpt-atomic");
+        let wal = Wal::open(&dir).unwrap();
+        wal.append_page_image("f", PageId(0), &page(0), &page(1))
+            .unwrap();
+        wal.sync().unwrap();
+        wal.checkpoint().unwrap();
+        assert!(!dir.join(WAL_TMP_FILE).exists(), "staging file renamed");
+        // The swapped-in handle keeps appending to the new log.
+        wal.append_page_image("f", PageId(0), &page(1), &page(2))
+            .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (records, torn) = scan_log(&std::fs::read(dir.join(WAL_FILE)).unwrap());
+        assert_eq!(torn, 0);
+        assert!(matches!(records[0], Record::Checkpoint));
+        assert_eq!(records.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interleaved_txns_winner_redone_loser_undone() {
+        let dir = tmp_dir("interleaved");
+        let wal = Wal::open(&dir).unwrap();
+        // Two transactions interleave their steals; txn 1 commits, txn 2
+        // is in flight at the crash.
+        wal.append_txn_page_image(1, "a", PageId(0), &page(0), &page(0x1A))
+            .unwrap();
+        wal.append_txn_page_image(2, "b", PageId(0), &page(0), &page(0x2A))
+            .unwrap();
+        wal.append_txn_page_image(1, "a", PageId(1), &page(0), &page(0x1B))
+            .unwrap();
+        wal.append_txn_commit(1, PS, vec![("a".into(), 2), ("b".into(), 1)])
+            .unwrap();
+        wal.append_txn_page_image(2, "b", PageId(0), &page(0x2A), &page(0x2B))
+            .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Pretend the loser's steals reached the data file.
+        std::fs::write(dir.join("b.sdb"), page(0x2B)).unwrap();
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.txns_committed, 1);
+        assert_eq!(report.txns_rolled_back, 1);
+        assert_eq!(report.pages_redone, 2);
+        assert_eq!(report.pages_undone, 2);
+        assert!(report.committed);
+        let a = read_file(&dir, "a");
+        assert_eq!(&a[..PS], &page(0x1A)[..]);
+        assert_eq!(&a[PS..2 * PS], &page(0x1B)[..]);
+        // The loser's page reverts to its first update's before-image.
+        assert_eq!(read_file(&dir, "b"), page(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn committed_txn_wins_over_later_loser_on_same_page() {
+        let dir = tmp_dir("same-page");
+        let wal = Wal::open(&dir).unwrap();
+        // Winner writes page 0, then a loser rewrites it (lock released at
+        // commit, second txn touched the page, crashed in flight).
+        wal.append_txn_page_image(1, "f", PageId(0), &page(0), &page(0x11))
+            .unwrap();
+        wal.append_txn_commit(1, PS, vec![("f".into(), 1)]).unwrap();
+        wal.append_txn_page_image(2, "f", PageId(0), &page(0x11), &page(0x22))
+            .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        std::fs::write(dir.join("f.sdb"), page(0x22)).unwrap();
+        let report = replay(&dir).unwrap();
+        assert_eq!(read_file(&dir, "f"), page(0x11), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aborted_txn_counts_as_rolled_back() {
+        let dir = tmp_dir("abort");
+        let wal = Wal::open(&dir).unwrap();
+        wal.append_txn_page_image(7, "f", PageId(0), &page(0), &page(1))
+            .unwrap();
+        wal.append_txn_abort(7).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let report = replay(&dir).unwrap();
+        assert_eq!(report.txns_committed, 0);
+        assert_eq!(report.txns_rolled_back, 1);
+        assert_eq!(read_file(&dir, "f"), page(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_sync_to_batches_behind_one_fsync() {
+        let dir = tmp_dir("group");
+        let wal = std::sync::Arc::new(Wal::open(&dir).unwrap());
+        let ends: Vec<u64> = (0..4)
+            .map(|i| {
+                wal.append_txn_page_image(i, "f", PageId(0), &page(0), &page(1))
+                    .unwrap()
+                    .end
+            })
+            .collect();
+        // One leader fsync at the max offset covers every earlier offset.
+        assert!(wal.sync_to(*ends.last().unwrap()).unwrap());
+        for &end in &ends {
+            assert!(
+                !wal.sync_to(end).unwrap(),
+                "already-durable offsets must not fsync again"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_epoch_and_txn_commit_both_mark_committed() {
+        let dir = tmp_dir("both-commit");
+        let wal = Wal::open(&dir).unwrap();
+        wal.append_page_image("f", PageId(0), &page(0), &page(0xEE))
+            .unwrap();
+        wal.append_commit(PS, vec![("f".into(), 1)]).unwrap();
+        wal.append_txn_page_image(3, "f", PageId(0), &page(0xEE), &page(0xFF))
+            .unwrap();
+        wal.append_txn_commit(3, PS, vec![("f".into(), 1)]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let report = replay(&dir).unwrap();
+        assert!(report.committed);
+        assert_eq!(report.pages_redone, 2);
+        // The txn committed after the epoch: its after-image wins.
+        assert_eq!(read_file(&dir, "f"), page(0xFF));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

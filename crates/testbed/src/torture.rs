@@ -478,6 +478,369 @@ pub fn cancel_torture(cfg: &CancelTortureConfig) -> xmldb_core::Result<CancelTor
     Ok(report)
 }
 
+/// Parameters for the interleaved-transaction kill sweep.
+#[derive(Debug, Clone)]
+pub struct TxnTortureConfig {
+    /// Interleaved write rounds per run; the crash lands after round k.
+    pub rounds: u64,
+    /// Number of kill-points (k = 0..kill_points, clamped to `rounds`).
+    pub kill_points: u64,
+    /// Pages each transaction updates (round-robin).
+    pub pages_per_txn: u64,
+    /// Page size for the environment.
+    pub page_size: usize,
+    /// Buffer-pool budget in bytes — kept smaller than the working set so
+    /// the loser's dirty pages are *stolen* to disk before the crash and
+    /// recovery has real undo work to do.
+    pub pool_bytes: usize,
+}
+
+impl Default for TxnTortureConfig {
+    fn default() -> Self {
+        TxnTortureConfig {
+            rounds: 24,
+            kill_points: 12,
+            pages_per_txn: 8,
+            page_size: 256,
+            pool_bytes: 8 * 256,
+        }
+    }
+}
+
+/// One run of the interleaved-transaction kill sweep: two transactions
+/// update disjoint page sets in alternation; at the kill-point the winner
+/// commits and the process "dies" with the loser still in flight (its
+/// handle is leaked so no rollback code runs — exactly what a power cut
+/// leaves behind). Recovery must then produce the committed-only state:
+/// every winner page holds its commit-time value, every loser page its
+/// pre-transaction baseline.
+fn txn_torture_once(
+    cfg: &TxnTortureConfig,
+    kill_after: u64,
+) -> xmldb_storage::Result<KillPointOutcome> {
+    let dir = scratch_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let env_config = EnvConfig {
+        page_size: cfg.page_size,
+        pool_bytes: cfg.pool_bytes,
+    };
+    let pages = cfg.pages_per_txn;
+    // Model of a page's first byte: baseline 0x10+i, winner writes
+    // 0x40+round, loser writes 0x80+round.
+    let mut committed: Vec<u8> = (0..2 * pages).map(|i| 0x10 + i as u8).collect();
+    {
+        let env = Env::open_dir(&dir, env_config.clone())?;
+        let f = env.create_file("bank")?;
+        for i in 0..2 * pages {
+            let p = env.allocate_page(f)?;
+            env.with_page_mut(f, p, |d| d[0] = 0x10 + i as u8)?;
+        }
+        env.flush()?; // the baseline is durable
+        let winner = env.begin_txn();
+        let loser = env.begin_txn();
+        for round in 0..kill_after.min(cfg.rounds) {
+            {
+                let _s = winner.install();
+                let p = xmldb_storage::PageId(round % pages);
+                env.with_page_mut(f, p, |d| d[0] = 0x40 + round as u8)?;
+            }
+            {
+                let _s = loser.install();
+                let p = xmldb_storage::PageId(pages + round % pages);
+                env.with_page_mut(f, p, |d| d[0] = 0x80 + round as u8)?;
+            }
+        }
+        winner.commit()?;
+        for round in 0..kill_after.min(cfg.rounds) {
+            committed[(round % pages) as usize] = 0x40 + round as u8;
+        }
+        // The crash: leak the loser (no Drop, no rollback — its fate is
+        // decided purely by WAL replay) and drop the environment with its
+        // dirty frames unflushed.
+        std::mem::forget(loser);
+        drop(env);
+    }
+
+    let env = Env::open_dir(&dir, env_config)?;
+    let report = env.recovery_report().cloned().unwrap_or_default();
+    let mut divergence = None;
+    let f = env.open_file("bank")?;
+    for (i, &want) in committed.iter().enumerate() {
+        let got = env.with_page(f, xmldb_storage::PageId(i as u64), |d| d[0])?;
+        if got != want {
+            divergence = Some(format!(
+                "page {i}: got {got:#04x}, committed state is {want:#04x}"
+            ));
+            break;
+        }
+    }
+    if kill_after > 0 && report.txns_committed == 0 {
+        divergence =
+            divergence.or_else(|| Some("recovery saw no committed transaction".to_string()));
+    }
+    divergence = divergence.or_else(|| assert_quiescent(&env));
+    drop(env);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(KillPointOutcome {
+        kill_after,
+        inserts_before_kill: kill_after.min(cfg.rounds),
+        committed_keys: committed.len(),
+        pages_redone: report.pages_redone,
+        pages_undone: report.pages_undone,
+        torn_bytes: report.torn_bytes,
+        divergence,
+    })
+}
+
+/// Sweeps the interleaved-transaction kill schedule: every kill-point must
+/// recover to the exact committed-only state.
+pub fn txn_torture(cfg: &TxnTortureConfig) -> xmldb_storage::Result<TortureReport> {
+    let mut report = TortureReport::default();
+    let step = (cfg.rounds / cfg.kill_points.max(1)).max(1);
+    for k in 0..cfg.kill_points {
+        report.outcomes.push(txn_torture_once(cfg, k * step)?);
+    }
+    Ok(report)
+}
+
+/// The checkpoint crash-window sweep: a kill between the log reset and the
+/// synced fresh checkpoint record historically left a zero-length or
+/// torn-head `wal.log` that recovery refused as `Corrupt`. Each scenario
+/// here fabricates one of those states after a committed workload and
+/// verifies recovery treats it as an empty log and the committed data
+/// survives untouched. Scenario names stand in for engine names in the
+/// reused [`CancelPointOutcome`] rows.
+pub fn checkpoint_window_torture() -> xmldb_core::Result<CancelTortureReport> {
+    let mut report = CancelTortureReport::default();
+    // (name, bytes the truncated log keeps, plant a stale staging file?)
+    let scenarios: [(&str, Option<u64>, bool); 3] = [
+        ("zero-length-log", Some(0), false),
+        ("torn-head-log", Some(3), false),
+        ("stale-staging-file", None, true),
+    ];
+    for (name, truncate_to, plant_tmp) in scenarios {
+        let dir = scratch_dir();
+        let _ = std::fs::remove_dir_all(&dir);
+        let env_config = EnvConfig {
+            page_size: 256,
+            pool_bytes: 16 * 256,
+        };
+        let divergence = (|| -> Result<Option<String>, Box<dyn std::error::Error>> {
+            {
+                let env = Env::open_dir(&dir, env_config.clone())?;
+                let f = env.create_file("t")?;
+                for i in 0..20u64 {
+                    let p = env.allocate_page(f)?;
+                    env.with_page_mut(f, p, |d| d[0] = i as u8)?;
+                }
+                env.flush()?;
+            }
+            // Fabricate the crash window on the closed directory.
+            let wal_path = dir.join(xmldb_storage::wal::WAL_FILE);
+            if let Some(len) = truncate_to {
+                let file = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
+                file.set_len(len)?;
+                file.sync_data()?;
+            }
+            if plant_tmp {
+                std::fs::write(dir.join(xmldb_storage::wal::WAL_TMP_FILE), b"partial")?;
+            }
+            let env = Env::open_dir(&dir, env_config)?;
+            let f = env.open_file("t")?;
+            for i in 0..20u64 {
+                let got = env.with_page(f, xmldb_storage::PageId(i), |d| d[0])?;
+                if got != i as u8 {
+                    return Ok(Some(format!("page {i}: got {got}, want {i}")));
+                }
+            }
+            if plant_tmp && dir.join(xmldb_storage::wal::WAL_TMP_FILE).exists() {
+                return Ok(Some("stale staging file survived recovery".to_string()));
+            }
+            Ok(assert_quiescent(&env))
+        })()
+        .unwrap_or_else(|e| Some(format!("harness failure: {e}")));
+        report.outcomes.push(CancelPointOutcome {
+            engine: name.to_string(),
+            trip_after: 0,
+            cancelled: true,
+            divergence,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(report)
+}
+
+/// Result of a concurrent commit stress run.
+#[derive(Debug, Clone)]
+pub struct CommitStressReport {
+    /// Committer threads.
+    pub threads: usize,
+    /// Successful commits across all threads.
+    pub commits: u64,
+    /// Deadlock-victim retries along the way.
+    pub deadlocks: u64,
+    /// WAL fsyncs issued during the stress window.
+    pub fsyncs: u64,
+    /// Sum every page counter should reach (2 increments per commit).
+    pub expected_sum: u64,
+    /// Sum the page counters actually reached.
+    pub actual_sum: u64,
+    /// Same sum re-read after close + recovery.
+    pub recovered_sum: u64,
+}
+
+impl CommitStressReport {
+    /// True iff every committed increment is present, in memory and after
+    /// recovery.
+    pub fn no_lost_updates(&self) -> bool {
+        self.actual_sum == self.expected_sum && self.recovered_sum == self.expected_sum
+    }
+
+    /// Fsyncs per commit — group commit makes this < 1.0 under concurrency.
+    pub fn fsyncs_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            return f64::NAN;
+        }
+        self.fsyncs as f64 / self.commits as f64
+    }
+}
+
+impl std::fmt::Display for CommitStressReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "commit stress: {} threads, {} commits, {} deadlock retries, {} fsyncs ({:.3}/commit), sum {}/{} (recovered {})",
+            self.threads,
+            self.commits,
+            self.deadlocks,
+            self.fsyncs,
+            self.fsyncs_per_commit(),
+            self.actual_sum,
+            self.expected_sum,
+            self.recovered_sum,
+        )
+    }
+}
+
+fn read_counter(env: &Env, f: xmldb_storage::FileId, p: u64) -> xmldb_storage::Result<u64> {
+    env.with_page(f, xmldb_storage::PageId(p), |d| {
+        u64::from_le_bytes(d[..8].try_into().unwrap())
+    })
+}
+
+/// Hammers one environment with `threads` concurrent committers, each
+/// running `ops` increment transactions over two of four shared counter
+/// pages — taken in *opposite orders* by alternating threads, so the sweep
+/// provokes real deadlocks and exercises victim retry. Grades the two
+/// tentpole acceptance criteria: zero lost updates (every committed
+/// increment present, in memory and after recovery) and group commit
+/// (fsyncs strictly fewer than commits once committers overlap).
+pub fn commit_stress(threads: usize, ops: u64) -> xmldb_storage::Result<CommitStressReport> {
+    // Enough shared pages that most transaction pairs are disjoint (their
+    // commits overlap, which is what group commit batches) while
+    // collisions — and deadlocks, via the opposite lock orders — still
+    // happen many times per run.
+    const PAGES: u64 = 32;
+    let dir = scratch_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let env_config = EnvConfig {
+        page_size: 256,
+        pool_bytes: 64 * 256,
+    };
+    let (commits, deadlocks, fsyncs, actual_sum) = {
+        let env = Env::open_dir(&dir, env_config.clone())?;
+        let f = env.create_file("counters")?;
+        for _ in 0..PAGES {
+            env.allocate_page(f)?;
+        }
+        env.flush()?;
+        let fsyncs_before = env.io_stats().wal_syncs;
+        let results: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let env = env.clone();
+                    s.spawn(move || {
+                        let mut commits = 0u64;
+                        let mut deadlocks = 0u64;
+                        for i in 0..ops {
+                            // Two distinct pages, opposite orders by thread
+                            // parity: a classic deadlock-prone schedule.
+                            let a = (t as u64 * 7 + i * 13) % PAGES;
+                            let mut b = (t as u64 * 11 + i * 17 + 1) % PAGES;
+                            if b == a {
+                                b = (b + 1) % PAGES;
+                            }
+                            let (first, second) = if t % 2 == 0 {
+                                (a.min(b), a.max(b))
+                            } else {
+                                (a.max(b), a.min(b))
+                            };
+                            loop {
+                                let txn = env.begin_txn();
+                                let attempt = (|| {
+                                    let _scope = txn.install();
+                                    for &p in &[first, second] {
+                                        env.with_page_mut(f, xmldb_storage::PageId(p), |d| {
+                                            let v = u64::from_le_bytes(d[..8].try_into().unwrap());
+                                            d[..8].copy_from_slice(&(v + 1).to_le_bytes());
+                                        })?;
+                                    }
+                                    Ok(())
+                                })();
+                                match attempt.and_then(|()| txn.commit()) {
+                                    Ok(()) => {
+                                        commits += 1;
+                                        break;
+                                    }
+                                    Err(xmldb_storage::StorageError::Deadlock { .. }) => {
+                                        // Victim: back off briefly (staggered
+                                        // per thread so repeat collisions
+                                        // de-synchronize), then retry fresh.
+                                        deadlocks += 1;
+                                        std::thread::sleep(std::time::Duration::from_micros(
+                                            20 * (t as u64 + 1),
+                                        ));
+                                    }
+                                    Err(e) => panic!("commit stress failed: {e}"),
+                                }
+                            }
+                        }
+                        (commits, deadlocks)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let commits: u64 = results.iter().map(|r| r.0).sum();
+        let deadlocks: u64 = results.iter().map(|r| r.1).sum();
+        let fsyncs = env.io_stats().wal_syncs - fsyncs_before;
+        let mut sum = 0u64;
+        for p in 0..PAGES {
+            sum += read_counter(&env, f, p)?;
+        }
+        (commits, deadlocks, fsyncs, sum)
+        // Env dropped WITHOUT flush: durability of the committed
+        // increments must come from the WAL alone.
+    };
+    let env = Env::open_dir(&dir, env_config)?;
+    let f = env.open_file("counters")?;
+    let mut recovered_sum = 0u64;
+    for p in 0..PAGES {
+        recovered_sum += read_counter(&env, f, p)?;
+    }
+    drop(env);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(CommitStressReport {
+        threads,
+        commits,
+        deadlocks,
+        fsyncs,
+        expected_sum: 2 * commits,
+        actual_sum,
+        recovered_sum,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +921,67 @@ mod tests {
         })
         .unwrap();
         assert!(pressured.all_clean(), "{pressured}");
+    }
+
+    #[test]
+    fn bounded_interleaved_txn_sweep_recovers() {
+        let cfg = TxnTortureConfig {
+            rounds: 12,
+            kill_points: 6,
+            ..TxnTortureConfig::default()
+        };
+        let report = txn_torture(&cfg).unwrap();
+        assert_eq!(report.outcomes.len(), 6);
+        assert!(report.all_recovered(), "{report}");
+        // The loser's stolen pages must have given recovery real undo work
+        // somewhere in the schedule, or the sweep is vacuous.
+        assert!(
+            report.outcomes.iter().any(|o| o.pages_undone > 0),
+            "no kill-point exercised undo: {report}"
+        );
+    }
+
+    /// The full interleaved-transaction acceptance sweep (ISSUE 6): every
+    /// kill-point recovers to exact committed-only state. Run by CI.
+    #[test]
+    #[ignore = "extended sweep; CI runs it explicitly with --ignored"]
+    fn full_interleaved_txn_kill_sweep() {
+        let report = txn_torture(&TxnTortureConfig::default()).unwrap();
+        assert_eq!(report.outcomes.len(), 12);
+        assert!(report.all_recovered(), "{report}");
+        assert!(
+            report.outcomes.iter().any(|o| o.pages_undone > 0),
+            "no kill-point exercised undo: {report}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_crash_window_states_recover_as_empty() {
+        let report = checkpoint_window_torture().unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.all_clean(), "{report}");
+    }
+
+    #[test]
+    fn bounded_commit_stress_keeps_every_update() {
+        let report = commit_stress(4, 15).unwrap();
+        assert_eq!(report.commits, 4 * 15, "{report}");
+        assert!(report.no_lost_updates(), "{report}");
+    }
+
+    /// The 16-thread acceptance stress (ISSUE 6): zero lost updates and
+    /// strictly fewer than one fsync per commit. Run by CI.
+    #[test]
+    #[ignore = "extended stress; CI runs it explicitly with --ignored"]
+    fn full_commit_stress_16_threads() {
+        let report = commit_stress(16, 25).unwrap();
+        eprintln!("{report}");
+        assert_eq!(report.commits, 16 * 25, "{report}");
+        assert!(report.no_lost_updates(), "{report}");
+        assert!(
+            report.fsyncs < report.commits,
+            "group commit not observable: {report}"
+        );
     }
 
     #[test]
