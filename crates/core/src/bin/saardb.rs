@@ -26,10 +26,14 @@
 //!                                              transaction; without begin
 //!                                              each statement auto-commits
 //!
-//! options: --engine m1|naive|m2|m3|m4|m4p   (default m4)
+//! options: --engine m1|naive|m2|m3|m4|m4p|parallel   (default m4)
 //!          --pool-mb <n>                    buffer-pool budget (default 16)
 //!          --timeout <secs>                 per-query wall-clock deadline
 //!          --mem-limit <mb>                 per-query working-memory budget
+//!          --parallelism <n>                morsels in flight for the
+//!                                           parallel engine (default: the
+//!                                           SAARDB_PARALLELISM environment
+//!                                           variable, then the core count)
 //! ```
 
 use std::process::ExitCode;
@@ -43,6 +47,7 @@ struct Args {
     pool_mb: usize,
     timeout: Option<Duration>,
     mem_limit_mb: Option<usize>,
+    parallelism: Option<usize>,
     command: Vec<String>,
 }
 
@@ -51,6 +56,7 @@ impl Args {
         QueryOptions {
             timeout: self.timeout,
             mem_limit: self.mem_limit_mb.map(|mb| mb << 20),
+            parallelism: self.parallelism,
             ..QueryOptions::default()
         }
     }
@@ -58,8 +64,8 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: saardb --db <dir> [--engine m1|naive|m2|m3|m4|m4p] [--pool-mb N]\n\
-         \x20             [--timeout SECS] [--mem-limit MB] <command>\n\
+        "usage: saardb --db <dir> [--engine m1|naive|m2|m3|m4|m4p|parallel] [--pool-mb N]\n\
+         \x20             [--timeout SECS] [--mem-limit MB] [--parallelism N] <command>\n\
          commands: load <name> <file.xml> | replace <name> <file.xml> | drop <name> |\n\
          \x20         ls | stats <name> | dump <name> | query <name> <xq> |\n\
          \x20         explain <name> <xq> | explain analyze <name> <xq> |\n\
@@ -77,6 +83,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut pool_mb = 16usize;
     let mut timeout = None;
     let mut mem_limit_mb = None;
+    let mut parallelism = None;
     let mut command = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +97,7 @@ fn parse_args() -> Result<Args, ExitCode> {
                     Some("m3") => EngineKind::M3Algebraic,
                     Some("m4") => EngineKind::M4CostBased,
                     Some("m4p") => EngineKind::M4Pipelined,
+                    Some("parallel") => EngineKind::Parallel,
                     _ => return Err(usage()),
                 }
             }
@@ -103,6 +111,9 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--mem-limit" => {
                 mem_limit_mb = Some(args.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?)
+            }
+            "--parallelism" => {
+                parallelism = Some(args.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?)
             }
             "--help" | "-h" => return Err(usage()),
             other => {
@@ -124,6 +135,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         pool_mb,
         timeout,
         mem_limit_mb,
+        parallelism,
         command,
     })
 }

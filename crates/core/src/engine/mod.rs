@@ -32,17 +32,23 @@ pub enum EngineKind {
     /// ("industrious students were rewarded with bonus points if they
     /// implemented either pipelining or cost-based join reordering").
     M4Pipelined,
+    /// The cost-based engine with morsel-driven parallel execution:
+    /// eligible relfor fragments split their leaf scan's `in`-range into
+    /// morsels run on the shared worker pool, gathered back in document
+    /// order — output is byte-identical to the serial engines.
+    Parallel,
 }
 
 impl EngineKind {
     /// All engines, mild to wild.
-    pub const ALL: [EngineKind; 6] = [
+    pub const ALL: [EngineKind; 7] = [
         EngineKind::M1InMemory,
         EngineKind::NaiveScan,
         EngineKind::M2Storage,
         EngineKind::M3Algebraic,
         EngineKind::M4CostBased,
         EngineKind::M4Pipelined,
+        EngineKind::Parallel,
     ];
 
     /// Short stable name (testbed reports, benchmark tables).
@@ -54,6 +60,7 @@ impl EngineKind {
             EngineKind::M3Algebraic => "m3-algebraic",
             EngineKind::M4CostBased => "m4-costbased",
             EngineKind::M4Pipelined => "m4-pipelined",
+            EngineKind::Parallel => "parallel",
         }
     }
 
@@ -63,7 +70,9 @@ impl EngineKind {
     pub(crate) fn rewrite_options(self) -> xmldb_algebra::rewrite::RewriteOptions {
         use xmldb_algebra::rewrite::RewriteOptions;
         match self {
-            EngineKind::M4CostBased | EngineKind::M4Pipelined => RewriteOptions::extended(),
+            EngineKind::M4CostBased | EngineKind::M4Pipelined | EngineKind::Parallel => {
+                RewriteOptions::extended()
+            }
             _ => RewriteOptions::default(),
         }
     }
@@ -72,7 +81,10 @@ impl EngineKind {
     pub(crate) fn planner_config(self) -> Option<PlannerConfig> {
         match self {
             EngineKind::M3Algebraic => Some(PlannerConfig::heuristic()),
-            EngineKind::M4CostBased => Some(PlannerConfig::cost_based()),
+            // The parallel engine plans exactly like the cost-based one:
+            // same plans, so its serial fallbacks and the differential
+            // harness compare like for like.
+            EngineKind::M4CostBased | EngineKind::Parallel => Some(PlannerConfig::cost_based()),
             EngineKind::M4Pipelined => Some(PlannerConfig {
                 materialize_right: false,
                 ..PlannerConfig::cost_based()
@@ -112,6 +124,11 @@ pub struct QueryOptions {
     /// durable until the transaction commits. `None` — the default — is
     /// auto-commit: the query runs on the untransacted fast path.
     pub txn: Option<Txn>,
+    /// Target parallelism for [`EngineKind::Parallel`] (morsels in flight
+    /// at once). `None` falls back to the `SAARDB_PARALLELISM` environment
+    /// variable, then to the machine's available cores. Other engines
+    /// ignore it.
+    pub parallelism: Option<usize>,
 }
 
 impl QueryOptions {
@@ -126,6 +143,19 @@ impl QueryOptions {
         } else {
             Governor::current()
         }
+    }
+
+    /// The effective parallelism for [`EngineKind::Parallel`]: explicit
+    /// option, else `SAARDB_PARALLELISM`, else the available cores.
+    pub(crate) fn resolved_parallelism(&self) -> usize {
+        self.parallelism
+            .or_else(|| {
+                std::env::var("SAARDB_PARALLELISM")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
     }
 }
 
@@ -205,7 +235,9 @@ pub fn evaluate(
                 options,
             );
             plan_digest = Some(program.plan_digest());
-            tpm_exec::execute_program(&program, store)
+            let parallelism =
+                (algebraic == EngineKind::Parallel).then(|| options.resolved_parallelism());
+            tpm_exec::execute_program_with(&program, store, parallelism)
         }
     })();
     let elapsed = started.elapsed();

@@ -17,10 +17,11 @@ use std::collections::HashMap;
 use std::time::Instant;
 use xmldb_algebra::rewrite::{optimize, RewriteOptions};
 use xmldb_algebra::{compile_query, Tpm};
+use xmldb_exec_pool::WorkerPool;
 use xmldb_obs::span;
-use xmldb_optimizer::{plan_psx, CostModel, Plan, PlanMetrics, PlannerConfig};
+use xmldb_optimizer::{plan_psx, CostModel, ParallelOpts, Plan, PlanMetrics, PlannerConfig};
 use xmldb_physical::Error as ExecError;
-use xmldb_physical::{Bindings, ExecContext};
+use xmldb_physical::{Bindings, ExecContext, RowBatch, BATCH_ROWS};
 use xmldb_xasr::{NodeTuple, XasrStore};
 use xmldb_xml::{Document, NodeId};
 use xmldb_xq::{Cond, Expr, Var};
@@ -104,13 +105,45 @@ pub fn compile_program(
     CompiledProgram { prog, plan_count }
 }
 
-/// Executes a previously compiled program against `store`.
+/// Executes a previously compiled program against `store` serially.
 pub fn execute_program(program: &CompiledProgram, store: &XasrStore) -> Result<QueryResult> {
+    execute_program_with(program, store, None)
+}
+
+/// [`execute_program`] with an optional parallelism target: `Some(n)`
+/// (the [`super::EngineKind::Parallel`] engine) runs eligible relfor
+/// fragments morsel-parallel on the shared worker pool with about `n`
+/// morsels in flight; ineligible fragments fall back to the serial path
+/// per relfor. Output is byte-identical either way.
+pub fn execute_program_with(
+    program: &CompiledProgram,
+    store: &XasrStore,
+    parallelism: Option<usize>,
+) -> Result<QueryResult> {
+    if parallelism.is_some() {
+        // Surface the pool's gauges/counters through this environment's
+        // registry (`saardb stats`, the Prometheus endpoint) and count
+        // the query against the parallel engine.
+        WorkerPool::global().bind_registry(store.env().registry());
+        store
+            .env()
+            .registry()
+            .counter("saardb_parallel_queries_total", &[("engine", "parallel")])
+            .inc();
+    }
     let mut out = Document::new();
     let out_root = out.root();
     let mut env: HashMap<Var, NodeTuple> = HashMap::new();
     env.insert(Var::root(), store.root()?);
-    exec(&program.prog, store, &mut env, &mut out, out_root, None)?;
+    exec(
+        &program.prog,
+        store,
+        &mut env,
+        &mut out,
+        out_root,
+        None,
+        parallelism,
+    )?;
     Ok(QueryResult::new(out))
 }
 
@@ -138,6 +171,9 @@ pub fn execute_program_analyzed(
             &mut out,
             out_root,
             Some(&metrics),
+            // Analyzed metric slots are Rc-shared — not Send — so EXPLAIN
+            // ANALYZE always executes serially (the batch path stays on).
+            None,
         )?;
         Ok(QueryResult::new(out))
     })();
@@ -408,6 +444,18 @@ fn render_prog(prog: &Prog, level: usize, metrics: Option<&[PlanMetrics]>, out: 
     }
 }
 
+/// When the parallel engine's fragment driver declines a relfor plan, the
+/// relfor runs serially; the counter makes systematic fallbacks (a planner
+/// change producing ineligible shapes) visible in `saardb stats`.
+fn note_parallel_fallback(store: &XasrStore) {
+    store
+        .env()
+        .registry()
+        .counter("saardb_parallel_fallbacks_total", &[])
+        .inc();
+}
+
+#[allow(clippy::too_many_arguments)]
 fn exec(
     prog: &Prog,
     store: &XasrStore,
@@ -415,6 +463,7 @@ fn exec(
     out: &mut Document,
     parent: NodeId,
     analyze: Option<&RefCell<Vec<PlanMetrics>>>,
+    parallelism: Option<usize>,
 ) -> Result<()> {
     match prog {
         Prog::Empty => Ok(()),
@@ -424,13 +473,13 @@ fn exec(
         }
         Prog::Concat(parts) => {
             for p in parts {
-                exec(p, store, env, out, parent, analyze)?;
+                exec(p, store, env, out, parent, analyze, parallelism)?;
             }
             Ok(())
         }
         Prog::Constr { label, content } => {
             let id = out.add_element(parent, label.clone());
-            exec(content, store, env, out, id, analyze)
+            exec(content, store, env, out, id, analyze, parallelism)
         }
         Prog::VarOut(v) => {
             let tuple = env
@@ -450,31 +499,66 @@ fn exec(
             for (var, tuple) in env.iter() {
                 bindings.bind(var.clone(), tuple.clone());
             }
-            let ctx = ExecContext::new(store, &bindings);
-            // Metric slots are shared across re-instantiations of this
-            // plan (one per outer binding), so counters accumulate and
-            // `opens` counts re-executions.
-            let mut op = match analyze {
-                Some(cell) => plan.instantiate_analyzed(&mut cell.borrow_mut()[*plan_index]),
-                None => plan.instantiate(),
-            };
-            op.open(&ctx)?;
             // Save shadowed bindings for restoration.
             let saved: Vec<(Var, Option<NodeTuple>)> = vars
                 .iter()
                 .map(|v| (v.clone(), env.get(v).cloned()))
                 .collect();
             let result = (|| -> Result<()> {
-                while let Some(row) = op.next(&ctx)? {
-                    debug_assert_eq!(row.len(), vars.len());
-                    for (i, var) in vars.iter().enumerate() {
-                        env.insert(var.clone(), row[i].clone());
+                // Parallel engine: run the plan fragment morsel-wise on
+                // the pool; batches arrive in document order and the body
+                // evaluates here on the coordinator (document construction
+                // is single-threaded by design). EXPLAIN ANALYZE metric
+                // slots are Rc-shared, so analyzed runs stay serial.
+                if let (Some(threads), None) = (parallelism, analyze) {
+                    let opts = ParallelOpts {
+                        pool: WorkerPool::global(),
+                        parallelism: threads,
+                        batch_rows: BATCH_ROWS,
+                    };
+                    let ran = xmldb_optimizer::execute_parallel::<Error, _>(
+                        plan,
+                        store,
+                        &bindings,
+                        &opts,
+                        |batch: &RowBatch| {
+                            for row in batch.iter() {
+                                debug_assert_eq!(row.len(), vars.len());
+                                for (i, var) in vars.iter().enumerate() {
+                                    env.insert(var.clone(), row[i].clone());
+                                }
+                                exec(body, store, env, out, parent, analyze, parallelism)?;
+                            }
+                            Ok(())
+                        },
+                    )?;
+                    if ran {
+                        return Ok(());
                     }
-                    exec(body, store, env, out, parent, analyze)?;
+                    note_parallel_fallback(store);
                 }
-                Ok(())
+                let ctx = ExecContext::new(store, &bindings);
+                // Metric slots are shared across re-instantiations of this
+                // plan (one per outer binding), so counters accumulate and
+                // `opens` counts re-executions.
+                let mut op = match analyze {
+                    Some(cell) => plan.instantiate_analyzed(&mut cell.borrow_mut()[*plan_index]),
+                    None => plan.instantiate(),
+                };
+                op.open(&ctx)?;
+                let result = (|| -> Result<()> {
+                    while let Some(row) = op.next(&ctx)? {
+                        debug_assert_eq!(row.len(), vars.len());
+                        for (i, var) in vars.iter().enumerate() {
+                            env.insert(var.clone(), row[i].clone());
+                        }
+                        exec(body, store, env, out, parent, analyze, parallelism)?;
+                    }
+                    Ok(())
+                })();
+                op.close();
+                result
             })();
-            op.close();
             for (var, old) in saved {
                 match old {
                     Some(t) => env.insert(var, t),
@@ -495,12 +579,6 @@ fn exec(
             for (var, tuple) in env.iter() {
                 bindings.bind(var.clone(), tuple.clone());
             }
-            let ctx = ExecContext::new(store, &bindings);
-            let mut op = match analyze {
-                Some(cell) => plan.instantiate_analyzed(&mut cell.borrow_mut()[*plan_index]),
-                None => plan.instantiate(),
-            };
-            op.open(&ctx)?;
             let saved: Vec<(Var, Option<NodeTuple>)> = outer_vars
                 .iter()
                 .chain(std::iter::once(inner_var))
@@ -508,32 +586,114 @@ fn exec(
                 .collect();
             let k = outer_vars.len();
             let mut current_group: Option<(Vec<u64>, NodeId)> = None;
-            let result = (|| -> Result<()> {
-                while let Some(row) = op.next(&ctx)? {
-                    debug_assert_eq!(row.len(), k + 1);
-                    let key: Vec<u64> = row[..k].iter().map(|t| t.in_).collect();
-                    let element = match &current_group {
-                        Some((group_key, element)) if *group_key == key => *element,
-                        _ => {
-                            let element = out.add_element(parent, label.clone());
-                            current_group = Some((key, element));
-                            element
-                        }
-                    };
-                    if row[k].is_null() {
-                        // Match-less outer binding: the (empty) element was
-                        // created above; nothing to evaluate inside it.
-                        continue;
+            // One (outer ⟕ inner) row: maintain the per-outer-binding
+            // group element, bind, evaluate the body. Shared verbatim by
+            // the serial loop and the parallel gather (which delivers the
+            // same rows in the same order).
+            #[allow(clippy::too_many_arguments)]
+            fn outer_row(
+                row: &[NodeTuple],
+                k: usize,
+                outer_vars: &[Var],
+                inner_var: &Var,
+                label: &str,
+                body: &Prog,
+                store: &XasrStore,
+                env: &mut HashMap<Var, NodeTuple>,
+                out: &mut Document,
+                parent: NodeId,
+                current_group: &mut Option<(Vec<u64>, NodeId)>,
+                analyze: Option<&RefCell<Vec<PlanMetrics>>>,
+                parallelism: Option<usize>,
+            ) -> Result<()> {
+                debug_assert_eq!(row.len(), k + 1);
+                let key: Vec<u64> = row[..k].iter().map(|t| t.in_).collect();
+                let element = match &current_group {
+                    Some((group_key, element)) if *group_key == key => *element,
+                    _ => {
+                        let element = out.add_element(parent, label.to_string());
+                        *current_group = Some((key, element));
+                        element
                     }
-                    for (i, var) in outer_vars.iter().enumerate() {
-                        env.insert(var.clone(), row[i].clone());
-                    }
-                    env.insert(inner_var.clone(), row[k].clone());
-                    exec(body, store, env, out, element, analyze)?;
+                };
+                if row[k].is_null() {
+                    // Match-less outer binding: the (empty) element was
+                    // created above; nothing to evaluate inside it.
+                    return Ok(());
                 }
-                Ok(())
+                for (i, var) in outer_vars.iter().enumerate() {
+                    env.insert(var.clone(), row[i].clone());
+                }
+                env.insert(inner_var.clone(), row[k].clone());
+                exec(body, store, env, out, element, analyze, parallelism)
+            }
+            let result = (|| -> Result<()> {
+                if let (Some(threads), None) = (parallelism, analyze) {
+                    let opts = ParallelOpts {
+                        pool: WorkerPool::global(),
+                        parallelism: threads,
+                        batch_rows: BATCH_ROWS,
+                    };
+                    let ran = xmldb_optimizer::execute_parallel::<Error, _>(
+                        plan,
+                        store,
+                        &bindings,
+                        &opts,
+                        |batch: &RowBatch| {
+                            for row in batch.iter() {
+                                outer_row(
+                                    row,
+                                    k,
+                                    outer_vars,
+                                    inner_var,
+                                    label,
+                                    body,
+                                    store,
+                                    env,
+                                    out,
+                                    parent,
+                                    &mut current_group,
+                                    analyze,
+                                    parallelism,
+                                )?;
+                            }
+                            Ok(())
+                        },
+                    )?;
+                    if ran {
+                        return Ok(());
+                    }
+                    note_parallel_fallback(store);
+                }
+                let ctx = ExecContext::new(store, &bindings);
+                let mut op = match analyze {
+                    Some(cell) => plan.instantiate_analyzed(&mut cell.borrow_mut()[*plan_index]),
+                    None => plan.instantiate(),
+                };
+                op.open(&ctx)?;
+                let result = (|| -> Result<()> {
+                    while let Some(row) = op.next(&ctx)? {
+                        outer_row(
+                            &row,
+                            k,
+                            outer_vars,
+                            inner_var,
+                            label,
+                            body,
+                            store,
+                            env,
+                            out,
+                            parent,
+                            &mut current_group,
+                            analyze,
+                            parallelism,
+                        )?;
+                    }
+                    Ok(())
+                })();
+                op.close();
+                result
             })();
-            op.close();
             for (var, old) in saved {
                 match old {
                     Some(t) => env.insert(var, t),
@@ -544,7 +704,7 @@ fn exec(
         }
         Prog::IfFallback { cond, body } => {
             if interp::eval_cond_indexed(store, cond, env)? {
-                exec(body, store, env, out, parent, analyze)?;
+                exec(body, store, env, out, parent, analyze, parallelism)?;
             }
             Ok(())
         }

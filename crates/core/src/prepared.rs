@@ -107,7 +107,11 @@ impl PreparedQuery {
                 }
                 _ => unreachable!("algebraic engines carry programs"),
             },
-            PreparedState::Program(program) => tpm_exec::execute_program(program, &store),
+            PreparedState::Program(program) => {
+                let parallelism = (self.engine == EngineKind::Parallel)
+                    .then(|| self.options.resolved_parallelism());
+                tpm_exec::execute_program_with(program, &store, parallelism)
+            }
         }
     }
 }

@@ -1,0 +1,572 @@
+#![warn(missing_docs)]
+
+//! A process-wide work-stealing worker pool for intra-query parallelism.
+//!
+//! One pool, shared by every parallel query (and, later, the server): each
+//! worker owns a deque; submissions are distributed round-robin and an idle
+//! worker steals from its siblings before parking. Tasks are *leaf* units
+//! of work (morsels) — they never submit and wait on other tasks, so the
+//! pool cannot deadlock, and the submitting thread always *helps* (runs
+//! queued tasks inline) while it waits, so progress is guaranteed even on a
+//! single-worker pool.
+//!
+//! Borrowed data: [`WorkerPool::scoped`] runs tasks that borrow from the
+//! caller's stack. The scope's drop guard blocks (helping) until every
+//! submitted task has completed, which is what makes the internal lifetime
+//! erasure sound — a task can never observe its borrows dangling.
+//!
+//! Pool workers install **no** ambient state: the task closure itself must
+//! install the query's governor/transaction scopes on entry and drop them
+//! on exit (see the scope-install contract in DESIGN.md).
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use xmldb_obs::{Counter, Gauge, Histogram, Registry};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Metric instruments resolved once per bound registry.
+struct Instruments {
+    registry_ptr: usize,
+    tasks_total: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    /// Per-worker busy time, plus one slot for helper (coordinator) runs.
+    busy_us: Vec<Arc<Histogram>>,
+}
+
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    sleep: Mutex<()>,
+    cv: Condvar,
+    next: AtomicUsize,
+    queued: AtomicUsize,
+    active: AtomicUsize,
+    tasks_total: AtomicU64,
+    shutdown: AtomicBool,
+    instruments: Mutex<Option<Arc<Instruments>>>,
+}
+
+impl Shared {
+    /// Takes one task: worker `id`'s own queue first, then steal from
+    /// siblings (front-of-queue steals keep global submission order roughly
+    /// intact, which feeds the ordered gather earlier results first).
+    fn take(&self, id: usize) -> Option<Task> {
+        let n = self.queues.len();
+        for i in 0..n {
+            let q = (id + i) % n;
+            if let Some(task) = self.queues[q].lock().expect("pool queue").pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                self.gauge_depth();
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn gauge_depth(&self) {
+        if let Some(ins) = self.instruments.lock().expect("pool instruments").as_ref() {
+            ins.queue_depth
+                .set(self.queued.load(Ordering::SeqCst) as i64);
+        }
+    }
+
+    /// Runs one task, recording busy time under the `slot` histogram
+    /// (worker index, or the last slot for helper runs).
+    fn run(&self, task: Task, slot: usize) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
+        // Tasks wrap their own catch_unwind and deliver the payload to the
+        // scope; this one is a safety net so a stray panic can never kill a
+        // pool worker.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        self.tasks_total.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        if let Some(ins) = self
+            .instruments
+            .lock()
+            .expect("pool instruments")
+            .as_ref()
+            .map(Arc::clone)
+        {
+            ins.tasks_total.inc();
+            ins.busy_us[slot.min(ins.busy_us.len() - 1)].record(elapsed_us);
+        }
+    }
+
+    fn worker_loop(self: &Arc<Shared>, id: usize) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.take(id) {
+                Some(task) => self.run(task, id),
+                None => {
+                    let guard = self.sleep.lock().expect("pool sleep");
+                    if self.queued.load(Ordering::SeqCst) == 0
+                        && !self.shutdown.load(Ordering::SeqCst)
+                    {
+                        // Timed wait: a bounded backstop against any missed
+                        // wakeup; normal wakeups come from spawn/shutdown.
+                        let _ = self
+                            .cv
+                            .wait_timeout(guard, Duration::from_millis(50))
+                            .expect("pool sleep");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A work-stealing pool of OS threads. See the crate docs for the model.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` threads (min 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            tasks_total: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            instruments: Mutex::new(None),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("saardb-pool-{id}"))
+                    .spawn(move || shared.worker_loop(id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// The process-wide pool, sized to the available cores (raised to
+    /// `SAARDB_PARALLELISM` when that is set higher, so an explicit
+    /// parallelism request gets real threads even on small machines).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let requested = std::env::var("SAARDB_PARALLELISM")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            WorkerPool::new(cores.max(requested))
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Tasks currently queued (not yet started).
+    pub fn queued(&self) -> usize {
+        self.shared.queued.load(Ordering::SeqCst)
+    }
+
+    /// Tasks currently executing on workers.
+    pub fn active(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Total tasks completed over the pool's lifetime.
+    pub fn tasks_completed(&self) -> u64 {
+        self.shared.tasks_total.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the pool is quiescent — nothing queued, nothing
+    /// running — or `timeout` elapses; returns whether quiescence was
+    /// observed. The `active` gauge lags task *results* by a few
+    /// instructions (a worker delivers its result, then decrements), so
+    /// observers asserting quiescence right after a drained scope must
+    /// wait out that window rather than read the gauges once.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.queued() != 0 || self.active() != 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    /// Binds the pool's metrics (`saardb_pool_*`) to `registry`. Idempotent
+    /// for the same registry; a different registry replaces the binding
+    /// (last env wins — the embedded/server process has one registry).
+    pub fn bind_registry(&self, registry: &Arc<Registry>) {
+        let ptr = Arc::as_ptr(registry) as usize;
+        let mut slot = self.shared.instruments.lock().expect("pool instruments");
+        if slot.as_ref().is_some_and(|i| i.registry_ptr == ptr) {
+            return;
+        }
+        registry.help("saardb_pool_tasks_total", "Pool tasks (morsels) executed");
+        registry.help("saardb_pool_queue_depth", "Tasks queued, not yet running");
+        registry.help(
+            "saardb_pool_worker_busy_us",
+            "Per-task busy time per worker (microseconds)",
+        );
+        let mut busy_us: Vec<Arc<Histogram>> = (0..self.workers)
+            .map(|id| {
+                registry.histogram("saardb_pool_worker_busy_us", &[("worker", &id.to_string())])
+            })
+            .collect();
+        busy_us.push(registry.histogram("saardb_pool_worker_busy_us", &[("worker", "help")]));
+        *slot = Some(Arc::new(Instruments {
+            registry_ptr: ptr,
+            tasks_total: registry.counter("saardb_pool_tasks_total", &[]),
+            queue_depth: registry.gauge("saardb_pool_queue_depth", &[]),
+            busy_us,
+        }));
+    }
+
+    fn spawn_raw(&self, task: Task) {
+        let q = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.workers;
+        self.shared.queues[q]
+            .lock()
+            .expect("pool queue")
+            .push_back(task);
+        self.shared.queued.fetch_add(1, Ordering::SeqCst);
+        self.shared.gauge_depth();
+        let _guard = self.shared.sleep.lock().expect("pool sleep");
+        self.shared.cv.notify_all();
+    }
+
+    /// Runs one queued task inline on the calling thread, if any is queued.
+    /// This is how submitters help while waiting (and how a scope drains
+    /// even if every worker is busy elsewhere).
+    pub fn try_run_one(&self) -> bool {
+        match self.shared.take(0) {
+            Some(task) => {
+                // Helper runs record under the extra "help" histogram slot.
+                self.shared.run(task, self.workers);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs `f` with a [`Scope`] that can submit borrowing tasks to the
+    /// pool and receive their results in submission order. All submitted
+    /// tasks are guaranteed complete when `scoped` returns — including on
+    /// early return or unwind.
+    pub fn scoped<'env, T, R, F>(&self, f: F) -> R
+    where
+        T: Send + 'env,
+        F: FnOnce(&mut Scope<'_, 'env, T>) -> R,
+    {
+        let mut scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                slots: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+                outstanding: AtomicUsize::new(0),
+            }),
+            submitted: 0,
+            consumed: 0,
+            _env: std::marker::PhantomData,
+        };
+        // Scope's Drop drains outstanding tasks even if `f` unwinds.
+        f(&mut scope)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep.lock().expect("pool sleep");
+            self.shared.cv.notify_all();
+        }
+        for handle in self.handles.lock().expect("pool handles").drain(..) {
+            let _ = handle.join();
+        }
+        // Any task still queued (none, if every scope drained correctly)
+        // runs inline so no scope can hang on a dead pool.
+        while self.try_run_one() {}
+    }
+}
+
+struct ScopeState<T> {
+    /// Completed task results by submission index. Panics travel as `Err`.
+    slots: Mutex<HashMap<usize, std::thread::Result<T>>>,
+    cv: Condvar,
+    outstanding: AtomicUsize,
+}
+
+/// A borrowing task scope over a [`WorkerPool`]; see [`WorkerPool::scoped`].
+///
+/// Results come back via [`Scope::recv_next`] strictly in submission order
+/// — the order-preserving gather. The caller controls the dispatch window
+/// by interleaving `submit` and `recv_next` (and can throttle on any
+/// external signal, e.g. a memory budget).
+pub struct Scope<'pool, 'env, T: Send> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState<T>>,
+    submitted: usize,
+    consumed: usize,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env, T: Send + 'env> Scope<'pool, 'env, T> {
+    /// Submits a task. It may run on any pool worker (or inline on this
+    /// thread via helping) and may borrow anything that outlives the
+    /// enclosing [`WorkerPool::scoped`] call.
+    pub fn submit(&mut self, task: impl FnOnce() -> T + Send + 'env) {
+        let idx = self.submitted;
+        self.submitted += 1;
+        let state = Arc::clone(&self.state);
+        state.outstanding.fetch_add(1, Ordering::SeqCst);
+        let job = move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            let mut slots = state.slots.lock().expect("scope slots");
+            slots.insert(idx, result);
+            state.outstanding.fetch_sub(1, Ordering::SeqCst);
+            state.cv.notify_all();
+        };
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: the task is erased to 'static to sit in the pool queue,
+        // but every borrow it captures outlives the scope: recv_next/Drop
+        // block (helping) until `outstanding` is zero before the scope —
+        // and with it lifetime 'env — can end.
+        let boxed: Task = unsafe { std::mem::transmute(boxed) };
+        self.pool.spawn_raw(boxed);
+    }
+
+    /// Number of tasks submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Number of results already received.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Results not yet received (dispatched or completed-and-buffered).
+    pub fn in_flight(&self) -> usize {
+        self.submitted - self.consumed
+    }
+
+    /// Blocks until the next result *in submission order* is available and
+    /// returns it; `None` when every submitted task has been received.
+    /// While waiting, runs other queued pool tasks inline (helping). If the
+    /// task panicked, the panic resumes on this thread.
+    pub fn recv_next(&mut self) -> Option<T> {
+        if self.consumed == self.submitted {
+            return None;
+        }
+        let want = self.consumed;
+        loop {
+            {
+                let mut slots = self.state.slots.lock().expect("scope slots");
+                if let Some(result) = slots.remove(&want) {
+                    drop(slots);
+                    self.consumed += 1;
+                    match result {
+                        Ok(value) => return Some(value),
+                        Err(payload) => resume_unwind(payload),
+                    }
+                }
+            }
+            if !self.pool.try_run_one() {
+                let slots = self.state.slots.lock().expect("scope slots");
+                if !slots.contains_key(&want) {
+                    let _ = self
+                        .state
+                        .cv
+                        .wait_timeout(slots, Duration::from_millis(5))
+                        .expect("scope wait");
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send> Drop for Scope<'_, '_, T> {
+    fn drop(&mut self) {
+        // Drain every outstanding task (helping) before borrows can end.
+        // Unreceived results — and any panic payloads in them — are
+        // discarded; an early exit already has its error in hand.
+        while self.state.outstanding.load(Ordering::SeqCst) > 0 {
+            if !self.pool.try_run_one() {
+                let slots = self.state.slots.lock().expect("scope slots");
+                if self.state.outstanding.load(Ordering::SeqCst) > 0 {
+                    let _ = self
+                        .state
+                        .cv
+                        .wait_timeout(slots, Duration::from_millis(5))
+                        .expect("scope wait");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn ordered_gather_preserves_submission_order() {
+        let pool = WorkerPool::new(4);
+        let input: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = pool.scoped(|scope| {
+            for &v in &input {
+                scope.submit(move || {
+                    // Uneven work so completion order scrambles.
+                    if v % 7 == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    v * 2
+                });
+            }
+            let mut got = Vec::new();
+            while let Some(v) = scope.recv_next() {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+        assert!(pool.quiesce(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn borrowed_data_is_safe() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let total: u64 = pool.scoped(|scope| {
+            for chunk in data.chunks(100) {
+                scope.submit(move || chunk.iter().sum::<u64>());
+            }
+            let mut sum = 0;
+            while let Some(s) = scope.recv_next() {
+                sum += s;
+            }
+            sum
+        });
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn scope_drop_drains_unconsumed_tasks() {
+        let pool = WorkerPool::new(2);
+        let ran = Arc::new(AtomicU32::new(0));
+        pool.scoped(|scope: &mut Scope<'_, '_, ()>| {
+            for _ in 0..50 {
+                let ran = Arc::clone(&ran);
+                scope.submit(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Early exit without receiving anything.
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 50, "drop guard ran all tasks");
+        assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn task_panic_resumes_on_receiver() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope: &mut Scope<'_, '_, u32>| {
+                scope.submit(|| 1);
+                scope.submit(|| panic!("boom in task"));
+                scope.submit(|| 3);
+                let mut got = Vec::new();
+                while let Some(v) = scope.recv_next() {
+                    got.push(v);
+                }
+                got
+            })
+        }));
+        assert!(result.is_err(), "panic must surface to the receiver");
+        // Pool workers survive the panic.
+        assert_eq!(
+            pool.scoped(|s| {
+                s.submit(|| 7u32);
+                s.recv_next()
+            }),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn helping_makes_progress_with_busy_workers() {
+        // A 1-worker pool whose worker is blocked: the scope must finish
+        // via coordinator helping alone.
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g2 = Arc::clone(&gate);
+        pool.scoped(|scope: &mut Scope<'_, '_, ()>| {
+            scope.submit(move || {
+                let (lock, cv) = &*g2;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+            // While the worker is (probably) parked on the gate, more tasks
+            // queue and the scope drains them by helping.
+            let done: Vec<u32> = {
+                let mut inner: Vec<u32> = Vec::new();
+                for i in 0..10u32 {
+                    scope.submit(move || {
+                        std::thread::sleep(Duration::from_micros(50));
+                    });
+                    inner.push(i);
+                }
+                inner
+            };
+            assert_eq!(done.len(), 10);
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn metrics_flow_into_bound_registry() {
+        let pool = WorkerPool::new(2);
+        let registry = Arc::new(Registry::new());
+        pool.bind_registry(&registry);
+        pool.bind_registry(&registry); // idempotent
+        pool.scoped(|scope: &mut Scope<'_, '_, u32>| {
+            for i in 0..8 {
+                scope.submit(move || i);
+            }
+            while scope.recv_next().is_some() {}
+        });
+        let tasks = registry
+            .counter_values()
+            .into_iter()
+            .find(|(name, _)| name.starts_with("saardb_pool_tasks_total"))
+            .map(|(_, v)| v)
+            .unwrap_or(0);
+        assert_eq!(tasks, 8);
+        assert_eq!(pool.tasks_completed(), 8);
+    }
+}

@@ -82,6 +82,19 @@ impl Operator for AnalyzedOperator {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
+
+    fn next_batch(&mut self, ctx: &ExecContext<'_>, max_rows: usize) -> Result<crate::RowBatch> {
+        // Forwarded (not shimmed): the inner operator's vectorized path
+        // stays active under EXPLAIN ANALYZE, and timings reflect it.
+        let started = Instant::now();
+        let result = self.inner.next_batch(ctx, max_rows);
+        let mut m = self.metrics.borrow_mut();
+        m.next_nanos += started.elapsed().as_nanos() as u64;
+        if let Ok(batch) = &result {
+            m.rows += batch.len() as u64;
+        }
+        result
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Execution context and the volcano operator trait.
 
+use crate::batch::{RowBatch, BATCH_ROWS};
 use crate::row::Row;
 use crate::Result;
-use std::collections::HashMap;
 use xmldb_storage::Governor;
 use xmldb_xasr::{NodeTuple, XasrStore};
 use xmldb_xq::Var;
@@ -10,9 +10,15 @@ use xmldb_xq::Var;
 /// The current variable environment: every enclosing relfor binding maps to
 /// the *full tuple* of its node (the vartuple-out extension — `in`, `out`,
 /// type and value all travel with the binding).
+///
+/// Stored as a flat `Vec` of pairs rather than a `HashMap`: typical queries
+/// bind ≤ 4 variables, so a linear scan beats hashing on every predicate
+/// lookup and — the part that showed up in EXPLAIN ANALYZE — cloning an
+/// environment per relfor is a single small memcpy-style `Vec` clone
+/// instead of a hash-table rebuild.
 #[derive(Debug, Clone, Default)]
 pub struct Bindings {
-    map: HashMap<Var, NodeTuple>,
+    entries: Vec<(Var, NodeTuple)>,
 }
 
 impl Bindings {
@@ -30,22 +36,30 @@ impl Bindings {
 
     /// Binds (or rebinds) a variable.
     pub fn bind(&mut self, var: Var, tuple: NodeTuple) {
-        self.map.insert(var, tuple);
+        for (v, t) in &mut self.entries {
+            if *v == var {
+                *t = tuple;
+                return;
+            }
+        }
+        self.entries.push((var, tuple));
     }
 
     /// Looks up a binding.
     pub fn get(&self, var: &Var) -> Option<&NodeTuple> {
-        self.map.get(var)
+        self.entries
+            .iter()
+            .find_map(|(v, t)| if v == var { Some(t) } else { None })
     }
 
     /// Number of bound variables.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.entries.len()
     }
 
     /// True when nothing is bound.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries.is_empty()
     }
 }
 
@@ -104,15 +118,43 @@ pub trait Operator {
 
     /// Operator name for EXPLAIN output.
     fn name(&self) -> &'static str;
+
+    /// Produces up to `max_rows` rows at once. An **empty** batch means the
+    /// operator is exhausted; a non-empty batch may be shorter than
+    /// `max_rows` (callers must not treat "short" as "done"). The default
+    /// implementation is a compatibility shim looping [`Operator::next`],
+    /// so untouched operators keep working under batch drivers; hot
+    /// operators override it with vectorized implementations.
+    fn next_batch(&mut self, ctx: &ExecContext<'_>, max_rows: usize) -> Result<RowBatch> {
+        let mut batch = RowBatch::default();
+        let mut first = true;
+        while batch.len() < max_rows {
+            match self.next(ctx)? {
+                Some(row) => {
+                    if first {
+                        batch = RowBatch::with_capacity(row.len(), max_rows.min(BATCH_ROWS));
+                        first = false;
+                    }
+                    batch.push_row_vec(row);
+                }
+                None => break,
+            }
+        }
+        Ok(batch)
+    }
 }
 
-/// Runs a plan to completion, returning all rows (tests and the exists
-/// check use this; result emission streams instead).
+/// Runs a plan to completion batch-wise, returning all rows (tests and the
+/// exists check use this; result emission streams instead).
 pub fn execute_all(plan: &mut dyn Operator, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
     plan.open(ctx)?;
     let mut rows = Vec::new();
-    while let Some(row) = plan.next(ctx)? {
-        rows.push(row);
+    loop {
+        let mut batch = plan.next_batch(ctx, BATCH_ROWS)?;
+        if batch.is_empty() {
+            break;
+        }
+        rows.append(&mut batch.take_rows());
     }
     plan.close();
     Ok(rows)

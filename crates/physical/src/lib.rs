@@ -29,12 +29,14 @@
 //! variables need no extra join.
 
 pub mod analyze;
+pub mod batch;
 pub mod exec;
 pub mod ops;
 pub mod pred;
 pub mod row;
 
 pub use analyze::{AnalyzedOperator, OpMetrics, SharedOpMetrics};
+pub use batch::{RowBatch, BATCH_ROWS};
 pub use exec::{execute_all, Bindings, ExecContext, Operator};
 pub use ops::Probe;
 pub use pred::{PhysOperand, PhysPred};

@@ -40,6 +40,21 @@ impl Operator for FilterOp {
     fn name(&self) -> &'static str {
         "filter"
     }
+
+    fn next_batch(&mut self, ctx: &ExecContext<'_>, max_rows: usize) -> Result<crate::RowBatch> {
+        // Vectorized: filter whole input batches in place; loop until some
+        // rows survive (an empty result batch must mean "exhausted").
+        loop {
+            let mut batch = self.input.next_batch(ctx, max_rows)?;
+            if batch.is_empty() {
+                return Ok(batch);
+            }
+            batch.retain_rows(|row| eval_all(&self.preds, row, ctx.bindings))?;
+            if !batch.is_empty() {
+                return Ok(batch);
+            }
+        }
+    }
 }
 
 /// π — projection onto a subset of row columns, optionally removing
@@ -94,6 +109,29 @@ impl Operator for ProjectOp {
 
     fn name(&self) -> &'static str {
         "project"
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext<'_>, max_rows: usize) -> Result<crate::RowBatch> {
+        loop {
+            let input = self.input.next_batch(ctx, max_rows)?;
+            if input.is_empty() {
+                return Ok(crate::RowBatch::new(self.cols.len()));
+            }
+            let mut out = crate::RowBatch::with_capacity(self.cols.len(), input.len());
+            for row in input.iter() {
+                if self.dedup {
+                    let key: Vec<u64> = self.cols.iter().map(|&c| row[c].in_).collect();
+                    if self.last.as_ref() == Some(&key) {
+                        continue;
+                    }
+                    self.last = Some(key);
+                }
+                out.push_row_iter(self.cols.iter().map(|&c| row[c].clone()));
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+        }
     }
 }
 

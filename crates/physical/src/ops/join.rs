@@ -5,7 +5,7 @@ use super::scan::{Probe, ProbeCursor};
 use crate::exec::{ExecContext, Operator};
 use crate::pred::{eval_all, PhysPred};
 use crate::row::Row;
-use crate::Result;
+use crate::{Error, Result};
 use xmldb_storage::MemReservation;
 
 /// Tuple-at-a-time nested-loops join (order-preserving). The right input is
@@ -76,6 +76,184 @@ impl Operator for NestedLoopJoinOp {
     }
 }
 
+/// Batched merge probing for the vectorized drive of label probes: instead
+/// of one B+-tree descent per outer row, fetch the probe label's index run
+/// once over the whole buffered outer batch's document window, then answer
+/// each row with a binary search into the fetched run. The per-row
+/// semantics are exact: matches are the label tuples with
+/// `row.in < t.in < row.out` (descendant probes), restricted to
+/// `t.parent_in == row.in` for children probes — the same sets the
+/// per-row cursors produce (the label index holds only elements), in the
+/// same document order. Only column sources qualify; an `Ext` source is
+/// constant per execution, where the per-row cursor is already a single
+/// range scan.
+struct MergeProbe {
+    label: String,
+    pos: usize,
+    /// Direct children only (`t.parent_in == row.in`), else descendants.
+    children_only: bool,
+    /// Label tuples fetched for the current outer batch's window, in
+    /// document order.
+    buf: Vec<xmldb_xasr::NodeTuple>,
+    /// `buf` corresponds to the operator's current left batch.
+    valid: bool,
+    /// Resume index into `buf` for the current outer row; `None` means the
+    /// row has not been started (the operator resets it per row).
+    cur: Option<usize>,
+    /// Accounts `buf` against the governor's memory budget.
+    reservation: MemReservation,
+    /// Reused residual-predicate evaluation row.
+    scratch: Row,
+}
+
+/// Estimated heap footprint of a fetched index tuple.
+fn tuple_bytes(t: &xmldb_xasr::NodeTuple) -> usize {
+    std::mem::size_of::<xmldb_xasr::NodeTuple>() + t.value.as_ref().map_or(0, |v| v.len())
+}
+
+impl MergeProbe {
+    fn for_probe(probe: &Probe) -> Option<MergeProbe> {
+        let (label, pos, children_only) = match probe {
+            Probe::LabelChildrenOf(l, super::scan::Src::Col(pos)) => (l, *pos, true),
+            Probe::LabelDescendantsOf(l, super::scan::Src::Col(pos)) => (l, *pos, false),
+            _ => return None,
+        };
+        Some(MergeProbe {
+            label: label.clone(),
+            pos,
+            children_only,
+            buf: Vec::new(),
+            valid: false,
+            cur: None,
+            reservation: MemReservation::default(),
+            scratch: Row::new(),
+        })
+    }
+
+    fn reset(&mut self, ctx: &ExecContext<'_>) {
+        self.buf.clear();
+        self.valid = false;
+        self.cur = None;
+        self.reservation = MemReservation::empty(&ctx.governor);
+        self.scratch.clear();
+    }
+
+    /// Fetches the label run covering every remaining row of `batch`
+    /// (rows `from..`), in chunks so cancellation stays responsive.
+    fn fill_window(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        batch: &crate::RowBatch,
+        from: usize,
+    ) -> Result<()> {
+        const CHUNK: usize = 4096;
+        self.buf.clear();
+        self.reservation.release_all();
+        self.valid = true;
+        self.cur = None;
+        let mut win_lo = u64::MAX;
+        let mut win_hi = 0u64;
+        for i in from..batch.len() {
+            let t = batch.row(i).get(self.pos).ok_or_else(|| {
+                Error::Xasr(format!("probe source column {} out of range", self.pos))
+            })?;
+            // NULL outer tuples (left-outer padding) have the empty window
+            // (0, 0) and never match; keep them out of the fetch window.
+            if t.is_null() {
+                continue;
+            }
+            win_lo = win_lo.min(t.in_);
+            win_hi = win_hi.max(t.out);
+        }
+        if win_lo >= win_hi {
+            return Ok(());
+        }
+        let mut resume = None;
+        loop {
+            ctx.governor.check()?;
+            let lower = Some(resume.unwrap_or(win_lo));
+            let appended = ctx.store.label_range_into(
+                &self.label,
+                lower,
+                Some(win_hi),
+                CHUNK,
+                &mut self.buf,
+            )?;
+            if appended == 0 {
+                break;
+            }
+            let grown: usize = self.buf[self.buf.len() - appended..]
+                .iter()
+                .map(tuple_bytes)
+                .sum();
+            if !self.reservation.grow(grown) {
+                return Err(xmldb_storage::StorageError::MemoryExceeded {
+                    used: ctx.governor.mem_used() + grown,
+                    budget: ctx.governor.mem_budget().unwrap_or(0),
+                }
+                .into());
+            }
+            if appended < CHUNK {
+                break;
+            }
+            resume = Some(self.buf.last().expect("appended > 0").in_);
+        }
+        Ok(())
+    }
+
+    /// Emits the current row's remaining matches into `out` until
+    /// `max_rows`. Returns `(row_done, matched_now)`; when `row_done` is
+    /// false the batch filled up and the row resumes on the next call.
+    /// The caller resets `self.cur` to `None` when it advances to the
+    /// next row.
+    fn emit_row(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        row: &[NodeTuple],
+        preds: &[PhysPred],
+        out: &mut crate::RowBatch,
+        max_rows: usize,
+    ) -> Result<(bool, bool)> {
+        let t = row
+            .get(self.pos)
+            .ok_or_else(|| Error::Xasr(format!("probe source column {} out of range", self.pos)))?;
+        let (lo, hi) = (t.in_, t.out);
+        let mut cur = match self.cur {
+            Some(i) => i,
+            None => self.buf.partition_point(|b| b.in_ <= lo),
+        };
+        let mut matched = false;
+        loop {
+            if cur >= self.buf.len() || self.buf[cur].in_ >= hi {
+                self.cur = Some(cur);
+                return Ok((true, matched));
+            }
+            if out.len() >= max_rows {
+                self.cur = Some(cur);
+                return Ok((false, matched));
+            }
+            let t = self.buf[cur].clone();
+            cur += 1;
+            if self.children_only && t.parent_in != lo {
+                continue;
+            }
+            if preds.is_empty() {
+                out.push_joined(row, t);
+                matched = true;
+            } else {
+                self.scratch.clear();
+                self.scratch.extend_from_slice(row);
+                self.scratch.push(t);
+                if eval_all(preds, &self.scratch, ctx.bindings)? {
+                    let t = self.scratch.pop().expect("pushed above");
+                    out.push_joined(row, t);
+                    matched = true;
+                }
+            }
+        }
+    }
+}
+
 /// Index nested-loops join (milestone 4): for each left row, probe an XASR
 /// index. Order-preserving — probes deliver in document order per left row.
 pub struct IndexNestedLoopJoinOp {
@@ -85,6 +263,12 @@ pub struct IndexNestedLoopJoinOp {
     preds: Vec<PhysPred>,
     current_left: Option<Row>,
     cursor: Option<ProbeCursor>,
+    /// Left rows buffered by the batch path (`next` drains it too, so the
+    /// two drive styles can never skip rows if mixed).
+    left_batch: crate::RowBatch,
+    left_pos: usize,
+    /// Batched merge probing for label probes (vectorized drive only).
+    merge: Option<MergeProbe>,
 }
 
 impl IndexNestedLoopJoinOp {
@@ -95,12 +279,79 @@ impl IndexNestedLoopJoinOp {
         preds: Vec<PhysPred>,
     ) -> IndexNestedLoopJoinOp {
         IndexNestedLoopJoinOp {
+            merge: MergeProbe::for_probe(&probe),
             left,
             probe,
             preds,
             current_left: None,
             cursor: None,
+            left_batch: crate::RowBatch::default(),
+            left_pos: 0,
         }
+    }
+
+    /// The vectorized drive for merge-eligible probes: one label-index
+    /// fetch per buffered left batch, binary-searched per row.
+    fn merge_next_batch(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        max_rows: usize,
+    ) -> Result<crate::RowBatch> {
+        let mut out = crate::RowBatch::default();
+        loop {
+            if out.len() >= max_rows {
+                return Ok(out);
+            }
+            if self.left_pos >= self.left_batch.len() {
+                self.left_batch = self.left.next_batch(ctx, crate::BATCH_ROWS)?;
+                self.left_pos = 0;
+                let merge = self.merge.as_mut().expect("merge drive");
+                merge.valid = false;
+                merge.cur = None;
+                if self.left_batch.is_empty() {
+                    break;
+                }
+                ctx.governor.check()?;
+            }
+            if !self.merge.as_ref().expect("merge drive").valid {
+                let (merge, batch) = (self.merge.as_mut().expect("merge drive"), &self.left_batch);
+                merge.fill_window(ctx, batch, self.left_pos)?;
+            }
+            if out.width() != self.left_batch.width() + 1 {
+                debug_assert!(out.is_empty(), "left width is constant per execution");
+                out = crate::RowBatch::with_capacity(self.left_batch.width() + 1, max_rows);
+            }
+            let row = self.left_batch.row(self.left_pos);
+            let merge = self.merge.as_mut().expect("merge drive");
+            let (row_done, _) = merge.emit_row(ctx, row, &self.preds, &mut out, max_rows)?;
+            if !row_done {
+                return Ok(out);
+            }
+            merge.cur = None;
+            self.left_pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Next left row: from the buffered batch if any, else from the left
+    /// child — batch-at-a-time when `batched` (vectorized driver), else
+    /// row-at-a-time (keeps `next`-driven plans lazy under LIMIT).
+    fn next_left(&mut self, ctx: &ExecContext<'_>, batched: bool) -> Result<Option<Row>> {
+        if self.left_pos < self.left_batch.len() {
+            let row = self.left_batch.row(self.left_pos).to_vec();
+            self.left_pos += 1;
+            return Ok(Some(row));
+        }
+        if !batched {
+            return self.left.next(ctx);
+        }
+        self.left_batch = self.left.next_batch(ctx, crate::BATCH_ROWS)?;
+        self.left_pos = 0;
+        if self.left_batch.is_empty() {
+            return Ok(None);
+        }
+        self.left_pos = 1;
+        Ok(Some(self.left_batch.row(0).to_vec()))
     }
 }
 
@@ -108,6 +359,11 @@ impl Operator for IndexNestedLoopJoinOp {
     fn open(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
         self.current_left = None;
         self.cursor = None;
+        self.left_batch = crate::RowBatch::default();
+        self.left_pos = 0;
+        if let Some(merge) = self.merge.as_mut() {
+            merge.reset(ctx);
+        }
         self.left.open(ctx)
     }
 
@@ -115,7 +371,7 @@ impl Operator for IndexNestedLoopJoinOp {
         loop {
             ctx.governor.check()?;
             if self.current_left.is_none() {
-                match self.left.next(ctx)? {
+                match self.next_left(ctx, false)? {
                     Some(row) => {
                         self.cursor = Some(ProbeCursor::start(&self.probe, Some(&row), ctx)?);
                         self.current_left = Some(row);
@@ -141,10 +397,77 @@ impl Operator for IndexNestedLoopJoinOp {
         self.left.close();
         self.current_left = None;
         self.cursor = None;
+        self.left_batch = crate::RowBatch::default();
+        self.left_pos = 0;
+        if let Some(merge) = self.merge.as_mut() {
+            merge.buf = Vec::new();
+            merge.valid = false;
+            merge.cur = None;
+            merge.reservation.release_all();
+        }
     }
 
     fn name(&self) -> &'static str {
         "inl-join"
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext<'_>, max_rows: usize) -> Result<crate::RowBatch> {
+        // Vectorized: bulk-fill probe results per left row and evaluate the
+        // residual conjuncts against a reused scratch row, emitting into a
+        // flat output batch — no per-row Vec allocation or virtual call.
+        ctx.governor.check()?;
+        if self.merge.is_some() {
+            return self.merge_next_batch(ctx, max_rows);
+        }
+        let mut out = crate::RowBatch::default();
+        let mut fetched: Vec<NodeTuple> = Vec::new();
+        let mut scratch: Row = Vec::new();
+        loop {
+            if self.current_left.is_none() {
+                match self.next_left(ctx, true)? {
+                    Some(row) => {
+                        self.cursor = Some(ProbeCursor::start(&self.probe, Some(&row), ctx)?);
+                        self.current_left = Some(row);
+                    }
+                    None => break,
+                }
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            if out.width() != left.len() + 1 {
+                debug_assert!(out.is_empty(), "left width is constant per execution");
+                out = crate::RowBatch::with_capacity(left.len() + 1, max_rows);
+            }
+            let cursor = self.cursor.as_mut().expect("set with left");
+            while out.len() < max_rows {
+                fetched.clear();
+                if cursor.fill(ctx, &mut fetched, max_rows - out.len())? == 0 {
+                    break;
+                }
+                if self.preds.is_empty() {
+                    for t in fetched.drain(..) {
+                        out.push_joined(left, t);
+                    }
+                    continue;
+                }
+                scratch.clear();
+                scratch.extend_from_slice(left);
+                scratch.push(NodeTuple::null());
+                let last = scratch.len() - 1;
+                for t in fetched.drain(..) {
+                    scratch[last] = t;
+                    if eval_all(&self.preds, &scratch, ctx.bindings)? {
+                        let t = std::mem::replace(&mut scratch[last], NodeTuple::null());
+                        out.push_joined(left, t);
+                    }
+                }
+            }
+            if out.len() >= max_rows {
+                return Ok(out);
+            }
+            self.current_left = None;
+            self.cursor = None;
+        }
+        Ok(out)
     }
 }
 
@@ -313,6 +636,11 @@ pub struct LeftOuterIndexNestedLoopJoinOp {
     current_left: Option<Row>,
     cursor: Option<ProbeCursor>,
     matched: bool,
+    /// Left rows buffered by the vectorized merge drive.
+    left_batch: crate::RowBatch,
+    left_pos: usize,
+    /// Batched merge probing for label probes (vectorized drive only).
+    merge: Option<MergeProbe>,
 }
 
 use xmldb_xasr::NodeTuple;
@@ -325,13 +653,73 @@ impl LeftOuterIndexNestedLoopJoinOp {
         preds: Vec<PhysPred>,
     ) -> LeftOuterIndexNestedLoopJoinOp {
         LeftOuterIndexNestedLoopJoinOp {
+            merge: MergeProbe::for_probe(&probe),
             left,
             probe,
             preds,
             current_left: None,
             cursor: None,
             matched: false,
+            left_batch: crate::RowBatch::default(),
+            left_pos: 0,
         }
+    }
+
+    /// The vectorized drive for merge-eligible probes: like the inner
+    /// join's, plus NULL padding for match-less left rows. `self.matched`
+    /// accumulates across resumed calls for the row in progress.
+    fn merge_next_batch(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        max_rows: usize,
+    ) -> Result<crate::RowBatch> {
+        let mut out = crate::RowBatch::default();
+        loop {
+            if out.len() >= max_rows {
+                return Ok(out);
+            }
+            if self.left_pos >= self.left_batch.len() {
+                self.left_batch = self.left.next_batch(ctx, crate::BATCH_ROWS)?;
+                self.left_pos = 0;
+                let merge = self.merge.as_mut().expect("merge drive");
+                merge.valid = false;
+                merge.cur = None;
+                if self.left_batch.is_empty() {
+                    break;
+                }
+                ctx.governor.check()?;
+            }
+            if !self.merge.as_ref().expect("merge drive").valid {
+                let (merge, batch) = (self.merge.as_mut().expect("merge drive"), &self.left_batch);
+                merge.fill_window(ctx, batch, self.left_pos)?;
+            }
+            if out.width() != self.left_batch.width() + 1 {
+                debug_assert!(out.is_empty(), "left width is constant per execution");
+                out = crate::RowBatch::with_capacity(self.left_batch.width() + 1, max_rows);
+            }
+            let row = self.left_batch.row(self.left_pos);
+            let merge = self.merge.as_mut().expect("merge drive");
+            if merge.cur.is_none() {
+                self.matched = false;
+            }
+            let (row_done, matched_now) =
+                merge.emit_row(ctx, row, &self.preds, &mut out, max_rows)?;
+            self.matched |= matched_now;
+            if !row_done {
+                return Ok(out);
+            }
+            if !self.matched {
+                if out.len() >= max_rows {
+                    // No room for the padded row; `merge.cur` stays at the
+                    // row's end so the next call pads before advancing.
+                    return Ok(out);
+                }
+                out.push_joined(row, NodeTuple::null());
+            }
+            merge.cur = None;
+            self.left_pos += 1;
+        }
+        Ok(out)
     }
 }
 
@@ -340,6 +728,11 @@ impl Operator for LeftOuterIndexNestedLoopJoinOp {
         self.current_left = None;
         self.cursor = None;
         self.matched = false;
+        self.left_batch = crate::RowBatch::default();
+        self.left_pos = 0;
+        if let Some(merge) = self.merge.as_mut() {
+            merge.reset(ctx);
+        }
         self.left.open(ctx)
     }
 
@@ -381,10 +774,80 @@ impl Operator for LeftOuterIndexNestedLoopJoinOp {
         self.left.close();
         self.current_left = None;
         self.cursor = None;
+        self.left_batch = crate::RowBatch::default();
+        self.left_pos = 0;
+        if let Some(merge) = self.merge.as_mut() {
+            merge.buf = Vec::new();
+            merge.valid = false;
+            merge.cur = None;
+            merge.reservation.release_all();
+        }
     }
 
     fn name(&self) -> &'static str {
         "left-outer-inl-join"
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext<'_>, max_rows: usize) -> Result<crate::RowBatch> {
+        ctx.governor.check()?;
+        if self.merge.is_some() {
+            return self.merge_next_batch(ctx, max_rows);
+        }
+        let mut out = crate::RowBatch::default();
+        let mut fetched: Vec<NodeTuple> = Vec::new();
+        let mut scratch: Row = Vec::new();
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next(ctx)? {
+                    Some(row) => {
+                        self.cursor = Some(ProbeCursor::start(&self.probe, Some(&row), ctx)?);
+                        self.current_left = Some(row);
+                        self.matched = false;
+                    }
+                    None => break,
+                }
+            }
+            let left = self.current_left.as_ref().expect("set above");
+            if out.width() != left.len() + 1 {
+                debug_assert!(out.is_empty(), "left width is constant per execution");
+                out = crate::RowBatch::with_capacity(left.len() + 1, max_rows);
+            }
+            let cursor = self.cursor.as_mut().expect("set with left");
+            let mut probe_done = false;
+            while out.len() < max_rows {
+                fetched.clear();
+                if cursor.fill(ctx, &mut fetched, max_rows - out.len())? == 0 {
+                    probe_done = true;
+                    break;
+                }
+                scratch.clear();
+                scratch.extend_from_slice(left);
+                scratch.push(NodeTuple::null());
+                let last = scratch.len() - 1;
+                for t in fetched.drain(..) {
+                    scratch[last] = t;
+                    if eval_all(&self.preds, &scratch, ctx.bindings)? {
+                        self.matched = true;
+                        let t = std::mem::replace(&mut scratch[last], NodeTuple::null());
+                        out.push_joined(left, t);
+                    }
+                }
+            }
+            if !probe_done {
+                // Batch full with the probe still live; resume next call.
+                return Ok(out);
+            }
+            let emit_null = !self.matched;
+            let padded = self.current_left.take().expect("set above");
+            self.cursor = None;
+            if emit_null {
+                out.push_joined(&padded, NodeTuple::null());
+                if out.len() >= max_rows {
+                    return Ok(out);
+                }
+            }
+        }
+        Ok(out)
     }
 }
 

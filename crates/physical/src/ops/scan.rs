@@ -63,6 +63,13 @@ pub enum Probe {
     /// index-join side of an XQ value join). Errors with the paper's
     /// non-text runtime error when the context node is not a text node.
     TextEqOf(Src),
+    /// Clustered-index scan over `lo_excl < in < hi_excl` — a
+    /// morsel-bounded [`Probe::Full`], used by the parallel driver to hand
+    /// each worker a contiguous document-order slice.
+    ClusteredRange(u64, u64),
+    /// Label-index scan over `lo_excl < in < hi_excl` — a morsel-bounded
+    /// [`Probe::ByLabel`].
+    LabelRange(String, u64, u64),
 }
 
 impl Probe {
@@ -78,6 +85,8 @@ impl Probe {
             Probe::Bound(s) => format!("bound({s:?})"),
             Probe::ByTextEq(t) => format!("text-eq({t:?})"),
             Probe::TextEqOf(s) => format!("text-eq({s:?})"),
+            Probe::ClusteredRange(lo, hi) => format!("clustered-range({lo},{hi})"),
+            Probe::LabelRange(l, lo, hi) => format!("label-range({l},{lo},{hi})"),
         }
     }
 }
@@ -133,6 +142,12 @@ impl ProbeCursor {
                     hi: t.out,
                 }
             }
+            Probe::ClusteredRange(lo, hi) => Resolved::Descendants { lo: *lo, hi: *hi },
+            Probe::LabelRange(l, lo, hi) => Resolved::LabelDescendants {
+                label: l.clone(),
+                lo: *lo,
+                hi: *hi,
+            },
             Probe::Bound(s) => Resolved::Bound(Some(s.resolve(left, ctx)?)),
             Probe::ByTextEq(t) => Resolved::TextEq { text: t.clone() },
             Probe::TextEqOf(s) => {
@@ -218,6 +233,72 @@ impl ProbeCursor {
             self.batch.extend(fetched);
         }
     }
+
+    /// Vectorized fetch: appends up to `max` tuples to `out`. Probes with a
+    /// contiguous index range (full/label scans and interval scans) fill
+    /// straight from the B+-tree leaf pages via the zero-copy visitor — no
+    /// per-tuple VecDeque hop, key/value allocation, or tree re-descent.
+    /// The remaining probes fall back to the row-at-a-time path.
+    pub(crate) fn fill(
+        &mut self,
+        ctx: &ExecContext<'_>,
+        out: &mut Vec<NodeTuple>,
+        max: usize,
+    ) -> Result<usize> {
+        let before = out.len();
+        // Drain tuples already buffered by the row-at-a-time path first.
+        while out.len() - before < max {
+            match self.batch.pop_front() {
+                Some(t) => {
+                    self.resume = Some(t.in_);
+                    out.push(t);
+                }
+                None => break,
+            }
+        }
+        while out.len() - before < max && !self.done {
+            let want = max - (out.len() - before);
+            let appended = match &mut self.resolved {
+                Resolved::Full => ctx
+                    .store
+                    .clustered_range_into(self.resume, None, want, out)?,
+                Resolved::ByLabel(label) => {
+                    ctx.store
+                        .label_range_into(label, self.resume, None, want, out)?
+                }
+                Resolved::Descendants { lo, hi } => {
+                    let lower = Some(self.resume.map_or(*lo, |r| r.max(*lo)));
+                    ctx.store
+                        .clustered_range_into(lower, Some(*hi), want, out)?
+                }
+                Resolved::LabelDescendants { label, lo, hi } => {
+                    let lower = Some(self.resume.map_or(*lo, |r| r.max(*lo)));
+                    ctx.store
+                        .label_range_into(label, lower, Some(*hi), want, out)?
+                }
+                _ => {
+                    // Children/text/bound probes: no contiguous bulk range.
+                    while out.len() - before < max {
+                        match self.next(ctx)? {
+                            Some(t) => out.push(t),
+                            None => break,
+                        }
+                    }
+                    return Ok(out.len() - before);
+                }
+            };
+            if appended == 0 {
+                self.done = true;
+                break;
+            }
+            // A short fill means the index range is exhausted.
+            if appended < want {
+                self.done = true;
+            }
+            self.resume = Some(out.last().expect("appended > 0").in_);
+        }
+        Ok(out.len() - before)
+    }
 }
 
 /// Leaf scan: a probe plus pushed-down selection conjuncts, producing
@@ -266,6 +347,39 @@ impl Operator for ScanOp {
 
     fn name(&self) -> &'static str {
         "scan"
+    }
+
+    fn next_batch(&mut self, ctx: &ExecContext<'_>, max_rows: usize) -> Result<crate::RowBatch> {
+        let cursor = self
+            .cursor
+            .as_mut()
+            .ok_or_else(|| Error::Xasr("scan not open".into()))?;
+        // One governor check per batch instead of per row.
+        ctx.governor.check()?;
+        let mut tuples: Vec<NodeTuple> = Vec::new();
+        while tuples.len() < max_rows {
+            let start = tuples.len();
+            if cursor.fill(ctx, &mut tuples, max_rows - start)? == 0 {
+                break;
+            }
+            if !self.filter.is_empty() {
+                // Filter the newly appended range in place, before the rows
+                // are ever materialized as batch rows.
+                let mut write = start;
+                for read in start..tuples.len() {
+                    if eval_all(
+                        &self.filter,
+                        std::slice::from_ref(&tuples[read]),
+                        ctx.bindings,
+                    )? {
+                        tuples.swap(write, read);
+                        write += 1;
+                    }
+                }
+                tuples.truncate(write);
+            }
+        }
+        Ok(crate::RowBatch::from_tuples(tuples))
     }
 }
 

@@ -3,7 +3,6 @@
 //! per row here.
 
 use crate::exec::Bindings;
-use crate::row::Row;
 use crate::{Error, Result};
 use xmldb_algebra::{Attr, CmpOp};
 use xmldb_xasr::{NodeTuple, NodeType};
@@ -47,8 +46,9 @@ enum Value<'a> {
 }
 
 impl PhysPred {
-    /// Evaluates the predicate over `row` and `bindings`.
-    pub fn eval(&self, row: &Row, bindings: &Bindings) -> Result<bool> {
+    /// Evaluates the predicate over `row` and `bindings`. Takes a tuple
+    /// slice so batch rows evaluate without materializing a `Vec`.
+    pub fn eval(&self, row: &[NodeTuple], bindings: &Bindings) -> Result<bool> {
         let lhs = resolve(&self.lhs, row, bindings, self.strict_text)?;
         let rhs = resolve(&self.rhs, row, bindings, self.strict_text)?;
         let ord = match (&lhs, &rhs) {
@@ -80,7 +80,7 @@ impl PhysPred {
 
 fn resolve<'a>(
     operand: &'a PhysOperand,
-    row: &'a Row,
+    row: &'a [NodeTuple],
     bindings: &'a Bindings,
     strict_text: bool,
 ) -> Result<Value<'a>> {
@@ -122,7 +122,7 @@ fn field(tuple: &NodeTuple, attr: Attr, strict_text: bool) -> Result<Value<'_>> 
 }
 
 /// Evaluates a conjunction.
-pub fn eval_all(preds: &[PhysPred], row: &Row, bindings: &Bindings) -> Result<bool> {
+pub fn eval_all(preds: &[PhysPred], row: &[NodeTuple], bindings: &Bindings) -> Result<bool> {
     for p in preds {
         if !p.eval(row, bindings)? {
             return Ok(false);
@@ -134,6 +134,7 @@ pub fn eval_all(preds: &[PhysPred], row: &Row, bindings: &Bindings) -> Result<bo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row::Row;
 
     fn elem(in_: u64, out: u64, parent: u64, label: &str) -> NodeTuple {
         NodeTuple {

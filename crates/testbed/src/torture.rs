@@ -885,8 +885,14 @@ mod tests {
         assert!(torn.all_recovered(), "{torn}");
     }
 
+    /// Serializes the tests that observe the global worker pool's task
+    /// counters: concurrent sweeps would see each other's in-flight
+    /// morsels and fail the quiescence assertions spuriously.
+    static POOL_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bounded_cancellation_sweep_leaves_db_clean() {
+        let _serial = POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner());
         let cfg = CancelTortureConfig {
             first_trip: 1,
             trip_stride: 29,
@@ -895,8 +901,8 @@ mod tests {
             ..CancelTortureConfig::default()
         };
         let report = cancel_torture(&cfg).unwrap();
-        // 6 engines × 3 trip-points + the reopen check.
-        assert_eq!(report.outcomes.len(), 6 * 3 + 1);
+        // Every engine × 3 trip-points + the reopen check.
+        assert_eq!(report.outcomes.len(), EngineKind::ALL.len() * 3 + 1);
         assert!(report.all_clean(), "{report}");
         assert!(
             report.any_cancelled(),
@@ -904,10 +910,57 @@ mod tests {
         );
     }
 
+    /// The morsel-driven engine fans query fragments out to the shared
+    /// worker pool; a mid-query governor trip must drain every in-flight
+    /// pool task (no orphaned morsels keep running against a store the
+    /// coordinator has abandoned) and leave zero pinned frames and zero
+    /// spill files, across a schedule of trip-points.
+    #[test]
+    fn parallel_engine_cancellation_leaves_pool_and_db_quiescent() {
+        let _serial = POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = scratch_dir();
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open_dir(&dir, xmldb_storage::EnvConfig::default()).unwrap();
+        db.load_document("t", &cancel_doc()).unwrap();
+        let pool = xmldb_exec_pool::WorkerPool::global();
+        let mut cancelled = 0u32;
+        for k in 0..8 {
+            let gov = Governor::unlimited();
+            gov.trip_cancel_after_checks(1 + k * 17);
+            let options = QueryOptions {
+                governor: Some(gov),
+                parallelism: Some(4),
+                ..QueryOptions::default()
+            };
+            let result = db.query_with("t", CANCEL_QUERY, EngineKind::Parallel, &options);
+            match result {
+                Ok(_) => {}
+                Err(e) if e.is_cancelled() => cancelled += 1,
+                Err(e) => panic!("trip {k}: unexpected error: {e}"),
+            }
+            // The scoped dispatcher must not return before every morsel it
+            // submitted has finished: zero queued, zero running pool tasks
+            // (quiesce only waits out the gauges' few-instruction lag
+            // behind result delivery, never for abandoned work).
+            assert!(
+                pool.quiesce(std::time::Duration::from_secs(5)),
+                "trip {k}: tasks left queued or running"
+            );
+            assert_eq!(assert_quiescent(db.env()), None, "trip {k}");
+        }
+        assert!(cancelled > 0, "no trip-point fired mid-query");
+        // The database is still fully usable afterwards.
+        let r = db.query("t", "//title", EngineKind::Parallel).unwrap();
+        assert_eq!(r.len(), 40);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// The full cancellation acceptance sweep. Run by the CI torture step.
     #[test]
     #[ignore = "extended sweep; CI runs it explicitly with --ignored"]
     fn full_cancellation_sweep() {
+        let _serial = POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner());
         let report = cancel_torture(&CancelTortureConfig::default()).unwrap();
         assert!(report.all_clean(), "{report}");
         assert!(report.any_cancelled(), "{report}");

@@ -344,6 +344,79 @@ impl XasrStore {
         Ok(out)
     }
 
+    /// Vectorized [`Self::clustered_batch`]: appends up to `limit` tuples
+    /// into `out` via the zero-copy [`BTree::scan_range`] visitor —
+    /// decoding straight off the pinned leaf page, with no per-row key or
+    /// value allocation and no cursor re-descent per tuple. The batch
+    /// operators' leaf fast path.
+    pub fn clustered_range_into(
+        &self,
+        lower_excl: Option<u64>,
+        upper_excl: Option<u64>,
+        limit: usize,
+        out: &mut Vec<NodeTuple>,
+    ) -> Result<usize> {
+        let lo = lower_excl.map(NodeTuple::clustered_key);
+        let hi = upper_excl.map(NodeTuple::clustered_key);
+        let lo_bound = lo.as_deref().map_or(Bound::Unbounded, Bound::Excluded);
+        let hi_bound = hi.as_deref().map_or(Bound::Unbounded, Bound::Excluded);
+        let before = out.len();
+        let mut decode_err = None;
+        self.clustered.scan_range(lo_bound, hi_bound, |_, v| {
+            match NodeTuple::decode(v) {
+                Ok(t) => out.push(t),
+                Err(e) => {
+                    decode_err = Some(e);
+                    return false;
+                }
+            }
+            out.len() - before < limit
+        })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(out.len() - before),
+        }
+    }
+
+    /// Vectorized [`Self::label_batch`]: zero-copy visitor fill, like
+    /// [`Self::clustered_range_into`].
+    pub fn label_range_into(
+        &self,
+        label: &str,
+        lower_excl: Option<u64>,
+        upper_excl: Option<u64>,
+        limit: usize,
+        out: &mut Vec<NodeTuple>,
+    ) -> Result<usize> {
+        let lo = NodeTuple::label_key(label, lower_excl.unwrap_or(0));
+        let hi = match upper_excl {
+            Some(u) => NodeTuple::label_key(label, u),
+            None => NodeTuple::label_key(label, u64::MAX),
+        };
+        let hi_bound = if upper_excl.is_some() {
+            Bound::Excluded(hi.as_slice())
+        } else {
+            Bound::Included(hi.as_slice())
+        };
+        let before = out.len();
+        let mut decode_err = None;
+        self.label_idx
+            .scan_range(Bound::Excluded(lo.as_slice()), hi_bound, |k, v| {
+                match NodeTuple::from_label_entry(k, v) {
+                    Ok(t) => out.push(t),
+                    Err(e) => {
+                        decode_err = Some(e);
+                        return false;
+                    }
+                }
+                out.len() - before < limit
+            })?;
+        match decode_err {
+            Some(e) => Err(e),
+            None => Ok(out.len() - before),
+        }
+    }
+
     /// Up to `limit` children of `parent_in` with `in > lower_excl`.
     pub fn parent_batch(
         &self,
