@@ -26,7 +26,17 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use xmldb_obs::{Counter, Gauge, Histogram, Registry};
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+/// The delivery phase of a task: runs *after* the pool's `queued`/`active`
+/// gauges account the task as finished, and is what publishes the result
+/// (and wakes any waiter). Sequencing the gauge decrement before delivery
+/// means an observer woken by a result can never read a stale non-zero
+/// gauge for that task — quiescence checks after a drained scope are exact,
+/// not wait-out-the-lag loops.
+type Deliver = Box<dyn FnOnce() + Send + 'static>;
+
+/// A unit of pool work: the work phase (the task body) returns the delivery
+/// closure the pool invokes once the task no longer counts as active.
+type Task = Box<dyn FnOnce() -> Deliver + Send + 'static>;
 
 /// Metric instruments resolved once per bound registry.
 struct Instruments {
@@ -58,6 +68,10 @@ impl Shared {
         for i in 0..n {
             let q = (id + i) % n;
             if let Some(task) = self.queues[q].lock().expect("pool queue").pop_front() {
+                // Claim the task as active *before* releasing its queued
+                // count, so `queued + active` never under-counts a task in
+                // flight between the two gauges.
+                self.active.fetch_add(1, Ordering::SeqCst);
                 self.queued.fetch_sub(1, Ordering::SeqCst);
                 self.gauge_depth();
                 return Some(task);
@@ -73,18 +87,22 @@ impl Shared {
         }
     }
 
-    /// Runs one task, recording busy time under the `slot` histogram
-    /// (worker index, or the last slot for helper runs).
+    /// Runs one task (already counted active by [`Shared::take`]),
+    /// recording busy time under the `slot` histogram (worker index, or the
+    /// last slot for helper runs). The `active` gauge drops *before* the
+    /// task's delivery closure publishes its result, so any observer the
+    /// delivery wakes sees the gauges already settled.
     fn run(&self, task: Task, slot: usize) {
-        self.active.fetch_add(1, Ordering::SeqCst);
         let started = Instant::now();
-        // Tasks wrap their own catch_unwind and deliver the payload to the
-        // scope; this one is a safety net so a stray panic can never kill a
-        // pool worker.
-        let _ = catch_unwind(AssertUnwindSafe(task));
+        // Tasks wrap their own catch_unwind around the user closure; this
+        // one is a safety net so a stray panic can never kill a pool worker.
+        let deliver = catch_unwind(AssertUnwindSafe(task));
         let elapsed_us = started.elapsed().as_micros() as u64;
         self.tasks_total.fetch_add(1, Ordering::Relaxed);
         self.active.fetch_sub(1, Ordering::SeqCst);
+        if let Ok(deliver) = deliver {
+            let _ = catch_unwind(AssertUnwindSafe(deliver));
+        }
         if let Some(ins) = self
             .instruments
             .lock()
@@ -197,10 +215,13 @@ impl WorkerPool {
 
     /// Blocks until the pool is quiescent — nothing queued, nothing
     /// running — or `timeout` elapses; returns whether quiescence was
-    /// observed. The `active` gauge lags task *results* by a few
-    /// instructions (a worker delivers its result, then decrements), so
-    /// observers asserting quiescence right after a drained scope must
-    /// wait out that window rather than read the gauges once.
+    /// observed. The gauges settle *before* a task's result is delivered
+    /// (take claims `active` before releasing `queued`; run drops `active`
+    /// before the delivery closure publishes the result), so an observer
+    /// that has received every result it waited for — e.g. a caller whose
+    /// scoped dispatch just drained — reads `queued == 0 && active == 0`
+    /// exactly, with no lag window. The timeout only matters when waiting
+    /// out *other* submitters' in-flight work.
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         while self.queued() != 0 || self.active() != 0 {
@@ -338,14 +359,24 @@ impl<'pool, 'env, T: Send + 'env> Scope<'pool, 'env, T> {
         self.submitted += 1;
         let state = Arc::clone(&self.state);
         state.outstanding.fetch_add(1, Ordering::SeqCst);
-        let job = move || {
+        let job = move || -> Deliver {
             let result = catch_unwind(AssertUnwindSafe(task));
-            let mut slots = state.slots.lock().expect("scope slots");
-            slots.insert(idx, result);
-            state.outstanding.fetch_sub(1, Ordering::SeqCst);
-            state.cv.notify_all();
+            // The work phase ends here; the pool decrements its `active`
+            // gauge, then invokes this delivery closure — publication (and
+            // the waiter wakeup) strictly follows the gauge settling.
+            let deliver: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let mut slots = state.slots.lock().expect("scope slots");
+                slots.insert(idx, result);
+                state.outstanding.fetch_sub(1, Ordering::SeqCst);
+                state.cv.notify_all();
+            });
+            // SAFETY: same erasure argument as the outer task below — the
+            // pool runs the delivery immediately after the work phase, and
+            // the scope cannot end (releasing 'env) until `outstanding`
+            // reaches zero, which only this delivery does.
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Deliver>(deliver) }
         };
-        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        let boxed: Box<dyn FnOnce() -> Deliver + Send + 'env> = Box::new(job);
         // SAFETY: the task is erased to 'static to sit in the pool queue,
         // but every borrow it captures outlives the scope: recv_next/Drop
         // block (helping) until `outstanding` is zero before the scope —
@@ -546,6 +577,26 @@ mod tests {
             cv.notify_all();
         });
         assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn drained_scope_observes_exact_quiescence() {
+        // The regression this pins down: the `active` gauge used to be
+        // decremented *after* a task delivered its result, so an observer
+        // woken by the final result could read a stale non-zero gauge and
+        // had to wait out the lag. Delivery now strictly follows the
+        // decrement, so the instant the last result is in hand the gauges
+        // read zero — no retry loop, single read, every round.
+        let pool = WorkerPool::new(4);
+        for round in 0..100 {
+            pool.scoped(|scope: &mut Scope<'_, '_, u32>| {
+                for i in 0..32 {
+                    scope.submit(move || i);
+                }
+                while scope.recv_next().is_some() {}
+            });
+            assert_eq!((pool.queued(), pool.active()), (0, 0), "round {round}");
+        }
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Blocking protocol client — what `saardb shell --connect` and the load
+//! generator speak.
+//!
+//! A [`Client`] owns one TCP connection and one protocol session. The
+//! constructor performs the versioned hello handshake, so a successfully
+//! built client is known-compatible with the server on the other end.
+//! All methods are strictly request/response (the protocol has no
+//! pipelining), which keeps error attribution trivial: an [`Err`] always
+//! belongs to the call that returned it.
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, ENGINE_DEFAULT,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, or the server hung up).
+    Io(io::Error),
+    /// The bytes on the wire didn't parse as a protocol frame/response.
+    Proto(String),
+    /// The server rejected the connection at admission: `(active, queued,
+    /// message)`. The connection is closed; retry later, against policy.
+    Busy(u32, u32, String),
+    /// A typed error response from the server.
+    Server(ErrorCode, String),
+    /// The server answered, but with a response type this call didn't
+    /// expect (protocol desync or a server bug).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Proto(m) => write!(f, "protocol error: {m}"),
+            ClientError::Busy(active, queued, m) => {
+                write!(f, "server busy ({active} active, {queued} queued): {m}")
+            }
+            ClientError::Server(code, m) => write!(f, "server error [{}]: {m}", code.name()),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A query's answer: item count, server-side elapsed time, and the
+/// serialized items.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Number of result items.
+    pub count: u64,
+    /// Server-side evaluation time in microseconds.
+    pub elapsed_us: u64,
+    /// The result serialized as XML, one line per item.
+    pub xml: String,
+}
+
+/// Per-request knobs; zero fields mean "server default".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryParams {
+    /// Engine code ([`crate::proto::engine_to_code`]); `None` = server
+    /// default engine.
+    pub engine: Option<u8>,
+    /// Wall-clock deadline in milliseconds.
+    pub timeout_ms: u64,
+    /// Memory budget in bytes.
+    pub mem_limit: u64,
+    /// Morsel parallelism for the parallel engine.
+    pub parallelism: u32,
+}
+
+/// A blocking saardb protocol client (one connection, one session).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session_id: u64,
+}
+
+impl Client {
+    /// Connects and performs the hello handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::handshake(stream)
+    }
+
+    /// Like [`Client::connect`] but bounds the TCP connect (useful for
+    /// load generators probing a saturated server).
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> ClientResult<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::handshake(stream)
+    }
+
+    fn handshake(stream: TcpStream) -> ClientResult<Client> {
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            session_id: 0,
+        };
+        match client.roundtrip(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::HelloAck { session_id, .. } => {
+                client.session_id = session_id;
+                Ok(client)
+            }
+            Response::Busy {
+                active,
+                queued,
+                message,
+            } => Err(ClientError::Busy(active, queued, message)),
+            Response::Error { code, message } => Err(ClientError::Server(code, message)),
+            other => Err(ClientError::Unexpected(format!(
+                "{other:?} in response to Hello"
+            ))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Sets a read timeout on the connection (`None` = block forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME_LEN).map_err(|e| match e {
+            FrameError::Eof => ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Proto(e) => ClientError::Proto(e.to_string()),
+        })?;
+        Response::decode(&payload).map_err(|e| ClientError::Proto(e.to_string()))
+    }
+
+    /// As [`Client::roundtrip`], then maps the typed failure responses
+    /// every call can receive.
+    fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        match self.roundtrip(request)? {
+            Response::Error { code, message } => Err(ClientError::Server(code, message)),
+            Response::Busy {
+                active,
+                queued,
+                message,
+            } => Err(ClientError::Busy(active, queued, message)),
+            ok => Ok(ok),
+        }
+    }
+
+    fn expect_done(&mut self, request: &Request) -> ClientResult<String> {
+        match self.call(request)? {
+            Response::Done { info } => Ok(info),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    fn expect_items(&mut self, request: &Request) -> ClientResult<QueryReply> {
+        match self.call(request)? {
+            Response::Items {
+                count,
+                elapsed_us,
+                xml,
+            } => Ok(QueryReply {
+                count,
+                elapsed_us,
+                xml,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Evaluates `query` against `doc`.
+    pub fn query(
+        &mut self,
+        doc: &str,
+        query: &str,
+        params: QueryParams,
+    ) -> ClientResult<QueryReply> {
+        self.expect_items(&Request::Query {
+            doc: doc.to_string(),
+            query: query.to_string(),
+            engine: params.engine.unwrap_or(ENGINE_DEFAULT),
+            timeout_ms: params.timeout_ms,
+            mem_limit: params.mem_limit,
+            parallelism: params.parallelism,
+        })
+    }
+
+    /// Compiles `query` server-side; returns the session-scoped statement
+    /// id for [`Client::exec_prepared`].
+    pub fn prepare(&mut self, doc: &str, query: &str, engine: Option<u8>) -> ClientResult<u64> {
+        match self.call(&Request::Prepare {
+            doc: doc.to_string(),
+            query: query.to_string(),
+            engine: engine.unwrap_or(ENGINE_DEFAULT),
+        })? {
+            Response::Prepared { id } => Ok(id),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Executes a statement previously prepared in this session.
+    pub fn exec_prepared(&mut self, id: u64) -> ClientResult<QueryReply> {
+        self.expect_items(&Request::ExecPrepared { id })
+    }
+
+    /// Begins the session transaction.
+    pub fn begin(&mut self) -> ClientResult<String> {
+        self.expect_done(&Request::Begin)
+    }
+
+    /// Commits the session transaction.
+    pub fn commit(&mut self) -> ClientResult<String> {
+        self.expect_done(&Request::Commit)
+    }
+
+    /// Rolls back the session transaction.
+    pub fn rollback(&mut self) -> ClientResult<String> {
+        self.expect_done(&Request::Rollback)
+    }
+
+    /// Loads `xml` as document `name`.
+    pub fn load(&mut self, name: &str, xml: &str) -> ClientResult<String> {
+        self.expect_done(&Request::Load {
+            name: name.to_string(),
+            xml: xml.to_string(),
+        })
+    }
+
+    /// Drops document `name`.
+    pub fn drop_doc(&mut self, name: &str) -> ClientResult<String> {
+        self.expect_done(&Request::DropDoc {
+            name: name.to_string(),
+        })
+    }
+
+    /// Lists the server's documents.
+    pub fn list_docs(&mut self) -> ClientResult<Vec<String>> {
+        match self.call(&Request::ListDocs)? {
+            Response::Docs { names } => Ok(names),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Polite goodbye; the server acknowledges and both sides close.
+    pub fn close(mut self) -> ClientResult<()> {
+        let _ = self.expect_done(&Request::Close)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! saardb over the network.
+//!
+//! The course paper's system was an embedded library driven by a testbed;
+//! this crate gives it the one piece every real DBMS course skips for
+//! time: a server. Three modules:
+//!
+//! * [`proto`] — the wire protocol: length-prefixed, CRC-framed binary
+//!   messages (the same `[len][crc32][payload]` discipline the WAL uses
+//!   on disk, reused on the wire) with a versioned hello handshake and
+//!   typed error codes,
+//! * [`server`] — the daemon: admission control (hard session cap +
+//!   bounded, deadline-ed wait queue + typed `Busy` rejection — never
+//!   accept-and-stall), thread-per-session serving with session-scoped
+//!   transactions, per-session prepared-statement caches, and per-request
+//!   deadline/memory budgets wired into the storage governor,
+//! * [`client`] — the blocking client used by `saardb shell --connect`
+//!   and the benchmark load generator.
+//!
+//! The `saardb` CLI binary also lives here (it needs the client and the
+//! server; the engine crates must not depend on either).
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientResult, QueryParams, QueryReply};
+pub use proto::{engine_from_code, engine_to_code, ErrorCode, Request, Response, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

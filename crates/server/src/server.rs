@@ -1,0 +1,882 @@
+//! The saardb daemon: a TCP listener, admission control in front of a
+//! bounded session pool, and a thread-per-session request loop.
+//!
+//! # Admission control
+//!
+//! Connections pass three gates, cheapest first:
+//!
+//! 1. **Hard session limit** ([`ServerConfig::max_sessions`]): while a
+//!    slot is free the connection is admitted immediately.
+//! 2. **Bounded queue** ([`ServerConfig::queue_depth`]): with all slots
+//!    busy, up to `queue_depth` connections wait (each on its own
+//!    just-spawned session thread, so the *listener* never blocks) for at
+//!    most [`ServerConfig::queue_timeout`].
+//! 3. **Typed rejection**: a full queue or an expired wait answers with
+//!    [`Response::Busy`] — carrying the live active/queued counts — and
+//!    closes. The server never accept-and-stalls: a client always learns
+//!    its fate within the queue timeout.
+//!
+//! Queue depth, wait time, rejections and live sessions all feed the
+//! environment's metrics registry (`saardb_server_*`), which `saardb
+//! stats` and the Prometheus endpoint already expose.
+//!
+//! # Sessions
+//!
+//! Each session owns: an optional [`Txn`] (so `begin`/`commit`/`rollback`
+//! frames give the client the same transaction scope the embedded shell
+//! has), a bounded cache of prepared statements, and the server's default
+//! per-request budgets (deadline, memory) — every request runs under a
+//! governor built from those unless the request carries tighter ones. A
+//! client that dies mid-transaction gets its transaction rolled back the
+//! moment the server notices the broken connection.
+
+use crate::proto::{
+    engine_from_code, read_frame, write_frame, ErrorCode, FrameError, ProtoError, Request,
+    Response, ENGINE_DEFAULT, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use xmldb_core::{Database, EngineKind, Error, QueryOptions, Txn};
+use xmldb_obs::{Counter, Gauge, Histogram};
+
+/// Server knobs. The defaults suit tests and small deployments; `saardb
+/// serve` exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Hard cap on concurrently served sessions.
+    pub max_sessions: usize,
+    /// Connections allowed to wait for a session slot before typed
+    /// rejection (0 = reject the moment all slots are busy).
+    pub queue_depth: usize,
+    /// Longest a queued connection waits before a typed `Busy`.
+    pub queue_timeout: Duration,
+    /// Default per-request wall-clock deadline (a request's own
+    /// `timeout_ms` overrides; `None` = unlimited).
+    pub default_timeout: Option<Duration>,
+    /// Default per-request memory budget in bytes (`None` = unlimited).
+    pub default_mem_limit: Option<usize>,
+    /// Engine used when a request says [`ENGINE_DEFAULT`].
+    pub default_engine: EngineKind,
+    /// Morsel parallelism handed to the parallel engine (`None` = cores).
+    pub parallelism: Option<usize>,
+    /// Prepared statements cached per session before the oldest is
+    /// evicted.
+    pub max_prepared_per_session: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 64,
+            queue_depth: 64,
+            queue_timeout: Duration::from_secs(2),
+            default_timeout: Some(Duration::from_secs(30)),
+            default_mem_limit: None,
+            default_engine: EngineKind::M4CostBased,
+            parallelism: None,
+            max_prepared_per_session: 256,
+        }
+    }
+}
+
+/// Admission bookkeeping (gate 1 and 2 of the module docs).
+struct Admission {
+    state: Mutex<AdmState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AdmState {
+    active: usize,
+    queued: usize,
+}
+
+/// The listener's verdict for a fresh connection.
+enum Admit {
+    /// Serve now.
+    Active,
+    /// Wait (on the session thread) for a slot.
+    Queued,
+    /// Queue full — reject with the counts at decision time.
+    Busy(AdmState),
+}
+
+/// Server-side metric instruments, resolved once against the database's
+/// registry.
+struct Metrics {
+    connections_total: Arc<Counter>,
+    rejected_total: Arc<Counter>,
+    rejected_timeout_total: Arc<Counter>,
+    sessions_active: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    queue_wait_us: Arc<Histogram>,
+    requests_total: Arc<Counter>,
+    request_errors_total: Arc<Counter>,
+    request_us: Arc<Histogram>,
+    disconnect_rollbacks_total: Arc<Counter>,
+}
+
+impl Metrics {
+    fn new(db: &Database) -> Metrics {
+        let r = db.env().registry();
+        r.help(
+            "saardb_server_connections_total",
+            "TCP connections accepted by the listener",
+        );
+        r.help(
+            "saardb_server_rejected_total",
+            "Connections rejected with a typed Busy (by reason)",
+        );
+        r.help(
+            "saardb_server_sessions_active",
+            "Sessions currently being served",
+        );
+        r.help(
+            "saardb_server_admission_queue_depth",
+            "Connections waiting for a session slot",
+        );
+        r.help(
+            "saardb_server_admission_wait_us",
+            "Time queued connections waited for a slot (microseconds)",
+        );
+        r.help("saardb_server_requests_total", "Requests served");
+        r.help(
+            "saardb_server_request_errors_total",
+            "Requests answered with a typed error",
+        );
+        r.help(
+            "saardb_server_request_us",
+            "Per-request service time (microseconds)",
+        );
+        r.help(
+            "saardb_server_disconnect_rollbacks_total",
+            "Open transactions rolled back because the client vanished",
+        );
+        Metrics {
+            connections_total: r.counter("saardb_server_connections_total", &[]),
+            rejected_total: r.counter("saardb_server_rejected_total", &[("reason", "queue_full")]),
+            rejected_timeout_total: r.counter(
+                "saardb_server_rejected_total",
+                &[("reason", "queue_timeout")],
+            ),
+            sessions_active: r.gauge("saardb_server_sessions_active", &[]),
+            queue_depth: r.gauge("saardb_server_admission_queue_depth", &[]),
+            queue_wait_us: r.histogram("saardb_server_admission_wait_us", &[]),
+            requests_total: r.counter("saardb_server_requests_total", &[]),
+            request_errors_total: r.counter("saardb_server_request_errors_total", &[]),
+            request_us: r.histogram("saardb_server_request_us", &[]),
+            disconnect_rollbacks_total: r.counter("saardb_server_disconnect_rollbacks_total", &[]),
+        }
+    }
+}
+
+struct Shared {
+    db: Database,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    admission: Admission,
+    metrics: Metrics,
+    next_session_id: AtomicU64,
+    /// Live session streams (for shutdown to sever) and finished-thread
+    /// reaping.
+    sessions: Mutex<SessionTable>,
+}
+
+#[derive(Default)]
+struct SessionTable {
+    streams: HashMap<u64, TcpStream>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Gate 1/2/3 decision. Never blocks.
+    fn admit(&self) -> Admit {
+        let mut state = self.admission.state.lock().expect("admission state");
+        if state.active < self.config.max_sessions {
+            state.active += 1;
+            self.metrics.sessions_active.set(state.active as i64);
+            Admit::Active
+        } else if state.queued < self.config.queue_depth {
+            state.queued += 1;
+            self.metrics.queue_depth.set(state.queued as i64);
+            Admit::Queued
+        } else {
+            Admit::Busy(*state)
+        }
+    }
+
+    /// Waits (bounded) for a session slot; called on the session thread
+    /// for `Admit::Queued` connections. Returns the wait duration on
+    /// grant, or `Err(state)` on timeout/shutdown.
+    fn wait_for_slot(&self) -> Result<Duration, AdmState> {
+        let started = Instant::now();
+        let deadline = started + self.config.queue_timeout;
+        let mut state = self.admission.state.lock().expect("admission state");
+        loop {
+            if self.shutting_down() {
+                state.queued -= 1;
+                self.metrics.queue_depth.set(state.queued as i64);
+                return Err(*state);
+            }
+            if state.active < self.config.max_sessions {
+                state.active += 1;
+                state.queued -= 1;
+                self.metrics.sessions_active.set(state.active as i64);
+                self.metrics.queue_depth.set(state.queued as i64);
+                return Ok(started.elapsed());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                state.queued -= 1;
+                self.metrics.queue_depth.set(state.queued as i64);
+                return Err(*state);
+            }
+            let (s, _) = self
+                .admission
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("admission wait");
+            state = s;
+        }
+    }
+
+    /// Releases a session slot (session ended) and wakes one queued
+    /// waiter.
+    fn release_slot(&self) {
+        let mut state = self.admission.state.lock().expect("admission state");
+        state.active -= 1;
+        self.metrics.sessions_active.set(state.active as i64);
+        drop(state);
+        self.admission.cv.notify_all();
+    }
+
+    fn admission_state(&self) -> AdmState {
+        *self.admission.state.lock().expect("admission state")
+    }
+}
+
+/// A running saardb server. Dropping the handle shuts it down.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:4455"`, or port 0 for an ephemeral
+    /// port) and starts accepting. The returned handle owns the listener
+    /// thread; [`Server::shutdown`] (or drop) stops it.
+    pub fn start(
+        db: Database,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // The server and the parallel engine share the one process-wide
+        // worker pool; bind its gauges to this database's registry so
+        // `saardb stats` over the wire sees pool traffic too.
+        xmldb_exec_pool::WorkerPool::global().bind_registry(db.env().registry());
+        let metrics = Metrics::new(&db);
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            shutdown: AtomicBool::new(false),
+            admission: Admission {
+                state: Mutex::new(AdmState {
+                    active: 0,
+                    queued: 0,
+                }),
+                cv: Condvar::new(),
+            },
+            metrics,
+            next_session_id: AtomicU64::new(1),
+            sessions: Mutex::new(SessionTable::default()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let listener_thread = std::thread::Builder::new()
+            .name("saardb-listener".into())
+            .spawn(move || accept_loop(&accept_shared, listener))
+            .expect("spawn listener thread");
+        Ok(Server {
+            shared,
+            addr: local,
+            listener_thread: Some(listener_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.admission_state().active
+    }
+
+    /// Connections waiting in the admission queue.
+    pub fn queued_connections(&self) -> usize {
+        self.shared.admission_state().queued
+    }
+
+    /// Stops accepting, severs every live session (open transactions roll
+    /// back), joins all threads and flushes the database. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake queued admission waiters so they reject promptly.
+        self.shared.admission.cv.notify_all();
+        // Unblock accept(): the listener checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+        // Sever session streams: blocked reads return, sessions unwind
+        // their state (rolling back open transactions) and exit.
+        let handles = {
+            let mut table = self.shared.sessions.lock().expect("session table");
+            for stream in table.streams.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            std::mem::take(&mut table.handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let _ = self.shared.db.flush();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            // Transient accept errors (EMFILE under load, aborted
+            // handshakes) must never kill the listener.
+            Err(_) => continue,
+        };
+        shared.metrics.connections_total.inc();
+        let _ = stream.set_nodelay(true);
+        match shared.admit() {
+            Admit::Busy(state) => {
+                shared.metrics.rejected_total.inc();
+                reject_busy(stream, state, "admission queue full");
+            }
+            verdict @ (Admit::Active | Admit::Queued) => {
+                let queued = matches!(verdict, Admit::Queued);
+                spawn_session(shared, stream, queued);
+            }
+        }
+    }
+}
+
+/// Answers `Busy` (typed, never a stall) and closes. Runs on a detached
+/// thread so neither the listener nor a session thread waits on a hostile
+/// peer; read and write are both deadline-bounded.
+fn reject_busy(stream: TcpStream, state: AdmState, why: &'static str) {
+    let deliver = move || {
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let busy = Response::Busy {
+            active: state.active as u32,
+            queued: state.queued as u32,
+            message: why.to_string(),
+        };
+        let _ = write_frame(&mut stream, &busy.encode());
+        let _ = stream.shutdown(Shutdown::Write);
+        // Drain what the peer already sent (its Hello, typically): closing
+        // with unread bytes turns into a TCP reset that can destroy the
+        // Busy answer in the peer's receive buffer before it reads it.
+        let mut sink = [0u8; 512];
+        while let Ok(n) = io::Read::read(&mut stream, &mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    };
+    if std::thread::Builder::new()
+        .name("saardb-reject".into())
+        .spawn(deliver)
+        .is_err()
+    {
+        // Out of threads: nothing left to protect; the connection drops
+        // without its typed answer, which the client sees as an I/O error.
+    }
+}
+
+fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, queued: bool) {
+    let id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+    let thread_shared = Arc::clone(shared);
+    let registered = stream.try_clone().ok();
+    {
+        let mut table = shared.sessions.lock().expect("session table");
+        if let Some(clone) = registered {
+            table.streams.insert(id, clone);
+        }
+        // Opportunistic reaping keeps the handle list bounded by the live
+        // session count instead of the server's lifetime total.
+        table.handles.retain(|h| !h.is_finished());
+    }
+    let spawned = std::thread::Builder::new()
+        .name(format!("saardb-session-{id}"))
+        .spawn(move || {
+            run_session(&thread_shared, stream, id, queued);
+        });
+    match spawned {
+        Ok(handle) => {
+            let mut table = shared.sessions.lock().expect("session table");
+            table.handles.push(handle);
+        }
+        Err(_) => {
+            // Could not even spawn a thread: treat as capacity exhaustion.
+            let mut table = shared.sessions.lock().expect("session table");
+            if let Some(stream) = table.streams.remove(&id) {
+                drop(table);
+                shared.metrics.rejected_total.inc();
+                let state = shared.admission_state();
+                reject_busy(stream, state, "out of session threads");
+            }
+            if queued {
+                let mut state = shared.admission.state.lock().expect("admission state");
+                state.queued -= 1;
+                shared.metrics.queue_depth.set(state.queued as i64);
+            } else {
+                shared.release_slot();
+            }
+        }
+    }
+}
+
+/// Session entry point: admission wait (if queued), hello handshake,
+/// request loop, cleanup. All error paths roll back the session's open
+/// transaction and release its admission slot.
+fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, queued: bool) {
+    if queued {
+        match shared.wait_for_slot() {
+            Ok(waited) => {
+                shared
+                    .metrics
+                    .queue_wait_us
+                    .record(waited.as_micros() as u64);
+            }
+            Err(state) => {
+                shared.metrics.rejected_timeout_total.inc();
+                shared
+                    .sessions
+                    .lock()
+                    .expect("session table")
+                    .streams
+                    .remove(&id);
+                reject_busy(stream, state, "admission queue wait timed out");
+                return;
+            }
+        }
+    }
+    let mut session = Session {
+        shared: Arc::clone(shared),
+        id,
+        txn: None,
+        txn_created_docs: Vec::new(),
+        prepared: HashMap::new(),
+        prepared_order: Vec::new(),
+        next_prepared: 1,
+    };
+    session.serve(&mut stream);
+    // Cleanup: a client that vanished mid-transaction must not keep its
+    // page locks — roll back now, not at some later GC.
+    if let Some(txn) = session.txn.take() {
+        shared.metrics.disconnect_rollbacks_total.inc();
+        let _ = txn.rollback();
+        session.drop_txn_created_docs();
+    }
+    shared
+        .sessions
+        .lock()
+        .expect("session table")
+        .streams
+        .remove(&id);
+    shared.release_slot();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Per-connection state: the session-scoped transaction, the prepared-
+/// statement cache, and budget defaults inherited from the server config.
+struct Session {
+    shared: Arc<Shared>,
+    id: u64,
+    txn: Option<Txn>,
+    /// Documents created inside the open transaction. Environment *file*
+    /// creation is not covered by page-level undo, so rolling back a
+    /// transaction that loaded a document would leave a phantom (empty)
+    /// document in the catalog; the session compensates by dropping these
+    /// on rollback — explicit, deadlock-forced, or disconnect.
+    txn_created_docs: Vec<String>,
+    prepared: HashMap<u64, xmldb_core::PreparedQuery>,
+    /// Insertion order for bounded eviction (oldest first).
+    prepared_order: Vec<u64>,
+    next_prepared: u64,
+}
+
+impl Session {
+    /// Handshake + request loop. Returns when the client closes, dies, or
+    /// sends framing garbage.
+    fn serve(&mut self, stream: &mut TcpStream) {
+        // Handshake: first frame must be a version-matched Hello.
+        match self.read_request(stream) {
+            Some(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+                let ack = Response::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    session_id: self.id,
+                };
+                if write_frame(stream, &ack.encode()).is_err() {
+                    return;
+                }
+            }
+            Some(Request::Hello { version }) => {
+                let err = Response::Error {
+                    code: ErrorCode::VersionSkew,
+                    message: ProtoError::VersionSkew { theirs: version }.to_string(),
+                };
+                let _ = write_frame(stream, &err.encode());
+                return;
+            }
+            Some(_) => {
+                let err = Response::Error {
+                    code: ErrorCode::Proto,
+                    message: "first frame must be Hello".into(),
+                };
+                let _ = write_frame(stream, &err.encode());
+                return;
+            }
+            None => return,
+        }
+        loop {
+            if self.shared.shutting_down() {
+                let err = Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is shutting down".into(),
+                };
+                let _ = write_frame(stream, &err.encode());
+                return;
+            }
+            let Some(request) = self.read_request(stream) else {
+                return;
+            };
+            let closing = matches!(request, Request::Close);
+            let op_started = Instant::now();
+            let response = self.handle(&request);
+            self.shared.metrics.requests_total.inc();
+            self.shared
+                .metrics
+                .request_us
+                .record(op_started.elapsed().as_micros() as u64);
+            if matches!(response, Response::Error { .. }) {
+                self.shared.metrics.request_errors_total.inc();
+            }
+            if write_frame(stream, &response.encode()).is_err() || closing {
+                return;
+            }
+        }
+    }
+
+    /// Reads and decodes one request. `None` means the session is over —
+    /// clean close, dead peer, or framing garbage (which gets a typed
+    /// error first; after garbage the stream cannot be re-aligned, so the
+    /// connection closes — but the *server* keeps serving everyone else).
+    fn read_request(&mut self, stream: &mut TcpStream) -> Option<Request> {
+        let payload = match read_frame(stream, MAX_FRAME_LEN) {
+            Ok(p) => p,
+            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return None,
+            Err(FrameError::Proto(e)) => {
+                let err = Response::Error {
+                    code: ErrorCode::Proto,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(stream, &err.encode());
+                self.shared.metrics.request_errors_total.inc();
+                return None;
+            }
+        };
+        match Request::decode(&payload) {
+            Ok(req) => Some(req),
+            Err(e) => {
+                // The frame was well-formed (length + CRC passed) but the
+                // message inside wasn't. Framing is still aligned, so the
+                // session survives: answer typed and keep reading.
+                let err = Response::Error {
+                    code: ErrorCode::Proto,
+                    message: e.to_string(),
+                };
+                self.shared.metrics.request_errors_total.inc();
+                if write_frame(stream, &err.encode()).is_err() {
+                    return None;
+                }
+                self.read_request(stream)
+            }
+        }
+    }
+
+    fn engine_for(&self, code: u8) -> Result<EngineKind, Response> {
+        if code == ENGINE_DEFAULT {
+            return Ok(self.shared.config.default_engine);
+        }
+        engine_from_code(code).ok_or(Response::Error {
+            code: ErrorCode::Proto,
+            message: format!("unknown engine code {code}"),
+        })
+    }
+
+    /// Budget resolution: request-supplied limits win; zero means "use
+    /// the session default from the server config".
+    fn options(&self, timeout_ms: u64, mem_limit: u64, parallelism: u32) -> QueryOptions {
+        let config = &self.shared.config;
+        QueryOptions {
+            timeout: if timeout_ms > 0 {
+                Some(Duration::from_millis(timeout_ms))
+            } else {
+                config.default_timeout
+            },
+            mem_limit: if mem_limit > 0 {
+                Some(mem_limit as usize)
+            } else {
+                config.default_mem_limit
+            },
+            parallelism: if parallelism > 0 {
+                Some(parallelism as usize)
+            } else {
+                config.parallelism
+            },
+            txn: self.txn.clone(),
+            ..QueryOptions::default()
+        }
+    }
+
+    fn handle(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Hello { .. } => Response::Error {
+                code: ErrorCode::Proto,
+                message: "duplicate Hello".into(),
+            },
+            Request::Ping => Response::Pong,
+            Request::Close => Response::Done {
+                info: "goodbye".into(),
+            },
+            Request::ListDocs => match self.shared.db.documents() {
+                Ok(names) => Response::Docs { names },
+                Err(e) => self.error_response(&e),
+            },
+            Request::Query {
+                doc,
+                query,
+                engine,
+                timeout_ms,
+                mem_limit,
+                parallelism,
+            } => {
+                let engine = match self.engine_for(*engine) {
+                    Ok(e) => e,
+                    Err(resp) => return resp,
+                };
+                let options = self.options(*timeout_ms, *mem_limit, *parallelism);
+                let started = Instant::now();
+                match self.shared.db.query_with(doc, query, engine, &options) {
+                    Ok(result) => Response::Items {
+                        count: result.len() as u64,
+                        elapsed_us: started.elapsed().as_micros() as u64,
+                        xml: result.to_xml(),
+                    },
+                    Err(e) => self.error_response(&e),
+                }
+            }
+            Request::Prepare { doc, query, engine } => {
+                let engine = match self.engine_for(*engine) {
+                    Ok(e) => e,
+                    Err(resp) => return resp,
+                };
+                let options = self.options(0, 0, 0);
+                match self.shared.db.prepare_with(doc, query, engine, &options) {
+                    Ok(prepared) => {
+                        let id = self.next_prepared;
+                        self.next_prepared += 1;
+                        if self.prepared_order.len() >= self.shared.config.max_prepared_per_session
+                        {
+                            let oldest = self.prepared_order.remove(0);
+                            self.prepared.remove(&oldest);
+                        }
+                        self.prepared.insert(id, prepared);
+                        self.prepared_order.push(id);
+                        Response::Prepared { id }
+                    }
+                    Err(e) => self.error_response(&e),
+                }
+            }
+            Request::ExecPrepared { id } => {
+                let Some(prepared) = self.prepared.get(id) else {
+                    return Response::Error {
+                        code: ErrorCode::NoSuchPrepared,
+                        message: format!("no prepared statement {id} in this session"),
+                    };
+                };
+                // The prepared plan carries the session's default budgets;
+                // the session transaction is installed thread-locally so
+                // the execution's page accesses honor it.
+                let _scope = self.txn.as_ref().map(Txn::install);
+                let started = Instant::now();
+                match prepared.execute() {
+                    Ok(result) => Response::Items {
+                        count: result.len() as u64,
+                        elapsed_us: started.elapsed().as_micros() as u64,
+                        xml: result.to_xml(),
+                    },
+                    Err(e) => self.error_response(&e),
+                }
+            }
+            Request::Begin => match &self.txn {
+                Some(t) => Response::Error {
+                    code: ErrorCode::TxnState,
+                    message: format!("already in transaction {}", t.id()),
+                },
+                None => {
+                    let txn = self.shared.db.begin();
+                    let info = format!("began transaction {}", txn.id());
+                    self.txn = Some(txn);
+                    Response::Done { info }
+                }
+            },
+            Request::Commit => match self.txn.take() {
+                Some(txn) => {
+                    let id = txn.id();
+                    match txn.commit() {
+                        Ok(()) => {
+                            self.txn_created_docs.clear();
+                            Response::Done {
+                                info: format!("committed transaction {id}"),
+                            }
+                        }
+                        Err(e) => self.error_response(&Error::Storage(e)),
+                    }
+                }
+                None => Response::Error {
+                    code: ErrorCode::TxnState,
+                    message: "no open transaction".into(),
+                },
+            },
+            Request::Rollback => match self.txn.take() {
+                Some(txn) => {
+                    let id = txn.id();
+                    match txn.rollback() {
+                        Ok(()) => {
+                            self.drop_txn_created_docs();
+                            Response::Done {
+                                info: format!("rolled back transaction {id}"),
+                            }
+                        }
+                        Err(e) => self.error_response(&Error::Storage(e)),
+                    }
+                }
+                None => Response::Error {
+                    code: ErrorCode::TxnState,
+                    message: "no open transaction".into(),
+                },
+            },
+            Request::Load { name, xml } => {
+                let result = {
+                    let _scope = self.txn.as_ref().map(Txn::install);
+                    self.shared.db.load_document(name, xml)
+                };
+                match result {
+                    Ok(()) => {
+                        if self.txn.is_some() {
+                            self.txn_created_docs.push(name.clone());
+                        } else if let Err(e) = self.shared.db.flush() {
+                            return self.error_response(&e);
+                        }
+                        Response::Done {
+                            info: format!("loaded {name}"),
+                        }
+                    }
+                    Err(e) => self.error_response(&e),
+                }
+            }
+            Request::DropDoc { name } => {
+                // Dropping removes environment files immediately; rollback
+                // could not restore them. Refuse inside a transaction
+                // rather than silently break atomicity.
+                if self.txn.is_some() {
+                    return Response::Error {
+                        code: ErrorCode::TxnState,
+                        message: format!(
+                            "drop of {name} is not transactional; commit or rollback first"
+                        ),
+                    };
+                }
+                match self.shared.db.drop_document(name) {
+                    Ok(()) => Response::Done {
+                        info: format!("dropped {name}"),
+                    },
+                    Err(e) => self.error_response(&e),
+                }
+            }
+        }
+    }
+
+    /// Maps an engine error to its typed wire code. A deadlock victim's
+    /// transaction is already rolled back by the lock manager — drop the
+    /// dead handle so the session's state matches reality and the client
+    /// can `begin` again.
+    /// Drops documents created inside a transaction that did not commit
+    /// (see the field docs on `txn_created_docs`).
+    fn drop_txn_created_docs(&mut self) {
+        for name in std::mem::take(&mut self.txn_created_docs) {
+            let _ = self.shared.db.drop_document(&name);
+        }
+    }
+
+    fn error_response(&mut self, e: &Error) -> Response {
+        let code = if e.is_deadlock() {
+            if self.txn.as_ref().is_some_and(|t| !t.is_active()) {
+                self.txn = None;
+                self.drop_txn_created_docs();
+            }
+            ErrorCode::Deadlock
+        } else if e.is_cancelled() {
+            ErrorCode::Cancelled
+        } else if e.is_deadline_exceeded() {
+            ErrorCode::DeadlineExceeded
+        } else if e.is_memory_exceeded() {
+            ErrorCode::MemoryExceeded
+        } else {
+            match e {
+                Error::NoSuchDocument(_) => ErrorCode::NoSuchDocument,
+                Error::DocumentExists(_) => ErrorCode::DocumentExists,
+                Error::Query(_) | Error::Xml(_) => ErrorCode::Query,
+                Error::Storage(_) => ErrorCode::Storage,
+                Error::Exec(_) | Error::Xasr(_) => ErrorCode::Exec,
+            }
+        };
+        Response::Error {
+            code,
+            message: e.to_string(),
+        }
+    }
+}

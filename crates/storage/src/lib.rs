@@ -64,7 +64,7 @@ pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use sort::{ExternalSorter, SortedRecords};
 pub use temp::TempFile;
 pub use txn::{Txn, TxnScope};
-pub use wal::{Appended, RecoveryReport, Wal};
+pub use wal::{crc32, Appended, RecoveryReport, Wal};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -102,7 +102,10 @@ static CRC_TABLE: [u32; 256] = {
     table
 };
 
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`. Public because
+/// the network wire protocol frames requests exactly like WAL records
+/// (`[len][crc32][payload]`) and shares this checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];

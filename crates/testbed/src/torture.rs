@@ -136,6 +136,16 @@ impl std::fmt::Display for TortureReport {
     }
 }
 
+/// Serializes tests (within one test binary) that run queries through the
+/// process-wide shared worker pool or observe its gauges: an observer
+/// asserting *exact* quiescence — a single `(queued, active) == (0, 0)`
+/// read — must not race another test's in-flight morsels. Poisoning is
+/// ignored: a previous test's panic doesn't invalidate the serialization.
+pub fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static POOL_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// The quiescence invariant both torture sweeps grade with: after any
 /// run — a recovered kill-point or a cancelled query — the environment
 /// must hold zero pinned buffer frames and zero leftover temp (spill)
@@ -885,14 +895,9 @@ mod tests {
         assert!(torn.all_recovered(), "{torn}");
     }
 
-    /// Serializes the tests that observe the global worker pool's task
-    /// counters: concurrent sweeps would see each other's in-flight
-    /// morsels and fail the quiescence assertions spuriously.
-    static POOL_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     #[test]
     fn bounded_cancellation_sweep_leaves_db_clean() {
-        let _serial = POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let _serial = pool_test_lock();
         let cfg = CancelTortureConfig {
             first_trip: 1,
             trip_stride: 29,
@@ -917,7 +922,7 @@ mod tests {
     /// spill files, across a schedule of trip-points.
     #[test]
     fn parallel_engine_cancellation_leaves_pool_and_db_quiescent() {
-        let _serial = POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let _serial = pool_test_lock();
         let dir = scratch_dir();
         let _ = std::fs::remove_dir_all(&dir);
         let db = Database::open_dir(&dir, xmldb_storage::EnvConfig::default()).unwrap();
@@ -939,12 +944,20 @@ mod tests {
                 Err(e) => panic!("trip {k}: unexpected error: {e}"),
             }
             // The scoped dispatcher must not return before every morsel it
-            // submitted has finished: zero queued, zero running pool tasks
-            // (quiesce only waits out the gauges' few-instruction lag
-            // behind result delivery, never for abandoned work).
+            // submitted has finished, and the pool settles its gauges
+            // before delivering results — so with POOL_TESTS serializing
+            // every global-pool observer, the gauges must read exactly
+            // zero on a single read, no wait-out-the-lag loop. A short
+            // quiesce only shields against *other* tests' stray morsels
+            // (they don't take the mutex); it must already be quiescent.
             assert!(
-                pool.quiesce(std::time::Duration::from_secs(5)),
+                pool.quiesce(std::time::Duration::from_millis(500)),
                 "trip {k}: tasks left queued or running"
+            );
+            assert_eq!(
+                (pool.queued(), pool.active()),
+                (0, 0),
+                "trip {k}: pool gauges not settled after drained dispatch"
             );
             assert_eq!(assert_quiescent(db.env()), None, "trip {k}");
         }
@@ -960,7 +973,7 @@ mod tests {
     #[test]
     #[ignore = "extended sweep; CI runs it explicitly with --ignored"]
     fn full_cancellation_sweep() {
-        let _serial = POOL_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let _serial = pool_test_lock();
         let report = cancel_torture(&CancelTortureConfig::default()).unwrap();
         assert!(report.all_clean(), "{report}");
         assert!(report.any_cancelled(), "{report}");
