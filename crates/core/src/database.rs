@@ -89,7 +89,16 @@ impl Database {
         if XasrStore::exists(&self.env, name) {
             return Err(Error::DocumentExists(name.to_string()));
         }
-        shred_document(&self.env, name, xml)?;
+        if let Err(e) = shred_document(&self.env, name, xml) {
+            // A failed shred may have created some of the document's
+            // files already; remove them so the name is reusable. (Best
+            // effort: if the failure was the disk filling up, the
+            // environment is read-only now and the removal fails too —
+            // callers that answered "load failed" must compensate once
+            // it is writable again.)
+            let _ = XasrStore::drop_document(&self.env, name);
+            return Err(e.into());
+        }
         self.catalog_add(name)?;
         Ok(())
     }
@@ -121,6 +130,15 @@ impl Database {
         if !XasrStore::exists(&self.env, name) {
             return Err(Error::NoSuchDocument(name.to_string()));
         }
+        XasrStore::drop_document(&self.env, name)?;
+        Ok(())
+    }
+
+    /// Removes whatever files exist for `name`, whole document or partial
+    /// leftovers of a failed load alike; `Ok` if nothing is there. Unlike
+    /// [`Database::drop_document`] this never reports a missing document —
+    /// it is the compensation primitive, not the user-facing drop.
+    pub fn scrub_document(&self, name: &str) -> Result<()> {
         XasrStore::drop_document(&self.env, name)?;
         Ok(())
     }

@@ -112,6 +112,26 @@ impl Error {
             Some(xmldb_storage::StorageError::Deadlock { .. })
         )
     }
+
+    /// True when a write-ahead-log append or sync ran the volume out of
+    /// space; the owning operation failed cleanly and the environment is
+    /// now in read-only degraded mode.
+    pub fn is_no_space(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(xmldb_storage::StorageError::NoSpace)
+        )
+    }
+
+    /// True when a write was refused because the environment is in
+    /// read-only degraded mode (disk full); reads still work, and the mode
+    /// clears automatically once a checkpoint reclaims space.
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self.storage_cause(),
+            Some(xmldb_storage::StorageError::ReadOnly)
+        )
+    }
 }
 
 impl fmt::Display for Error {

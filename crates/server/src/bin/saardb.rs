@@ -21,16 +21,25 @@
 //!                                              the flight recorder
 //! saardb --db <dir> serve [--listen ADDR] [--max-sessions N]
 //!                         [--queue-depth N] [--queue-timeout SECS]
+//!                         [--handshake-timeout SECS] [--frame-timeout SECS]
+//!                         [--idle-txn-timeout SECS] [--idle-timeout SECS]
 //!                                              run the network server;
 //!                                              close stdin (or type
 //!                                              `stop`) for a graceful
-//!                                              shutdown
+//!                                              shutdown. The watchdog
+//!                                              flags bound how long a
+//!                                              session may dawdle in each
+//!                                              phase (0 disables the
+//!                                              idle-* ones)
 //! saardb --db <dir> shell                      interactive embedded session
 //! saardb --connect ADDR shell                  interactive *network*
 //!                                              session against a running
 //!                                              `saardb serve` (per-session
 //!                                              transactions and prepared
-//!                                              statements over the wire)
+//!                                              statements over the wire;
+//!                                              busy rejections and dropped
+//!                                              connections are retried
+//!                                              with jittered backoff)
 //!
 //! options: --engine m1|naive|m2|m3|m4|m4p|parallel   (default m4)
 //!          --pool-mb <n>                    buffer-pool budget (default 16)
@@ -51,7 +60,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use xmldb_core::{Database, EngineKind, QueryOptions};
 use xmldb_server::proto::engine_to_code;
-use xmldb_server::{Client, ClientError, QueryParams, Server, ServerConfig};
+use xmldb_server::{ClientError, QueryParams, RetryPolicy, RetryingClient, Server, ServerConfig};
 use xmldb_storage::EnvConfig;
 
 #[derive(Debug)]
@@ -98,7 +107,9 @@ fn print_usage() {
          \x20         stats [--json] | trace <name> <xq> |\n\
          \x20         flightrec [--slow-ms N] [<name> <xq>...] |\n\
          \x20         serve [--listen ADDR] [--max-sessions N] [--queue-depth N]\n\
-         \x20               [--queue-timeout SECS] | shell\n\
+         \x20               [--queue-timeout SECS] [--handshake-timeout SECS]\n\
+         \x20               [--frame-timeout SECS] [--idle-txn-timeout SECS]\n\
+         \x20               [--idle-timeout SECS] | shell\n\
          \x20  saardb recover <dir>    replay the write-ahead log and print a\n\
          \x20                          recovery report (no database open needed)"
     );
@@ -280,7 +291,13 @@ fn finish(result: Result<(), Box<dyn std::error::Error>>) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            match e.downcast_ref::<ClientError>() {
+            // A retry budget that died on Busy/Io is still that failure —
+            // scripts branch on the exit code, not on how patient we were.
+            let cause = match e.downcast_ref::<ClientError>() {
+                Some(ClientError::RetriesExhausted { last, .. }) => Some(&**last),
+                other => other,
+            };
+            match cause {
                 Some(ClientError::Busy(..)) => ExitCode::from(3),
                 Some(ClientError::Io(_)) => ExitCode::from(4),
                 _ => ExitCode::FAILURE,
@@ -454,6 +471,21 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Parses a watchdog deadline for `serve`: a finite, non-negative number
+/// of seconds, where `0` means "disabled" (`None`).
+fn serve_seconds(flag: &str, value: Option<&&str>) -> Result<Option<Duration>, String> {
+    let raw = *value.ok_or(format!("serve: {flag} needs a number of seconds"))?;
+    let secs: f64 = raw
+        .parse()
+        .map_err(|_| format!("serve: {flag} {raw:?} is not a number of seconds"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "serve: {flag} must be a finite, non-negative number of seconds (0 disables)"
+        ));
+    }
+    Ok((secs > 0.0).then(|| Duration::from_secs_f64(secs)))
+}
+
 /// `saardb serve`: run the network server until stdin closes (or says
 /// `stop`), then shut down gracefully — reject new work, sever sessions
 /// (open transactions roll back), join every thread, flush the database.
@@ -501,6 +533,20 @@ fn serve(db: &Database, args: &Args, rest: &[&str]) -> Result<(), Box<dyn std::e
                     return Err("serve: --queue-timeout must be positive and finite".into());
                 }
                 config.queue_timeout = Duration::from_secs_f64(secs);
+            }
+            "--handshake-timeout" => {
+                config.handshake_timeout = serve_seconds("--handshake-timeout", it.next())?
+                    .ok_or("serve: --handshake-timeout cannot be 0 (a hello must arrive)")?;
+            }
+            "--frame-timeout" => {
+                config.frame_timeout = serve_seconds("--frame-timeout", it.next())?
+                    .ok_or("serve: --frame-timeout cannot be 0 (a started frame must finish)")?;
+            }
+            "--idle-txn-timeout" => {
+                config.idle_txn_timeout = serve_seconds("--idle-txn-timeout", it.next())?;
+            }
+            "--idle-timeout" => {
+                config.idle_timeout = serve_seconds("--idle-timeout", it.next())?;
             }
             other => return Err(format!("serve: unknown flag {other:?}").into()),
         }
@@ -672,19 +718,21 @@ fn shell_statement(
 /// statements and budgets live server-side in this connection's session.
 fn network_shell(addr: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     use std::io::{BufRead, Write};
-    let mut client = Client::connect(addr)?;
-    let mut in_txn = false;
-    eprintln!(
-        "saardb shell — connected to {addr} (session {})",
-        client.session_id()
-    );
+    // The retrying client absorbs Busy rejections, queue timeouts and
+    // dropped connections behind jittered backoff; it also owns the
+    // transaction flag, because retry safety depends on it.
+    let mut client = RetryingClient::connect(addr, RetryPolicy::default())?;
+    match client.session_id() {
+        Some(id) => eprintln!("saardb shell — connected to {addr} (session {id})"),
+        None => eprintln!("saardb shell — connected to {addr}"),
+    }
     eprintln!(
         "-- begin | commit | rollback | query <doc> <xq> | prepare <doc> <xq> | exec <id> |\n\
          --   load <doc> <file.xml> | drop <doc> | ls | ping | exit"
     );
     let stdin = std::io::stdin();
     loop {
-        eprint!("{}", if in_txn { "txn> " } else { "sdb> " });
+        eprint!("{}", if client.in_txn() { "txn> " } else { "sdb> " });
         std::io::stderr().flush().ok();
         let mut line = String::new();
         if stdin.lock().read_line(&mut line)? == 0 {
@@ -694,21 +742,18 @@ fn network_shell(addr: &str, args: &Args) -> Result<(), Box<dyn std::error::Erro
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let was_in_txn = client.in_txn();
         let (word, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-        match network_statement(&mut client, args, &mut in_txn, word, rest.trim()) {
+        match network_statement(&mut client, args, word, rest.trim()) {
             Ok(true) => break,
             Ok(false) => {}
-            // The connection is gone — no further statement can work.
-            Err(e @ ClientError::Io(_)) => return Err(e.into()),
             Err(e) => {
                 eprintln!("error: {e}");
-                if let ClientError::Server(code, _) = e {
-                    // The server rolls back (and forgets) a deadlock
-                    // victim's transaction; mirror that client-side.
-                    if code == xmldb_server::ErrorCode::Deadlock {
-                        eprintln!("-- transaction rolled back by the server; begin again to retry");
-                        in_txn = false;
-                    }
+                // The retry layer resets its transaction flag when the
+                // server has already rolled the victim back (deadlock,
+                // dead connection) — tell the user why the prompt changed.
+                if was_in_txn && !client.in_txn() && word != "commit" && word != "rollback" {
+                    eprintln!("-- transaction rolled back by the server; begin again to retry");
                 }
             }
         }
@@ -719,9 +764,8 @@ fn network_shell(addr: &str, args: &Args) -> Result<(), Box<dyn std::error::Erro
 
 /// One network-shell statement. Returns `Ok(true)` to exit the session.
 fn network_statement(
-    client: &mut Client,
+    client: &mut RetryingClient,
     args: &Args,
-    in_txn: &mut bool,
     word: &str,
     rest: &str,
 ) -> Result<bool, ClientError> {
@@ -735,17 +779,14 @@ fn network_statement(
         ("begin", _) => {
             let info = client.begin()?;
             eprintln!("-- {info}");
-            *in_txn = true;
         }
         ("commit", _) => {
             let info = client.commit()?;
             eprintln!("-- {info}");
-            *in_txn = false;
         }
         ("rollback", _) => {
             let info = client.rollback()?;
             eprintln!("-- {info}");
-            *in_txn = false;
         }
         ("ls", _) => {
             for doc in client.list_docs()? {
@@ -901,6 +942,17 @@ mod tests {
             assert!(parse(flags).is_err(), "{flags:?} should be rejected");
         }
         assert!(parse(&[]).unwrap_err().contains("no command"));
+    }
+
+    #[test]
+    fn serve_seconds_accepts_zero_as_disabled_and_rejects_garbage() {
+        let val = |s: &'static str| serve_seconds("--idle-timeout", Some(&s));
+        assert_eq!(val("0").unwrap(), None);
+        assert_eq!(val("2.5").unwrap(), Some(Duration::from_millis(2500)));
+        for bad in ["-1", "NaN", "inf", "later"] {
+            assert!(val(bad).is_err(), "{bad} should be rejected");
+        }
+        assert!(serve_seconds("--idle-timeout", None).is_err());
     }
 
     #[test]

@@ -31,6 +31,15 @@ pub enum ClientError {
     /// The server answered, but with a response type this call didn't
     /// expect (protocol desync or a server bug).
     Unexpected(String),
+    /// A [`RetryingClient`] spent its whole attempt budget on a failure
+    /// its policy considers retryable; `last` is the final attempt's
+    /// error.
+    RetriesExhausted {
+        /// Attempts made (the first try plus every retry).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -43,6 +52,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Server(code, m) => write!(f, "server error [{}]: {m}", code.name()),
             ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -275,5 +287,379 @@ impl Client {
     pub fn close(mut self) -> ClientResult<()> {
         let _ = self.expect_done(&Request::Close)?;
         Ok(())
+    }
+}
+
+// --- retry layer -----------------------------------------------------------
+
+/// How a [`RetryingClient`] responds to retryable failures: a budget of
+/// attempts with capped, jittered exponential backoff between them, and
+/// whether a lost connection may be re-dialed.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempt budget (the first try counts; minimum 1). When a
+    /// retryable failure burns the whole budget the call returns
+    /// [`ClientError::RetriesExhausted`] carrying the last error.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (the doubling stops here).
+    pub max_backoff: Duration,
+    /// Whether a broken connection may be re-dialed. Even with this set,
+    /// non-idempotent statements whose connection died mid-call are NOT
+    /// retried — the client cannot know whether the server applied them.
+    pub reconnect: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            reconnect: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never reconnects — [`RetryingClient`]
+    /// behaves like a plain [`Client`] with state tracking.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            reconnect: false,
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based): capped exponential
+    /// with full jitter in the upper half, so a thundering herd of
+    /// rejected clients decorrelates instead of re-arriving in lockstep.
+    fn backoff(&self, retry: u32, seed: &mut u64) -> Duration {
+        let exp = self
+            .initial_backoff
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_backoff);
+        let half = exp / 2;
+        let jitter_range = exp.saturating_sub(half).as_millis() as u64;
+        let jitter = if jitter_range == 0 {
+            0
+        } else {
+            xorshift64(seed) % (jitter_range + 1)
+        };
+        half + Duration::from_millis(jitter)
+    }
+}
+
+/// Cheap deterministic PRNG for backoff jitter (no external dependency;
+/// cryptographic quality is irrelevant here).
+fn xorshift64(seed: &mut u64) -> u64 {
+    let mut x = *seed;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *seed = x;
+    x
+}
+
+/// Whether an error aborts the call or earns another attempt.
+enum Disposition {
+    Fatal,
+    Retry,
+}
+
+/// A [`Client`] wrapped in a [`RetryPolicy`]: typed retryable failures
+/// (admission `Busy`, queue timeouts, deadlock victims) are retried with
+/// capped jittered backoff, and a lost connection is re-dialed — with one
+/// hard rule: a non-idempotent statement whose connection died mid-call,
+/// or any statement inside an open transaction the server has since lost,
+/// is *never* silently replayed. Those surface immediately so the caller
+/// can decide (re-`begin` and replay, or give up).
+///
+/// The wrapper tracks the transaction state (`begin`/`commit`/`rollback`)
+/// itself, because retry safety depends on it: reads outside a
+/// transaction reconnect-and-retry freely; anything inside one cannot.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: std::net::SocketAddr,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    in_txn: bool,
+    seed: u64,
+    retries: u64,
+    connect_timeout: Duration,
+}
+
+impl RetryingClient {
+    /// Resolves `addr` and dials it (connect failures already go through
+    /// the retry policy, so a briefly unreachable server is tolerated).
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> ClientResult<RetryingClient> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))
+        })?;
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            | 1;
+        let mut client = RetryingClient {
+            addr,
+            policy,
+            client: None,
+            in_txn: false,
+            seed,
+            retries: 0,
+            connect_timeout: Duration::from_secs(5),
+        };
+        client.run(true, |_| Ok(()))?;
+        Ok(client)
+    }
+
+    /// True while this client believes it holds an open server-side
+    /// transaction.
+    pub fn in_txn(&self) -> bool {
+        self.in_txn
+    }
+
+    /// Retries performed over this client's lifetime (attempts beyond
+    /// each call's first) — the chaos bench's convergence measure.
+    pub fn total_retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The server-assigned id of the current session, if connected.
+    pub fn session_id(&self) -> Option<u64> {
+        self.client.as_ref().map(Client::session_id)
+    }
+
+    fn ensure_connected(&mut self) -> ClientResult<&mut Client> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect_timeout(&self.addr, self.connect_timeout)?);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// The retry loop every call runs through. `idempotent` marks calls
+    /// that may be blindly replayed after a connection died mid-call;
+    /// connect-phase failures are always replayable (the statement never
+    /// ran).
+    fn run<T>(
+        &mut self,
+        idempotent: bool,
+        mut op: impl FnMut(&mut Client) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        let budget = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let (err, connecting) = match self.ensure_connected() {
+                Ok(client) => match op(client) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => (e, false),
+                },
+                Err(e) => (e, true),
+            };
+            match self.classify(&err, idempotent, connecting) {
+                Disposition::Fatal => return Err(err),
+                Disposition::Retry => {
+                    attempt += 1;
+                    if attempt >= budget {
+                        return Err(ClientError::RetriesExhausted {
+                            attempts: attempt,
+                            last: Box::new(err),
+                        });
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(self.policy.backoff(attempt - 1, &mut self.seed));
+                }
+            }
+        }
+    }
+
+    /// The retry rules, with their side effects on connection and
+    /// transaction state.
+    fn classify(&mut self, e: &ClientError, idempotent: bool, connecting: bool) -> Disposition {
+        match e {
+            // Admission rejection (queue full or queue-wait timeout): the
+            // server closed the connection after answering; nothing ran.
+            // Always retryable — that is the whole point of the typed
+            // Busy answer.
+            ClientError::Busy(..) => {
+                self.client = None;
+                Disposition::Retry
+            }
+            ClientError::Server(code, _) => match code {
+                // The server rolled the victim back. Outside a
+                // transaction (a bare statement) retrying is safe; inside
+                // one the client's statements are gone — surface so the
+                // caller re-begins and replays.
+                ErrorCode::Deadlock => {
+                    if self.in_txn {
+                        self.in_txn = false;
+                        Disposition::Fatal
+                    } else {
+                        Disposition::Retry
+                    }
+                }
+                ErrorCode::ShuttingDown => {
+                    self.client = None;
+                    if self.in_txn {
+                        self.in_txn = false;
+                        Disposition::Fatal
+                    } else {
+                        Disposition::Retry
+                    }
+                }
+                // Read-only degraded mode is not backed off against:
+                // hammering a full disk helps nobody. Callers see the
+                // typed code and decide.
+                _ => Disposition::Fatal,
+            },
+            ClientError::Io(_) => {
+                self.client = None;
+                if connecting {
+                    // The statement never reached the server.
+                    if self.policy.reconnect {
+                        Disposition::Retry
+                    } else {
+                        Disposition::Fatal
+                    }
+                } else if self.in_txn {
+                    // Connection died mid-transaction: the server rolls
+                    // the transaction back on disconnect. Surface it.
+                    self.in_txn = false;
+                    Disposition::Fatal
+                } else if self.policy.reconnect && idempotent {
+                    Disposition::Retry
+                } else {
+                    // Mid-call death of a non-idempotent statement: the
+                    // server may or may not have applied it. Never guess.
+                    Disposition::Fatal
+                }
+            }
+            ClientError::Proto(_) | ClientError::Unexpected(_) => {
+                self.client = None;
+                Disposition::Fatal
+            }
+            ClientError::RetriesExhausted { .. } => Disposition::Fatal,
+        }
+    }
+
+    /// Round-trip liveness probe (idempotent).
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.run(true, |c| c.ping())
+    }
+
+    /// Evaluates `query` against `doc` (idempotent: reads reconnect and
+    /// retry freely outside a transaction).
+    pub fn query(
+        &mut self,
+        doc: &str,
+        query: &str,
+        params: QueryParams,
+    ) -> ClientResult<QueryReply> {
+        self.run(true, |c| c.query(doc, query, params))
+    }
+
+    /// Compiles `query` server-side. Re-preparing is harmless, so this
+    /// retries like a read; note the returned id dies with its session —
+    /// after a reconnect, prepare again.
+    pub fn prepare(&mut self, doc: &str, query: &str, engine: Option<u8>) -> ClientResult<u64> {
+        self.run(true, |c| c.prepare(doc, query, engine))
+    }
+
+    /// Executes a prepared statement. The execution is a read, but the id
+    /// is session-scoped: after a reconnect the server answers
+    /// `NoSuchPrepared` (fatal) — prepare again on this client.
+    pub fn exec_prepared(&mut self, id: u64) -> ClientResult<QueryReply> {
+        self.run(true, |c| c.exec_prepared(id))
+    }
+
+    /// Begins the session transaction. Safe to retry: a reconnect opens a
+    /// fresh session with no transaction.
+    pub fn begin(&mut self) -> ClientResult<String> {
+        let info = self.run(true, |c| c.begin())?;
+        self.in_txn = true;
+        Ok(info)
+    }
+
+    /// Commits the session transaction. Never auto-retried: a connection
+    /// that dies after the commit frame was sent leaves the outcome
+    /// unknowable from here. On *any* error the transaction is gone
+    /// server-side (failed commits roll back; disconnects roll back), so
+    /// the client leaves transaction state either way.
+    pub fn commit(&mut self) -> ClientResult<String> {
+        let r = self.run(false, |c| c.commit());
+        self.in_txn = false;
+        r
+    }
+
+    /// Rolls back the session transaction. Like [`RetryingClient::commit`],
+    /// leaves transaction state whatever happens — a dead connection gets
+    /// the same rollback from the server's disconnect path.
+    pub fn rollback(&mut self) -> ClientResult<String> {
+        let r = self.run(false, |c| c.rollback());
+        self.in_txn = false;
+        r
+    }
+
+    /// Loads `xml` as document `name`. Not idempotent (a blind replay of
+    /// a load whose connection died mid-call could double-apply): only
+    /// connect-phase failures and typed pre-execution rejections retry.
+    pub fn load(&mut self, name: &str, xml: &str) -> ClientResult<String> {
+        self.run(false, |c| c.load(name, xml))
+    }
+
+    /// Drops document `name` (not idempotent, same rules as `load`).
+    pub fn drop_doc(&mut self, name: &str) -> ClientResult<String> {
+        self.run(false, |c| c.drop_doc(name))
+    }
+
+    /// Lists the server's documents (idempotent).
+    pub fn list_docs(&mut self) -> ClientResult<Vec<String>> {
+        self.run(true, |c| c.list_docs())
+    }
+
+    /// Polite goodbye (best effort — a dead connection is already closed).
+    pub fn close(mut self) -> ClientResult<()> {
+        match self.client.take() {
+            Some(c) => c.close(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            reconnect: true,
+        };
+        let mut seed = 0x5AA2_DB01u64;
+        for retry in 0..12 {
+            let b = policy.backoff(retry, &mut seed);
+            assert!(b <= policy.max_backoff, "retry {retry}: {b:?}");
+            // Never collapses to zero once the exponent is non-trivial.
+            if retry >= 1 {
+                assert!(b >= Duration::from_millis(10), "retry {retry}: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn none_policy_has_one_attempt() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert!(!p.reconnect);
     }
 }

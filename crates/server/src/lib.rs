@@ -16,7 +16,10 @@
 //!   transactions, per-session prepared-statement caches, and per-request
 //!   deadline/memory budgets wired into the storage governor,
 //! * [`client`] — the blocking client used by `saardb shell --connect`
-//!   and the benchmark load generator.
+//!   and the benchmark load generator, plus [`RetryingClient`]: the same
+//!   API behind a [`RetryPolicy`] that absorbs admission rejections,
+//!   deadlock victims and dead connections — without ever silently
+//!   replaying a non-idempotent statement whose fate is unknown.
 //!
 //! The `saardb` CLI binary also lives here (it needs the client and the
 //! server; the engine crates must not depend on either).
@@ -25,6 +28,8 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientResult, QueryParams, QueryReply};
+pub use client::{
+    Client, ClientError, ClientResult, QueryParams, QueryReply, RetryPolicy, RetryingClient,
+};
 pub use proto::{engine_from_code, engine_to_code, ErrorCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

@@ -144,6 +144,11 @@ pub enum ErrorCode {
     ShuttingDown = 14,
     /// Anything else (the message says what).
     Internal = 15,
+    /// The server's storage is in read-only degraded mode (disk full):
+    /// writes are refused, reads still work. Not auto-retried — backoff
+    /// would just hammer a full volume; the mode clears once a checkpoint
+    /// reclaims space.
+    ReadOnly = 16,
     /// A code this build does not know (forward compatibility).
     Unknown = 0,
 }
@@ -167,6 +172,7 @@ impl ErrorCode {
             13 => ErrorCode::NoSuchPrepared,
             14 => ErrorCode::ShuttingDown,
             15 => ErrorCode::Internal,
+            16 => ErrorCode::ReadOnly,
             _ => ErrorCode::Unknown,
         }
     }
@@ -189,6 +195,7 @@ impl ErrorCode {
             ErrorCode::NoSuchPrepared => "no-such-prepared",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Internal => "internal",
+            ErrorCode::ReadOnly => "read-only",
             ErrorCode::Unknown => "unknown",
         }
     }
@@ -697,14 +704,23 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame's payload, verifying length and CRC.
-///
-/// A clean close *between* frames is [`FrameError::Eof`]; a close (or any
-/// transport error) mid-frame is [`FrameError::Io`]; a malformed header
-/// or checksum is [`FrameError::Proto`] — the caller answers with a typed
-/// error and drops the connection, because after framing garbage the byte
-/// stream cannot be re-aligned.
-pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameError> {
+/// A validated frame header: declared payload length (already checked
+/// against the caller's ceiling) and the CRC the payload must match.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameHeader {
+    /// Declared payload length in bytes (`0 < len <= max_len`).
+    pub len: usize,
+    /// CRC-32 the payload must hash to.
+    pub crc: u32,
+}
+
+/// Reads and validates one frame's 8-byte header. A clean close *before*
+/// the first header byte is [`FrameError::Eof`]; a close mid-header is
+/// [`FrameError::Io`]. Split out from [`read_frame`] so a server can
+/// start a per-frame deadline clock the moment a header arrives — a peer
+/// trickling the payload one byte a second is then bounded by the frame
+/// deadline, not trusted indefinitely.
+pub fn read_frame_header(r: &mut impl Read, max_len: usize) -> Result<FrameHeader, FrameError> {
     let mut header = [0u8; 8];
     // First byte decides Eof vs mid-frame truncation.
     let mut got = 0usize;
@@ -718,26 +734,41 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameErr
         }
     }
     let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-    let expected_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
     if len > max_len {
         return Err(FrameError::Proto(ProtoError::Oversized { len: len as u64 }));
     }
     if len == 0 {
         return Err(FrameError::Proto(ProtoError::EmptyFrame));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(|e| match e.kind() {
-        io::ErrorKind::UnexpectedEof => FrameError::Io(e),
-        _ => FrameError::Io(e),
-    })?;
+    Ok(FrameHeader { len, crc })
+}
+
+/// Reads the payload a validated [`FrameHeader`] announced and checks its
+/// CRC. Any short read is [`FrameError::Io`].
+pub fn read_frame_body(r: &mut impl Read, header: FrameHeader) -> Result<Vec<u8>, FrameError> {
+    let mut payload = vec![0u8; header.len];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
     let got_crc = crc32(&payload);
-    if got_crc != expected_crc {
+    if got_crc != header.crc {
         return Err(FrameError::Proto(ProtoError::BadCrc {
-            expected: expected_crc,
+            expected: header.crc,
             got: got_crc,
         }));
     }
     Ok(payload)
+}
+
+/// Reads one frame's payload, verifying length and CRC.
+///
+/// A clean close *between* frames is [`FrameError::Eof`]; a close (or any
+/// transport error) mid-frame is [`FrameError::Io`]; a malformed header
+/// or checksum is [`FrameError::Proto`] — the caller answers with a typed
+/// error and drops the connection, because after framing garbage the byte
+/// stream cannot be re-aligned.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, FrameError> {
+    let header = read_frame_header(r, max_len)?;
+    read_frame_body(r, header)
 }
 
 #[cfg(test)]

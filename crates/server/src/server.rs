@@ -31,8 +31,8 @@
 //! moment the server notices the broken connection.
 
 use crate::proto::{
-    engine_from_code, read_frame, write_frame, ErrorCode, FrameError, ProtoError, Request,
-    Response, ENGINE_DEFAULT, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    engine_from_code, read_frame_body, read_frame_header, write_frame, ErrorCode, FrameError,
+    ProtoError, Request, Response, ENGINE_DEFAULT, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::io;
@@ -66,6 +66,24 @@ pub struct ServerConfig {
     /// Prepared statements cached per session before the oldest is
     /// evicted.
     pub max_prepared_per_session: usize,
+    /// Longest a fresh connection may take to complete the Hello
+    /// handshake: a peer that connects and never speaks is severed by the
+    /// watchdog instead of pinning its session slot forever.
+    pub handshake_timeout: Duration,
+    /// Total deadline for one request frame, measured from the moment its
+    /// header arrives: a peer trickling the payload one byte a second is
+    /// bounded by this, not trusted indefinitely.
+    pub frame_timeout: Duration,
+    /// Idle-in-transaction reaper: a session holding an open transaction
+    /// that sends nothing for this long is severed, its transaction rolled
+    /// back and its page locks freed (`None` = never reap).
+    pub idle_txn_timeout: Option<Duration>,
+    /// Plain idle sessions (no open transaction) severed after this much
+    /// silence (`None` = keep idle sessions forever, the default).
+    pub idle_timeout: Option<Duration>,
+    /// Per-write timeout on session streams, so a peer that stops reading
+    /// cannot block a session thread in `write` forever.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +97,11 @@ impl Default for ServerConfig {
             default_engine: EngineKind::M4CostBased,
             parallelism: None,
             max_prepared_per_session: 256,
+            handshake_timeout: Duration::from_secs(10),
+            frame_timeout: Duration::from_secs(30),
+            idle_txn_timeout: Some(Duration::from_secs(60)),
+            idle_timeout: None,
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -118,6 +141,12 @@ struct Metrics {
     request_errors_total: Arc<Counter>,
     request_us: Arc<Histogram>,
     disconnect_rollbacks_total: Arc<Counter>,
+    accept_errors_total: Arc<Counter>,
+    watchdog_severed_handshake: Arc<Counter>,
+    watchdog_severed_frame: Arc<Counter>,
+    watchdog_severed_idle_txn: Arc<Counter>,
+    watchdog_severed_idle: Arc<Counter>,
+    watchdog_reclaims_total: Arc<Counter>,
 }
 
 impl Metrics {
@@ -156,6 +185,18 @@ impl Metrics {
             "saardb_server_disconnect_rollbacks_total",
             "Open transactions rolled back because the client vanished",
         );
+        r.help(
+            "saardb_server_accept_errors_total",
+            "accept() failures on the listener (answered with capped backoff)",
+        );
+        r.help(
+            "saardb_server_watchdog_severed_total",
+            "Sessions severed by the watchdog (by reason)",
+        );
+        r.help(
+            "saardb_server_watchdog_reclaims_total",
+            "Times the watchdog recovered the storage from read-only degraded mode",
+        );
         Metrics {
             connections_total: r.counter("saardb_server_connections_total", &[]),
             rejected_total: r.counter("saardb_server_rejected_total", &[("reason", "queue_full")]),
@@ -170,6 +211,24 @@ impl Metrics {
             request_errors_total: r.counter("saardb_server_request_errors_total", &[]),
             request_us: r.histogram("saardb_server_request_us", &[]),
             disconnect_rollbacks_total: r.counter("saardb_server_disconnect_rollbacks_total", &[]),
+            accept_errors_total: r.counter("saardb_server_accept_errors_total", &[]),
+            watchdog_severed_handshake: r.counter(
+                "saardb_server_watchdog_severed_total",
+                &[("reason", "handshake")],
+            ),
+            watchdog_severed_frame: r.counter(
+                "saardb_server_watchdog_severed_total",
+                &[("reason", "frame")],
+            ),
+            watchdog_severed_idle_txn: r.counter(
+                "saardb_server_watchdog_severed_total",
+                &[("reason", "idle_txn")],
+            ),
+            watchdog_severed_idle: r.counter(
+                "saardb_server_watchdog_severed_total",
+                &[("reason", "idle")],
+            ),
+            watchdog_reclaims_total: r.counter("saardb_server_watchdog_reclaims_total", &[]),
         }
     }
 }
@@ -184,17 +243,106 @@ struct Shared {
     /// Live session streams (for shutdown to sever) and finished-thread
     /// reaping.
     sessions: Mutex<SessionTable>,
+    /// Documents whose load was answered with an error but whose files
+    /// could not be removed because the environment had just degraded to
+    /// read-only. The client heard "failed", so they must not surface
+    /// after recovery: the watchdog drops them as soon as the
+    /// environment is writable again.
+    orphaned_docs: Mutex<Vec<String>>,
+}
+
+/// What a session is doing right now — the watchdog's clock starts over
+/// at every phase change, and only some phases carry a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for an admission slot (bounded by the queue timeout).
+    Queued,
+    /// Waiting for the Hello frame (bounded by the handshake timeout).
+    Handshake,
+    /// Waiting for the next request header, no open transaction
+    /// (bounded by the idle timeout, if configured).
+    Idle,
+    /// Waiting for the next request header while holding an open
+    /// transaction — and therefore page locks other sessions may need
+    /// (bounded by the idle-in-transaction timeout).
+    IdleInTxn,
+    /// A request header arrived; the body is being received (bounded by
+    /// the frame timeout, so tricklers cannot stall forever).
+    MidFrame,
+    /// Executing a request (bounded by the request's own governor).
+    Busy,
+    /// The watchdog cut the connection; the session thread is unwinding.
+    /// Latched so a session is never severed (or counted) twice.
+    Severed,
+}
+
+/// A live session as the watchdog sees it: the stream to sever, the
+/// current phase, and when that phase began.
+struct SessionEntry {
+    stream: TcpStream,
+    phase: Phase,
+    since: Instant,
 }
 
 #[derive(Default)]
 struct SessionTable {
-    streams: HashMap<u64, TcpStream>,
+    sessions: HashMap<u64, SessionEntry>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Moves a session to `phase`, restarting its watchdog clock. A
+    /// session the watchdog already severed stays severed — the session
+    /// thread may race one last phase change while its read unwinds, and
+    /// that must not resurrect the entry.
+    fn set_phase(&self, id: u64, phase: Phase) {
+        let mut table = self.sessions.lock().expect("session table");
+        if let Some(entry) = table.sessions.get_mut(&id) {
+            if entry.phase != Phase::Severed {
+                entry.phase = phase;
+                entry.since = Instant::now();
+            }
+        }
+    }
+
+    /// One watchdog pass: sever every session that sat in a deadline-
+    /// carrying phase past its limit. The sever is a TCP shutdown on the
+    /// registered stream clone — the session thread's blocked read
+    /// returns, and its normal cleanup path rolls back any open
+    /// transaction and releases the slot.
+    fn watchdog_tick(&self) {
+        let config = &self.config;
+        let mut table = self.sessions.lock().expect("session table");
+        for entry in table.sessions.values_mut() {
+            let expired = match entry.phase {
+                Phase::Handshake => Some((
+                    config.handshake_timeout,
+                    &self.metrics.watchdog_severed_handshake,
+                )),
+                Phase::MidFrame => {
+                    Some((config.frame_timeout, &self.metrics.watchdog_severed_frame))
+                }
+                Phase::IdleInTxn => config
+                    .idle_txn_timeout
+                    .map(|d| (d, &self.metrics.watchdog_severed_idle_txn)),
+                Phase::Idle => config
+                    .idle_timeout
+                    .map(|d| (d, &self.metrics.watchdog_severed_idle)),
+                Phase::Queued | Phase::Busy | Phase::Severed => None,
+            };
+            if let Some((limit, counter)) = expired {
+                if entry.since.elapsed() >= limit {
+                    let _ = entry.stream.shutdown(Shutdown::Both);
+                    entry.phase = Phase::Severed;
+                    entry.since = Instant::now();
+                    counter.inc();
+                }
+            }
+        }
     }
 
     /// Gate 1/2/3 decision. Never blocks.
@@ -268,6 +416,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     listener_thread: Option<std::thread::JoinHandle<()>>,
+    watchdog_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -300,16 +449,23 @@ impl Server {
             metrics,
             next_session_id: AtomicU64::new(1),
             sessions: Mutex::new(SessionTable::default()),
+            orphaned_docs: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let listener_thread = std::thread::Builder::new()
             .name("saardb-listener".into())
             .spawn(move || accept_loop(&accept_shared, listener))
             .expect("spawn listener thread");
+        let watchdog_shared = Arc::clone(&shared);
+        let watchdog_thread = std::thread::Builder::new()
+            .name("saardb-watchdog".into())
+            .spawn(move || watchdog_loop(&watchdog_shared))
+            .expect("spawn watchdog thread");
         Ok(Server {
             shared,
             addr: local,
             listener_thread: Some(listener_thread),
+            watchdog_thread: Some(watchdog_thread),
         })
     }
 
@@ -341,12 +497,15 @@ impl Server {
         if let Some(t) = self.listener_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.watchdog_thread.take() {
+            let _ = t.join();
+        }
         // Sever session streams: blocked reads return, sessions unwind
         // their state (rolling back open transactions) and exit.
         let handles = {
             let mut table = self.shared.sessions.lock().expect("session table");
-            for stream in table.streams.values() {
-                let _ = stream.shutdown(Shutdown::Both);
+            for entry in table.sessions.values() {
+                let _ = entry.stream.shutdown(Shutdown::Both);
             }
             std::mem::take(&mut table.handles)
         };
@@ -363,16 +522,56 @@ impl Drop for Server {
     }
 }
 
+/// Watchdog: every tick, sever expired sessions (slow handshakes,
+/// mid-frame tricklers, idle-in-transaction lock holders) and — when the
+/// storage latched read-only on a full disk — probe for recovery, so the
+/// server exits degraded mode by itself once a checkpoint reclaims space.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    while !shared.shutting_down() {
+        std::thread::sleep(Duration::from_millis(25));
+        shared.watchdog_tick();
+        let env = shared.db.env();
+        if env.is_read_only() {
+            if let Ok(true) = env.try_exit_read_only() {
+                shared.metrics.watchdog_reclaims_total.inc();
+            }
+        }
+        if !env.is_read_only() {
+            // Writable again: scrub documents whose failed loads could
+            // not be compensated while degraded. Their clients were told
+            // the load failed, so they must not outlive recovery. The
+            // lock is held across the scrubs: a `Load` of a parked name
+            // synchronizes on the same lock before reloading it, so the
+            // drain can never delete files out from under a legitimate
+            // reload. Names that still cannot be scrubbed (degraded
+            // again between the check and the drop) stay parked.
+            let mut orphans = shared.orphaned_docs.lock().unwrap();
+            orphans.retain(|name| shared.db.scrub_document(name).is_err());
+        }
+    }
+}
+
 fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut backoff = Duration::from_millis(1);
     for stream in listener.incoming() {
         if shared.shutting_down() {
             break;
         }
         let stream = match stream {
-            Ok(s) => s,
+            Ok(s) => {
+                backoff = Duration::from_millis(1);
+                s
+            }
             // Transient accept errors (EMFILE under load, aborted
-            // handshakes) must never kill the listener.
-            Err(_) => continue,
+            // handshakes) must never kill the listener — but persistent
+            // ones must not hot-spin it either: sleep with a capped
+            // doubling backoff, reset on the next successful accept.
+            Err(_) => {
+                shared.metrics.accept_errors_total.inc();
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+                continue;
+            }
         };
         shared.metrics.connections_total.inc();
         let _ = stream.set_nodelay(true);
@@ -407,10 +606,16 @@ fn reject_busy(stream: TcpStream, state: AdmState, why: &'static str) {
         // Drain what the peer already sent (its Hello, typically): closing
         // with unread bytes turns into a TCP reset that can destroy the
         // Busy answer in the peer's receive buffer before it reads it.
+        // Bounded in both bytes and time — a peer that keeps sending must
+        // not keep this thread reading forever.
+        const DRAIN_MAX_BYTES: usize = 64 << 10;
+        let drain_deadline = Instant::now() + Duration::from_secs(2);
         let mut sink = [0u8; 512];
-        while let Ok(n) = io::Read::read(&mut stream, &mut sink) {
-            if n == 0 {
-                break;
+        let mut drained = 0usize;
+        while drained < DRAIN_MAX_BYTES && Instant::now() < drain_deadline {
+            match io::Read::read(&mut stream, &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
             }
         }
     };
@@ -431,7 +636,18 @@ fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, queued: bool) {
     {
         let mut table = shared.sessions.lock().expect("session table");
         if let Some(clone) = registered {
-            table.streams.insert(id, clone);
+            table.sessions.insert(
+                id,
+                SessionEntry {
+                    stream: clone,
+                    phase: if queued {
+                        Phase::Queued
+                    } else {
+                        Phase::Handshake
+                    },
+                    since: Instant::now(),
+                },
+            );
         }
         // Opportunistic reaping keeps the handle list bounded by the live
         // session count instead of the server's lifetime total.
@@ -450,11 +666,11 @@ fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, queued: bool) {
         Err(_) => {
             // Could not even spawn a thread: treat as capacity exhaustion.
             let mut table = shared.sessions.lock().expect("session table");
-            if let Some(stream) = table.streams.remove(&id) {
+            if let Some(entry) = table.sessions.remove(&id) {
                 drop(table);
                 shared.metrics.rejected_total.inc();
                 let state = shared.admission_state();
-                reject_busy(stream, state, "out of session threads");
+                reject_busy(entry.stream, state, "out of session threads");
             }
             if queued {
                 let mut state = shared.admission.state.lock().expect("admission state");
@@ -478,6 +694,7 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, queued: boo
                     .metrics
                     .queue_wait_us
                     .record(waited.as_micros() as u64);
+                shared.set_phase(id, Phase::Handshake);
             }
             Err(state) => {
                 shared.metrics.rejected_timeout_total.inc();
@@ -485,13 +702,15 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, queued: boo
                     .sessions
                     .lock()
                     .expect("session table")
-                    .streams
+                    .sessions
                     .remove(&id);
                 reject_busy(stream, state, "admission queue wait timed out");
                 return;
             }
         }
     }
+    // A peer that stops reading must not park this thread in write().
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
     let mut session = Session {
         shared: Arc::clone(shared),
         id,
@@ -513,7 +732,7 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, queued: boo
         .sessions
         .lock()
         .expect("session table")
-        .streams
+        .sessions
         .remove(&id);
     shared.release_slot();
     let _ = stream.shutdown(Shutdown::Both);
@@ -541,8 +760,9 @@ impl Session {
     /// Handshake + request loop. Returns when the client closes, dies, or
     /// sends framing garbage.
     fn serve(&mut self, stream: &mut TcpStream) {
-        // Handshake: first frame must be a version-matched Hello.
-        match self.read_request(stream) {
+        // Handshake: first frame must be a version-matched Hello. The
+        // watchdog bounds how long it may take to arrive.
+        match self.read_request(stream, Phase::Handshake) {
             Some(Request::Hello { version }) if version == PROTOCOL_VERSION => {
                 let ack = Response::HelloAck {
                     version: PROTOCOL_VERSION,
@@ -579,9 +799,18 @@ impl Session {
                 let _ = write_frame(stream, &err.encode());
                 return;
             }
-            let Some(request) = self.read_request(stream) else {
+            // Idle phase choice is what the idle-in-transaction reaper
+            // keys on: silence while holding page locks has a (usually
+            // much tighter) deadline of its own.
+            let waiting = if self.txn.is_some() {
+                Phase::IdleInTxn
+            } else {
+                Phase::Idle
+            };
+            let Some(request) = self.read_request(stream, waiting) else {
                 return;
             };
+            self.shared.set_phase(self.id, Phase::Busy);
             let closing = matches!(request, Request::Close);
             let op_started = Instant::now();
             let response = self.handle(&request);
@@ -600,11 +829,43 @@ impl Session {
     }
 
     /// Reads and decodes one request. `None` means the session is over —
-    /// clean close, dead peer, or framing garbage (which gets a typed
-    /// error first; after garbage the stream cannot be re-aligned, so the
-    /// connection closes — but the *server* keeps serving everyone else).
-    fn read_request(&mut self, stream: &mut TcpStream) -> Option<Request> {
-        let payload = match read_frame(stream, MAX_FRAME_LEN) {
+    /// clean close, dead peer, watchdog sever, or framing garbage (which
+    /// gets a typed error first; after garbage the stream cannot be
+    /// re-aligned, so the connection closes — but the *server* keeps
+    /// serving everyone else).
+    ///
+    /// The wait for the next frame *header* runs under `waiting` (an
+    /// idle/handshake phase, each with its own watchdog deadline); the
+    /// moment a header arrives the session moves to [`Phase::MidFrame`],
+    /// so receiving the body is bounded by the frame timeout no matter
+    /// how slowly the peer trickles it.
+    fn read_request(&mut self, stream: &mut TcpStream, waiting: Phase) -> Option<Request> {
+        self.shared.set_phase(self.id, waiting);
+        // Wait in `waiting` until the first byte of the next frame shows
+        // up (peek does not consume it), then switch to the deadline-ed
+        // `MidFrame` phase *before* reading the header — a slow-loris
+        // client trickling half a header must not idle forever under a
+        // disabled idle timeout.
+        let mut first = [0u8; 1];
+        match stream.peek(&mut first) {
+            Ok(0) | Err(_) => return None,
+            Ok(_) => {}
+        }
+        self.shared.set_phase(self.id, Phase::MidFrame);
+        let header = match read_frame_header(stream, MAX_FRAME_LEN) {
+            Ok(h) => h,
+            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return None,
+            Err(FrameError::Proto(e)) => {
+                let err = Response::Error {
+                    code: ErrorCode::Proto,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(stream, &err.encode());
+                self.shared.metrics.request_errors_total.inc();
+                return None;
+            }
+        };
+        let payload = match read_frame_body(stream, header) {
             Ok(p) => p,
             Err(FrameError::Eof) | Err(FrameError::Io(_)) => return None,
             Err(FrameError::Proto(e)) => {
@@ -631,7 +892,7 @@ impl Session {
                 if write_frame(stream, &err.encode()).is_err() {
                     return None;
                 }
-                self.read_request(stream)
+                self.read_request(stream, waiting)
             }
         }
     }
@@ -773,7 +1034,16 @@ impl Session {
                                 info: format!("committed transaction {id}"),
                             }
                         }
-                        Err(e) => self.error_response(&Error::Storage(e)),
+                        Err(e) => {
+                            // A failed commit leaves the transaction
+                            // active (WAL append/sync error, full disk):
+                            // roll it back now so its page locks free
+                            // immediately, and compensate any documents
+                            // it created — not just on handle drop.
+                            let _ = txn.rollback();
+                            self.drop_txn_created_docs();
+                            self.error_response(&Error::Storage(e))
+                        }
                     }
                 }
                 None => Response::Error {
@@ -800,6 +1070,29 @@ impl Session {
                 },
             },
             Request::Load { name, xml } => {
+                // A parked name means an earlier failed load left partial
+                // files behind. Scrub them under the orphan-list lock —
+                // the watchdog drain holds the same lock across its own
+                // scrubs — so reclaiming the name can never race cleanup.
+                // If the scrub itself fails (degraded again), the name
+                // stays parked and the load is refused.
+                let scrub_failure = {
+                    let mut orphans = self.shared.orphaned_docs.lock().unwrap();
+                    if orphans.iter().any(|n| n == name) {
+                        match self.shared.db.scrub_document(name) {
+                            Ok(()) => {
+                                orphans.retain(|n| n != name);
+                                None
+                            }
+                            Err(e) => Some(e),
+                        }
+                    } else {
+                        None
+                    }
+                };
+                if let Some(e) = scrub_failure {
+                    return self.error_response(&e);
+                }
                 let result = {
                     let _scope = self.txn.as_ref().map(Txn::install);
                     self.shared.db.load_document(name, xml)
@@ -809,13 +1102,31 @@ impl Session {
                         if self.txn.is_some() {
                             self.txn_created_docs.push(name.clone());
                         } else if let Err(e) = self.shared.db.flush() {
+                            // The durability step failed and the client
+                            // hears an error, so the document must not
+                            // materialize later. If it cannot be removed
+                            // right now (the flush just degraded the
+                            // environment to read-only), park it for the
+                            // watchdog to drop after recovery.
+                            if self.shared.db.drop_document(name).is_err() {
+                                self.shared.orphaned_docs.lock().unwrap().push(name.clone());
+                            }
                             return self.error_response(&e);
                         }
                         Response::Done {
                             info: format!("loaded {name}"),
                         }
                     }
-                    Err(e) => self.error_response(&e),
+                    Err(e) => {
+                        // A load that died because the disk filled may
+                        // have left partial files that cannot be removed
+                        // while the environment is read-only; park the
+                        // name for the watchdog to clean after recovery.
+                        if e.is_no_space() || e.is_read_only() {
+                            self.shared.orphaned_docs.lock().unwrap().push(name.clone());
+                        }
+                        self.error_response(&e)
+                    }
                 }
             }
             Request::DropDoc { name } => {
@@ -848,7 +1159,13 @@ impl Session {
     /// (see the field docs on `txn_created_docs`).
     fn drop_txn_created_docs(&mut self) {
         for name in std::mem::take(&mut self.txn_created_docs) {
-            let _ = self.shared.db.drop_document(&name);
+            match self.shared.db.drop_document(&name) {
+                Ok(()) | Err(Error::NoSuchDocument(_)) => {}
+                // Cannot be removed right now (typically: the rollback
+                // happened because the disk filled and the environment is
+                // read-only). The watchdog drops it after recovery.
+                Err(_) => self.shared.orphaned_docs.lock().unwrap().push(name),
+            }
         }
     }
 
@@ -865,6 +1182,12 @@ impl Session {
             ErrorCode::DeadlineExceeded
         } else if e.is_memory_exceeded() {
             ErrorCode::MemoryExceeded
+        } else if e.is_no_space() || e.is_read_only() {
+            // Both faces of a full disk: the append that hit ENOSPC and
+            // every write refused while degraded answer the same typed
+            // code, so clients need one rule ("reads only until the
+            // server recovers"), not two.
+            ErrorCode::ReadOnly
         } else {
             match e {
                 Error::NoSuchDocument(_) => ErrorCode::NoSuchDocument,

@@ -12,6 +12,7 @@
 use crate::backend::{Backend, FileBackend, MemBackend};
 use crate::buffer::{BufferPool, IoSnapshot, IoStats, PoolIo};
 use crate::error::StorageError;
+use crate::fault::FaultState;
 use crate::page::{PageId, DEFAULT_PAGE_SIZE};
 use crate::txn::{self, Txn, TxnManager};
 use crate::wal::{self, RecoveryReport, Wal, WAL_CHECKPOINT_BYTES};
@@ -19,6 +20,7 @@ use crate::Result;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use xmldb_obs::{span, Gauge, Registry};
 
@@ -109,6 +111,12 @@ struct EnvInner {
     recovery: Option<RecoveryReport>,
     /// Wraps backends at creation time (fault injection in tests).
     decorator: Option<BackendDecorator>,
+    /// Degraded read-only mode, latched when a WAL append or sync fails
+    /// with [`StorageError::NoSpace`]. Queries keep running; writes to
+    /// durable files are refused until [`Env::try_exit_read_only`].
+    read_only: AtomicBool,
+    /// Mirrors `read_only` for scrapes (`saardb_env_read_only`).
+    read_only_gauge: Arc<Gauge>,
 }
 
 /// A storage environment. Cheap to clone (shared handle).
@@ -192,6 +200,7 @@ impl Env {
             .gauge("saardb_env_on_disk", &[])
             .set(i64::from(dir.is_some()));
         let pinned_gauge = registry.gauge("saardb_pool_pinned_frames", &[]);
+        let read_only_gauge = registry.gauge("saardb_env_read_only", &[]);
         let txns = TxnManager::new(&registry);
         Env {
             inner: Arc::new(EnvInner {
@@ -212,6 +221,8 @@ impl Env {
                 wal,
                 recovery,
                 decorator,
+                read_only: AtomicBool::new(false),
+                read_only_gauge,
             }),
         }
     }
@@ -262,6 +273,84 @@ impl Env {
         self.inner.wal.as_ref()
     }
 
+    /// True while the environment is in read-only degraded mode: a WAL
+    /// append or sync hit `ENOSPC`, so writes to durable files are refused
+    /// ([`StorageError::ReadOnly`]) while reads keep being served. Scratch
+    /// (`__tmp-`) files are exempt — they are never logged, so read-only
+    /// queries can still spill.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Latches read-only degraded mode (idempotent; counts transitions in
+    /// `saardb_env_no_space_total`, mirrors state in `saardb_env_read_only`).
+    pub(crate) fn enter_read_only(&self) {
+        if !self.inner.read_only.swap(true, Ordering::SeqCst) {
+            self.inner.read_only_gauge.set(1);
+            self.inner
+                .registry
+                .counter("saardb_env_no_space_total", &[])
+                .inc();
+        }
+    }
+
+    /// Routes a WAL-operation result through the degraded-mode latch: an
+    /// `Err(NoSpace)` flips the environment read-only before propagating.
+    /// Every WAL append/sync call site goes through here so no out-of-space
+    /// failure can be dropped on the floor.
+    pub(crate) fn note_wal<T>(&self, r: Result<T>) -> Result<T> {
+        if matches!(r, Err(StorageError::NoSpace)) {
+            self.enter_read_only();
+        }
+        r
+    }
+
+    /// Attempts to leave read-only degraded mode. Returns `Ok(true)` when
+    /// the environment is (now) writable, `Ok(false)` when exit must wait
+    /// for in-flight transactions to drain, and `Err` when the volume is
+    /// still full (the probe flush/checkpoint failed — stay degraded).
+    ///
+    /// Order matters: the flush first makes the committed backlog durable
+    /// in the data files (dirty pool pages, commit marker, fsync), and only
+    /// then is the log checkpointed down to a single record — truncating
+    /// first could discard committed updates still pool-resident. The
+    /// server's watchdog calls this periodically, so recovery is automatic
+    /// once space is reclaimed.
+    pub fn try_exit_read_only(&self) -> Result<bool> {
+        if !self.is_read_only() {
+            return Ok(true);
+        }
+        if self.inner.txns.active_count() > 0 {
+            return Ok(false);
+        }
+        self.flush()?;
+        if let Some(wal) = &self.inner.wal {
+            self.note_wal(wal.checkpoint())?;
+        }
+        self.inner.read_only.store(false, Ordering::SeqCst);
+        self.inner.read_only_gauge.set(0);
+        Ok(true)
+    }
+
+    /// Refuses writes to durable state while degraded.
+    fn check_writable(&self) -> Result<()> {
+        if self.is_read_only() {
+            return Err(StorageError::ReadOnly);
+        }
+        Ok(())
+    }
+
+    /// Attaches a fault plan to the write-ahead log so its `wal_no_space`
+    /// knob can simulate a full volume (see
+    /// [`FaultState::set_wal_no_space`]). The WAL writes through a plain
+    /// file handle, outside the [`BackendDecorator`] path, so the chaos
+    /// harness injects here instead. No-op for in-memory environments.
+    pub fn inject_wal_faults(&self, faults: &Arc<FaultState>) {
+        if let Some(wal) = &self.inner.wal {
+            wal.set_faults(faults);
+        }
+    }
+
     fn disk_path(&self, name: &str) -> Option<PathBuf> {
         self.inner
             .dir
@@ -292,6 +381,9 @@ impl Env {
     /// Creates a new file named `name`; errors if it already exists (in
     /// this environment or on disk).
     pub fn create_file(&self, name: &str) -> Result<FileId> {
+        if !name.starts_with(TEMP_PREFIX) {
+            self.check_writable()?;
+        }
         let mut table = self.inner.pager.files.write();
         if table.by_name.contains_key(name) {
             return Err(StorageError::FileExists(name.to_string()));
@@ -358,6 +450,10 @@ impl Env {
     /// file if any. Fails with [`StorageError::FileBusy`] while any of the
     /// file's pages is pinned by an in-flight operation.
     pub fn remove_file(&self, id: FileId) -> Result<()> {
+        if let Some((_, false)) = self.file_meta(id) {
+            // Durable drops append a WAL marker; refuse while degraded.
+            self.check_writable()?;
+        }
         self.inner.pager.pool.invalidate_file(id)?;
         let entry = {
             let mut table = self.inner.pager.files.write();
@@ -372,7 +468,7 @@ impl Env {
         // it instead of resurrecting the file from stale page images.
         if let Some(wal) = &self.inner.wal {
             if !entry.temp {
-                let synced = wal.append_delete(&entry.name)?;
+                let synced = self.note_wal(wal.append_delete(&entry.name))?;
                 let stats = self.inner.pager.pool.stats();
                 stats.wal_appends.inc();
                 if synced {
@@ -415,6 +511,9 @@ impl Env {
 
     /// Appends a zeroed page to `file`.
     pub fn allocate_page(&self, file: FileId) -> Result<PageId> {
+        if self.is_read_only() && !matches!(self.file_meta(file), Some((_, true))) {
+            return Err(StorageError::ReadOnly);
+        }
         let id = self.backend(file)?.allocate_page()?;
         Ok(id)
     }
@@ -464,6 +563,11 @@ impl Env {
         page: PageId,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R> {
+        // Cheap atomic probe first; the file-table lookup only runs while
+        // degraded (scratch files stay writable — they are never logged).
+        if self.is_read_only() && !matches!(self.file_meta(file), Some((_, true))) {
+            return Err(StorageError::ReadOnly);
+        }
         txn::write_hook(self, file, page)?;
         self.inner
             .pager
@@ -528,16 +632,16 @@ impl Env {
                 .filter(|(_, _, temp)| !temp)
                 .map(|(name, backend, _)| (name.clone(), backend.page_count()))
                 .collect();
-            let a = wal.append_commit(self.page_size(), counts)?;
+            let a = self.note_wal(wal.append_commit(self.page_size(), counts))?;
             let stats = self.inner.pager.pool.stats();
             stats.wal_appends.inc();
             stats.wal_bytes.add(a.bytes);
-            if wal.sync_to(a.end)? {
+            if self.note_wal(wal.sync_to(a.end))? {
                 stats.wal_syncs.inc();
             }
             if wal.len() > WAL_CHECKPOINT_BYTES && self.inner.txns.active_count() == 0 {
                 let checkpointed = wal.len();
-                wal.checkpoint()?;
+                self.note_wal(wal.checkpoint())?;
                 self.inner
                     .registry
                     .counter("saardb_wal_checkpoint_bytes_total", &[])
@@ -556,7 +660,7 @@ impl Env {
         self.flush()?;
         if let Some(wal) = &self.inner.wal {
             if self.inner.txns.active_count() == 0 {
-                wal.checkpoint()?;
+                self.note_wal(wal.checkpoint())?;
             }
         }
         Ok(())
@@ -669,15 +773,17 @@ impl PoolIo for EnvIo<'_> {
             // logging their pages would be pure overhead.
             return Ok(());
         }
-        let a = match self.0.inner.txns.owner_pre_image(file, page) {
-            Some((owner, pre)) => wal.append_txn_page_image(owner, &name, page, &pre, after)?,
-            None => {
-                let backend = self.0.backend(file)?;
-                let mut before = vec![0u8; after.len()];
-                backend.read_page(page, &mut before)?;
-                wal.append_page_image(&name, page, &before, after)?
-            }
-        };
+        let a = self
+            .0
+            .note_wal(match self.0.inner.txns.owner_pre_image(file, page) {
+                Some((owner, pre)) => wal.append_txn_page_image(owner, &name, page, &pre, after),
+                None => {
+                    let backend = self.0.backend(file)?;
+                    let mut before = vec![0u8; after.len()];
+                    backend.read_page(page, &mut before)?;
+                    wal.append_page_image(&name, page, &before, after)
+                }
+            })?;
         let stats = self.0.inner.pager.pool.stats();
         stats.wal_appends.inc();
         stats.wal_bytes.add(a.bytes);
@@ -686,7 +792,7 @@ impl PoolIo for EnvIo<'_> {
 
     fn wal_sync(&self) -> Result<()> {
         if let Some(wal) = &self.0.inner.wal {
-            if wal.sync()? {
+            if self.0.note_wal(wal.sync())? {
                 self.0.inner.pager.pool.stats().wal_syncs.inc();
             }
         }
@@ -813,6 +919,63 @@ mod tests {
         let a = env.create_temp_file().unwrap();
         let b = env.create_temp_file().unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_space_flips_read_only_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("saardb-env-nospace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = Env::open_dir(&dir, EnvConfig::default()).unwrap();
+        let f = env.create_file("d").unwrap();
+        let p = env.allocate_page(f).unwrap();
+        env.with_page_mut(f, p, |d| d[0] = 1).unwrap();
+        env.flush().unwrap();
+
+        let faults = FaultState::new();
+        env.inject_wal_faults(&faults);
+        faults.set_wal_no_space(true);
+
+        // A transactional commit fails typed and cleanly: rollback works,
+        // the env latches read-only, no locks or frames stay pinned.
+        let txn = env.begin_txn();
+        {
+            let _s = txn.install();
+            env.with_page_mut(f, p, |d| d[0] = 2).unwrap();
+        }
+        let err = txn.commit().unwrap_err();
+        assert!(matches!(err, StorageError::NoSpace), "{err}");
+        txn.rollback().unwrap();
+        assert!(env.is_read_only());
+        assert_eq!(env.pinned_frames(), 0);
+
+        // Degraded mode: reads fine, durable writes typed-refused, scratch
+        // files still usable (read-only queries must be able to spill).
+        assert_eq!(env.with_page(f, p, |d| d[0]).unwrap(), 1);
+        let err = env.with_page_mut(f, p, |d| d[0] = 3).unwrap_err();
+        assert!(matches!(err, StorageError::ReadOnly), "{err}");
+        assert!(matches!(
+            env.create_file("new"),
+            Err(StorageError::ReadOnly)
+        ));
+        let tmp = env.create_temp_file().unwrap();
+        let tp = env.allocate_page(tmp).unwrap();
+        env.with_page_mut(tmp, tp, |d| d[0] = 9).unwrap();
+        env.remove_file(tmp).unwrap();
+
+        // Still full: the probe fails and the latch stays.
+        assert!(env.try_exit_read_only().is_err());
+        assert!(env.is_read_only());
+
+        // Space reclaimed: the probe flushes, checkpoints, and clears.
+        faults.set_wal_no_space(false);
+        assert!(env.try_exit_read_only().unwrap());
+        assert!(!env.is_read_only());
+        env.with_page_mut(f, p, |d| d[0] = 4).unwrap();
+        env.flush().unwrap();
+        assert_eq!(env.with_page(f, p, |d| d[0]).unwrap(), 4);
+
+        drop(env);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -83,6 +83,15 @@ pub enum StorageError {
         /// The transaction's id.
         txn: u64,
     },
+    /// A write-ahead-log append or sync failed because the volume is out
+    /// of space (real `ENOSPC` or the injected equivalent). The operation
+    /// that needed the log entry failed cleanly; the environment flips
+    /// into read-only degraded mode until a checkpoint reclaims space.
+    NoSpace,
+    /// The environment is in read-only degraded mode (entered on
+    /// [`StorageError::NoSpace`]): queries keep running, writes are
+    /// refused until [`crate::Env::try_exit_read_only`] succeeds.
+    ReadOnly,
 }
 
 impl StorageError {
@@ -139,6 +148,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::TxnInactive { txn } => {
                 write!(f, "transaction {txn} is no longer active")
+            }
+            StorageError::NoSpace => {
+                write!(f, "write-ahead log out of disk space")
+            }
+            StorageError::ReadOnly => {
+                write!(f, "environment is in read-only degraded mode (disk full)")
             }
         }
     }

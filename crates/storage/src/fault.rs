@@ -42,6 +42,10 @@ pub struct FaultState {
     /// One-shot transient errors (no kill): the next write / sync fails.
     fail_next_write: AtomicBool,
     fail_next_sync: AtomicBool,
+    /// While set, every WAL append/sync fails with
+    /// [`StorageError::NoSpace`] — a level, not a one-shot, because a full
+    /// volume stays full until space is reclaimed.
+    wal_no_space: AtomicBool,
 }
 
 impl FaultState {
@@ -69,6 +73,20 @@ impl FaultState {
         self.killed.store(false, Ordering::SeqCst);
         self.fail_next_write.store(false, Ordering::SeqCst);
         self.fail_next_sync.store(false, Ordering::SeqCst);
+        self.wal_no_space.store(false, Ordering::SeqCst);
+    }
+
+    /// Simulates a full volume under the write-ahead log: while set, every
+    /// WAL append and sync fails with [`StorageError::NoSpace`], exactly as
+    /// a real `ENOSPC` would. Clear with `set_wal_no_space(false)` (or
+    /// [`FaultState::disarm`]) to model space being reclaimed.
+    pub fn set_wal_no_space(&self, full: bool) {
+        self.wal_no_space.store(full, Ordering::SeqCst);
+    }
+
+    /// True while the injected disk-full condition is active.
+    pub fn wal_no_space(&self) -> bool {
+        self.wal_no_space.load(Ordering::SeqCst)
     }
 
     /// Makes the next page write fail with an injected I/O error without

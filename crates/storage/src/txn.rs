@@ -549,23 +549,27 @@ impl Txn {
                         continue;
                     }
                     let after = self.env.read_page_vec(w.file, w.page)?;
-                    let a = wal.append_txn_page_image(
+                    let a = self.env.note_wal(wal.append_txn_page_image(
                         self.inner.id,
                         &name,
                         w.page,
                         &w.pre_image,
                         &after,
-                    )?;
+                    ))?;
                     appended += 1;
                     bytes += a.bytes;
                 }
                 let counts = self.env.durable_file_counts();
-                let a = wal.append_txn_commit(self.inner.id, self.env.page_size(), counts)?;
+                let a = self.env.note_wal(wal.append_txn_commit(
+                    self.inner.id,
+                    self.env.page_size(),
+                    counts,
+                ))?;
                 appended += 1;
                 bytes += a.bytes;
                 stats.wal_appends.add(appended);
                 stats.wal_bytes.add(bytes);
-                if wal.sync_to(a.end)? {
+                if self.env.note_wal(wal.sync_to(a.end))? {
                     stats.wal_syncs.inc();
                 } else {
                     mgr.counters.group_followers.inc();

@@ -53,6 +53,7 @@
 //! address the `.sdb` files directly.
 
 use crate::error::StorageError;
+use crate::fault::FaultState;
 use crate::page::PageId;
 use crate::Result;
 use parking_lot::{Mutex, RwLock};
@@ -60,7 +61,22 @@ use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// `errno` for "no space left on device". Checked via
+/// [`std::io::Error::raw_os_error`] because `ErrorKind::StorageFull` is
+/// not yet stable on this toolchain.
+const ENOSPC: i32 = 28;
+
+/// Maps a real `ENOSPC` from the filesystem to the typed
+/// [`StorageError::NoSpace`]; every other I/O error passes through.
+fn map_no_space(e: std::io::Error) -> StorageError {
+    if e.raw_os_error() == Some(ENOSPC) {
+        StorageError::NoSpace
+    } else {
+        StorageError::from(e)
+    }
+}
 
 /// Name of the log file inside an environment directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -395,6 +411,14 @@ pub struct Wal {
     /// has no condvar).
     group: StdMutex<GroupState>,
     group_cv: Condvar,
+    /// Optional fault plan: while its `wal_no_space` knob is set, appends
+    /// and syncs fail with [`StorageError::NoSpace`] exactly like a real
+    /// `ENOSPC`. The WAL writes through a plain [`File`] (no [`Backend`]
+    /// indirection), so the decorator used for data files cannot reach it;
+    /// this hook is the equivalent injection point.
+    ///
+    /// [`Backend`]: crate::backend::Backend
+    faults: StdMutex<Option<Arc<FaultState>>>,
 }
 
 impl Wal {
@@ -420,7 +444,30 @@ impl Wal {
                 syncing: false,
             }),
             group_cv: Condvar::new(),
+            faults: StdMutex::new(None),
         })
+    }
+
+    /// Attaches a fault plan whose `wal_no_space` knob simulates a full
+    /// volume under the log (see [`FaultState::set_wal_no_space`]).
+    pub fn set_faults(&self, faults: &Arc<FaultState>) {
+        *self.faults.lock().unwrap() = Some(Arc::clone(faults));
+    }
+
+    /// True while the injected disk-full condition is active.
+    fn no_space_injected(&self) -> bool {
+        self.faults
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(|f| f.wal_no_space())
+    }
+
+    fn check_space(&self) -> Result<()> {
+        if self.no_space_injected() {
+            return Err(StorageError::NoSpace);
+        }
+        Ok(())
     }
 
     /// Current log length in bytes.
@@ -440,10 +487,11 @@ impl Wal {
 
     fn append(&self, record: &Record) -> Result<Appended> {
         use std::os::unix::fs::FileExt;
+        self.check_space()?;
         let framed = frame(record);
         let mut len = self.len.lock();
         let file = self.file.read();
-        file.write_all_at(&framed, *len)?;
+        file.write_all_at(&framed, *len).map_err(map_no_space)?;
         *len += framed.len() as u64;
         Ok(Appended {
             bytes: framed.len() as u64,
@@ -555,11 +603,15 @@ impl Wal {
             // their positional write, so every byte below `target` is in
             // the file (possibly in the page cache) when sync_data runs.
             let target = *self.len.lock();
-            let result = self.file.read().sync_data();
+            let result = if self.no_space_injected() {
+                Err(std::io::Error::from_raw_os_error(ENOSPC))
+            } else {
+                self.file.read().sync_data()
+            };
             g = self.group.lock().unwrap();
             g.syncing = false;
             self.group_cv.notify_all();
-            result?;
+            result.map_err(map_no_space)?;
             g.synced = g.synced.max(target);
             did_fsync = true;
         }
@@ -581,6 +633,10 @@ impl Wal {
     /// record. Only sound immediately after a commit (data files synced
     /// and consistent) with no transaction in flight.
     pub fn checkpoint(&self) -> Result<()> {
+        // A checkpoint reclaims log space, but it must still stage and
+        // fsync a fresh one-record log: while the volume is (simulated)
+        // full, that staging write fails like any other.
+        self.check_space()?;
         let mut g = self.group.lock().unwrap();
         while g.syncing {
             g = self.group_cv.wait(g).unwrap();
@@ -592,7 +648,10 @@ impl Wal {
             .parent()
             .map(Path::to_path_buf)
             .unwrap_or_else(|| PathBuf::from("."));
-        let (fresh, fresh_len) = fresh_log(&dir)?;
+        let (fresh, fresh_len) = fresh_log(&dir).map_err(|e| match e {
+            StorageError::Io(io) if io.raw_os_error() == Some(ENOSPC) => StorageError::NoSpace,
+            other => other,
+        })?;
         *file = fresh;
         *len = fresh_len;
         g.synced = fresh_len;

@@ -1,0 +1,507 @@
+//! Network fault injection: a TCP relay that misbehaves on demand.
+//!
+//! The storage layer has [`crate::torture`] to prove crash recovery; the
+//! network stack gets the same treatment here. [`ChaosProxy`] sits between
+//! a client and a `saardb` server and injects, per direction and while the
+//! link is live:
+//!
+//! * added latency per forwarded chunk (slow network),
+//! * trickle mode — one byte at a time (slow-loris, half-written frames),
+//! * stalls — stop forwarding entirely so backpressure builds,
+//! * mid-stream disconnects after a byte budget (a frame cut in half),
+//! * refusal of new connections (server unreachable).
+//!
+//! The proxy is deliberately pure `std` TCP with no dependency on the
+//! server crate: it relays bytes, not frames, so it cannot accidentally
+//! be "too polite" by cutting only on message boundaries. Severing a
+//! connection *inside* a CRC frame is exactly the case the server's
+//! watchdog and the client's retry policy must survive.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Which half of the relay a knob applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server bytes (requests).
+    Up,
+    /// Server → client bytes (responses).
+    Down,
+}
+
+/// The live fault knobs for one direction. All methods are safe to call
+/// from any thread while connections are being relayed; faults apply to
+/// the next chunk each relay forwards.
+#[derive(Debug, Default)]
+pub struct DirKnobs {
+    /// Added latency, in milliseconds, before each forwarded chunk.
+    delay_ms: AtomicU64,
+    /// Forward one byte at a time with a short pause between bytes.
+    trickle: AtomicBool,
+    /// Stop forwarding entirely (the relay stops *reading*, so TCP
+    /// backpressure builds toward the sender) until cleared.
+    stall: AtomicBool,
+    /// Sever the whole connection after forwarding this many more bytes.
+    /// `u64::MAX` means "never"; the budget is one-shot per trigger and
+    /// shared by every live link in this direction — first link to
+    /// exhaust it gets cut.
+    cut_after: AtomicU64,
+}
+
+impl DirKnobs {
+    fn new() -> DirKnobs {
+        DirKnobs {
+            cut_after: AtomicU64::new(u64::MAX),
+            ..DirKnobs::default()
+        }
+    }
+
+    fn reset(&self) {
+        self.delay_ms.store(0, Ordering::SeqCst);
+        self.trickle.store(false, Ordering::SeqCst);
+        self.stall.store(false, Ordering::SeqCst);
+        self.cut_after.store(u64::MAX, Ordering::SeqCst);
+    }
+}
+
+/// The shared fault plan: one [`DirKnobs`] per direction plus an accept
+/// gate. Hand clones of the `Arc` to the test while the proxy runs.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    up: DirKnobs,
+    down: DirKnobs,
+    /// Immediately close newly accepted connections instead of relaying.
+    refuse: AtomicBool,
+}
+
+impl ChaosPlan {
+    fn new() -> ChaosPlan {
+        ChaosPlan {
+            up: DirKnobs::new(),
+            down: DirKnobs::new(),
+            refuse: AtomicBool::new(false),
+        }
+    }
+
+    fn dir(&self, dir: Direction) -> &DirKnobs {
+        match dir {
+            Direction::Up => &self.up,
+            Direction::Down => &self.down,
+        }
+    }
+
+    /// Adds `ms` milliseconds of latency before each chunk in `dir`.
+    pub fn set_delay(&self, dir: Direction, ms: u64) {
+        self.dir(dir).delay_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Switches byte-at-a-time forwarding in `dir` on or off.
+    pub fn set_trickle(&self, dir: Direction, on: bool) {
+        self.dir(dir).trickle.store(on, Ordering::SeqCst);
+    }
+
+    /// Freezes (or thaws) forwarding in `dir`. Frozen relays stop reading,
+    /// so the sender eventually blocks on a full TCP window — the shape of
+    /// a wedged network, not a closed one.
+    pub fn set_stall(&self, dir: Direction, on: bool) {
+        self.dir(dir).stall.store(on, Ordering::SeqCst);
+    }
+
+    /// Arms a one-shot cut: after `bytes` more bytes flow in `dir`, the
+    /// link carrying them is severed in both directions. `0` cuts before
+    /// the next chunk.
+    pub fn cut_after(&self, dir: Direction, bytes: u64) {
+        self.dir(dir).cut_after.store(bytes, Ordering::SeqCst);
+    }
+
+    /// Makes the proxy close (or again accept) new connections.
+    pub fn set_refuse(&self, on: bool) {
+        self.refuse.store(on, Ordering::SeqCst);
+    }
+
+    /// Clears every fault: full-speed relaying, connections accepted.
+    pub fn calm(&self) {
+        self.up.reset();
+        self.down.reset();
+        self.refuse.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Decrements the live-link counter when the last relay thread of a
+/// link drops its clone.
+#[derive(Debug)]
+struct LinkGuard(Arc<AtomicUsize>);
+
+impl Drop for LinkGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A TCP relay in front of `upstream` that injects the faults armed on
+/// its [`ChaosPlan`]. Dropping the proxy severs every live link and joins
+/// the accept thread.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    plan: Arc<ChaosPlan>,
+    shutdown: Arc<AtomicBool>,
+    links: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts relaying on an ephemeral localhost port. Every accepted
+    /// connection is piped to `upstream` through the fault knobs.
+    pub fn start(upstream: SocketAddr) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        // Poll, don't block: `accept` has no timeout and the proxy must
+        // notice shutdown without a sacrificial self-connection.
+        listener.set_nonblocking(true)?;
+        let plan = Arc::new(ChaosPlan::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let links = Arc::new(AtomicUsize::new(0));
+        let accept_thread = {
+            let (plan, shutdown, links) = (plan.clone(), shutdown.clone(), links.clone());
+            thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || accept_loop(listener, upstream, plan, shutdown, links))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            plan,
+            shutdown,
+            links,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should dial instead of the real server.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared fault knobs.
+    pub fn plan(&self) -> &Arc<ChaosPlan> {
+        &self.plan
+    }
+
+    /// Connections currently being relayed (each counts until both of its
+    /// relay threads have exited). The chaos sweep's "no stuck sessions"
+    /// check drains this to zero.
+    pub fn live_links(&self) -> usize {
+        self.links.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    plan: Arc<ChaosPlan>,
+    shutdown: Arc<AtomicBool>,
+    links: Arc<AtomicUsize>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let (client, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if plan.refuse.load(Ordering::SeqCst) {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        }
+        let server = match TcpStream::connect_timeout(&upstream, Duration::from_secs(2)) {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        let (client2, server2) = match (client.try_clone(), server.try_clone()) {
+            (Ok(c), Ok(s)) => (c, s),
+            _ => {
+                let _ = client.shutdown(Shutdown::Both);
+                let _ = server.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        links.fetch_add(1, Ordering::SeqCst);
+        let guard = Arc::new(LinkGuard(links.clone()));
+        spawn_relay(
+            Direction::Up,
+            client,
+            server,
+            plan.clone(),
+            shutdown.clone(),
+            guard.clone(),
+        );
+        spawn_relay(
+            Direction::Down,
+            server2,
+            client2,
+            plan.clone(),
+            shutdown.clone(),
+            guard,
+        );
+    }
+}
+
+fn spawn_relay(
+    dir: Direction,
+    reader: TcpStream,
+    writer: TcpStream,
+    plan: Arc<ChaosPlan>,
+    shutdown: Arc<AtomicBool>,
+    guard: Arc<LinkGuard>,
+) {
+    let name = match dir {
+        Direction::Up => "chaos-up",
+        Direction::Down => "chaos-down",
+    };
+    // Detached: the thread exits when its stream dies or shutdown is
+    // flagged (the short read timeout bounds how long that takes).
+    let _ = thread::Builder::new()
+        .name(name.into())
+        .spawn(move || relay(dir, reader, writer, plan, shutdown, guard));
+}
+
+/// Pipes one direction of one link through the fault knobs until the
+/// stream dies, a cut triggers, or the proxy shuts down. On exit both
+/// halves are severed — this protocol is request/response, so a dead
+/// direction makes the link useless anyway.
+fn relay(
+    dir: Direction,
+    mut reader: TcpStream,
+    mut writer: TcpStream,
+    plan: Arc<ChaosPlan>,
+    shutdown: Arc<AtomicBool>,
+    _guard: Arc<LinkGuard>,
+) {
+    let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let knobs = plan.dir(dir);
+        if knobs.stall.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let delay = knobs.delay_ms.load(Ordering::SeqCst);
+        if delay > 0 {
+            thread::sleep(Duration::from_millis(delay));
+        }
+        // A cut budget bounds how many bytes still flow; hitting zero
+        // mid-chunk forwards the permitted prefix (a half frame) and then
+        // severs — the nastiest shape a client can see.
+        let budget = knobs.cut_after.load(Ordering::SeqCst);
+        let allowed = if budget == u64::MAX {
+            n
+        } else {
+            n.min(budget as usize)
+        };
+        let wrote = if knobs.trickle.load(Ordering::SeqCst) {
+            trickle_write(&mut writer, &buf[..allowed], &shutdown)
+        } else {
+            writer.write_all(&buf[..allowed])
+        };
+        if wrote.is_err() {
+            break;
+        }
+        if budget != u64::MAX {
+            let remaining = budget - allowed as u64;
+            knobs.cut_after.store(remaining, Ordering::SeqCst);
+            if remaining == 0 {
+                knobs.cut_after.store(u64::MAX, Ordering::SeqCst); // one-shot
+                break;
+            }
+        }
+    }
+    let _ = reader.shutdown(Shutdown::Both);
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// Byte-at-a-time writes with a pause between them; aborts early on
+/// proxy shutdown so a long trickle cannot outlive the test.
+fn trickle_write(
+    writer: &mut TcpStream,
+    bytes: &[u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    for b in bytes {
+        if shutdown.load(Ordering::SeqCst) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "proxy shut down mid-trickle",
+            ));
+        }
+        writer.write_all(std::slice::from_ref(b))?;
+        thread::sleep(Duration::from_millis(1));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// A toy upstream: echoes every byte back until EOF.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        let handle = thread::spawn(move || {
+            // Serve a bounded number of connections so the thread ends
+            // on its own; tests never need more.
+            for _ in 0..16 {
+                let Ok((mut conn, _)) = listener.accept() else {
+                    return;
+                };
+                thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    loop {
+                        match conn.read(&mut buf) {
+                            Ok(0) | Err(_) => return,
+                            Ok(n) => {
+                                if conn.write_all(&buf[..n]).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, handle)
+    }
+
+    fn roundtrip(conn: &mut TcpStream, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        conn.write_all(payload)?;
+        let mut got = vec![0u8; payload.len()];
+        conn.read_exact(&mut got)?;
+        Ok(got)
+    }
+
+    #[test]
+    fn relays_bytes_faithfully_when_calm() {
+        let (upstream, _echo) = echo_server();
+        let proxy = ChaosProxy::start(upstream).expect("proxy");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        let payload = b"hello through the storm".as_slice();
+        assert_eq!(roundtrip(&mut conn, payload).expect("echo"), payload);
+        assert_eq!(proxy.live_links(), 1);
+        drop(conn);
+    }
+
+    #[test]
+    fn delay_slows_the_chosen_direction() {
+        let (upstream, _echo) = echo_server();
+        let proxy = ChaosProxy::start(upstream).expect("proxy");
+        proxy.plan().set_delay(Direction::Down, 120);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        let started = Instant::now();
+        roundtrip(&mut conn, b"timed").expect("echo");
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "echo came back in {:?} despite a 120 ms down-delay",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn cut_severs_mid_stream_after_the_byte_budget() {
+        let (upstream, _echo) = echo_server();
+        let proxy = ChaosProxy::start(upstream).expect("proxy");
+        // Let 4 of the echoed bytes back, then cut the link.
+        proxy.plan().cut_after(Direction::Down, 4);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.write_all(b"eight by8").expect("send");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+            }
+        }
+        assert_eq!(
+            got.len(),
+            4,
+            "expected exactly the budgeted prefix, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn refuse_closes_new_connections_and_calm_restores() {
+        let (upstream, _echo) = echo_server();
+        let proxy = ChaosProxy::start(upstream).expect("proxy");
+        proxy.plan().set_refuse(true);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("tcp connect still lands");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 8];
+        // The proxy hangs up without relaying: EOF (or reset) — never data.
+        let _ = conn.write_all(b"anyone?");
+        match conn.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("refused connection produced {n} bytes"),
+        }
+        proxy.plan().calm();
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect after calm");
+        assert_eq!(roundtrip(&mut conn, b"back").expect("echo"), b"back");
+    }
+
+    #[test]
+    fn stall_freezes_and_thaw_releases() {
+        let (upstream, _echo) = echo_server();
+        let proxy = ChaosProxy::start(upstream).expect("proxy");
+        let plan = proxy.plan().clone();
+        plan.set_stall(Direction::Up, true);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.write_all(b"frozen?").expect("send");
+        conn.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert!(
+            conn.read(&mut buf).is_err(),
+            "stalled relay still delivered bytes"
+        );
+        plan.set_stall(Direction::Up, false);
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let n = conn.read(&mut buf).expect("thawed relay delivers");
+        assert_eq!(&buf[..n], b"frozen?");
+    }
+}

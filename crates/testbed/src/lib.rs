@@ -27,8 +27,13 @@
 //! * [`triage`] — differential-engine triage: run every engine against the
 //!   M1 oracle over the corpus plus generated documents, shrink each
 //!   mismatch to a minimal witness, and report it with every engine's
-//!   output and the offender's `EXPLAIN ANALYZE` trace.
+//!   output and the offender's `EXPLAIN ANALYZE` trace,
+//! * [`chaos`] — network fault injection: a TCP relay that delays,
+//!   trickles, stalls and severs traffic mid-frame, for proving the
+//!   server's watchdog and the client's retry policy against a hostile
+//!   link (the wire-level sibling of [`torture`]).
 
+pub mod chaos;
 pub mod corpus;
 pub mod grading;
 pub mod runner;
@@ -36,6 +41,7 @@ pub mod submission;
 pub mod torture;
 pub mod triage;
 
+pub use chaos::{ChaosPlan, ChaosProxy, Direction};
 pub use corpus::{Corpus, CorpusConfig};
 pub use grading::{GradeBook, GradeOutcome};
 pub use runner::{
