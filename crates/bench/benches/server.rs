@@ -29,12 +29,13 @@
 //! vary; a protocol-layer stall does not). Under `cargo test` (no
 //! `--bench` flag) each workload runs once at a reduced scale.
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xmldb_core::Database;
-use xmldb_server::{Client, ClientError, QueryParams, Server, ServerConfig};
+use xmldb_server::{AdminServer, Client, ClientError, QueryParams, Server, ServerConfig};
 
 const DOC: &str = "<lib><b><t>alpha</t></b><b><t>beta</t></b><b><t>gamma</t></b></lib>";
 const QUERY: &str = "//b/t";
@@ -100,11 +101,13 @@ struct Sample {
     p99_us: u64,
 }
 
-fn start_server(max_sessions: usize, queue_depth: usize) -> Server {
+/// Starts the data-plane server plus its admin listener on a second
+/// ephemeral port, exactly as `saardb serve --admin-addr` wires them.
+fn start_server(max_sessions: usize, queue_depth: usize) -> (Server, AdminServer) {
     let db = Database::in_memory();
     db.load_document("lib", DOC).expect("load bench document");
-    Server::start(
-        db,
+    let server = Server::start(
+        db.clone(),
         "127.0.0.1:0",
         ServerConfig {
             max_sessions,
@@ -113,13 +116,56 @@ fn start_server(max_sessions: usize, queue_depth: usize) -> Server {
             ..ServerConfig::default()
         },
     )
-    .expect("start bench server")
+    .expect("start bench server");
+    let admin = AdminServer::start(db, "127.0.0.1:0").expect("start admin listener");
+    (server, admin)
+}
+
+/// Scrapes `GET /metrics` off the admin listener and asserts the answer
+/// is a conformant exposition: 200, the Prometheus content type, and a
+/// body the strict in-repo text parser accepts with the server families
+/// present. Run mid-swarm, this is the "scrape under load" acceptance
+/// check — observability must hold up exactly when it matters.
+fn scrape_metrics(addr: SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set scrape timeout");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send scrape request");
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .expect("read scrape response");
+    assert!(
+        raw.starts_with("HTTP/1.1 200 OK\r\n"),
+        "scrape not 200: {raw}"
+    );
+    assert!(
+        raw.contains("Content-Type: text/plain; version=0.0.4"),
+        "scrape missing Prometheus content type"
+    );
+    let body = raw.split("\r\n\r\n").nth(1).expect("scrape body");
+    let families = xmldb_obs::textparse::parse(body)
+        .unwrap_or_else(|e| panic!("mid-load /metrics is not conformant: {e}"));
+    for family in [
+        "saardb_server_sessions_active",
+        "saardb_server_requests_total",
+    ] {
+        assert!(
+            families.iter().any(|f| f.name == family),
+            "mid-load /metrics lacks {family}"
+        );
+    }
 }
 
 /// Closed loop: `conns` sessions each run queries back-to-back for
 /// `window`; the wall clock covers the whole fleet.
 fn closed_loop(conns: usize, window: Duration) -> Sample {
-    let server = start_server(conns + 8, 16);
+    let (server, _admin) = start_server(conns + 8, 16);
     let addr = server.addr();
     let total = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
@@ -186,7 +232,7 @@ fn closed_loop(conns: usize, window: Duration) -> Sample {
 /// is genuinely `conns` simultaneous sessions, verified against the
 /// server's `sessions_active` gauge.
 fn swarm(conns: usize) -> Sample {
-    let server = start_server(conns + 64, 64);
+    let (server, admin) = start_server(conns + 64, 64);
     let addr = server.addr();
     let errors = Arc::new(AtomicU64::new(0));
     let requests = Arc::new(AtomicU64::new(0));
@@ -236,12 +282,23 @@ fn swarm(conns: usize) -> Sample {
             })
         })
         .collect();
-    // Sample the active-session gauge through the hold window.
+    // Sample the active-session gauge through the hold window, and
+    // scrape /metrics off the admin plane while the full swarm is
+    // connected — the exposition must stay conformant under peak load.
     let mut peak = 0usize;
+    let mut scrapes = 0u32;
     while Instant::now() < hold_until + Duration::from_millis(100) {
         peak = peak.max(server.active_sessions());
+        if peak >= conns && scrapes < 3 {
+            scrape_metrics(admin.addr());
+            scrapes += 1;
+        }
         std::thread::sleep(Duration::from_millis(5));
     }
+    assert!(
+        scrapes > 0,
+        "swarm ended before any mid-load /metrics scrape"
+    );
     let mut all_us: Vec<u64> = Vec::new();
     for h in handles {
         all_us.extend(h.join().expect("swarm client panicked"));
@@ -268,7 +325,7 @@ fn swarm(conns: usize) -> Sample {
 /// queues 4. The excess must be *rejected typed* — the latencies recorded
 /// here are times-to-rejection, which admission control keeps bounded.
 fn admission(offered: usize) -> Sample {
-    let server = start_server(8, 4);
+    let (server, _admin) = start_server(8, 4);
     let addr = server.addr();
     let busy = Arc::new(AtomicU64::new(0));
     let served = Arc::new(AtomicU64::new(0));

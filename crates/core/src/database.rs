@@ -43,10 +43,18 @@ struct FlightRun<'a> {
 
 impl Database {
     fn with_env(env: Env) -> Database {
-        Database {
-            env,
-            flight: Arc::new(FlightRecorder::new(xmldb_obs::flight::DEFAULT_CAPACITY)),
-        }
+        let capacity = std::env::var("SAARDB_FLIGHTREC_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(xmldb_obs::flight::DEFAULT_CAPACITY);
+        let flight = Arc::new(FlightRecorder::new(capacity));
+        let registry = env.registry();
+        registry.help(
+            "saardb_flightrec_dropped_total",
+            "Flight-recorder records evicted before being scraped.",
+        );
+        flight.bind_dropped_counter(registry.counter("saardb_flightrec_dropped_total", &[]));
+        Database { env, flight }
     }
 
     /// An in-memory database (tests, examples).
@@ -279,13 +287,29 @@ impl Database {
         // that fired once would fire again, and a cancelled query's
         // re-run was not asked for).
         let rerun_is_safe = !matches!(result, Err(e) if engine::governor_trip_kind(e).is_some());
-        let analyze = if self.flight.is_slow(elapsed) && rerun_is_safe {
+        let is_slow = self.flight.is_slow(elapsed);
+        let analyze = if is_slow && rerun_is_safe {
             self.explain_analyze_with(doc, query, engine, options).ok()
         } else {
             None
         };
+        if is_slow {
+            // The slow-query log line: stamped with the wire request id
+            // (when there is one) so it joins against the client's log and
+            // the flight record for the same statement.
+            let req = options
+                .request_id
+                .map_or(String::new(), |id| format!(" req={id:016x}"));
+            eprintln!(
+                "saardb: slow query{req} doc={doc} engine={} elapsed={:.3}ms {}",
+                engine.name(),
+                elapsed.as_secs_f64() * 1e3,
+                outcome,
+            );
+        }
         self.flight.record(QueryRecord {
             seq: 0,
+            request_id: options.request_id,
             doc: doc.to_string(),
             query: query.to_string(),
             engine: engine.name().to_string(),

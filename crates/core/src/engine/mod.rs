@@ -129,6 +129,11 @@ pub struct QueryOptions {
     /// variable, then to the machine's available cores. Other engines
     /// ignore it.
     pub parallelism: Option<usize>,
+    /// Wire-level request id of the statement this query serves, when it
+    /// arrived over the network. Carried into [`QueryMetrics`] and the
+    /// flight record so client-side log lines, server spans and
+    /// slow-query output all name the same statement.
+    pub request_id: Option<u64>,
 }
 
 impl QueryOptions {
@@ -266,6 +271,7 @@ pub fn evaluate(
         governor: governor.snapshot(),
         plan_digest,
         spans: Default::default(),
+        request_id: options.request_id,
     });
     Ok(result)
 }

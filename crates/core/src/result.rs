@@ -26,6 +26,10 @@ pub struct QueryMetrics {
     /// with storage sub-spans); empty when the query ran through an entry
     /// point that does not install a trace collector.
     pub spans: SpanTree,
+    /// Wire-level request id, echoed from
+    /// [`crate::engine::QueryOptions::request_id`]; `None` for local
+    /// calls.
+    pub request_id: Option<u64>,
 }
 
 /// The result of evaluating an XQ query: a sequence of constructed and/or

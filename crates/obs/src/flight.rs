@@ -4,12 +4,21 @@
 //! [`QueryRecord`] — query text, engine, plan digest, outcome, metric
 //! deltas and the span tree. When a slow-query threshold is set, queries
 //! at or above it additionally carry their full EXPLAIN ANALYZE output,
-//! captured by the facade. `saardb flightrec` replays the ring.
+//! captured by the facade. `saardb flightrec` and the admin plane's
+//! `/flightrec` endpoint replay the ring.
+//!
+//! The capacity is adjustable at runtime (`--flightrec-capacity` /
+//! `SAARDB_FLIGHTREC_CAPACITY`), and records evicted before anyone read
+//! them are counted — optionally into a bound registry counter
+//! (`saardb_flightrec_dropped_total`) so a scraper can see it is
+//! under-sampling.
 
-use crate::trace::SpanTree;
+use crate::json_escape;
+use crate::metrics::Counter;
+use crate::trace::{AttrValue, SpanTree};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Default ring capacity.
@@ -20,6 +29,11 @@ pub const DEFAULT_CAPACITY: usize = 64;
 pub struct QueryRecord {
     /// Monotonic sequence number (1-based, never reused).
     pub seq: u64,
+    /// Wire-level request id this query carried, when it arrived over the
+    /// network (`None` for local/embedded calls). The same id appears in
+    /// the client's log line, the server's slow-query line and the error
+    /// response, so one statement is traceable end to end.
+    pub request_id: Option<u64>,
     /// Document the query ran against.
     pub doc: String,
     /// The query text.
@@ -55,6 +69,9 @@ impl QueryRecord {
             self.outcome,
             self.elapsed.as_secs_f64() * 1e3
         );
+        if let Some(id) = self.request_id {
+            out.push_str(&format!("  req={id:016x}"));
+        }
         if let Some(digest) = self.plan_digest {
             out.push_str(&format!("  plan={digest:016x}"));
         }
@@ -83,6 +100,73 @@ impl QueryRecord {
         }
         out
     }
+
+    /// One JSON object for the admin plane's `/flightrec` endpoint:
+    /// every field of the record, spans as an array of
+    /// `{name, parent, start_ns, elapsed_ns, attrs}`.
+    pub fn render_json(&self) -> String {
+        let mut out = format!("{{\"seq\": {}", self.seq);
+        match self.request_id {
+            Some(id) => out.push_str(&format!(", \"request_id\": \"{id:016x}\"")),
+            None => out.push_str(", \"request_id\": null"),
+        }
+        out.push_str(&format!(", \"doc\": \"{}\"", json_escape(&self.doc)));
+        out.push_str(&format!(", \"query\": \"{}\"", json_escape(&self.query)));
+        out.push_str(&format!(", \"engine\": \"{}\"", json_escape(&self.engine)));
+        match self.plan_digest {
+            Some(d) => out.push_str(&format!(", \"plan_digest\": \"{d:016x}\"")),
+            None => out.push_str(", \"plan_digest\": null"),
+        }
+        out.push_str(&format!(", \"elapsed_us\": {}", self.elapsed.as_micros()));
+        out.push_str(&format!(
+            ", \"outcome\": \"{}\"",
+            json_escape(&self.outcome)
+        ));
+        out.push_str(", \"metrics\": {");
+        let parts: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .collect();
+        out.push_str(&parts.join(", "));
+        out.push_str("}, \"spans\": [");
+        let spans: Vec<String> = self
+            .spans
+            .spans
+            .iter()
+            .map(|s| {
+                let parent = s
+                    .parent
+                    .map_or_else(|| "null".to_string(), |p| p.to_string());
+                let attrs: Vec<String> = s
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| match v {
+                        AttrValue::U64(n) => format!("\"{}\": {n}", json_escape(k)),
+                        AttrValue::Str(text) => {
+                            format!("\"{}\": \"{}\"", json_escape(k), json_escape(text))
+                        }
+                    })
+                    .collect();
+                format!(
+                    "{{\"name\": \"{}\", \"parent\": {parent}, \"start_ns\": {}, \
+                     \"elapsed_ns\": {}, \"attrs\": {{{}}}}}",
+                    json_escape(s.name),
+                    s.start_ns,
+                    s.elapsed_ns,
+                    attrs.join(", ")
+                )
+            })
+            .collect();
+        out.push_str(&spans.join(", "));
+        out.push(']');
+        match &self.analyze {
+            Some(a) => out.push_str(&format!(", \"analyze\": \"{}\"", json_escape(a))),
+            None => out.push_str(", \"analyze\": null"),
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// One-line form of a query for the record header.
@@ -104,10 +188,14 @@ const SLOW_OFF: u64 = u64::MAX;
 
 /// The ring buffer. Thread-safe; `record` takes a short mutex.
 pub struct FlightRecorder {
-    capacity: usize,
+    capacity: AtomicUsize,
     seq: AtomicU64,
     /// Slow-query threshold in microseconds; [`SLOW_OFF`] disables it.
     slow_us: AtomicU64,
+    /// Records evicted to make room (never reset).
+    dropped: AtomicU64,
+    /// Registry counter mirroring `dropped`, when bound.
+    dropped_counter: Mutex<Option<Arc<Counter>>>,
     ring: Mutex<VecDeque<QueryRecord>>,
 }
 
@@ -115,16 +203,53 @@ impl FlightRecorder {
     /// A recorder keeping the last `capacity` records.
     pub fn new(capacity: usize) -> FlightRecorder {
         FlightRecorder {
-            capacity: capacity.max(1),
+            capacity: AtomicUsize::new(capacity.max(1)),
             seq: AtomicU64::new(0),
             slow_us: AtomicU64::new(SLOW_OFF),
+            dropped: AtomicU64::new(0),
+            dropped_counter: Mutex::new(None),
             ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
         }
     }
 
     /// Ring capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the ring at runtime (minimum 1). Shrinking evicts the
+    /// oldest records, which count as dropped.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut ring = self.ring.lock().unwrap();
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut evicted = 0u64;
+        while ring.len() > capacity {
+            ring.pop_front();
+            evicted += 1;
+        }
+        drop(ring);
+        if evicted > 0 {
+            self.note_dropped(evicted);
+        }
+    }
+
+    /// Binds a registry counter (conventionally
+    /// `saardb_flightrec_dropped_total`) that mirrors future drops.
+    pub fn bind_dropped_counter(&self, counter: Arc<Counter>) {
+        *self.dropped_counter.lock().unwrap() = Some(counter);
+    }
+
+    /// Total records evicted before anyone read them.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn note_dropped(&self, n: u64) {
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+        if let Some(c) = self.dropped_counter.lock().unwrap().as_ref() {
+            c.add(n);
+        }
     }
 
     /// Sets (or clears) the slow-query threshold. Queries at or above it
@@ -154,10 +279,17 @@ impl FlightRecorder {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         rec.seq = seq;
         let mut ring = self.ring.lock().unwrap();
-        if ring.len() == self.capacity {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let mut evicted = 0u64;
+        while ring.len() >= capacity {
             ring.pop_front();
+            evicted += 1;
         }
         ring.push_back(rec);
+        drop(ring);
+        if evicted > 0 {
+            self.note_dropped(evicted);
+        }
         seq
     }
 
@@ -185,8 +317,9 @@ impl FlightRecorder {
 impl std::fmt::Debug for FlightRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlightRecorder")
-            .field("capacity", &self.capacity)
+            .field("capacity", &self.capacity())
             .field("len", &self.len())
+            .field("dropped", &self.dropped_total())
             .field("slow_threshold", &self.slow_threshold())
             .finish()
     }
@@ -199,6 +332,7 @@ mod tests {
     fn rec(query: &str) -> QueryRecord {
         QueryRecord {
             seq: 0,
+            request_id: None,
             doc: "d".into(),
             query: query.into(),
             engine: "m4-costbased".into(),
@@ -229,6 +363,27 @@ mod tests {
             "sequence numbers survive eviction"
         );
         assert_eq!(fr.total_recorded(), 5);
+        assert_eq!(fr.dropped_total(), 2, "two evictions counted");
+    }
+
+    #[test]
+    fn capacity_is_runtime_adjustable_and_drops_are_mirrored() {
+        let fr = FlightRecorder::new(8);
+        let mirror = Arc::new(Counter::new());
+        fr.bind_dropped_counter(Arc::clone(&mirror));
+        for i in 0..6 {
+            fr.record(rec(&format!("q{i}")));
+        }
+        assert_eq!(fr.dropped_total(), 0);
+        fr.set_capacity(2);
+        assert_eq!(fr.capacity(), 2);
+        assert_eq!(fr.len(), 2, "shrink evicts the oldest");
+        assert_eq!(fr.dropped_total(), 4);
+        assert_eq!(mirror.get(), 4, "bound counter mirrors drops");
+        fr.record(rec("q6"));
+        assert_eq!(fr.dropped_total(), 5);
+        fr.set_capacity(0);
+        assert_eq!(fr.capacity(), 1, "capacity clamps to 1");
     }
 
     #[test]
@@ -247,6 +402,7 @@ mod tests {
     fn render_carries_the_story() {
         let mut r = rec("for $x in //a    return $x");
         r.analyze = Some("=== executed plans ===\nscan".into());
+        r.request_id = Some(0xfeed_0001);
         let fr = FlightRecorder::new(2);
         fr.record(r);
         let text = fr.records()[0].render();
@@ -255,10 +411,27 @@ mod tests {
             text.contains("for $x in //a return $x"),
             "whitespace collapsed: {text}"
         );
+        assert!(text.contains("req=00000000feed0001"), "{text}");
         assert!(text.contains("plan=000000000000abcd"), "{text}");
         assert!(text.contains("pool.hits=3"), "{text}");
         assert!(!text.contains("pool.misses"), "zero deltas elided: {text}");
         assert!(text.contains("slow query"), "{text}");
         assert!(text.contains("scan"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_balances() {
+        let mut r = rec("count(//a[b=\"x\"])");
+        r.request_id = Some(1);
+        r.analyze = Some("line1\nline2".into());
+        let json = r.render_json();
+        assert!(
+            json.contains("\"request_id\": \"0000000000000001\""),
+            "{json}"
+        );
+        assert!(json.contains("count(//a[b=\\\"x\\\"])"), "{json}");
+        assert!(json.contains("line1\\nline2"), "{json}");
+        assert!(json.contains("\"pool.hits\": 3"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -19,11 +19,33 @@
 
 pub mod flight;
 pub mod metrics;
+pub mod textparse;
 pub mod trace;
 
 pub use flight::{FlightRecorder, QueryRecord};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, Registry, RegistrySnapshot,
+};
 pub use trace::{span, SpanGuard, SpanTree, TraceScope};
+
+/// Escapes `s` for embedding inside a JSON string literal: quote,
+/// backslash and control characters. The JSON renderers in this crate and
+/// the admin plane all funnel through here.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// FNV-1a over `bytes` — the stable 64-bit digest used to fingerprint
 /// query plans (flight-recorder records carry it so "same plan, different

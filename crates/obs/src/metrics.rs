@@ -4,6 +4,11 @@
 //! registry's lock is only taken to create a metric or to render an
 //! exposition. Recording into any metric is a relaxed atomic operation.
 //!
+//! Every exposition — Prometheus text, JSON, programmatic — renders from
+//! a [`RegistrySnapshot`] taken under a single lock acquisition, so two
+//! formats produced from the same snapshot can never disagree about a
+//! value.
+//!
 //! ## Naming scheme
 //!
 //! `saardb_<component>_<what>[_total]` with snake-case label keys, e.g.
@@ -87,6 +92,16 @@ const SUB_COUNT: u64 = 1 << SUB_BITS;
 /// Total bucket count: exact buckets below `SUB_COUNT`, then `SUB_COUNT`
 /// sub-buckets for each octave up to 2^64.
 pub(crate) const BUCKETS: usize = (SUB_COUNT + (64 - SUB_BITS as u64) * SUB_COUNT) as usize;
+
+/// The `le` bucket boundaries of the Prometheus histogram exposition:
+/// powers of four from 1 up to 4^15 (≈ 1.07e9 — about 18 minutes for the
+/// microsecond histograms), plus an implicit `+Inf`. Powers of two are
+/// exact internal bucket edges of the log-linear layout, so cumulating at
+/// these boundaries loses nothing beyond the histogram's own resolution.
+pub const LE_BOUNDS: [u64; 16] = [
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216, 67108864,
+    268435456, 1073741824,
+];
 
 /// Bucket index for `v`: values below [`SUB_COUNT`] are exact; above, the
 /// octave (position of the most significant bit) selects a run of
@@ -245,6 +260,23 @@ impl HistogramSnapshot {
         (self.max, self.max.saturating_add(1))
     }
 
+    /// Number of samples `<= bound`, at bucket granularity: an internal
+    /// bucket is counted once its whole range lies at or below `bound`.
+    /// Exact when `bound` is an internal bucket edge minus one, and for
+    /// all bounds below [`SUB_COUNT`]; otherwise samples equal to a
+    /// mid-bucket `bound` land in the next cumulative step — within the
+    /// histogram's 12.5% resolution contract. Monotone in `bound`.
+    pub fn cumulative_le(&self, bound: u64) -> u64 {
+        let mut total = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if bucket_upper(i) > bound.saturating_add(1) {
+                break;
+            }
+            total += c;
+        }
+        total
+    }
+
     /// Mean of the recorded samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -274,11 +306,13 @@ impl HistogramSnapshot {
     }
 }
 
-/// Identity of a metric: family name plus sorted label pairs.
+/// Identity of a metric series: family name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct MetricId {
-    name: String,
-    labels: Vec<(String, String)>,
+pub struct MetricId {
+    /// Family name (`saardb_pool_hits_total`).
+    pub name: String,
+    /// `(key, value)` label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
 }
 
 impl MetricId {
@@ -295,7 +329,7 @@ impl MetricId {
     }
 
     /// `name{k="v",...}` (bare name when label-free).
-    fn render(&self) -> String {
+    pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
         }
@@ -307,19 +341,36 @@ impl MetricId {
         format!("{}{{{}}}", self.name, pairs.join(","))
     }
 
-    fn render_with(&self, extra_key: &str, extra_val: &str) -> String {
+    /// `name{labels...,extra_key="extra_val"}` — the summary-quantile and
+    /// histogram-bucket form.
+    pub fn render_with(&self, extra_key: &str, extra_val: &str) -> String {
+        self.render_suffixed_with("", extra_key, extra_val)
+    }
+
+    /// `name<suffix>{labels...,extra_key="extra_val"}`.
+    fn render_suffixed_with(&self, suffix: &str, extra_key: &str, extra_val: &str) -> String {
         let pairs: Vec<String> = self
             .labels
             .iter()
             .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
             .chain(std::iter::once(format!("{extra_key}=\"{extra_val}\"")))
             .collect();
-        format!("{}{{{}}}", self.name, pairs.join(","))
+        format!("{}{suffix}{{{}}}", self.name, pairs.join(","))
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition: backslash,
+/// double quote and newline.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes a HELP text per the Prometheus text exposition: backslash and
+/// newline only (quotes are legal in HELP).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 #[derive(Default)]
@@ -375,100 +426,42 @@ impl Registry {
             .or_insert_with(|| text.to_string());
     }
 
-    /// Prometheus-style text exposition: counters and gauges as single
-    /// samples, histograms as summaries (`{quantile="…"}`, `_sum`,
-    /// `_count`). Families appear in name order, series in label order.
-    pub fn render_prometheus(&self) -> String {
+    /// A point-in-time copy of every metric, taken under one lock
+    /// acquisition. Both text expositions, the CLI `stats` command and
+    /// the admin endpoint render through this, so no two views of the
+    /// same snapshot can disagree.
+    pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.inner.lock().unwrap();
-        let mut out = String::new();
-        let mut last_family = String::new();
-        let mut family_header = |out: &mut String, name: &str, kind: &str| {
-            if last_family != name {
-                last_family = name.to_string();
-                if let Some(help) = inner.help.get(name) {
-                    out.push_str(&format!("# HELP {name} {help}\n"));
-                }
-                out.push_str(&format!("# TYPE {name} {kind}\n"));
-            }
-        };
-        for (id, c) in &inner.counters {
-            family_header(&mut out, &id.name, "counter");
-            out.push_str(&format!("{} {}\n", id.render(), c.get()));
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(id, c)| (id.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(id, g)| (id.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(id, h)| (id.clone(), h.snapshot()))
+                .collect(),
+            help: inner.help.clone(),
         }
-        for (id, g) in &inner.gauges {
-            family_header(&mut out, &id.name, "gauge");
-            out.push_str(&format!("{} {}\n", id.render(), g.get()));
-        }
-        for (id, h) in &inner.histograms {
-            family_header(&mut out, &id.name, "summary");
-            let snap = h.snapshot();
-            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-                out.push_str(&format!(
-                    "{} {}\n",
-                    id.render_with("quantile", label),
-                    snap.quantile(q)
-                ));
-            }
-            out.push_str(&format!("{} {}\n", suffixed_series(id, "_sum"), snap.sum));
-            out.push_str(&format!(
-                "{} {}\n",
-                suffixed_series(id, "_count"),
-                snap.count
-            ));
-        }
-        out
     }
 
-    /// JSON dump of every metric: `{"counters": {...}, "gauges": {...},
-    /// "histograms": {...}}`, keys in deterministic order. Histograms
-    /// report count/sum/min/max and the three standard quantiles.
+    /// Prometheus text exposition of a fresh [`RegistrySnapshot`]; see
+    /// [`RegistrySnapshot::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// JSON dump of a fresh [`RegistrySnapshot`]; see
+    /// [`RegistrySnapshot::render_json`].
     pub fn render_json(&self) -> String {
-        let inner = self.inner.lock().unwrap();
-        let mut out = String::from("{\n  \"counters\": {");
-        let mut first = true;
-        for (id, c) in &inner.counters {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!("\n    \"{}\": {}", escape(&id.render()), c.get()));
-        }
-        out.push_str(if first { "},\n" } else { "\n  },\n" });
-        out.push_str("  \"gauges\": {");
-        first = true;
-        for (id, g) in &inner.gauges {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!("\n    \"{}\": {}", escape(&id.render()), g.get()));
-        }
-        out.push_str(if first { "},\n" } else { "\n  },\n" });
-        out.push_str("  \"histograms\": {");
-        first = true;
-        for (id, h) in &inner.histograms {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let s = h.snapshot();
-            out.push_str(&format!(
-                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
-                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
-                escape(&id.render()),
-                s.count,
-                s.sum,
-                s.min,
-                s.max,
-                s.quantile(0.5),
-                s.quantile(0.95),
-                s.quantile(0.99)
-            ));
-        }
-        out.push_str(if first { "}\n" } else { "\n  }\n" });
-        out.push('}');
-        out.push('\n');
-        out
+        self.snapshot().render_json()
     }
 
     /// Snapshot of every histogram whose name matches `name` (across label
@@ -511,7 +504,129 @@ impl Registry {
     }
 }
 
-/// `name<suffix>{labels}` rendering helper for summary `_sum`/`_count`
+/// A point-in-time copy of every metric in a [`Registry`]: the values the
+/// lock protected, captured together. Render as Prometheus text or JSON —
+/// both from the same numbers.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// `(series, value)` for every counter, in name-then-label order.
+    pub counters: Vec<(MetricId, u64)>,
+    /// `(series, value)` for every gauge.
+    pub gauges: Vec<(MetricId, i64)>,
+    /// `(series, snapshot)` for every histogram.
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    /// Family name → HELP text.
+    pub help: BTreeMap<String, String>,
+}
+
+impl RegistrySnapshot {
+    /// Prometheus text exposition (format 0.0.4): every family gets a
+    /// `# HELP` (a placeholder when none was registered) and a `# TYPE`;
+    /// counters and gauges are single samples; histograms render as
+    /// cumulative `_bucket{le="…"}` series over [`LE_BOUNDS`] plus
+    /// `+Inf`, `_sum` and `_count`. Families appear in name order, series
+    /// in label order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut family_header = |out: &mut String, name: &str, kind: &str| {
+            if last_family != name {
+                last_family = name.to_string();
+                let help = self
+                    .help
+                    .get(name)
+                    .map(String::as_str)
+                    .unwrap_or("No help text registered.");
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+            }
+        };
+        for (id, v) in &self.counters {
+            family_header(&mut out, &id.name, "counter");
+            out.push_str(&format!("{} {v}\n", id.render()));
+        }
+        for (id, v) in &self.gauges {
+            family_header(&mut out, &id.name, "gauge");
+            out.push_str(&format!("{} {v}\n", id.render()));
+        }
+        for (id, snap) in &self.histograms {
+            family_header(&mut out, &id.name, "histogram");
+            for &bound in &LE_BOUNDS {
+                out.push_str(&format!(
+                    "{} {}\n",
+                    id.render_suffixed_with("_bucket", "le", &bound.to_string()),
+                    snap.cumulative_le(bound)
+                ));
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                id.render_suffixed_with("_bucket", "le", "+Inf"),
+                snap.count
+            ));
+            out.push_str(&format!("{} {}\n", suffixed_series(id, "_sum"), snap.sum));
+            out.push_str(&format!(
+                "{} {}\n",
+                suffixed_series(id, "_count"),
+                snap.count
+            ));
+        }
+        out
+    }
+
+    /// JSON dump of every metric: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`, keys in deterministic order. Histograms
+    /// report count/sum/min/max and the three standard quantiles — the
+    /// quantile view lives here, the cumulative-bucket view in the
+    /// Prometheus text.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (id, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {v}", escape(&id.render())));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (id, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {v}", escape(&id.render())));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (id, s) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                escape(&id.render()),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.quantile(0.5),
+                s.quantile(0.95),
+                s.quantile(0.99)
+            ));
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+/// `name<suffix>{labels}` rendering helper for histogram `_sum`/`_count`
 /// lines: the suffix goes on the family name, before the label set.
 fn suffixed_series(id: &MetricId, suffix: &str) -> String {
     if id.labels.is_empty() {
@@ -626,6 +741,25 @@ mod tests {
     }
 
     #[test]
+    fn cumulative_le_is_monotone_and_reaches_count() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 100, 5000, 2_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut prev = 0;
+        for &b in &LE_BOUNDS {
+            let c = s.cumulative_le(b);
+            assert!(c >= prev, "le={b}: {c} < {prev}");
+            prev = c;
+        }
+        // Everything is below the top bound here.
+        assert_eq!(s.cumulative_le(LE_BOUNDS[LE_BOUNDS.len() - 1]), s.count);
+        // Small bounds are exact: 0 and 3 are <= 4.
+        assert_eq!(s.cumulative_le(4), 2);
+    }
+
+    #[test]
     fn merge_equals_combined_recording() {
         let a = Histogram::new();
         let b = Histogram::new();
@@ -656,6 +790,7 @@ mod tests {
         assert_eq!(s.quantile(0.5), 0);
         assert_eq!((s.min, s.max, s.count, s.sum), (0, 0, 0, 0));
         assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.cumulative_le(u64::MAX), 0);
     }
 
     #[test]
@@ -672,5 +807,54 @@ mod tests {
         assert!(a_pos < b_pos, "name-ordered families:\n{text}");
         assert!(text.contains("# HELP saardb_b_total second family"));
         assert!(text.contains("# TYPE saardb_b_total counter"));
+        // Families without registered help still get a HELP line.
+        assert!(text.contains("# HELP saardb_a_total No help text registered."));
+        assert!(text.contains("# TYPE saardb_a_total counter"));
+    }
+
+    #[test]
+    fn label_escaping_covers_newline() {
+        let r = Registry::new();
+        r.counter("saardb_esc_total", &[("v", "a\nb\\c\"d")]).inc();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("saardb_esc_total{v=\"a\\nb\\\\c\\\"d\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("saardb_lat_us", &[]);
+        h.record(3);
+        h.record(100);
+        h.record(2_000_000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE saardb_lat_us histogram"), "{text}");
+        assert!(text.contains("saardb_lat_us_bucket{le=\"4\"} 1"), "{text}");
+        assert!(
+            text.contains("saardb_lat_us_bucket{le=\"256\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("saardb_lat_us_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("saardb_lat_us_sum 2000103"), "{text}");
+        assert!(text.contains("saardb_lat_us_count 3"), "{text}");
+        // No bare quantile-gauge series in the text form.
+        assert!(!text.contains("quantile"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_freezes_both_formats_at_one_read() {
+        let r = Registry::new();
+        let c = r.counter("saardb_snap_total", &[]);
+        c.add(41);
+        let snap = r.snapshot();
+        c.inc(); // after the snapshot — must not appear in either rendering
+        assert!(snap.render_prometheus().contains("saardb_snap_total 41"));
+        assert!(snap.render_json().contains("\"saardb_snap_total\": 41"));
     }
 }

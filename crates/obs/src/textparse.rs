@@ -1,0 +1,408 @@
+//! A small, strict parser for the Prometheus text exposition (0.0.4).
+//!
+//! This exists so the repo can *validate* its own `/metrics` output —
+//! golden tests, the admin-endpoint tests and the scrape-under-load bench
+//! all parse scrapes with it — without pulling in a dependency. It is a
+//! conformance checker for what saardb emits, not a general scrape
+//! client: samples must follow their family's `# TYPE`, histogram
+//! buckets must be cumulative and capped by `+Inf == _count`, and any
+//! malformed escape, brace or value is an error rather than a shrug.
+
+use std::collections::BTreeMap;
+
+/// Label pairs in written order, values unescaped.
+pub type Labels = Vec<(String, String)>;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name as written (`saardb_x_bucket`, not the family).
+    pub name: String,
+    /// Label pairs in written order, values unescaped.
+    pub labels: Labels,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: a `# TYPE` header and the samples under it.
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Family name from the `# TYPE` line.
+    pub name: String,
+    /// `counter`, `gauge`, `histogram`, `summary` or `untyped`.
+    pub kind: String,
+    /// Unescaped `# HELP` text, when present.
+    pub help: Option<String>,
+    /// The samples, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+/// Parses and validates a full text exposition. Returns the families in
+/// exposition order, or a message naming the first offending line.
+pub fn parse(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let n = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if pending_help.is_some() {
+                return Err(format!("line {n}: HELP not followed by its TYPE"));
+            }
+            pending_help = Some((name.to_string(), unescape_help(help)));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: TYPE without a kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown TYPE kind {kind:?}"));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            let help = match pending_help.take() {
+                Some((hname, text)) if hname == name => Some(text),
+                Some((hname, _)) => {
+                    return Err(format!(
+                        "line {n}: HELP for {hname} followed by TYPE for {name}"
+                    ));
+                }
+                None => None,
+            };
+            families.push(Family {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                help,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let family = families
+            .last_mut()
+            .ok_or_else(|| format!("line {n}: sample before any # TYPE"))?;
+        let (name, rest) = parse_name(line).map_err(|e| format!("line {n}: {e}"))?;
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest).map_err(|e| format!("line {n}: {e}"))?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value = parse_value_field(rest).map_err(|e| format!("line {n}: {e}"))?;
+        if !belongs(&name, family) {
+            return Err(format!(
+                "line {n}: sample {name} outside family {} ({})",
+                family.name, family.kind
+            ));
+        }
+        family.samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    if let Some((name, _)) = pending_help {
+        return Err(format!("dangling HELP for {name} at end of input"));
+    }
+    validate_histograms(&families)?;
+    Ok(families)
+}
+
+/// The family named `name`, if present.
+pub fn find<'a>(families: &'a [Family], name: &str) -> Option<&'a Family> {
+    families.iter().find(|f| f.name == name)
+}
+
+/// True if `sample` may appear under `family` per its TYPE.
+fn belongs(sample: &str, family: &Family) -> bool {
+    if sample == family.name {
+        return true;
+    }
+    let suffixes: &[&str] = match family.kind.as_str() {
+        "histogram" => &["_bucket", "_sum", "_count"],
+        "summary" => &["_sum", "_count"],
+        _ => &[],
+    };
+    suffixes
+        .iter()
+        .any(|s| sample.strip_suffix(s) == Some(family.name.as_str()))
+}
+
+/// Splits a leading metric/label name (`[a-zA-Z_:][a-zA-Z0-9_:]*`) off
+/// `s`.
+fn parse_name(s: &str) -> Result<(String, &str), String> {
+    let mut end = 0;
+    for (i, c) in s.char_indices() {
+        let ok = if i == 0 {
+            c.is_ascii_alphabetic() || c == '_' || c == ':'
+        } else {
+            c.is_ascii_alphanumeric() || c == '_' || c == ':'
+        };
+        if !ok {
+            break;
+        }
+        end = i + c.len_utf8();
+    }
+    if end == 0 {
+        return Err(format!("invalid metric name at {s:?}"));
+    }
+    Ok((s[..end].to_string(), &s[end..]))
+}
+
+/// Parses a `{k="v",...}` label block (with escape handling), returning
+/// the pairs and the remainder after the closing brace.
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    let mut rest = s.strip_prefix('{').expect("caller checked '{'");
+    let mut labels = Vec::new();
+    loop {
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        }
+        let (key, r) = parse_name(rest)?;
+        let r = r
+            .strip_prefix('=')
+            .ok_or_else(|| format!("expected '=' after label {key}"))?;
+        let r = r
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected opening quote for label {key}"))?;
+        let mut value = String::new();
+        let mut chars = r.chars();
+        loop {
+            match chars.next() {
+                None => return Err(format!("unterminated value for label {key}")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape in label {key}: \\{other:?}")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        rest = chars.as_str();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.starts_with('}') {
+            return Err(format!("expected ',' or '}}' at {rest:?}"));
+        }
+    }
+}
+
+/// Parses the value (and optional timestamp, which is ignored) after the
+/// series on a sample line.
+fn parse_value_field(s: &str) -> Result<f64, String> {
+    let mut fields = s.split_whitespace();
+    let value = fields.next().ok_or("missing sample value")?;
+    let extra = fields.count();
+    if extra > 1 {
+        return Err(format!("trailing garbage after value at {s:?}"));
+    }
+    parse_number(value)
+}
+
+/// Parses a sample or `le` value, accepting the Prometheus infinity
+/// spellings.
+fn parse_number(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {s:?}: {e}")),
+    }
+}
+
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Histogram semantics: every `_bucket` carries `le`, buckets are
+/// cumulative (non-decreasing in `le`), and the `+Inf` bucket equals the
+/// series' `_count`.
+fn validate_histograms(families: &[Family]) -> Result<(), String> {
+    for family in families {
+        if family.kind != "histogram" {
+            continue;
+        }
+        // Group by the label set minus `le`.
+        #[derive(Default)]
+        struct Group {
+            buckets: Vec<(f64, f64)>,
+            count: Option<f64>,
+        }
+        let mut groups: BTreeMap<String, Group> = BTreeMap::new();
+        for s in &family.samples {
+            let base: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let group = groups.entry(base.join(",")).or_default();
+            if s.name.ends_with("_bucket") {
+                let le = s
+                    .label("le")
+                    .ok_or_else(|| format!("{}: _bucket without le label", family.name))?;
+                group.buckets.push((parse_number(le)?, s.value));
+            } else if s.name.ends_with("_count") {
+                group.count = Some(s.value);
+            }
+        }
+        for (key, mut group) in groups {
+            group
+                .buckets
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are ordered"));
+            let mut prev = f64::NEG_INFINITY;
+            for &(le, v) in &group.buckets {
+                if v < prev {
+                    return Err(format!(
+                        "{}{{{key}}}: buckets not cumulative at le={le}",
+                        family.name
+                    ));
+                }
+                prev = v;
+            }
+            let inf = group.buckets.last().filter(|(le, _)| le.is_infinite());
+            match (inf, group.count) {
+                (Some(&(_, inf_v)), Some(count)) if inf_v == count => {}
+                (Some(_), Some(_)) => {
+                    return Err(format!("{}{{{key}}}: +Inf bucket != _count", family.name));
+                }
+                _ => {
+                    return Err(format!(
+                        "{}{{{key}}}: missing +Inf bucket or _count",
+                        family.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn round_trips_the_registry_exposition() {
+        let r = Registry::new();
+        r.help("saardb_pool_hits_total", "Buffer pool page hits.");
+        r.counter("saardb_pool_hits_total", &[("shard", "0")])
+            .add(9);
+        r.counter("saardb_doc_loads_total", &[("doc", "we\"ird\\na\nme")])
+            .inc();
+        r.gauge("saardb_pool_frames", &[]).set(512);
+        let h = r.histogram("saardb_query_latency_us", &[("engine", "m4")]);
+        for v in [3u64, 90, 5000] {
+            h.record(v);
+        }
+        let families = parse(&r.render_prometheus()).expect("own exposition parses");
+        assert_eq!(families.len(), 4);
+        let hits = find(&families, "saardb_pool_hits_total").expect("family");
+        assert_eq!(hits.kind, "counter");
+        assert_eq!(hits.help.as_deref(), Some("Buffer pool page hits."));
+        assert_eq!(hits.samples[0].value, 9.0);
+        let loads = find(&families, "saardb_doc_loads_total").expect("family");
+        assert_eq!(
+            loads.samples[0].label("doc"),
+            Some("we\"ird\\na\nme"),
+            "escapes round-trip"
+        );
+        let lat = find(&families, "saardb_query_latency_us").expect("family");
+        assert_eq!(lat.kind, "histogram");
+        let inf = lat
+            .samples
+            .iter()
+            .find(|s| s.label("le") == Some("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn rejects_sample_before_type() {
+        assert!(parse("saardb_x_total 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_escape_and_unterminated_label() {
+        assert!(parse("# TYPE saardb_x_total counter\nsaardb_x_total{a=\"\\q\"} 1\n").is_err());
+        assert!(parse("# TYPE saardb_x_total counter\nsaardb_x_total{a=\"oops} 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = "\
+# TYPE saardb_h histogram
+saardb_h_bucket{le=\"1\"} 5
+saardb_h_bucket{le=\"2\"} 3
+saardb_h_bucket{le=\"+Inf\"} 5
+saardb_h_sum 9
+saardb_h_count 5
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inf_count_mismatch_and_foreign_sample() {
+        let text = "\
+# TYPE saardb_h histogram
+saardb_h_bucket{le=\"+Inf\"} 4
+saardb_h_sum 9
+saardb_h_count 5
+";
+        assert!(parse(text).unwrap_err().contains("+Inf"), "mismatch");
+        let text = "# TYPE saardb_a counter\nsaardb_b_total 1\n";
+        assert!(parse(text).unwrap_err().contains("outside family"));
+    }
+
+    #[test]
+    fn rejects_bad_value_and_garbage() {
+        assert!(parse("# TYPE saardb_x counter\nsaardb_x zebra\n").is_err());
+        assert!(parse("# TYPE saardb_x counter\nsaardb_x 1 2 3\n").is_err());
+        // A bare timestamp after the value is legal and ignored.
+        assert!(parse("# TYPE saardb_x counter\nsaardb_x 1 1700000000\n").is_ok());
+    }
+}

@@ -72,6 +72,19 @@ fn json_dump_matches_golden() {
 }
 
 #[test]
+fn prometheus_text_parses_with_in_repo_parser() {
+    // The golden fixture must be *conformant*, not just stable: the strict
+    // in-repo parser checks HELP/TYPE presence, escaping and histogram
+    // bucket semantics.
+    let families =
+        xmldb_obs::textparse::parse(&fixture().render_prometheus()).expect("conformant exposition");
+    assert!(families.len() >= 6, "got {} families", families.len());
+    let lat = xmldb_obs::textparse::find(&families, "saardb_query_latency_us").expect("histogram");
+    assert_eq!(lat.kind, "histogram");
+    assert_eq!(lat.help.as_deref(), Some("Per-engine query latency."));
+}
+
+#[test]
 fn rendering_is_stable_across_calls() {
     let r = fixture();
     assert_eq!(r.render_prometheus(), r.render_prometheus());

@@ -1,0 +1,277 @@
+//! The admin plane: a dependency-free HTTP/1.1 listener for operators
+//! and scrapers, bound to its *own* socket (`saardb serve --admin-addr`)
+//! so observability never competes with — or is wedged by — the data
+//! plane's admission queue.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
+//!   environment's registry,
+//! * `GET /stats` — the same registry as a JSON dump (what `saardb top`
+//!   polls); both formats render from one atomic registry snapshot, so a
+//!   scrape and a dashboard can never disagree about a single read,
+//! * `GET /flightrec` — the flight recorder's ring as a JSON array,
+//!   optionally filtered to `?slow_ms=N` (records at least that slow),
+//! * `GET /healthz` — liveness: answers 200 while the process serves,
+//! * `GET /readyz` — readiness: 503 with a reason while the storage is
+//!   latched read-only (ENOSPC degradation) or the server is shutting
+//!   down, 200 otherwise — exactly the signal a load balancer needs to
+//!   drain writes from a degraded node without killing it.
+//!
+//! The listener is deliberately minimal HTTP: one request per connection
+//! (`Connection: close`), GET only, headers bounded to 8 KiB, every read
+//! and write under a deadline, and a small concurrent-handler cap. A
+//! malformed or hostile peer costs one bounded thread for a few seconds
+//! and can never take the listener down.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xmldb_core::Database;
+
+/// Longest a handler waits for the request head, and for the peer to
+/// drain the response.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Request head (request line + headers) size bound.
+const MAX_HEAD: usize = 8 * 1024;
+/// Concurrent handler threads; excess connections get an immediate 503.
+const MAX_HANDLERS: usize = 8;
+
+struct AdminShared {
+    db: Database,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+}
+
+/// A running admin listener. Dropping the handle shuts it down.
+pub struct AdminServer {
+    shared: Arc<AdminShared>,
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving the admin
+    /// endpoints against `db`'s registry and flight recorder.
+    pub fn start(db: Database, addr: impl ToSocketAddrs) -> io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(AdminShared {
+            db,
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("saardb-admin".into())
+            .spawn(move || accept_loop(&accept_shared, listener))
+            .expect("spawn admin listener thread");
+        Ok(AdminServer {
+            shared,
+            addr: local,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the listener thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept(): the listener checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<AdminShared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if shared.inflight.load(Ordering::SeqCst) >= MAX_HANDLERS {
+            // Over the handler cap: answer on the acceptor thread — the
+            // write is deadline-bounded, so a stalled peer cannot wedge
+            // accept for more than the timeout.
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+            let _ = write_response(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "text/plain; charset=utf-8",
+                "admin endpoint busy\n",
+            );
+            continue;
+        }
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let handler_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("saardb-admin-h".into())
+            .spawn(move || {
+                handle_connection(&handler_shared, stream);
+                handler_shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Serves exactly one request and closes. Every failure mode — garbage
+/// bytes, oversized head, slow peer, dead socket — ends here, never in
+/// the accept loop.
+fn handle_connection(shared: &AdminShared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(head) = read_head(&mut stream) else {
+        let _ = write_response(
+            &mut stream,
+            400,
+            "Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request\n",
+        );
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    };
+    let (status, reason, ctype, body) = route(shared, &head);
+    let _ = write_response(&mut stream, status, reason, ctype, &body);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads the request head (through the blank line), bounded in bytes and
+/// by the socket's read deadline. Returns the request line, or `None`
+/// for anything that is not a complete, parseable ASCII HTTP head — a
+/// peer that closes or stalls before the terminating blank line sent an
+/// incomplete request, not a servable one.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() >= MAX_HEAD {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let text = std::str::from_utf8(&buf).ok()?;
+    let first = text.lines().next()?.trim();
+    if first.is_empty() {
+        return None;
+    }
+    Some(first.to_string())
+}
+
+/// Maps a request line to `(status, reason, content-type, body)`.
+fn route(shared: &AdminShared, request_line: &str) -> (u16, &'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const JSON: &str = "application/json; charset=utf-8";
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return (400, "Bad Request", TEXT, "malformed request line\n".into());
+    };
+    if method != "GET" {
+        return (
+            405,
+            "Method Not Allowed",
+            TEXT,
+            format!("method {method} not allowed; admin endpoints are GET-only\n"),
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => {
+            let text = shared.db.env().registry().snapshot().render_prometheus();
+            (200, "OK", PROM, text)
+        }
+        "/stats" => {
+            let json = shared.db.env().registry().snapshot().render_json();
+            (200, "OK", JSON, json)
+        }
+        "/flightrec" => {
+            let slow_ms = query.and_then(|q| {
+                q.split('&')
+                    .find_map(|kv| kv.strip_prefix("slow_ms="))
+                    .and_then(|v| v.parse::<u64>().ok())
+            });
+            let floor = Duration::from_millis(slow_ms.unwrap_or(0));
+            let records: Vec<String> = shared
+                .db
+                .flight_recorder()
+                .records()
+                .iter()
+                .filter(|r| r.elapsed >= floor)
+                .map(xmldb_obs::flight::QueryRecord::render_json)
+                .collect();
+            (200, "OK", JSON, format!("[{}]", records.join(",\n")))
+        }
+        "/healthz" => (200, "OK", TEXT, "ok\n".into()),
+        "/readyz" => {
+            if shared.db.env().is_read_only() {
+                (
+                    503,
+                    "Service Unavailable",
+                    TEXT,
+                    "not ready: storage degraded to read-only (ENOSPC latch)\n".into(),
+                )
+            } else if shared.shutdown.load(Ordering::SeqCst) {
+                (
+                    503,
+                    "Service Unavailable",
+                    TEXT,
+                    "not ready: shutting down\n".into(),
+                )
+            } else {
+                (200, "OK", TEXT, "ready\n".into())
+            }
+        }
+        _ => (
+            404,
+            "Not Found",
+            TEXT,
+            "no such endpoint; try /metrics /stats /flightrec /healthz /readyz\n".into(),
+        ),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    ctype: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -106,10 +106,13 @@ fn print_usage() {
          \x20         explain <name> <xq> | explain analyze <name> <xq> |\n\
          \x20         stats [--json] | trace <name> <xq> |\n\
          \x20         flightrec [--slow-ms N] [<name> <xq>...] |\n\
-         \x20         serve [--listen ADDR] [--max-sessions N] [--queue-depth N]\n\
-         \x20               [--queue-timeout SECS] [--handshake-timeout SECS]\n\
-         \x20               [--frame-timeout SECS] [--idle-txn-timeout SECS]\n\
-         \x20               [--idle-timeout SECS] | shell\n\
+         \x20         serve [--listen ADDR] [--admin-addr ADDR] [--max-sessions N]\n\
+         \x20               [--queue-depth N] [--queue-timeout SECS]\n\
+         \x20               [--handshake-timeout SECS] [--frame-timeout SECS]\n\
+         \x20               [--idle-txn-timeout SECS] [--idle-timeout SECS]\n\
+         \x20               [--flightrec-capacity N] [--slow-ms N] | shell\n\
+         \x20  saardb --connect <admin-addr> top [--interval SECS] [--count N]\n\
+         \x20                          live monitor against a server's --admin-addr\n\
          \x20  saardb recover <dir>    replay the write-ahead log and print a\n\
          \x20                          recovery report (no database open needed)"
     );
@@ -202,10 +205,12 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
     if command.is_empty() {
         return Err("no command given".into());
     }
-    // Every command except `recover <dir>` and a network shell needs --db.
+    // Every command except `recover <dir>`, a network shell and the
+    // network monitor (`top`) needs --db.
     let first = command.first().map(String::as_str);
     if db_dir.is_none()
         && first != Some("recover")
+        && first != Some("top")
         && !(connect.is_some() && first == Some("shell"))
     {
         return Err("--db <dir> is required for this command".into());
@@ -267,6 +272,10 @@ fn main() -> ExitCode {
         args.command.first().map(String::as_str),
     ) {
         return finish(network_shell(addr, &args));
+    }
+    // `saardb top` polls a server's admin plane; no local database either.
+    if args.command.first().map(String::as_str) == Some("top") {
+        return finish(top(&args));
     }
     let Some(db_dir) = args.db_dir.as_deref() else {
         print_usage();
@@ -471,6 +480,43 @@ fn run(db: &Database, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `saardb top`: poll a server's admin plane (`serve --admin-addr`) and
+/// render a live one-screen monitor — req/s, per-statement latency
+/// quantiles, session phases, pool/WAL/transaction rates.
+fn top(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args
+        .connect
+        .as_deref()
+        .ok_or("top needs --connect <admin-addr> (the server's --admin-addr)")?;
+    let mut interval = Duration::from_secs(2);
+    let mut count = None;
+    let rest: Vec<&str> = args.command.iter().skip(1).map(String::as_str).collect();
+    let mut it = rest.iter();
+    while let Some(tok) = it.next() {
+        match *tok {
+            "--interval" => {
+                let raw = it.next().ok_or("top: --interval needs seconds")?;
+                let secs: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("top: --interval {raw:?} is not a number"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("top: --interval must be positive and finite".into());
+                }
+                interval = Duration::from_secs_f64(secs);
+            }
+            "--count" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("top: --count needs a whole number of frames")?;
+                count = Some(n);
+            }
+            other => return Err(format!("top: unknown flag {other:?}").into()),
+        }
+    }
+    xmldb_server::monitor::run(addr, interval, count).map_err(Into::into)
+}
+
 /// Parses a watchdog deadline for `serve`: a finite, non-negative number
 /// of seconds, where `0` means "disabled" (`None`).
 fn serve_seconds(flag: &str, value: Option<&&str>) -> Result<Option<Duration>, String> {
@@ -491,6 +537,7 @@ fn serve_seconds(flag: &str, value: Option<&&str>) -> Result<Option<Duration>, S
 /// (open transactions roll back), join every thread, flush the database.
 fn serve(db: &Database, args: &Args, rest: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
     let mut listen = "127.0.0.1:4455".to_string();
+    let mut admin_addr: Option<String> = None;
     let mut config = ServerConfig {
         default_engine: args.engine,
         default_mem_limit: args.mem_limit_mb.map(|mb| mb << 20),
@@ -499,6 +546,17 @@ fn serve(db: &Database, args: &Args, rest: &[&str]) -> Result<(), Box<dyn std::e
     };
     if args.timeout.is_some() {
         config.default_timeout = args.timeout;
+    }
+    // Environment default; an explicit --flightrec-capacity overrides it.
+    if let Ok(raw) = std::env::var("SAARDB_FLIGHTREC_CAPACITY") {
+        let n = raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| {
+                format!("serve: SAARDB_FLIGHTREC_CAPACITY {raw:?} must be a whole number >= 1")
+            })?;
+        db.flight_recorder().set_capacity(n);
     }
     let mut it = rest.iter();
     while let Some(tok) = it.next() {
@@ -548,6 +606,30 @@ fn serve(db: &Database, args: &Args, rest: &[&str]) -> Result<(), Box<dyn std::e
             "--idle-timeout" => {
                 config.idle_timeout = serve_seconds("--idle-timeout", it.next())?;
             }
+            "--admin-addr" => {
+                admin_addr = Some(
+                    it.next()
+                        .ok_or("serve: --admin-addr needs host:port")?
+                        .to_string(),
+                );
+            }
+            "--flightrec-capacity" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("serve: --flightrec-capacity needs a whole number of records")?;
+                if n == 0 {
+                    return Err("serve: --flightrec-capacity must be at least 1".into());
+                }
+                db.flight_recorder().set_capacity(n);
+            }
+            "--slow-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("serve: --slow-ms needs a number of milliseconds")?;
+                db.set_slow_query_threshold(Some(Duration::from_millis(ms)));
+            }
             other => return Err(format!("serve: unknown flag {other:?}").into()),
         }
     }
@@ -555,6 +637,18 @@ fn serve(db: &Database, args: &Args, rest: &[&str]) -> Result<(), Box<dyn std::e
     let queue_depth = config.queue_depth;
     let mut server = Server::start(db.clone(), listen.as_str(), config)?;
     println!("saardb listening on {}", server.addr());
+    // The admin plane binds its own socket: scrapes and health probes
+    // never queue behind the data plane's admission control. Held until
+    // shutdown; dropping it joins the listener thread.
+    let _admin = match admin_addr {
+        Some(addr) => {
+            let admin = xmldb_server::AdminServer::start(db.clone(), addr.as_str())?;
+            println!("saardb admin endpoint on http://{}", admin.addr());
+            eprintln!("--   /metrics /stats /flightrec /healthz /readyz");
+            Some(admin)
+        }
+        None => None,
+    };
     eprintln!(
         "-- {max_sessions} max sessions, admission queue depth {queue_depth}; \
          close stdin or type 'stop' to shut down"

@@ -101,6 +101,12 @@ pub struct QueryParams {
 pub struct Client {
     stream: TcpStream,
     session_id: u64,
+    /// Protocol version negotiated at the handshake: the server answers
+    /// `min(client, server)`, so this is what both ends actually speak.
+    negotiated: u32,
+    /// Wire request id to stamp on the next request (v2 sessions only);
+    /// consumed by the next round trip.
+    pending_tag: Option<u64>,
 }
 
 impl Client {
@@ -122,12 +128,23 @@ impl Client {
         let mut client = Client {
             stream,
             session_id: 0,
+            // Until the ack arrives, assume the oldest protocol: nothing
+            // version-gated is sent during the handshake itself.
+            negotiated: crate::proto::MIN_SUPPORTED_VERSION,
+            pending_tag: None,
         };
         match client.roundtrip(&Request::Hello {
             version: PROTOCOL_VERSION,
         })? {
-            Response::HelloAck { session_id, .. } => {
+            Response::HelloAck {
+                version,
+                session_id,
+            } => {
                 client.session_id = session_id;
+                // Clamp against our own version: a buggy or newer server
+                // answering above what we sent must not make us emit
+                // frames we don't actually speak.
+                client.negotiated = version.min(PROTOCOL_VERSION);
                 Ok(client)
             }
             Response::Busy {
@@ -147,6 +164,21 @@ impl Client {
         self.session_id
     }
 
+    /// The protocol version negotiated with the server (`min` of both
+    /// ends' [`PROTOCOL_VERSION`]s).
+    pub fn negotiated_version(&self) -> u32 {
+        self.negotiated
+    }
+
+    /// Stamps the *next* request with a wire request id (a v2 tracing
+    /// envelope): the server threads the id through its governor, trace
+    /// spans, flight recorder and slow-query log, and echoes it on the
+    /// response. On a v1 session the tag is silently skipped — old
+    /// servers keep working, just without the trace join.
+    pub fn tag_next(&mut self, request_id: u64) {
+        self.pending_tag = Some(request_id);
+    }
+
     /// Sets a read timeout on the connection (`None` = block forever).
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
         self.stream.set_read_timeout(timeout)?;
@@ -154,7 +186,12 @@ impl Client {
     }
 
     fn roundtrip(&mut self, request: &Request) -> ClientResult<Response> {
-        write_frame(&mut self.stream, &request.encode())?;
+        let tag = self.pending_tag.take().filter(|_| self.negotiated >= 2);
+        let payload = match tag {
+            Some(request_id) => request.encode_tagged(request_id),
+            None => request.encode(),
+        };
+        write_frame(&mut self.stream, &payload)?;
         let payload = read_frame(&mut self.stream, MAX_FRAME_LEN).map_err(|e| match e {
             FrameError::Eof => ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -163,7 +200,19 @@ impl Client {
             FrameError::Io(e) => ClientError::Io(e),
             FrameError::Proto(e) => ClientError::Proto(e.to_string()),
         })?;
-        Response::decode(&payload).map_err(|e| ClientError::Proto(e.to_string()))
+        let response = Response::decode(&payload).map_err(|e| ClientError::Proto(e.to_string()))?;
+        // Strip the echo envelope. A response tagged with a *different*
+        // id than the request means the stream desynced — that is a
+        // protocol error, not something to paper over.
+        let (echoed, response) = response.untag();
+        if let (Some(sent), Some(echo)) = (tag, echoed) {
+            if sent != echo {
+                return Err(ClientError::Proto(format!(
+                    "response request-id mismatch: sent {sent:016x}, got {echo:016x}"
+                )));
+            }
+        }
+        Ok(response)
     }
 
     /// As [`Client::roundtrip`], then maps the typed failure responses
@@ -390,6 +439,9 @@ pub struct RetryingClient {
     seed: u64,
     retries: u64,
     connect_timeout: Duration,
+    /// The wire request id of the most recent attempt (see
+    /// [`RetryingClient::last_request_id`]).
+    last_request_id: Option<u64>,
 }
 
 impl RetryingClient {
@@ -415,6 +467,7 @@ impl RetryingClient {
             seed,
             retries: 0,
             connect_timeout: Duration::from_secs(5),
+            last_request_id: None,
         };
         client.run(true, |_| Ok(()))?;
         Ok(client)
@@ -437,6 +490,16 @@ impl RetryingClient {
         self.client.as_ref().map(Client::session_id)
     }
 
+    /// The wire request id of the most recent attempt this client made:
+    /// the handle for joining a client-side failure (including
+    /// [`ClientError::RetriesExhausted`]) to the server's flight record,
+    /// span tree and slow-query log for that exact attempt. The low 16
+    /// bits are the attempt number, so every retry of one statement is a
+    /// distinct, correlated id.
+    pub fn last_request_id(&self) -> Option<u64> {
+        self.last_request_id
+    }
+
     fn ensure_connected(&mut self) -> ClientResult<&mut Client> {
         if self.client.is_none() {
             self.client = Some(Client::connect_timeout(&self.addr, self.connect_timeout)?);
@@ -455,25 +518,44 @@ impl RetryingClient {
     ) -> ClientResult<T> {
         let budget = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
+        // One random statement id per call; each attempt appends its
+        // ordinal in the low 16 bits, so every wire request id is unique
+        // AND all attempts of one statement share a common prefix an
+        // operator can grep the server's flight recorder for.
+        let statement = xorshift64(&mut self.seed) & 0xFFFF_FFFF_FFFF;
         loop {
+            let request_id = (statement << 16) | u64::from(attempt & 0xFFFF);
             let (err, connecting) = match self.ensure_connected() {
-                Ok(client) => match op(client) {
-                    Ok(v) => return Ok(v),
-                    Err(e) => (e, false),
-                },
+                Ok(client) => {
+                    client.tag_next(request_id);
+                    match op(client) {
+                        Ok(v) => {
+                            self.last_request_id = Some(request_id);
+                            return Ok(v);
+                        }
+                        Err(e) => (e, false),
+                    }
+                }
                 Err(e) => (e, true),
             };
+            self.last_request_id = Some(request_id);
             match self.classify(&err, idempotent, connecting) {
                 Disposition::Fatal => return Err(err),
                 Disposition::Retry => {
                     attempt += 1;
                     if attempt >= budget {
+                        eprintln!(
+                            "saardb-client: req={request_id:016x} giving up after {attempt} attempt(s): {err}"
+                        );
                         return Err(ClientError::RetriesExhausted {
                             attempts: attempt,
                             last: Box::new(err),
                         });
                     }
                     self.retries += 1;
+                    eprintln!(
+                        "saardb-client: req={request_id:016x} attempt {attempt} failed ({err}); retrying"
+                    );
                     std::thread::sleep(self.policy.backoff(attempt - 1, &mut self.seed));
                 }
             }

@@ -4,7 +4,7 @@
 //!
 //! The course paper's system was an embedded library driven by a testbed;
 //! this crate gives it the one piece every real DBMS course skips for
-//! time: a server. Three modules:
+//! time: a server. The modules:
 //!
 //! * [`proto`] — the wire protocol: length-prefixed, CRC-framed binary
 //!   messages (the same `[len][crc32][payload]` discipline the WAL uses
@@ -19,17 +19,28 @@
 //!   and the benchmark load generator, plus [`RetryingClient`]: the same
 //!   API behind a [`RetryPolicy`] that absorbs admission rejections,
 //!   deadlock victims and dead connections — without ever silently
-//!   replaying a non-idempotent statement whose fate is unknown.
+//!   replaying a non-idempotent statement whose fate is unknown,
+//! * [`admin`] — the observability plane: a dependency-free HTTP/1.1
+//!   listener on its own socket serving `/metrics` (Prometheus text),
+//!   `/stats` (JSON), `/flightrec`, `/healthz` and `/readyz`,
+//! * [`monitor`] — `saardb top`: a terminal monitor that polls `/stats`
+//!   and renders live rates, latency quantiles and session phases.
 //!
 //! The `saardb` CLI binary also lives here (it needs the client and the
 //! server; the engine crates must not depend on either).
 
+pub mod admin;
 pub mod client;
+pub mod monitor;
 pub mod proto;
 pub mod server;
 
+pub use admin::AdminServer;
 pub use client::{
     Client, ClientError, ClientResult, QueryParams, QueryReply, RetryPolicy, RetryingClient,
 };
-pub use proto::{engine_from_code, engine_to_code, ErrorCode, Request, Response, PROTOCOL_VERSION};
+pub use proto::{
+    engine_from_code, engine_to_code, ErrorCode, Request, Response, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+};
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,503 @@
+//! `saardb top`: a live terminal monitor for a running server.
+//!
+//! Polls the admin plane's `GET /stats` JSON dump (see [`crate::admin`])
+//! on an interval, keeps the previous counter snapshot, and renders
+//! rates (req/s, WAL fsyncs/s, pool traffic), per-statement latency
+//! quantiles, in-flight gauges and the session-phase breakdown — the
+//! operator's one-screen answer to "what is this server doing right
+//! now". Dependency-free: the JSON is parsed by a small recursive-
+//! descent parser that understands exactly the registry dump's shape
+//! (and general JSON besides, so a format addition cannot break it).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A parsed JSON value — just enough of the data model for `/stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64; counter values fit exactly up to
+    /// 2^53, far beyond anything a session's lifetime accumulates).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (the whole input must be one value plus
+/// trailing whitespace).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                members.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| Json::Null),
+        Some(_) => parse_number(b, pos).map(Json::Num),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {pos}"))?;
+                        // Surrogate pairs are not decoded — the registry
+                        // dump never emits astral-plane text; a lone
+                        // surrogate renders as the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from a &str,
+                // so the byte stream is valid UTF-8).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+/// One decoded `/stats` poll: the registry dump flattened into the maps
+/// the renderer needs.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Series → counter value.
+    pub counters: BTreeMap<String, u64>,
+    /// Series → gauge value.
+    pub gauges: BTreeMap<String, i64>,
+    /// Series → `(count, p50, p95, p99)`.
+    pub histograms: BTreeMap<String, (u64, u64, u64, u64)>,
+}
+
+impl Stats {
+    /// Sum of every counter series of `family` (label sets merged).
+    pub fn counter(&self, family: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| series_family(k) == family)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The label value of `key` in a series name like
+    /// `family{key="value"}` — the dump flattens labels into the name.
+    fn gauge_by_label(&self, family: &str, key: &str) -> Vec<(String, i64)> {
+        let prefix = format!("{family}{{{key}=\"");
+        self.gauges
+            .iter()
+            .filter_map(|(k, v)| {
+                let rest = k.strip_prefix(&prefix)?;
+                let end = rest.find('"')?;
+                Some((rest[..end].to_string(), *v))
+            })
+            .collect()
+    }
+}
+
+fn series_family(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
+/// Decodes the `/stats` JSON body into a [`Stats`].
+pub fn parse_stats(body: &str) -> Result<Stats, String> {
+    let root = parse_json(body)?;
+    let mut stats = Stats::default();
+    if let Some(Json::Obj(members)) = root.get("counters") {
+        for (k, v) in members {
+            if let Some(n) = v.as_f64() {
+                stats.counters.insert(k.clone(), n as u64);
+            }
+        }
+    }
+    if let Some(Json::Obj(members)) = root.get("gauges") {
+        for (k, v) in members {
+            if let Some(n) = v.as_f64() {
+                stats.gauges.insert(k.clone(), n as i64);
+            }
+        }
+    }
+    if let Some(Json::Obj(members)) = root.get("histograms") {
+        for (k, v) in members {
+            let q = |key: &str| v.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            stats
+                .histograms
+                .insert(k.clone(), (q("count"), q("p50"), q("p95"), q("p99")));
+        }
+    }
+    Ok(stats)
+}
+
+/// Fetches one admin-plane page (e.g. `/stats`) over plain HTTP/1.1 and
+/// returns the body of a 200 answer.
+pub fn fetch(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response".to_string())?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(format!(
+            "{path} answered {status}: {}",
+            body.lines().next().unwrap_or("")
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Renders one monitor frame from two polls `elapsed` apart. Pure (no
+/// I/O, no terminal control) so tests can snapshot it; [`run`] adds the
+/// screen clearing.
+pub fn render_frame(addr: &str, prev: &Stats, cur: &Stats, elapsed: Duration) -> String {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let rate =
+        |family: &str| (cur.counter(family).saturating_sub(prev.counter(family))) as f64 / secs;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "saardb top — {addr} — every {:.1}s\n\n",
+        elapsed.as_secs_f64()
+    ));
+
+    // Sessions: the admission gauges plus the phase breakdown.
+    let active = cur
+        .gauges
+        .get("saardb_server_sessions_active")
+        .copied()
+        .unwrap_or(0);
+    let queued = cur
+        .gauges
+        .get("saardb_server_admission_queue_depth")
+        .copied()
+        .unwrap_or(0);
+    let mut phases = cur.gauge_by_label("saardb_server_sessions_phase", "phase");
+    phases.retain(|(_, v)| *v != 0);
+    let phase_text = if phases.is_empty() {
+        "-".to_string()
+    } else {
+        phases
+            .iter()
+            .map(|(p, v)| format!("{p}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    out.push_str(&format!(
+        "sessions   active {active}   queued {queued}   phases: {phase_text}\n"
+    ));
+    out.push_str(&format!(
+        "requests   {:8.1}/s   errors {:6.1}/s   rejected {:6.1}/s\n",
+        rate("saardb_server_requests_total"),
+        rate("saardb_server_request_errors_total"),
+        rate("saardb_server_rejected_total"),
+    ));
+
+    // Per-statement latency quantiles and in-flight counts.
+    out.push_str("\nstatement        p50us     p95us     p99us  in-flight\n");
+    for op in ["query", "load", "begin", "commit", "rollback", "other"] {
+        let series = format!("saardb_server_statement_us{{op=\"{op}\"}}");
+        let (count, p50, p95, p99) = cur.histograms.get(&series).copied().unwrap_or_default();
+        if count == 0 {
+            continue;
+        }
+        let inflight = cur
+            .gauges
+            .get(&format!("saardb_server_inflight{{op=\"{op}\"}}"))
+            .copied()
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "{op:<12} {p50:>9} {p95:>9} {p99:>9} {inflight:>10}\n"
+        ));
+    }
+
+    // Storage: pool traffic, WAL durability, transactions, governor.
+    let hits = rate("saardb_pool_hits_total");
+    let misses = rate("saardb_pool_misses_total");
+    let hit_rate = if hits + misses > 0.0 {
+        100.0 * hits / (hits + misses)
+    } else {
+        100.0
+    };
+    out.push_str(&format!(
+        "\npool       hits {hits:8.1}/s   misses {misses:6.1}/s   hit rate {hit_rate:5.1}%\n"
+    ));
+    out.push_str(&format!(
+        "wal        fsyncs {:6.1}/s   appends {:6.1}/s\n",
+        rate("saardb_wal_syncs_total"),
+        rate("saardb_wal_appends_total"),
+    ));
+    let begins = cur.counter("saardb_txn_begins_total");
+    let closed =
+        cur.counter("saardb_txn_commits_total") + cur.counter("saardb_txn_rollbacks_total");
+    out.push_str(&format!(
+        "txn        open {:4}   commits {:6.1}/s   deadlocks {:5.1}/s\n",
+        begins.saturating_sub(closed),
+        rate("saardb_txn_commits_total"),
+        rate("saardb_txn_deadlocks_total"),
+    ));
+    let trips = rate("saardb_governor_trips_total");
+    let dropped = cur.counter("saardb_flightrec_dropped_total");
+    out.push_str(&format!(
+        "governor   trips {:6.1}/s      flightrec dropped total {dropped}\n",
+        trips
+    ));
+    out
+}
+
+/// Runs the monitor loop: poll `/stats` on `addr` every `interval`,
+/// render to stdout (ANSI clear-screen between frames), stop after
+/// `count` frames (`None` = until killed or the server goes away).
+pub fn run(addr: &str, interval: Duration, count: Option<u64>) -> Result<(), String> {
+    let mut prev = parse_stats(&fetch(addr, "/stats")?)?;
+    let mut prev_at = Instant::now();
+    let mut frames = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        let cur = parse_stats(&fetch(addr, "/stats")?)?;
+        let now = Instant::now();
+        let frame = render_frame(addr, &prev, &cur, now - prev_at);
+        // Clear screen + home, then the frame; plain bytes so it works in
+        // any ANSI terminal without a TTY library.
+        print!("\x1b[2J\x1b[H{frame}");
+        std::io::stdout().flush().ok();
+        prev = cur;
+        prev_at = now;
+        frames += 1;
+        if count.is_some_and(|c| frames >= c) {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_the_stats_shape() {
+        let doc = r#"{
+  "counters": {
+    "saardb_pool_hits_total{shard=\"0\"}": 100,
+    "saardb_wal_appends_total": 3
+  },
+  "gauges": { "saardb_pool_frames": 512 },
+  "histograms": {
+    "saardb_query_latency_us{engine=\"m4\"}": {"count": 7, "sum": 5993, "min": 12, "max": 5000, "p50": 91, "p95": 4863, "p99": 4863}
+  }
+}"#;
+        let stats = parse_stats(doc).unwrap();
+        assert_eq!(stats.counter("saardb_pool_hits_total"), 100);
+        assert_eq!(stats.counter("saardb_wal_appends_total"), 3);
+        assert_eq!(stats.gauges["saardb_pool_frames"], 512);
+        assert_eq!(
+            stats.histograms["saardb_query_latency_us{engine=\"m4\"}"],
+            (7, 91, 4863, 4863)
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("123 456").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn json_parser_decodes_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, {"b": "x\"y\\z\n"}], "c": null, "d": true}"#).unwrap();
+        let arr = v.get("a").unwrap();
+        let Json::Arr(items) = arr else { panic!() };
+        assert_eq!(items[0], Json::Num(1.0));
+        assert_eq!(items[1].get("b"), Some(&Json::Str("x\"y\\z\n".into())));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn frame_renders_rates_from_counter_deltas() {
+        let mut prev = Stats::default();
+        let mut cur = Stats::default();
+        prev.counters
+            .insert("saardb_server_requests_total".into(), 100);
+        cur.counters
+            .insert("saardb_server_requests_total".into(), 300);
+        cur.gauges.insert("saardb_server_sessions_active".into(), 4);
+        cur.gauges
+            .insert("saardb_server_sessions_phase{phase=\"busy\"}".into(), 2);
+        cur.histograms.insert(
+            "saardb_server_statement_us{op=\"query\"}".into(),
+            (10, 50, 900, 1200),
+        );
+        let frame = render_frame("h:1", &prev, &cur, Duration::from_secs(2));
+        assert!(frame.contains("100.0/s"), "req/s from delta:\n{frame}");
+        assert!(frame.contains("active 4"), "{frame}");
+        assert!(frame.contains("busy=2"), "{frame}");
+        assert!(frame.contains("query"), "{frame}");
+        assert!(frame.contains("1200"), "p99 column:\n{frame}");
+    }
+
+    #[test]
+    fn counter_sums_across_label_sets() {
+        let mut s = Stats::default();
+        s.counters
+            .insert("saardb_pool_hits_total{shard=\"0\"}".into(), 5);
+        s.counters
+            .insert("saardb_pool_hits_total{shard=\"1\"}".into(), 7);
+        s.counters.insert("saardb_pool_hits_extra".into(), 100);
+        assert_eq!(s.counter("saardb_pool_hits_total"), 12);
+    }
+}

@@ -19,18 +19,30 @@
 //! the fuzz tests in `tests/proto_fuzz.rs` hold the decoder to this.
 //!
 //! The first frame on a connection must be [`Request::Hello`] carrying
-//! [`PROTOCOL_VERSION`]; the server answers [`Response::HelloAck`] (or a
-//! typed [`Response::Busy`] when admission control rejects the
-//! connection, or `Error{VersionSkew}` on a version mismatch).
+//! the client's [`PROTOCOL_VERSION`]; the server answers
+//! [`Response::HelloAck`] carrying the *negotiated* version — the lower
+//! of the two builds' versions, as long as it is at least
+//! [`MIN_SUPPORTED_VERSION`] (or a typed [`Response::Busy`] when
+//! admission control rejects the connection, or `Error{VersionSkew}`
+//! when the peer is older than anything this build still speaks).
+//!
+//! v2 adds the optional [`Request::Tagged`]/[`Response::Tagged`]
+//! envelope: a client-generated 8-byte request id wrapped around any
+//! other message, echoed back on the response. v1 peers never see it —
+//! a client only sends tagged frames after negotiating ≥ 2.
 
 use std::io::{self, Read, Write};
 use xmldb_core::EngineKind;
 use xmldb_storage::crc32;
 
 /// Protocol version spoken by this build. Bumped on any wire change; the
-/// hello handshake rejects skew in either direction (simple and explicit
-/// beats silent downgrade for a young protocol).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// hello handshake negotiates down to the older peer's version as long
+/// as it is still within [`MIN_SUPPORTED_VERSION`].
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version this build still accepts in a hello. v1
+/// sessions simply never exchange [`Request::Tagged`] envelopes.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Hard ceiling on one frame's payload (requests carry whole documents
 /// for `load`, so this is generous — but a hostile length prefix must
@@ -98,7 +110,8 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::VersionSkew { theirs } => write!(
                 f,
-                "protocol version skew: peer speaks v{theirs}, this build v{PROTOCOL_VERSION}"
+                "protocol version skew: peer speaks v{theirs}, this build accepts \
+                 v{MIN_SUPPORTED_VERSION}..v{PROTOCOL_VERSION}"
             ),
             ProtoError::BadValue(what) => write!(f, "invalid field value: {what}"),
         }
@@ -275,6 +288,16 @@ pub enum Request {
     Ping,
     /// Orderly goodbye (an open transaction rolls back).
     Close,
+    /// v2: any other request wrapped with a client-generated request id.
+    /// The server unwraps it, threads the id through execution (session
+    /// table, governor, spans, flight record, slow-query log) and echoes
+    /// it on the response envelope. Nesting is rejected.
+    Tagged {
+        /// Client-generated 8-byte id, unique per attempt.
+        request_id: u64,
+        /// The actual request.
+        inner: Box<Request>,
+    },
 }
 
 /// Server → client messages.
@@ -330,6 +353,13 @@ pub enum Response {
     },
     /// Liveness answer.
     Pong,
+    /// v2: any other response wrapped with the request id it answers.
+    Tagged {
+        /// The id from the [`Request::Tagged`] envelope being answered.
+        request_id: u64,
+        /// The actual response.
+        inner: Box<Response>,
+    },
 }
 
 // --- primitive codec -------------------------------------------------------
@@ -399,6 +429,12 @@ impl<'a> Reader<'a> {
         String::from_utf8(raw.to_vec()).map_err(|_| ProtoError::BadUtf8)
     }
 
+    /// Bytes not yet consumed (a tagged envelope hands them to the inner
+    /// message's decoder).
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Asserts every payload byte was consumed — a message with trailing
     /// garbage is rejected, not silently truncated.
     fn finish(self) -> Result<(), ProtoError> {
@@ -462,7 +498,23 @@ impl Request {
             Request::ListDocs => put_u8(&mut out, 0x0A),
             Request::Ping => put_u8(&mut out, 0x0B),
             Request::Close => put_u8(&mut out, 0x0C),
+            Request::Tagged { request_id, inner } => {
+                put_u8(&mut out, 0x0D);
+                put_u64(&mut out, *request_id);
+                out.extend_from_slice(&inner.encode());
+            }
         }
+        out
+    }
+
+    /// Serializes `self` wrapped in a v2 [`Request::Tagged`] envelope —
+    /// what a tracing client sends without building (and cloning into) the
+    /// envelope variant itself.
+    pub fn encode_tagged(&self, request_id: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u8(&mut out, 0x0D);
+        put_u64(&mut out, request_id);
+        out.extend_from_slice(&self.encode());
         out
     }
 
@@ -497,6 +549,17 @@ impl Request {
             0x0A => Request::ListDocs,
             0x0B => Request::Ping,
             0x0C => Request::Close,
+            0x0D => {
+                let request_id = r.u64()?;
+                let inner = Request::decode(r.bytes(r.remaining())?)?;
+                if matches!(inner, Request::Tagged { .. }) {
+                    return Err(ProtoError::BadValue("nested tagged request"));
+                }
+                Request::Tagged {
+                    request_id,
+                    inner: Box::new(inner),
+                }
+            }
             other => return Err(ProtoError::BadTag(other)),
         };
         r.finish()?;
@@ -518,6 +581,7 @@ impl Request {
             Request::ListDocs => "ls",
             Request::Ping => "ping",
             Request::Close => "close",
+            Request::Tagged { inner, .. } => inner.op_name(),
         }
     }
 }
@@ -576,6 +640,11 @@ impl Response {
                 }
             }
             Response::Pong => put_u8(&mut out, 0x88),
+            Response::Tagged { request_id, inner } => {
+                put_u8(&mut out, 0x89);
+                put_u64(&mut out, *request_id);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -617,10 +686,30 @@ impl Response {
                 Response::Docs { names }
             }
             0x88 => Response::Pong,
+            0x89 => {
+                let request_id = r.u64()?;
+                let inner = Response::decode(r.bytes(r.remaining())?)?;
+                if matches!(inner, Response::Tagged { .. }) {
+                    return Err(ProtoError::BadValue("nested tagged response"));
+                }
+                Response::Tagged {
+                    request_id,
+                    inner: Box::new(inner),
+                }
+            }
             other => return Err(ProtoError::BadTag(other)),
         };
         r.finish()?;
         Ok(resp)
+    }
+
+    /// Strips a v2 [`Response::Tagged`] envelope, returning the id (if
+    /// any) and the inner response.
+    pub fn untag(self) -> (Option<u64>, Response) {
+        match self {
+            Response::Tagged { request_id, inner } => (Some(request_id), *inner),
+            other => (None, other),
+        }
     }
 }
 
@@ -815,6 +904,17 @@ mod tests {
         roundtrip_req(Request::ListDocs);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Close);
+        roundtrip_req(Request::Tagged {
+            request_id: 0xDEAD_BEEF_0000_0001,
+            inner: Box::new(Request::Query {
+                doc: "d".into(),
+                query: "//x".into(),
+                engine: ENGINE_DEFAULT,
+                timeout_ms: 0,
+                mem_limit: 0,
+                parallelism: 0,
+            }),
+        });
     }
 
     #[test]
@@ -845,6 +945,53 @@ mod tests {
             names: vec!["a".into(), "b".into()],
         });
         roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::Tagged {
+            request_id: 7,
+            inner: Box::new(Response::Done { info: "ok".into() }),
+        });
+    }
+
+    #[test]
+    fn tagged_envelopes_carry_op_names_and_untag() {
+        let req = Request::Tagged {
+            request_id: 9,
+            inner: Box::new(Request::Begin),
+        };
+        assert_eq!(req.op_name(), "begin");
+        let (id, inner) = Response::Tagged {
+            request_id: 9,
+            inner: Box::new(Response::Pong),
+        }
+        .untag();
+        assert_eq!(id, Some(9));
+        assert_eq!(inner, Response::Pong);
+        assert_eq!(Response::Pong.untag(), (None, Response::Pong));
+    }
+
+    #[test]
+    fn nested_tagged_envelopes_rejected() {
+        let nested = Request::Tagged {
+            request_id: 1,
+            inner: Box::new(Request::Tagged {
+                request_id: 2,
+                inner: Box::new(Request::Ping),
+            }),
+        };
+        assert_eq!(
+            Request::decode(&nested.encode()),
+            Err(ProtoError::BadValue("nested tagged request"))
+        );
+        let nested = Response::Tagged {
+            request_id: 1,
+            inner: Box::new(Response::Tagged {
+                request_id: 2,
+                inner: Box::new(Response::Pong),
+            }),
+        };
+        assert_eq!(
+            Response::decode(&nested.encode()),
+            Err(ProtoError::BadValue("nested tagged response"))
+        );
     }
 
     #[test]

@@ -32,7 +32,8 @@
 
 use crate::proto::{
     engine_from_code, read_frame_body, read_frame_header, write_frame, ErrorCode, FrameError,
-    ProtoError, Request, Response, ENGINE_DEFAULT, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    ProtoError, Request, Response, ENGINE_DEFAULT, MAX_FRAME_LEN, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::io;
@@ -147,6 +148,12 @@ struct Metrics {
     watchdog_severed_idle_txn: Arc<Counter>,
     watchdog_severed_idle: Arc<Counter>,
     watchdog_reclaims_total: Arc<Counter>,
+    /// Per-statement-type service-time histogram and in-flight gauge,
+    /// keyed by the wire op name; the last entry ("other") absorbs every
+    /// op without a dedicated series.
+    statements: [(&'static str, Arc<Histogram>, Arc<Gauge>); 6],
+    /// Live sessions by lifecycle phase, one gauge per [`Phase`].
+    phase_sessions: [Arc<Gauge>; 7],
 }
 
 impl Metrics {
@@ -197,6 +204,28 @@ impl Metrics {
             "saardb_server_watchdog_reclaims_total",
             "Times the watchdog recovered the storage from read-only degraded mode",
         );
+        r.help(
+            "saardb_server_statement_us",
+            "Per-statement-type service time in microseconds (by op)",
+        );
+        r.help(
+            "saardb_server_inflight",
+            "Requests currently executing (by op)",
+        );
+        r.help(
+            "saardb_server_sessions_phase",
+            "Live sessions by lifecycle phase",
+        );
+        const STATEMENT_OPS: [&str; 6] = ["query", "load", "begin", "commit", "rollback", "other"];
+        let statements = STATEMENT_OPS.map(|op| {
+            (
+                op,
+                r.histogram("saardb_server_statement_us", &[("op", op)]),
+                r.gauge("saardb_server_inflight", &[("op", op)]),
+            )
+        });
+        let phase_sessions =
+            Phase::ALL.map(|p| r.gauge("saardb_server_sessions_phase", &[("phase", p.label())]));
         Metrics {
             connections_total: r.counter("saardb_server_connections_total", &[]),
             rejected_total: r.counter("saardb_server_rejected_total", &[("reason", "queue_full")]),
@@ -229,7 +258,22 @@ impl Metrics {
                 &[("reason", "idle")],
             ),
             watchdog_reclaims_total: r.counter("saardb_server_watchdog_reclaims_total", &[]),
+            statements,
+            phase_sessions,
         }
+    }
+
+    /// The instruments for a wire op: its own series for the five
+    /// statement types worth a dashboard panel, "other" for the rest.
+    fn statement(&self, op: &str) -> &(&'static str, Arc<Histogram>, Arc<Gauge>) {
+        self.statements
+            .iter()
+            .find(|(name, _, _)| *name == op)
+            .unwrap_or_else(|| self.statements.last().expect("statement instruments"))
+    }
+
+    fn phase_gauge(&self, phase: Phase) -> &Arc<Gauge> {
+        &self.phase_sessions[phase.index()]
     }
 }
 
@@ -276,12 +320,53 @@ enum Phase {
     Severed,
 }
 
+impl Phase {
+    const ALL: [Phase; 7] = [
+        Phase::Queued,
+        Phase::Handshake,
+        Phase::Idle,
+        Phase::IdleInTxn,
+        Phase::MidFrame,
+        Phase::Busy,
+        Phase::Severed,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Queued => 0,
+            Phase::Handshake => 1,
+            Phase::Idle => 2,
+            Phase::IdleInTxn => 3,
+            Phase::MidFrame => 4,
+            Phase::Busy => 5,
+            Phase::Severed => 6,
+        }
+    }
+
+    /// Label value for the `saardb_server_sessions_phase` gauge family.
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Handshake => "handshake",
+            Phase::Idle => "idle",
+            Phase::IdleInTxn => "idle_txn",
+            Phase::MidFrame => "mid_frame",
+            Phase::Busy => "busy",
+            Phase::Severed => "severed",
+        }
+    }
+}
+
 /// A live session as the watchdog sees it: the stream to sever, the
 /// current phase, and when that phase began.
 struct SessionEntry {
     stream: TcpStream,
     phase: Phase,
     since: Instant,
+    /// The wire request id of the last tagged request this session served
+    /// (v2 clients only). Stamped into watchdog sever lines so an
+    /// operator can join a killed session to the client's own trace.
+    last_request_id: Option<u64>,
 }
 
 #[derive(Default)]
@@ -303,10 +388,34 @@ impl Shared {
         let mut table = self.sessions.lock().expect("session table");
         if let Some(entry) = table.sessions.get_mut(&id) {
             if entry.phase != Phase::Severed {
+                if entry.phase != phase {
+                    self.metrics.phase_gauge(entry.phase).add(-1);
+                    self.metrics.phase_gauge(phase).add(1);
+                }
                 entry.phase = phase;
                 entry.since = Instant::now();
             }
         }
+    }
+
+    /// Remembers the wire request id a session is serving, so watchdog
+    /// sever lines can name the request that was in flight (or last
+    /// completed) when the connection was cut.
+    fn note_request_id(&self, id: u64, request_id: u64) {
+        let mut table = self.sessions.lock().expect("session table");
+        if let Some(entry) = table.sessions.get_mut(&id) {
+            entry.last_request_id = Some(request_id);
+        }
+    }
+
+    /// Removes a session's table entry, keeping the phase gauges honest.
+    fn remove_session(&self, id: u64) -> Option<SessionEntry> {
+        let mut table = self.sessions.lock().expect("session table");
+        let entry = table.sessions.remove(&id);
+        if let Some(entry) = &entry {
+            self.metrics.phase_gauge(entry.phase).add(-1);
+        }
+        entry
     }
 
     /// One watchdog pass: sever every session that sat in a deadline-
@@ -317,29 +426,38 @@ impl Shared {
     fn watchdog_tick(&self) {
         let config = &self.config;
         let mut table = self.sessions.lock().expect("session table");
-        for entry in table.sessions.values_mut() {
+        for (id, entry) in table.sessions.iter_mut() {
             let expired = match entry.phase {
                 Phase::Handshake => Some((
                     config.handshake_timeout,
                     &self.metrics.watchdog_severed_handshake,
+                    "handshake",
                 )),
-                Phase::MidFrame => {
-                    Some((config.frame_timeout, &self.metrics.watchdog_severed_frame))
-                }
+                Phase::MidFrame => Some((
+                    config.frame_timeout,
+                    &self.metrics.watchdog_severed_frame,
+                    "frame",
+                )),
                 Phase::IdleInTxn => config
                     .idle_txn_timeout
-                    .map(|d| (d, &self.metrics.watchdog_severed_idle_txn)),
+                    .map(|d| (d, &self.metrics.watchdog_severed_idle_txn, "idle_txn")),
                 Phase::Idle => config
                     .idle_timeout
-                    .map(|d| (d, &self.metrics.watchdog_severed_idle)),
+                    .map(|d| (d, &self.metrics.watchdog_severed_idle, "idle")),
                 Phase::Queued | Phase::Busy | Phase::Severed => None,
             };
-            if let Some((limit, counter)) = expired {
+            if let Some((limit, counter, reason)) = expired {
                 if entry.since.elapsed() >= limit {
                     let _ = entry.stream.shutdown(Shutdown::Both);
+                    self.metrics.phase_gauge(entry.phase).add(-1);
+                    self.metrics.phase_gauge(Phase::Severed).add(1);
                     entry.phase = Phase::Severed;
                     entry.since = Instant::now();
                     counter.inc();
+                    let req = entry
+                        .last_request_id
+                        .map_or_else(String::new, |r| format!(" last_req={r:016x}"));
+                    eprintln!("saardb: watchdog severed session {id} (reason={reason}){req}");
                 }
             }
         }
@@ -636,16 +754,19 @@ fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, queued: bool) {
     {
         let mut table = shared.sessions.lock().expect("session table");
         if let Some(clone) = registered {
+            let phase = if queued {
+                Phase::Queued
+            } else {
+                Phase::Handshake
+            };
+            shared.metrics.phase_gauge(phase).add(1);
             table.sessions.insert(
                 id,
                 SessionEntry {
                     stream: clone,
-                    phase: if queued {
-                        Phase::Queued
-                    } else {
-                        Phase::Handshake
-                    },
+                    phase,
                     since: Instant::now(),
+                    last_request_id: None,
                 },
             );
         }
@@ -665,9 +786,7 @@ fn spawn_session(shared: &Arc<Shared>, stream: TcpStream, queued: bool) {
         }
         Err(_) => {
             // Could not even spawn a thread: treat as capacity exhaustion.
-            let mut table = shared.sessions.lock().expect("session table");
-            if let Some(entry) = table.sessions.remove(&id) {
-                drop(table);
+            if let Some(entry) = shared.remove_session(id) {
                 shared.metrics.rejected_total.inc();
                 let state = shared.admission_state();
                 reject_busy(entry.stream, state, "out of session threads");
@@ -698,12 +817,7 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, queued: boo
             }
             Err(state) => {
                 shared.metrics.rejected_timeout_total.inc();
-                shared
-                    .sessions
-                    .lock()
-                    .expect("session table")
-                    .sessions
-                    .remove(&id);
+                shared.remove_session(id);
                 reject_busy(stream, state, "admission queue wait timed out");
                 return;
             }
@@ -719,6 +833,7 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, queued: boo
         prepared: HashMap::new(),
         prepared_order: Vec::new(),
         next_prepared: 1,
+        current_request_id: None,
     };
     session.serve(&mut stream);
     // Cleanup: a client that vanished mid-transaction must not keep its
@@ -728,12 +843,7 @@ fn run_session(shared: &Arc<Shared>, mut stream: TcpStream, id: u64, queued: boo
         let _ = txn.rollback();
         session.drop_txn_created_docs();
     }
-    shared
-        .sessions
-        .lock()
-        .expect("session table")
-        .sessions
-        .remove(&id);
+    shared.remove_session(id);
     shared.release_slot();
     let _ = stream.shutdown(Shutdown::Both);
 }
@@ -754,18 +864,27 @@ struct Session {
     /// Insertion order for bounded eviction (oldest first).
     prepared_order: Vec<u64>,
     next_prepared: u64,
+    /// The wire request id of the request being handled right now (set
+    /// from a v2 [`Request::Tagged`] envelope, `None` for v1 traffic).
+    /// Threaded into [`QueryOptions`] so the id reaches the governor,
+    /// trace spans, flight records and the slow-query log.
+    current_request_id: Option<u64>,
 }
 
 impl Session {
     /// Handshake + request loop. Returns when the client closes, dies, or
     /// sends framing garbage.
     fn serve(&mut self, stream: &mut TcpStream) {
-        // Handshake: first frame must be a version-matched Hello. The
-        // watchdog bounds how long it may take to arrive.
+        // Handshake: first frame must be a Hello whose version this build
+        // still understands. The ack carries the *negotiated* version —
+        // min(theirs, ours) — so a newer client downgrades to what we
+        // speak and an older client keeps its own protocol (v1 clients
+        // ignore the ack's version field entirely, which is exactly the
+        // v1 behavior). The watchdog bounds how long the Hello may take.
         match self.read_request(stream, Phase::Handshake) {
-            Some(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+            Some(Request::Hello { version }) if version >= MIN_SUPPORTED_VERSION => {
                 let ack = Response::HelloAck {
-                    version: PROTOCOL_VERSION,
+                    version: version.min(PROTOCOL_VERSION),
                     session_id: self.id,
                 };
                 if write_frame(stream, &ack.encode()).is_err() {
@@ -810,18 +929,42 @@ impl Session {
             let Some(request) = self.read_request(stream, waiting) else {
                 return;
             };
+            // Strip the v2 tracing envelope (nested envelopes were already
+            // rejected at decode). The id is remembered in the session
+            // table so a watchdog sever can name the request it killed,
+            // and echoed on the response — errors included — so a client
+            // retry log line joins to this server-side attempt.
+            let (request_id, request) = match request {
+                Request::Tagged { request_id, inner } => (Some(request_id), *inner),
+                other => (None, other),
+            };
+            if let Some(rid) = request_id {
+                self.shared.note_request_id(self.id, rid);
+            }
             self.shared.set_phase(self.id, Phase::Busy);
             let closing = matches!(request, Request::Close);
+            let shared = Arc::clone(&self.shared);
+            let (_, statement_us, inflight) = shared.metrics.statement(request.op_name());
+            inflight.add(1);
             let op_started = Instant::now();
+            self.current_request_id = request_id;
             let response = self.handle(&request);
+            self.current_request_id = None;
+            let elapsed_us = op_started.elapsed().as_micros() as u64;
+            inflight.add(-1);
+            statement_us.record(elapsed_us);
             self.shared.metrics.requests_total.inc();
-            self.shared
-                .metrics
-                .request_us
-                .record(op_started.elapsed().as_micros() as u64);
+            self.shared.metrics.request_us.record(elapsed_us);
             if matches!(response, Response::Error { .. }) {
                 self.shared.metrics.request_errors_total.inc();
             }
+            let response = match request_id {
+                Some(request_id) => Response::Tagged {
+                    request_id,
+                    inner: Box::new(response),
+                },
+                None => response,
+            };
             if write_frame(stream, &response.encode()).is_err() || closing {
                 return;
             }
@@ -928,6 +1071,7 @@ impl Session {
                 config.parallelism
             },
             txn: self.txn.clone(),
+            request_id: self.current_request_id,
             ..QueryOptions::default()
         }
     }
@@ -937,6 +1081,13 @@ impl Session {
             Request::Hello { .. } => Response::Error {
                 code: ErrorCode::Proto,
                 message: "duplicate Hello".into(),
+            },
+            // Envelopes are stripped in the serve loop before dispatch and
+            // nesting is rejected at decode, so this arm is unreachable in
+            // practice — answer typed rather than panic if it ever isn't.
+            Request::Tagged { .. } => Response::Error {
+                code: ErrorCode::Proto,
+                message: "unexpected tagged envelope".into(),
             },
             Request::Ping => Response::Pong,
             Request::Close => Response::Done {
@@ -1186,7 +1337,15 @@ impl Session {
             // Both faces of a full disk: the append that hit ENOSPC and
             // every write refused while degraded answer the same typed
             // code, so clients need one rule ("reads only until the
-            // server recovers"), not two.
+            // server recovers"), not two. Stamped with the request id so
+            // a degradation event joins to the statement that hit it.
+            let req = self
+                .current_request_id
+                .map_or_else(String::new, |id| format!(" req={id:016x}"));
+            eprintln!(
+                "saardb: session {} answered read-only (degraded){req}: {e}",
+                self.id
+            );
             ErrorCode::ReadOnly
         } else {
             match e {

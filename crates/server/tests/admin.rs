@@ -1,0 +1,328 @@
+//! Admin-plane integration tests: the HTTP endpoints answer conformant
+//! Prometheus text and JSON while the data plane serves, readiness
+//! tracks ENOSPC degradation and recovery, malformed HTTP never takes
+//! the listener down, and a wire request id is traceable from the
+//! client's retry layer to the server's flight record — across a forced
+//! retry.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use xmldb_core::Database;
+use xmldb_server::monitor::{self, parse_json, parse_stats};
+use xmldb_server::{
+    AdminServer, Client, ClientError, ErrorCode, QueryParams, RetryPolicy, RetryingClient, Server,
+    ServerConfig,
+};
+use xmldb_storage::{EnvConfig, FaultState};
+
+const DOC: &str = "<lib><b><t>a</t></b><b><t>b</t></b><b><t>c</t></b></lib>";
+
+fn stack() -> (Database, Server, AdminServer) {
+    let db = Database::in_memory();
+    db.load_document("lib", DOC).unwrap();
+    let server = Server::start(db.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let admin = AdminServer::start(db.clone(), "127.0.0.1:0").unwrap();
+    (db, server, admin)
+}
+
+/// Raw HTTP GET returning `(status, body)` — unlike [`monitor::fetch`],
+/// non-200 answers are data here, not errors.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+/// `/metrics` under live traffic is conformant Prometheus text: the
+/// strict in-repo parser accepts it, every family has HELP/TYPE, and the
+/// server/statement families carry the traffic just generated.
+#[test]
+fn metrics_endpoint_is_prometheus_conformant() {
+    let (_db, server, admin) = stack();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for _ in 0..5 {
+        client.query("lib", "//t", QueryParams::default()).unwrap();
+    }
+    client.ping().unwrap();
+
+    let addr = admin.addr().to_string();
+    // Status line and scrape content type, which Prometheus keys on.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+    assert!(
+        raw.contains("Content-Type: text/plain; version=0.0.4"),
+        "scrape content type:\n{raw}"
+    );
+
+    let body = monitor::fetch(&addr, "/metrics").unwrap();
+    let families = xmldb_obs::textparse::parse(&body)
+        .unwrap_or_else(|e| panic!("nonconformant exposition: {e}\n{body}"));
+    for name in [
+        "saardb_server_requests_total",
+        "saardb_server_sessions_active",
+        "saardb_server_statement_us",
+        "saardb_query_latency_us",
+    ] {
+        let fam = xmldb_obs::textparse::find(&families, name)
+            .unwrap_or_else(|| panic!("family {name} missing"));
+        assert!(fam.help.is_some(), "{name} has no HELP");
+    }
+    let stmt = xmldb_obs::textparse::find(&families, "saardb_server_statement_us").unwrap();
+    assert_eq!(stmt.kind, "histogram");
+    let query_count = stmt
+        .samples
+        .iter()
+        .find(|s| s.name == "saardb_server_statement_us_count" && s.label("op") == Some("query"))
+        .expect("per-op histogram series");
+    assert!(
+        query_count.value >= 5.0,
+        "query count {}",
+        query_count.value
+    );
+    drop(client);
+}
+
+/// `/stats` is the same registry as JSON: `saardb top`'s parser accepts
+/// it and the numbers line up with the Prometheus text.
+#[test]
+fn stats_json_matches_the_registry() {
+    let (_db, server, admin) = stack();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for _ in 0..3 {
+        client.query("lib", "//t", QueryParams::default()).unwrap();
+    }
+    let addr = admin.addr().to_string();
+    let stats = parse_stats(&monitor::fetch(&addr, "/stats").unwrap()).unwrap();
+    assert!(stats.counter("saardb_server_requests_total") >= 3);
+    assert!(
+        stats
+            .histograms
+            .keys()
+            .any(|k| k.starts_with("saardb_server_statement_us{op=\"query\"}")),
+        "statement histogram in JSON dump"
+    );
+    // The monitor can render a frame from two polls without panicking.
+    let frame = monitor::render_frame(&addr, &stats, &stats, Duration::from_secs(1));
+    assert!(frame.contains("sessions"), "{frame}");
+    drop(client);
+}
+
+/// Liveness stays 200 throughout; readiness flips 200 → 503 when ENOSPC
+/// latches the storage read-only, and back to 200 once the watchdog
+/// recovers it.
+#[test]
+fn readyz_tracks_degradation_and_recovery() {
+    let dir = std::env::temp_dir().join(format!("saardb-admin-ready-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open_dir(&dir, EnvConfig::default()).unwrap();
+    db.load_document("lib", DOC).unwrap();
+    db.flush().unwrap();
+    let faults = FaultState::new();
+    db.env().inject_wal_faults(&faults);
+    let server = Server::start(db.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let admin = AdminServer::start(db.clone(), "127.0.0.1:0").unwrap();
+    let addr = admin.addr().to_string();
+
+    assert_eq!(http_get(&addr, "/healthz").0, 200);
+    assert_eq!(http_get(&addr, "/readyz").0, 200);
+
+    // Fill the virtual volume; a write latches degraded mode.
+    faults.set_wal_no_space(true);
+    let mut writer = Client::connect(server.addr()).unwrap();
+    match writer.load("newdoc", "<n/>").unwrap_err() {
+        ClientError::Server(code, _) => assert_eq!(code, ErrorCode::ReadOnly),
+        other => panic!("expected typed refusal, got {other}"),
+    }
+    assert!(db.env().is_read_only());
+    let (status, body) = http_get(&addr, "/readyz");
+    assert_eq!(status, 503, "degraded node must fail readiness: {body}");
+    assert!(body.contains("read-only"), "reason in body: {body}");
+    assert_eq!(http_get(&addr, "/healthz").0, 200, "liveness unaffected");
+
+    // Space returns; the data plane's watchdog recovers the environment
+    // and readiness follows without any restart.
+    faults.set_wal_no_space(false);
+    eventually("readiness recovery", || http_get(&addr, "/readyz").0 == 200);
+
+    drop(admin);
+    drop(server);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Garbage on the admin socket — binary junk, oversized heads, wrong
+/// methods, half requests — answers typed (or just closes) and the
+/// listener keeps serving.
+#[test]
+fn malformed_http_never_kills_the_listener() {
+    let (_db, _server, admin) = stack();
+    let addr = admin.addr().to_string();
+    let payloads: Vec<Vec<u8>> = vec![
+        b"\r\n\r\n".to_vec(),
+        b"GET\r\n\r\n".to_vec(),
+        b"\x00\x01\x02\xff\xfe garbage \x80\x81\r\n\r\n".to_vec(),
+        vec![b'A'; 10 * 1024], // oversized head, no terminator
+        b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+        b"GET /metrics".to_vec(), // half a request line, then close
+        b"OPTIONS * HTTP/1.0\r\n\r\n".to_vec(),
+    ];
+    for (i, payload) in payloads.iter().enumerate() {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let _ = stream.write_all(payload);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = String::new();
+        let _ = stream.read_to_string(&mut sink); // may be empty or an error answer
+        assert!(
+            !sink.contains("200 OK"),
+            "payload {i} must not be served as a success: {sink}"
+        );
+    }
+    // The listener survived all of it.
+    assert_eq!(http_get(&addr, "/healthz"), (200, "ok\n".to_string()));
+    let (status, _) = http_get(&addr, "/nonsense");
+    assert_eq!(status, 404);
+}
+
+/// A statement sent through the retry layer is traceable end to end by
+/// its wire request id: the client reports the id of its final attempt,
+/// and the server's flight recorder holds that id with the query's span
+/// tree — even when the first attempt died and was retried on a fresh
+/// connection.
+#[test]
+fn request_id_traces_across_a_forced_retry() {
+    let db = Database::in_memory();
+    db.load_document("lib", DOC).unwrap();
+    // A short idle deadline so the watchdog severs the client's first
+    // connection while it sleeps — forcing its next query to fail on the
+    // dead socket and retry on a fresh one.
+    let server = Server::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let admin = AdminServer::start(db.clone(), "127.0.0.1:0").unwrap();
+
+    let mut client = RetryingClient::connect(server.addr(), RetryPolicy::default()).unwrap();
+    client.query("lib", "//t", QueryParams::default()).unwrap();
+    let first_id = client.last_request_id().expect("tagged first query");
+    assert_eq!(first_id & 0xFFFF, 0, "first attempt ordinal");
+
+    // Let the watchdog cut the idle connection.
+    eventually("idle sever", || {
+        db.env()
+            .registry()
+            .counter_values()
+            .iter()
+            .any(|(series, v)| series.contains("watchdog_severed_total") && *v > 0)
+    });
+
+    // The next statement's first attempt dies on the severed socket; the
+    // retry layer reconnects and replays it under a fresh attempt id.
+    let reply = client.query("lib", "//t", QueryParams::default()).unwrap();
+    assert_eq!(reply.count, 3);
+    assert!(client.total_retries() >= 1, "the retry was forced");
+    let final_id = client.last_request_id().expect("tagged retried query");
+    assert!(
+        final_id & 0xFFFF >= 1,
+        "final attempt ordinal counts the retry: {final_id:016x}"
+    );
+    assert_ne!(final_id >> 16, first_id >> 16, "fresh statement prefix");
+
+    // Server side: the flight recorder holds the exact attempt the
+    // client reports, with its span tree.
+    let records = db.flight_recorder().records();
+    let record = records
+        .iter()
+        .find(|r| r.request_id == Some(final_id))
+        .unwrap_or_else(|| panic!("no flight record for req {final_id:016x}"));
+    assert!(
+        !record.spans.is_empty(),
+        "span tree attached to the traced attempt"
+    );
+    assert!(record.outcome.starts_with("ok"), "{}", record.outcome);
+
+    // And the admin plane serves it: /flightrec carries the id.
+    let body = monitor::fetch(&admin.addr().to_string(), "/flightrec").unwrap();
+    let parsed = parse_json(&body).unwrap_or_else(|e| panic!("flightrec JSON: {e}\n{body}"));
+    let hex = format!("{final_id:016x}");
+    assert!(
+        body.contains(&hex),
+        "flightrec dump names req {hex}:\n{body}"
+    );
+    // Structural: it is an array of objects with request_id fields.
+    match parsed {
+        xmldb_server::monitor::Json::Arr(items) => {
+            assert!(!items.is_empty());
+            assert!(items.iter().any(|r| {
+                r.get("request_id")
+                    .is_some_and(|v| *v == xmldb_server::monitor::Json::Str(hex.clone()))
+            }));
+        }
+        other => panic!("expected array, got {other:?}"),
+    }
+    drop(admin);
+    drop(server);
+}
+
+/// `?slow_ms=` filters the flight-recorder dump server-side.
+#[test]
+fn flightrec_slow_filter() {
+    let (db, server, admin) = stack();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.query("lib", "//t", QueryParams::default()).unwrap();
+    assert!(!db.flight_recorder().is_empty());
+    let addr = admin.addr().to_string();
+    let all = monitor::fetch(&addr, "/flightrec").unwrap();
+    assert!(all.contains("\"elapsed_us\""), "{all}");
+    // Nothing in this test takes a minute; the filter empties the dump.
+    let slow = monitor::fetch(&addr, "/flightrec?slow_ms=60000").unwrap();
+    assert_eq!(
+        parse_json(&slow).unwrap(),
+        xmldb_server::monitor::Json::Arr(vec![])
+    );
+    drop(client);
+}

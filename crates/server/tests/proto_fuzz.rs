@@ -233,13 +233,16 @@ fn listener_survives_garbage_streams() {
     assert_server_alive(&server);
 }
 
-/// Version skew is rejected with a typed `VersionSkew` error in both
-/// directions (older and newer client), and the listener keeps serving
-/// current-version clients afterwards.
+/// A Hello below the supported floor is rejected with a typed
+/// `VersionSkew` error; a *newer* client is accepted and downgraded to
+/// the server's version in the ack (negotiation is `min(theirs, ours)`).
+/// Either way the listener keeps serving current-version clients.
 #[test]
 fn version_skew_is_typed_and_survivable() {
     let server = tiny_server();
-    for wrong in [0u32, PROTOCOL_VERSION + 1, u32::MAX] {
+    // Version 0 is the only value below MIN_SUPPORTED_VERSION.
+    let wrong = 0u32;
+    {
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream
             .set_read_timeout(Some(Duration::from_secs(5)))
@@ -261,6 +264,21 @@ fn version_skew_is_typed_and_survivable() {
             read_frame(&mut stream, MAX_FRAME_LEN),
             Err(FrameError::Eof) | Err(FrameError::Io(_))
         ));
+    }
+    // A client from the future negotiates down instead of being refused.
+    for newer in [PROTOCOL_VERSION + 1, u32::MAX] {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        write_frame(&mut stream, &Request::Hello { version: newer }.encode()).unwrap();
+        let payload = read_frame(&mut stream, MAX_FRAME_LEN).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::HelloAck { version, .. } => {
+                assert_eq!(version, PROTOCOL_VERSION, "hello v{newer} negotiated down");
+            }
+            other => panic!("hello v{newer} answered {other:?}"),
+        }
     }
     assert_server_alive(&server);
 }
